@@ -1,0 +1,157 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro [--size tiny|default|large] [table1|table2|table3|table4|table5|table6|
+//!        fig4|fig6|fig8|fig10|bottleneck|all]
+//! ```
+//!
+//! With no subcommand (or `all`) every artefact is printed in paper order.
+
+use sigcomp::analyzer::AnalyzerConfig;
+use sigcomp::ExtScheme;
+use sigcomp_bench::{
+    activity_study, activity_table, bottleneck, cpi_study, figure, figure_orgs, merged_stats,
+    table1, table2, table3, table4,
+};
+use sigcomp_workloads::WorkloadSize;
+use std::process::ExitCode;
+
+fn parse_size(value: &str) -> Option<WorkloadSize> {
+    match value {
+        "tiny" => Some(WorkloadSize::Tiny),
+        "default" => Some(WorkloadSize::Default),
+        "large" => Some(WorkloadSize::Large),
+        _ => None,
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: repro [--size tiny|default|large] \
+         [table1|table2|table3|table4|table5|table6|fig4|fig6|fig8|fig10|bottleneck|all]"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut size = WorkloadSize::Default;
+    let mut commands: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--size" => {
+                let Some(value) = args.next().as_deref().and_then(parse_size) else {
+                    return usage();
+                };
+                size = value;
+            }
+            "--help" | "-h" => {
+                let _ = usage();
+                return ExitCode::SUCCESS;
+            }
+            other => commands.push(other.to_owned()),
+        }
+    }
+    if commands.is_empty() {
+        commands.push("all".to_owned());
+    }
+
+    // The activity studies feed several tables; run them lazily and only once.
+    let mut byte_rows = None;
+    let mut half_rows = None;
+    let mut byte_activity = |size: WorkloadSize| {
+        byte_rows
+            .get_or_insert_with(|| activity_study(size, &AnalyzerConfig::paper_byte()))
+            .clone()
+    };
+    let mut half_activity = |size: WorkloadSize| {
+        half_rows
+            .get_or_insert_with(|| activity_study(size, &AnalyzerConfig::paper_halfword()))
+            .clone()
+    };
+
+    for command in &commands {
+        let expanded: Vec<&str> = if command == "all" {
+            vec![
+                "table1",
+                "table2",
+                "table3",
+                "table4",
+                "table5",
+                "table6",
+                "fig4",
+                "fig6",
+                "fig8",
+                "fig10",
+                "bottleneck",
+            ]
+        } else {
+            vec![command.as_str()]
+        };
+        for cmd in expanded {
+            match cmd {
+                "table1" => print!("{}", table1(&merged_stats(&byte_activity(size)))),
+                "table2" => print!("{}", table2()),
+                "table3" => print!("{}", table3(&merged_stats(&byte_activity(size)))),
+                "table4" => print!("{}", table4()),
+                "table5" => print!(
+                    "{}",
+                    activity_table(&byte_activity(size), ExtScheme::ThreeBit)
+                ),
+                "table6" => print!(
+                    "{}",
+                    activity_table(&half_activity(size), ExtScheme::Halfword)
+                ),
+                "fig4" => {
+                    let kinds = figure_orgs(4);
+                    print!(
+                        "{}",
+                        figure(
+                            "Figure 4: CPI of the byte-serial and halfword-serial pipelines",
+                            &cpi_study(size, &kinds),
+                            &kinds
+                        )
+                    );
+                }
+                "fig6" => {
+                    let kinds = figure_orgs(6);
+                    print!(
+                        "{}",
+                        figure(
+                            "Figure 6: CPI of the byte semi-parallel pipeline",
+                            &cpi_study(size, &kinds),
+                            &kinds
+                        )
+                    );
+                }
+                "fig8" => {
+                    let kinds = figure_orgs(8);
+                    print!(
+                        "{}",
+                        figure(
+                            "Figure 8: CPI of the byte-parallel skewed pipeline",
+                            &cpi_study(size, &kinds),
+                            &kinds
+                        )
+                    );
+                }
+                "fig10" => {
+                    let kinds = figure_orgs(10);
+                    print!(
+                        "{}",
+                        figure(
+                            "Figure 10: CPI of the byte-parallel compressed and skewed+bypass pipelines",
+                            &cpi_study(size, &kinds),
+                            &kinds
+                        )
+                    );
+                }
+                "bottleneck" => print!("{}", bottleneck(size)),
+                _ => return usage(),
+            }
+            println!();
+        }
+    }
+    ExitCode::SUCCESS
+}

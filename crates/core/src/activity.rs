@@ -1,0 +1,279 @@
+//! Activity accounting shared by all stage models.
+//!
+//! Activity is measured in bits of switching work (bits read, written,
+//! operated on or latched). Every stage model reports a *compressed* count
+//! (with significance compression and operand gating) and a *baseline* count
+//! (the conventional 32-bit pipeline); the ratio gives the per-stage savings
+//! of Tables 5 and 6.
+
+use std::fmt;
+use std::ops::AddAssign;
+
+/// A pair of activity counters: with compression and for the 32-bit baseline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageActivity {
+    /// Bits of activity with significance compression.
+    pub compressed_bits: u64,
+    /// Bits of activity of the conventional 32-bit design.
+    pub baseline_bits: u64,
+}
+
+impl StageActivity {
+    /// Creates a counter pair.
+    #[must_use]
+    pub fn new(compressed_bits: u64, baseline_bits: u64) -> Self {
+        StageActivity {
+            compressed_bits,
+            baseline_bits,
+        }
+    }
+
+    /// Adds activity to both counters.
+    pub fn add(&mut self, compressed_bits: u64, baseline_bits: u64) {
+        self.compressed_bits += compressed_bits;
+        self.baseline_bits += baseline_bits;
+    }
+
+    /// Fractional activity saving (1 − compressed/baseline); zero if nothing
+    /// was recorded. Negative values mean the extension-bit overhead exceeded
+    /// the savings (this happens for the tag array).
+    #[must_use]
+    pub fn saving(&self) -> f64 {
+        if self.baseline_bits == 0 {
+            0.0
+        } else {
+            1.0 - self.compressed_bits as f64 / self.baseline_bits as f64
+        }
+    }
+
+    /// Saving expressed in percent, as the paper's tables report it.
+    #[must_use]
+    pub fn saving_percent(&self) -> f64 {
+        self.saving() * 100.0
+    }
+}
+
+impl AddAssign for StageActivity {
+    fn add_assign(&mut self, rhs: Self) {
+        self.compressed_bits += rhs.compressed_bits;
+        self.baseline_bits += rhs.baseline_bits;
+    }
+}
+
+/// Per-stage activity of one benchmark run: the columns of Tables 5 and 6.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ActivityReport {
+    /// Instruction fetch (I-cache data array and fetch latching).
+    pub fetch: StageActivity,
+    /// Register-file reads.
+    pub rf_read: StageActivity,
+    /// Register-file writes (write-back stage).
+    pub rf_write: StageActivity,
+    /// ALU operations (including address generation).
+    pub alu: StageActivity,
+    /// Data-cache data array (loads, stores and fills).
+    pub dcache_data: StageActivity,
+    /// Data-cache tag array.
+    pub dcache_tag: StageActivity,
+    /// PC increment/update.
+    pub pc_increment: StageActivity,
+    /// Pipeline latches.
+    pub latches: StageActivity,
+}
+
+impl ActivityReport {
+    /// The stages in the column order of Table 5.
+    #[must_use]
+    pub fn columns(&self) -> [(&'static str, StageActivity); 8] {
+        [
+            ("Fetch", self.fetch),
+            ("RF read", self.rf_read),
+            ("RF write", self.rf_write),
+            ("ALU", self.alu),
+            ("D-cache data", self.dcache_data),
+            ("D-cache tag", self.dcache_tag),
+            ("PC increment", self.pc_increment),
+            ("Latches", self.latches),
+        ]
+    }
+
+    /// Total activity across all stages.
+    #[must_use]
+    pub fn total(&self) -> StageActivity {
+        let mut t = StageActivity::default();
+        for (_, s) in self.columns() {
+            t += s;
+        }
+        t
+    }
+
+    /// Aggregates another report into this one (used for suite averages).
+    pub fn merge(&mut self, other: &ActivityReport) {
+        self.fetch += other.fetch;
+        self.rf_read += other.rf_read;
+        self.rf_write += other.rf_write;
+        self.alu += other.alu;
+        self.dcache_data += other.dcache_data;
+        self.dcache_tag += other.dcache_tag;
+        self.pc_increment += other.pc_increment;
+        self.latches += other.latches;
+    }
+}
+
+impl fmt::Display for ActivityReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, stage) in self.columns() {
+            writeln!(f, "{name:>14}: {:6.1} % saving", stage.saving_percent())?;
+        }
+        Ok(())
+    }
+}
+
+/// A relative dynamic-energy model: energy is proportional to switched
+/// capacitance, which we approximate as activity bits weighted per structure.
+///
+/// The weights default to 1.0 (pure activity, as reported in the paper);
+/// they can be adjusted to explore how much a costlier structure (e.g. cache
+/// arrays with long bit lines) shifts the overall savings.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// Relative energy per fetched bit.
+    pub fetch_weight: f64,
+    /// Relative energy per register-file bit.
+    pub regfile_weight: f64,
+    /// Relative energy per ALU bit.
+    pub alu_weight: f64,
+    /// Relative energy per data-cache bit.
+    pub dcache_weight: f64,
+    /// Relative energy per PC-increment bit.
+    pub pc_weight: f64,
+    /// Relative energy per latched bit.
+    pub latch_weight: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel {
+            fetch_weight: 1.0,
+            regfile_weight: 1.0,
+            alu_weight: 1.0,
+            dcache_weight: 1.0,
+            pc_weight: 1.0,
+            latch_weight: 1.0,
+        }
+    }
+}
+
+impl EnergyModel {
+    /// Relative dynamic energy of the compressed and baseline pipelines for a
+    /// given activity report, in arbitrary units.
+    #[must_use]
+    pub fn relative_energy(&self, report: &ActivityReport) -> (f64, f64) {
+        let weighted = |stage: StageActivity, weight: f64| {
+            (
+                stage.compressed_bits as f64 * weight,
+                stage.baseline_bits as f64 * weight,
+            )
+        };
+        let parts = [
+            weighted(report.fetch, self.fetch_weight),
+            weighted(report.rf_read, self.regfile_weight),
+            weighted(report.rf_write, self.regfile_weight),
+            weighted(report.alu, self.alu_weight),
+            weighted(report.dcache_data, self.dcache_weight),
+            weighted(report.dcache_tag, self.dcache_weight),
+            weighted(report.pc_increment, self.pc_weight),
+            weighted(report.latches, self.latch_weight),
+        ];
+        parts
+            .iter()
+            .fold((0.0, 0.0), |(c, b), (pc, pb)| (c + pc, b + pb))
+    }
+
+    /// Overall fractional energy saving for a report.
+    #[must_use]
+    pub fn saving(&self, report: &ActivityReport) -> f64 {
+        let (compressed, baseline) = self.relative_energy(report);
+        if baseline == 0.0 {
+            0.0
+        } else {
+            1.0 - compressed / baseline
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saving_is_one_minus_ratio() {
+        let s = StageActivity::new(60, 100);
+        assert!((s.saving() - 0.4).abs() < 1e-12);
+        assert!((s.saving_percent() - 40.0).abs() < 1e-12);
+        assert_eq!(StageActivity::default().saving(), 0.0);
+    }
+
+    #[test]
+    fn negative_saving_when_overhead_dominates() {
+        let s = StageActivity::new(110, 100);
+        assert!(s.saving() < 0.0);
+    }
+
+    #[test]
+    fn add_and_add_assign_accumulate() {
+        let mut s = StageActivity::default();
+        s.add(10, 20);
+        s += StageActivity::new(5, 10);
+        assert_eq!(s, StageActivity::new(15, 30));
+    }
+
+    #[test]
+    fn report_columns_and_total() {
+        let mut r = ActivityReport::default();
+        r.fetch = StageActivity::new(10, 20);
+        r.alu = StageActivity::new(30, 40);
+        assert_eq!(r.columns().len(), 8);
+        assert_eq!(r.total(), StageActivity::new(40, 60));
+        let text = r.to_string();
+        assert!(text.contains("Fetch"));
+        assert!(text.contains("ALU"));
+    }
+
+    #[test]
+    fn merge_aggregates_stage_by_stage() {
+        let mut a = ActivityReport::default();
+        a.rf_read = StageActivity::new(1, 2);
+        let mut b = ActivityReport::default();
+        b.rf_read = StageActivity::new(3, 4);
+        b.latches = StageActivity::new(5, 6);
+        a.merge(&b);
+        assert_eq!(a.rf_read, StageActivity::new(4, 6));
+        assert_eq!(a.latches, StageActivity::new(5, 6));
+    }
+
+    #[test]
+    fn energy_model_defaults_to_pure_activity() {
+        let mut r = ActivityReport::default();
+        r.fetch = StageActivity::new(50, 100);
+        r.alu = StageActivity::new(25, 100);
+        let m = EnergyModel::default();
+        let (c, b) = m.relative_energy(&r);
+        assert!((c - 75.0).abs() < 1e-9);
+        assert!((b - 200.0).abs() < 1e-9);
+        assert!((m.saving(&r) - 0.625).abs() < 1e-9);
+        assert_eq!(m.saving(&ActivityReport::default()), 0.0);
+    }
+
+    #[test]
+    fn energy_weights_shift_the_total() {
+        let mut r = ActivityReport::default();
+        r.fetch = StageActivity::new(50, 100); // 50 % saving
+        r.alu = StageActivity::new(90, 100); // 10 % saving
+        let favor_alu = EnergyModel {
+            alu_weight: 10.0,
+            ..EnergyModel::default()
+        };
+        assert!(favor_alu.saving(&r) < EnergyModel::default().saving(&r));
+    }
+}

@@ -1,0 +1,369 @@
+//! Per-instruction significance costs.
+//!
+//! [`instr_cost`] distils one retired instruction into the quantities every
+//! downstream model needs: how many bytes must be fetched, read from the
+//! register file, pushed through the ALU, accessed in the data cache and
+//! written back. The trace-driven activity study ([`crate::analyzer`]) sums
+//! these costs into Tables 5/6; the pipeline timing models in
+//! `sigcomp-pipeline` turn the same costs into per-stage cycle counts.
+
+use crate::alu::{self, AluOutcome, LogicOp, ShiftOp};
+use crate::ext::{significant_bytes, ExtScheme};
+use crate::ifetch::{compress_instruction, CompressedInstr, FunctRecoder};
+use sigcomp_isa::{ExecRecord, Op};
+
+/// Significance cost of a memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemCost {
+    /// Architectural access width in bytes (1, 2 or 4).
+    pub width_bytes: u8,
+    /// Significant bytes that actually move between the pipeline and the
+    /// data cache (≤ width).
+    pub sig_bytes: u8,
+    /// Whether the access is a store.
+    pub is_store: bool,
+}
+
+/// The per-instruction significance cost vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InstrCost {
+    /// The compressed-I-cache form and how many bytes it fetches.
+    pub fetch: CompressedInstr,
+    /// Significant bytes of the `rs` operand, if it is read.
+    pub rs_bytes: Option<u8>,
+    /// Significant bytes of the `rt` operand, if it is read.
+    pub rt_bytes: Option<u8>,
+    /// Significant bytes of the value written back, if any.
+    pub result_bytes: Option<u8>,
+    /// ALU outcome (result and byte-slices operated), if the instruction
+    /// uses the ALU (arithmetic, logic, shifts, compares, address
+    /// generation, branch comparison).
+    pub alu: Option<AluOutcome>,
+    /// Memory-access cost, if the instruction is a load or store.
+    pub mem: Option<MemCost>,
+    /// Whether the instruction is a conditional branch.
+    pub is_branch: bool,
+    /// Whether the instruction is an unconditional jump.
+    pub is_jump: bool,
+    /// Whether a control transfer was taken.
+    pub taken: bool,
+}
+
+impl InstrCost {
+    /// Bytes the register file must deliver for this instruction (sum of the
+    /// operand significant bytes).
+    #[must_use]
+    pub fn regfile_read_bytes(&self) -> u8 {
+        self.rs_bytes.unwrap_or(0) + self.rt_bytes.unwrap_or(0)
+    }
+
+    /// Number of register operands read.
+    #[must_use]
+    pub fn regfile_reads(&self) -> u8 {
+        u8::from(self.rs_bytes.is_some()) + u8::from(self.rt_bytes.is_some())
+    }
+
+    /// The largest per-operand significant byte count (what a skewed
+    /// register-read stage must stream out serially).
+    #[must_use]
+    pub fn max_operand_bytes(&self) -> u8 {
+        self.rs_bytes.unwrap_or(0).max(self.rt_bytes.unwrap_or(0)).max(1)
+    }
+
+    /// ALU byte slices that must operate (zero if the ALU is unused).
+    #[must_use]
+    pub fn alu_bytes(&self) -> u8 {
+        self.alu.map_or(0, |a| a.bytes_operated)
+    }
+
+    /// Whether the instruction needs the ALU at all.
+    #[must_use]
+    pub fn uses_alu(&self) -> bool {
+        self.alu.is_some()
+    }
+}
+
+fn alu_outcome(rec: &ExecRecord, scheme: ExtScheme) -> Option<AluOutcome> {
+    let op = rec.instr.op;
+    let rs = rec.rs_value.unwrap_or(0);
+    let rt = rec.rt_value.unwrap_or(0);
+    let imm_se = rec.instr.imm_se() as u32;
+    let imm_ze = rec.instr.imm_ze();
+
+    let outcome = match op {
+        Op::Add | Op::Addu => alu::add(rs, rt, scheme),
+        Op::Sub | Op::Subu => alu::sub(rs, rt, scheme),
+        Op::Addi | Op::Addiu => alu::add(rs, imm_se, scheme),
+        Op::And => alu::logic(LogicOp::And, rs, rt, scheme),
+        Op::Or => alu::logic(LogicOp::Or, rs, rt, scheme),
+        Op::Xor => alu::logic(LogicOp::Xor, rs, rt, scheme),
+        Op::Nor => alu::logic(LogicOp::Nor, rs, rt, scheme),
+        Op::Andi => alu::logic(LogicOp::And, rs, imm_ze, scheme),
+        Op::Ori => alu::logic(LogicOp::Or, rs, imm_ze, scheme),
+        Op::Xori => alu::logic(LogicOp::Xor, rs, imm_ze, scheme),
+        Op::Slt => alu::compare(rs, rt, true, scheme),
+        Op::Sltu => alu::compare(rs, rt, false, scheme),
+        Op::Slti => alu::compare(rs, imm_se, true, scheme),
+        Op::Sltiu => alu::compare(rs, imm_se, false, scheme),
+        Op::Lui => {
+            let result = imm_ze << 16;
+            AluOutcome {
+                result,
+                bytes_operated: significant_bytes(result, scheme).max(1),
+                baseline_bytes: 4,
+            }
+        }
+        Op::Sll => alu::shift(ShiftOp::Left, rt, u32::from(rec.instr.shamt), scheme),
+        Op::Srl => alu::shift(ShiftOp::RightLogical, rt, u32::from(rec.instr.shamt), scheme),
+        Op::Sra => alu::shift(
+            ShiftOp::RightArithmetic,
+            rt,
+            u32::from(rec.instr.shamt),
+            scheme,
+        ),
+        Op::Sllv => alu::shift(ShiftOp::Left, rt, rs, scheme),
+        Op::Srlv => alu::shift(ShiftOp::RightLogical, rt, rs, scheme),
+        Op::Srav => alu::shift(ShiftOp::RightArithmetic, rt, rs, scheme),
+        Op::Mult | Op::Multu | Op::Div | Op::Divu => alu::muldiv(rs, rt, scheme),
+        Op::Mfhi | Op::Mflo | Op::Mthi | Op::Mtlo => {
+            // HI/LO moves pass one value through the ALU datapath unchanged.
+            let moved = rec.result_value().unwrap_or(rs);
+            AluOutcome {
+                result: moved,
+                bytes_operated: significant_bytes(moved, scheme),
+                baseline_bytes: 4,
+            }
+        }
+        Op::Lb | Op::Lbu | Op::Lh | Op::Lhu | Op::Lw | Op::Sb | Op::Sh | Op::Sw => {
+            // Address generation: base + sign-extended offset.
+            alu::add(rs, imm_se, scheme)
+        }
+        Op::Beq | Op::Bne => alu::compare(rs, rt, true, scheme),
+        Op::Blez | Op::Bgtz | Op::Bltz | Op::Bgez => {
+            // Sign/zero test against zero: a subtract of zero, i.e. the
+            // significant bytes of rs must be examined.
+            AluOutcome {
+                result: u32::from(rec.is_taken_branch()),
+                bytes_operated: significant_bytes(rs, scheme),
+                baseline_bytes: 4,
+            }
+        }
+        Op::J | Op::Jal | Op::Jr | Op::Jalr | Op::Break => return None,
+    };
+    Some(outcome)
+}
+
+/// Computes the per-instruction significance cost vector for one retired
+/// instruction under the given extension scheme and I-cache recoding.
+#[must_use]
+pub fn instr_cost(rec: &ExecRecord, scheme: ExtScheme, recoder: &FunctRecoder) -> InstrCost {
+    let op = rec.instr.op;
+    let fetch = compress_instruction(&rec.instr, recoder);
+    let rs_bytes = rec.rs_value.map(|v| significant_bytes(v, scheme));
+    let rt_bytes = rec.rt_value.map(|v| significant_bytes(v, scheme));
+    let result_bytes = rec.result_value().map(|v| significant_bytes(v, scheme));
+    let alu = alu_outcome(rec, scheme);
+    let mem = rec.mem.map(|m| MemCost {
+        width_bytes: m.width,
+        sig_bytes: significant_bytes(m.value, scheme)
+            .min(m.width)
+            .max(scheme.granule_bytes() as u8)
+            .min(m.width.max(scheme.granule_bytes() as u8)),
+        is_store: m.is_store,
+    });
+    InstrCost {
+        fetch,
+        rs_bytes,
+        rt_bytes,
+        result_bytes,
+        alu,
+        mem,
+        is_branch: op.is_branch(),
+        is_jump: op.is_jump(),
+        taken: rec.is_taken_branch(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigcomp_isa::reg::{A0, RA, T0, T1, T2};
+    use sigcomp_isa::{BranchOutcome, Instruction, MemAccess};
+
+    const S: ExtScheme = ExtScheme::ThreeBit;
+
+    fn rec(instr: Instruction) -> ExecRecord {
+        ExecRecord {
+            seq: 0,
+            pc: 0x0040_0000,
+            word: instr.encode(),
+            instr,
+            rs_value: None,
+            rt_value: None,
+            writeback: None,
+            mem: None,
+            branch: None,
+        }
+    }
+
+    fn recoder() -> FunctRecoder {
+        FunctRecoder::paper_default()
+    }
+
+    #[test]
+    fn small_add_costs_one_alu_byte() {
+        let mut r = rec(Instruction::r3(Op::Addu, T0, T1, T2));
+        r.rs_value = Some(5);
+        r.rt_value = Some(9);
+        r.writeback = Some((T0, 14));
+        let c = instr_cost(&r, S, &recoder());
+        assert_eq!(c.fetch.fetch_bytes, 3);
+        assert_eq!(c.rs_bytes, Some(1));
+        assert_eq!(c.rt_bytes, Some(1));
+        assert_eq!(c.result_bytes, Some(1));
+        assert_eq!(c.alu_bytes(), 1);
+        assert_eq!(c.regfile_read_bytes(), 2);
+        assert_eq!(c.regfile_reads(), 2);
+        assert_eq!(c.max_operand_bytes(), 1);
+        assert!(c.uses_alu());
+        assert!(!c.is_branch && !c.is_jump);
+    }
+
+    #[test]
+    fn load_costs_address_generation_and_memory_bytes() {
+        let mut r = rec(Instruction::imm(Op::Lw, T0, A0, 8));
+        r.rs_value = Some(0x1000_0000);
+        r.writeback = Some((T0, 0x42));
+        r.mem = Some(MemAccess {
+            addr: 0x1000_0008,
+            width: 4,
+            is_store: false,
+            value: 0x42,
+        });
+        let c = instr_cost(&r, S, &recoder());
+        let alu = c.alu.unwrap();
+        assert_eq!(alu.result, 0x1000_0008);
+        assert_eq!(alu.bytes_operated, 2); // low byte + the 0x10 byte
+        let mem = c.mem.unwrap();
+        assert_eq!(mem.width_bytes, 4);
+        assert_eq!(mem.sig_bytes, 1);
+        assert!(!mem.is_store);
+        assert_eq!(c.result_bytes, Some(1));
+    }
+
+    #[test]
+    fn store_cost_is_flagged_as_store() {
+        let mut r = rec(Instruction::imm(Op::Sw, T0, A0, 0));
+        r.rs_value = Some(0x1000_0000);
+        r.rt_value = Some(0x0102_0304);
+        r.mem = Some(MemAccess {
+            addr: 0x1000_0000,
+            width: 4,
+            is_store: true,
+            value: 0x0102_0304,
+        });
+        let c = instr_cost(&r, S, &recoder());
+        assert!(c.mem.unwrap().is_store);
+        assert_eq!(c.mem.unwrap().sig_bytes, 4);
+        assert_eq!(c.rt_bytes, Some(4));
+    }
+
+    #[test]
+    fn byte_load_never_exceeds_its_width() {
+        let mut r = rec(Instruction::imm(Op::Lbu, T0, A0, 0));
+        r.rs_value = Some(0x1000_0000);
+        r.writeback = Some((T0, 0x80));
+        r.mem = Some(MemAccess {
+            addr: 0x1000_0000,
+            width: 1,
+            is_store: false,
+            value: 0x80,
+        });
+        let c = instr_cost(&r, S, &recoder());
+        assert_eq!(c.mem.unwrap().sig_bytes, 1);
+    }
+
+    #[test]
+    fn branch_compare_uses_the_alu() {
+        let mut r = rec(Instruction::imm(Op::Bne, T0, T1, 4));
+        r.rs_value = Some(100);
+        r.rt_value = Some(100_000);
+        r.branch = Some(BranchOutcome {
+            taken: true,
+            target: 0x0040_0100,
+        });
+        let c = instr_cost(&r, S, &recoder());
+        assert!(c.is_branch);
+        assert!(c.taken);
+        assert!(c.uses_alu());
+        assert!(c.alu_bytes() >= 3); // must compare up to the 3rd byte
+    }
+
+    #[test]
+    fn sign_branch_examines_only_significant_bytes() {
+        let mut r = rec(Instruction::imm(Op::Bltz, sigcomp_isa::reg::ZERO, T0, 4));
+        r.rs_value = Some(0xffff_ffff);
+        r.branch = Some(BranchOutcome {
+            taken: true,
+            target: 0x0040_0100,
+        });
+        let c = instr_cost(&r, S, &recoder());
+        assert_eq!(c.alu_bytes(), 1);
+    }
+
+    #[test]
+    fn jumps_do_not_use_the_alu() {
+        let mut r = rec(Instruction::jump(Op::Jal, 0x0010_0000 >> 2));
+        r.writeback = Some((RA, 0x0040_0004));
+        r.branch = Some(BranchOutcome {
+            taken: true,
+            target: 0x0010_0000,
+        });
+        let c = instr_cost(&r, S, &recoder());
+        assert!(!c.uses_alu());
+        assert!(c.is_jump);
+        assert_eq!(c.alu_bytes(), 0);
+        // The link value (a code address) still costs a register write; the
+        // return address 0x0040_0004 has two significant bytes under the
+        // three-bit scheme (bytes 0 and 2).
+        assert_eq!(c.result_bytes, Some(2));
+    }
+
+    #[test]
+    fn lui_cost_follows_its_result() {
+        let mut r = rec(Instruction::imm(Op::Lui, T0, sigcomp_isa::reg::ZERO, 0x1000));
+        r.writeback = Some((T0, 0x1000_0000));
+        let c = instr_cost(&r, S, &recoder());
+        assert_eq!(c.alu.unwrap().result, 0x1000_0000);
+        assert!(c.alu_bytes() >= 1);
+    }
+
+    #[test]
+    fn shift_by_register_uses_shift_cost() {
+        let mut r = rec(Instruction::r3(Op::Sllv, T0, T1, T2));
+        r.rs_value = Some(8); // shift amount
+        r.rt_value = Some(0x00ff);
+        r.writeback = Some((T0, 0xff00));
+        let c = instr_cost(&r, S, &recoder());
+        assert_eq!(c.alu.unwrap().result, 0xff00);
+    }
+
+    #[test]
+    fn muldiv_and_hilo_costs() {
+        let mut m = rec(Instruction::r3(Op::Mult, sigcomp_isa::reg::ZERO, T1, T2));
+        m.rs_value = Some(300);
+        m.rt_value = Some(4);
+        let c = instr_cost(&m, S, &recoder());
+        assert_eq!(c.alu.unwrap().baseline_bytes, 16);
+
+        let mut mf = rec(Instruction::r3(
+            Op::Mflo,
+            T0,
+            sigcomp_isa::reg::ZERO,
+            sigcomp_isa::reg::ZERO,
+        ));
+        mf.writeback = Some((T0, 1200));
+        let c = instr_cost(&mf, S, &recoder());
+        assert_eq!(c.alu_bytes(), 2);
+    }
+}

@@ -1,0 +1,492 @@
+//! Extension-bit schemes and significance classification (§2.1 of the paper).
+//!
+//! A 32-bit word is *significance compressed* by keeping only the bytes that
+//! carry numeric information and recording, in a few extension bits, which
+//! byte positions are mere sign extensions. The paper studies three schemes:
+//!
+//! * **two-bit**: the extension bits count how many high-order bytes are sign
+//!   extensions (0–3). Only "prefix" patterns are expressible.
+//! * **three-bit**: one bit per upper byte; bit *i* set means byte *i* equals
+//!   the sign extension of byte *i−1*. "Internal" insignificant bytes (as in
+//!   the address `10 00 00 09`) become compressible.
+//! * **halfword**: a single bit that says whether the upper halfword is the
+//!   sign extension of the lower halfword (16-bit granularity, Table 6).
+//!
+//! The low-order byte (or halfword) is always stored.
+
+use std::fmt;
+
+/// Number of bytes in a machine word.
+pub const WORD_BYTES: usize = 4;
+
+/// An extension-bit scheme (§2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ExtScheme {
+    /// Two extension bits encoding the number of sign-extension bytes.
+    TwoBit,
+    /// Three extension bits, one per upper byte (the paper's primary scheme).
+    #[default]
+    ThreeBit,
+    /// One extension bit at halfword (16-bit) granularity.
+    Halfword,
+}
+
+impl ExtScheme {
+    /// All schemes, for sweeps.
+    pub const ALL: &'static [ExtScheme] = &[ExtScheme::TwoBit, ExtScheme::ThreeBit, ExtScheme::Halfword];
+
+    /// Number of extension bits stored per 32-bit word.
+    #[must_use]
+    pub fn overhead_bits(self) -> u32 {
+        match self {
+            ExtScheme::TwoBit => 2,
+            ExtScheme::ThreeBit => 3,
+            ExtScheme::Halfword => 1,
+        }
+    }
+
+    /// Storage granule in bytes (1 for the byte schemes, 2 for halfword).
+    #[must_use]
+    pub fn granule_bytes(self) -> u32 {
+        match self {
+            ExtScheme::TwoBit | ExtScheme::ThreeBit => 1,
+            ExtScheme::Halfword => 2,
+        }
+    }
+
+    /// Relative storage overhead of the extension bits (e.g. 3/32 ≈ 9 % for
+    /// the three-bit scheme, as quoted in §2.1).
+    #[must_use]
+    pub fn overhead_fraction(self) -> f64 {
+        f64::from(self.overhead_bits()) / 32.0
+    }
+}
+
+impl fmt::Display for ExtScheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ExtScheme::TwoBit => "2-bit",
+            ExtScheme::ThreeBit => "3-bit",
+            ExtScheme::Halfword => "halfword",
+        };
+        f.write_str(name)
+    }
+}
+
+/// The sign extension of a byte: `0x00` for non-negative, `0xff` for negative.
+#[must_use]
+pub fn sign_extension_of(byte: u8) -> u8 {
+    if byte & 0x80 != 0 {
+        0xff
+    } else {
+        0x00
+    }
+}
+
+/// Splits a word into its four bytes, index 0 = least significant.
+#[must_use]
+pub fn word_bytes(value: u32) -> [u8; WORD_BYTES] {
+    value.to_le_bytes()
+}
+
+/// The per-byte significance mask of `value` under `scheme`.
+///
+/// `mask[i]` is `true` when byte *i* must be stored/operated on. Byte 0 is
+/// always significant; for the halfword scheme bytes 0 and 1 are always
+/// significant and bytes 2 and 3 share one decision.
+#[must_use]
+pub fn sig_mask(value: u32, scheme: ExtScheme) -> [bool; WORD_BYTES] {
+    let bytes = word_bytes(value);
+    match scheme {
+        ExtScheme::ThreeBit => {
+            let mut mask = [true; WORD_BYTES];
+            for i in 1..WORD_BYTES {
+                mask[i] = bytes[i] != sign_extension_of(bytes[i - 1]);
+            }
+            mask
+        }
+        ExtScheme::TwoBit => {
+            let n = significant_bytes_prefix(value) as usize;
+            let mut mask = [false; WORD_BYTES];
+            for (i, m) in mask.iter_mut().enumerate() {
+                *m = i < n;
+            }
+            mask
+        }
+        ExtScheme::Halfword => {
+            let upper_insignificant = value == ((value as u16) as i16 as i32 as u32);
+            [true, true, !upper_insignificant, !upper_insignificant]
+        }
+    }
+}
+
+/// Number of significant granules (bytes or halfwords) of `value` under
+/// `scheme`. For byte schemes the result is in 1..=4; for the halfword
+/// scheme it is 2 or 4 (expressed in bytes).
+#[must_use]
+pub fn significant_bytes(value: u32, scheme: ExtScheme) -> u8 {
+    sig_mask(value, scheme).iter().filter(|&&b| b).count() as u8
+}
+
+/// The minimal number of low-order bytes whose sign extension reproduces
+/// `value` (the quantity encoded by the two-bit scheme).
+#[must_use]
+pub fn significant_bytes_prefix(value: u32) -> u8 {
+    for n in 1..WORD_BYTES as u32 {
+        let shift = 32 - 8 * n;
+        let truncated = ((value << shift) as i32 >> shift) as u32;
+        if truncated == value {
+            return n as u8;
+        }
+    }
+    WORD_BYTES as u8
+}
+
+/// The encoded extension bits of `value` under `scheme`.
+///
+/// * two-bit: the count of sign-extension bytes (0–3),
+/// * three-bit: bit *i−1* set when byte *i* is a sign extension of byte
+///   *i−1* (bit 0 ↔ byte 1, bit 2 ↔ byte 3),
+/// * halfword: bit 0 set when the upper halfword is insignificant.
+#[must_use]
+pub fn ext_bits(value: u32, scheme: ExtScheme) -> u8 {
+    match scheme {
+        ExtScheme::TwoBit => (WORD_BYTES as u8) - significant_bytes_prefix(value),
+        ExtScheme::ThreeBit => {
+            let mask = sig_mask(value, scheme);
+            let mut bits = 0u8;
+            for i in 1..WORD_BYTES {
+                if !mask[i] {
+                    bits |= 1 << (i - 1);
+                }
+            }
+            bits
+        }
+        ExtScheme::Halfword => u8::from(!sig_mask(value, scheme)[2]),
+    }
+}
+
+/// A significance-compressed word: only the significant bytes are stored,
+/// together with the extension bits.
+///
+/// ```
+/// use sigcomp::ext::{CompressedWord, ExtScheme};
+/// let c = CompressedWord::compress(0x1000_0009, ExtScheme::ThreeBit);
+/// assert_eq!(c.stored_bytes(), 2);                 // "10 - - 09"
+/// assert_eq!(c.decompress(), 0x1000_0009);         // lossless
+/// assert_eq!(c.stored_bits(), 2 * 8 + 3);          // plus the extension bits
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CompressedWord {
+    scheme: ExtScheme,
+    ext: u8,
+    /// Significant bytes in ascending byte-position order; unused slots are 0.
+    bytes: [u8; WORD_BYTES],
+    len: u8,
+}
+
+impl CompressedWord {
+    /// Compresses a 32-bit value.
+    #[must_use]
+    pub fn compress(value: u32, scheme: ExtScheme) -> Self {
+        let mask = sig_mask(value, scheme);
+        let all = word_bytes(value);
+        let mut bytes = [0u8; WORD_BYTES];
+        let mut len = 0usize;
+        for i in 0..WORD_BYTES {
+            if mask[i] {
+                bytes[len] = all[i];
+                len += 1;
+            }
+        }
+        CompressedWord {
+            scheme,
+            ext: ext_bits(value, scheme),
+            bytes,
+            len: len as u8,
+        }
+    }
+
+    /// The scheme the word was compressed under.
+    #[must_use]
+    pub fn scheme(&self) -> ExtScheme {
+        self.scheme
+    }
+
+    /// The raw extension bits.
+    #[must_use]
+    pub fn ext(&self) -> u8 {
+        self.ext
+    }
+
+    /// Number of bytes that are actually stored.
+    #[must_use]
+    pub fn stored_bytes(&self) -> u8 {
+        self.len
+    }
+
+    /// Total storage in bits, including the extension bits.
+    #[must_use]
+    pub fn stored_bits(&self) -> u32 {
+        u32::from(self.len) * 8 + self.scheme.overhead_bits()
+    }
+
+    /// Reconstructs the original 32-bit value.
+    #[must_use]
+    pub fn decompress(&self) -> u32 {
+        let mut out = [0u8; WORD_BYTES];
+        let mut next = 0usize;
+        for (i, slot) in out.iter_mut().enumerate() {
+            let significant = match self.scheme {
+                ExtScheme::TwoBit => (i as u8) < (WORD_BYTES as u8) - self.ext,
+                ExtScheme::ThreeBit => i == 0 || self.ext & (1 << (i - 1)) == 0,
+                ExtScheme::Halfword => i < 2 || self.ext == 0,
+            };
+            if significant {
+                *slot = self.bytes[next];
+                next += 1;
+            } else {
+                // Byte i is the sign extension of the byte below it.
+                *slot = 0; // placeholder, fixed up below
+            }
+        }
+        // Fill in sign extensions now that lower bytes are known.
+        for i in 1..WORD_BYTES {
+            let significant = match self.scheme {
+                ExtScheme::TwoBit => (i as u8) < (WORD_BYTES as u8) - self.ext,
+                ExtScheme::ThreeBit => self.ext & (1 << (i - 1)) == 0,
+                ExtScheme::Halfword => i < 2 || self.ext == 0,
+            };
+            if !significant {
+                out[i] = sign_extension_of(out[i - 1]);
+            }
+        }
+        u32::from_le_bytes(out)
+    }
+}
+
+/// One of the eight significant-byte patterns of the three-bit scheme
+/// (Table 1 of the paper).
+///
+/// The pattern is written most-significant byte first using the paper's
+/// notation: `s` for a significant byte, `e` for a sign-extension byte. The
+/// least-significant byte is always `s`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SigPattern {
+    /// Significance of bytes 1..=3 (index 0 ↔ byte 1).
+    upper_sig: [bool; 3],
+}
+
+impl SigPattern {
+    /// Classifies a value under the three-bit scheme.
+    #[must_use]
+    pub fn of(value: u32) -> Self {
+        let mask = sig_mask(value, ExtScheme::ThreeBit);
+        SigPattern {
+            upper_sig: [mask[1], mask[2], mask[3]],
+        }
+    }
+
+    /// Builds a pattern from its index (0..8), where bit *i* of the index set
+    /// means byte *i+1* is significant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 8`.
+    #[must_use]
+    pub fn from_index(index: usize) -> Self {
+        assert!(index < 8, "pattern index out of range");
+        SigPattern {
+            upper_sig: [index & 1 != 0, index & 2 != 0, index & 4 != 0],
+        }
+    }
+
+    /// The index of this pattern (0..8), inverse of [`SigPattern::from_index`].
+    #[must_use]
+    pub fn index(self) -> usize {
+        usize::from(self.upper_sig[0])
+            | usize::from(self.upper_sig[1]) << 1
+            | usize::from(self.upper_sig[2]) << 2
+    }
+
+    /// All eight patterns in index order.
+    pub fn all() -> impl Iterator<Item = SigPattern> {
+        (0..8).map(SigPattern::from_index)
+    }
+
+    /// Number of significant bytes (1..=4, including the always-significant
+    /// low byte).
+    #[must_use]
+    pub fn significant_bytes(self) -> u8 {
+        1 + self.upper_sig.iter().filter(|&&b| b).count() as u8
+    }
+
+    /// Whether the pattern is expressible by the two-bit scheme (significant
+    /// bytes form a contiguous prefix from the low byte).
+    #[must_use]
+    pub fn is_prefix_pattern(self) -> bool {
+        // Once a byte is insignificant, all higher bytes must be too.
+        let mut seen_ext = false;
+        for &sig in &self.upper_sig {
+            if seen_ext && sig {
+                return false;
+            }
+            if !sig {
+                seen_ext = true;
+            }
+        }
+        true
+    }
+
+    /// The paper's notation, most significant byte first (e.g. `"eees"`).
+    #[must_use]
+    pub fn notation(self) -> String {
+        let mut s = String::with_capacity(4);
+        for i in (0..3).rev() {
+            s.push(if self.upper_sig[i] { 's' } else { 'e' });
+        }
+        s.push('s');
+        s
+    }
+}
+
+impl fmt::Display for SigPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.notation())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_examples_three_bit() {
+        // 00 00 00 04 -> only the low byte is significant ("eees").
+        assert_eq!(significant_bytes(0x0000_0004, ExtScheme::ThreeBit), 1);
+        assert_eq!(SigPattern::of(0x0000_0004).notation(), "eees");
+        // FF FF F5 04 -> two significant bytes ("eess").
+        assert_eq!(significant_bytes(0xffff_f504, ExtScheme::ThreeBit), 2);
+        assert_eq!(SigPattern::of(0xffff_f504).notation(), "eess");
+        // 10 00 00 09 -> "10 - - 09 : 011" (upper byte and low byte significant).
+        assert_eq!(significant_bytes(0x1000_0009, ExtScheme::ThreeBit), 2);
+        assert_eq!(ext_bits(0x1000_0009, ExtScheme::ThreeBit), 0b011);
+        assert_eq!(SigPattern::of(0x1000_0009).notation(), "sees");
+        // FF E7 00 04 -> "- E7 - 04 : 101".
+        assert_eq!(significant_bytes(0xffe7_0004, ExtScheme::ThreeBit), 2);
+        assert_eq!(ext_bits(0xffe7_0004, ExtScheme::ThreeBit), 0b101);
+        assert_eq!(SigPattern::of(0xffe7_0004).notation(), "eses");
+    }
+
+    #[test]
+    fn paper_examples_two_bit() {
+        // 00 00 00 04 encoded as "- - - 04 : 11" (three sign-extension bytes).
+        assert_eq!(ext_bits(0x0000_0004, ExtScheme::TwoBit), 3);
+        assert_eq!(significant_bytes(0x0000_0004, ExtScheme::TwoBit), 1);
+        // FF FF F5 04 encoded as "- - F5 04 : 10" (two sign-extension bytes).
+        assert_eq!(ext_bits(0xffff_f504, ExtScheme::TwoBit), 2);
+        assert_eq!(significant_bytes(0xffff_f504, ExtScheme::TwoBit), 2);
+        // The "internal zeros" address needs all four bytes under two-bit.
+        assert_eq!(significant_bytes(0x1000_0009, ExtScheme::TwoBit), 4);
+    }
+
+    #[test]
+    fn halfword_granularity() {
+        assert_eq!(significant_bytes(0x0000_1234, ExtScheme::Halfword), 2);
+        assert_eq!(significant_bytes(0xffff_8000, ExtScheme::Halfword), 2);
+        assert_eq!(significant_bytes(0x0001_0000, ExtScheme::Halfword), 4);
+        assert_eq!(ext_bits(0x0000_0004, ExtScheme::Halfword), 1);
+        assert_eq!(ext_bits(0x0001_0000, ExtScheme::Halfword), 0);
+    }
+
+    #[test]
+    fn negative_small_values_compress_well() {
+        assert_eq!(significant_bytes(0xffff_ffff, ExtScheme::ThreeBit), 1);
+        assert_eq!(significant_bytes(0xffff_ffff, ExtScheme::TwoBit), 1);
+        assert_eq!(significant_bytes(0xffff_ff80, ExtScheme::ThreeBit), 1);
+        // 0x80 alone is *not* a one-byte value in two's complement (it would
+        // sign-extend to 0xffffff80), so two bytes are needed.
+        assert_eq!(significant_bytes(0x0000_0080, ExtScheme::ThreeBit), 2);
+        assert_eq!(significant_bytes_prefix(0x0000_0080), 2);
+    }
+
+    #[test]
+    fn compressed_word_roundtrips() {
+        for &v in &[
+            0u32,
+            1,
+            0x7f,
+            0x80,
+            0xff,
+            0x100,
+            0x7fff_ffff,
+            0x8000_0000,
+            0xffff_ffff,
+            0x1000_0009,
+            0xffe7_0004,
+            0xdead_beef,
+        ] {
+            for &scheme in ExtScheme::ALL {
+                let c = CompressedWord::compress(v, scheme);
+                assert_eq!(c.decompress(), v, "value {v:#x} under {scheme}");
+            }
+        }
+    }
+
+    #[test]
+    fn three_bit_never_needs_more_bytes_than_two_bit() {
+        for v in (0..100_000u32).map(|i| i.wrapping_mul(2_654_435_761)) {
+            assert!(
+                significant_bytes(v, ExtScheme::ThreeBit)
+                    <= significant_bytes(v, ExtScheme::TwoBit)
+            );
+        }
+    }
+
+    #[test]
+    fn pattern_indexing_roundtrips() {
+        for p in SigPattern::all() {
+            assert_eq!(SigPattern::from_index(p.index()), p);
+        }
+        assert_eq!(SigPattern::all().count(), 8);
+    }
+
+    #[test]
+    fn exactly_four_prefix_patterns() {
+        let prefix: Vec<String> = SigPattern::all()
+            .filter(|p| p.is_prefix_pattern())
+            .map(|p| p.notation())
+            .collect();
+        assert_eq!(prefix.len(), 4);
+        for n in ["eees", "eess", "esss", "ssss"] {
+            assert!(prefix.iter().any(|p| p == n), "missing {n}");
+        }
+    }
+
+    #[test]
+    fn scheme_overheads_match_paper() {
+        assert_eq!(ExtScheme::TwoBit.overhead_bits(), 2);
+        assert_eq!(ExtScheme::ThreeBit.overhead_bits(), 3);
+        assert_eq!(ExtScheme::Halfword.overhead_bits(), 1);
+        assert!((ExtScheme::ThreeBit.overhead_fraction() - 0.09375).abs() < 1e-12);
+        assert!((ExtScheme::TwoBit.overhead_fraction() - 0.0625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ExtScheme::ThreeBit.to_string(), "3-bit");
+        assert_eq!(ExtScheme::TwoBit.to_string(), "2-bit");
+        assert_eq!(ExtScheme::Halfword.to_string(), "halfword");
+        assert_eq!(SigPattern::of(0).to_string(), "eees");
+    }
+
+    #[test]
+    fn stored_bits_account_for_overhead() {
+        let c = CompressedWord::compress(0x4, ExtScheme::ThreeBit);
+        assert_eq!(c.stored_bits(), 11);
+        let c2 = CompressedWord::compress(0xdead_beef, ExtScheme::ThreeBit);
+        assert_eq!(c2.stored_bits(), 35);
+        let h = CompressedWord::compress(0x4, ExtScheme::Halfword);
+        assert_eq!(h.stored_bits(), 17);
+    }
+}

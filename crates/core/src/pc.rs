@@ -1,0 +1,252 @@
+//! Program-counter update activity (§2.2 and Table 2 of the paper).
+//!
+//! The PC is updated block-serially: the low-order block is always
+//! incremented, and higher blocks are touched only when the carry ripples
+//! into them (or when a taken branch changes them). For a block of *k* bits
+//! the expected number of blocks touched per sequential increment is
+//! `1 / (1 − 2⁻ᵏ)`, giving the activity/latency columns of Table 2.
+//!
+//! Because instructions are word aligned, the incremented portion of the PC
+//! is its upper 30 bits; the conventional design charges 30 bits of activity
+//! per update, which is the baseline used for the "73 % PC activity saving"
+//! row of Table 5.
+
+/// Number of PC bits that participate in the increment (word-aligned PCs).
+pub const PC_BITS: u32 = 30;
+
+/// One row of Table 2: expected activity (bits operated) and latency
+/// (cycles) per PC update for a given block size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PcUpdateRow {
+    /// Block size in bits.
+    pub block_bits: u32,
+    /// Expected bits operated per update.
+    pub activity_bits: f64,
+    /// Expected cycles per update (blocks touched).
+    pub latency_cycles: f64,
+}
+
+/// The analytic model behind Table 2: for a block of `block_bits` bits, a
+/// sequential increment touches `1/(1−2⁻ᵏ)` blocks in expectation.
+///
+/// # Panics
+///
+/// Panics if `block_bits` is zero.
+#[must_use]
+pub fn pc_update_analytic(block_bits: u32) -> PcUpdateRow {
+    assert!(block_bits > 0, "block size must be positive");
+    let p_carry = 0.5_f64.powi(block_bits as i32);
+    let blocks = 1.0 / (1.0 - p_carry);
+    PcUpdateRow {
+        block_bits,
+        activity_bits: f64::from(block_bits) * blocks,
+        latency_cycles: blocks,
+    }
+}
+
+/// The full Table 2 (block sizes 1–8 bits).
+#[must_use]
+pub fn pc_update_table() -> Vec<PcUpdateRow> {
+    (1..=8).map(pc_update_analytic).collect()
+}
+
+/// Simulates block-serial PC updates over an actual PC stream, counting the
+/// blocks (and bits) that really change, including arbitrary redirects from
+/// taken branches.
+#[derive(Debug, Clone)]
+pub struct PcActivity {
+    block_bits: u32,
+    previous_pc: Option<u32>,
+    updates: u64,
+    blocks_touched: u64,
+    max_blocks_per_update: u64,
+}
+
+impl PcActivity {
+    /// Creates a tracker for the given block size (8 for the byte-serial
+    /// machines of the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_bits` is zero or larger than [`PC_BITS`].
+    #[must_use]
+    pub fn new(block_bits: u32) -> Self {
+        assert!(block_bits > 0 && block_bits <= PC_BITS);
+        PcActivity {
+            block_bits,
+            previous_pc: None,
+            updates: 0,
+            blocks_touched: 0,
+            max_blocks_per_update: 0,
+        }
+    }
+
+    /// Number of blocks the incrementer is split into (the top block may be
+    /// narrower).
+    #[must_use]
+    pub fn num_blocks(&self) -> u32 {
+        PC_BITS.div_ceil(self.block_bits)
+    }
+
+    /// Observes the PC of the next retired instruction. Returns the number of
+    /// blocks that changed relative to the previous PC (0 for the first
+    /// observation).
+    pub fn observe(&mut self, pc: u32) -> u32 {
+        let changed = match self.previous_pc {
+            None => 0,
+            Some(prev) => self.changed_blocks(prev, pc),
+        };
+        if self.previous_pc.is_some() {
+            self.updates += 1;
+            self.blocks_touched += u64::from(changed.max(1));
+            self.max_blocks_per_update = self.max_blocks_per_update.max(u64::from(changed.max(1)));
+        }
+        self.previous_pc = Some(pc);
+        changed
+    }
+
+    fn changed_blocks(&self, prev: u32, next: u32) -> u32 {
+        // Compare the word-aligned upper 30 bits block by block.
+        let diff = (prev >> 2) ^ (next >> 2);
+        let mut changed = 0;
+        let mut bit = 0;
+        while bit < PC_BITS {
+            let width = self.block_bits.min(PC_BITS - bit);
+            let mask = if width == 32 { u32::MAX } else { (1 << width) - 1 };
+            if (diff >> bit) & mask != 0 {
+                changed += 1;
+            }
+            bit += width;
+        }
+        changed
+    }
+
+    /// Number of PC updates observed (transitions, not instructions).
+    #[must_use]
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    /// Average blocks touched per update (≈ `1/(1−2⁻ᵏ)` for sequential code).
+    #[must_use]
+    pub fn mean_blocks_per_update(&self) -> f64 {
+        if self.updates == 0 {
+            0.0
+        } else {
+            self.blocks_touched as f64 / self.updates as f64
+        }
+    }
+
+    /// Bits of latch/increment activity under block-serial updating.
+    #[must_use]
+    pub fn compressed_bits(&self) -> u64 {
+        self.blocks_touched * u64::from(self.block_bits)
+    }
+
+    /// Bits of activity for the conventional full-width PC update.
+    #[must_use]
+    pub fn baseline_bits(&self) -> u64 {
+        self.updates * u64::from(PC_BITS)
+    }
+
+    /// Worst-case blocks touched by a single update seen so far.
+    #[must_use]
+    pub fn max_blocks_per_update(&self) -> u64 {
+        self.max_blocks_per_update
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_matches_the_paper_numbers() {
+        // Table 2 of the paper, (block bits, activity, latency).
+        let expected = [
+            (1, 2.0000, 2.0000),
+            (2, 2.6667, 1.3333),
+            (3, 3.4286, 1.1429),
+            (4, 4.2667, 1.0667),
+            (5, 5.1613, 1.0323),
+            (6, 6.0952, 1.0159),
+            (7, 7.0551, 1.0079),
+            (8, 8.0314, 1.0039),
+        ];
+        for (bits, activity, latency) in expected {
+            let row = pc_update_analytic(bits);
+            assert!(
+                (row.activity_bits - activity).abs() < 5e-4,
+                "block {bits}: activity {} vs {activity}",
+                row.activity_bits
+            );
+            assert!(
+                (row.latency_cycles - latency).abs() < 5e-4,
+                "block {bits}: latency {} vs {latency}",
+                row.latency_cycles
+            );
+        }
+        assert_eq!(pc_update_table().len(), 8);
+    }
+
+    #[test]
+    fn byte_serial_pc_saving_is_about_73_percent() {
+        // A purely sequential PC stream reproduces the analytic expectation,
+        // and the activity saving vs a 30-bit update is ~73 % (Table 5).
+        let mut pc = PcActivity::new(8);
+        let mut addr = 0x0040_0000u32;
+        for _ in 0..200_000 {
+            pc.observe(addr);
+            addr += 4;
+        }
+        let saving = 1.0 - pc.compressed_bits() as f64 / pc.baseline_bits() as f64;
+        assert!(
+            (saving - 0.732).abs() < 0.01,
+            "saving {saving} should be ≈ 73 %"
+        );
+        assert!((pc.mean_blocks_per_update() - 1.0039).abs() < 0.01);
+    }
+
+    #[test]
+    fn taken_branches_touch_more_blocks() {
+        let mut pc = PcActivity::new(8);
+        pc.observe(0x0040_0000);
+        let seq = pc.observe(0x0040_0004);
+        assert_eq!(seq, 1);
+        let jump = pc.observe(0x1040_0000); // far target: upper block changes too
+        assert!(jump >= 2);
+        assert!(pc.max_blocks_per_update() >= 2);
+    }
+
+    #[test]
+    fn first_observation_costs_nothing() {
+        let mut pc = PcActivity::new(8);
+        assert_eq!(pc.observe(0x0040_0000), 0);
+        assert_eq!(pc.updates(), 0);
+        assert_eq!(pc.mean_blocks_per_update(), 0.0);
+    }
+
+    #[test]
+    fn unchanged_pc_still_counts_one_block() {
+        // A stalled PC (same address twice) still clocks the low block.
+        let mut pc = PcActivity::new(8);
+        pc.observe(0x0040_0000);
+        pc.observe(0x0040_0000);
+        assert_eq!(pc.updates(), 1);
+        assert_eq!(pc.compressed_bits(), 8);
+    }
+
+    #[test]
+    fn block_count_covers_all_30_bits() {
+        assert_eq!(PcActivity::new(8).num_blocks(), 4);
+        assert_eq!(PcActivity::new(16).num_blocks(), 2);
+        assert_eq!(PcActivity::new(30).num_blocks(), 1);
+        assert_eq!(PcActivity::new(7).num_blocks(), 5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_block_size_panics() {
+        let _ = PcActivity::new(0);
+    }
+}

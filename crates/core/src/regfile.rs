@@ -1,0 +1,199 @@
+//! Byte-banked register-file activity (§2.4 and §2.7 of the paper).
+//!
+//! The register file is split into byte-wide banks. A read always accesses
+//! the low-order bank together with the extension bits; the remaining banks
+//! are accessed only when the extension bits say the corresponding bytes are
+//! significant. Writes behave symmetrically during write-back. The paper
+//! reports average activity savings of ≈ 47 % for reads and ≈ 42 % for
+//! writes at byte granularity.
+
+use crate::ext::{significant_bytes, ExtScheme};
+
+/// Width of a conventional register-file access in bits.
+pub const BASELINE_ACCESS_BITS: u64 = 32;
+
+/// Accumulates register-file read/write activity under significance
+/// compression and for the conventional 32-bit register file.
+///
+/// ```
+/// use sigcomp::regfile::RegFileActivity;
+/// use sigcomp::ext::ExtScheme;
+///
+/// let mut rf = RegFileActivity::new(ExtScheme::ThreeBit);
+/// rf.read(0x0000_0004);             // one significant byte
+/// rf.write(0xffff_fff0);            // one significant byte
+/// assert_eq!(rf.read_compressed_bits(), 8 + 3);
+/// assert_eq!(rf.read_baseline_bits(), 32);
+/// assert!(rf.read_saving() > 0.6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RegFileActivity {
+    scheme: ExtScheme,
+    reads: u64,
+    writes: u64,
+    read_bytes: u64,
+    write_bytes: u64,
+}
+
+impl RegFileActivity {
+    /// Creates an empty accumulator for the given extension scheme.
+    #[must_use]
+    pub fn new(scheme: ExtScheme) -> Self {
+        RegFileActivity {
+            scheme,
+            reads: 0,
+            writes: 0,
+            read_bytes: 0,
+            write_bytes: 0,
+        }
+    }
+
+    /// The extension scheme in use.
+    #[must_use]
+    pub fn scheme(&self) -> ExtScheme {
+        self.scheme
+    }
+
+    /// Records a register read of `value`. Returns the number of bytes (i.e.
+    /// banks) that had to be accessed.
+    pub fn read(&mut self, value: u32) -> u8 {
+        let bytes = significant_bytes(value, self.scheme);
+        self.reads += 1;
+        self.read_bytes += u64::from(bytes);
+        bytes
+    }
+
+    /// Records a register write of `value`. Returns the number of bytes
+    /// written.
+    pub fn write(&mut self, value: u32) -> u8 {
+        let bytes = significant_bytes(value, self.scheme);
+        self.writes += 1;
+        self.write_bytes += u64::from(bytes);
+        bytes
+    }
+
+    /// Number of read accesses observed.
+    #[must_use]
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Number of write accesses observed.
+    #[must_use]
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Bits read under compression (data banks plus extension bits).
+    #[must_use]
+    pub fn read_compressed_bits(&self) -> u64 {
+        self.read_bytes * 8 + self.reads * u64::from(self.scheme.overhead_bits())
+    }
+
+    /// Bits read by the conventional register file.
+    #[must_use]
+    pub fn read_baseline_bits(&self) -> u64 {
+        self.reads * BASELINE_ACCESS_BITS
+    }
+
+    /// Bits written under compression (data banks plus extension bits).
+    #[must_use]
+    pub fn write_compressed_bits(&self) -> u64 {
+        self.write_bytes * 8 + self.writes * u64::from(self.scheme.overhead_bits())
+    }
+
+    /// Bits written by the conventional register file.
+    #[must_use]
+    pub fn write_baseline_bits(&self) -> u64 {
+        self.writes * BASELINE_ACCESS_BITS
+    }
+
+    /// Fractional read-activity saving (0 when nothing was observed).
+    #[must_use]
+    pub fn read_saving(&self) -> f64 {
+        saving(self.read_compressed_bits(), self.read_baseline_bits())
+    }
+
+    /// Fractional write-activity saving (0 when nothing was observed).
+    #[must_use]
+    pub fn write_saving(&self) -> f64 {
+        saving(self.write_compressed_bits(), self.write_baseline_bits())
+    }
+
+    /// Average banks accessed per read.
+    #[must_use]
+    pub fn mean_read_bytes(&self) -> f64 {
+        if self.reads == 0 {
+            0.0
+        } else {
+            self.read_bytes as f64 / self.reads as f64
+        }
+    }
+}
+
+fn saving(compressed: u64, baseline: u64) -> f64 {
+    if baseline == 0 {
+        0.0
+    } else {
+        1.0 - compressed as f64 / baseline as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn narrow_values_touch_one_bank() {
+        let mut rf = RegFileActivity::new(ExtScheme::ThreeBit);
+        assert_eq!(rf.read(7), 1);
+        assert_eq!(rf.read(-1i32 as u32), 1);
+        assert_eq!(rf.read(0x1234_5678), 4);
+        assert_eq!(rf.reads(), 3);
+        assert!((rf.mean_read_bytes() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn savings_reflect_the_value_mix() {
+        let mut rf = RegFileActivity::new(ExtScheme::ThreeBit);
+        for _ in 0..90 {
+            rf.read(5);
+            rf.write(5);
+        }
+        for _ in 0..10 {
+            rf.read(0xdead_beef);
+            rf.write(0xdead_beef);
+        }
+        // 90 % one-byte + 10 % four-byte ≈ 1.3 bytes + 3 ext bits = 13.4 bits
+        // vs 32 → ≈ 58 % saving.
+        assert!(rf.read_saving() > 0.5 && rf.read_saving() < 0.65);
+        assert!((rf.read_saving() - rf.write_saving()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn halfword_scheme_saves_less() {
+        let mut byte = RegFileActivity::new(ExtScheme::ThreeBit);
+        let mut half = RegFileActivity::new(ExtScheme::Halfword);
+        for v in [5u32, 0xffff_fff0, 0x1234, 0x0001_0000] {
+            byte.read(v);
+            half.read(v);
+        }
+        assert!(byte.read_saving() > half.read_saving());
+    }
+
+    #[test]
+    fn empty_accumulator_reports_zero_saving() {
+        let rf = RegFileActivity::new(ExtScheme::ThreeBit);
+        assert_eq!(rf.read_saving(), 0.0);
+        assert_eq!(rf.write_saving(), 0.0);
+        assert_eq!(rf.mean_read_bytes(), 0.0);
+    }
+
+    #[test]
+    fn overhead_bits_are_charged_per_access() {
+        let mut rf = RegFileActivity::new(ExtScheme::TwoBit);
+        rf.read(1);
+        rf.read(1);
+        assert_eq!(rf.read_compressed_bits(), 2 * (8 + 2));
+    }
+}

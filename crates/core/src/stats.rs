@@ -1,0 +1,457 @@
+//! Trace-level significance statistics (Tables 1 and 3 and the §2.3
+//! instruction-mix numbers of the paper).
+
+use crate::ext::SigPattern;
+use sigcomp_isa::{ExecRecord, Format, Op, OpClass};
+use std::collections::HashMap;
+
+/// One row of the significant-byte-pattern histogram (Table 1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PatternRow {
+    /// The pattern (paper notation, e.g. `eees`).
+    pub pattern: SigPattern,
+    /// Fraction of observed operand values with this pattern, in percent.
+    pub percent: f64,
+    /// Cumulative percentage including this row.
+    pub cumulative: f64,
+}
+
+/// One row of the function-code frequency table (Table 3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctRow {
+    /// The R-format operation.
+    pub op: Op,
+    /// Fraction of R-format instructions that use this function code, in
+    /// percent.
+    pub percent: f64,
+    /// Cumulative percentage including this row.
+    pub cumulative: f64,
+}
+
+/// Aggregated significance statistics over a dynamic trace.
+///
+/// Feed every retired instruction to [`SigStats::observe`]; the accessors
+/// then reproduce the paper's characterization tables:
+///
+/// * [`SigStats::pattern_table`] — Table 1 (byte-pattern frequencies of
+///   operand values),
+/// * [`SigStats::funct_table`] — Table 3 (dynamic function-code frequencies),
+/// * [`SigStats::format_fractions`], [`SigStats::immediate_8bit_fraction`] —
+///   the instruction-mix numbers quoted in §2.3.
+#[derive(Debug, Clone, Default)]
+pub struct SigStats {
+    /// Histogram over the 8 three-bit patterns, indexed by [`SigPattern::index`].
+    pattern_counts: [u64; 8],
+    values_observed: u64,
+    funct_counts: HashMap<Op, u64>,
+    r_format: u64,
+    i_format: u64,
+    j_format: u64,
+    instructions: u64,
+    with_immediate: u64,
+    immediate_fits_8bit: u64,
+    mem_instructions: u64,
+    addition_instructions: u64,
+    branch_instructions: u64,
+    taken_branches: u64,
+}
+
+impl SigStats {
+    /// Creates an empty statistics collector.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Observes one retired instruction.
+    pub fn observe(&mut self, rec: &ExecRecord) {
+        self.instructions += 1;
+        let op = rec.instr.op;
+
+        match op.format() {
+            Format::R => {
+                self.r_format += 1;
+                *self.funct_counts.entry(op).or_insert(0) += 1;
+            }
+            Format::I => self.i_format += 1,
+            Format::J => self.j_format += 1,
+        }
+
+        if op.format() == Format::I {
+            self.with_immediate += 1;
+            let imm = rec.instr.imm_se();
+            let fits = if op.zero_extends_imm() {
+                rec.instr.imm_ze() <= 0xff
+            } else {
+                (-128..=127).contains(&imm)
+            };
+            if fits {
+                self.immediate_fits_8bit += 1;
+            }
+        }
+
+        if op.is_load() || op.is_store() {
+            self.mem_instructions += 1;
+        }
+        if matches!(op.class(), OpClass::Alu) || op.is_load() || op.is_store() || op.is_branch() {
+            // The operations that require an addition (§2.5: "additions/
+            // subtractions, memory instructions, and branches").
+            self.addition_instructions += 1;
+        }
+        if op.is_branch() {
+            self.branch_instructions += 1;
+            if rec.is_taken_branch() {
+                self.taken_branches += 1;
+            }
+        }
+
+        for value in rec.source_values() {
+            self.observe_value(value);
+        }
+    }
+
+    /// Observes a single operand value (used directly by synthetic traces).
+    pub fn observe_value(&mut self, value: u32) {
+        self.pattern_counts[SigPattern::of(value).index()] += 1;
+        self.values_observed += 1;
+    }
+
+    /// Total retired instructions observed.
+    #[must_use]
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// Total operand values observed.
+    #[must_use]
+    pub fn values_observed(&self) -> u64 {
+        self.values_observed
+    }
+
+    /// Table 1: pattern frequencies sorted by decreasing frequency.
+    #[must_use]
+    pub fn pattern_table(&self) -> Vec<PatternRow> {
+        let total: u64 = self.pattern_counts.iter().sum();
+        let mut rows: Vec<(SigPattern, u64)> = SigPattern::all()
+            .map(|p| (p, self.pattern_counts[p.index()]))
+            .collect();
+        rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.index().cmp(&b.0.index())));
+        let mut cumulative = 0.0;
+        rows.into_iter()
+            .map(|(pattern, count)| {
+                let percent = if total == 0 {
+                    0.0
+                } else {
+                    100.0 * count as f64 / total as f64
+                };
+                cumulative += percent;
+                PatternRow {
+                    pattern,
+                    percent,
+                    cumulative,
+                }
+            })
+            .collect()
+    }
+
+    /// The fraction (in percent) of operand values covered by the four
+    /// patterns expressible with the two-bit scheme. The paper reports ≈ 94 %.
+    #[must_use]
+    pub fn prefix_pattern_coverage(&self) -> f64 {
+        let total: u64 = self.pattern_counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let covered: u64 = SigPattern::all()
+            .filter(|p| p.is_prefix_pattern())
+            .map(|p| self.pattern_counts[p.index()])
+            .sum();
+        100.0 * covered as f64 / total as f64
+    }
+
+    /// Average number of significant bytes per observed operand value.
+    #[must_use]
+    pub fn mean_significant_bytes(&self) -> f64 {
+        let total: u64 = self.pattern_counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let weighted: u64 = SigPattern::all()
+            .map(|p| u64::from(p.significant_bytes()) * self.pattern_counts[p.index()])
+            .sum();
+        weighted as f64 / total as f64
+    }
+
+    /// Table 3: dynamic function-code frequencies among R-format
+    /// instructions, sorted by decreasing frequency.
+    #[must_use]
+    pub fn funct_table(&self) -> Vec<FunctRow> {
+        let total: u64 = self.funct_counts.values().sum();
+        let mut rows: Vec<(Op, u64)> = self
+            .funct_counts
+            .iter()
+            .map(|(&op, &count)| (op, count))
+            .collect();
+        rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.mnemonic().cmp(b.0.mnemonic())));
+        let mut cumulative = 0.0;
+        rows.into_iter()
+            .map(|(op, count)| {
+                let percent = if total == 0 {
+                    0.0
+                } else {
+                    100.0 * count as f64 / total as f64
+                };
+                cumulative += percent;
+                FunctRow {
+                    op,
+                    percent,
+                    cumulative,
+                }
+            })
+            .collect()
+    }
+
+    /// The raw per-operation dynamic counts of R-format instructions, used to
+    /// build a [`FunctRecoder`](crate::ifetch::FunctRecoder) profile.
+    #[must_use]
+    pub fn funct_counts(&self) -> &HashMap<Op, u64> {
+        &self.funct_counts
+    }
+
+    /// Fractions (in percent) of R-, I- and J-format instructions. The paper
+    /// quotes roughly 41 % / 57 % / 2 % for the Mediabench suite.
+    #[must_use]
+    pub fn format_fractions(&self) -> (f64, f64, f64) {
+        if self.instructions == 0 {
+            return (0.0, 0.0, 0.0);
+        }
+        let t = self.instructions as f64;
+        (
+            100.0 * self.r_format as f64 / t,
+            100.0 * self.i_format as f64 / t,
+            100.0 * self.j_format as f64 / t,
+        )
+    }
+
+    /// Fraction (in percent) of instructions that carry an immediate. The
+    /// paper reports 59.1 %.
+    #[must_use]
+    pub fn immediate_fraction(&self) -> f64 {
+        if self.instructions == 0 {
+            return 0.0;
+        }
+        100.0 * self.with_immediate as f64 / self.instructions as f64
+    }
+
+    /// Fraction (in percent) of immediates that fit in 8 bits. The paper
+    /// reports ≈ 80 %.
+    #[must_use]
+    pub fn immediate_8bit_fraction(&self) -> f64 {
+        if self.with_immediate == 0 {
+            return 0.0;
+        }
+        100.0 * self.immediate_fits_8bit as f64 / self.with_immediate as f64
+    }
+
+    /// Fraction (in percent) of instructions that access memory. The paper's
+    /// bandwidth analysis in §5 uses "around one third".
+    #[must_use]
+    pub fn memory_fraction(&self) -> f64 {
+        if self.instructions == 0 {
+            return 0.0;
+        }
+        100.0 * self.mem_instructions as f64 / self.instructions as f64
+    }
+
+    /// Fraction (in percent) of instructions that require an addition
+    /// (arithmetic, memory and branch instructions). The paper reports 70.7 %.
+    #[must_use]
+    pub fn addition_fraction(&self) -> f64 {
+        if self.instructions == 0 {
+            return 0.0;
+        }
+        100.0 * self.addition_instructions as f64 / self.instructions as f64
+    }
+
+    /// Fraction (in percent) of instructions that are conditional branches,
+    /// and the taken rate among them.
+    #[must_use]
+    pub fn branch_fractions(&self) -> (f64, f64) {
+        if self.instructions == 0 {
+            return (0.0, 0.0);
+        }
+        let branch_pct = 100.0 * self.branch_instructions as f64 / self.instructions as f64;
+        let taken_pct = if self.branch_instructions == 0 {
+            0.0
+        } else {
+            100.0 * self.taken_branches as f64 / self.branch_instructions as f64
+        };
+        (branch_pct, taken_pct)
+    }
+
+    /// Merges another collector into this one (used to aggregate benchmarks).
+    pub fn merge(&mut self, other: &SigStats) {
+        for i in 0..8 {
+            self.pattern_counts[i] += other.pattern_counts[i];
+        }
+        self.values_observed += other.values_observed;
+        for (&op, &count) in &other.funct_counts {
+            *self.funct_counts.entry(op).or_insert(0) += count;
+        }
+        self.r_format += other.r_format;
+        self.i_format += other.i_format;
+        self.j_format += other.j_format;
+        self.instructions += other.instructions;
+        self.with_immediate += other.with_immediate;
+        self.immediate_fits_8bit += other.immediate_fits_8bit;
+        self.mem_instructions += other.mem_instructions;
+        self.addition_instructions += other.addition_instructions;
+        self.branch_instructions += other.branch_instructions;
+        self.taken_branches += other.taken_branches;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigcomp_isa::{reg, Instruction};
+
+    fn rec(instr: Instruction, rs: Option<u32>, rt: Option<u32>, taken: bool) -> ExecRecord {
+        ExecRecord {
+            seq: 0,
+            pc: 0x0040_0000,
+            word: instr.encode(),
+            instr,
+            rs_value: rs,
+            rt_value: rt,
+            writeback: None,
+            mem: None,
+            branch: instr.op.is_control().then_some(sigcomp_isa::BranchOutcome {
+                taken,
+                target: 0x0040_0100,
+            }),
+        }
+    }
+
+    #[test]
+    fn pattern_table_orders_by_frequency_and_accumulates() {
+        let mut s = SigStats::new();
+        for _ in 0..60 {
+            s.observe_value(3); // eees
+        }
+        for _ in 0..30 {
+            s.observe_value(0x1234); // eess
+        }
+        for _ in 0..10 {
+            s.observe_value(0xdead_beef); // ssss
+        }
+        let table = s.pattern_table();
+        assert_eq!(table[0].pattern.notation(), "eees");
+        assert!((table[0].percent - 60.0).abs() < 1e-9);
+        assert!((table[1].percent - 30.0).abs() < 1e-9);
+        assert!((table.last().unwrap().cumulative - 100.0).abs() < 1e-9);
+        assert_eq!(table.len(), 8);
+        assert!((s.prefix_pattern_coverage() - 100.0).abs() < 1e-9);
+        assert!((s.mean_significant_bytes() - (0.6 + 0.3 * 2.0 + 0.1 * 4.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn funct_table_counts_r_format_only() {
+        let mut s = SigStats::new();
+        let addu = Instruction::r3(Op::Addu, reg::T0, reg::T1, reg::T2);
+        let sll = Instruction::shift_imm(Op::Sll, reg::T0, reg::T1, 2);
+        let addiu = Instruction::imm(Op::Addiu, reg::T0, reg::T1, 1);
+        for _ in 0..3 {
+            s.observe(&rec(addu, Some(1), Some(2), false));
+        }
+        s.observe(&rec(sll, None, Some(2), false));
+        s.observe(&rec(addiu, Some(1), None, false));
+        let table = s.funct_table();
+        assert_eq!(table[0].op, Op::Addu);
+        assert!((table[0].percent - 75.0).abs() < 1e-9);
+        assert!((table.last().unwrap().cumulative - 100.0).abs() < 1e-9);
+        let (r, i, j) = s.format_fractions();
+        assert!((r - 80.0).abs() < 1e-9);
+        assert!((i - 20.0).abs() < 1e-9);
+        assert_eq!(j, 0.0);
+    }
+
+    #[test]
+    fn immediate_and_memory_fractions() {
+        let mut s = SigStats::new();
+        s.observe(&rec(
+            Instruction::imm(Op::Addiu, reg::T0, reg::T1, 5),
+            Some(1),
+            None,
+            false,
+        ));
+        s.observe(&rec(
+            Instruction::imm(Op::Addiu, reg::T0, reg::T1, 1000),
+            Some(1),
+            None,
+            false,
+        ));
+        s.observe(&rec(
+            Instruction::imm(Op::Lw, reg::T0, reg::A0, 4),
+            Some(0x1000_0000),
+            None,
+            false,
+        ));
+        s.observe(&rec(
+            Instruction::r3(Op::Addu, reg::T0, reg::T1, reg::T2),
+            Some(1),
+            Some(2),
+            false,
+        ));
+        assert!((s.immediate_fraction() - 75.0).abs() < 1e-9);
+        assert!((s.immediate_8bit_fraction() - 2.0 / 3.0 * 100.0).abs() < 1e-9);
+        assert!((s.memory_fraction() - 25.0).abs() < 1e-9);
+        assert!((s.addition_fraction() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn branch_fractions_and_taken_rate() {
+        let mut s = SigStats::new();
+        let beq = Instruction::imm(Op::Beq, reg::T0, reg::T1, 4);
+        s.observe(&rec(beq, Some(1), Some(1), true));
+        s.observe(&rec(beq, Some(1), Some(2), false));
+        s.observe(&rec(
+            Instruction::r3(Op::Addu, reg::T0, reg::T1, reg::T2),
+            Some(1),
+            Some(2),
+            false,
+        ));
+        let (pct, taken) = s.branch_fractions();
+        assert!((pct - 2.0 / 3.0 * 100.0).abs() < 1e-9);
+        assert!((taken - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_aggregates_everything() {
+        let mut a = SigStats::new();
+        let mut b = SigStats::new();
+        a.observe_value(1);
+        b.observe_value(0x10000);
+        b.observe(&rec(
+            Instruction::r3(Op::Xor, reg::T0, reg::T1, reg::T2),
+            Some(1),
+            Some(2),
+            false,
+        ));
+        a.merge(&b);
+        assert_eq!(a.values_observed(), 4); // 1 + 1 + two operands of the xor
+        assert_eq!(a.instructions(), 1);
+        assert_eq!(a.funct_counts().get(&Op::Xor), Some(&1));
+    }
+
+    #[test]
+    fn empty_stats_are_all_zero() {
+        let s = SigStats::new();
+        assert_eq!(s.pattern_table().iter().map(|r| r.percent).sum::<f64>(), 0.0);
+        assert_eq!(s.prefix_pattern_coverage(), 0.0);
+        assert_eq!(s.mean_significant_bytes(), 0.0);
+        assert_eq!(s.immediate_fraction(), 0.0);
+        assert_eq!(s.immediate_8bit_fraction(), 0.0);
+        assert_eq!(s.branch_fractions(), (0.0, 0.0));
+    }
+}

@@ -1,0 +1,633 @@
+//! A small assembler: build programs with labelled branches and a data
+//! segment, then assemble them into a [`Program`].
+
+use crate::error::IsaError;
+use crate::instr::Instruction;
+use crate::op::Op;
+use crate::program::{Program, DEFAULT_DATA_BASE, DEFAULT_STACK_TOP, DEFAULT_TEXT_BASE};
+use crate::reg::{self, Reg};
+use std::collections::HashMap;
+
+/// One emitted text item; pseudo-instructions are expanded at emit time so
+/// every item occupies exactly one instruction word.
+#[derive(Debug, Clone)]
+enum Item {
+    /// A fully resolved instruction.
+    Fixed(Instruction),
+    /// A conditional branch to a label (PC-relative fixup).
+    Branch { op: Op, rs: Reg, rt: Reg, label: String },
+    /// A jump (J/JAL) to a text label (absolute fixup).
+    Jump { op: Op, label: String },
+    /// `lui rt, %hi(label)` where the label lives in the data segment.
+    LuiData { rt: Reg, label: String },
+    /// `ori rt, rt, %lo(label)` where the label lives in the data segment.
+    OriData { rt: Reg, label: String },
+}
+
+/// Builds a [`Program`] instruction by instruction.
+///
+/// Branch and jump targets are symbolic labels resolved by
+/// [`ProgramBuilder::assemble`]. Data can be placed in the data segment with
+/// [`ProgramBuilder::word`] and friends and addressed with
+/// [`ProgramBuilder::la`].
+///
+/// ```
+/// use sigcomp_isa::{ProgramBuilder, reg};
+/// # fn main() -> Result<(), sigcomp_isa::IsaError> {
+/// let mut b = ProgramBuilder::new();
+/// b.dlabel("table");
+/// b.word(7);
+/// b.la(reg::A0, "table");
+/// b.lw(reg::T0, reg::A0, 0);
+/// b.halt();
+/// let p = b.assemble()?;
+/// assert!(p.len() >= 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProgramBuilder {
+    items: Vec<Item>,
+    text_labels: HashMap<String, u32>,
+    data: Vec<u8>,
+    data_labels: HashMap<String, u32>,
+    text_base: u32,
+    data_base: u32,
+    stack_top: u32,
+}
+
+impl Default for ProgramBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ProgramBuilder {
+    /// Creates a builder with the default memory map (text at
+    /// `0x0040_0000`, data at `0x1000_0000`, stack near the top of memory).
+    #[must_use]
+    pub fn new() -> Self {
+        ProgramBuilder {
+            items: Vec::new(),
+            text_labels: HashMap::new(),
+            data: Vec::new(),
+            data_labels: HashMap::new(),
+            text_base: DEFAULT_TEXT_BASE,
+            data_base: DEFAULT_DATA_BASE,
+            stack_top: DEFAULT_STACK_TOP,
+        }
+    }
+
+    /// Overrides the data segment base address.
+    pub fn with_data_base(mut self, base: u32) -> Self {
+        self.data_base = base;
+        self
+    }
+
+    /// Overrides the text segment base address.
+    pub fn with_text_base(mut self, base: u32) -> Self {
+        self.text_base = base;
+        self
+    }
+
+    /// Current instruction index (useful for size accounting in tests).
+    #[must_use]
+    pub fn here(&self) -> u32 {
+        self.items.len() as u32
+    }
+
+    // ---- labels -----------------------------------------------------------
+
+    /// Defines a text label at the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already defined (this is a programming error
+    /// in the kernel being built).
+    pub fn label(&mut self, name: &str) {
+        let prev = self.text_labels.insert(name.to_owned(), self.here());
+        assert!(prev.is_none(), "duplicate text label `{name}`");
+    }
+
+    /// Defines a data label at the current end of the data segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already defined.
+    pub fn dlabel(&mut self, name: &str) {
+        let prev = self
+            .data_labels
+            .insert(name.to_owned(), self.data.len() as u32);
+        assert!(prev.is_none(), "duplicate data label `{name}`");
+    }
+
+    // ---- data segment -----------------------------------------------------
+
+    /// Appends a 32-bit word (little-endian) to the data segment.
+    pub fn word(&mut self, value: u32) {
+        self.data.extend_from_slice(&value.to_le_bytes());
+    }
+
+    /// Appends many words to the data segment.
+    pub fn words(&mut self, values: &[u32]) {
+        for &v in values {
+            self.word(v);
+        }
+    }
+
+    /// Appends a signed 16-bit halfword to the data segment.
+    pub fn half(&mut self, value: i16) {
+        self.data.extend_from_slice(&value.to_le_bytes());
+    }
+
+    /// Appends many halfwords to the data segment.
+    pub fn halves(&mut self, values: &[i16]) {
+        for &v in values {
+            self.half(v);
+        }
+    }
+
+    /// Appends raw bytes to the data segment.
+    pub fn bytes(&mut self, values: &[u8]) {
+        self.data.extend_from_slice(values);
+    }
+
+    /// Reserves `n` zero bytes in the data segment.
+    pub fn space(&mut self, n: usize) {
+        self.data.resize(self.data.len() + n, 0);
+    }
+
+    /// Pads the data segment to the given power-of-two alignment.
+    pub fn align(&mut self, align: usize) {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        while self.data.len() % align != 0 {
+            self.data.push(0);
+        }
+    }
+
+    // ---- raw emission -----------------------------------------------------
+
+    /// Emits an already-built instruction.
+    pub fn emit(&mut self, i: Instruction) {
+        self.items.push(Item::Fixed(i));
+    }
+
+    // ---- R-format ---------------------------------------------------------
+
+    /// `addu rd, rs, rt`
+    pub fn addu(&mut self, rd: Reg, rs: Reg, rt: Reg) {
+        self.emit(Instruction::r3(Op::Addu, rd, rs, rt));
+    }
+    /// `subu rd, rs, rt`
+    pub fn subu(&mut self, rd: Reg, rs: Reg, rt: Reg) {
+        self.emit(Instruction::r3(Op::Subu, rd, rs, rt));
+    }
+    /// `and rd, rs, rt`
+    pub fn and(&mut self, rd: Reg, rs: Reg, rt: Reg) {
+        self.emit(Instruction::r3(Op::And, rd, rs, rt));
+    }
+    /// `or rd, rs, rt`
+    pub fn or(&mut self, rd: Reg, rs: Reg, rt: Reg) {
+        self.emit(Instruction::r3(Op::Or, rd, rs, rt));
+    }
+    /// `xor rd, rs, rt`
+    pub fn xor(&mut self, rd: Reg, rs: Reg, rt: Reg) {
+        self.emit(Instruction::r3(Op::Xor, rd, rs, rt));
+    }
+    /// `nor rd, rs, rt`
+    pub fn nor(&mut self, rd: Reg, rs: Reg, rt: Reg) {
+        self.emit(Instruction::r3(Op::Nor, rd, rs, rt));
+    }
+    /// `slt rd, rs, rt`
+    pub fn slt(&mut self, rd: Reg, rs: Reg, rt: Reg) {
+        self.emit(Instruction::r3(Op::Slt, rd, rs, rt));
+    }
+    /// `sltu rd, rs, rt`
+    pub fn sltu(&mut self, rd: Reg, rs: Reg, rt: Reg) {
+        self.emit(Instruction::r3(Op::Sltu, rd, rs, rt));
+    }
+    /// `sll rd, rt, shamt`
+    pub fn sll(&mut self, rd: Reg, rt: Reg, shamt: u8) {
+        self.emit(Instruction::shift_imm(Op::Sll, rd, rt, shamt));
+    }
+    /// `srl rd, rt, shamt`
+    pub fn srl(&mut self, rd: Reg, rt: Reg, shamt: u8) {
+        self.emit(Instruction::shift_imm(Op::Srl, rd, rt, shamt));
+    }
+    /// `sra rd, rt, shamt`
+    pub fn sra(&mut self, rd: Reg, rt: Reg, shamt: u8) {
+        self.emit(Instruction::shift_imm(Op::Sra, rd, rt, shamt));
+    }
+    /// `sllv rd, rt, rs`
+    pub fn sllv(&mut self, rd: Reg, rt: Reg, rs: Reg) {
+        self.emit(Instruction::r3(Op::Sllv, rd, rs, rt));
+    }
+    /// `srlv rd, rt, rs`
+    pub fn srlv(&mut self, rd: Reg, rt: Reg, rs: Reg) {
+        self.emit(Instruction::r3(Op::Srlv, rd, rs, rt));
+    }
+    /// `srav rd, rt, rs`
+    pub fn srav(&mut self, rd: Reg, rt: Reg, rs: Reg) {
+        self.emit(Instruction::r3(Op::Srav, rd, rs, rt));
+    }
+    /// `mult rs, rt`
+    pub fn mult(&mut self, rs: Reg, rt: Reg) {
+        self.emit(Instruction::r3(Op::Mult, reg::ZERO, rs, rt));
+    }
+    /// `multu rs, rt`
+    pub fn multu(&mut self, rs: Reg, rt: Reg) {
+        self.emit(Instruction::r3(Op::Multu, reg::ZERO, rs, rt));
+    }
+    /// `div rs, rt`
+    pub fn div(&mut self, rs: Reg, rt: Reg) {
+        self.emit(Instruction::r3(Op::Div, reg::ZERO, rs, rt));
+    }
+    /// `divu rs, rt`
+    pub fn divu(&mut self, rs: Reg, rt: Reg) {
+        self.emit(Instruction::r3(Op::Divu, reg::ZERO, rs, rt));
+    }
+    /// `mfhi rd`
+    pub fn mfhi(&mut self, rd: Reg) {
+        self.emit(Instruction::r3(Op::Mfhi, rd, reg::ZERO, reg::ZERO));
+    }
+    /// `mflo rd`
+    pub fn mflo(&mut self, rd: Reg) {
+        self.emit(Instruction::r3(Op::Mflo, rd, reg::ZERO, reg::ZERO));
+    }
+    /// `mthi rs`
+    pub fn mthi(&mut self, rs: Reg) {
+        self.emit(Instruction::r3(Op::Mthi, reg::ZERO, rs, reg::ZERO));
+    }
+    /// `mtlo rs`
+    pub fn mtlo(&mut self, rs: Reg) {
+        self.emit(Instruction::r3(Op::Mtlo, reg::ZERO, rs, reg::ZERO));
+    }
+    /// `jr rs`
+    pub fn jr(&mut self, rs: Reg) {
+        self.emit(Instruction::r3(Op::Jr, reg::ZERO, rs, reg::ZERO));
+    }
+    /// `jalr rd, rs`
+    pub fn jalr(&mut self, rd: Reg, rs: Reg) {
+        self.emit(Instruction::r3(Op::Jalr, rd, rs, reg::ZERO));
+    }
+
+    // ---- I-format ---------------------------------------------------------
+
+    /// `addiu rt, rs, imm`
+    pub fn addiu(&mut self, rt: Reg, rs: Reg, imm: i16) {
+        self.emit(Instruction::imm(Op::Addiu, rt, rs, imm as u16));
+    }
+    /// `slti rt, rs, imm`
+    pub fn slti(&mut self, rt: Reg, rs: Reg, imm: i16) {
+        self.emit(Instruction::imm(Op::Slti, rt, rs, imm as u16));
+    }
+    /// `sltiu rt, rs, imm`
+    pub fn sltiu(&mut self, rt: Reg, rs: Reg, imm: i16) {
+        self.emit(Instruction::imm(Op::Sltiu, rt, rs, imm as u16));
+    }
+    /// `andi rt, rs, imm`
+    pub fn andi(&mut self, rt: Reg, rs: Reg, imm: u16) {
+        self.emit(Instruction::imm(Op::Andi, rt, rs, imm));
+    }
+    /// `ori rt, rs, imm`
+    pub fn ori(&mut self, rt: Reg, rs: Reg, imm: u16) {
+        self.emit(Instruction::imm(Op::Ori, rt, rs, imm));
+    }
+    /// `xori rt, rs, imm`
+    pub fn xori(&mut self, rt: Reg, rs: Reg, imm: u16) {
+        self.emit(Instruction::imm(Op::Xori, rt, rs, imm));
+    }
+    /// `lui rt, imm`
+    pub fn lui(&mut self, rt: Reg, imm: u16) {
+        self.emit(Instruction::imm(Op::Lui, rt, reg::ZERO, imm));
+    }
+    /// `lw rt, offset(base)`
+    pub fn lw(&mut self, rt: Reg, base: Reg, offset: i16) {
+        self.emit(Instruction::imm(Op::Lw, rt, base, offset as u16));
+    }
+    /// `lh rt, offset(base)`
+    pub fn lh(&mut self, rt: Reg, base: Reg, offset: i16) {
+        self.emit(Instruction::imm(Op::Lh, rt, base, offset as u16));
+    }
+    /// `lhu rt, offset(base)`
+    pub fn lhu(&mut self, rt: Reg, base: Reg, offset: i16) {
+        self.emit(Instruction::imm(Op::Lhu, rt, base, offset as u16));
+    }
+    /// `lb rt, offset(base)`
+    pub fn lb(&mut self, rt: Reg, base: Reg, offset: i16) {
+        self.emit(Instruction::imm(Op::Lb, rt, base, offset as u16));
+    }
+    /// `lbu rt, offset(base)`
+    pub fn lbu(&mut self, rt: Reg, base: Reg, offset: i16) {
+        self.emit(Instruction::imm(Op::Lbu, rt, base, offset as u16));
+    }
+    /// `sw rt, offset(base)`
+    pub fn sw(&mut self, rt: Reg, base: Reg, offset: i16) {
+        self.emit(Instruction::imm(Op::Sw, rt, base, offset as u16));
+    }
+    /// `sh rt, offset(base)`
+    pub fn sh(&mut self, rt: Reg, base: Reg, offset: i16) {
+        self.emit(Instruction::imm(Op::Sh, rt, base, offset as u16));
+    }
+    /// `sb rt, offset(base)`
+    pub fn sb(&mut self, rt: Reg, base: Reg, offset: i16) {
+        self.emit(Instruction::imm(Op::Sb, rt, base, offset as u16));
+    }
+
+    // ---- control flow -----------------------------------------------------
+
+    /// `beq rs, rt, label`
+    pub fn beq(&mut self, rs: Reg, rt: Reg, label: &str) {
+        self.items.push(Item::Branch {
+            op: Op::Beq,
+            rs,
+            rt,
+            label: label.to_owned(),
+        });
+    }
+    /// `bne rs, rt, label`
+    pub fn bne(&mut self, rs: Reg, rt: Reg, label: &str) {
+        self.items.push(Item::Branch {
+            op: Op::Bne,
+            rs,
+            rt,
+            label: label.to_owned(),
+        });
+    }
+    /// `blez rs, label`
+    pub fn blez(&mut self, rs: Reg, label: &str) {
+        self.items.push(Item::Branch {
+            op: Op::Blez,
+            rs,
+            rt: reg::ZERO,
+            label: label.to_owned(),
+        });
+    }
+    /// `bgtz rs, label`
+    pub fn bgtz(&mut self, rs: Reg, label: &str) {
+        self.items.push(Item::Branch {
+            op: Op::Bgtz,
+            rs,
+            rt: reg::ZERO,
+            label: label.to_owned(),
+        });
+    }
+    /// `bltz rs, label`
+    pub fn bltz(&mut self, rs: Reg, label: &str) {
+        self.items.push(Item::Branch {
+            op: Op::Bltz,
+            rs,
+            rt: reg::ZERO,
+            label: label.to_owned(),
+        });
+    }
+    /// `bgez rs, label`
+    pub fn bgez(&mut self, rs: Reg, label: &str) {
+        self.items.push(Item::Branch {
+            op: Op::Bgez,
+            rs,
+            rt: reg::ZERO,
+            label: label.to_owned(),
+        });
+    }
+    /// Unconditional branch to `label` (assembled as `beq $zero, $zero, label`).
+    pub fn b(&mut self, label: &str) {
+        self.beq(reg::ZERO, reg::ZERO, label);
+    }
+    /// `j label`
+    pub fn j(&mut self, label: &str) {
+        self.items.push(Item::Jump {
+            op: Op::J,
+            label: label.to_owned(),
+        });
+    }
+    /// `jal label`
+    pub fn jal(&mut self, label: &str) {
+        self.items.push(Item::Jump {
+            op: Op::Jal,
+            label: label.to_owned(),
+        });
+    }
+
+    // ---- pseudo-instructions ----------------------------------------------
+
+    /// `nop`
+    pub fn nop(&mut self) {
+        self.emit(Instruction::NOP);
+    }
+
+    /// Halts the program (emits `break`).
+    pub fn halt(&mut self) {
+        self.emit(Instruction::r3(Op::Break, reg::ZERO, reg::ZERO, reg::ZERO));
+    }
+
+    /// `move rd, rs`
+    pub fn mov(&mut self, rd: Reg, rs: Reg) {
+        self.addu(rd, rs, reg::ZERO);
+    }
+
+    /// Loads a 32-bit constant into `rt` (1–2 instructions, chosen by value).
+    pub fn li(&mut self, rt: Reg, value: i32) {
+        let v = value as u32;
+        if (-32768..=32767).contains(&value) {
+            self.addiu(rt, reg::ZERO, value as i16);
+        } else if v <= 0xffff {
+            self.ori(rt, reg::ZERO, v as u16);
+        } else if v & 0xffff == 0 {
+            self.lui(rt, (v >> 16) as u16);
+        } else {
+            self.lui(rt, (v >> 16) as u16);
+            self.ori(rt, rt, (v & 0xffff) as u16);
+        }
+    }
+
+    /// Loads the absolute address of a data label into `rt` (always 2
+    /// instructions: `lui` + `ori`).
+    pub fn la(&mut self, rt: Reg, data_label: &str) {
+        self.items.push(Item::LuiData {
+            rt,
+            label: data_label.to_owned(),
+        });
+        self.items.push(Item::OriData {
+            rt,
+            label: data_label.to_owned(),
+        });
+    }
+
+    // ---- assembly ---------------------------------------------------------
+
+    /// Resolves all labels and produces the final [`Program`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::UndefinedLabel`] for a reference to an unknown
+    /// label and [`IsaError::BranchOutOfRange`] if a branch displacement does
+    /// not fit in 16 bits.
+    pub fn assemble(&self) -> Result<Program, IsaError> {
+        let mut text = Vec::with_capacity(self.items.len());
+        for (idx, item) in self.items.iter().enumerate() {
+            let word = match item {
+                Item::Fixed(i) => i.encode(),
+                Item::Branch { op, rs, rt, label } => {
+                    let target = *self
+                        .text_labels
+                        .get(label)
+                        .ok_or_else(|| IsaError::UndefinedLabel(label.clone()))?;
+                    // Branch offsets are relative to the instruction after the
+                    // branch, in word units.
+                    let disp = i64::from(target) - (idx as i64 + 1);
+                    if !(-32768..=32767).contains(&disp) {
+                        return Err(IsaError::BranchOutOfRange {
+                            label: label.clone(),
+                            displacement: disp,
+                        });
+                    }
+                    Instruction::imm(*op, *rt, *rs, disp as i16 as u16).encode()
+                }
+                Item::Jump { op, label } => {
+                    let target = *self
+                        .text_labels
+                        .get(label)
+                        .ok_or_else(|| IsaError::UndefinedLabel(label.clone()))?;
+                    let addr = self.text_base + target * 4;
+                    Instruction::jump(*op, addr >> 2).encode()
+                }
+                Item::LuiData { rt, label } => {
+                    let addr = self.data_addr(label)?;
+                    // Use the %hi/%lo convention that pairs with a plain ori.
+                    Instruction::imm(Op::Lui, *rt, reg::ZERO, (addr >> 16) as u16).encode()
+                }
+                Item::OriData { rt, label } => {
+                    let addr = self.data_addr(label)?;
+                    Instruction::imm(Op::Ori, *rt, *rt, (addr & 0xffff) as u16).encode()
+                }
+            };
+            text.push(word);
+        }
+        Ok(Program {
+            text_base: self.text_base,
+            text,
+            data_base: self.data_base,
+            data: self.data.clone(),
+            entry: self.text_base,
+            stack_top: self.stack_top,
+        })
+    }
+
+    fn data_addr(&self, label: &str) -> Result<u32, IsaError> {
+        self.data_labels
+            .get(label)
+            .map(|off| self.data_base + off)
+            .ok_or_else(|| IsaError::UndefinedLabel(label.to_owned()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::{A0, T0, T1};
+
+    #[test]
+    fn forward_and_backward_branches_resolve() {
+        let mut b = ProgramBuilder::new();
+        b.label("top");
+        b.addiu(T0, T0, 1);
+        b.bne(T0, T1, "top"); // backward: displacement -2
+        b.beq(T0, T1, "end"); // forward: displacement +1
+        b.nop();
+        b.label("end");
+        b.halt();
+        let p = b.assemble().unwrap();
+        let back = Instruction::decode(p.text[1]).unwrap();
+        assert_eq!(back.imm_se(), -2);
+        let fwd = Instruction::decode(p.text[2]).unwrap();
+        assert_eq!(fwd.imm_se(), 1);
+    }
+
+    #[test]
+    fn undefined_label_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        b.b("nowhere");
+        assert_eq!(
+            b.assemble().unwrap_err(),
+            IsaError::UndefinedLabel("nowhere".to_owned())
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate text label")]
+    fn duplicate_label_panics() {
+        let mut b = ProgramBuilder::new();
+        b.label("x");
+        b.label("x");
+    }
+
+    #[test]
+    fn li_chooses_minimal_encoding() {
+        let mut b = ProgramBuilder::new();
+        b.li(T0, 5); // 1 instruction
+        b.li(T0, -3); // 1 instruction
+        b.li(T0, 0xabcd); // 1 instruction (ori)
+        b.li(T0, 0x7fff_0000); // 1 instruction (lui)
+        b.li(T0, 0x1234_5678); // 2 instructions
+        assert_eq!(b.here(), 6);
+    }
+
+    #[test]
+    fn la_resolves_to_data_segment_address() {
+        let mut b = ProgramBuilder::new();
+        b.word(0); // 4 bytes before the label
+        b.dlabel("buf");
+        b.word(42);
+        b.la(A0, "buf");
+        b.halt();
+        let p = b.assemble().unwrap();
+        let lui = Instruction::decode(p.text[0]).unwrap();
+        let ori = Instruction::decode(p.text[1]).unwrap();
+        let addr = (u32::from(lui.imm) << 16) | u32::from(ori.imm);
+        assert_eq!(addr, p.data_base + 4);
+    }
+
+    #[test]
+    fn jump_targets_are_absolute_word_addresses() {
+        let mut b = ProgramBuilder::new();
+        b.nop();
+        b.label("fn");
+        b.halt();
+        b.j("fn");
+        let p = b.assemble().unwrap();
+        let j = Instruction::decode(p.text[2]).unwrap();
+        assert_eq!(j.target << 2, p.text_base + 4);
+    }
+
+    #[test]
+    fn data_section_layout() {
+        let mut b = ProgramBuilder::new();
+        b.bytes(&[1, 2, 3]);
+        b.align(4);
+        b.dlabel("w");
+        b.word(0xdead_beef);
+        b.halves(&[-1, 2]);
+        b.space(2);
+        let p = {
+            b.halt();
+            b.assemble().unwrap()
+        };
+        assert_eq!(p.data.len(), 3 + 1 + 4 + 4 + 2);
+        assert_eq!(p.data[4..8], 0xdead_beefu32.to_le_bytes());
+    }
+
+    #[test]
+    fn branch_out_of_range_detected() {
+        let mut b = ProgramBuilder::new();
+        b.label("top");
+        for _ in 0..40_000 {
+            b.nop();
+        }
+        b.b("top");
+        assert!(matches!(
+            b.assemble().unwrap_err(),
+            IsaError::BranchOutOfRange { .. }
+        ));
+    }
+}

@@ -1,0 +1,147 @@
+//! Error types for the ISA crate.
+
+use std::fmt;
+
+/// Error produced when decoding a 32-bit instruction word fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DecodeError {
+    /// The raw instruction word that could not be decoded.
+    pub word: u32,
+    /// The primary opcode field (bits 31..26).
+    pub opcode: u8,
+    /// The function field (bits 5..0), meaningful only for R-format words.
+    pub funct: u8,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cannot decode instruction word {:#010x} (opcode {:#04x}, funct {:#04x})",
+            self.word, self.opcode, self.funct
+        )
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Errors produced while assembling or executing programs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IsaError {
+    /// A label was referenced but never defined.
+    UndefinedLabel(String),
+    /// A label was defined more than once.
+    DuplicateLabel(String),
+    /// A branch target is out of the signed 16-bit displacement range.
+    BranchOutOfRange {
+        /// The label whose displacement overflowed.
+        label: String,
+        /// The displacement in instructions.
+        displacement: i64,
+    },
+    /// An instruction word could not be decoded during execution.
+    Decode(DecodeError),
+    /// The interpreter executed more instructions than its fuel budget.
+    OutOfFuel {
+        /// The fuel limit that was exhausted.
+        limit: u64,
+    },
+    /// The program counter left the text segment without reaching a halt.
+    PcOutOfBounds {
+        /// The faulting program counter.
+        pc: u32,
+    },
+    /// A load or store used an address with invalid alignment for its width.
+    Misaligned {
+        /// The faulting effective address.
+        addr: u32,
+        /// The access width in bytes.
+        width: u8,
+    },
+}
+
+impl fmt::Display for IsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsaError::UndefinedLabel(l) => write!(f, "undefined label `{l}`"),
+            IsaError::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+            IsaError::BranchOutOfRange {
+                label,
+                displacement,
+            } => write!(
+                f,
+                "branch to `{label}` out of range (displacement {displacement} instructions)"
+            ),
+            IsaError::Decode(e) => write!(f, "{e}"),
+            IsaError::OutOfFuel { limit } => {
+                write!(f, "interpreter exceeded fuel limit of {limit} instructions")
+            }
+            IsaError::PcOutOfBounds { pc } => {
+                write!(f, "program counter {pc:#010x} left the text segment")
+            }
+            IsaError::Misaligned { addr, width } => {
+                write!(f, "misaligned {width}-byte access at {addr:#010x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IsaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IsaError::Decode(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DecodeError> for IsaError {
+    fn from(e: DecodeError) -> Self {
+        IsaError::Decode(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_error_display_mentions_word_and_fields() {
+        let e = DecodeError {
+            word: 0xdead_beef,
+            opcode: 0x37,
+            funct: 0x2f,
+        };
+        let s = e.to_string();
+        assert!(s.contains("0xdeadbeef"));
+        assert!(s.contains("0x37"));
+    }
+
+    #[test]
+    fn isa_error_display_variants() {
+        assert!(IsaError::UndefinedLabel("foo".into())
+            .to_string()
+            .contains("foo"));
+        assert!(IsaError::OutOfFuel { limit: 10 }.to_string().contains("10"));
+        assert!(IsaError::PcOutOfBounds { pc: 0x1000 }
+            .to_string()
+            .contains("0x00001000"));
+        assert!(IsaError::Misaligned {
+            addr: 0x1001,
+            width: 4
+        }
+        .to_string()
+        .contains("4-byte"));
+    }
+
+    #[test]
+    fn decode_error_converts_to_isa_error() {
+        let d = DecodeError {
+            word: 1,
+            opcode: 0,
+            funct: 1,
+        };
+        let e: IsaError = d.into();
+        assert_eq!(e, IsaError::Decode(d));
+    }
+}

@@ -1,0 +1,410 @@
+//! Instruction representation, binary encoding and decoding.
+
+use crate::error::DecodeError;
+use crate::op::{DestField, Op};
+use crate::reg::{self, Reg};
+use std::fmt;
+
+pub use crate::op::Format;
+
+/// A decoded instruction.
+///
+/// All field values are stored explicitly regardless of format; fields that a
+/// format does not use are zero. [`Instruction::encode`] and
+/// [`Instruction::decode`] round-trip through the 32-bit MIPS encodings.
+///
+/// ```
+/// use sigcomp_isa::{Instruction, Op, reg};
+/// let i = Instruction::r3(Op::Addu, reg::T0, reg::T1, reg::T2);
+/// let word = i.encode();
+/// assert_eq!(Instruction::decode(word).unwrap(), i);
+/// assert_eq!(i.to_string(), "addu $t0, $t1, $t2");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Instruction {
+    /// Operation mnemonic.
+    pub op: Op,
+    /// Source register `rs` (bits 25..21).
+    pub rs: Reg,
+    /// Source/destination register `rt` (bits 20..16).
+    pub rt: Reg,
+    /// Destination register `rd` (bits 15..11).
+    pub rd: Reg,
+    /// Shift amount (bits 10..6); used by immediate shifts only.
+    pub shamt: u8,
+    /// Raw 16-bit immediate (I-format).
+    pub imm: u16,
+    /// 26-bit jump target field (J-format), in instruction-word units.
+    pub target: u32,
+}
+
+impl Instruction {
+    /// A no-operation (`sll $zero, $zero, 0`).
+    pub const NOP: Instruction = Instruction {
+        op: Op::Sll,
+        rs: reg::ZERO,
+        rt: reg::ZERO,
+        rd: reg::ZERO,
+        shamt: 0,
+        imm: 0,
+        target: 0,
+    };
+
+    /// Builds a three-register R-format instruction `op rd, rs, rt`.
+    #[must_use]
+    pub fn r3(op: Op, rd: Reg, rs: Reg, rt: Reg) -> Self {
+        Instruction {
+            op,
+            rs,
+            rt,
+            rd,
+            shamt: 0,
+            imm: 0,
+            target: 0,
+        }
+    }
+
+    /// Builds an immediate-shift instruction `op rd, rt, shamt`.
+    #[must_use]
+    pub fn shift_imm(op: Op, rd: Reg, rt: Reg, shamt: u8) -> Self {
+        Instruction {
+            op,
+            rs: reg::ZERO,
+            rt,
+            rd,
+            shamt: shamt & 0x1f,
+            imm: 0,
+            target: 0,
+        }
+    }
+
+    /// Builds an I-format instruction `op rt, rs, imm`.
+    #[must_use]
+    pub fn imm(op: Op, rt: Reg, rs: Reg, imm: u16) -> Self {
+        Instruction {
+            op,
+            rs,
+            rt,
+            rd: reg::ZERO,
+            shamt: 0,
+            imm,
+            target: 0,
+        }
+    }
+
+    /// Builds a J-format instruction with the given 26-bit word target.
+    #[must_use]
+    pub fn jump(op: Op, target: u32) -> Self {
+        Instruction {
+            op,
+            rs: reg::ZERO,
+            rt: reg::ZERO,
+            rd: reg::ZERO,
+            shamt: 0,
+            imm: 0,
+            target: target & 0x03ff_ffff,
+        }
+    }
+
+    /// The sign-extended immediate as a 32-bit value.
+    #[must_use]
+    pub fn imm_se(&self) -> i32 {
+        self.imm as i16 as i32
+    }
+
+    /// The zero-extended immediate as a 32-bit value.
+    #[must_use]
+    pub fn imm_ze(&self) -> u32 {
+        u32::from(self.imm)
+    }
+
+    /// The destination general-purpose register written by this instruction,
+    /// if any. Writes to `$zero` are reported as `None`.
+    #[must_use]
+    pub fn dest_reg(&self) -> Option<Reg> {
+        let r = match self.op.dest() {
+            DestField::None => return None,
+            DestField::Rd => self.rd,
+            DestField::Rt => self.rt,
+            DestField::Link => {
+                if self.op == Op::Jalr {
+                    self.rd
+                } else {
+                    reg::RA
+                }
+            }
+        };
+        if r.is_zero() {
+            None
+        } else {
+            Some(r)
+        }
+    }
+
+    /// The source registers read by this instruction (up to two).
+    #[must_use]
+    pub fn src_regs(&self) -> (Option<Reg>, Option<Reg>) {
+        let rs = if self.op.reads_rs() { Some(self.rs) } else { None };
+        let rt = if self.op.reads_rt() { Some(self.rt) } else { None };
+        (rs, rt)
+    }
+
+    /// Encodes the instruction into its 32-bit binary form.
+    #[must_use]
+    pub fn encode(&self) -> u32 {
+        let opc = u32::from(self.op.opcode()) << 26;
+        match self.op.format() {
+            Format::R => {
+                opc | (u32::from(self.rs.index()) << 21)
+                    | (u32::from(self.rt.index()) << 16)
+                    | (u32::from(self.rd.index()) << 11)
+                    | (u32::from(self.shamt) << 6)
+                    | u32::from(self.op.funct().expect("R-format op has funct"))
+            }
+            Format::I => {
+                let rt_field = match self.op.regimm() {
+                    Some(sel) => u32::from(sel),
+                    None => u32::from(self.rt.index()),
+                };
+                opc | (u32::from(self.rs.index()) << 21) | (rt_field << 16) | u32::from(self.imm)
+            }
+            Format::J => opc | self.target,
+        }
+    }
+
+    /// Decodes a 32-bit instruction word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] if the opcode/funct combination is not part of
+    /// the supported integer subset.
+    pub fn decode(word: u32) -> Result<Self, DecodeError> {
+        let opcode = ((word >> 26) & 0x3f) as u8;
+        let rs = Reg::new(((word >> 21) & 0x1f) as u8);
+        let rt_field = ((word >> 16) & 0x1f) as u8;
+        let rd = Reg::new(((word >> 11) & 0x1f) as u8);
+        let shamt = ((word >> 6) & 0x1f) as u8;
+        let funct = (word & 0x3f) as u8;
+        let imm = (word & 0xffff) as u16;
+        let target = word & 0x03ff_ffff;
+
+        let err = DecodeError {
+            word,
+            opcode,
+            funct,
+        };
+
+        let op = match opcode {
+            0 => Op::ALL
+                .iter()
+                .copied()
+                .find(|o| o.format() == Format::R && o.funct() == Some(funct))
+                .ok_or(err)?,
+            1 => Op::ALL
+                .iter()
+                .copied()
+                .find(|o| o.regimm() == Some(rt_field))
+                .ok_or(err)?,
+            _ => Op::ALL
+                .iter()
+                .copied()
+                .find(|o| o.opcode() == opcode && o.regimm().is_none() && o.format() != Format::R)
+                .ok_or(err)?,
+        };
+
+        let rt = if op.regimm().is_some() {
+            reg::ZERO
+        } else {
+            Reg::new(rt_field)
+        };
+
+        Ok(match op.format() {
+            Format::R => Instruction {
+                op,
+                rs,
+                rt,
+                rd,
+                shamt,
+                imm: 0,
+                target: 0,
+            },
+            Format::I => Instruction {
+                op,
+                rs,
+                rt,
+                rd: reg::ZERO,
+                shamt: 0,
+                imm,
+                target: 0,
+            },
+            Format::J => Instruction {
+                op,
+                rs: reg::ZERO,
+                rt: reg::ZERO,
+                rd: reg::ZERO,
+                shamt: 0,
+                imm: 0,
+                target,
+            },
+        })
+    }
+}
+
+impl Default for Instruction {
+    fn default() -> Self {
+        Instruction::NOP
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let m = self.op.mnemonic();
+        match self.op {
+            Op::Sll | Op::Srl | Op::Sra => {
+                write!(f, "{m} {}, {}, {}", self.rd, self.rt, self.shamt)
+            }
+            Op::Sllv | Op::Srlv | Op::Srav => {
+                write!(f, "{m} {}, {}, {}", self.rd, self.rt, self.rs)
+            }
+            Op::Jr | Op::Mthi | Op::Mtlo => write!(f, "{m} {}", self.rs),
+            Op::Jalr => write!(f, "{m} {}, {}", self.rd, self.rs),
+            Op::Break => write!(f, "{m}"),
+            Op::Mfhi | Op::Mflo => write!(f, "{m} {}", self.rd),
+            Op::Mult | Op::Multu | Op::Div | Op::Divu => {
+                write!(f, "{m} {}, {}", self.rs, self.rt)
+            }
+            Op::J | Op::Jal => write!(f, "{m} {:#x}", self.target << 2),
+            Op::Beq | Op::Bne => {
+                write!(f, "{m} {}, {}, {}", self.rs, self.rt, self.imm_se())
+            }
+            Op::Blez | Op::Bgtz | Op::Bltz | Op::Bgez => {
+                write!(f, "{m} {}, {}", self.rs, self.imm_se())
+            }
+            Op::Lui => write!(f, "{m} {}, {:#x}", self.rt, self.imm),
+            Op::Lb | Op::Lbu | Op::Lh | Op::Lhu | Op::Lw | Op::Sb | Op::Sh | Op::Sw => {
+                write!(f, "{m} {}, {}({})", self.rt, self.imm_se(), self.rs)
+            }
+            Op::Andi | Op::Ori | Op::Xori => {
+                write!(f, "{m} {}, {}, {:#x}", self.rt, self.rs, self.imm)
+            }
+            Op::Addi | Op::Addiu | Op::Slti | Op::Sltiu => {
+                write!(f, "{m} {}, {}, {}", self.rt, self.rs, self.imm_se())
+            }
+            _ => write!(f, "{m} {}, {}, {}", self.rd, self.rs, self.rt),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::{A0, RA, T0, T1, T2, ZERO};
+
+    #[test]
+    fn encode_decode_roundtrip_r_format() {
+        let i = Instruction::r3(Op::Subu, T0, T1, T2);
+        assert_eq!(Instruction::decode(i.encode()).unwrap(), i);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_shift() {
+        let i = Instruction::shift_imm(Op::Sll, T0, T1, 7);
+        let d = Instruction::decode(i.encode()).unwrap();
+        assert_eq!(d.shamt, 7);
+        assert_eq!(d.op, Op::Sll);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_i_format() {
+        let i = Instruction::imm(Op::Addiu, T0, T1, 0xfffc);
+        let d = Instruction::decode(i.encode()).unwrap();
+        assert_eq!(d, i);
+        assert_eq!(d.imm_se(), -4);
+        assert_eq!(d.imm_ze(), 0xfffc);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_j_format() {
+        let i = Instruction::jump(Op::Jal, 0x12345);
+        let d = Instruction::decode(i.encode()).unwrap();
+        assert_eq!(d.op, Op::Jal);
+        assert_eq!(d.target, 0x12345);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_regimm() {
+        let i = Instruction::imm(Op::Bgez, ZERO, T0, 0x0010);
+        let d = Instruction::decode(i.encode()).unwrap();
+        assert_eq!(d.op, Op::Bgez);
+        assert_eq!(d.rs, T0);
+    }
+
+    #[test]
+    fn roundtrip_every_op() {
+        for &op in Op::ALL {
+            let i = match op.format() {
+                Format::R => match op {
+                    Op::Sll | Op::Srl | Op::Sra => Instruction::shift_imm(op, T0, T1, 3),
+                    _ => Instruction::r3(op, T0, T1, T2),
+                },
+                Format::I => Instruction::imm(op, T0, T1, 0x1234),
+                Format::J => Instruction::jump(op, 0x3ffff),
+            };
+            let d = Instruction::decode(i.encode()).expect("decodes");
+            assert_eq!(d.op, op, "op {op} did not round-trip");
+        }
+    }
+
+    #[test]
+    fn unknown_word_fails_to_decode() {
+        // opcode 0x3f is unused in this subset.
+        let e = Instruction::decode(0xfc00_0000).unwrap_err();
+        assert_eq!(e.opcode, 0x3f);
+        // opcode 0 with unused funct 0x3f.
+        assert!(Instruction::decode(0x0000_003f).is_err());
+    }
+
+    #[test]
+    fn nop_is_sll_zero() {
+        assert_eq!(Instruction::NOP.encode(), 0);
+        assert_eq!(Instruction::decode(0).unwrap(), Instruction::NOP);
+        assert_eq!(Instruction::default(), Instruction::NOP);
+    }
+
+    #[test]
+    fn dest_and_src_registers() {
+        let add = Instruction::r3(Op::Addu, T0, T1, T2);
+        assert_eq!(add.dest_reg(), Some(T0));
+        assert_eq!(add.src_regs(), (Some(T1), Some(T2)));
+
+        let store = Instruction::imm(Op::Sw, T0, A0, 4);
+        assert_eq!(store.dest_reg(), None);
+        assert_eq!(store.src_regs(), (Some(A0), Some(T0)));
+
+        let load = Instruction::imm(Op::Lw, T0, A0, 4);
+        assert_eq!(load.dest_reg(), Some(T0));
+        assert_eq!(load.src_regs(), (Some(A0), None));
+
+        let jal = Instruction::jump(Op::Jal, 0x100);
+        assert_eq!(jal.dest_reg(), Some(RA));
+
+        let to_zero = Instruction::r3(Op::Addu, ZERO, T1, T2);
+        assert_eq!(to_zero.dest_reg(), None);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(
+            Instruction::r3(Op::Addu, T0, T1, T2).to_string(),
+            "addu $t0, $t1, $t2"
+        );
+        assert_eq!(
+            Instruction::imm(Op::Lw, T0, A0, 8).to_string(),
+            "lw $t0, 8($a0)"
+        );
+        assert_eq!(
+            Instruction::shift_imm(Op::Sll, T0, T1, 2).to_string(),
+            "sll $t0, $t1, 2"
+        );
+    }
+}

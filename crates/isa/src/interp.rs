@@ -1,0 +1,581 @@
+//! Functional (architectural) simulator producing dynamic traces.
+
+use crate::error::IsaError;
+use crate::instr::Instruction;
+use crate::memory::SparseMemory;
+use crate::op::Op;
+use crate::program::Program;
+use crate::reg::{self, Reg};
+use crate::trace::{BranchOutcome, ExecRecord, MemAccess, Trace};
+
+/// Architectural-state interpreter for the MIPS-like integer subset.
+///
+/// The interpreter executes one instruction per [`Interpreter::step`], with
+/// no branch delay slots (branches take effect immediately). Overflow never
+/// traps. Execution stops when a `break` instruction retires.
+///
+/// ```
+/// use sigcomp_isa::{ProgramBuilder, Interpreter, reg};
+/// # fn main() -> Result<(), sigcomp_isa::IsaError> {
+/// let mut b = ProgramBuilder::new();
+/// b.li(reg::T0, 21);
+/// b.addu(reg::T1, reg::T0, reg::T0);
+/// b.halt();
+/// let mut interp = Interpreter::new(&b.assemble()?);
+/// interp.run(1000)?;
+/// assert_eq!(interp.reg(reg::T1), 42);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Interpreter {
+    program: Program,
+    regs: [u32; 32],
+    hi: u32,
+    lo: u32,
+    pc: u32,
+    mem: SparseMemory,
+    halted: bool,
+    retired: u64,
+}
+
+impl Interpreter {
+    /// Creates an interpreter with the program loaded into memory, the PC at
+    /// the entry point and `$sp` at the top of the stack.
+    #[must_use]
+    pub fn new(program: &Program) -> Self {
+        let mem = program.initial_memory();
+        let mut regs = [0u32; 32];
+        regs[usize::from(reg::SP)] = program.stack_top;
+        regs[usize::from(reg::GP)] = program.data_base;
+        Interpreter {
+            program: program.clone(),
+            regs,
+            hi: 0,
+            lo: 0,
+            pc: program.entry,
+            mem,
+            halted: false,
+            retired: 0,
+        }
+    }
+
+    /// Current program counter.
+    #[must_use]
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// Whether a `break` has retired.
+    #[must_use]
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Number of retired instructions (excluding the halting `break`).
+    #[must_use]
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Reads an architectural register.
+    #[must_use]
+    pub fn reg(&self, r: Reg) -> u32 {
+        self.regs[usize::from(r)]
+    }
+
+    /// Writes an architectural register (writes to `$zero` are ignored).
+    pub fn set_reg(&mut self, r: Reg, value: u32) {
+        if !r.is_zero() {
+            self.regs[usize::from(r)] = value;
+        }
+    }
+
+    /// The HI special register.
+    #[must_use]
+    pub fn hi(&self) -> u32 {
+        self.hi
+    }
+
+    /// The LO special register.
+    #[must_use]
+    pub fn lo(&self) -> u32 {
+        self.lo
+    }
+
+    /// Shared access to data memory.
+    #[must_use]
+    pub fn memory(&self) -> &SparseMemory {
+        &self.mem
+    }
+
+    /// Mutable access to data memory (e.g. to poke input buffers).
+    pub fn memory_mut(&mut self) -> &mut SparseMemory {
+        &mut self.mem
+    }
+
+    /// Executes a single instruction and returns its [`ExecRecord`], or
+    /// `None` if the machine is already halted or has just halted.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the PC leaves the text segment, an instruction
+    /// fails to decode, or a load/store is misaligned.
+    pub fn step(&mut self) -> Result<Option<ExecRecord>, IsaError> {
+        if self.halted {
+            return Ok(None);
+        }
+        let pc = self.pc;
+        let word = self
+            .program
+            .fetch(pc)
+            .ok_or(IsaError::PcOutOfBounds { pc })?;
+        let instr = Instruction::decode(word)?;
+        let op = instr.op;
+
+        if op == Op::Break {
+            self.halted = true;
+            return Ok(None);
+        }
+
+        let rs_value = op.reads_rs().then(|| self.reg(instr.rs));
+        let rt_value = op.reads_rt().then(|| self.reg(instr.rt));
+        let rs = rs_value.unwrap_or(0);
+        let rt = rt_value.unwrap_or(0);
+        let imm_se = instr.imm_se() as u32;
+        let imm_ze = instr.imm_ze();
+
+        let mut next_pc = pc.wrapping_add(4);
+        let mut writeback: Option<(Reg, u32)> = None;
+        let mut mem_access: Option<MemAccess> = None;
+        let mut branch: Option<BranchOutcome> = None;
+
+        let mut write = |dest: Option<Reg>, value: u32| {
+            if let Some(d) = dest {
+                writeback = Some((d, value));
+            }
+        };
+
+        match op {
+            // ---- R-format ALU ------------------------------------------------
+            Op::Add | Op::Addu => write(instr.dest_reg(), rs.wrapping_add(rt)),
+            Op::Sub | Op::Subu => write(instr.dest_reg(), rs.wrapping_sub(rt)),
+            Op::And => write(instr.dest_reg(), rs & rt),
+            Op::Or => write(instr.dest_reg(), rs | rt),
+            Op::Xor => write(instr.dest_reg(), rs ^ rt),
+            Op::Nor => write(instr.dest_reg(), !(rs | rt)),
+            Op::Slt => write(instr.dest_reg(), u32::from((rs as i32) < (rt as i32))),
+            Op::Sltu => write(instr.dest_reg(), u32::from(rs < rt)),
+            Op::Sll => write(instr.dest_reg(), rt << instr.shamt),
+            Op::Srl => write(instr.dest_reg(), rt >> instr.shamt),
+            Op::Sra => write(instr.dest_reg(), ((rt as i32) >> instr.shamt) as u32),
+            Op::Sllv => write(instr.dest_reg(), rt << (rs & 0x1f)),
+            Op::Srlv => write(instr.dest_reg(), rt >> (rs & 0x1f)),
+            Op::Srav => write(instr.dest_reg(), ((rt as i32) >> (rs & 0x1f)) as u32),
+
+            // ---- multiply / divide -------------------------------------------
+            Op::Mult => {
+                let p = i64::from(rs as i32) * i64::from(rt as i32);
+                self.lo = p as u32;
+                self.hi = (p >> 32) as u32;
+            }
+            Op::Multu => {
+                let p = u64::from(rs) * u64::from(rt);
+                self.lo = p as u32;
+                self.hi = (p >> 32) as u32;
+            }
+            Op::Div => {
+                if rt != 0 {
+                    self.lo = ((rs as i32).wrapping_div(rt as i32)) as u32;
+                    self.hi = ((rs as i32).wrapping_rem(rt as i32)) as u32;
+                } else {
+                    self.lo = 0;
+                    self.hi = rs;
+                }
+            }
+            Op::Divu => {
+                if rt != 0 {
+                    self.lo = rs / rt;
+                    self.hi = rs % rt;
+                } else {
+                    self.lo = 0;
+                    self.hi = rs;
+                }
+            }
+            Op::Mfhi => write(instr.dest_reg(), self.hi),
+            Op::Mflo => write(instr.dest_reg(), self.lo),
+            Op::Mthi => self.hi = rs,
+            Op::Mtlo => self.lo = rs,
+
+            // ---- I-format ALU ------------------------------------------------
+            Op::Addi | Op::Addiu => write(instr.dest_reg(), rs.wrapping_add(imm_se)),
+            Op::Slti => write(
+                instr.dest_reg(),
+                u32::from((rs as i32) < (imm_se as i32)),
+            ),
+            Op::Sltiu => write(instr.dest_reg(), u32::from(rs < imm_se)),
+            Op::Andi => write(instr.dest_reg(), rs & imm_ze),
+            Op::Ori => write(instr.dest_reg(), rs | imm_ze),
+            Op::Xori => write(instr.dest_reg(), rs ^ imm_ze),
+            Op::Lui => write(instr.dest_reg(), imm_ze << 16),
+
+            // ---- loads / stores ----------------------------------------------
+            Op::Lb | Op::Lbu | Op::Lh | Op::Lhu | Op::Lw | Op::Sb | Op::Sh | Op::Sw => {
+                let addr = rs.wrapping_add(imm_se);
+                let width = op.mem_width().expect("memory op has width");
+                if addr % u32::from(width) != 0 {
+                    return Err(IsaError::Misaligned { addr, width });
+                }
+                if op.is_store() {
+                    let value = rt;
+                    match op {
+                        Op::Sb => self.mem.write_byte(addr, value as u8),
+                        Op::Sh => self.mem.write_half(addr, value as u16),
+                        Op::Sw => self.mem.write_word(addr, value),
+                        _ => unreachable!(),
+                    }
+                    mem_access = Some(MemAccess {
+                        addr,
+                        width,
+                        is_store: true,
+                        value,
+                    });
+                } else {
+                    let value = match op {
+                        Op::Lb => self.mem.read_byte(addr) as i8 as i32 as u32,
+                        Op::Lbu => u32::from(self.mem.read_byte(addr)),
+                        Op::Lh => self.mem.read_half(addr) as i16 as i32 as u32,
+                        Op::Lhu => u32::from(self.mem.read_half(addr)),
+                        Op::Lw => self.mem.read_word(addr),
+                        _ => unreachable!(),
+                    };
+                    write(instr.dest_reg(), value);
+                    mem_access = Some(MemAccess {
+                        addr,
+                        width,
+                        is_store: false,
+                        value,
+                    });
+                }
+            }
+
+            // ---- control flow ------------------------------------------------
+            Op::Beq | Op::Bne | Op::Blez | Op::Bgtz | Op::Bltz | Op::Bgez => {
+                let taken = match op {
+                    Op::Beq => rs == rt,
+                    Op::Bne => rs != rt,
+                    Op::Blez => (rs as i32) <= 0,
+                    Op::Bgtz => (rs as i32) > 0,
+                    Op::Bltz => (rs as i32) < 0,
+                    Op::Bgez => (rs as i32) >= 0,
+                    _ => unreachable!(),
+                };
+                let target = pc.wrapping_add(4).wrapping_add(imm_se << 2);
+                if taken {
+                    next_pc = target;
+                }
+                branch = Some(BranchOutcome { taken, target });
+            }
+            Op::J | Op::Jal => {
+                let target = (pc.wrapping_add(4) & 0xf000_0000) | (instr.target << 2);
+                if op == Op::Jal {
+                    write(Some(reg::RA), pc.wrapping_add(4));
+                }
+                next_pc = target;
+                branch = Some(BranchOutcome {
+                    taken: true,
+                    target,
+                });
+            }
+            Op::Jr | Op::Jalr => {
+                let target = rs;
+                if op == Op::Jalr {
+                    write(instr.dest_reg(), pc.wrapping_add(4));
+                }
+                next_pc = target;
+                branch = Some(BranchOutcome {
+                    taken: true,
+                    target,
+                });
+            }
+
+            Op::Break => unreachable!("handled above"),
+        }
+
+        if let Some((r, v)) = writeback {
+            self.set_reg(r, v);
+        }
+        // Report writes to $zero as no writeback (they have no effect).
+        let writeback = writeback.filter(|(r, _)| !r.is_zero());
+
+        self.pc = next_pc;
+        let record = ExecRecord {
+            seq: self.retired,
+            pc,
+            word,
+            instr,
+            rs_value,
+            rt_value,
+            writeback,
+            mem: mem_access,
+            branch,
+        };
+        self.retired += 1;
+        Ok(Some(record))
+    }
+
+    /// Runs until the program halts, collecting the full trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::OutOfFuel`] if more than `fuel` instructions
+    /// retire, or any execution error from [`Interpreter::step`].
+    pub fn run(&mut self, fuel: u64) -> Result<Trace, IsaError> {
+        let mut trace = Trace::new();
+        self.run_each(fuel, |r| trace.push(*r))?;
+        Ok(trace)
+    }
+
+    /// Runs until the program halts, invoking `f` for every retired
+    /// instruction instead of building a trace (useful for very long runs).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Interpreter::run`].
+    pub fn run_each<F: FnMut(&ExecRecord)>(&mut self, fuel: u64, mut f: F) -> Result<(), IsaError> {
+        let mut executed = 0u64;
+        while !self.halted {
+            if executed >= fuel {
+                return Err(IsaError::OutOfFuel { limit: fuel });
+            }
+            match self.step()? {
+                Some(r) => f(&r),
+                None => break,
+            }
+            executed += 1;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::ProgramBuilder;
+    use crate::reg::{A0, T0, T1, T2, T3, V0};
+
+    fn run_builder(b: &ProgramBuilder) -> Interpreter {
+        let p = b.assemble().expect("assembles");
+        let mut i = Interpreter::new(&p);
+        i.run(1_000_000).expect("runs");
+        i
+    }
+
+    #[test]
+    fn arithmetic_and_logic() {
+        let mut b = ProgramBuilder::new();
+        b.li(T0, 100);
+        b.li(T1, -30);
+        b.addu(T2, T0, T1); // 70
+        b.subu(T3, T0, T1); // 130
+        b.and(V0, T0, T1);
+        b.halt();
+        let i = run_builder(&b);
+        assert_eq!(i.reg(T2), 70);
+        assert_eq!(i.reg(T3), 130);
+        assert_eq!(i.reg(V0), 100u32 & (-30i32 as u32));
+    }
+
+    #[test]
+    fn slt_and_shifts() {
+        let mut b = ProgramBuilder::new();
+        b.li(T0, -5);
+        b.li(T1, 3);
+        b.slt(T2, T0, T1); // 1 (signed)
+        b.sltu(T3, T0, T1); // 0 (unsigned: 0xfffffffb > 3)
+        b.sll(V0, T1, 4); // 48
+        b.sra(A0, T0, 1); // -3 (arithmetic)
+        b.halt();
+        let i = run_builder(&b);
+        assert_eq!(i.reg(T2), 1);
+        assert_eq!(i.reg(T3), 0);
+        assert_eq!(i.reg(V0), 48);
+        assert_eq!(i.reg(A0) as i32, -3);
+    }
+
+    #[test]
+    fn loop_sums_numbers() {
+        // sum 1..=10
+        let mut b = ProgramBuilder::new();
+        b.li(T0, 0); // sum
+        b.li(T1, 1); // i
+        b.li(T2, 10); // limit
+        b.label("loop");
+        b.addu(T0, T0, T1);
+        b.addiu(T1, T1, 1);
+        b.slt(T3, T2, T1); // limit < i ?
+        b.beq(T3, reg::ZERO, "loop");
+        b.halt();
+        let i = run_builder(&b);
+        assert_eq!(i.reg(T0), 55);
+    }
+
+    #[test]
+    fn memory_loads_and_stores() {
+        let mut b = ProgramBuilder::new();
+        b.dlabel("buf");
+        b.words(&[0, 0, 0]);
+        b.la(A0, "buf");
+        b.li(T0, 0x1_0203);
+        b.sw(T0, A0, 0);
+        b.lw(T1, A0, 0);
+        b.lbu(T2, A0, 0); // 0x03 little-endian
+        b.lb(T3, A0, 2); // 0x01
+        b.sh(T0, A0, 4);
+        b.lhu(V0, A0, 4); // 0x0203
+        b.halt();
+        let i = run_builder(&b);
+        assert_eq!(i.reg(T1), 0x1_0203);
+        assert_eq!(i.reg(T2), 0x03);
+        assert_eq!(i.reg(T3), 0x01);
+        assert_eq!(i.reg(V0), 0x0203);
+    }
+
+    #[test]
+    fn sign_extension_on_byte_and_half_loads() {
+        let mut b = ProgramBuilder::new();
+        b.dlabel("buf");
+        b.bytes(&[0xff, 0x80, 0xff, 0xff]);
+        b.la(A0, "buf");
+        b.lb(T0, A0, 0); // -1
+        b.lh(T1, A0, 2); // -1
+        b.lbu(T2, A0, 1); // 0x80
+        b.halt();
+        let i = run_builder(&b);
+        assert_eq!(i.reg(T0) as i32, -1);
+        assert_eq!(i.reg(T1) as i32, -1);
+        assert_eq!(i.reg(T2), 0x80);
+    }
+
+    #[test]
+    fn mult_div_and_hilo() {
+        let mut b = ProgramBuilder::new();
+        b.li(T0, -6);
+        b.li(T1, 7);
+        b.mult(T0, T1);
+        b.mflo(T2); // -42
+        b.li(T0, 43);
+        b.li(T1, 5);
+        b.divu(T0, T1);
+        b.mflo(T3); // 8
+        b.mfhi(V0); // 3
+        b.halt();
+        let i = run_builder(&b);
+        assert_eq!(i.reg(T2) as i32, -42);
+        assert_eq!(i.reg(T3), 8);
+        assert_eq!(i.reg(V0), 3);
+    }
+
+    #[test]
+    fn function_call_and_return() {
+        let mut b = ProgramBuilder::new();
+        b.li(A0, 5);
+        b.jal("double");
+        b.mov(T0, V0);
+        b.halt();
+        b.label("double");
+        b.addu(V0, A0, A0);
+        b.jr(reg::RA);
+        let i = run_builder(&b);
+        assert_eq!(i.reg(T0), 10);
+    }
+
+    #[test]
+    fn trace_records_operand_values_and_branches() {
+        let mut b = ProgramBuilder::new();
+        b.li(T0, 3);
+        b.li(T1, 3);
+        b.beq(T0, T1, "eq");
+        b.li(T2, 99);
+        b.label("eq");
+        b.halt();
+        let p = b.assemble().unwrap();
+        let mut i = Interpreter::new(&p);
+        let trace = i.run(100).unwrap();
+        assert_eq!(trace.len(), 3); // li, li, beq (taken skips li T2)
+        let branch = &trace.records()[2];
+        assert!(branch.is_taken_branch());
+        assert_eq!(branch.rs_value, Some(3));
+        assert_eq!(branch.rt_value, Some(3));
+        assert_eq!(i.reg(T2), 0);
+    }
+
+    #[test]
+    fn writes_to_zero_are_discarded() {
+        let mut b = ProgramBuilder::new();
+        b.li(T0, 7);
+        b.addu(reg::ZERO, T0, T0);
+        b.halt();
+        let p = b.assemble().unwrap();
+        let mut i = Interpreter::new(&p);
+        let trace = i.run(100).unwrap();
+        assert_eq!(i.reg(reg::ZERO), 0);
+        assert_eq!(trace.records()[1].writeback, None);
+    }
+
+    #[test]
+    fn misaligned_access_is_reported() {
+        let mut b = ProgramBuilder::new();
+        b.li(A0, 0x1000_0001);
+        b.lw(T0, A0, 0);
+        b.halt();
+        let p = b.assemble().unwrap();
+        let mut i = Interpreter::new(&p);
+        assert!(matches!(
+            i.run(100).unwrap_err(),
+            IsaError::Misaligned { width: 4, .. }
+        ));
+    }
+
+    #[test]
+    fn out_of_fuel_is_reported() {
+        let mut b = ProgramBuilder::new();
+        b.label("spin");
+        b.b("spin");
+        b.halt();
+        let p = b.assemble().unwrap();
+        let mut i = Interpreter::new(&p);
+        assert_eq!(
+            i.run(50).unwrap_err(),
+            IsaError::OutOfFuel { limit: 50 }
+        );
+    }
+
+    #[test]
+    fn stepping_after_halt_returns_none() {
+        let mut b = ProgramBuilder::new();
+        b.halt();
+        let p = b.assemble().unwrap();
+        let mut i = Interpreter::new(&p);
+        assert!(i.step().unwrap().is_none());
+        assert!(i.is_halted());
+        assert!(i.step().unwrap().is_none());
+    }
+
+    #[test]
+    fn run_each_streams_without_building_a_trace() {
+        let mut b = ProgramBuilder::new();
+        b.li(T0, 0);
+        b.li(T1, 100);
+        b.label("loop");
+        b.addiu(T0, T0, 1);
+        b.bne(T0, T1, "loop");
+        b.halt();
+        let p = b.assemble().unwrap();
+        let mut i = Interpreter::new(&p);
+        let mut count = 0u64;
+        i.run_each(1_000_000, |_| count += 1).unwrap();
+        assert_eq!(count, i.retired());
+        assert!(count > 200);
+    }
+}

@@ -1,0 +1,62 @@
+//! # sigcomp-isa
+//!
+//! A MIPS-like 32-bit integer instruction-set architecture used as the
+//! substrate for the significance-compression study of Canal, González and
+//! Smith (MICRO-33, 2000).
+//!
+//! The crate provides:
+//!
+//! * [`Reg`] — architectural register names,
+//! * [`Op`] / [`Instruction`] — the integer subset of the MIPS I ISA with
+//!   binary [`Instruction::encode`] / [`Instruction::decode`],
+//! * [`ProgramBuilder`] — a tiny assembler with labels for writing kernels,
+//! * [`Interpreter`] — a functional simulator that executes a [`Program`] and
+//!   produces a dynamic [`Trace`] of [`ExecRecord`]s (operand values, memory
+//!   addresses, branch outcomes) that drives the significance-compression
+//!   activity models and the pipeline timing simulators.
+//!
+//! # Example
+//!
+//! ```
+//! use sigcomp_isa::{ProgramBuilder, Interpreter, reg};
+//!
+//! # fn main() -> Result<(), sigcomp_isa::IsaError> {
+//! let mut b = ProgramBuilder::new();
+//! b.li(reg::T0, 0);
+//! b.li(reg::T1, 10);
+//! b.label("loop");
+//! b.addiu(reg::T0, reg::T0, 1);
+//! b.bne(reg::T0, reg::T1, "loop");
+//! b.halt();
+//! let program = b.assemble()?;
+//!
+//! let mut interp = Interpreter::new(&program);
+//! let trace = interp.run(100_000)?;
+//! assert_eq!(interp.reg(reg::T0), 10);
+//! assert!(trace.len() > 20);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod asm;
+mod error;
+mod instr;
+mod interp;
+mod memory;
+mod op;
+mod program;
+pub mod reg;
+mod trace;
+
+pub use asm::ProgramBuilder;
+pub use error::{DecodeError, IsaError};
+pub use instr::{Format, Instruction};
+pub use interp::Interpreter;
+pub use memory::SparseMemory;
+pub use op::{DestField, Op, OpClass};
+pub use program::Program;
+pub use reg::Reg;
+pub use trace::{BranchOutcome, ExecRecord, MemAccess, Trace};

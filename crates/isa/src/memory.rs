@@ -1,0 +1,158 @@
+//! A sparse, page-based byte-addressable memory image.
+
+use std::collections::BTreeMap;
+
+const PAGE_SHIFT: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+const PAGE_MASK: u32 = (PAGE_SIZE as u32) - 1;
+
+/// A sparse 32-bit byte-addressable memory.
+///
+/// Pages (4 KiB) are allocated on first touch; untouched memory reads as
+/// zero. All multi-byte accesses are little-endian. This is the backing
+/// store used by the [`Interpreter`](crate::Interpreter) and by the cache
+/// hierarchy in `sigcomp-mem`.
+///
+/// ```
+/// use sigcomp_isa::SparseMemory;
+/// let mut m = SparseMemory::new();
+/// m.write_word(0x1000_0000, 0xdead_beef);
+/// assert_eq!(m.read_word(0x1000_0000), 0xdead_beef);
+/// assert_eq!(m.read_byte(0x1000_0000), 0xef); // little-endian
+/// assert_eq!(m.read_word(0x2000_0000), 0);    // untouched reads as zero
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SparseMemory {
+    pages: BTreeMap<u32, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl SparseMemory {
+    /// Creates an empty memory image.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of 4 KiB pages that have been touched.
+    #[must_use]
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    fn page(&self, addr: u32) -> Option<&[u8; PAGE_SIZE]> {
+        self.pages.get(&(addr >> PAGE_SHIFT)).map(|b| &**b)
+    }
+
+    fn page_mut(&mut self, addr: u32) -> &mut [u8; PAGE_SIZE] {
+        self.pages
+            .entry(addr >> PAGE_SHIFT)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]))
+    }
+
+    /// Reads a single byte.
+    #[must_use]
+    pub fn read_byte(&self, addr: u32) -> u8 {
+        self.page(addr)
+            .map_or(0, |p| p[(addr & PAGE_MASK) as usize])
+    }
+
+    /// Writes a single byte.
+    pub fn write_byte(&mut self, addr: u32, value: u8) {
+        self.page_mut(addr)[(addr & PAGE_MASK) as usize] = value;
+    }
+
+    /// Reads a little-endian halfword. The address may be unaligned.
+    #[must_use]
+    pub fn read_half(&self, addr: u32) -> u16 {
+        u16::from(self.read_byte(addr)) | (u16::from(self.read_byte(addr.wrapping_add(1))) << 8)
+    }
+
+    /// Writes a little-endian halfword.
+    pub fn write_half(&mut self, addr: u32, value: u16) {
+        self.write_byte(addr, (value & 0xff) as u8);
+        self.write_byte(addr.wrapping_add(1), (value >> 8) as u8);
+    }
+
+    /// Reads a little-endian word. The address may be unaligned.
+    #[must_use]
+    pub fn read_word(&self, addr: u32) -> u32 {
+        u32::from(self.read_half(addr)) | (u32::from(self.read_half(addr.wrapping_add(2))) << 16)
+    }
+
+    /// Writes a little-endian word.
+    pub fn write_word(&mut self, addr: u32, value: u32) {
+        self.write_half(addr, (value & 0xffff) as u16);
+        self.write_half(addr.wrapping_add(2), (value >> 16) as u16);
+    }
+
+    /// Copies `bytes` into memory starting at `addr`.
+    pub fn write_bytes(&mut self, addr: u32, bytes: &[u8]) {
+        for (i, &b) in bytes.iter().enumerate() {
+            self.write_byte(addr.wrapping_add(i as u32), b);
+        }
+    }
+
+    /// Reads `len` bytes starting at `addr`.
+    #[must_use]
+    pub fn read_bytes(&self, addr: u32, len: usize) -> Vec<u8> {
+        (0..len)
+            .map(|i| self.read_byte(addr.wrapping_add(i as u32)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_and_words_are_little_endian() {
+        let mut m = SparseMemory::new();
+        m.write_word(0x100, 0x0403_0201);
+        assert_eq!(m.read_byte(0x100), 0x01);
+        assert_eq!(m.read_byte(0x103), 0x04);
+        assert_eq!(m.read_half(0x100), 0x0201);
+        assert_eq!(m.read_half(0x102), 0x0403);
+    }
+
+    #[test]
+    fn untouched_memory_reads_zero() {
+        let m = SparseMemory::new();
+        assert_eq!(m.read_word(0xdead_0000), 0);
+        assert_eq!(m.page_count(), 0);
+    }
+
+    #[test]
+    fn pages_allocate_on_write_only() {
+        let mut m = SparseMemory::new();
+        let _ = m.read_word(0x5000);
+        assert_eq!(m.page_count(), 0);
+        m.write_byte(0x5000, 1);
+        assert_eq!(m.page_count(), 1);
+        m.write_byte(0x5001, 2);
+        assert_eq!(m.page_count(), 1);
+        m.write_byte(0x2_5000, 3);
+        assert_eq!(m.page_count(), 2);
+    }
+
+    #[test]
+    fn cross_page_word_access() {
+        let mut m = SparseMemory::new();
+        m.write_word(0x0fff, 0xaabb_ccdd); // straddles a 4 KiB boundary
+        assert_eq!(m.read_word(0x0fff), 0xaabb_ccdd);
+    }
+
+    #[test]
+    fn bulk_read_write() {
+        let mut m = SparseMemory::new();
+        m.write_bytes(0x200, &[1, 2, 3, 4, 5]);
+        assert_eq!(m.read_bytes(0x200, 5), vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn wrapping_addresses_do_not_panic() {
+        let mut m = SparseMemory::new();
+        m.write_word(u32::MAX - 1, 0x1234_5678);
+        assert_eq!(m.read_word(u32::MAX - 1), 0x1234_5678);
+    }
+}

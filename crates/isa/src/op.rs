@@ -1,0 +1,373 @@
+//! Operation mnemonics and their encoding/behavioural metadata.
+
+use std::fmt;
+
+/// The instruction format of an operation, following the MIPS I encodings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Format {
+    /// Register format: opcode 0, three register fields, shamt and funct.
+    R,
+    /// Immediate format: opcode, two register fields and a 16-bit immediate.
+    I,
+    /// Jump format: opcode and a 26-bit target.
+    J,
+}
+
+/// A coarse behavioural class used by the pipeline and activity models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// Integer ALU operation (add/sub/logical/set-less-than/lui).
+    Alu,
+    /// Shift by immediate or register amount.
+    Shift,
+    /// Multiply or divide (writes HI/LO).
+    MulDiv,
+    /// Move between HI/LO and the general register file.
+    HiLo,
+    /// Memory load.
+    Load,
+    /// Memory store.
+    Store,
+    /// Conditional branch.
+    Branch,
+    /// Unconditional jump (including jump-and-link and jump-register).
+    Jump,
+    /// The `break` instruction, used by this crate as a program halt.
+    Halt,
+}
+
+macro_rules! define_ops {
+    ($( $(#[$doc:meta])* $name:ident {
+        mnemonic: $mn:expr, format: $fmt:ident, class: $class:ident,
+        opcode: $opc:expr, funct: $funct:expr, regimm: $regimm:expr,
+        reads_rs: $rrs:expr, reads_rt: $rrt:expr, dest: $dest:expr
+    } ),* $(,)?) => {
+        /// An operation mnemonic of the supported MIPS-like integer subset.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        pub enum Op {
+            $( $(#[$doc])* $name, )*
+        }
+
+        impl Op {
+            /// All supported operations.
+            pub const ALL: &'static [Op] = &[ $(Op::$name,)* ];
+
+            /// The assembler mnemonic, e.g. `"addu"`.
+            #[must_use]
+            pub fn mnemonic(self) -> &'static str {
+                match self { $(Op::$name => $mn,)* }
+            }
+
+            /// The instruction format used to encode this operation.
+            #[must_use]
+            pub fn format(self) -> Format {
+                match self { $(Op::$name => Format::$fmt,)* }
+            }
+
+            /// The behavioural class of the operation.
+            #[must_use]
+            pub fn class(self) -> OpClass {
+                match self { $(Op::$name => OpClass::$class,)* }
+            }
+
+            /// The primary opcode field (bits 31..26).
+            #[must_use]
+            pub fn opcode(self) -> u8 {
+                match self { $(Op::$name => $opc,)* }
+            }
+
+            /// The function field (bits 5..0) for R-format operations.
+            #[must_use]
+            pub fn funct(self) -> Option<u8> {
+                match self { $(Op::$name => $funct,)* }
+            }
+
+            /// The `rt`-field selector for REGIMM (opcode 1) operations.
+            #[must_use]
+            pub fn regimm(self) -> Option<u8> {
+                match self { $(Op::$name => $regimm,)* }
+            }
+
+            /// Whether the operation reads the `rs` register.
+            #[must_use]
+            pub fn reads_rs(self) -> bool {
+                match self { $(Op::$name => $rrs,)* }
+            }
+
+            /// Whether the operation reads the `rt` register.
+            #[must_use]
+            pub fn reads_rt(self) -> bool {
+                match self { $(Op::$name => $rrt,)* }
+            }
+
+            /// Which field names the destination register, if any.
+            #[must_use]
+            pub fn dest(self) -> DestField {
+                match self { $(Op::$name => $dest,)* }
+            }
+        }
+    };
+}
+
+/// Which instruction field names the destination register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DestField {
+    /// No general-purpose destination register.
+    None,
+    /// The `rd` field (R-format).
+    Rd,
+    /// The `rt` field (I-format ALU and loads).
+    Rt,
+    /// The link register `$ra` (JAL) or `rd` (JALR).
+    Link,
+}
+
+use DestField::{Link, None as NoDest, Rd, Rt};
+
+define_ops! {
+    /// Shift left logical by immediate amount.
+    Sll { mnemonic: "sll", format: R, class: Shift, opcode: 0, funct: Some(0x00), regimm: None, reads_rs: false, reads_rt: true, dest: Rd },
+    /// Shift right logical by immediate amount.
+    Srl { mnemonic: "srl", format: R, class: Shift, opcode: 0, funct: Some(0x02), regimm: None, reads_rs: false, reads_rt: true, dest: Rd },
+    /// Shift right arithmetic by immediate amount.
+    Sra { mnemonic: "sra", format: R, class: Shift, opcode: 0, funct: Some(0x03), regimm: None, reads_rs: false, reads_rt: true, dest: Rd },
+    /// Shift left logical by register amount.
+    Sllv { mnemonic: "sllv", format: R, class: Shift, opcode: 0, funct: Some(0x04), regimm: None, reads_rs: true, reads_rt: true, dest: Rd },
+    /// Shift right logical by register amount.
+    Srlv { mnemonic: "srlv", format: R, class: Shift, opcode: 0, funct: Some(0x06), regimm: None, reads_rs: true, reads_rt: true, dest: Rd },
+    /// Shift right arithmetic by register amount.
+    Srav { mnemonic: "srav", format: R, class: Shift, opcode: 0, funct: Some(0x07), regimm: None, reads_rs: true, reads_rt: true, dest: Rd },
+    /// Jump to register.
+    Jr { mnemonic: "jr", format: R, class: Jump, opcode: 0, funct: Some(0x08), regimm: None, reads_rs: true, reads_rt: false, dest: NoDest },
+    /// Jump to register and link.
+    Jalr { mnemonic: "jalr", format: R, class: Jump, opcode: 0, funct: Some(0x09), regimm: None, reads_rs: true, reads_rt: false, dest: Link },
+    /// Halt the program (encoded as the MIPS `break` instruction).
+    Break { mnemonic: "break", format: R, class: Halt, opcode: 0, funct: Some(0x0d), regimm: None, reads_rs: false, reads_rt: false, dest: NoDest },
+    /// Move from HI.
+    Mfhi { mnemonic: "mfhi", format: R, class: HiLo, opcode: 0, funct: Some(0x10), regimm: None, reads_rs: false, reads_rt: false, dest: Rd },
+    /// Move to HI.
+    Mthi { mnemonic: "mthi", format: R, class: HiLo, opcode: 0, funct: Some(0x11), regimm: None, reads_rs: true, reads_rt: false, dest: NoDest },
+    /// Move from LO.
+    Mflo { mnemonic: "mflo", format: R, class: HiLo, opcode: 0, funct: Some(0x12), regimm: None, reads_rs: false, reads_rt: false, dest: Rd },
+    /// Move to LO.
+    Mtlo { mnemonic: "mtlo", format: R, class: HiLo, opcode: 0, funct: Some(0x13), regimm: None, reads_rs: true, reads_rt: false, dest: NoDest },
+    /// Signed multiply into HI/LO.
+    Mult { mnemonic: "mult", format: R, class: MulDiv, opcode: 0, funct: Some(0x18), regimm: None, reads_rs: true, reads_rt: true, dest: NoDest },
+    /// Unsigned multiply into HI/LO.
+    Multu { mnemonic: "multu", format: R, class: MulDiv, opcode: 0, funct: Some(0x19), regimm: None, reads_rs: true, reads_rt: true, dest: NoDest },
+    /// Signed divide into HI/LO.
+    Div { mnemonic: "div", format: R, class: MulDiv, opcode: 0, funct: Some(0x1a), regimm: None, reads_rs: true, reads_rt: true, dest: NoDest },
+    /// Unsigned divide into HI/LO.
+    Divu { mnemonic: "divu", format: R, class: MulDiv, opcode: 0, funct: Some(0x1b), regimm: None, reads_rs: true, reads_rt: true, dest: NoDest },
+    /// Signed add (no overflow trap in this model).
+    Add { mnemonic: "add", format: R, class: Alu, opcode: 0, funct: Some(0x20), regimm: None, reads_rs: true, reads_rt: true, dest: Rd },
+    /// Unsigned add.
+    Addu { mnemonic: "addu", format: R, class: Alu, opcode: 0, funct: Some(0x21), regimm: None, reads_rs: true, reads_rt: true, dest: Rd },
+    /// Signed subtract (no overflow trap in this model).
+    Sub { mnemonic: "sub", format: R, class: Alu, opcode: 0, funct: Some(0x22), regimm: None, reads_rs: true, reads_rt: true, dest: Rd },
+    /// Unsigned subtract.
+    Subu { mnemonic: "subu", format: R, class: Alu, opcode: 0, funct: Some(0x23), regimm: None, reads_rs: true, reads_rt: true, dest: Rd },
+    /// Bitwise AND.
+    And { mnemonic: "and", format: R, class: Alu, opcode: 0, funct: Some(0x24), regimm: None, reads_rs: true, reads_rt: true, dest: Rd },
+    /// Bitwise OR.
+    Or { mnemonic: "or", format: R, class: Alu, opcode: 0, funct: Some(0x25), regimm: None, reads_rs: true, reads_rt: true, dest: Rd },
+    /// Bitwise XOR.
+    Xor { mnemonic: "xor", format: R, class: Alu, opcode: 0, funct: Some(0x26), regimm: None, reads_rs: true, reads_rt: true, dest: Rd },
+    /// Bitwise NOR.
+    Nor { mnemonic: "nor", format: R, class: Alu, opcode: 0, funct: Some(0x27), regimm: None, reads_rs: true, reads_rt: true, dest: Rd },
+    /// Set on less than (signed).
+    Slt { mnemonic: "slt", format: R, class: Alu, opcode: 0, funct: Some(0x2a), regimm: None, reads_rs: true, reads_rt: true, dest: Rd },
+    /// Set on less than (unsigned).
+    Sltu { mnemonic: "sltu", format: R, class: Alu, opcode: 0, funct: Some(0x2b), regimm: None, reads_rs: true, reads_rt: true, dest: Rd },
+    /// Branch on less than zero.
+    Bltz { mnemonic: "bltz", format: I, class: Branch, opcode: 1, funct: None, regimm: Some(0x00), reads_rs: true, reads_rt: false, dest: NoDest },
+    /// Branch on greater than or equal to zero.
+    Bgez { mnemonic: "bgez", format: I, class: Branch, opcode: 1, funct: None, regimm: Some(0x01), reads_rs: true, reads_rt: false, dest: NoDest },
+    /// Unconditional jump.
+    J { mnemonic: "j", format: J, class: Jump, opcode: 2, funct: None, regimm: None, reads_rs: false, reads_rt: false, dest: NoDest },
+    /// Jump and link.
+    Jal { mnemonic: "jal", format: J, class: Jump, opcode: 3, funct: None, regimm: None, reads_rs: false, reads_rt: false, dest: Link },
+    /// Branch on equal.
+    Beq { mnemonic: "beq", format: I, class: Branch, opcode: 4, funct: None, regimm: None, reads_rs: true, reads_rt: true, dest: NoDest },
+    /// Branch on not equal.
+    Bne { mnemonic: "bne", format: I, class: Branch, opcode: 5, funct: None, regimm: None, reads_rs: true, reads_rt: true, dest: NoDest },
+    /// Branch on less than or equal to zero.
+    Blez { mnemonic: "blez", format: I, class: Branch, opcode: 6, funct: None, regimm: None, reads_rs: true, reads_rt: false, dest: NoDest },
+    /// Branch on greater than zero.
+    Bgtz { mnemonic: "bgtz", format: I, class: Branch, opcode: 7, funct: None, regimm: None, reads_rs: true, reads_rt: false, dest: NoDest },
+    /// Add immediate (signed, no trap).
+    Addi { mnemonic: "addi", format: I, class: Alu, opcode: 8, funct: None, regimm: None, reads_rs: true, reads_rt: false, dest: Rt },
+    /// Add immediate unsigned.
+    Addiu { mnemonic: "addiu", format: I, class: Alu, opcode: 9, funct: None, regimm: None, reads_rs: true, reads_rt: false, dest: Rt },
+    /// Set on less than immediate (signed).
+    Slti { mnemonic: "slti", format: I, class: Alu, opcode: 10, funct: None, regimm: None, reads_rs: true, reads_rt: false, dest: Rt },
+    /// Set on less than immediate (unsigned).
+    Sltiu { mnemonic: "sltiu", format: I, class: Alu, opcode: 11, funct: None, regimm: None, reads_rs: true, reads_rt: false, dest: Rt },
+    /// AND immediate (zero-extended).
+    Andi { mnemonic: "andi", format: I, class: Alu, opcode: 12, funct: None, regimm: None, reads_rs: true, reads_rt: false, dest: Rt },
+    /// OR immediate (zero-extended).
+    Ori { mnemonic: "ori", format: I, class: Alu, opcode: 13, funct: None, regimm: None, reads_rs: true, reads_rt: false, dest: Rt },
+    /// XOR immediate (zero-extended).
+    Xori { mnemonic: "xori", format: I, class: Alu, opcode: 14, funct: None, regimm: None, reads_rs: true, reads_rt: false, dest: Rt },
+    /// Load upper immediate.
+    Lui { mnemonic: "lui", format: I, class: Alu, opcode: 15, funct: None, regimm: None, reads_rs: false, reads_rt: false, dest: Rt },
+    /// Load byte (sign-extended).
+    Lb { mnemonic: "lb", format: I, class: Load, opcode: 32, funct: None, regimm: None, reads_rs: true, reads_rt: false, dest: Rt },
+    /// Load halfword (sign-extended).
+    Lh { mnemonic: "lh", format: I, class: Load, opcode: 33, funct: None, regimm: None, reads_rs: true, reads_rt: false, dest: Rt },
+    /// Load word.
+    Lw { mnemonic: "lw", format: I, class: Load, opcode: 35, funct: None, regimm: None, reads_rs: true, reads_rt: false, dest: Rt },
+    /// Load byte unsigned.
+    Lbu { mnemonic: "lbu", format: I, class: Load, opcode: 36, funct: None, regimm: None, reads_rs: true, reads_rt: false, dest: Rt },
+    /// Load halfword unsigned.
+    Lhu { mnemonic: "lhu", format: I, class: Load, opcode: 37, funct: None, regimm: None, reads_rs: true, reads_rt: false, dest: Rt },
+    /// Store byte.
+    Sb { mnemonic: "sb", format: I, class: Store, opcode: 40, funct: None, regimm: None, reads_rs: true, reads_rt: true, dest: NoDest },
+    /// Store halfword.
+    Sh { mnemonic: "sh", format: I, class: Store, opcode: 41, funct: None, regimm: None, reads_rs: true, reads_rt: true, dest: NoDest },
+    /// Store word.
+    Sw { mnemonic: "sw", format: I, class: Store, opcode: 43, funct: None, regimm: None, reads_rs: true, reads_rt: true, dest: NoDest },
+}
+
+impl Op {
+    /// Returns `true` for memory loads.
+    #[must_use]
+    pub fn is_load(self) -> bool {
+        self.class() == OpClass::Load
+    }
+
+    /// Returns `true` for memory stores.
+    #[must_use]
+    pub fn is_store(self) -> bool {
+        self.class() == OpClass::Store
+    }
+
+    /// Returns `true` for conditional branches.
+    #[must_use]
+    pub fn is_branch(self) -> bool {
+        self.class() == OpClass::Branch
+    }
+
+    /// Returns `true` for unconditional jumps (J, JAL, JR, JALR).
+    #[must_use]
+    pub fn is_jump(self) -> bool {
+        self.class() == OpClass::Jump
+    }
+
+    /// Returns `true` if the operation changes control flow.
+    #[must_use]
+    pub fn is_control(self) -> bool {
+        self.is_branch() || self.is_jump()
+    }
+
+    /// The memory access width in bytes for loads and stores, `None` otherwise.
+    #[must_use]
+    pub fn mem_width(self) -> Option<u8> {
+        match self {
+            Op::Lb | Op::Lbu | Op::Sb => Some(1),
+            Op::Lh | Op::Lhu | Op::Sh => Some(2),
+            Op::Lw | Op::Sw => Some(4),
+            _ => None,
+        }
+    }
+
+    /// Whether the I-format immediate is zero-extended (logical immediates)
+    /// rather than sign-extended.
+    #[must_use]
+    pub fn zero_extends_imm(self) -> bool {
+        matches!(self, Op::Andi | Op::Ori | Op::Xori)
+    }
+
+    /// Whether the operation uses the R-format `funct` field (i.e. is encoded
+    /// under primary opcode 0). This is the set of instructions eligible for
+    /// the function-code recoding of §2.3 of the paper.
+    #[must_use]
+    pub fn uses_funct(self) -> bool {
+        self.format() == Format::R
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_ops_have_consistent_metadata() {
+        for &op in Op::ALL {
+            match op.format() {
+                Format::R => {
+                    assert_eq!(op.opcode(), 0, "{op} should have opcode 0");
+                    assert!(op.funct().is_some(), "{op} needs a funct field");
+                }
+                Format::I => {
+                    assert!(op.funct().is_none(), "{op} must not use funct");
+                }
+                Format::J => {
+                    assert!(matches!(op, Op::J | Op::Jal));
+                }
+            }
+            if op.regimm().is_some() {
+                assert_eq!(op.opcode(), 1, "{op} REGIMM ops use opcode 1");
+            }
+        }
+    }
+
+    #[test]
+    fn encodings_are_unique() {
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        for &op in Op::ALL {
+            let key = (op.opcode(), op.funct(), op.regimm());
+            assert!(seen.insert(key), "duplicate encoding for {op}");
+        }
+    }
+
+    #[test]
+    fn class_predicates() {
+        assert!(Op::Lw.is_load());
+        assert!(Op::Sw.is_store());
+        assert!(Op::Beq.is_branch());
+        assert!(Op::J.is_jump());
+        assert!(Op::Jr.is_jump());
+        assert!(Op::Beq.is_control());
+        assert!(!Op::Addu.is_control());
+        assert_eq!(Op::Lh.mem_width(), Some(2));
+        assert_eq!(Op::Addu.mem_width(), None);
+        assert!(Op::Ori.zero_extends_imm());
+        assert!(!Op::Addiu.zero_extends_imm());
+    }
+
+    #[test]
+    fn mnemonics_are_lowercase_and_unique() {
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        for &op in Op::ALL {
+            let m = op.mnemonic();
+            assert_eq!(m, m.to_lowercase());
+            assert!(seen.insert(m));
+        }
+    }
+
+    #[test]
+    fn dest_field_matches_format_expectations() {
+        assert_eq!(Op::Addu.dest(), DestField::Rd);
+        assert_eq!(Op::Addiu.dest(), DestField::Rt);
+        assert_eq!(Op::Lw.dest(), DestField::Rt);
+        assert_eq!(Op::Sw.dest(), DestField::None);
+        assert_eq!(Op::Jal.dest(), DestField::Link);
+    }
+
+    #[test]
+    fn funct_usage_matches_paper_definition() {
+        assert!(Op::Addu.uses_funct());
+        assert!(Op::Sll.uses_funct());
+        assert!(!Op::Addiu.uses_funct());
+        assert!(!Op::J.uses_funct());
+    }
+}

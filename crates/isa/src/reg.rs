@@ -1,0 +1,191 @@
+//! Architectural register names.
+//!
+//! The MIPS integer register file has 32 general-purpose registers; `$zero`
+//! is hard-wired to zero. Constants follow the standard MIPS ABI names.
+
+use std::fmt;
+
+/// A general-purpose register index (0–31).
+///
+/// ```
+/// use sigcomp_isa::{Reg, reg};
+/// assert_eq!(reg::T0.index(), 8);
+/// assert_eq!(Reg::new(8), reg::T0);
+/// assert_eq!(reg::T0.to_string(), "$t0");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Creates a register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    #[must_use]
+    pub fn new(index: u8) -> Self {
+        assert!(index < 32, "register index {index} out of range");
+        Reg(index)
+    }
+
+    /// Returns the register index (0–31).
+    #[must_use]
+    pub fn index(self) -> u8 {
+        self.0
+    }
+
+    /// Returns `true` for `$zero`, which always reads as zero and ignores writes.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The canonical ABI name of the register (e.g. `"$t0"`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        const NAMES: [&str; 32] = [
+            "$zero", "$at", "$v0", "$v1", "$a0", "$a1", "$a2", "$a3", "$t0", "$t1", "$t2", "$t3",
+            "$t4", "$t5", "$t6", "$t7", "$s0", "$s1", "$s2", "$s3", "$s4", "$s5", "$s6", "$s7",
+            "$t8", "$t9", "$k0", "$k1", "$gp", "$sp", "$fp", "$ra",
+        ];
+        NAMES[self.0 as usize]
+    }
+
+    /// Iterates over all 32 registers in index order.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..32u8).map(Reg)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl From<Reg> for u8 {
+    fn from(r: Reg) -> Self {
+        r.0
+    }
+}
+
+impl From<Reg> for usize {
+    fn from(r: Reg) -> Self {
+        r.0 as usize
+    }
+}
+
+macro_rules! define_regs {
+    ($($(#[$doc:meta])* $name:ident = $idx:expr;)*) => {
+        $( $(#[$doc])* pub const $name: Reg = Reg($idx); )*
+    };
+}
+
+define_regs! {
+    /// `$zero` — hard-wired zero.
+    ZERO = 0;
+    /// `$at` — assembler temporary.
+    AT = 1;
+    /// `$v0` — function result.
+    V0 = 2;
+    /// `$v1` — function result.
+    V1 = 3;
+    /// `$a0` — argument.
+    A0 = 4;
+    /// `$a1` — argument.
+    A1 = 5;
+    /// `$a2` — argument.
+    A2 = 6;
+    /// `$a3` — argument.
+    A3 = 7;
+    /// `$t0` — caller-saved temporary.
+    T0 = 8;
+    /// `$t1` — caller-saved temporary.
+    T1 = 9;
+    /// `$t2` — caller-saved temporary.
+    T2 = 10;
+    /// `$t3` — caller-saved temporary.
+    T3 = 11;
+    /// `$t4` — caller-saved temporary.
+    T4 = 12;
+    /// `$t5` — caller-saved temporary.
+    T5 = 13;
+    /// `$t6` — caller-saved temporary.
+    T6 = 14;
+    /// `$t7` — caller-saved temporary.
+    T7 = 15;
+    /// `$s0` — callee-saved.
+    S0 = 16;
+    /// `$s1` — callee-saved.
+    S1 = 17;
+    /// `$s2` — callee-saved.
+    S2 = 18;
+    /// `$s3` — callee-saved.
+    S3 = 19;
+    /// `$s4` — callee-saved.
+    S4 = 20;
+    /// `$s5` — callee-saved.
+    S5 = 21;
+    /// `$s6` — callee-saved.
+    S6 = 22;
+    /// `$s7` — callee-saved.
+    S7 = 23;
+    /// `$t8` — caller-saved temporary.
+    T8 = 24;
+    /// `$t9` — caller-saved temporary.
+    T9 = 25;
+    /// `$k0` — reserved for kernel.
+    K0 = 26;
+    /// `$k1` — reserved for kernel.
+    K1 = 27;
+    /// `$gp` — global pointer.
+    GP = 28;
+    /// `$sp` — stack pointer.
+    SP = 29;
+    /// `$fp` — frame pointer.
+    FP = 30;
+    /// `$ra` — return address.
+    RA = 31;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_and_names_agree() {
+        assert_eq!(ZERO.index(), 0);
+        assert_eq!(RA.index(), 31);
+        assert_eq!(SP.name(), "$sp");
+        assert_eq!(T0.to_string(), "$t0");
+        assert_eq!(S7.index(), 23);
+    }
+
+    #[test]
+    fn all_yields_32_unique_registers() {
+        let regs: Vec<Reg> = Reg::all().collect();
+        assert_eq!(regs.len(), 32);
+        for (i, r) in regs.iter().enumerate() {
+            assert_eq!(r.index() as usize, i);
+        }
+    }
+
+    #[test]
+    fn only_zero_is_zero() {
+        assert!(ZERO.is_zero());
+        assert!(Reg::all().filter(|r| r.is_zero()).count() == 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn new_rejects_out_of_range() {
+        let _ = Reg::new(32);
+    }
+
+    #[test]
+    fn conversions() {
+        let r = T3;
+        assert_eq!(u8::from(r), 11);
+        assert_eq!(usize::from(r), 11);
+    }
+}

@@ -1,0 +1,217 @@
+//! Dynamic execution traces.
+//!
+//! The interpreter produces one [`ExecRecord`] per retired instruction. The
+//! record captures everything the significance-compression activity models
+//! and the pipeline timing simulators need: operand *values*, results,
+//! effective addresses and branch outcomes.
+
+use crate::instr::Instruction;
+use crate::reg::Reg;
+
+/// A memory access performed by an instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemAccess {
+    /// Effective address.
+    pub addr: u32,
+    /// Access width in bytes (1, 2 or 4).
+    pub width: u8,
+    /// `true` for stores, `false` for loads.
+    pub is_store: bool,
+    /// The value loaded (after extension) or stored.
+    pub value: u32,
+}
+
+/// The outcome of a control-flow instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BranchOutcome {
+    /// Whether the branch/jump redirected the program counter.
+    pub taken: bool,
+    /// The target address when taken.
+    pub target: u32,
+}
+
+/// One retired instruction of a dynamic trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecRecord {
+    /// Retirement sequence number (0-based).
+    pub seq: u64,
+    /// Program counter of the instruction.
+    pub pc: u32,
+    /// Raw instruction word.
+    pub word: u32,
+    /// Decoded instruction.
+    pub instr: Instruction,
+    /// Value of the `rs` operand if read.
+    pub rs_value: Option<u32>,
+    /// Value of the `rt` operand if read.
+    pub rt_value: Option<u32>,
+    /// Destination register and the value written to it, if any.
+    pub writeback: Option<(Reg, u32)>,
+    /// Memory access performed, if any.
+    pub mem: Option<MemAccess>,
+    /// Branch/jump outcome, if this is a control instruction.
+    pub branch: Option<BranchOutcome>,
+}
+
+impl ExecRecord {
+    /// The source operand values actually read from the register file.
+    #[must_use]
+    pub fn source_values(&self) -> impl Iterator<Item = u32> {
+        [self.rs_value, self.rt_value].into_iter().flatten()
+    }
+
+    /// The value written back to the register file, if any.
+    #[must_use]
+    pub fn result_value(&self) -> Option<u32> {
+        self.writeback.map(|(_, v)| v)
+    }
+
+    /// Whether this instruction is a taken control transfer.
+    #[must_use]
+    pub fn is_taken_branch(&self) -> bool {
+        self.branch.is_some_and(|b| b.taken)
+    }
+}
+
+/// A dynamic instruction trace: the sequence of retired instructions.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    records: Vec<ExecRecord>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a record.
+    pub fn push(&mut self, r: ExecRecord) {
+        self.records.push(r);
+    }
+
+    /// Number of retired instructions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Returns `true` if no instructions were retired.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The records as a slice.
+    #[must_use]
+    pub fn records(&self) -> &[ExecRecord] {
+        &self.records
+    }
+
+    /// Iterates over the records.
+    pub fn iter(&self) -> std::slice::Iter<'_, ExecRecord> {
+        self.records.iter()
+    }
+
+    /// Fraction of instructions in the trace satisfying `pred`.
+    pub fn fraction<F: Fn(&ExecRecord) -> bool>(&self, pred: F) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().filter(|r| pred(r)).count() as f64 / self.records.len() as f64
+    }
+}
+
+impl FromIterator<ExecRecord> for Trace {
+    fn from_iter<I: IntoIterator<Item = ExecRecord>>(iter: I) -> Self {
+        Trace {
+            records: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<ExecRecord> for Trace {
+    fn extend<I: IntoIterator<Item = ExecRecord>>(&mut self, iter: I) {
+        self.records.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a ExecRecord;
+    type IntoIter = std::slice::Iter<'a, ExecRecord>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.records.iter()
+    }
+}
+
+impl IntoIterator for Trace {
+    type Item = ExecRecord;
+    type IntoIter = std::vec::IntoIter<ExecRecord>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.records.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Op;
+    use crate::reg::{T0, T1, T2};
+
+    fn record(seq: u64) -> ExecRecord {
+        ExecRecord {
+            seq,
+            pc: 0x400000 + (seq as u32) * 4,
+            word: 0,
+            instr: Instruction::r3(Op::Addu, T0, T1, T2),
+            rs_value: Some(5),
+            rt_value: Some(7),
+            writeback: Some((T0, 12)),
+            mem: None,
+            branch: None,
+        }
+    }
+
+    #[test]
+    fn trace_collects_and_iterates() {
+        let t: Trace = (0..10).map(record).collect();
+        assert_eq!(t.len(), 10);
+        assert!(!t.is_empty());
+        assert_eq!(t.iter().count(), 10);
+        assert_eq!((&t).into_iter().count(), 10);
+        assert_eq!(t.records()[3].seq, 3);
+    }
+
+    #[test]
+    fn source_and_result_values() {
+        let r = record(0);
+        assert_eq!(r.source_values().collect::<Vec<_>>(), vec![5, 7]);
+        assert_eq!(r.result_value(), Some(12));
+        assert!(!r.is_taken_branch());
+    }
+
+    #[test]
+    fn fraction_counts_matching_records() {
+        let mut t = Trace::new();
+        for i in 0..4 {
+            let mut r = record(i);
+            if i % 2 == 0 {
+                r.branch = Some(BranchOutcome {
+                    taken: true,
+                    target: 0,
+                });
+            }
+            t.push(r);
+        }
+        assert!((t.fraction(|r| r.is_taken_branch()) - 0.5).abs() < 1e-12);
+        assert_eq!(Trace::new().fraction(|_| true), 0.0);
+    }
+
+    #[test]
+    fn extend_appends() {
+        let mut t = Trace::new();
+        t.extend((0..3).map(record));
+        assert_eq!(t.len(), 3);
+    }
+}

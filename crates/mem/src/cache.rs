@@ -1,0 +1,271 @@
+//! A set-associative, write-back, write-allocate cache model with true-LRU
+//! replacement.
+
+use crate::config::CacheConfig;
+use crate::stats::CacheStats;
+
+/// The outcome of a single cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheAccess {
+    /// Whether the access hit.
+    pub hit: bool,
+    /// The line-aligned address that was (or now is) resident.
+    pub line_addr: u32,
+    /// A dirty line that had to be evicted to make room, if any.
+    pub evicted: Option<EvictedLine>,
+}
+
+/// A line evicted by a fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvictedLine {
+    /// Line-aligned address of the victim.
+    pub line_addr: u32,
+    /// Whether the victim was dirty (needs a writeback).
+    pub dirty: bool,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    valid: bool,
+    dirty: bool,
+    tag: u32,
+    /// Larger value = more recently used.
+    lru: u64,
+}
+
+/// A single level of cache.
+///
+/// The model tracks tags, validity, dirtiness and LRU order only — data
+/// contents live in the interpreter's memory image. Accesses that miss
+/// allocate the line (write-allocate) and report the victim so callers can
+/// model writeback traffic.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    sets: Vec<Vec<Line>>,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates an empty (all-invalid) cache with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (see
+    /// [`CacheConfig::num_sets`]).
+    #[must_use]
+    pub fn new(config: CacheConfig) -> Self {
+        let sets = config.num_sets();
+        Cache {
+            config,
+            sets: vec![vec![Line::default(); config.associativity as usize]; sets as usize],
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The cache geometry.
+    #[must_use]
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Access statistics accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Resets the access statistics (contents are preserved).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    fn index_and_tag(&self, addr: u32) -> (usize, u32) {
+        let line = addr / self.config.line_bytes;
+        let sets = self.config.num_sets();
+        ((line % sets) as usize, line / sets)
+    }
+
+    /// The line-aligned address containing `addr`.
+    #[must_use]
+    pub fn line_addr(&self, addr: u32) -> u32 {
+        addr & !(self.config.line_bytes - 1)
+    }
+
+    /// Probes the cache without updating state or statistics.
+    #[must_use]
+    pub fn probe(&self, addr: u32) -> bool {
+        let (index, tag) = self.index_and_tag(addr);
+        self.sets[index].iter().any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Performs an access, allocating on a miss.
+    ///
+    /// `is_write` marks the line dirty on a hit or after allocation.
+    pub fn access(&mut self, addr: u32, is_write: bool) -> CacheAccess {
+        self.clock += 1;
+        let (index, tag) = self.index_and_tag(addr);
+        let line_addr = self.line_addr(addr);
+        let set = &mut self.sets[index];
+
+        self.stats.accesses += 1;
+        if is_write {
+            self.stats.writes += 1;
+        }
+
+        if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.lru = self.clock;
+            line.dirty |= is_write;
+            self.stats.hits += 1;
+            return CacheAccess {
+                hit: true,
+                line_addr,
+                evicted: None,
+            };
+        }
+
+        // Miss: pick the victim (an invalid way if possible, else true LRU).
+        self.stats.misses += 1;
+        self.stats.fills += 1;
+        let sets = self.config.num_sets();
+        let line_bytes = self.config.line_bytes;
+        let victim = set
+            .iter_mut()
+            .min_by_key(|l| if l.valid { l.lru + 1 } else { 0 })
+            .expect("sets are never empty");
+
+        let evicted = if victim.valid {
+            let victim_line = (victim.tag * sets + index as u32) * line_bytes;
+            let dirty = victim.dirty;
+            if dirty {
+                self.stats.writebacks += 1;
+            }
+            Some(EvictedLine {
+                line_addr: victim_line,
+                dirty,
+            })
+        } else {
+            None
+        };
+
+        victim.valid = true;
+        victim.dirty = is_write;
+        victim.tag = tag;
+        victim.lru = self.clock;
+
+        CacheAccess {
+            hit: false,
+            line_addr,
+            evicted,
+        }
+    }
+
+    /// Invalidates every line (statistics are preserved).
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            for line in set {
+                *line = Line::default();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 4 sets x 2 ways x 16-byte lines = 128 bytes.
+        Cache::new(CacheConfig {
+            size_bytes: 128,
+            associativity: 2,
+            line_bytes: 16,
+            hit_latency: 1,
+        })
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = tiny();
+        assert!(!c.access(0x100, false).hit);
+        assert!(c.access(0x104, false).hit);
+        assert!(c.access(0x10f, false).hit);
+        assert!(!c.access(0x110, false).hit);
+        assert_eq!(c.stats().accesses, 4);
+        assert_eq!(c.stats().hits, 2);
+        assert_eq!(c.stats().misses, 2);
+    }
+
+    #[test]
+    fn lru_replacement_within_a_set() {
+        let mut c = tiny();
+        // Three lines mapping to the same set (stride = sets * line = 64).
+        c.access(0x000, false);
+        c.access(0x040, false);
+        c.access(0x000, false); // touch 0x000 so 0x040 becomes LRU
+        let res = c.access(0x080, false); // evicts 0x040
+        assert_eq!(
+            res.evicted,
+            Some(EvictedLine {
+                line_addr: 0x040,
+                dirty: false
+            })
+        );
+        assert!(c.probe(0x000));
+        assert!(!c.probe(0x040));
+        assert!(c.probe(0x080));
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut c = tiny();
+        c.access(0x000, true);
+        c.access(0x040, false);
+        c.access(0x080, false); // evicts dirty 0x000
+        let evictions: u64 = c.stats().writebacks;
+        assert_eq!(evictions, 1);
+    }
+
+    #[test]
+    fn direct_mapped_conflicts() {
+        let mut c = Cache::new(CacheConfig {
+            size_bytes: 64,
+            associativity: 1,
+            line_bytes: 16,
+            hit_latency: 1,
+        });
+        assert!(!c.access(0x00, false).hit);
+        assert!(!c.access(0x40, false).hit); // same set, conflict
+        assert!(!c.access(0x00, false).hit); // thrash
+    }
+
+    #[test]
+    fn probe_does_not_disturb_state() {
+        let mut c = tiny();
+        c.access(0x000, false);
+        let before = c.stats().accesses;
+        assert!(c.probe(0x000));
+        assert!(!c.probe(0x200));
+        assert_eq!(c.stats().accesses, before);
+    }
+
+    #[test]
+    fn flush_invalidates_everything() {
+        let mut c = tiny();
+        c.access(0x000, true);
+        c.flush();
+        assert!(!c.probe(0x000));
+        assert!(!c.access(0x000, false).hit);
+    }
+
+    #[test]
+    fn paper_l1_behaves_like_8kb_direct_mapped() {
+        let mut c = Cache::new(CacheConfig::paper_l1());
+        assert!(!c.access(0x0000, false).hit);
+        assert!(c.access(0x001c, false).hit); // same 32-byte line
+        assert!(!c.access(0x2000, false).hit); // 8 KB away: same set, conflict
+        assert!(!c.access(0x0000, false).hit);
+    }
+}

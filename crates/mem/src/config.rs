@@ -1,0 +1,200 @@
+//! Configuration of caches, TLBs and the full hierarchy.
+
+/// Geometry and timing of a single cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u32,
+    /// Associativity (1 = direct-mapped).
+    pub associativity: u32,
+    /// Line size in bytes.
+    pub line_bytes: u32,
+    /// Hit latency in cycles.
+    pub hit_latency: u32,
+}
+
+impl CacheConfig {
+    /// The paper's L1 configuration: 8 KB, direct-mapped, 32-byte lines,
+    /// 1-cycle hit.
+    #[must_use]
+    pub fn paper_l1() -> Self {
+        CacheConfig {
+            size_bytes: 8 * 1024,
+            associativity: 1,
+            line_bytes: 32,
+            hit_latency: 1,
+        }
+    }
+
+    /// The paper's L2 configuration: 64 KB, 4-way, 32-byte lines, 6-cycle hit.
+    #[must_use]
+    pub fn paper_l2() -> Self {
+        CacheConfig {
+            size_bytes: 64 * 1024,
+            associativity: 4,
+            line_bytes: 32,
+            hit_latency: 6,
+        }
+    }
+
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (size not divisible by
+    /// line size × associativity, or any parameter is zero or not a power of
+    /// two where required).
+    #[must_use]
+    pub fn num_sets(&self) -> u32 {
+        assert!(self.size_bytes > 0 && self.line_bytes > 0 && self.associativity > 0);
+        assert!(
+            self.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        let lines = self.size_bytes / self.line_bytes;
+        assert_eq!(
+            lines * self.line_bytes,
+            self.size_bytes,
+            "size must be a multiple of the line size"
+        );
+        let sets = lines / self.associativity;
+        assert_eq!(
+            sets * self.associativity,
+            lines,
+            "line count must be a multiple of the associativity"
+        );
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        sets
+    }
+
+    /// Number of tag bits for a 32-bit address space.
+    #[must_use]
+    pub fn tag_bits(&self) -> u32 {
+        32 - self.num_sets().trailing_zeros() - self.line_bytes.trailing_zeros()
+    }
+}
+
+/// Geometry and timing of a TLB.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbConfig {
+    /// Number of entries.
+    pub entries: u32,
+    /// Associativity.
+    pub associativity: u32,
+    /// Page size in bytes.
+    pub page_bytes: u32,
+    /// Hit latency in cycles (overlapped with the cache access; kept for
+    /// completeness).
+    pub hit_latency: u32,
+    /// Miss penalty in cycles.
+    pub miss_penalty: u32,
+}
+
+impl TlbConfig {
+    /// The paper's I-TLB: 16 entries, 4-way, 1-cycle hit, 30-cycle miss.
+    #[must_use]
+    pub fn paper_itlb() -> Self {
+        TlbConfig {
+            entries: 16,
+            associativity: 4,
+            page_bytes: 4096,
+            hit_latency: 1,
+            miss_penalty: 30,
+        }
+    }
+
+    /// The paper's D-TLB: 32 entries, 4-way, 1-cycle hit, 30-cycle miss.
+    #[must_use]
+    pub fn paper_dtlb() -> Self {
+        TlbConfig {
+            entries: 32,
+            associativity: 4,
+            page_bytes: 4096,
+            hit_latency: 1,
+            miss_penalty: 30,
+        }
+    }
+}
+
+/// Configuration of the full two-level hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HierarchyConfig {
+    /// L1 instruction cache.
+    pub il1: CacheConfig,
+    /// L1 data cache.
+    pub dl1: CacheConfig,
+    /// Unified L2.
+    pub l2: CacheConfig,
+    /// Instruction TLB.
+    pub itlb: TlbConfig,
+    /// Data TLB.
+    pub dtlb: TlbConfig,
+    /// Latency of a main-memory access (an L2 miss), in cycles.
+    pub memory_latency: u32,
+}
+
+impl HierarchyConfig {
+    /// The exact configuration used in the paper's experimental framework.
+    #[must_use]
+    pub fn paper() -> Self {
+        HierarchyConfig {
+            il1: CacheConfig::paper_l1(),
+            dl1: CacheConfig::paper_l1(),
+            l2: CacheConfig::paper_l2(),
+            itlb: TlbConfig::paper_itlb(),
+            dtlb: TlbConfig::paper_dtlb(),
+            memory_latency: 30,
+        }
+    }
+}
+
+impl Default for HierarchyConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_l1_geometry() {
+        let c = CacheConfig::paper_l1();
+        assert_eq!(c.num_sets(), 256);
+        assert_eq!(c.tag_bits(), 32 - 8 - 5);
+    }
+
+    #[test]
+    fn paper_l2_geometry() {
+        let c = CacheConfig::paper_l2();
+        assert_eq!(c.num_sets(), 512);
+        assert_eq!(c.tag_bits(), 32 - 9 - 5);
+    }
+
+    #[test]
+    fn paper_hierarchy_matches_section_3() {
+        let h = HierarchyConfig::paper();
+        assert_eq!(h.il1.size_bytes, 8 * 1024);
+        assert_eq!(h.il1.associativity, 1);
+        assert_eq!(h.l2.size_bytes, 64 * 1024);
+        assert_eq!(h.l2.associativity, 4);
+        assert_eq!(h.l2.hit_latency, 6);
+        assert_eq!(h.memory_latency, 30);
+        assert_eq!(h.itlb.entries, 16);
+        assert_eq!(h.dtlb.entries, 32);
+        assert_eq!(HierarchyConfig::default(), h);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn inconsistent_geometry_panics() {
+        let c = CacheConfig {
+            size_bytes: 3000,
+            associativity: 1,
+            line_bytes: 24,
+            hit_latency: 1,
+        };
+        let _ = c.num_sets();
+    }
+}

@@ -1,0 +1,92 @@
+//! Access counters for caches, TLBs and the hierarchy.
+
+/// Counters for a single cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total accesses.
+    pub accesses: u64,
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Accesses that missed.
+    pub misses: u64,
+    /// Write accesses (subset of `accesses`).
+    pub writes: u64,
+    /// Lines filled from the next level.
+    pub fills: u64,
+    /// Dirty lines written back to the next level.
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Miss rate in [0, 1]; zero when there were no accesses.
+    #[must_use]
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// Counters for a TLB.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TlbStats {
+    /// Total translations.
+    pub accesses: u64,
+    /// Translations that hit.
+    pub hits: u64,
+    /// Translations that missed.
+    pub misses: u64,
+}
+
+impl TlbStats {
+    /// Miss rate in [0, 1]; zero when there were no accesses.
+    #[must_use]
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// Counters for the whole hierarchy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HierarchyStats {
+    /// L1 instruction-cache counters.
+    pub il1: CacheStats,
+    /// L1 data-cache counters.
+    pub dl1: CacheStats,
+    /// Unified L2 counters.
+    pub l2: CacheStats,
+    /// Instruction-TLB counters.
+    pub itlb: TlbStats,
+    /// Data-TLB counters.
+    pub dtlb: TlbStats,
+    /// Accesses that had to go to main memory.
+    pub memory_accesses: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_rates_handle_zero_accesses() {
+        assert_eq!(CacheStats::default().miss_rate(), 0.0);
+        assert_eq!(TlbStats::default().miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn miss_rate_is_fractional() {
+        let s = CacheStats {
+            accesses: 10,
+            hits: 8,
+            misses: 2,
+            ..CacheStats::default()
+        };
+        assert!((s.miss_rate() - 0.2).abs() < 1e-12);
+    }
+}

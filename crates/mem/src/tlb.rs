@@ -1,0 +1,155 @@
+//! A set-associative TLB model.
+
+use crate::config::TlbConfig;
+use crate::stats::TlbStats;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Entry {
+    valid: bool,
+    vpn_tag: u32,
+    lru: u64,
+}
+
+/// A translation lookaside buffer.
+///
+/// Only reach/locality is modelled: translations are identity-mapped, so a
+/// lookup returns whether the page was resident and how many cycles the
+/// translation cost.
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    config: TlbConfig,
+    sets: Vec<Vec<Entry>>,
+    clock: u64,
+    stats: TlbStats,
+}
+
+impl Tlb {
+    /// Creates an empty TLB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a multiple of `associativity`, or if the
+    /// resulting set count or the page size is not a power of two.
+    #[must_use]
+    pub fn new(config: TlbConfig) -> Self {
+        assert!(config.entries > 0 && config.associativity > 0);
+        assert_eq!(config.entries % config.associativity, 0);
+        let sets = config.entries / config.associativity;
+        assert!(sets.is_power_of_two(), "TLB set count must be a power of two");
+        assert!(config.page_bytes.is_power_of_two());
+        Tlb {
+            config,
+            sets: vec![vec![Entry::default(); config.associativity as usize]; sets as usize],
+            clock: 0,
+            stats: TlbStats::default(),
+        }
+    }
+
+    /// The TLB configuration.
+    #[must_use]
+    pub fn config(&self) -> &TlbConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> &TlbStats {
+        &self.stats
+    }
+
+    /// Resets the statistics (contents are preserved).
+    pub fn reset_stats(&mut self) {
+        self.stats = TlbStats::default();
+    }
+
+    fn index_and_tag(&self, addr: u32) -> (usize, u32) {
+        let vpn = addr / self.config.page_bytes;
+        let sets = (self.config.entries / self.config.associativity) as u32;
+        ((vpn % sets) as usize, vpn / sets)
+    }
+
+    /// Translates `addr`, filling the entry on a miss. Returns the latency in
+    /// cycles (hit latency or miss penalty).
+    pub fn access(&mut self, addr: u32) -> u32 {
+        self.clock += 1;
+        let (index, tag) = self.index_and_tag(addr);
+        let set = &mut self.sets[index];
+        self.stats.accesses += 1;
+
+        if let Some(e) = set.iter_mut().find(|e| e.valid && e.vpn_tag == tag) {
+            e.lru = self.clock;
+            self.stats.hits += 1;
+            return self.config.hit_latency;
+        }
+
+        self.stats.misses += 1;
+        let victim = set
+            .iter_mut()
+            .min_by_key(|e| if e.valid { e.lru + 1 } else { 0 })
+            .expect("sets are never empty");
+        victim.valid = true;
+        victim.vpn_tag = tag;
+        victim.lru = self.clock;
+        self.config.miss_penalty
+    }
+
+    /// Probes without updating state or statistics.
+    #[must_use]
+    pub fn probe(&self, addr: u32) -> bool {
+        let (index, tag) = self.index_and_tag(addr);
+        self.sets[index].iter().any(|e| e.valid && e.vpn_tag == tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_touch_misses_then_hits() {
+        let mut t = Tlb::new(TlbConfig::paper_itlb());
+        assert_eq!(t.access(0x0040_0000), 30);
+        assert_eq!(t.access(0x0040_0ffc), 1); // same page
+        assert_eq!(t.access(0x0040_1000), 30); // next page
+        assert_eq!(t.stats().hits, 1);
+        assert_eq!(t.stats().misses, 2);
+    }
+
+    #[test]
+    fn capacity_evicts_lru_pages() {
+        let cfg = TlbConfig {
+            entries: 4,
+            associativity: 4,
+            page_bytes: 4096,
+            hit_latency: 1,
+            miss_penalty: 30,
+        };
+        let mut t = Tlb::new(cfg);
+        for p in 0..4u32 {
+            t.access(p * 4096);
+        }
+        t.access(0); // refresh page 0
+        t.access(4 * 4096); // evicts page 1 (LRU)
+        assert!(t.probe(0));
+        assert!(!t.probe(4096));
+    }
+
+    #[test]
+    fn paper_dtlb_parameters() {
+        let t = Tlb::new(TlbConfig::paper_dtlb());
+        assert_eq!(t.config().entries, 32);
+        assert_eq!(t.config().associativity, 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn inconsistent_geometry_panics() {
+        let _ = Tlb::new(TlbConfig {
+            entries: 6,
+            associativity: 4,
+            page_bytes: 4096,
+            hit_latency: 1,
+            miss_penalty: 30,
+        });
+    }
+}

@@ -1,0 +1,149 @@
+//! Branch prediction (the paper's stated future-work item).
+//!
+//! §3 of the paper notes that its machines perform no branch prediction,
+//! "although the trend is toward implementing branch prediction. The
+//! implications of branch prediction will be the subject of future study."
+//! This module provides that study: a classic two-bit bimodal predictor that
+//! the timing engine can optionally consult, so the cost of the serial
+//! organizations can be separated into "narrow datapath" and "branch stall"
+//! components.
+
+/// A two-bit saturating-counter (bimodal) branch predictor.
+///
+/// ```
+/// use sigcomp_pipeline::BimodalPredictor;
+/// let mut p = BimodalPredictor::new(256);
+/// // A loop branch that is almost always taken trains quickly.
+/// for _ in 0..8 {
+///     let _ = p.predict(0x400100);
+///     p.update(0x400100, true);
+/// }
+/// assert!(p.predict(0x400100));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BimodalPredictor {
+    /// Two-bit counters: 0–1 predict not-taken, 2–3 predict taken.
+    counters: Vec<u8>,
+    predictions: u64,
+    mispredictions: u64,
+}
+
+impl BimodalPredictor {
+    /// Creates a predictor with `entries` two-bit counters (rounded up to a
+    /// power of two), initialized to weakly not-taken.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero.
+    #[must_use]
+    pub fn new(entries: usize) -> Self {
+        assert!(entries > 0, "predictor needs at least one entry");
+        BimodalPredictor {
+            counters: vec![1; entries.next_power_of_two()],
+            predictions: 0,
+            mispredictions: 0,
+        }
+    }
+
+    fn index(&self, pc: u32) -> usize {
+        ((pc >> 2) as usize) & (self.counters.len() - 1)
+    }
+
+    /// Predicts whether the branch at `pc` will be taken.
+    #[must_use]
+    pub fn predict(&self, pc: u32) -> bool {
+        self.counters[self.index(pc)] >= 2
+    }
+
+    /// Records the actual outcome of the branch at `pc`, updating the
+    /// counters and the accuracy statistics. Returns `true` if the
+    /// prediction made by [`BimodalPredictor::predict`] would have been
+    /// correct.
+    pub fn update(&mut self, pc: u32, taken: bool) -> bool {
+        let index = self.index(pc);
+        let predicted = self.counters[index] >= 2;
+        self.predictions += 1;
+        if predicted != taken {
+            self.mispredictions += 1;
+        }
+        let counter = &mut self.counters[index];
+        if taken {
+            *counter = (*counter + 1).min(3);
+        } else {
+            *counter = counter.saturating_sub(1);
+        }
+        predicted == taken
+    }
+
+    /// Number of branches predicted so far.
+    #[must_use]
+    pub fn predictions(&self) -> u64 {
+        self.predictions
+    }
+
+    /// Number of mispredictions so far.
+    #[must_use]
+    pub fn mispredictions(&self) -> u64 {
+        self.mispredictions
+    }
+
+    /// Prediction accuracy in [0, 1] (1.0 when no branches were seen).
+    #[must_use]
+    pub fn accuracy(&self) -> f64 {
+        if self.predictions == 0 {
+            1.0
+        } else {
+            1.0 - self.mispredictions as f64 / self.predictions as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loop_branches_train_to_taken() {
+        let mut p = BimodalPredictor::new(64);
+        for _ in 0..100 {
+            p.update(0x0040_0010, true);
+        }
+        assert!(p.predict(0x0040_0010));
+        assert!(p.accuracy() > 0.95);
+    }
+
+    #[test]
+    fn alternating_branches_are_hard() {
+        let mut p = BimodalPredictor::new(64);
+        for i in 0..200 {
+            p.update(0x0040_0020, i % 2 == 0);
+        }
+        assert!(p.accuracy() < 0.7);
+        assert_eq!(p.predictions(), 200);
+        assert!(p.mispredictions() > 0);
+    }
+
+    #[test]
+    fn distinct_branches_use_distinct_counters() {
+        let mut p = BimodalPredictor::new(1024);
+        for _ in 0..10 {
+            p.update(0x0040_0000, true);
+            p.update(0x0040_0004, false);
+        }
+        assert!(p.predict(0x0040_0000));
+        assert!(!p.predict(0x0040_0004));
+    }
+
+    #[test]
+    fn table_size_rounds_up_to_power_of_two() {
+        let p = BimodalPredictor::new(100);
+        assert_eq!(p.counters.len(), 128);
+        assert_eq!(p.accuracy(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_entries_panics() {
+        let _ = BimodalPredictor::new(0);
+    }
+}

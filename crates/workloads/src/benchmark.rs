@@ -1,0 +1,200 @@
+//! The benchmark registry: named kernels with assembled programs.
+
+use crate::kernels;
+use sigcomp_isa::{ExecRecord, Interpreter, IsaError, Program, Trace};
+
+/// How much work each kernel does. All experiments are trace-driven, so the
+/// size only scales run time, not the shape of the results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum WorkloadSize {
+    /// A few hundred to a few thousand instructions per kernel — unit tests.
+    Tiny,
+    /// Tens of thousands of instructions per kernel — the default for the
+    /// experiment harness.
+    #[default]
+    Default,
+    /// Hundreds of thousands of instructions per kernel — benches and
+    /// high-fidelity runs.
+    Large,
+}
+
+impl WorkloadSize {
+    /// A kernel-neutral element-count scaling factor.
+    #[must_use]
+    pub fn elements(self, default_elements: u32) -> u32 {
+        match self {
+            WorkloadSize::Tiny => (default_elements / 16).max(8),
+            WorkloadSize::Default => default_elements,
+            WorkloadSize::Large => default_elements * 8,
+        }
+    }
+}
+
+/// A named, assembled benchmark kernel.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    name: &'static str,
+    description: &'static str,
+    program: Program,
+    fuel: u64,
+}
+
+impl Benchmark {
+    /// Creates a benchmark from an assembled program.
+    #[must_use]
+    pub fn new(
+        name: &'static str,
+        description: &'static str,
+        program: Program,
+        fuel: u64,
+    ) -> Self {
+        Benchmark {
+            name,
+            description,
+            program,
+            fuel,
+        }
+    }
+
+    /// The benchmark's short name (matches the Mediabench program it mirrors).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// A one-line description of what the kernel computes.
+    #[must_use]
+    pub fn description(&self) -> &'static str {
+        self.description
+    }
+
+    /// The assembled program.
+    #[must_use]
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Executes the kernel and returns its full dynamic trace.
+    ///
+    /// # Errors
+    ///
+    /// Propagates interpreter errors (these indicate a bug in the kernel).
+    pub fn trace(&self) -> Result<Trace, IsaError> {
+        let mut interp = Interpreter::new(&self.program);
+        interp.run(self.fuel)
+    }
+
+    /// Executes the kernel, streaming each retired instruction to `f`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates interpreter errors (these indicate a bug in the kernel).
+    pub fn run_each<F: FnMut(&ExecRecord)>(&self, f: F) -> Result<(), IsaError> {
+        let mut interp = Interpreter::new(&self.program);
+        interp.run_each(self.fuel, f)
+    }
+
+    /// Executes the kernel and returns the number of retired instructions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates interpreter errors (these indicate a bug in the kernel).
+    pub fn instruction_count(&self) -> Result<u64, IsaError> {
+        let mut count = 0u64;
+        self.run_each(|_| count += 1)?;
+        Ok(count)
+    }
+}
+
+/// Builds the full benchmark suite at the given size.
+///
+/// The names mirror the Mediabench programs each kernel stands in for.
+///
+/// # Panics
+///
+/// Panics if any kernel fails to assemble — that is a bug in this crate, not
+/// a runtime condition.
+#[must_use]
+pub fn suite(size: WorkloadSize) -> Vec<Benchmark> {
+    kernels::all(size)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kernel_assembles_runs_and_terminates() {
+        for b in suite(WorkloadSize::Tiny) {
+            let trace = b
+                .trace()
+                .unwrap_or_else(|e| panic!("kernel {} failed: {e}", b.name()));
+            assert!(
+                trace.len() > 100,
+                "kernel {} retired only {} instructions",
+                b.name(),
+                trace.len()
+            );
+        }
+    }
+
+    #[test]
+    fn suite_has_distinct_names() {
+        use std::collections::HashSet;
+        let names: Vec<_> = suite(WorkloadSize::Tiny).iter().map(|b| b.name()).collect();
+        let set: HashSet<_> = names.iter().collect();
+        assert_eq!(set.len(), names.len());
+        assert!(names.len() >= 10, "expected at least 10 kernels");
+    }
+
+    #[test]
+    fn kernels_have_realistic_instruction_mixes() {
+        for b in suite(WorkloadSize::Tiny) {
+            let trace = b.trace().unwrap();
+            let loads = trace.fraction(|r| r.instr.op.is_load());
+            let stores = trace.fraction(|r| r.instr.op.is_store());
+            let branches = trace.fraction(|r| r.instr.op.is_branch());
+            assert!(
+                loads + stores > 0.02,
+                "{} has almost no memory traffic ({:.3})",
+                b.name(),
+                loads + stores
+            );
+            assert!(
+                branches > 0.01 && branches < 0.5,
+                "{} branch fraction {:.3} is implausible",
+                b.name(),
+                branches
+            );
+        }
+    }
+
+    #[test]
+    fn sizes_scale_instruction_counts() {
+        let tiny: u64 = suite(WorkloadSize::Tiny)
+            .iter()
+            .map(|b| b.instruction_count().unwrap())
+            .sum();
+        let default: u64 = suite(WorkloadSize::Default)
+            .iter()
+            .map(|b| b.instruction_count().unwrap())
+            .sum();
+        assert!(default > tiny * 4, "default {default} vs tiny {tiny}");
+    }
+
+    #[test]
+    fn workload_size_elements_scale() {
+        assert_eq!(WorkloadSize::Default.elements(256), 256);
+        assert_eq!(WorkloadSize::Large.elements(256), 2048);
+        assert!(WorkloadSize::Tiny.elements(256) >= 8);
+        assert_eq!(WorkloadSize::default(), WorkloadSize::Default);
+    }
+
+    #[test]
+    fn descriptions_are_present() {
+        for b in suite(WorkloadSize::Tiny) {
+            assert!(!b.description().is_empty());
+            assert!(!b.program().is_empty());
+        }
+    }
+}

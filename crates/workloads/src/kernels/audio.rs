@@ -1,0 +1,291 @@
+//! Audio/speech kernels: ADPCM encode/decode (`rawcaudio`/`rawdaudio`),
+//! G.721-style prediction and GSM-style autocorrelation.
+
+use super::{audio_samples, WorkloadSize};
+use crate::benchmark::Benchmark;
+use sigcomp_isa::reg::{A0, A1, A2, S0, S1, T0, T1, T2, T3, T4, T5, T6, T7, T8, ZERO};
+use sigcomp_isa::ProgramBuilder;
+
+const FUEL: u64 = 50_000_000;
+
+/// A 16-entry quantizer step table (a coarsened IMA-ADPCM step table).
+const STEP_TABLE: [u32; 16] = [
+    7, 13, 25, 45, 80, 140, 250, 440, 780, 1370, 2400, 4200, 7350, 12800, 22000, 32767,
+];
+
+fn emit_index_clamp(b: &mut ProgramBuilder, code_reg: sigcomp_isa::Reg, prefix: &str) {
+    // index += (code & 7) >= 4 ? +2 : -1, clamped to [0, 15].
+    let up = format!("{prefix}_up");
+    let clamp = format!("{prefix}_clamp");
+    let cl2 = format!("{prefix}_cl2");
+    let done = format!("{prefix}_done");
+    b.andi(T7, code_reg, 7);
+    b.slti(T6, T7, 4);
+    b.beq(T6, ZERO, &up);
+    b.addiu(S1, S1, -1);
+    b.b(&clamp);
+    b.label(&up);
+    b.addiu(S1, S1, 2);
+    b.label(&clamp);
+    b.bgez(S1, &cl2);
+    b.li(S1, 0);
+    b.label(&cl2);
+    b.slti(T6, S1, 16);
+    b.bne(T6, ZERO, &done);
+    b.li(S1, 15);
+    b.label(&done);
+}
+
+/// `rawcaudio`: IMA-ADPCM-style encoding of a PCM sample stream into 4-bit
+/// codes. Mirrors the Mediabench `adpcm/rawcaudio` program.
+#[must_use]
+pub fn adpcm_encode(size: WorkloadSize) -> Benchmark {
+    let n = size.elements(2048);
+    let mut b = ProgramBuilder::new();
+
+    b.dlabel("samples");
+    b.halves(&audio_samples(n, 2047, 0xadc0));
+    b.align(4);
+    b.dlabel("steps");
+    b.words(&STEP_TABLE);
+    b.dlabel("out");
+    b.space(n as usize);
+
+    b.la(A0, "samples");
+    b.la(A1, "out");
+    b.la(A2, "steps");
+    b.li(T0, 0); // i
+    b.li(T1, n as i32); // limit
+    b.li(S0, 0); // predictor
+    b.li(S1, 0); // step index
+
+    b.label("loop");
+    b.lh(T2, A0, 0); // sample
+    b.subu(T3, T2, S0); // diff
+    b.li(T5, 0); // code
+    b.bgez(T3, "pos");
+    b.subu(T3, ZERO, T3);
+    b.ori(T5, T5, 8);
+    b.label("pos");
+    b.sll(T6, S1, 2);
+    b.addu(T6, A2, T6);
+    b.lw(T4, T6, 0); // step
+    // bit 2 of the magnitude
+    b.slt(T7, T3, T4);
+    b.bne(T7, ZERO, "b2");
+    b.ori(T5, T5, 4);
+    b.subu(T3, T3, T4);
+    b.label("b2");
+    b.sra(T4, T4, 1);
+    b.slt(T7, T3, T4);
+    b.bne(T7, ZERO, "b1");
+    b.ori(T5, T5, 2);
+    b.subu(T3, T3, T4);
+    b.label("b1");
+    b.sra(T4, T4, 1);
+    b.slt(T7, T3, T4);
+    b.bne(T7, ZERO, "b0");
+    b.ori(T5, T5, 1);
+    b.label("b0");
+    b.sb(T5, A1, 0);
+    // Leaky predictor update: predictor += (sample - predictor) >> 2.
+    b.subu(T6, T2, S0);
+    b.sra(T6, T6, 2);
+    b.addu(S0, S0, T6);
+    emit_index_clamp(&mut b, T5, "enc");
+    b.addiu(A0, A0, 2);
+    b.addiu(A1, A1, 1);
+    b.addiu(T0, T0, 1);
+    b.bne(T0, T1, "loop");
+    b.halt();
+
+    Benchmark::new(
+        "rawcaudio",
+        "ADPCM-style encoding of a PCM audio stream into 4-bit codes",
+        b.assemble().expect("rawcaudio assembles"),
+        FUEL,
+    )
+}
+
+/// `rawdaudio`: the matching ADPCM-style decoder (codes back to samples).
+#[must_use]
+pub fn adpcm_decode(size: WorkloadSize) -> Benchmark {
+    let n = size.elements(2048);
+    let mut b = ProgramBuilder::new();
+
+    // Feed the decoder pseudo-codes derived from an audio stream: low nibble
+    // of each sample delta, which has the right statistics for a decoder.
+    let samples = audio_samples(n, 2047, 0xdec0);
+    let codes: Vec<u8> = samples
+        .windows(2)
+        .map(|w| {
+            let d = i32::from(w[1]) - i32::from(w[0]);
+            let sign = if d < 0 { 8u8 } else { 0 };
+            sign | ((d.unsigned_abs() >> 6).min(7) as u8)
+        })
+        .chain(std::iter::once(0))
+        .collect();
+
+    b.dlabel("codes");
+    b.bytes(&codes);
+    b.align(4);
+    b.dlabel("steps");
+    b.words(&STEP_TABLE);
+    b.dlabel("out");
+    b.space(2 * n as usize);
+
+    b.la(A0, "codes");
+    b.la(A1, "out");
+    b.la(A2, "steps");
+    b.li(T0, 0);
+    b.li(T1, n as i32);
+    b.li(S0, 0); // predictor
+    b.li(S1, 0); // step index
+
+    b.label("loop");
+    b.lbu(T2, A0, 0); // code
+    b.sll(T6, S1, 2);
+    b.addu(T6, A2, T6);
+    b.lw(T4, T6, 0); // step
+    b.sra(T3, T4, 3); // diff = step >> 3
+    b.andi(T7, T2, 4);
+    b.beq(T7, ZERO, "skip4");
+    b.addu(T3, T3, T4);
+    b.label("skip4");
+    b.andi(T7, T2, 2);
+    b.beq(T7, ZERO, "skip2");
+    b.sra(T6, T4, 1);
+    b.addu(T3, T3, T6);
+    b.label("skip2");
+    b.andi(T7, T2, 1);
+    b.beq(T7, ZERO, "skip1");
+    b.sra(T6, T4, 2);
+    b.addu(T3, T3, T6);
+    b.label("skip1");
+    b.andi(T7, T2, 8);
+    b.beq(T7, ZERO, "positive");
+    b.subu(T3, ZERO, T3);
+    b.label("positive");
+    b.addu(S0, S0, T3);
+    b.sh(S0, A1, 0);
+    emit_index_clamp(&mut b, T2, "dec");
+    b.addiu(A0, A0, 1);
+    b.addiu(A1, A1, 2);
+    b.addiu(T0, T0, 1);
+    b.bne(T0, T1, "loop");
+    b.halt();
+
+    Benchmark::new(
+        "rawdaudio",
+        "ADPCM-style decoding of 4-bit codes back into PCM samples",
+        b.assemble().expect("rawdaudio assembles"),
+        FUEL,
+    )
+}
+
+/// `g721`: a fixed four-tap linear predictor over a sample stream, storing
+/// the prediction error (the heart of G.721/G.723 encoders).
+#[must_use]
+pub fn g721_predict(size: WorkloadSize) -> Benchmark {
+    let n = size.elements(2048);
+    let mut b = ProgramBuilder::new();
+
+    b.dlabel("samples");
+    b.halves(&audio_samples(n + 4, 4000, 0x0721));
+    b.align(4);
+    b.dlabel("errors");
+    b.space(2 * n as usize);
+
+    b.la(A0, "samples");
+    b.addiu(A0, A0, 8); // start at x[4]
+    b.la(A1, "errors");
+    b.li(T0, 0);
+    b.li(T1, n as i32);
+    b.li(S0, 0); // error energy accumulator
+
+    b.label("loop");
+    b.lh(T2, A0, 0); // x[i]
+    b.lh(T3, A0, -2); // x[i-1]
+    b.lh(T4, A0, -4); // x[i-2]
+    b.lh(T5, A0, -6); // x[i-3]
+    b.lh(T6, A0, -8); // x[i-4]
+    // pred = (3*x1 + 2*x2 - x3 + x4) >> 2
+    b.sll(T7, T3, 1);
+    b.addu(T7, T7, T3);
+    b.sll(T8, T4, 1);
+    b.addu(T7, T7, T8);
+    b.subu(T7, T7, T5);
+    b.addu(T7, T7, T6);
+    b.sra(T7, T7, 2);
+    b.subu(T7, T2, T7); // err
+    b.sh(T7, A1, 0);
+    // Accumulate |err| as a rough energy measure.
+    b.bgez(T7, "accum");
+    b.subu(T7, ZERO, T7);
+    b.label("accum");
+    b.addu(S0, S0, T7);
+    b.addiu(A0, A0, 2);
+    b.addiu(A1, A1, 2);
+    b.addiu(T0, T0, 1);
+    b.bne(T0, T1, "loop");
+    b.halt();
+
+    Benchmark::new(
+        "g721",
+        "four-tap linear prediction with error-energy accumulation (G.721 style)",
+        b.assemble().expect("g721 assembles"),
+        FUEL,
+    )
+}
+
+/// `gsmencode`: short-term autocorrelation of a speech frame for eight lags,
+/// the dominant loop of the GSM 06.10 LPC analysis.
+#[must_use]
+pub fn gsm_autocorrelation(size: WorkloadSize) -> Benchmark {
+    let n = size.elements(512);
+    let lags = 8u32;
+    let mut b = ProgramBuilder::new();
+
+    b.dlabel("frame");
+    b.halves(&audio_samples(n, 1500, 0x6513));
+    b.align(4);
+    b.dlabel("acf");
+    b.space(4 * lags as usize);
+
+    b.la(A0, "frame");
+    b.la(A1, "acf");
+    b.li(S1, 0); // k (lag)
+    b.li(T8, lags as i32);
+
+    b.label("lag_loop");
+    b.li(S0, 0); // acc
+    b.mov(T0, S1); // i = k
+    b.li(T1, n as i32);
+    b.sll(T2, S1, 1);
+    b.addu(T2, A0, T2); // &frame[k] ... pointer for s[i]
+    b.la(A2, "frame"); // pointer for s[i-k]
+
+    b.label("sample_loop");
+    b.lh(T3, T2, 0); // s[i]
+    b.lh(T4, A2, 0); // s[i-k]
+    b.mult(T3, T4);
+    b.mflo(T5);
+    b.addu(S0, S0, T5);
+    b.addiu(T2, T2, 2);
+    b.addiu(A2, A2, 2);
+    b.addiu(T0, T0, 1);
+    b.bne(T0, T1, "sample_loop");
+
+    b.sw(S0, A1, 0);
+    b.addiu(A1, A1, 4);
+    b.addiu(S1, S1, 1);
+    b.bne(S1, T8, "lag_loop");
+    b.halt();
+
+    Benchmark::new(
+        "gsmencode",
+        "eight-lag autocorrelation of a speech frame (GSM 06.10 LPC analysis)",
+        b.assemble().expect("gsmencode assembles"),
+        FUEL,
+    )
+}

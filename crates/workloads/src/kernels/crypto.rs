@@ -1,0 +1,156 @@
+//! Security/DSP kernels: Pegwit-style modular arithmetic, a PGP/CRC-style
+//! checksum and a RASTA-style recursive filter bank.
+//!
+//! The cryptographic kernels intentionally manipulate full-width values —
+//! they are the benchmarks for which significance compression helps least,
+//! which is exactly the per-benchmark spread the paper's Table 5 shows.
+
+use super::{audio_samples, crc32_table, pixel_bytes, wide_words, WorkloadSize};
+use crate::benchmark::Benchmark;
+use sigcomp_isa::reg::{A0, A1, A2, S0, S1, T0, T1, T2, T3, T4, T5, T6, T7, T8};
+use sigcomp_isa::ProgramBuilder;
+
+const FUEL: u64 = 50_000_000;
+
+/// `pegwit`: a square-and-add modular recurrence over full-width words
+/// (elliptic-curve-style field arithmetic stand-in). Values stay wide, so
+/// compression gains are small — the pessimistic end of the benchmark spread.
+#[must_use]
+pub fn pegwit_modmul(size: WorkloadSize) -> Benchmark {
+    let n = size.elements(1024);
+    let mut b = ProgramBuilder::new();
+
+    b.dlabel("seeds");
+    b.words(&wide_words(n, 0x9e37));
+    b.dlabel("digest");
+    b.space(4 * n as usize);
+
+    b.la(A0, "seeds");
+    b.la(A1, "digest");
+    b.li(T0, 0);
+    b.li(T1, n as i32);
+    b.li(S0, 0x7fff_fff1u32 as i32); // a large prime-ish modulus
+    b.li(S1, 0x0badc0deu32 as i32); // running state
+
+    b.label("loop");
+    b.lw(T2, A0, 0);
+    b.xor(T3, T2, S1); // mix in the running state
+    b.multu(T3, T3); // square
+    b.mflo(T4);
+    b.mfhi(T5);
+    b.addu(T4, T4, T5); // fold the high half back in
+    b.addu(T4, T4, T2);
+    b.divu(T4, S0); // reduce modulo S0
+    b.mfhi(T6); // remainder
+    b.xor(S1, S1, T6);
+    b.sw(T6, A1, 0);
+    b.addiu(A0, A0, 4);
+    b.addiu(A1, A1, 4);
+    b.addiu(T0, T0, 1);
+    b.bne(T0, T1, "loop");
+    b.halt();
+
+    Benchmark::new(
+        "pegwit",
+        "square-and-add modular recurrence over full-width words (public-key kernel)",
+        b.assemble().expect("pegwit assembles"),
+        FUEL,
+    )
+}
+
+/// `pgp`: a table-driven CRC-32 over a message buffer, the checksum loop that
+/// dominates PGP-style packet processing.
+#[must_use]
+pub fn pgp_crc32(size: WorkloadSize) -> Benchmark {
+    let n = size.elements(4096);
+    let mut b = ProgramBuilder::new();
+
+    b.dlabel("message");
+    b.bytes(&pixel_bytes(n, 0x9690));
+    b.align(4);
+    b.dlabel("crc_table");
+    b.words(&crc32_table());
+    b.dlabel("crc_out");
+    b.space(4);
+
+    b.la(A0, "message");
+    b.la(A1, "crc_table");
+    b.li(T0, 0);
+    b.li(T1, n as i32);
+    b.li(S0, -1); // crc = 0xffffffff
+
+    b.label("loop");
+    b.lbu(T2, A0, 0);
+    b.xor(T3, S0, T2);
+    b.andi(T3, T3, 0xff);
+    b.sll(T3, T3, 2);
+    b.addu(T3, A1, T3);
+    b.lw(T4, T3, 0); // table[(crc ^ byte) & 0xff]
+    b.srl(T5, S0, 8);
+    b.xor(S0, T4, T5);
+    b.addiu(A0, A0, 1);
+    b.addiu(T0, T0, 1);
+    b.bne(T0, T1, "loop");
+    b.nor(S0, S0, sigcomp_isa::reg::ZERO); // final complement
+    b.la(T6, "crc_out");
+    b.sw(S0, T6, 0);
+    b.halt();
+
+    Benchmark::new(
+        "pgp",
+        "table-driven CRC-32 over a message buffer (PGP packet checksum)",
+        b.assemble().expect("pgp assembles"),
+        FUEL,
+    )
+}
+
+/// `rasta`: a two-pole, fixed-point recursive (IIR) filter bank applied to a
+/// speech signal, as in the RASTA-PLP front end.
+#[must_use]
+pub fn rasta_filter(size: WorkloadSize) -> Benchmark {
+    let n = size.elements(2048);
+    let mut b = ProgramBuilder::new();
+
+    b.dlabel("signal");
+    b.halves(&audio_samples(n, 3000, 0x7a57));
+    b.align(4);
+    b.dlabel("filtered");
+    b.space(2 * n as usize);
+
+    b.la(A0, "signal");
+    b.la(A1, "filtered");
+    b.li(T0, 0);
+    b.li(T1, n as i32);
+    b.li(S0, 0); // y[n-1] (Q12)
+    b.li(S1, 0); // y[n-2] (Q12)
+    b.li(T7, 3993); // a1 ≈ 0.975 in Q12
+    b.li(T8, -3702); // a2 ≈ -0.904 in Q12
+
+    b.label("loop");
+    b.lh(T2, A0, 0); // x[n]
+    b.mult(S0, T7);
+    b.mflo(T3); // a1*y1
+    b.mult(S1, T8);
+    b.mflo(T4); // a2*y2
+    b.addu(T5, T3, T4);
+    b.sra(T5, T5, 12);
+    b.addu(T5, T5, T2); // y = x + (a1*y1 + a2*y2) >> 12
+    b.mov(S1, S0);
+    b.mov(S0, T5);
+    // Output the band-passed sample (y - x) saturated by an arithmetic shift.
+    b.subu(T6, T5, T2);
+    b.sra(A2, T6, 1);
+    b.sh(A2, A1, 0);
+    b.addiu(A0, A0, 2);
+    b.addiu(A1, A1, 2);
+    b.addiu(T0, T0, 1);
+    b.bne(T0, T1, "loop");
+    b.halt();
+
+    Benchmark::new(
+        "rasta",
+        "two-pole fixed-point IIR filter bank over a speech signal (RASTA front end)",
+        b.assemble().expect("rasta assembles"),
+        FUEL,
+    )
+}

@@ -1,0 +1,307 @@
+//! Image/video kernels: JPEG-style forward and inverse DCT rows, an
+//! EPIC-style wavelet lifting filter and MPEG-2-style motion estimation.
+
+use super::{pixel_bytes, WorkloadSize};
+use crate::benchmark::Benchmark;
+use sigcomp_isa::reg::{A0, A1, A2, S0, S1, S2, S3, T0, T1, T2, T3, T4, T5, T6, T7, T8, T9, ZERO};
+use sigcomp_isa::ProgramBuilder;
+
+const FUEL: u64 = 50_000_000;
+
+/// `cjpeg`: the row pass of an 8-point integer forward DCT (butterflies,
+/// shifts and a coarse quantization), applied to rows of image samples.
+#[must_use]
+pub fn jpeg_fdct(size: WorkloadSize) -> Benchmark {
+    let rows = size.elements(256);
+    let mut b = ProgramBuilder::new();
+
+    let pixels = pixel_bytes(rows * 8, 0x0dc7);
+    let samples: Vec<i16> = pixels.iter().map(|&p| i16::from(p) - 128).collect();
+    b.dlabel("rows");
+    b.halves(&samples);
+    b.align(4);
+    b.dlabel("coeffs");
+    b.space(2 * (rows * 8) as usize);
+
+    b.la(A0, "rows");
+    b.la(A1, "coeffs");
+    b.li(T0, 0);
+    b.li(T1, rows as i32);
+
+    b.label("row_loop");
+    // Load the eight samples of the row.
+    b.lh(T2, A0, 0);
+    b.lh(T3, A0, 2);
+    b.lh(T4, A0, 4);
+    b.lh(T5, A0, 6);
+    b.lh(T6, A0, 8);
+    b.lh(T7, A0, 10);
+    b.lh(T8, A0, 12);
+    b.lh(T9, A0, 14);
+    // Even part: sums of mirrored pairs.
+    b.addu(S0, T2, T9); // s0 = x0 + x7
+    b.addu(S1, T3, T8); // s1 = x1 + x6
+    b.addu(S2, T4, T7); // s2 = x2 + x5
+    b.addu(S3, T5, T6); // s3 = x3 + x4
+    // DC and the low even coefficients.
+    b.addu(A2, S0, S3);
+    b.addu(T2, S1, S2);
+    b.addu(T3, A2, T2); // c0 = s0+s1+s2+s3
+    b.subu(T4, A2, T2); // c4 = s0-s1-s2+s3
+    b.sh(T3, A1, 0);
+    b.sh(T4, A1, 8);
+    // c2 ≈ ((s0-s3)*362 + (s1-s2)*150) >> 8 (integer rotation).
+    b.subu(T5, S0, S3);
+    b.subu(T6, S1, S2);
+    b.li(T7, 362);
+    b.mult(T5, T7);
+    b.mflo(T8);
+    b.li(T7, 150);
+    b.mult(T6, T7);
+    b.mflo(T9);
+    b.addu(T8, T8, T9);
+    b.sra(T8, T8, 8);
+    b.sh(T8, A1, 4);
+    b.subu(T8, T9, T8);
+    b.sra(T8, T8, 8);
+    b.sh(T8, A1, 12);
+    // Odd part: reload the inputs and take mirrored differences.
+    b.lh(T2, A0, 0);
+    b.lh(T9, A0, 14);
+    b.subu(S0, T2, T9); // d0 = x0 - x7
+    b.lh(T3, A0, 2);
+    b.lh(T8, A0, 12);
+    b.subu(S1, T3, T8); // d1 = x1 - x6
+    b.lh(T4, A0, 4);
+    b.lh(T7, A0, 10);
+    b.subu(S2, T4, T7); // d2 = x2 - x5
+    b.lh(T5, A0, 6);
+    b.lh(T6, A0, 8);
+    b.subu(S3, T5, T6); // d3 = x3 - x4
+    // Coarse odd coefficients (shift-add rotations).
+    b.sll(T2, S0, 1);
+    b.addu(T2, T2, S1);
+    b.sra(T2, T2, 1);
+    b.sh(T2, A1, 2);
+    b.sll(T3, S1, 1);
+    b.subu(T3, T3, S2);
+    b.sra(T3, T3, 1);
+    b.sh(T3, A1, 6);
+    b.addu(T4, S2, S3);
+    b.sra(T4, T4, 1);
+    b.sh(T4, A1, 10);
+    b.subu(T5, S3, S0);
+    b.sra(T5, T5, 2);
+    b.sh(T5, A1, 14);
+    // Next row.
+    b.addiu(A0, A0, 16);
+    b.addiu(A1, A1, 16);
+    b.addiu(T0, T0, 1);
+    b.bne(T0, T1, "row_loop");
+    b.halt();
+
+    Benchmark::new(
+        "cjpeg",
+        "8-point integer forward DCT row pass with coarse quantization (JPEG encode)",
+        b.assemble().expect("cjpeg assembles"),
+        FUEL,
+    )
+}
+
+/// `djpeg`: an inverse-DCT-style reconstruction of rows followed by clamping
+/// to the 0–255 pixel range (JPEG decode).
+#[must_use]
+pub fn jpeg_idct(size: WorkloadSize) -> Benchmark {
+    let rows = size.elements(256);
+    let mut b = ProgramBuilder::new();
+
+    // Coefficients: mostly small values with a large DC term, like real
+    // quantized DCT blocks.
+    let pixels = pixel_bytes(rows * 8, 0x1dc7);
+    let coeffs: Vec<i16> = pixels
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| {
+            if i % 8 == 0 {
+                (i16::from(p) - 128) * 8
+            } else {
+                (i16::from(p) - 128) / 16
+            }
+        })
+        .collect();
+    b.dlabel("coeffs");
+    b.halves(&coeffs);
+    b.align(4);
+    b.dlabel("pixels");
+    b.space((rows * 8) as usize);
+
+    b.la(A0, "coeffs");
+    b.la(A1, "pixels");
+    b.li(T0, 0);
+    b.li(T1, rows as i32);
+
+    b.label("row_loop");
+    b.lh(T2, A0, 0); // DC
+    b.lh(T3, A0, 2);
+    b.lh(T4, A0, 4);
+    b.lh(T5, A0, 6);
+    // Reconstruct four output pairs from the low coefficients (a truncated
+    // inverse butterfly) and clamp each to [0, 255].
+    b.li(S1, 0); // column index (bytes)
+    b.li(S2, 4); // four pairs
+    b.label("col_loop");
+    // even estimate = (dc + c2) >> 3 + 128 ; odd estimate = (dc - c2 + c1 - c3) >> 3 + 128
+    b.addu(T6, T2, T4);
+    b.sra(T6, T6, 3);
+    b.addiu(T6, T6, 128);
+    b.subu(T7, T2, T4);
+    b.addu(T7, T7, T3);
+    b.subu(T7, T7, T5);
+    b.sra(T7, T7, 3);
+    b.addiu(T7, T7, 128);
+    // clamp T6
+    b.bgez(T6, "clamp_lo_done_a");
+    b.li(T6, 0);
+    b.label("clamp_lo_done_a");
+    b.slti(T8, T6, 256);
+    b.bne(T8, ZERO, "clamp_hi_done_a");
+    b.li(T6, 255);
+    b.label("clamp_hi_done_a");
+    // clamp T7
+    b.bgez(T7, "clamp_lo_done_b");
+    b.li(T7, 0);
+    b.label("clamp_lo_done_b");
+    b.slti(T8, T7, 256);
+    b.bne(T8, ZERO, "clamp_hi_done_b");
+    b.li(T7, 255);
+    b.label("clamp_hi_done_b");
+    b.addu(T9, A1, S1);
+    b.sb(T6, T9, 0);
+    b.sb(T7, T9, 1);
+    // Rotate the coefficient estimate so the four pairs differ.
+    b.addu(T3, T3, T4);
+    b.subu(T4, T4, T5);
+    b.addiu(S1, S1, 2);
+    b.addiu(S2, S2, -1);
+    b.bne(S2, ZERO, "col_loop");
+    // Next row.
+    b.addiu(A0, A0, 16);
+    b.addiu(A1, A1, 8);
+    b.addiu(T0, T0, 1);
+    b.bne(T0, T1, "row_loop");
+    b.halt();
+
+    Benchmark::new(
+        "djpeg",
+        "truncated inverse DCT row reconstruction with pixel clamping (JPEG decode)",
+        b.assemble().expect("djpeg assembles"),
+        FUEL,
+    )
+}
+
+/// `epic`: one level of a wavelet lifting transform (predict + update steps)
+/// over a sample vector, as in the EPIC image coder's filter pyramid.
+#[must_use]
+pub fn epic_wavelet(size: WorkloadSize) -> Benchmark {
+    let n = size.elements(2048); // must be even
+    let n = n & !1;
+    let mut b = ProgramBuilder::new();
+
+    let pixels = pixel_bytes(n + 2, 0xe91c);
+    let samples: Vec<i16> = pixels.iter().map(|&p| i16::from(p)).collect();
+    b.dlabel("signal");
+    b.halves(&samples);
+    b.align(4);
+    b.dlabel("detail");
+    b.space(n as usize); // n/2 halfwords
+    b.dlabel("approx");
+    b.space(n as usize);
+
+    b.la(A0, "signal");
+    b.la(A1, "detail");
+    b.la(A2, "approx");
+    b.li(T0, 0);
+    b.li(T1, (n / 2) as i32);
+
+    b.label("loop");
+    b.lh(T2, A0, 0); // even sample x[2i]
+    b.lh(T3, A0, 2); // odd sample x[2i+1]
+    b.lh(T4, A0, 4); // next even x[2i+2]
+    // Predict: d = x[2i+1] - ((x[2i] + x[2i+2]) >> 1)
+    b.addu(T5, T2, T4);
+    b.sra(T5, T5, 1);
+    b.subu(T6, T3, T5);
+    b.sh(T6, A1, 0);
+    // Update: s = x[2i] + (d >> 2)
+    b.sra(T7, T6, 2);
+    b.addu(T8, T2, T7);
+    b.sh(T8, A2, 0);
+    b.addiu(A0, A0, 4);
+    b.addiu(A1, A1, 2);
+    b.addiu(A2, A2, 2);
+    b.addiu(T0, T0, 1);
+    b.bne(T0, T1, "loop");
+    b.halt();
+
+    Benchmark::new(
+        "epic",
+        "one level of a wavelet lifting transform (EPIC-style image pyramid)",
+        b.assemble().expect("epic assembles"),
+        FUEL,
+    )
+}
+
+/// `mpeg2decode`: motion compensation inner loops — the sum of absolute
+/// differences between a current and a reference block plus the halfpel
+/// averaging write, over a sequence of 16-byte block rows.
+#[must_use]
+pub fn mpeg2_motion(size: WorkloadSize) -> Benchmark {
+    let n = size.elements(4096);
+    let mut b = ProgramBuilder::new();
+
+    b.dlabel("cur");
+    b.bytes(&pixel_bytes(n, 0x2001));
+    b.dlabel("ref");
+    b.bytes(&pixel_bytes(n, 0x2002));
+    b.align(4);
+    b.dlabel("pred");
+    b.space(n as usize);
+    b.dlabel("sad");
+    b.space(4);
+
+    b.la(A0, "cur");
+    b.la(A1, "ref");
+    b.la(A2, "pred");
+    b.li(T0, 0);
+    b.li(T1, n as i32);
+    b.li(S0, 0); // SAD accumulator
+
+    b.label("loop");
+    b.lbu(T2, A0, 0);
+    b.lbu(T3, A1, 0);
+    b.subu(T4, T2, T3);
+    b.bgez(T4, "abs_done");
+    b.subu(T4, ZERO, T4);
+    b.label("abs_done");
+    b.addu(S0, S0, T4);
+    // Half-pel average prediction: (cur + ref + 1) >> 1.
+    b.addu(T5, T2, T3);
+    b.addiu(T5, T5, 1);
+    b.srl(T5, T5, 1);
+    b.sb(T5, A2, 0);
+    b.addiu(A0, A0, 1);
+    b.addiu(A1, A1, 1);
+    b.addiu(A2, A2, 1);
+    b.addiu(T0, T0, 1);
+    b.bne(T0, T1, "loop");
+    b.la(T6, "sad");
+    b.sw(S0, T6, 0);
+    b.halt();
+
+    Benchmark::new(
+        "mpeg2decode",
+        "block SAD and half-pel averaging (MPEG-2 motion compensation)",
+        b.assemble().expect("mpeg2decode assembles"),
+        FUEL,
+    )
+}

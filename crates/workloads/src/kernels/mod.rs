@@ -1,0 +1,133 @@
+//! The kernel collection.
+//!
+//! Each kernel is an integer program written against the `sigcomp-isa`
+//! assembler, mirroring one Mediabench program (the suite the paper uses).
+//! Kernels are deterministic: input data is generated from fixed seeds, so a
+//! benchmark always produces the same trace.
+
+mod audio;
+mod crypto;
+mod image;
+
+use crate::benchmark::{Benchmark, WorkloadSize};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+pub use audio::{adpcm_decode, adpcm_encode, g721_predict, gsm_autocorrelation};
+pub use crypto::{pegwit_modmul, pgp_crc32, rasta_filter};
+pub use image::{epic_wavelet, jpeg_fdct, jpeg_idct, mpeg2_motion};
+
+/// Builds the full kernel suite at the given size, in the order the paper's
+/// figures list the benchmarks.
+///
+/// # Panics
+///
+/// Panics if a kernel fails to assemble (a bug in this crate).
+#[must_use]
+pub fn all(size: WorkloadSize) -> Vec<Benchmark> {
+    vec![
+        adpcm_encode(size),
+        adpcm_decode(size),
+        epic_wavelet(size),
+        g721_predict(size),
+        gsm_autocorrelation(size),
+        jpeg_fdct(size),
+        jpeg_idct(size),
+        mpeg2_motion(size),
+        pegwit_modmul(size),
+        pgp_crc32(size),
+        rasta_filter(size),
+    ]
+}
+
+/// Deterministic RNG for kernel input data.
+pub(crate) fn rng(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}
+
+/// Generates `n` pseudo-audio samples in `[-amplitude, amplitude]` with some
+/// low-frequency correlation (adjacent samples are close), like PCM audio.
+pub(crate) fn audio_samples(n: u32, amplitude: i16, seed: u64) -> Vec<i16> {
+    let mut r = rng(seed);
+    let mut value: i32 = 0;
+    (0..n)
+        .map(|_| {
+            let step = r.gen_range(-(i32::from(amplitude) / 8)..=(i32::from(amplitude) / 8));
+            value = (value + step).clamp(-i32::from(amplitude), i32::from(amplitude));
+            value as i16
+        })
+        .collect()
+}
+
+/// Generates `n` pseudo-pixel bytes (0–255) with spatial correlation.
+pub(crate) fn pixel_bytes(n: u32, seed: u64) -> Vec<u8> {
+    let mut r = rng(seed);
+    let mut value: i32 = 128;
+    (0..n)
+        .map(|_| {
+            value = (value + r.gen_range(-12..=12)).clamp(0, 255);
+            value as u8
+        })
+        .collect()
+}
+
+/// Generates `n` words drawn uniformly from the full 32-bit range (for the
+/// cryptographic kernels, whose values are wide by nature).
+pub(crate) fn wide_words(n: u32, seed: u64) -> Vec<u32> {
+    let mut r = rng(seed);
+    (0..n).map(|_| r.gen()).collect()
+}
+
+/// The standard CRC-32 (IEEE 802.3) lookup table.
+pub(crate) fn crc32_table() -> Vec<u32> {
+    (0u32..256)
+        .map(|i| {
+            let mut c = i;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xedb8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            c
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn audio_samples_are_bounded_and_correlated() {
+        let s = audio_samples(1000, 2000, 1);
+        assert_eq!(s.len(), 1000);
+        assert!(s.iter().all(|&v| (-2000..=2000).contains(&v)));
+        // Adjacent samples move by at most amplitude/8.
+        assert!(s.windows(2).all(|w| (w[1] - w[0]).abs() <= 250));
+        // Deterministic.
+        assert_eq!(s, audio_samples(1000, 2000, 1));
+        assert_ne!(s, audio_samples(1000, 2000, 2));
+    }
+
+    #[test]
+    fn pixels_are_bytes() {
+        let p = pixel_bytes(4096, 7);
+        assert_eq!(p.len(), 4096);
+        assert_eq!(p, pixel_bytes(4096, 7));
+    }
+
+    #[test]
+    fn crc_table_matches_known_values() {
+        let t = crc32_table();
+        assert_eq!(t.len(), 256);
+        assert_eq!(t[0], 0);
+        assert_eq!(t[1], 0x7707_3096);
+        assert_eq!(t[255], 0x2d02_ef8d);
+    }
+
+    #[test]
+    fn wide_words_fill_the_range() {
+        let w = wide_words(256, 3);
+        // With 256 uniform words, at least one should exceed 2^31.
+        assert!(w.iter().any(|&v| v > 0x8000_0000));
+        assert!(w.iter().any(|&v| v < 0x8000_0000));
+    }
+}

@@ -1,0 +1,40 @@
+//! # sigcomp-workloads
+//!
+//! Workloads for evaluating significance-compressed pipelines.
+//!
+//! The paper evaluates on the Mediabench suite compiled to MIPS binaries.
+//! Those binaries (and the toolchain that produced them) are not available
+//! here, so this crate substitutes two things (see DESIGN.md §2):
+//!
+//! 1. **Kernels** ([`kernels`], exposed through [`suite`]): hand-written
+//!    integer kernels in the spirit of the Mediabench programs — ADPCM
+//!    encode/decode, G.721-style prediction, GSM autocorrelation, JPEG
+//!    FDCT/IDCT, EPIC-style wavelet filtering, MPEG-2 IDCT + motion SAD,
+//!    Pegwit-style modular arithmetic, a CRC/PGP-style checksum and a
+//!    RASTA-style filter bank — expressed directly in the `sigcomp-isa`
+//!    assembler and executed by its interpreter. They produce naturally
+//!    narrow integer values, table lookups and branch behaviour like the
+//!    originals.
+//! 2. **Statistical traces** ([`synth`]): a trace synthesizer calibrated to
+//!    the paper's published distributions (Table 1 operand patterns, Table 3
+//!    function-code frequencies, §2.3 instruction mix), for experiments that
+//!    want the paper's aggregate statistics exactly.
+//!
+//! # Example
+//!
+//! ```
+//! let suite = sigcomp_workloads::suite(sigcomp_workloads::WorkloadSize::Tiny);
+//! assert!(suite.len() >= 10);
+//! let trace = suite[0].trace().unwrap();
+//! assert!(trace.len() > 100);
+//! ```
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod benchmark;
+pub mod kernels;
+pub mod synth;
+
+pub use benchmark::{suite, Benchmark, WorkloadSize};
+pub use synth::{SynthConfig, TraceSynthesizer};

@@ -1,0 +1,55 @@
+//! The paper's motivating scenario end to end: run the ADPCM audio kernels
+//! (the `rawcaudio`/`rawdaudio` stand-ins) through the activity study and the
+//! pipeline timing models, then report the energy/performance trade-off of
+//! each pipeline organization.
+//!
+//! Run with `cargo run --release --example adpcm_power`.
+
+use sigcomp::analyzer::{AnalyzerConfig, TraceAnalyzer};
+use sigcomp::EnergyModel;
+use sigcomp_pipeline::{OrgKind, Organization, PipelineSim};
+use sigcomp_workloads::{kernels, WorkloadSize};
+
+fn main() {
+    let benchmarks = [
+        kernels::adpcm_encode(WorkloadSize::Default),
+        kernels::adpcm_decode(WorkloadSize::Default),
+    ];
+
+    for benchmark in &benchmarks {
+        println!("== {} — {} ==", benchmark.name(), benchmark.description());
+
+        // Activity study: how much switching does compression remove?
+        let mut analyzer = TraceAnalyzer::new(AnalyzerConfig::paper_byte());
+        benchmark
+            .run_each(|rec| analyzer.observe(rec))
+            .expect("kernel runs");
+        let report = analyzer.report();
+        print!("{report}");
+        let energy = EnergyModel::default();
+        println!(
+            "overall activity (≈ dynamic energy) saving: {:.1} %",
+            energy.saving(&report) * 100.0
+        );
+
+        // Timing study: what does each organization cost in CPI?
+        println!("{:<34} {:>8} {:>14}", "organization", "CPI", "vs baseline");
+        let mut baseline_cpi = None;
+        for &kind in OrgKind::ALL {
+            let mut sim = PipelineSim::new(Organization::new(kind));
+            benchmark
+                .run_each(|rec| sim.observe(rec))
+                .expect("kernel runs");
+            let result = sim.finish();
+            let cpi = result.cpi();
+            let baseline = *baseline_cpi.get_or_insert(cpi);
+            println!(
+                "{:<34} {:>8.3} {:>+13.1}%",
+                result.organization,
+                cpi,
+                (cpi / baseline - 1.0) * 100.0
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,84 @@
+//! Design-space exploration beyond the paper's headline configurations:
+//!
+//! * 2-bit vs 3-bit vs halfword extension schemes (the §2.1 trade-off),
+//! * how the funct-recode table size changes the fetched bytes (§2.3),
+//! * the activity/CPI trade-off curve across all pipeline organizations on
+//!   the calibrated synthetic Mediabench trace.
+//!
+//! Run with `cargo run --release --example design_space`.
+
+use sigcomp::analyzer::{AnalyzerConfig, TraceAnalyzer};
+use sigcomp::ext::{significant_bytes, ExtScheme};
+use sigcomp::ifetch::{compress_instruction, FunctRecoder};
+use sigcomp::EnergyModel;
+use sigcomp_pipeline::{OrgKind, Organization, PipelineSim};
+use sigcomp_workloads::{SynthConfig, TraceSynthesizer};
+
+fn main() {
+    let synth = TraceSynthesizer::new(SynthConfig::paper(200_000));
+    let trace = synth.generate();
+
+    // ---- extension-scheme ablation -----------------------------------------
+    println!("== extension-scheme ablation (register-read bytes per operand) ==");
+    for &scheme in ExtScheme::ALL {
+        let mut bytes = 0u64;
+        let mut values = 0u64;
+        for rec in trace.iter() {
+            for v in rec.source_values() {
+                bytes += u64::from(significant_bytes(v, scheme));
+                values += 1;
+            }
+        }
+        println!(
+            "{scheme:>9}: {:.2} bytes/operand + {} extension bits ({:.1} % read saving)",
+            bytes as f64 / values as f64,
+            scheme.overhead_bits(),
+            (1.0 - (bytes as f64 / values as f64 * 8.0 + f64::from(scheme.overhead_bits()))
+                / 32.0)
+                * 100.0
+        );
+    }
+
+    // ---- funct-recode table size -------------------------------------------
+    println!("\n== fetched bytes vs funct-recode coverage ==");
+    let recoder = FunctRecoder::paper_default();
+    let mut fetched = 0u64;
+    for rec in trace.iter() {
+        fetched += u64::from(compress_instruction(&rec.instr, &recoder).fetch_bytes);
+    }
+    println!(
+        "paper-default recoding: {:.2} bytes/instruction (paper: ≈ 3.17)",
+        fetched as f64 / trace.len() as f64
+    );
+
+    // ---- activity vs CPI across organizations ------------------------------
+    println!("\n== energy/performance trade-off on the synthetic Mediabench trace ==");
+    let mut analyzer = TraceAnalyzer::new(AnalyzerConfig::paper_byte());
+    for rec in trace.iter() {
+        analyzer.observe(rec);
+    }
+    let activity_saving = EnergyModel::default().saving(&analyzer.report()) * 100.0;
+
+    println!(
+        "{:<34} {:>8} {:>14} {:>18}",
+        "organization", "CPI", "vs baseline", "activity saving"
+    );
+    let mut baseline_cpi = None;
+    for &kind in OrgKind::ALL {
+        let result = PipelineSim::new(Organization::new(kind)).run(trace.iter());
+        let cpi = result.cpi();
+        let baseline = *baseline_cpi.get_or_insert(cpi);
+        let saving = if kind == OrgKind::Baseline32 {
+            0.0
+        } else {
+            activity_saving
+        };
+        println!(
+            "{:<34} {:>8.3} {:>+13.1}% {:>17.1}%",
+            result.organization,
+            cpi,
+            (cpi / baseline - 1.0) * 100.0,
+            saving
+        );
+    }
+}

@@ -1,0 +1,155 @@
+//! Cross-model consistency checks: the analytic models, the trace-driven
+//! activity models and the cycle-level timing models must agree wherever
+//! they overlap.
+
+use sigcomp::alu;
+use sigcomp::ext::{sig_mask, significant_bytes, ExtScheme};
+use sigcomp::pc::{pc_update_analytic, PcActivity};
+use sigcomp_isa::{reg, Interpreter, ProgramBuilder};
+use sigcomp_pipeline::{OrgKind, Organization, PipelineSim, Stage};
+use sigcomp_workloads::{suite, WorkloadSize};
+
+#[test]
+fn alu_results_always_match_the_architectural_interpreter() {
+    // Every add executed by a kernel must produce the same result through the
+    // significance-aware ALU as through the interpreter's plain arithmetic.
+    let benchmark = &suite(WorkloadSize::Tiny)[3];
+    let mut checked = 0u64;
+    benchmark
+        .run_each(|rec| {
+            use sigcomp_isa::Op;
+            if rec.instr.op == Op::Addu {
+                let (a, b) = (rec.rs_value.unwrap(), rec.rt_value.unwrap());
+                let outcome = alu::add(a, b, ExtScheme::ThreeBit);
+                if let Some(expected) = rec.result_value() {
+                    assert_eq!(outcome.result, expected);
+                }
+                checked += 1;
+            }
+        })
+        .expect("kernel runs");
+    assert!(checked > 10);
+}
+
+#[test]
+fn alu_activity_never_understates_the_result_significance() {
+    // If the compressed ALU skipped a byte, that byte must really be a sign
+    // extension in the result — otherwise the machine would be incorrect.
+    for (a, b) in (0..2000u32).map(|i| {
+        (
+            i.wrapping_mul(2_654_435_761),
+            i.wrapping_mul(0x9e37_79b9).rotate_left(7),
+        )
+    }) {
+        let outcome = alu::add(a, b, ExtScheme::ThreeBit);
+        let result_mask = sig_mask(outcome.result, ExtScheme::ThreeBit);
+        let a_mask = sig_mask(a, ExtScheme::ThreeBit);
+        let b_mask = sig_mask(b, ExtScheme::ThreeBit);
+        for i in 0..4 {
+            if result_mask[i] {
+                // A significant result byte is only possible if the ALU
+                // actually worked on that byte position (cases 1/2) or the
+                // case-3 exception fired — both of which count activity.
+                let operated = a_mask[i] || b_mask[i] || outcome.bytes_operated as usize > i;
+                assert!(operated, "a={a:#x} b={b:#x} byte {i}");
+            }
+        }
+    }
+}
+
+#[test]
+fn pc_simulation_converges_to_the_analytic_model() {
+    for block_bits in [4u32, 8, 16] {
+        let analytic = pc_update_analytic(block_bits);
+        let mut sim = PcActivity::new(block_bits);
+        let mut pc = 0x0040_0000u32;
+        for _ in 0..100_000 {
+            sim.observe(pc);
+            pc = pc.wrapping_add(4);
+        }
+        let measured = sim.mean_blocks_per_update();
+        assert!(
+            (measured - analytic.latency_cycles).abs() < 0.02,
+            "block {block_bits}: measured {measured} vs analytic {}",
+            analytic.latency_cycles
+        );
+    }
+}
+
+#[test]
+fn significant_bytes_is_monotone_across_schemes() {
+    // The three-bit scheme never stores more bytes than the two-bit scheme,
+    // and the halfword scheme is always an even number of bytes.
+    for v in (0..50_000u32).map(|i| i.wrapping_mul(0x85eb_ca6b)) {
+        let three = significant_bytes(v, ExtScheme::ThreeBit);
+        let two = significant_bytes(v, ExtScheme::TwoBit);
+        let half = significant_bytes(v, ExtScheme::Halfword);
+        assert!(three <= two);
+        assert!(half == 2 || half == 4);
+        assert!(u32::from(half) * 8 >= u32::from(three) * 8 - 8);
+    }
+}
+
+#[test]
+fn pipeline_cycle_counts_are_at_least_the_ideal_lower_bound() {
+    // A pipeline can never beat one instruction per cycle plus its own
+    // occupancy in the bottleneck stage.
+    let mut b = ProgramBuilder::new();
+    b.li(reg::T0, 0);
+    b.li(reg::T1, 300);
+    b.label("loop");
+    b.addiu(reg::T0, reg::T0, 1);
+    b.bne(reg::T0, reg::T1, "loop");
+    b.halt();
+    let trace = Interpreter::new(&b.assemble().unwrap()).run(10_000).unwrap();
+
+    for &kind in OrgKind::ALL {
+        let result = PipelineSim::new(Organization::new(kind)).run(trace.iter());
+        assert!(
+            result.cycles >= result.instructions,
+            "{}: {} cycles for {} instructions",
+            result.organization,
+            result.cycles,
+            result.instructions
+        );
+    }
+}
+
+#[test]
+fn deeper_pipelines_have_more_stages_than_the_baseline() {
+    let baseline = Organization::new(OrgKind::Baseline32);
+    let skewed = Organization::new(OrgKind::ParallelSkewed);
+    assert_eq!(baseline.depth(), 5);
+    assert_eq!(skewed.depth(), 7);
+    assert!(skewed.stage_index(Stage::MemoryHi).is_some());
+    assert!(baseline.stage_index(Stage::MemoryHi).is_none());
+}
+
+#[test]
+fn baseline_timing_is_insensitive_to_operand_values() {
+    // The 32-bit baseline processes full words regardless of significance, so
+    // two traces that differ only in data values must time identically.
+    let build = |scale: i32| {
+        let mut b = ProgramBuilder::new();
+        b.li(reg::T0, 0);
+        b.li(reg::T1, 200);
+        b.li(reg::T2, 0);
+        b.label("loop");
+        b.addiu(reg::T2, reg::T2, scale as i16);
+        b.addu(reg::T3, reg::T2, reg::T2);
+        b.addiu(reg::T0, reg::T0, 1);
+        b.bne(reg::T0, reg::T1, "loop");
+        b.halt();
+        Interpreter::new(&b.assemble().unwrap()).run(10_000).unwrap()
+    };
+    let narrow = build(1);
+    let wide = build(163);
+    let narrow_result = PipelineSim::new(Organization::new(OrgKind::Baseline32)).run(narrow.iter());
+    let wide_result = PipelineSim::new(Organization::new(OrgKind::Baseline32)).run(wide.iter());
+    assert_eq!(narrow_result.cycles, wide_result.cycles);
+
+    // The byte-serial machine, by contrast, must slow down on the wide data.
+    let narrow_bs = PipelineSim::new(Organization::new(OrgKind::ByteSerial)).run(narrow.iter());
+    let wide_bs = PipelineSim::new(Organization::new(OrgKind::ByteSerial)).run(wide.iter());
+    assert!(wide_bs.cycles > narrow_bs.cycles);
+}
