@@ -1,85 +1,62 @@
-//! Criterion benches that regenerate the paper's CPI figures on scaled-down
-//! workloads: one bench per figure, plus the §5 bottleneck study.
+//! Self-timed benches that regenerate the paper's CPI figures on scaled-down
+//! workloads: one bench per figure, plus the §5 bottleneck study and the
+//! branch-prediction ablation.
+//!
+//! No external bench framework is vendored in this environment, so these are
+//! `harness = false` binaries that time each scenario with
+//! [`sigcomp_bench::time_scenario`] and print a compact table. Run with
+//! `cargo bench -p sigcomp-bench`; pass a substring to run matching benches
+//! only.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use sigcomp_bench::{cpi_for, figure_orgs};
+use sigcomp_bench::{cpi_for, figure_orgs, time_scenario};
 use sigcomp_pipeline::{OrgKind, Organization, PipelineSim};
 use sigcomp_workloads::{suite, WorkloadSize};
 use std::hint::black_box;
 
-fn bench_figure(c: &mut Criterion, name: &str, figure_id: u32) {
+fn bench_figure(name: &str, filter: Option<&str>, figure_id: u32) {
     let benchmarks = suite(WorkloadSize::Tiny);
     let kinds = figure_orgs(figure_id);
-    c.bench_function(name, |b| {
-        b.iter(|| {
-            let rows: Vec<_> = benchmarks
-                .iter()
-                .map(|bench| cpi_for(bench, &kinds))
-                .collect();
-            black_box(rows)
-        });
+    time_scenario(name, filter, || {
+        let rows: Vec<_> = benchmarks
+            .iter()
+            .map(|bench| cpi_for(bench, &kinds))
+            .collect();
+        black_box(rows);
     });
 }
 
-fn bench_fig4_byte_serial(c: &mut Criterion) {
-    bench_figure(c, "fig4_byte_serial", 4);
-}
+fn main() {
+    let filter = std::env::args().nth(1);
+    let filter = filter.as_deref().filter(|a| !a.starts_with("--"));
 
-fn bench_fig6_semi_parallel(c: &mut Criterion) {
-    bench_figure(c, "fig6_semi_parallel", 6);
-}
+    bench_figure("fig4_byte_serial", filter, 4);
+    bench_figure("fig6_semi_parallel", filter, 6);
+    bench_figure("fig8_skewed", filter, 8);
+    bench_figure("fig10_parallel", filter, 10);
 
-fn bench_fig8_skewed(c: &mut Criterion) {
-    bench_figure(c, "fig8_skewed", 8);
-}
-
-fn bench_fig10_parallel(c: &mut Criterion) {
-    bench_figure(c, "fig10_parallel", 10);
-}
-
-fn bench_bottleneck_byte_serial(c: &mut Criterion) {
     let benchmarks = suite(WorkloadSize::Tiny);
-    c.bench_function("bottleneck_byte_serial", |b| {
-        b.iter(|| {
-            let org = Organization::new(OrgKind::ByteSerial);
-            let mut results = Vec::new();
-            for bench in &benchmarks {
-                let mut sim = PipelineSim::new(org.clone());
-                bench.run_each(|rec| sim.observe(rec)).expect("kernel runs");
-                results.push(sim.finish());
-            }
-            black_box(results)
-        });
+
+    time_scenario("bottleneck_byte_serial", filter, || {
+        let org = Organization::new(OrgKind::ByteSerial);
+        let mut results = Vec::new();
+        for bench in &benchmarks {
+            let mut sim = PipelineSim::new(org.clone());
+            bench.run_each(|rec| sim.observe(rec)).expect("kernel runs");
+            results.push(sim.finish());
+        }
+        black_box(results);
+    });
+
+    time_scenario("ablation_branch_prediction", filter, || {
+        // The paper's future-work item: how much of the serial organizations'
+        // loss is branch stalls rather than narrow datapaths.
+        let mut results = Vec::new();
+        for bench in &benchmarks {
+            let mut sim = PipelineSim::new(Organization::new(OrgKind::ByteSerial))
+                .with_branch_prediction(1024);
+            bench.run_each(|rec| sim.observe(rec)).expect("kernel runs");
+            results.push(sim.finish());
+        }
+        black_box(results);
     });
 }
-
-fn bench_ablation_branch_prediction(c: &mut Criterion) {
-    // The paper's future-work item: how much of the serial organizations'
-    // loss is branch stalls rather than narrow datapaths.
-    let benchmarks = suite(WorkloadSize::Tiny);
-    c.bench_function("ablation_branch_prediction", |b| {
-        b.iter(|| {
-            let mut results = Vec::new();
-            for bench in &benchmarks {
-                let mut sim = PipelineSim::new(Organization::new(OrgKind::ByteSerial))
-                    .with_branch_prediction(1024);
-                bench.run_each(|rec| sim.observe(rec)).expect("kernel runs");
-                results.push(sim.finish());
-            }
-            black_box(results)
-        });
-    });
-}
-
-criterion_group! {
-    name = figures;
-    config = Criterion::default().sample_size(10);
-    targets =
-        bench_fig4_byte_serial,
-        bench_fig6_semi_parallel,
-        bench_fig8_skewed,
-        bench_fig10_parallel,
-        bench_bottleneck_byte_serial,
-        bench_ablation_branch_prediction,
-}
-criterion_main!(figures);

@@ -1,92 +1,67 @@
-//! Criterion benches that regenerate the paper's tables on scaled-down
-//! workloads. One bench per table, named after it, so `cargo bench table5`
-//! times exactly the activity study behind Table 5.
+//! Self-timed benches that regenerate the paper's tables on scaled-down
+//! workloads. One bench per table, named after it, so
+//! `cargo bench -p sigcomp-bench --bench tables table5` times exactly the
+//! activity study behind Table 5.
+//!
+//! No external bench framework is vendored in this environment, so this is a
+//! `harness = false` binary that times each scenario with
+//! [`sigcomp_bench::time_scenario`].
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use sigcomp::alu::case3_table;
 use sigcomp::analyzer::{AnalyzerConfig, TraceAnalyzer};
 use sigcomp::pc::pc_update_table;
-use sigcomp_bench::{activity_study, merged_stats};
+use sigcomp_bench::{activity_study, merged_stats, time_scenario};
 use sigcomp_workloads::{suite, WorkloadSize};
 use std::hint::black_box;
 
-fn bench_table1_patterns(c: &mut Criterion) {
+fn main() {
+    let filter = std::env::args().nth(1);
+    let filter = filter.as_deref().filter(|a| !a.starts_with("--"));
+
     let benchmarks = suite(WorkloadSize::Tiny);
-    c.bench_function("table1_patterns", |b| {
-        b.iter(|| {
-            let mut stats = sigcomp::SigStats::new();
-            for bench in &benchmarks {
-                bench
-                    .run_each(|rec| stats.observe(rec))
-                    .expect("kernel runs");
-            }
-            black_box(stats.pattern_table())
-        });
+
+    time_scenario("table1_patterns", filter, || {
+        let mut stats = sigcomp::SigStats::new();
+        for bench in &benchmarks {
+            bench
+                .run_each(|rec| stats.observe(rec))
+                .expect("kernel runs");
+        }
+        black_box(stats.pattern_table());
+    });
+
+    time_scenario("table2_pc", filter, || {
+        black_box(pc_update_table());
+    });
+
+    time_scenario("table3_functs", filter, || {
+        let rows = activity_study(WorkloadSize::Tiny, &AnalyzerConfig::paper_byte());
+        black_box(merged_stats(&rows));
+    });
+
+    time_scenario("table4_case3", filter, || {
+        black_box(case3_table());
+    });
+
+    time_scenario("table5_byte_activity", filter, || {
+        black_box(activity_study(
+            WorkloadSize::Tiny,
+            &AnalyzerConfig::paper_byte(),
+        ));
+    });
+
+    time_scenario("table6_halfword_activity", filter, || {
+        black_box(activity_study(
+            WorkloadSize::Tiny,
+            &AnalyzerConfig::paper_halfword(),
+        ));
+    });
+
+    time_scenario("analyzer_single_kernel", filter, || {
+        let mut analyzer = TraceAnalyzer::new(AnalyzerConfig::paper_byte());
+        benchmarks[0]
+            .run_each(|rec| analyzer.observe(rec))
+            .expect("kernel runs");
+        black_box(analyzer.report());
     });
 }
-
-fn bench_table2_pc(c: &mut Criterion) {
-    c.bench_function("table2_pc", |b| {
-        b.iter(|| black_box(pc_update_table()));
-    });
-}
-
-fn bench_table3_funct(c: &mut Criterion) {
-    let benchmarks = suite(WorkloadSize::Tiny);
-    c.bench_function("table3_funct", |b| {
-        b.iter(|| {
-            let mut stats = sigcomp::SigStats::new();
-            for bench in &benchmarks {
-                bench
-                    .run_each(|rec| stats.observe(rec))
-                    .expect("kernel runs");
-            }
-            black_box(stats.funct_table())
-        });
-    });
-}
-
-fn bench_table4_alu(c: &mut Criterion) {
-    c.bench_function("table4_alu", |b| {
-        b.iter(|| black_box(case3_table()));
-    });
-}
-
-fn bench_table5_activity(c: &mut Criterion) {
-    let benchmarks = suite(WorkloadSize::Tiny);
-    c.bench_function("table5_activity", |b| {
-        b.iter(|| {
-            let mut reports = Vec::new();
-            for bench in &benchmarks {
-                let mut analyzer = TraceAnalyzer::new(AnalyzerConfig::paper_byte());
-                bench
-                    .run_each(|rec| analyzer.observe(rec))
-                    .expect("kernel runs");
-                reports.push(analyzer.report());
-            }
-            black_box(reports)
-        });
-    });
-}
-
-fn bench_table6_halfword(c: &mut Criterion) {
-    c.bench_function("table6_halfword", |b| {
-        b.iter(|| {
-            let rows = activity_study(WorkloadSize::Tiny, &AnalyzerConfig::paper_halfword());
-            black_box(merged_stats(&rows))
-        });
-    });
-}
-
-criterion_group! {
-    name = tables;
-    config = Criterion::default().sample_size(10);
-    targets =
-        bench_table1_patterns,
-        bench_table2_pc,
-        bench_table3_funct,
-        bench_table4_alu,
-        bench_table5_activity,
-        bench_table6_halfword,
-}
-criterion_main!(tables);

@@ -1,41 +1,146 @@
-//! `repro` — regenerate every table and figure of the paper.
+//! `repro` — regenerate every table and figure of the paper, and run
+//! design-space sweeps.
 //!
 //! ```text
 //! repro [--size tiny|default|large] [table1|table2|table3|table4|table5|table6|
-//!        fig4|fig6|fig8|fig10|bottleneck|all]
+//!        fig4|fig6|fig8|fig10|bottleneck|sweep|all]
+//!
+//! sweep options:
+//!   --workers N          worker threads (default: available parallelism)
+//!   --schemes a,b        extension schemes: 2bit,3bit,halfword (default: all)
+//!   --orgs a,b           organizations by id, or "all" (default: all)
+//!   --mems a,b           memory profiles: paper,small-l1,wide-l2,slow-memory
+//!                        (default: paper)
+//!   --cache DIR          result-cache directory (default: target/sweep-cache)
+//!   --no-cache           disable the result cache
+//!   --csv PATH           write per-job results as CSV
+//!   --json PATH          write per-job results as JSON
 //! ```
 //!
-//! With no subcommand (or `all`) every artefact is printed in paper order.
+//! With no subcommand (or `all`) every paper artefact is printed in paper
+//! order (`all` does not include `sweep`).
 
 use sigcomp::analyzer::AnalyzerConfig;
-use sigcomp::ExtScheme;
+use sigcomp::{EnergyModel, ExtScheme};
 use sigcomp_bench::{
     activity_study, activity_table, bottleneck, cpi_study, figure, figure_orgs, merged_stats,
     table1, table2, table3, table4,
 };
+use sigcomp_explore::{
+    config_points, frontier_table, run_sweep, to_csv, to_json, MemProfile, ResultCache,
+    SweepOptions, SweepSpec,
+};
+use sigcomp_pipeline::OrgKind;
 use sigcomp_workloads::WorkloadSize;
 use std::process::ExitCode;
 
 fn parse_size(value: &str) -> Option<WorkloadSize> {
-    match value {
-        "tiny" => Some(WorkloadSize::Tiny),
-        "default" => Some(WorkloadSize::Default),
-        "large" => Some(WorkloadSize::Large),
-        _ => None,
-    }
+    WorkloadSize::parse(value)
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: repro [--size tiny|default|large] \
-         [table1|table2|table3|table4|table5|table6|fig4|fig6|fig8|fig10|bottleneck|all]"
+         [table1|table2|table3|table4|table5|table6|fig4|fig6|fig8|fig10|bottleneck|sweep|all]\n\
+         sweep options: [--workers N] [--schemes 2bit,3bit,halfword] [--orgs all|id,id,...]\n\
+         [--mems paper,small-l1,wide-l2,slow-memory] [--cache DIR] [--no-cache]\n\
+         [--csv PATH] [--json PATH]"
     );
     ExitCode::FAILURE
+}
+
+/// Options that only affect the `sweep` subcommand.
+#[derive(Default)]
+struct SweepArgs {
+    workers: Option<usize>,
+    schemes: Option<Vec<ExtScheme>>,
+    orgs: Option<Vec<OrgKind>>,
+    mems: Option<Vec<MemProfile>>,
+    cache_dir: Option<String>,
+    no_cache: bool,
+    csv: Option<String>,
+    json: Option<String>,
+}
+
+fn parse_list<T>(value: &str, parse: impl Fn(&str) -> Option<T>) -> Option<Vec<T>> {
+    value.split(',').map(|part| parse(part.trim())).collect()
+}
+
+fn run_sweep_command(size: WorkloadSize, args: &SweepArgs) -> ExitCode {
+    let mut spec = SweepSpec::full(size).mems(&[MemProfile::Paper]);
+    if let Some(schemes) = &args.schemes {
+        spec = spec.schemes(schemes);
+    }
+    if let Some(orgs) = &args.orgs {
+        spec = spec.orgs(orgs);
+    }
+    if let Some(mems) = &args.mems {
+        spec = spec.mems(mems);
+    }
+    if spec.is_empty() {
+        eprintln!("sweep: the requested design space is empty");
+        return ExitCode::FAILURE;
+    }
+
+    let mut options = SweepOptions {
+        workers: args.workers,
+        cache: None,
+    };
+    if !args.no_cache {
+        let dir = args.cache_dir.as_deref().unwrap_or("target/sweep-cache");
+        match ResultCache::open(dir) {
+            Ok(cache) => options.cache = Some(cache),
+            Err(e) => {
+                eprintln!("sweep: cannot open result cache at {dir}: {e}; caching disabled");
+            }
+        }
+    }
+
+    println!(
+        "sweep: {} configurations at size {}",
+        spec.len(),
+        size.name()
+    );
+    let summary = run_sweep(&spec, &options);
+    println!(
+        "ran on {} workers in {:.2} s: {} simulated, {} from cache",
+        summary.workers,
+        summary.wall.as_secs_f64(),
+        summary.simulated(),
+        summary.cached()
+    );
+    let loads: Vec<String> = summary
+        .worker_loads
+        .iter()
+        .map(|(jobs, steals)| format!("{jobs}/{steals}"))
+        .collect();
+    println!("worker loads (jobs/steals): {}", loads.join(" "));
+    println!();
+
+    let model = EnergyModel::default();
+    let points = config_points(&summary.outcomes);
+    print!("{}", frontier_table(&points, &model));
+
+    type Serializer = fn(&[sigcomp_explore::JobOutcome], &EnergyModel) -> String;
+    for (path, serialize, what) in [
+        (args.csv.as_deref(), to_csv as Serializer, "CSV"),
+        (args.json.as_deref(), to_json as Serializer, "JSON"),
+    ] {
+        if let Some(path) = path {
+            if let Err(e) = std::fs::write(path, serialize(&summary.outcomes, &model)) {
+                eprintln!("sweep: cannot write {what} to {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {what} to {path}");
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
     let mut size = WorkloadSize::Default;
     let mut commands: Vec<String> = Vec::new();
+    let mut sweep_args = SweepArgs::default();
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -45,6 +150,69 @@ fn main() -> ExitCode {
                     return usage();
                 };
                 size = value;
+            }
+            "--workers" => {
+                let Some(value) = args
+                    .next()
+                    .as_deref()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                else {
+                    return usage();
+                };
+                sweep_args.workers = Some(value);
+            }
+            "--schemes" => {
+                let Some(value) = args
+                    .next()
+                    .as_deref()
+                    .and_then(|v| parse_list(v, ExtScheme::parse))
+                else {
+                    return usage();
+                };
+                sweep_args.schemes = Some(value);
+            }
+            "--orgs" => {
+                let Some(raw) = args.next() else {
+                    return usage();
+                };
+                if raw == "all" {
+                    sweep_args.orgs = Some(OrgKind::ALL.to_vec());
+                } else {
+                    let Some(value) = parse_list(&raw, OrgKind::parse) else {
+                        return usage();
+                    };
+                    sweep_args.orgs = Some(value);
+                }
+            }
+            "--mems" => {
+                let Some(value) = args
+                    .next()
+                    .as_deref()
+                    .and_then(|v| parse_list(v, MemProfile::parse))
+                else {
+                    return usage();
+                };
+                sweep_args.mems = Some(value);
+            }
+            "--cache" => {
+                let Some(value) = args.next() else {
+                    return usage();
+                };
+                sweep_args.cache_dir = Some(value);
+            }
+            "--no-cache" => sweep_args.no_cache = true,
+            "--csv" => {
+                let Some(value) = args.next() else {
+                    return usage();
+                };
+                sweep_args.csv = Some(value);
+            }
+            "--json" => {
+                let Some(value) = args.next() else {
+                    return usage();
+                };
+                sweep_args.json = Some(value);
             }
             "--help" | "-h" => {
                 let _ = usage();
@@ -148,6 +316,12 @@ fn main() -> ExitCode {
                     );
                 }
                 "bottleneck" => print!("{}", bottleneck(size)),
+                "sweep" => {
+                    let code = run_sweep_command(size, &sweep_args);
+                    if code != ExitCode::SUCCESS {
+                        return code;
+                    }
+                }
                 _ => return usage(),
             }
             println!();

@@ -18,6 +18,7 @@
 //! | Fig. 8 (skewed CPI) | [`figure`] | `fig8` |
 //! | Fig. 10 (compressed & skewed+bypass CPI) | [`figure`] | `fig10` |
 //! | §5 bottleneck study | [`bottleneck`] | `bottleneck` |
+//! | design-space sweep + Pareto frontier | `sigcomp_explore::run_sweep` | `sweep` |
 
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -91,10 +92,7 @@ pub fn activity_for(benchmark: &Benchmark, config: &AnalyzerConfig) -> ActivityR
 /// Panics if a kernel fails to execute.
 #[must_use]
 pub fn cpi_study(size: WorkloadSize, kinds: &[OrgKind]) -> Vec<CpiRow> {
-    suite(size)
-        .iter()
-        .map(|b| cpi_for(b, kinds))
-        .collect()
+    suite(size).iter().map(|b| cpi_for(b, kinds)).collect()
 }
 
 /// Runs the CPI study for a single benchmark.
@@ -136,7 +134,11 @@ pub fn merged_stats(rows: &[ActivityRow]) -> SigStats {
 pub fn table1(stats: &SigStats) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "Table 1: Frequency of significant byte patterns");
-    let _ = writeln!(out, "{:<10} {:>10} {:>12}", "pattern", "% values", "cumulative");
+    let _ = writeln!(
+        out,
+        "{:<10} {:>10} {:>12}",
+        "pattern", "% values", "cumulative"
+    );
     for row in stats.pattern_table() {
         let _ = writeln!(
             out,
@@ -163,7 +165,10 @@ pub fn table1(stats: &SigStats) -> String {
 #[must_use]
 pub fn table2() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Table 2: Activity and latency estimates for PC updating");
+    let _ = writeln!(
+        out,
+        "Table 2: Activity and latency estimates for PC updating"
+    );
     let _ = writeln!(
         out,
         "{:>12} {:>18} {:>12}",
@@ -183,8 +188,15 @@ pub fn table2() -> String {
 #[must_use]
 pub fn table3(stats: &SigStats) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Table 3: Dynamic frequency of function codes (R-format)");
-    let _ = writeln!(out, "{:<10} {:>10} {:>12}", "funct", "% R-format", "cumulative");
+    let _ = writeln!(
+        out,
+        "Table 3: Dynamic frequency of function codes (R-format)"
+    );
+    let _ = writeln!(
+        out,
+        "{:<10} {:>10} {:>12}",
+        "funct", "% R-format", "cumulative"
+    );
     for row in stats.funct_table() {
         let _ = writeln!(
             out,
@@ -296,10 +308,7 @@ pub fn activity_table(rows: &[ActivityRow], scheme: ExtScheme) -> String {
 pub fn figure(title: &str, rows: &[CpiRow], kinds: &[OrgKind]) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "{title}");
-    let names: Vec<&str> = kinds
-        .iter()
-        .map(|&k| Organization::new(k).name())
-        .collect();
+    let names: Vec<&str> = kinds.iter().map(|&k| Organization::new(k).name()).collect();
     let _ = write!(out, "{:<14}", "benchmark");
     for n in &names {
         let _ = write!(out, " {n:>28}");
@@ -318,7 +327,13 @@ pub fn figure(title: &str, rows: &[CpiRow], kinds: &[OrgKind]) -> String {
     let _ = write!(out, "{:<14}", "AVG");
     let avg: Vec<f64> = totals
         .iter()
-        .map(|&(cyc, ins)| if ins == 0 { 0.0 } else { cyc as f64 / ins as f64 })
+        .map(|&(cyc, ins)| {
+            if ins == 0 {
+                0.0
+            } else {
+                cyc as f64 / ins as f64
+            }
+        })
         .collect();
     for a in &avg {
         let _ = write!(out, " {a:>28.3}");
@@ -373,6 +388,28 @@ pub fn bottleneck(size: WorkloadSize) -> String {
         );
     }
     out
+}
+
+/// Times one bench scenario for the self-timed bench harnesses in
+/// `benches/`: one warm-up call, then enough iterations to fill roughly one
+/// second (at most ten), printing the mean per-iteration time. `filter`
+/// skips scenarios whose name does not contain it (the harnesses pass their
+/// first CLI argument through).
+pub fn time_scenario(name: &str, filter: Option<&str>, mut f: impl FnMut()) {
+    if let Some(pattern) = filter {
+        if !name.contains(pattern) {
+            return;
+        }
+    }
+    f();
+    let started = std::time::Instant::now();
+    let mut iters = 0u32;
+    while iters < 10 && started.elapsed().as_secs_f64() < 1.0 {
+        f();
+        iters += 1;
+    }
+    let mean = started.elapsed().as_secs_f64() * 1e3 / f64::from(iters);
+    println!("{name:<28} {mean:>10.2} ms/iter ({iters} iters)");
 }
 
 /// The organizations shown in each figure of the paper.

@@ -230,9 +230,11 @@ mod tests {
 
     #[test]
     fn report_columns_and_total() {
-        let mut r = ActivityReport::default();
-        r.fetch = StageActivity::new(10, 20);
-        r.alu = StageActivity::new(30, 40);
+        let r = ActivityReport {
+            fetch: StageActivity::new(10, 20),
+            alu: StageActivity::new(30, 40),
+            ..ActivityReport::default()
+        };
         assert_eq!(r.columns().len(), 8);
         assert_eq!(r.total(), StageActivity::new(40, 60));
         let text = r.to_string();
@@ -242,11 +244,15 @@ mod tests {
 
     #[test]
     fn merge_aggregates_stage_by_stage() {
-        let mut a = ActivityReport::default();
-        a.rf_read = StageActivity::new(1, 2);
-        let mut b = ActivityReport::default();
-        b.rf_read = StageActivity::new(3, 4);
-        b.latches = StageActivity::new(5, 6);
+        let mut a = ActivityReport {
+            rf_read: StageActivity::new(1, 2),
+            ..ActivityReport::default()
+        };
+        let b = ActivityReport {
+            rf_read: StageActivity::new(3, 4),
+            latches: StageActivity::new(5, 6),
+            ..ActivityReport::default()
+        };
         a.merge(&b);
         assert_eq!(a.rf_read, StageActivity::new(4, 6));
         assert_eq!(a.latches, StageActivity::new(5, 6));
@@ -254,9 +260,11 @@ mod tests {
 
     #[test]
     fn energy_model_defaults_to_pure_activity() {
-        let mut r = ActivityReport::default();
-        r.fetch = StageActivity::new(50, 100);
-        r.alu = StageActivity::new(25, 100);
+        let r = ActivityReport {
+            fetch: StageActivity::new(50, 100),
+            alu: StageActivity::new(25, 100),
+            ..ActivityReport::default()
+        };
         let m = EnergyModel::default();
         let (c, b) = m.relative_energy(&r);
         assert!((c - 75.0).abs() < 1e-9);
@@ -267,9 +275,11 @@ mod tests {
 
     #[test]
     fn energy_weights_shift_the_total() {
-        let mut r = ActivityReport::default();
-        r.fetch = StageActivity::new(50, 100); // 50 % saving
-        r.alu = StageActivity::new(90, 100); // 10 % saving
+        let r = ActivityReport {
+            fetch: StageActivity::new(50, 100), // 50 % saving
+            alu: StageActivity::new(90, 100),   // 10 % saving
+            ..ActivityReport::default()
+        };
         let favor_alu = EnergyModel {
             alu_weight: 10.0,
             ..EnergyModel::default()

@@ -275,8 +275,8 @@ pub fn case3_table() -> Vec<Case3Row> {
                     let a = (a_top << 6) | a_low;
                     let b = (b_top << 6) | b_low;
                     for carry in [false, true] {
-                        let req =
-                            case3_requires_generation(a, b, carry) || case3_requires_generation(b, a, carry);
+                        let req = case3_requires_generation(a, b, carry)
+                            || case3_requires_generation(b, a, carry);
                         any |= req;
                         all &= req;
                     }
@@ -415,10 +415,7 @@ mod tests {
         // the union covers 3 byte positions.
         assert_eq!(logic(LogicOp::And, 0xff, 0xff00, S).bytes_operated, 3);
         assert_eq!(logic(LogicOp::Or, 0x1, 0x2, S).bytes_operated, 1);
-        assert_eq!(
-            logic(LogicOp::Xor, 0x0102_0304, 0x1, S).bytes_operated,
-            4
-        );
+        assert_eq!(logic(LogicOp::Xor, 0x0102_0304, 0x1, S).bytes_operated, 4);
     }
 
     #[test]

@@ -156,10 +156,8 @@ impl TraceAnalyzer {
 
         // ---- ALU -------------------------------------------------------------
         if let Some(alu) = cost.alu {
-            self.alu.add(
-                alu.compressed_bits(self.config.scheme),
-                alu.baseline_bits(),
-            );
+            self.alu
+                .add(alu.compressed_bits(self.config.scheme), alu.baseline_bits());
         }
 
         // ---- data cache ------------------------------------------------------
@@ -190,10 +188,8 @@ impl TraceAnalyzer {
         }
 
         // ---- pipeline latches ------------------------------------------------
-        self.latches.add(
-            self.latched_bits(&cost),
-            BASELINE_LATCH_BITS,
-        );
+        self.latches
+            .add(self.latched_bits(&cost), BASELINE_LATCH_BITS);
     }
 
     /// Bits latched for one instruction under operand gating: only the
@@ -203,14 +199,10 @@ impl TraceAnalyzer {
         let ext = u64::from(self.config.scheme.overhead_bits());
         let pc_bits = u64::from(self.config.pc_block_bits); // low block always clocks
         let fetch_bits = u64::from(cost.fetch.fetched_bits());
-        let operand_bits = u64::from(cost.regfile_read_bytes()) * 8
-            + u64::from(cost.regfile_reads()) * ext;
-        let result_bits = cost
-            .result_bytes
-            .map_or(0, |b| u64::from(b) * 8 + ext);
-        let mem_bits = cost
-            .mem
-            .map_or(0, |m| u64::from(m.sig_bytes) * 8 + ext);
+        let operand_bits =
+            u64::from(cost.regfile_read_bytes()) * 8 + u64::from(cost.regfile_reads()) * ext;
+        let result_bits = cost.result_bytes.map_or(0, |b| u64::from(b) * 8 + ext);
+        let mem_bits = cost.mem.map_or(0, |m| u64::from(m.sig_bytes) * 8 + ext);
         pc_bits + fetch_bits + operand_bits + result_bits + mem_bits
     }
 
@@ -332,8 +324,14 @@ mod tests {
 
     #[test]
     fn for_scheme_matches_granularity() {
-        assert_eq!(AnalyzerConfig::for_scheme(ExtScheme::Halfword).pc_block_bits, 16);
-        assert_eq!(AnalyzerConfig::for_scheme(ExtScheme::ThreeBit).pc_block_bits, 8);
+        assert_eq!(
+            AnalyzerConfig::for_scheme(ExtScheme::Halfword).pc_block_bits,
+            16
+        );
+        assert_eq!(
+            AnalyzerConfig::for_scheme(ExtScheme::ThreeBit).pc_block_bits,
+            8
+        );
         assert_eq!(AnalyzerConfig::default().pc_block_bits, 8);
     }
 

@@ -67,7 +67,10 @@ impl InstrCost {
     /// register-read stage must stream out serially).
     #[must_use]
     pub fn max_operand_bytes(&self) -> u8 {
-        self.rs_bytes.unwrap_or(0).max(self.rt_bytes.unwrap_or(0)).max(1)
+        self.rs_bytes
+            .unwrap_or(0)
+            .max(self.rt_bytes.unwrap_or(0))
+            .max(1)
     }
 
     /// ALU byte slices that must operate (zero if the ALU is unused).
@@ -114,7 +117,12 @@ fn alu_outcome(rec: &ExecRecord, scheme: ExtScheme) -> Option<AluOutcome> {
             }
         }
         Op::Sll => alu::shift(ShiftOp::Left, rt, u32::from(rec.instr.shamt), scheme),
-        Op::Srl => alu::shift(ShiftOp::RightLogical, rt, u32::from(rec.instr.shamt), scheme),
+        Op::Srl => alu::shift(
+            ShiftOp::RightLogical,
+            rt,
+            u32::from(rec.instr.shamt),
+            scheme,
+        ),
         Op::Sra => alu::shift(
             ShiftOp::RightArithmetic,
             rt,
@@ -331,7 +339,12 @@ mod tests {
 
     #[test]
     fn lui_cost_follows_its_result() {
-        let mut r = rec(Instruction::imm(Op::Lui, T0, sigcomp_isa::reg::ZERO, 0x1000));
+        let mut r = rec(Instruction::imm(
+            Op::Lui,
+            T0,
+            sigcomp_isa::reg::ZERO,
+            0x1000,
+        ));
         r.writeback = Some((T0, 0x1000_0000));
         let c = instr_cost(&r, S, &recoder());
         assert_eq!(c.alu.unwrap().result, 0x1000_0000);

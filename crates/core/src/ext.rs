@@ -33,7 +33,8 @@ pub enum ExtScheme {
 
 impl ExtScheme {
     /// All schemes, for sweeps.
-    pub const ALL: &'static [ExtScheme] = &[ExtScheme::TwoBit, ExtScheme::ThreeBit, ExtScheme::Halfword];
+    pub const ALL: &'static [ExtScheme] =
+        &[ExtScheme::TwoBit, ExtScheme::ThreeBit, ExtScheme::Halfword];
 
     /// Number of extension bits stored per 32-bit word.
     #[must_use]
@@ -59,6 +60,23 @@ impl ExtScheme {
     #[must_use]
     pub fn overhead_fraction(self) -> f64 {
         f64::from(self.overhead_bits()) / 32.0
+    }
+
+    /// Stable machine-readable identifier, used in sweep reports and result
+    /// cache keys.
+    #[must_use]
+    pub fn id(self) -> &'static str {
+        match self {
+            ExtScheme::TwoBit => "2bit",
+            ExtScheme::ThreeBit => "3bit",
+            ExtScheme::Halfword => "halfword",
+        }
+    }
+
+    /// Parses an identifier as produced by [`ExtScheme::id`].
+    #[must_use]
+    pub fn parse(id: &str) -> Option<Self> {
+        ExtScheme::ALL.iter().copied().find(|s| s.id() == id)
     }
 }
 
@@ -155,8 +173,8 @@ pub fn ext_bits(value: u32, scheme: ExtScheme) -> u8 {
         ExtScheme::ThreeBit => {
             let mask = sig_mask(value, scheme);
             let mut bits = 0u8;
-            for i in 1..WORD_BYTES {
-                if !mask[i] {
+            for (i, &significant) in mask.iter().enumerate().skip(1) {
+                if !significant {
                     bits |= 1 << (i - 1);
                 }
             }

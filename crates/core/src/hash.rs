@@ -1,0 +1,206 @@
+//! Stable configuration hashing for result caches and sweep job identity.
+//!
+//! `std::hash` offers no stability guarantee across Rust releases, so the
+//! design-space exploration engine uses this self-contained FNV-1a 64-bit
+//! hasher instead: a configuration's digest is a pure function of its
+//! parameter values and will never change out from under an on-disk result
+//! cache. Every configuration type in the workspace implements
+//! [`ConfigHash`]; composite configurations fold their parts together in
+//! field order.
+
+use crate::analyzer::AnalyzerConfig;
+use crate::ext::ExtScheme;
+use crate::ifetch::FunctRecoder;
+use sigcomp_mem::{CacheConfig, HierarchyConfig, TlbConfig};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// An incremental FNV-1a 64-bit hasher with a stable, documented algorithm.
+#[derive(Debug, Clone)]
+pub struct StableHasher {
+    state: u64,
+}
+
+impl StableHasher {
+    /// Creates a hasher in the standard FNV-1a initial state.
+    #[must_use]
+    pub fn new() -> Self {
+        StableHasher { state: FNV_OFFSET }
+    }
+
+    /// Folds raw bytes into the digest.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Folds a `u8` into the digest.
+    pub fn write_u8(&mut self, v: u8) {
+        self.write_bytes(&[v]);
+    }
+
+    /// Folds a `u32` into the digest (little-endian).
+    pub fn write_u32(&mut self, v: u32) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Folds a `u64` into the digest (little-endian).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Folds an `f64` into the digest via its exact bit pattern.
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// Folds a string into the digest, length-prefixed so that adjacent
+    /// strings cannot alias each other.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// The digest of everything written so far.
+    #[must_use]
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A configuration whose identity can be folded into a [`StableHasher`].
+pub trait ConfigHash {
+    /// Folds this configuration's parameters into the hasher.
+    fn config_hash(&self, hasher: &mut StableHasher);
+
+    /// Convenience: the digest of this configuration alone.
+    fn config_digest(&self) -> u64 {
+        let mut h = StableHasher::new();
+        self.config_hash(&mut h);
+        h.finish()
+    }
+}
+
+impl ConfigHash for ExtScheme {
+    fn config_hash(&self, hasher: &mut StableHasher) {
+        hasher.write_u8(match self {
+            ExtScheme::TwoBit => 0,
+            ExtScheme::ThreeBit => 1,
+            ExtScheme::Halfword => 2,
+        });
+    }
+}
+
+impl ConfigHash for CacheConfig {
+    fn config_hash(&self, hasher: &mut StableHasher) {
+        hasher.write_u32(self.size_bytes);
+        hasher.write_u32(self.associativity);
+        hasher.write_u32(self.line_bytes);
+        hasher.write_u32(self.hit_latency);
+    }
+}
+
+impl ConfigHash for TlbConfig {
+    fn config_hash(&self, hasher: &mut StableHasher) {
+        hasher.write_u32(self.entries);
+        hasher.write_u32(self.associativity);
+        hasher.write_u32(self.page_bytes);
+        hasher.write_u32(self.hit_latency);
+        hasher.write_u32(self.miss_penalty);
+    }
+}
+
+impl ConfigHash for HierarchyConfig {
+    fn config_hash(&self, hasher: &mut StableHasher) {
+        self.il1.config_hash(hasher);
+        self.dl1.config_hash(hasher);
+        self.l2.config_hash(hasher);
+        self.itlb.config_hash(hasher);
+        self.dtlb.config_hash(hasher);
+        hasher.write_u32(self.memory_latency);
+    }
+}
+
+impl ConfigHash for FunctRecoder {
+    fn config_hash(&self, hasher: &mut StableHasher) {
+        // The encode table fully determines the recoder.
+        for funct in 0..64u8 {
+            hasher.write_u8(self.encode(funct));
+        }
+    }
+}
+
+impl ConfigHash for AnalyzerConfig {
+    fn config_hash(&self, hasher: &mut StableHasher) {
+        self.scheme.config_hash(hasher);
+        self.hierarchy.config_hash(hasher);
+        hasher.write_u32(self.pc_block_bits);
+        self.recoder.config_hash(hasher);
+    }
+}
+
+impl ConfigHash for crate::activity::EnergyModel {
+    fn config_hash(&self, hasher: &mut StableHasher) {
+        hasher.write_f64(self.fetch_weight);
+        hasher.write_f64(self.regfile_weight);
+        hasher.write_f64(self.alu_weight);
+        hasher.write_f64(self.dcache_weight);
+        hasher.write_f64(self.pc_weight);
+        hasher.write_f64(self.latch_weight);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_vectors_match_the_reference_algorithm() {
+        // Known FNV-1a 64 digests.
+        let mut h = StableHasher::new();
+        assert_eq!(h.finish(), 0xcbf2_9ce4_8422_2325);
+        h.write_bytes(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+        let mut h = StableHasher::new();
+        h.write_bytes(b"foobar");
+        assert_eq!(h.finish(), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn digests_are_deterministic_and_distinguish_configs() {
+        let paper = HierarchyConfig::paper();
+        assert_eq!(paper.config_digest(), paper.config_digest());
+        let mut small = paper;
+        small.dl1.size_bytes /= 2;
+        assert_ne!(paper.config_digest(), small.config_digest());
+
+        assert_ne!(
+            ExtScheme::TwoBit.config_digest(),
+            ExtScheme::ThreeBit.config_digest()
+        );
+        assert_ne!(
+            AnalyzerConfig::paper_byte().config_digest(),
+            AnalyzerConfig::paper_halfword().config_digest()
+        );
+    }
+
+    #[test]
+    fn string_hashing_is_length_prefixed() {
+        let mut a = StableHasher::new();
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = StableHasher::new();
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+}

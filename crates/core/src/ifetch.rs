@@ -177,7 +177,11 @@ pub fn compress_instruction(instr: &Instruction, recoder: &FunctRecoder) -> Comp
             let is_imm_shift = matches!(instr.op, Op::Sll | Op::Srl | Op::Sra);
             // Fig. 2a (ordinary R) keeps rs in the second field; Fig. 2b
             // (immediate shifts) moves shamt there because rs is unused.
-            let (second, last5) = if is_imm_shift { (shamt, rs) } else { (rs, shamt) };
+            let (second, last5) = if is_imm_shift {
+                (shamt, rs)
+            } else {
+                (rs, shamt)
+            };
             let stored = (opcode << 26)
                 | (second << 21)
                 | (rt << 16)
@@ -239,7 +243,11 @@ pub fn decompress_instruction(stored: u32, recoder: &FunctRecoder) -> u32 {
         let last5 = stored & 0x1f;
         let funct = u32::from(recoder.decode(((f1 << 3) | f2) as u8));
         let is_imm_shift = matches!(funct, 0x00 | 0x02 | 0x03);
-        let (rs, shamt) = if is_imm_shift { (last5, second) } else { (second, last5) };
+        let (rs, shamt) = if is_imm_shift {
+            (last5, second)
+        } else {
+            (second, last5)
+        };
         (opcode << 26) | (rs << 21) | (rt << 16) | (rd << 11) | (shamt << 6) | funct
     } else if opcode == 2 || opcode == 3 {
         stored

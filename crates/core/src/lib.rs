@@ -67,6 +67,7 @@ pub mod analyzer;
 pub mod cost;
 pub mod dcache;
 pub mod ext;
+pub mod hash;
 pub mod ifetch;
 pub mod pc;
 pub mod regfile;
@@ -76,5 +77,6 @@ pub use activity::{ActivityReport, EnergyModel, StageActivity};
 pub use analyzer::{AnalyzerConfig, TraceAnalyzer};
 pub use cost::{instr_cost, InstrCost, MemCost};
 pub use ext::{CompressedWord, ExtScheme, SigPattern};
+pub use hash::{ConfigHash, StableHasher};
 pub use ifetch::FunctRecoder;
 pub use stats::SigStats;

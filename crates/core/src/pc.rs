@@ -112,7 +112,11 @@ impl PcActivity {
         let mut bit = 0;
         while bit < PC_BITS {
             let width = self.block_bits.min(PC_BITS - bit);
-            let mask = if width == 32 { u32::MAX } else { (1 << width) - 1 };
+            let mask = if width == 32 {
+                u32::MAX
+            } else {
+                (1 << width) - 1
+            };
             if (diff >> bit) & mask != 0 {
                 changed += 1;
             }

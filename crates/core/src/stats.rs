@@ -447,7 +447,10 @@ mod tests {
     #[test]
     fn empty_stats_are_all_zero() {
         let s = SigStats::new();
-        assert_eq!(s.pattern_table().iter().map(|r| r.percent).sum::<f64>(), 0.0);
+        assert_eq!(
+            s.pattern_table().iter().map(|r| r.percent).sum::<f64>(),
+            0.0
+        );
         assert_eq!(s.prefix_pattern_coverage(), 0.0);
         assert_eq!(s.mean_significant_bytes(), 0.0);
         assert_eq!(s.immediate_fraction(), 0.0);

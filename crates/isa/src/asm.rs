@@ -15,7 +15,12 @@ enum Item {
     /// A fully resolved instruction.
     Fixed(Instruction),
     /// A conditional branch to a label (PC-relative fixup).
-    Branch { op: Op, rs: Reg, rt: Reg, label: String },
+    Branch {
+        op: Op,
+        rs: Reg,
+        rt: Reg,
+        label: String,
+    },
     /// A jump (J/JAL) to a text label (absolute fixup).
     Jump { op: Op, label: String },
     /// `lui rt, %hi(label)` where the label lives in the data segment.
@@ -160,7 +165,7 @@ impl ProgramBuilder {
     /// Pads the data segment to the given power-of-two alignment.
     pub fn align(&mut self, align: usize) {
         assert!(align.is_power_of_two(), "alignment must be a power of two");
-        while self.data.len() % align != 0 {
+        while !self.data.len().is_multiple_of(align) {
             self.data.push(0);
         }
     }

@@ -144,8 +144,16 @@ impl Instruction {
     /// The source registers read by this instruction (up to two).
     #[must_use]
     pub fn src_regs(&self) -> (Option<Reg>, Option<Reg>) {
-        let rs = if self.op.reads_rs() { Some(self.rs) } else { None };
-        let rt = if self.op.reads_rt() { Some(self.rt) } else { None };
+        let rs = if self.op.reads_rs() {
+            Some(self.rs)
+        } else {
+            None
+        };
+        let rt = if self.op.reads_rt() {
+            Some(self.rt)
+        } else {
+            None
+        };
         (rs, rt)
     }
 

@@ -194,9 +194,10 @@ impl Interpreter {
                 }
             }
             Op::Divu => {
-                if rt != 0 {
-                    self.lo = rs / rt;
-                    self.hi = rs % rt;
+                if let (Some(quotient), Some(remainder)) = (rs.checked_div(rt), rs.checked_rem(rt))
+                {
+                    self.lo = quotient;
+                    self.hi = remainder;
                 } else {
                     self.lo = 0;
                     self.hi = rs;
@@ -209,10 +210,7 @@ impl Interpreter {
 
             // ---- I-format ALU ------------------------------------------------
             Op::Addi | Op::Addiu => write(instr.dest_reg(), rs.wrapping_add(imm_se)),
-            Op::Slti => write(
-                instr.dest_reg(),
-                u32::from((rs as i32) < (imm_se as i32)),
-            ),
+            Op::Slti => write(instr.dest_reg(), u32::from((rs as i32) < (imm_se as i32))),
             Op::Sltiu => write(instr.dest_reg(), u32::from(rs < imm_se)),
             Op::Andi => write(instr.dest_reg(), rs & imm_ze),
             Op::Ori => write(instr.dest_reg(), rs | imm_ze),
@@ -545,10 +543,7 @@ mod tests {
         b.halt();
         let p = b.assemble().unwrap();
         let mut i = Interpreter::new(&p);
-        assert_eq!(
-            i.run(50).unwrap_err(),
-            IsaError::OutOfFuel { limit: 50 }
-        );
+        assert_eq!(i.run(50).unwrap_err(), IsaError::OutOfFuel { limit: 50 });
     }
 
     #[test]

@@ -56,7 +56,7 @@ impl Program {
     /// Decodes the instruction at `pc`, if `pc` is inside the text segment.
     #[must_use]
     pub fn fetch(&self, pc: u32) -> Option<u32> {
-        if pc < self.text_base || pc >= self.text_end() || pc % 4 != 0 {
+        if pc < self.text_base || pc >= self.text_end() || !pc.is_multiple_of(4) {
             return None;
         }
         Some(self.text[((pc - self.text_base) / 4) as usize])

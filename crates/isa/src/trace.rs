@@ -55,7 +55,6 @@ pub struct ExecRecord {
 
 impl ExecRecord {
     /// The source operand values actually read from the register file.
-    #[must_use]
     pub fn source_values(&self) -> impl Iterator<Item = u32> {
         [self.rs_value, self.rt_value].into_iter().flatten()
     }

@@ -35,7 +35,10 @@ impl Tlb {
         assert!(config.entries > 0 && config.associativity > 0);
         assert_eq!(config.entries % config.associativity, 0);
         let sets = config.entries / config.associativity;
-        assert!(sets.is_power_of_two(), "TLB set count must be a power of two");
+        assert!(
+            sets.is_power_of_two(),
+            "TLB set count must be a power of two"
+        );
         assert!(config.page_bytes.is_power_of_two());
         Tlb {
             config,
@@ -64,7 +67,7 @@ impl Tlb {
 
     fn index_and_tag(&self, addr: u32) -> (usize, u32) {
         let vpn = addr / self.config.page_bytes;
-        let sets = (self.config.entries / self.config.associativity) as u32;
+        let sets = self.config.entries / self.config.associativity;
         ((vpn % sets) as usize, vpn / sets)
     }
 

@@ -150,7 +150,11 @@ impl PipelineSim {
     /// the default function-code recoding.
     #[must_use]
     pub fn new(org: Organization) -> Self {
-        Self::with_config(org, &HierarchyConfig::paper(), FunctRecoder::paper_default())
+        Self::with_config(
+            org,
+            &HierarchyConfig::paper(),
+            FunctRecoder::paper_default(),
+        )
     }
 
     /// Creates a simulator with explicit hierarchy parameters and recoding.
@@ -387,7 +391,7 @@ mod tests {
     fn counter_trace(iterations: i32) -> Trace {
         let mut b = ProgramBuilder::new();
         b.li(reg::T0, 0);
-        b.li(reg::T1, iterations as i32);
+        b.li(reg::T1, iterations);
         b.dlabel("buf");
         b.space(4096);
         b.la(reg::A0, "buf");
@@ -523,7 +527,9 @@ mod prediction_tests {
         b.addiu(reg::T0, reg::T0, 1);
         b.bne(reg::T0, reg::T1, "loop");
         b.halt();
-        Interpreter::new(&b.assemble().unwrap()).run(100_000).unwrap()
+        Interpreter::new(&b.assemble().unwrap())
+            .run(100_000)
+            .unwrap()
     }
 
     #[test]

@@ -83,7 +83,9 @@ mod tests {
         b.addiu(reg::T0, reg::T0, 1);
         b.bne(reg::T0, reg::T1, "loop");
         b.halt();
-        Interpreter::new(&b.assemble().unwrap()).run(10_000).unwrap()
+        Interpreter::new(&b.assemble().unwrap())
+            .run(10_000)
+            .unwrap()
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! the stages are skewed (streamed byte by byte) or blocking.
 
 use sigcomp::cost::InstrCost;
+use sigcomp::hash::{ConfigHash, StableHasher};
 use sigcomp::ExtScheme;
 use std::fmt;
 
@@ -40,6 +41,33 @@ impl OrgKind {
         OrgKind::ParallelCompressed,
         OrgKind::SkewedBypass,
     ];
+
+    /// Stable machine-readable identifier, used in sweep reports and result
+    /// cache keys.
+    #[must_use]
+    pub fn id(self) -> &'static str {
+        match self {
+            OrgKind::Baseline32 => "baseline32",
+            OrgKind::ByteSerial => "byte-serial",
+            OrgKind::HalfwordSerial => "halfword-serial",
+            OrgKind::SemiParallel => "semi-parallel",
+            OrgKind::ParallelSkewed => "skewed",
+            OrgKind::ParallelCompressed => "compressed",
+            OrgKind::SkewedBypass => "skewed-bypass",
+        }
+    }
+
+    /// Parses an identifier as produced by [`OrgKind::id`].
+    #[must_use]
+    pub fn parse(id: &str) -> Option<Self> {
+        OrgKind::ALL.iter().copied().find(|k| k.id() == id)
+    }
+}
+
+impl ConfigHash for OrgKind {
+    fn config_hash(&self, hasher: &mut StableHasher) {
+        hasher.write_str(self.id());
+    }
 }
 
 /// The stages of the (up to) seven-deep pipelines modelled here.
@@ -105,10 +133,24 @@ impl Organization {
         }
     }
 
+    /// Builds the named organization but with an explicit extension scheme,
+    /// for design-space sweeps that cross organizations with schemes the
+    /// paper did not pair them with.
+    #[must_use]
+    pub fn with_scheme(kind: OrgKind, scheme: ExtScheme) -> Self {
+        let mut org = Self::new(kind);
+        org.scheme = scheme;
+        org
+    }
+
     /// All organizations with their default parameters.
     #[must_use]
     pub fn all() -> Vec<Organization> {
-        OrgKind::ALL.iter().copied().map(Organization::new).collect()
+        OrgKind::ALL
+            .iter()
+            .copied()
+            .map(Organization::new)
+            .collect()
     }
 
     /// The organization identifier.
@@ -178,7 +220,7 @@ impl Organization {
         cost.max_operand_bytes() <= 2
             && cost.alu_bytes() <= 2
             && cost.result_bytes.unwrap_or(1) <= 2
-            && cost.mem.map_or(true, |m| m.sig_bytes <= 2)
+            && cost.mem.is_none_or(|m| m.sig_bytes <= 2)
     }
 
     /// The stage at whose completion a conditional branch (or
@@ -278,6 +320,13 @@ impl Organization {
             }
             Stage::ExecuteHi | Stage::MemoryHi => 1,
         }
+    }
+}
+
+impl ConfigHash for Organization {
+    fn config_hash(&self, hasher: &mut StableHasher) {
+        self.kind.config_hash(hasher);
+        self.scheme.config_hash(hasher);
     }
 }
 

@@ -19,6 +19,30 @@ pub enum WorkloadSize {
 }
 
 impl WorkloadSize {
+    /// Every size, smallest first (the enumeration order used by sweeps).
+    pub const ALL: &'static [WorkloadSize] = &[
+        WorkloadSize::Tiny,
+        WorkloadSize::Default,
+        WorkloadSize::Large,
+    ];
+
+    /// Stable lower-case name (`tiny`/`default`/`large`), used in reports and
+    /// cache keys.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkloadSize::Tiny => "tiny",
+            WorkloadSize::Default => "default",
+            WorkloadSize::Large => "large",
+        }
+    }
+
+    /// Parses a size name as produced by [`WorkloadSize::name`].
+    #[must_use]
+    pub fn parse(name: &str) -> Option<Self> {
+        WorkloadSize::ALL.iter().copied().find(|s| s.name() == name)
+    }
+
     /// A kernel-neutral element-count scaling factor.
     #[must_use]
     pub fn elements(self, default_elements: u32) -> u32 {
@@ -42,12 +66,7 @@ pub struct Benchmark {
 impl Benchmark {
     /// Creates a benchmark from an assembled program.
     #[must_use]
-    pub fn new(
-        name: &'static str,
-        description: &'static str,
-        program: Program,
-        fuel: u64,
-    ) -> Self {
+    pub fn new(name: &'static str, description: &'static str, program: Program, fuel: u64) -> Self {
         Benchmark {
             name,
             description,
@@ -119,6 +138,23 @@ pub fn suite(size: WorkloadSize) -> Vec<Benchmark> {
     kernels::all(size)
 }
 
+/// The names of every benchmark in the suite, in suite order, without
+/// assembling any kernel. This is the enumeration API sweeps build their
+/// workload axis from.
+#[must_use]
+pub fn suite_names() -> &'static [&'static str] {
+    kernels::NAMES
+}
+
+/// Builds a single benchmark by name at the given size.
+#[must_use]
+pub fn find(name: &str, size: WorkloadSize) -> Option<Benchmark> {
+    kernels::NAMES
+        .iter()
+        .position(|&n| n == name)
+        .map(|i| (kernels::BUILDERS[i])(size))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -188,6 +224,24 @@ mod tests {
         assert_eq!(WorkloadSize::Large.elements(256), 2048);
         assert!(WorkloadSize::Tiny.elements(256) >= 8);
         assert_eq!(WorkloadSize::default(), WorkloadSize::Default);
+    }
+
+    #[test]
+    fn suite_names_match_registered_benchmarks() {
+        let names: Vec<_> = suite(WorkloadSize::Tiny).iter().map(|b| b.name()).collect();
+        assert_eq!(names, suite_names());
+        for &n in suite_names() {
+            assert_eq!(find(n, WorkloadSize::Tiny).unwrap().name(), n);
+        }
+        assert!(find("not-a-kernel", WorkloadSize::Tiny).is_none());
+    }
+
+    #[test]
+    fn size_names_round_trip() {
+        for &s in WorkloadSize::ALL {
+            assert_eq!(WorkloadSize::parse(s.name()), Some(s));
+        }
+        assert_eq!(WorkloadSize::parse("huge"), None);
     }
 
     #[test]

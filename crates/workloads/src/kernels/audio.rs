@@ -70,7 +70,7 @@ pub fn adpcm_encode(size: WorkloadSize) -> Benchmark {
     b.sll(T6, S1, 2);
     b.addu(T6, A2, T6);
     b.lw(T4, T6, 0); // step
-    // bit 2 of the magnitude
+                     // bit 2 of the magnitude
     b.slt(T7, T3, T4);
     b.bne(T7, ZERO, "b2");
     b.ori(T5, T5, 4);
@@ -209,7 +209,7 @@ pub fn g721_predict(size: WorkloadSize) -> Benchmark {
     b.lh(T4, A0, -4); // x[i-2]
     b.lh(T5, A0, -6); // x[i-3]
     b.lh(T6, A0, -8); // x[i-4]
-    // pred = (3*x1 + 2*x2 - x3 + x4) >> 2
+                      // pred = (3*x1 + 2*x2 - x3 + x4) >> 2
     b.sll(T7, T3, 1);
     b.addu(T7, T7, T3);
     b.sll(T8, T4, 1);

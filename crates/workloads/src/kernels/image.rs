@@ -43,7 +43,7 @@ pub fn jpeg_fdct(size: WorkloadSize) -> Benchmark {
     b.addu(S1, T3, T8); // s1 = x1 + x6
     b.addu(S2, T4, T7); // s2 = x2 + x5
     b.addu(S3, T5, T6); // s3 = x3 + x4
-    // DC and the low even coefficients.
+                        // DC and the low even coefficients.
     b.addu(A2, S0, S3);
     b.addu(T2, S1, S2);
     b.addu(T3, A2, T2); // c0 = s0+s1+s2+s3
@@ -78,7 +78,7 @@ pub fn jpeg_fdct(size: WorkloadSize) -> Benchmark {
     b.lh(T5, A0, 6);
     b.lh(T6, A0, 8);
     b.subu(S3, T5, T6); // d3 = x3 - x4
-    // Coarse odd coefficients (shift-add rotations).
+                        // Coarse odd coefficients (shift-add rotations).
     b.sll(T2, S0, 1);
     b.addu(T2, T2, S1);
     b.sra(T2, T2, 1);
@@ -227,7 +227,7 @@ pub fn epic_wavelet(size: WorkloadSize) -> Benchmark {
     b.lh(T2, A0, 0); // even sample x[2i]
     b.lh(T3, A0, 2); // odd sample x[2i+1]
     b.lh(T4, A0, 4); // next even x[2i+2]
-    // Predict: d = x[2i+1] - ((x[2i] + x[2i+2]) >> 1)
+                     // Predict: d = x[2i+1] - ((x[2i] + x[2i+2]) >> 1)
     b.addu(T5, T2, T4);
     b.sra(T5, T5, 1);
     b.subu(T6, T3, T5);

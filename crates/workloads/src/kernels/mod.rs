@@ -10,8 +10,7 @@ mod crypto;
 mod image;
 
 use crate::benchmark::{Benchmark, WorkloadSize};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SmallRng;
 
 pub use audio::{adpcm_decode, adpcm_encode, g721_predict, gsm_autocorrelation};
 pub use crypto::{pegwit_modmul, pgp_crc32, rasta_filter};
@@ -25,20 +24,39 @@ pub use image::{epic_wavelet, jpeg_fdct, jpeg_idct, mpeg2_motion};
 /// Panics if a kernel fails to assemble (a bug in this crate).
 #[must_use]
 pub fn all(size: WorkloadSize) -> Vec<Benchmark> {
-    vec![
-        adpcm_encode(size),
-        adpcm_decode(size),
-        epic_wavelet(size),
-        g721_predict(size),
-        gsm_autocorrelation(size),
-        jpeg_fdct(size),
-        jpeg_idct(size),
-        mpeg2_motion(size),
-        pegwit_modmul(size),
-        pgp_crc32(size),
-        rasta_filter(size),
-    ]
+    BUILDERS.iter().map(|build| build(size)).collect()
 }
+
+/// Kernel constructors in suite order (parallel to [`NAMES`]).
+pub(crate) const BUILDERS: &[fn(WorkloadSize) -> Benchmark] = &[
+    adpcm_encode,
+    adpcm_decode,
+    epic_wavelet,
+    g721_predict,
+    gsm_autocorrelation,
+    jpeg_fdct,
+    jpeg_idct,
+    mpeg2_motion,
+    pegwit_modmul,
+    pgp_crc32,
+    rasta_filter,
+];
+
+/// The name each kernel registers itself under, in suite order (parallel to
+/// [`BUILDERS`]); kept in sync by a unit test.
+pub(crate) const NAMES: &[&str] = &[
+    "rawcaudio",
+    "rawdaudio",
+    "epic",
+    "g721",
+    "gsmencode",
+    "cjpeg",
+    "djpeg",
+    "mpeg2decode",
+    "pegwit",
+    "pgp",
+    "rasta",
+];
 
 /// Deterministic RNG for kernel input data.
 pub(crate) fn rng(seed: u64) -> SmallRng {
@@ -65,7 +83,7 @@ pub(crate) fn pixel_bytes(n: u32, seed: u64) -> Vec<u8> {
     let mut value: i32 = 128;
     (0..n)
         .map(|_| {
-            value = (value + r.gen_range(-12..=12)).clamp(0, 255);
+            value = (value + r.gen_range::<i32, _>(-12..=12)).clamp(0, 255);
             value as u8
         })
         .collect()
@@ -84,7 +102,11 @@ pub(crate) fn crc32_table() -> Vec<u32> {
         .map(|i| {
             let mut c = i;
             for _ in 0..8 {
-                c = if c & 1 != 0 { 0xedb8_8320 ^ (c >> 1) } else { c >> 1 };
+                c = if c & 1 != 0 {
+                    0xedb8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
             }
             c
         })

@@ -34,7 +34,8 @@
 
 mod benchmark;
 pub mod kernels;
+mod rng;
 pub mod synth;
 
-pub use benchmark::{suite, Benchmark, WorkloadSize};
+pub use benchmark::{find, suite, suite_names, Benchmark, WorkloadSize};
 pub use synth::{SynthConfig, TraceSynthesizer};

@@ -1,0 +1,171 @@
+//! A tiny deterministic PRNG with the slice of the `rand` API this crate
+//! uses.
+//!
+//! The original seed code drew on the external `rand` crate; this module
+//! replaces it with a self-contained splitmix64/xorshift generator so the
+//! workspace builds with no external dependencies. Kernels and the trace
+//! synthesizer only need reproducible, reasonably-distributed values — not
+//! cryptographic quality — and every consumer seeds explicitly, so traces
+//! stay bit-identical from run to run.
+
+/// Deterministic 64-bit PRNG (xorshift64* seeded through splitmix64).
+#[derive(Debug, Clone)]
+pub struct SmallRng {
+    state: u64,
+}
+
+impl SmallRng {
+    /// Seeds the generator; equal seeds yield equal sequences forever.
+    #[must_use]
+    pub fn seed_from_u64(seed: u64) -> Self {
+        // splitmix64 step so that small/sequential seeds diverge immediately.
+        let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        SmallRng {
+            state: (z ^ (z >> 31)) | 1,
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Draws a uniform value of type `T`.
+    pub fn gen<T: Sample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Draws a uniform value from a (half-open or inclusive) range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range<T, R: UniformRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+}
+
+/// Types [`SmallRng::gen`] can produce.
+pub trait Sample {
+    /// Draws one uniform value.
+    fn sample(rng: &mut SmallRng) -> Self;
+}
+
+impl Sample for u64 {
+    fn sample(rng: &mut SmallRng) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Sample for u32 {
+    fn sample(rng: &mut SmallRng) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Sample for u8 {
+    fn sample(rng: &mut SmallRng) -> Self {
+        (rng.next_u64() >> 56) as u8
+    }
+}
+
+impl Sample for bool {
+    fn sample(rng: &mut SmallRng) -> Self {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl Sample for f64 {
+    fn sample(rng: &mut SmallRng) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Ranges [`SmallRng::gen_range`] can sample from.
+pub trait UniformRange<T> {
+    /// Draws one uniform value from the range.
+    fn sample(self, rng: &mut SmallRng) -> T;
+}
+
+/// Uniform draw from `[0, span)` by widening multiply (Lemire reduction
+/// without the rejection step — the tiny modulo bias is irrelevant here).
+fn index(rng: &mut SmallRng, span: u64) -> u64 {
+    assert!(span > 0, "cannot sample an empty range");
+    ((u128::from(rng.next_u64()) * u128::from(span)) >> 64) as u64
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformRange<$t> for std::ops::Range<$t> {
+            fn sample(self, rng: &mut SmallRng) -> $t {
+                assert!(self.start < self.end, "cannot sample an empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + index(rng, span) as i128) as $t
+            }
+        }
+        impl UniformRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample(self, rng: &mut SmallRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample an empty range");
+                let span = (end as i128 - start as i128 + 1) as u64;
+                (start as i128 + index(rng, span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        let same = (0..32).filter(|_| a.gen::<u64>() == b.gen::<u64>()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = r.gen_range(-12..=12);
+            assert!((-12..=12).contains(&v));
+            let w: u32 = r.gen_range(0x10_0000u32..0x20_0000);
+            assert!((0x10_0000..0x20_0000).contains(&w));
+            let u: usize = r.gen_range(0..6);
+            assert!(u < 6);
+            let f: f64 = r.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn range_sampling_covers_all_values() {
+        let mut r = SmallRng::seed_from_u64(3);
+        let mut seen = [false; 25];
+        for _ in 0..2_000 {
+            seen[(r.gen_range(-12i32..=12) + 12) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "some values never drawn: {seen:?}");
+    }
+}

@@ -8,11 +8,8 @@
 //! experiments can be run against *exactly* the paper's aggregate statistics
 //! even though the original binaries are unavailable.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use sigcomp_isa::{
-    reg, BranchOutcome, ExecRecord, Instruction, MemAccess, Op, Reg, Trace,
-};
+use crate::rng::SmallRng;
+use sigcomp_isa::{reg, BranchOutcome, ExecRecord, Instruction, MemAccess, Op, Reg, Trace};
 
 /// Weights over the eight significant-byte patterns, indexed the same way as
 /// `sigcomp::ext::SigPattern::index` (bit *i* of the index set ⇔ byte *i+1*
@@ -157,7 +154,8 @@ impl TraceSynthesizer {
             }
             (i, rs, rt, None, None, Some(br))
         } else if class < jump_t {
-            let target = (this_pc.wrapping_add(4) & 0xf000_0000) | (rng.gen_range(0x10_0000u32..0x20_0000) << 2);
+            let target = (this_pc.wrapping_add(4) & 0xf000_0000)
+                | (rng.gen_range(0x10_0000u32..0x20_0000) << 2);
             next_pc = target;
             let i = Instruction::jump(Op::Jal, target >> 2);
             (
@@ -234,11 +232,11 @@ impl TraceSynthesizer {
         Option<BranchOutcome>,
     ) {
         let op = *[Op::Lw, Op::Lw, Op::Lw, Op::Lh, Op::Lbu, Op::Lb]
-            .get(rng.gen_range(0..6))
+            .get(rng.gen_range(0..6usize))
             .expect("index in range");
         let width = op.mem_width().expect("load has width");
         let base: u32 = 0x1000_0000 + (rng.gen_range(0..0x4000u32) & !(u32::from(width) - 1));
-        let offset = (rng.gen_range(0..64) * u32::from(width)) as u16;
+        let offset = (rng.gen_range(0..64u32) * u32::from(width)) as u16;
         let rt = self.draw_reg(rng);
         let rs = self.draw_reg(rng);
         let value = self.draw_value(rng);
@@ -278,11 +276,11 @@ impl TraceSynthesizer {
         Option<BranchOutcome>,
     ) {
         let op = *[Op::Sw, Op::Sw, Op::Sh, Op::Sb]
-            .get(rng.gen_range(0..4))
+            .get(rng.gen_range(0..4usize))
             .expect("index in range");
         let width = op.mem_width().expect("store has width");
         let base: u32 = 0x1000_0000 + (rng.gen_range(0..0x4000u32) & !(u32::from(width) - 1));
-        let offset = (rng.gen_range(0..64) * u32::from(width)) as u16;
+        let offset = (rng.gen_range(0..64u32) * u32::from(width)) as u16;
         let rt = self.draw_reg(rng);
         let rs = self.draw_reg(rng);
         let value = self.draw_value(rng);
@@ -322,12 +320,7 @@ impl TraceSynthesizer {
             (Op::Bne, if taken { a.wrapping_add(1) } else { a })
         };
         let instr = Instruction::imm(op, rt, rs, displacement as u16);
-        (
-            instr,
-            Some(a),
-            Some(b),
-            BranchOutcome { taken, target },
-        )
+        (instr, Some(a), Some(b), BranchOutcome { taken, target })
     }
 
     #[allow(clippy::type_complexity)]
@@ -384,12 +377,7 @@ impl TraceSynthesizer {
                 Some(b),
                 0,
             ),
-            Op::Mflo => (
-                Instruction::r3(op, rd, reg::ZERO, reg::ZERO),
-                None,
-                None,
-                a,
-            ),
+            Op::Mflo => (Instruction::r3(op, rd, reg::ZERO, reg::ZERO), None, None, a),
             Op::Sllv => (
                 Instruction::r3(op, rd, rs_reg, rt_reg),
                 Some(a & 0x1f),
@@ -432,9 +420,17 @@ impl TraceSynthesizer {
         Option<MemAccess>,
         Option<BranchOutcome>,
     ) {
-        let op = *[Op::Addiu, Op::Addiu, Op::Addiu, Op::Andi, Op::Ori, Op::Slti, Op::Lui]
-            .get(rng.gen_range(0..7))
-            .expect("index in range");
+        let op = *[
+            Op::Addiu,
+            Op::Addiu,
+            Op::Addiu,
+            Op::Andi,
+            Op::Ori,
+            Op::Slti,
+            Op::Lui,
+        ]
+        .get(rng.gen_range(0..7usize))
+        .expect("index in range");
         let rt = self.draw_reg(rng);
         let rs = self.draw_reg(rng);
         let imm = self.draw_imm(rng);
@@ -461,7 +457,11 @@ fn value_with_pattern(index: usize, rng: &mut SmallRng) -> u32 {
     let mut bytes = [0u8; 4];
     bytes[0] = rng.gen();
     for i in 1..4 {
-        let ext = if bytes[i - 1] & 0x80 != 0 { 0xffu8 } else { 0x00 };
+        let ext = if bytes[i - 1] & 0x80 != 0 {
+            0xffu8
+        } else {
+            0x00
+        };
         let significant = index & (1 << (i - 1)) != 0;
         bytes[i] = if significant {
             // Pick any byte other than the sign extension of the previous one.
@@ -493,7 +493,11 @@ mod tests {
                 for i in 1..4 {
                     let ext = if bytes[i - 1] & 0x80 != 0 { 0xff } else { 0x00 };
                     let significant = index & (1 << (i - 1)) != 0;
-                    assert_eq!(bytes[i] != ext, significant, "value {v:#010x} index {index}");
+                    assert_eq!(
+                        bytes[i] != ext,
+                        significant,
+                        "value {v:#010x} index {index}"
+                    );
                 }
             }
         }

@@ -2,17 +2,19 @@
 //!
 //! * 2-bit vs 3-bit vs halfword extension schemes (the §2.1 trade-off),
 //! * how the funct-recode table size changes the fetched bytes (§2.3),
-//! * the activity/CPI trade-off curve across all pipeline organizations on
-//!   the calibrated synthetic Mediabench trace.
+//! * the energy/CPI trade-off across the full scheme × organization ×
+//!   memory-profile cross product, swept in parallel by `sigcomp-explore`
+//!   and reduced to its Pareto frontier.
 //!
 //! Run with `cargo run --release --example design_space`.
 
-use sigcomp::analyzer::{AnalyzerConfig, TraceAnalyzer};
 use sigcomp::ext::{significant_bytes, ExtScheme};
 use sigcomp::ifetch::{compress_instruction, FunctRecoder};
 use sigcomp::EnergyModel;
-use sigcomp_pipeline::{OrgKind, Organization, PipelineSim};
-use sigcomp_workloads::{SynthConfig, TraceSynthesizer};
+use sigcomp_explore::{
+    config_points, frontier_table, pareto_frontier, run_sweep, MemProfile, SweepOptions, SweepSpec,
+};
+use sigcomp_workloads::{SynthConfig, TraceSynthesizer, WorkloadSize};
 
 fn main() {
     let synth = TraceSynthesizer::new(SynthConfig::paper(200_000));
@@ -33,8 +35,7 @@ fn main() {
             "{scheme:>9}: {:.2} bytes/operand + {} extension bits ({:.1} % read saving)",
             bytes as f64 / values as f64,
             scheme.overhead_bits(),
-            (1.0 - (bytes as f64 / values as f64 * 8.0 + f64::from(scheme.overhead_bits()))
-                / 32.0)
+            (1.0 - (bytes as f64 / values as f64 * 8.0 + f64::from(scheme.overhead_bits())) / 32.0)
                 * 100.0
         );
     }
@@ -51,34 +52,33 @@ fn main() {
         fetched as f64 / trace.len() as f64
     );
 
-    // ---- activity vs CPI across organizations ------------------------------
-    println!("\n== energy/performance trade-off on the synthetic Mediabench trace ==");
-    let mut analyzer = TraceAnalyzer::new(AnalyzerConfig::paper_byte());
-    for rec in trace.iter() {
-        analyzer.observe(rec);
-    }
-    let activity_saving = EnergyModel::default().saving(&analyzer.report()) * 100.0;
-
+    // ---- parallel sweep: energy vs CPI across the whole space ---------------
+    println!("\n== energy/performance trade-off across the design space ==");
+    let spec =
+        SweepSpec::full(WorkloadSize::Tiny).mems(&[MemProfile::Paper, MemProfile::SlowMemory]);
     println!(
-        "{:<34} {:>8} {:>14} {:>18}",
-        "organization", "CPI", "vs baseline", "activity saving"
+        "sweeping {} configurations on all available cores...",
+        spec.len()
     );
-    let mut baseline_cpi = None;
-    for &kind in OrgKind::ALL {
-        let result = PipelineSim::new(Organization::new(kind)).run(trace.iter());
-        let cpi = result.cpi();
-        let baseline = *baseline_cpi.get_or_insert(cpi);
-        let saving = if kind == OrgKind::Baseline32 {
-            0.0
-        } else {
-            activity_saving
-        };
+    let summary = run_sweep(&spec, &SweepOptions::default());
+    println!(
+        "done on {} workers in {:.2} s ({} simulated)",
+        summary.workers,
+        summary.wall.as_secs_f64(),
+        summary.simulated()
+    );
+
+    let model = EnergyModel::default();
+    let points = config_points(&summary.outcomes);
+    print!("{}", frontier_table(&points, &model));
+
+    println!("\nPareto frontier, fastest first:");
+    for p in pareto_frontier(&points, &model) {
         println!(
-            "{:<34} {:>8.3} {:>+13.1}% {:>17.1}%",
-            result.organization,
-            cpi,
-            (cpi / baseline - 1.0) * 100.0,
-            saving
+            "  {:<44} CPI {:>6.3}  energy saving {:>5.1} %",
+            p.label(),
+            p.cpi(),
+            p.energy_saving(&model) * 100.0
         );
     }
 }

@@ -56,7 +56,10 @@ fn main() -> Result<(), IsaError> {
 
     println!("\n== Table 3: dynamic function-code frequencies ==");
     for row in stats.funct_table() {
-        println!("{:<8} {:>8.1} {:>10.1}", row.op, row.percent, row.cumulative);
+        println!(
+            "{:<8} {:>8.1} {:>10.1}",
+            row.op, row.percent, row.cumulative
+        );
     }
 
     let (r, i, j) = stats.format_fractions();

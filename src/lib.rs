@@ -1,0 +1,24 @@
+//! Umbrella crate for the sigcomp workspace.
+//!
+//! This crate exists to host the cross-crate integration tests (`tests/`)
+//! and the runnable examples (`examples/`); the actual functionality lives
+//! in the member crates, re-exported here for convenience:
+//!
+//! * [`sigcomp`] — activity/energy models of the paper's §2,
+//! * [`sigcomp_isa`] — the MIPS-like ISA, assembler and interpreter,
+//! * [`sigcomp_mem`] — caches and TLBs (§3),
+//! * [`sigcomp_pipeline`] — cycle-level timing models (§4–§6),
+//! * [`sigcomp_workloads`] — Mediabench-style kernels and trace synthesis,
+//! * [`sigcomp_bench`] — the table/figure reproduction harness,
+//! * [`sigcomp_explore`] — parallel design-space exploration.
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use sigcomp;
+pub use sigcomp_bench;
+pub use sigcomp_explore;
+pub use sigcomp_isa;
+pub use sigcomp_mem;
+pub use sigcomp_pipeline;
+pub use sigcomp_workloads;

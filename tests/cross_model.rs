@@ -101,7 +101,9 @@ fn pipeline_cycle_counts_are_at_least_the_ideal_lower_bound() {
     b.addiu(reg::T0, reg::T0, 1);
     b.bne(reg::T0, reg::T1, "loop");
     b.halt();
-    let trace = Interpreter::new(&b.assemble().unwrap()).run(10_000).unwrap();
+    let trace = Interpreter::new(&b.assemble().unwrap())
+        .run(10_000)
+        .unwrap();
 
     for &kind in OrgKind::ALL {
         let result = PipelineSim::new(Organization::new(kind)).run(trace.iter());
@@ -140,7 +142,9 @@ fn baseline_timing_is_insensitive_to_operand_values() {
         b.addiu(reg::T0, reg::T0, 1);
         b.bne(reg::T0, reg::T1, "loop");
         b.halt();
-        Interpreter::new(&b.assemble().unwrap()).run(10_000).unwrap()
+        Interpreter::new(&b.assemble().unwrap())
+            .run(10_000)
+            .unwrap()
     };
     let narrow = build(1);
     let wide = build(163);

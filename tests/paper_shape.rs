@@ -39,7 +39,10 @@ fn byte_granularity_activity_savings_match_the_paper_shape() {
     let rf_read = avg.rf_read.saving_percent();
     assert!((25.0..65.0).contains(&rf_read), "rf read saving {rf_read}");
     let rf_write = avg.rf_write.saving_percent();
-    assert!((20.0..65.0).contains(&rf_write), "rf write saving {rf_write}");
+    assert!(
+        (20.0..65.0).contains(&rf_write),
+        "rf write saving {rf_write}"
+    );
     let alu = avg.alu.saving_percent();
     assert!((15.0..60.0).contains(&alu), "alu saving {alu}");
     let pc = avg.pc_increment.saving_percent();
@@ -50,8 +53,7 @@ fn byte_granularity_activity_savings_match_the_paper_shape() {
     assert!((25.0..65.0).contains(&latches), "latch saving {latches}");
 
     // §2.3: the average compressed instruction fetch is ≈ 3.17 bytes.
-    let mean_fetch: f64 =
-        rows.iter().map(|r| r.mean_fetch_bytes).sum::<f64>() / rows.len() as f64;
+    let mean_fetch: f64 = rows.iter().map(|r| r.mean_fetch_bytes).sum::<f64>() / rows.len() as f64;
     assert!(
         (3.0..3.6).contains(&mean_fetch),
         "mean fetched bytes {mean_fetch}"
@@ -130,7 +132,11 @@ fn cpi_ordering_matches_figures_4_6_8_and_10() {
     assert!((1.05..1.75).contains(&semi_rel), "semi-parallel {semi_rel}");
     // Fig. 8/10: the fully parallel organizations are close to the baseline
     // and the bypassed skewed pipeline is the closest.
-    for (name, value) in [("skewed", skewed), ("compressed", compressed), ("bypass", bypass)] {
+    for (name, value) in [
+        ("skewed", skewed),
+        ("compressed", compressed),
+        ("bypass", bypass),
+    ] {
         let rel = value / baseline;
         assert!(
             (0.999..1.45).contains(&rel),
@@ -138,7 +144,10 @@ fn cpi_ordering_matches_figures_4_6_8_and_10() {
         );
         assert!(value < semi, "{name} should beat semi-parallel");
     }
-    assert!(bypass <= skewed + 1e-9, "bypasses never hurt the skewed pipeline");
+    assert!(
+        bypass <= skewed + 1e-9,
+        "bypasses never hurt the skewed pipeline"
+    );
 }
 
 #[test]
