@@ -1,9 +1,9 @@
-//! `repro` — regenerate every table and figure of the paper, and run
-//! design-space sweeps.
+//! `repro` — regenerate every table and figure of the paper, run
+//! design-space sweeps, and serve simulations over HTTP.
 //!
 //! ```text
 //! repro [--size tiny|default|large] [table1|table2|table3|table4|table5|table6|
-//!        fig4|fig6|fig8|fig10|bottleneck|sweep|all]
+//!        fig4|fig6|fig8|fig10|bottleneck|sweep|serve|all]
 //!
 //! sweep options:
 //!   --workers N          worker threads (default: available parallelism)
@@ -15,10 +15,14 @@
 //!   --no-cache           disable the result cache
 //!   --csv PATH           write per-job results as CSV
 //!   --json PATH          write per-job results as JSON
+//!
+//! serve options (plus --workers/--cache/--no-cache as above):
+//!   --addr HOST:PORT     listen address (default: 127.0.0.1:7878)
+//!   --max-batch N        jobs coalesced per executor batch (default: 64)
 //! ```
 //!
 //! With no subcommand (or `all`) every paper artefact is printed in paper
-//! order (`all` does not include `sweep`).
+//! order (`all` does not include `sweep` or `serve`).
 
 use sigcomp::analyzer::AnalyzerConfig;
 use sigcomp::{EnergyModel, ExtScheme};
@@ -31,25 +35,31 @@ use sigcomp_explore::{
     SweepOptions, SweepSpec,
 };
 use sigcomp_pipeline::OrgKind;
+use sigcomp_serve::{BatchConfig, ServeConfig, Server};
 use sigcomp_workloads::WorkloadSize;
 use std::process::ExitCode;
 
-fn parse_size(value: &str) -> Option<WorkloadSize> {
-    WorkloadSize::parse(value)
-}
+const USAGE: &str = "\
+usage: repro [--size tiny|default|large] \
+[table1|table2|table3|table4|table5|table6|fig4|fig6|fig8|fig10|bottleneck|sweep|serve|all]
+sweep options: [--workers N] [--schemes 2bit,3bit,halfword] [--orgs all|id,id,...]
+[--mems paper,small-l1,wide-l2,slow-memory] [--cache DIR] [--no-cache]
+[--csv PATH] [--json PATH]
+serve options: [--addr HOST:PORT] [--max-batch N] [--workers N] [--cache DIR] [--no-cache]";
 
 fn usage() -> ExitCode {
-    eprintln!(
-        "usage: repro [--size tiny|default|large] \
-         [table1|table2|table3|table4|table5|table6|fig4|fig6|fig8|fig10|bottleneck|sweep|all]\n\
-         sweep options: [--workers N] [--schemes 2bit,3bit,halfword] [--orgs all|id,id,...]\n\
-         [--mems paper,small-l1,wide-l2,slow-memory] [--cache DIR] [--no-cache]\n\
-         [--csv PATH] [--json PATH]"
-    );
+    eprintln!("{USAGE}");
     ExitCode::FAILURE
 }
 
-/// Options that only affect the `sweep` subcommand.
+/// Reports a malformed invocation: the specific problem first, the usage
+/// text after, and a failing exit code back to the shell.
+fn fail(message: &str) -> ExitCode {
+    eprintln!("repro: {message}");
+    usage()
+}
+
+/// Options that only affect the `sweep` and `serve` subcommands.
 #[derive(Default)]
 struct SweepArgs {
     workers: Option<usize>,
@@ -60,10 +70,28 @@ struct SweepArgs {
     no_cache: bool,
     csv: Option<String>,
     json: Option<String>,
+    addr: Option<String>,
+    max_batch: Option<usize>,
 }
 
 fn parse_list<T>(value: &str, parse: impl Fn(&str) -> Option<T>) -> Option<Vec<T>> {
     value.split(',').map(|part| parse(part.trim())).collect()
+}
+
+/// Opens the result cache named by `--cache`/`--no-cache` (shared, via the
+/// same default directory, by CLI sweeps and a running server).
+fn open_cache(args: &SweepArgs, what: &str) -> Option<ResultCache> {
+    if args.no_cache {
+        return None;
+    }
+    let dir = args.cache_dir.as_deref().unwrap_or("target/sweep-cache");
+    match ResultCache::open(dir) {
+        Ok(cache) => Some(cache),
+        Err(e) => {
+            eprintln!("{what}: cannot open result cache at {dir}: {e}; caching disabled");
+            None
+        }
+    }
 }
 
 fn run_sweep_command(size: WorkloadSize, args: &SweepArgs) -> ExitCode {
@@ -82,19 +110,10 @@ fn run_sweep_command(size: WorkloadSize, args: &SweepArgs) -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    let mut options = SweepOptions {
+    let options = SweepOptions {
         workers: args.workers,
-        cache: None,
+        cache: open_cache(args, "sweep"),
     };
-    if !args.no_cache {
-        let dir = args.cache_dir.as_deref().unwrap_or("target/sweep-cache");
-        match ResultCache::open(dir) {
-            Ok(cache) => options.cache = Some(cache),
-            Err(e) => {
-                eprintln!("sweep: cannot open result cache at {dir}: {e}; caching disabled");
-            }
-        }
-    }
 
     println!(
         "sweep: {} configurations at size {}",
@@ -137,92 +156,172 @@ fn run_sweep_command(size: WorkloadSize, args: &SweepArgs) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Runs the HTTP serving front-end (blocks until the listener fails).
+fn run_serve_command(args: &SweepArgs) -> ExitCode {
+    let config = ServeConfig {
+        addr: args.addr.clone().unwrap_or_default(),
+        batch: BatchConfig {
+            max_batch: args.max_batch.unwrap_or(0),
+            queue_capacity: 0,
+            sim_workers: args.workers,
+            disk_cache: open_cache(args, "serve"),
+        },
+    };
+    let server = match Server::bind(config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("serve: cannot bind listener: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = server.local_addr();
+    println!("serving on http://{addr}");
+    println!("  GET  /healthz   liveness probe");
+    println!("  GET  /metrics   request/batching/cache counters");
+    println!("  POST /simulate  one configuration -> metrics (batched + deduplicated)");
+    println!("  POST /sweep     a design-space slice -> poll ticket (or \"sync\": true)");
+    println!("  GET  /jobs/:id  sweep progress and results");
+    match server.run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("serve: listener failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let mut size = WorkloadSize::Default;
     let mut commands: Vec<String> = Vec::new();
     let mut sweep_args = SweepArgs::default();
 
     let mut args = std::env::args().skip(1);
+    // An option's value: `--flag VALUE`. A missing value is reported by
+    // name rather than as a generic usage failure.
+    macro_rules! value_of {
+        ($flag:expr) => {
+            match args.next() {
+                Some(value) => value,
+                None => return fail(&format!("{} expects a value", $flag)),
+            }
+        };
+    }
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--size" => {
-                let Some(value) = args.next().as_deref().and_then(parse_size) else {
-                    return usage();
+                let raw = value_of!("--size");
+                let Some(value) = WorkloadSize::parse(&raw) else {
+                    return fail(&format!(
+                        "invalid value '{raw}' for --size (expected tiny, default or large)"
+                    ));
                 };
                 size = value;
             }
             "--workers" => {
-                let Some(value) = args
-                    .next()
-                    .as_deref()
-                    .and_then(|v| v.parse().ok())
-                    .filter(|&n| n > 0)
-                else {
-                    return usage();
+                let raw = value_of!("--workers");
+                let Some(value) = raw.parse().ok().filter(|&n: &usize| n > 0) else {
+                    return fail(&format!(
+                        "invalid value '{raw}' for --workers (expected a positive integer)"
+                    ));
                 };
                 sweep_args.workers = Some(value);
             }
+            "--max-batch" => {
+                let raw = value_of!("--max-batch");
+                let Some(value) = raw.parse().ok().filter(|&n: &usize| n > 0) else {
+                    return fail(&format!(
+                        "invalid value '{raw}' for --max-batch (expected a positive integer)"
+                    ));
+                };
+                sweep_args.max_batch = Some(value);
+            }
             "--schemes" => {
-                let Some(value) = args
-                    .next()
-                    .as_deref()
-                    .and_then(|v| parse_list(v, ExtScheme::parse))
-                else {
-                    return usage();
+                let raw = value_of!("--schemes");
+                let Some(value) = parse_list(&raw, ExtScheme::parse) else {
+                    return fail(&format!(
+                        "invalid value '{raw}' for --schemes (expected a comma-separated \
+                         subset of 2bit, 3bit, halfword)"
+                    ));
                 };
                 sweep_args.schemes = Some(value);
             }
             "--orgs" => {
-                let Some(raw) = args.next() else {
-                    return usage();
-                };
+                let raw = value_of!("--orgs");
                 if raw == "all" {
                     sweep_args.orgs = Some(OrgKind::ALL.to_vec());
                 } else {
                     let Some(value) = parse_list(&raw, OrgKind::parse) else {
-                        return usage();
+                        let known: Vec<&str> = OrgKind::ALL.iter().map(|o| o.id()).collect();
+                        return fail(&format!(
+                            "invalid value '{raw}' for --orgs (expected 'all' or a \
+                             comma-separated subset of {})",
+                            known.join(", ")
+                        ));
                     };
                     sweep_args.orgs = Some(value);
                 }
             }
             "--mems" => {
-                let Some(value) = args
-                    .next()
-                    .as_deref()
-                    .and_then(|v| parse_list(v, MemProfile::parse))
-                else {
-                    return usage();
+                let raw = value_of!("--mems");
+                let Some(value) = parse_list(&raw, MemProfile::parse) else {
+                    return fail(&format!(
+                        "invalid value '{raw}' for --mems (expected a comma-separated \
+                         subset of paper, small-l1, wide-l2, slow-memory)"
+                    ));
                 };
                 sweep_args.mems = Some(value);
             }
-            "--cache" => {
-                let Some(value) = args.next() else {
-                    return usage();
-                };
-                sweep_args.cache_dir = Some(value);
-            }
+            "--cache" => sweep_args.cache_dir = Some(value_of!("--cache")),
             "--no-cache" => sweep_args.no_cache = true,
-            "--csv" => {
-                let Some(value) = args.next() else {
-                    return usage();
-                };
-                sweep_args.csv = Some(value);
-            }
-            "--json" => {
-                let Some(value) = args.next() else {
-                    return usage();
-                };
-                sweep_args.json = Some(value);
-            }
+            "--csv" => sweep_args.csv = Some(value_of!("--csv")),
+            "--json" => sweep_args.json = Some(value_of!("--json")),
+            "--addr" => sweep_args.addr = Some(value_of!("--addr")),
             "--help" | "-h" => {
-                let _ = usage();
+                println!("{USAGE}");
                 return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                return fail(&format!("unknown option '{other}'"));
             }
             other => commands.push(other.to_owned()),
         }
     }
     if commands.is_empty() {
         commands.push("all".to_owned());
+    }
+
+    // Subcommand-specific flags must not be silently ignored: a user who
+    // passes `--csv` without `sweep` (or `--addr` without `serve`) would
+    // otherwise believe the flag took effect.
+    let runs = |command: &str| commands.iter().any(|c| c == command);
+    if !runs("sweep") {
+        for (set, flag) in [
+            (sweep_args.schemes.is_some(), "--schemes"),
+            (sweep_args.orgs.is_some(), "--orgs"),
+            (sweep_args.mems.is_some(), "--mems"),
+            (sweep_args.csv.is_some(), "--csv"),
+            (sweep_args.json.is_some(), "--json"),
+        ] {
+            if set {
+                return fail(&format!("{flag} only applies to the sweep subcommand"));
+            }
+        }
+    }
+    if !runs("serve") {
+        for (set, flag) in [
+            (sweep_args.addr.is_some(), "--addr"),
+            (sweep_args.max_batch.is_some(), "--max-batch"),
+        ] {
+            if set {
+                return fail(&format!("{flag} only applies to the serve subcommand"));
+            }
+        }
+    }
+    if !runs("sweep")
+        && !runs("serve")
+        && (sweep_args.workers.is_some() || sweep_args.no_cache || sweep_args.cache_dir.is_some())
+    {
+        return fail("--workers/--cache/--no-cache only apply to the sweep and serve subcommands");
     }
 
     // The activity studies feed several tables; run them lazily and only once.
@@ -322,7 +421,8 @@ fn main() -> ExitCode {
                         return code;
                     }
                 }
-                _ => return usage(),
+                "serve" => return run_serve_command(&sweep_args),
+                other => return fail(&format!("unknown command '{other}'")),
             }
             println!();
         }

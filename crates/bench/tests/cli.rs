@@ -1,0 +1,133 @@
+//! CLI contract tests for the `repro` binary: malformed invocations must
+//! print a named error plus the usage text and exit non-zero — never panic —
+//! and `--help` must exit zero.
+
+use std::process::{Command, Output};
+
+fn repro(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("repro runs")
+}
+
+fn stderr(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stderr).into_owned()
+}
+
+#[test]
+fn help_prints_usage_and_succeeds() {
+    let out = repro(&["--help"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("usage: repro"));
+    assert!(text.contains("serve options:"));
+    assert!(text.contains("--max-batch"));
+}
+
+#[test]
+fn unknown_options_fail_with_a_named_error() {
+    let out = repro(&["--frobnicate"]);
+    assert!(!out.status.success());
+    let err = stderr(&out);
+    assert!(err.contains("unknown option '--frobnicate'"), "{err}");
+    assert!(err.contains("usage: repro"), "{err}");
+}
+
+#[test]
+fn unknown_commands_fail_with_a_named_error() {
+    let out = repro(&["table99"]);
+    assert!(!out.status.success());
+    let err = stderr(&out);
+    assert!(err.contains("unknown command 'table99'"), "{err}");
+}
+
+#[test]
+fn malformed_values_name_the_flag_and_the_value() {
+    for (args, needle) in [
+        (
+            &["--workers", "zero"][..],
+            "invalid value 'zero' for --workers",
+        ),
+        (&["--workers", "0"], "invalid value '0' for --workers"),
+        (&["--max-batch", "-3"], "invalid value '-3' for --max-batch"),
+        (&["--size", "huge"], "invalid value 'huge' for --size"),
+        (
+            &["--schemes", "3bit,warp"],
+            "invalid value '3bit,warp' for --schemes",
+        ),
+        (
+            &["--orgs", "warp-drive"],
+            "invalid value 'warp-drive' for --orgs",
+        ),
+        (&["--mems", "ram"], "invalid value 'ram' for --mems"),
+    ] {
+        let out = repro(args);
+        assert!(!out.status.success(), "{args:?} must fail");
+        let err = stderr(&out);
+        assert!(err.contains(needle), "{args:?}: {err}");
+        assert!(err.contains("usage: repro"), "{args:?}: {err}");
+    }
+}
+
+#[test]
+fn options_missing_their_value_are_reported() {
+    for flag in [
+        "--size",
+        "--workers",
+        "--schemes",
+        "--cache",
+        "--addr",
+        "--max-batch",
+    ] {
+        let out = repro(&[flag]);
+        assert!(!out.status.success(), "{flag} must fail");
+        let err = stderr(&out);
+        assert!(
+            err.contains(&format!("{flag} expects a value")),
+            "{flag}: {err}"
+        );
+    }
+}
+
+#[test]
+fn subcommand_flags_without_their_subcommand_are_rejected() {
+    for (args, needle) in [
+        (
+            &["--csv", "out.csv", "table1"][..],
+            "--csv only applies to the sweep subcommand",
+        ),
+        (
+            &["serve", "--schemes", "3bit"],
+            "--schemes only applies to the sweep subcommand",
+        ),
+        (
+            &["sweep", "--addr", "127.0.0.1:1"],
+            "--addr only applies to the serve subcommand",
+        ),
+        (
+            &["--size", "tiny", "table1", "--workers", "2"],
+            "--workers/--cache/--no-cache only apply to the sweep and serve subcommands",
+        ),
+    ] {
+        let out = repro(args);
+        assert!(!out.status.success(), "{args:?} must fail");
+        let err = stderr(&out);
+        assert!(err.contains(needle), "{args:?}: {err}");
+    }
+}
+
+#[test]
+fn empty_sweeps_fail_cleanly() {
+    let out = repro(&["--size", "tiny", "sweep", "--no-cache", "--orgs", ""]);
+    assert!(!out.status.success());
+    // "" parses as an unknown organization → named error, not a panic.
+    assert!(stderr(&out).contains("invalid value '' for --orgs"));
+}
+
+#[test]
+fn serve_fails_cleanly_on_an_unbindable_address() {
+    let out = repro(&["serve", "--addr", "256.0.0.1:1", "--no-cache"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("cannot bind listener"));
+}

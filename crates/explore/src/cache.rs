@@ -17,7 +17,13 @@ use std::path::{Path, PathBuf};
 const HEADER: &str = "sigcomp-explore v1";
 
 /// A directory of cached job results, keyed by content hash.
-#[derive(Debug)]
+///
+/// The handle is just the directory path, so clones are cheap and any number
+/// of handles — across threads *and* processes (a running server plus a CLI
+/// sweep, say) — may share one directory: [`ResultCache::store`] publishes
+/// entries atomically and [`ResultCache::load`] treats anything unreadable
+/// as a miss.
+#[derive(Debug, Clone)]
 pub struct ResultCache {
     root: PathBuf,
 }
@@ -179,9 +185,15 @@ fn parse_metrics(text: &str) -> Option<JobMetrics> {
     Some(m)
 }
 
-fn slug(name: &str) -> String {
+/// Normalizes an activity column name into the stable `[a-z0-9_]` key used
+/// by cache entries — and, so the two formats can never diverge, by the
+/// `sigcomp-serve` JSON responses.
+#[must_use]
+pub fn column_slug(name: &str) -> String {
     name.to_lowercase().replace([' ', '-'], "_")
 }
+
+use column_slug as slug;
 
 #[cfg(test)]
 mod tests {
@@ -235,6 +247,63 @@ mod tests {
         )
         .unwrap();
         assert!(cache.load(7).is_none(), "other versions must not load");
+        let _ = fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn concurrent_stores_and_loads_never_tear() {
+        // A server batch and a CLI sweep sharing one cache directory must
+        // never observe a half-written entry: every load is either a clean
+        // miss or a bit-exact round trip of some store.
+        let cache = temp_cache("concurrent");
+        let distinct: Vec<JobMetrics> = (0u64..4)
+            .map(|i| JobMetrics {
+                instructions: 1_000 + i,
+                cycles: 2_000 + i,
+                ..sample_metrics()
+            })
+            .collect();
+        std::thread::scope(|scope| {
+            for metrics in &distinct {
+                let cache = cache.clone();
+                scope.spawn(move || {
+                    for _ in 0..50 {
+                        cache.store(99, metrics).expect("store succeeds");
+                    }
+                });
+            }
+            for _ in 0..2 {
+                let cache = cache.clone();
+                let distinct = &distinct;
+                scope.spawn(move || {
+                    let mut hits = 0;
+                    for _ in 0..200 {
+                        if let Some(loaded) = cache.load(99) {
+                            assert!(
+                                distinct.contains(&loaded),
+                                "torn entry observed: {loaded:?}"
+                            );
+                            hits += 1;
+                        }
+                    }
+                    hits
+                });
+            }
+        });
+        // The winning store must be intact and no temp files may leak.
+        assert!(distinct.contains(&cache.load(99).expect("entry exists")));
+        assert_eq!(cache.len().unwrap(), 1);
+        let leftovers = fs::read_dir(cache.root())
+            .unwrap()
+            .filter(|e| {
+                e.as_ref()
+                    .unwrap()
+                    .path()
+                    .extension()
+                    .is_some_and(|x| x == "tmp")
+            })
+            .count();
+        assert_eq!(leftovers, 0, "temp files must not leak");
         let _ = fs::remove_dir_all(cache.root());
     }
 

@@ -203,7 +203,24 @@ pub fn simulate_job(spec: &JobSpec, benchmark: &Benchmark) -> JobMetrics {
 /// Panics if a workload named by the spec does not exist or fails to run.
 #[must_use]
 pub fn run_sweep(spec: &SweepSpec, options: &SweepOptions) -> SweepSummary {
-    let jobs = spec.enumerate();
+    run_jobs(&spec.enumerate(), options)
+}
+
+/// Runs an explicit batch of jobs — the submission API that long-running
+/// front-ends (e.g. `sigcomp-serve`) feed coalesced request batches into.
+///
+/// Exactly the engine behind [`run_sweep`], minus the design-space
+/// enumeration: every job runs on the work-stealing executor, cache hits are
+/// substituted where [`SweepOptions::cache`] holds a result, and
+/// [`SweepSummary::outcomes`] comes back in `jobs` order (bit-identical for
+/// every worker count). Duplicate specs in `jobs` are each answered — batch
+/// deduplication is the caller's concern, keyed by [`JobSpec::job_id`].
+///
+/// # Panics
+///
+/// Panics if a workload named by a job does not exist or fails to run.
+#[must_use]
+pub fn run_jobs(jobs: &[JobSpec], options: &SweepOptions) -> SweepSummary {
     // Mirror the executor's clamp so the summary reports the worker count
     // actually used.
     let workers = options.effective_workers().min(jobs.len().max(1));
@@ -211,7 +228,7 @@ pub fn run_sweep(spec: &SweepSpec, options: &SweepOptions) -> SweepSummary {
     // Each (workload, size) is assembled at most once, shared by every job
     // that needs it — and not at all when all of its jobs hit the cache.
     let mut benchmarks: HashMap<(&'static str, WorkloadSize), OnceLock<Benchmark>> = HashMap::new();
-    for job in &jobs {
+    for job in jobs {
         benchmarks.entry((job.workload, job.size)).or_default();
     }
 

@@ -1,0 +1,367 @@
+//! Wire formats: decoding request bodies into job and sweep specifications,
+//! and encoding result documents.
+//!
+//! Decoding is strict — unknown fields, unknown axis values and
+//! wrongly-typed values are all rejected with a message naming the culprit —
+//! so a typo in a client request becomes a 400 with an explanation instead
+//! of a silently-default simulation. Everything a spec needs is validated
+//! here, which is what lets the batcher promise its simulation calls cannot
+//! panic on bad input.
+
+use crate::batch::BatchedResult;
+use crate::json::{escape, Json};
+use sigcomp::{EnergyModel, ExtScheme};
+use sigcomp_explore::{
+    column_slug, config_points, pareto_frontier, to_json, JobOutcome, JobSpec, MemProfile,
+    SweepSpec,
+};
+use sigcomp_pipeline::OrgKind;
+use sigcomp_workloads::{suite_names, WorkloadSize};
+use std::fmt::Write as _;
+
+/// Decodes a `POST /simulate` body into a [`JobSpec`].
+///
+/// Only `workload` is required; the remaining axes default to the paper's
+/// flagship configuration (`scheme` `3bit`, `org` `byte-serial`, `mem`
+/// `paper`, `size` `default`).
+///
+/// # Errors
+///
+/// A human-readable message naming the offending field or value.
+pub fn job_spec_from_json(doc: &Json) -> Result<JobSpec, String> {
+    if !matches!(doc, Json::Obj(_)) {
+        return Err("request body must be a JSON object".to_owned());
+    }
+    check_fields(doc, &["workload", "size", "scheme", "org", "mem"])?;
+    let workload = required_str(doc, "workload")?;
+    let workload = resolve_workload(workload)?;
+    Ok(JobSpec {
+        scheme: parse_field(doc, "scheme", "3bit", ExtScheme::parse, "extension scheme")?,
+        org: parse_field(doc, "org", "byte-serial", OrgKind::parse, "organization")?,
+        workload,
+        size: parse_field(doc, "size", "default", WorkloadSize::parse, "workload size")?,
+        mem: parse_field(doc, "mem", "paper", MemProfile::parse, "memory profile")?,
+    })
+}
+
+/// Decodes a `POST /sweep` body into a [`SweepSpec`] plus the `sync` flag.
+///
+/// Every axis is an optional array of strings; the defaults are the paper's
+/// primary slice (scheme `3bit`, every organization, the full workload
+/// suite, size `default`, the paper memory hierarchy). `"sync": true` asks
+/// for the result inline instead of a poll ticket.
+///
+/// # Errors
+///
+/// A human-readable message naming the offending field or value.
+pub fn sweep_spec_from_json(doc: &Json) -> Result<(SweepSpec, bool), String> {
+    if !matches!(doc, Json::Obj(_)) {
+        return Err("request body must be a JSON object".to_owned());
+    }
+    check_fields(
+        doc,
+        &["workloads", "schemes", "orgs", "mems", "sizes", "sync"],
+    )?;
+    let mut spec = SweepSpec::paper(WorkloadSize::Default);
+    if let Some(items) = axis_items(doc, "schemes")? {
+        spec = spec.schemes(&parse_axis(&items, ExtScheme::parse, "extension scheme")?);
+    }
+    if let Some(items) = axis_items(doc, "orgs")? {
+        spec = spec.orgs(&parse_axis(&items, OrgKind::parse, "organization")?);
+    }
+    if let Some(items) = axis_items(doc, "mems")? {
+        spec = spec.mems(&parse_axis(&items, MemProfile::parse, "memory profile")?);
+    }
+    if let Some(items) = axis_items(doc, "sizes")? {
+        spec = spec.sizes(&parse_axis(&items, WorkloadSize::parse, "workload size")?);
+    }
+    if let Some(items) = axis_items(doc, "workloads")? {
+        let resolved: Vec<&'static str> = items
+            .iter()
+            .map(|name| resolve_workload(name))
+            .collect::<Result<_, _>>()?;
+        spec = spec.workloads(&resolved);
+    }
+    if spec.is_empty() {
+        return Err("the requested design space is empty".to_owned());
+    }
+    let sync = match doc.get("sync") {
+        None => false,
+        Some(v) => v
+            .as_bool()
+            .ok_or_else(|| "field 'sync' must be a boolean".to_owned())?,
+    };
+    Ok((spec, sync))
+}
+
+/// Encodes a `POST /simulate` response: the job's identity, every integer
+/// counter, the derived CPI/energy-saving figures, and the per-stage
+/// activity — bit-exact integers throughout, so clients can compare
+/// responses across replicas.
+#[must_use]
+pub fn simulate_response(spec: &JobSpec, result: &BatchedResult, model: &EnergyModel) -> String {
+    let outcome = JobOutcome {
+        spec: *spec,
+        metrics: result.metrics,
+        from_cache: result.from_cache,
+    };
+    let m = &outcome.metrics;
+    let mut out = String::with_capacity(1024);
+    let _ = write!(
+        out,
+        "{{\"job_id\": \"{:016x}\", \"workload\": \"{}\", \"size\": \"{}\", \
+         \"scheme\": \"{}\", \"org\": \"{}\", \"mem\": \"{}\", \"from_cache\": {}, \
+         \"instructions\": {}, \"cycles\": {}, \"branches\": {}, \
+         \"stall_structural\": {}, \"stall_data_hazard\": {}, \"stall_control\": {}, \
+         \"cpi\": {:.6}, \"energy_saving\": {:.6}, \"activity\": {{",
+        spec.job_id(),
+        spec.workload,
+        spec.size.name(),
+        spec.scheme.id(),
+        spec.org.id(),
+        spec.mem.id(),
+        outcome.from_cache,
+        m.instructions,
+        m.cycles,
+        m.branches,
+        m.stall_structural,
+        m.stall_data_hazard,
+        m.stall_control,
+        outcome.cpi(),
+        outcome.energy_saving(model),
+    );
+    for (i, (name, stage)) in m.activity.columns().iter().enumerate() {
+        let _ = write!(
+            out,
+            "{}\"{}\": {{\"compressed\": {}, \"baseline\": {}}}",
+            if i > 0 { ", " } else { "" },
+            column_slug(name),
+            stage.compressed_bits,
+            stage.baseline_bits,
+        );
+    }
+    out.push_str("}}\n");
+    out
+}
+
+/// Encodes a finished sweep: job count, cache statistics, the Pareto
+/// frontier labels, and the full per-job outcome array (the same document
+/// `repro sweep --json` writes).
+#[must_use]
+pub fn sweep_result_json(outcomes: &[JobOutcome], model: &EnergyModel) -> String {
+    let served_from_cache = outcomes.iter().filter(|o| o.from_cache).count();
+    let points = config_points(outcomes);
+    let frontier = pareto_frontier(&points, model);
+    let labels: Vec<String> = frontier
+        .iter()
+        .map(|p| format!("\"{}\"", escape(&p.label())))
+        .collect();
+    format!(
+        "{{\"status\": \"done\", \"jobs\": {}, \"served_from_cache\": {}, \
+         \"frontier\": [{}], \"outcomes\": {}}}\n",
+        outcomes.len(),
+        served_from_cache,
+        labels.join(", "),
+        to_json(outcomes, model).trim_end(),
+    )
+}
+
+fn check_fields(doc: &Json, allowed: &[&str]) -> Result<(), String> {
+    for key in doc.keys() {
+        if !allowed.contains(&key) {
+            return Err(format!(
+                "unknown field '{key}' (expected one of: {})",
+                allowed.join(", ")
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn required_str<'a>(doc: &'a Json, field: &str) -> Result<&'a str, String> {
+    doc.get(field)
+        .ok_or_else(|| format!("missing required field '{field}'"))?
+        .as_str()
+        .ok_or_else(|| format!("field '{field}' must be a string"))
+}
+
+fn resolve_workload(name: &str) -> Result<&'static str, String> {
+    suite_names()
+        .iter()
+        .find(|&&n| n == name)
+        .copied()
+        .ok_or_else(|| {
+            format!(
+                "unknown workload '{name}' (known: {})",
+                suite_names().join(", ")
+            )
+        })
+}
+
+fn parse_field<T>(
+    doc: &Json,
+    field: &str,
+    default: &str,
+    parse: impl Fn(&str) -> Option<T>,
+    what: &str,
+) -> Result<T, String> {
+    let value = match doc.get(field) {
+        None => default,
+        Some(v) => v
+            .as_str()
+            .ok_or_else(|| format!("field '{field}' must be a string"))?,
+    };
+    parse(value).ok_or_else(|| format!("unknown {what} '{value}'"))
+}
+
+fn axis_items<'a>(doc: &'a Json, field: &str) -> Result<Option<Vec<&'a str>>, String> {
+    match doc.get(field) {
+        None => Ok(None),
+        Some(v) => v
+            .str_items()
+            .map(Some)
+            .ok_or_else(|| format!("field '{field}' must be an array of strings")),
+    }
+}
+
+fn parse_axis<T>(
+    items: &[&str],
+    parse: impl Fn(&str) -> Option<T>,
+    what: &str,
+) -> Result<Vec<T>, String> {
+    items
+        .iter()
+        .map(|&item| parse(item).ok_or_else(|| format!("unknown {what} '{item}'")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigcomp_explore::JobMetrics;
+
+    #[test]
+    fn job_spec_defaults_and_overrides() {
+        let doc = Json::parse(r#"{"workload": "rawcaudio"}"#).unwrap();
+        let spec = job_spec_from_json(&doc).unwrap();
+        assert_eq!(spec.workload, "rawcaudio");
+        assert_eq!(spec.scheme, ExtScheme::ThreeBit);
+        assert_eq!(spec.org, OrgKind::ByteSerial);
+        assert_eq!(spec.size, WorkloadSize::Default);
+        assert_eq!(spec.mem, MemProfile::Paper);
+
+        let doc = Json::parse(
+            r#"{"workload": "pgp", "size": "tiny", "scheme": "halfword",
+                "org": "baseline32", "mem": "slow-memory"}"#,
+        )
+        .unwrap();
+        let spec = job_spec_from_json(&doc).unwrap();
+        assert_eq!(spec.scheme, ExtScheme::Halfword);
+        assert_eq!(spec.org, OrgKind::Baseline32);
+        assert_eq!(spec.size, WorkloadSize::Tiny);
+        assert_eq!(spec.mem, MemProfile::SlowMemory);
+    }
+
+    #[test]
+    fn job_spec_rejects_bad_input_with_named_culprits() {
+        for (body, needle) in [
+            (r#"[1]"#, "must be a JSON object"),
+            (r#"{}"#, "missing required field 'workload'"),
+            (r#"{"workload": 3}"#, "field 'workload' must be a string"),
+            (r#"{"workload": "nope"}"#, "unknown workload 'nope'"),
+            (
+                r#"{"workload": "pgp", "org": "x"}"#,
+                "unknown organization 'x'",
+            ),
+            (r#"{"workload": "pgp", "typo": 1}"#, "unknown field 'typo'"),
+            (
+                r#"{"workload": "pgp", "size": "huge"}"#,
+                "unknown workload size 'huge'",
+            ),
+        ] {
+            let doc = Json::parse(body).unwrap();
+            let err = job_spec_from_json(&doc).unwrap_err();
+            assert!(err.contains(needle), "{body}: {err}");
+        }
+    }
+
+    #[test]
+    fn sweep_spec_defaults_to_the_paper_slice() {
+        let doc = Json::parse(r#"{}"#).unwrap();
+        let (spec, sync) = sweep_spec_from_json(&doc).unwrap();
+        assert!(!sync);
+        assert_eq!(spec.len(), OrgKind::ALL.len() * suite_names().len());
+    }
+
+    #[test]
+    fn sweep_spec_applies_every_axis() {
+        let doc = Json::parse(
+            r#"{"workloads": ["rawcaudio", "pgp"], "schemes": ["2bit", "3bit"],
+                "orgs": ["baseline32"], "mems": ["paper", "wide-l2"],
+                "sizes": ["tiny"], "sync": true}"#,
+        )
+        .unwrap();
+        let (spec, sync) = sweep_spec_from_json(&doc).unwrap();
+        assert!(sync);
+        // 2 workloads × 2 schemes × 1 org × 2 mems × 1 size.
+        assert_eq!(spec.len(), 8);
+    }
+
+    #[test]
+    fn sweep_spec_rejects_bad_axes() {
+        for (body, needle) in [
+            (r#"{"orgs": "baseline32"}"#, "must be an array of strings"),
+            (r#"{"orgs": ["warp-drive"]}"#, "unknown organization"),
+            (r#"{"workloads": []}"#, "design space is empty"),
+            (r#"{"sync": "yes"}"#, "must be a boolean"),
+            (r#"{"size": ["tiny"]}"#, "unknown field 'size'"),
+        ] {
+            let doc = Json::parse(body).unwrap();
+            let err = sweep_spec_from_json(&doc).unwrap_err();
+            assert!(err.contains(needle), "{body}: {err}");
+        }
+    }
+
+    #[test]
+    fn responses_are_valid_json() {
+        let doc = Json::parse(r#"{"workload": "rawcaudio", "size": "tiny"}"#).unwrap();
+        let spec = job_spec_from_json(&doc).unwrap();
+        let result = BatchedResult {
+            metrics: JobMetrics {
+                instructions: 10,
+                cycles: 17,
+                ..JobMetrics::default()
+            },
+            from_cache: false,
+        };
+        let model = EnergyModel::default();
+        let body = simulate_response(&spec, &result, &model);
+        let parsed = Json::parse(&body).unwrap();
+        assert_eq!(parsed.get("cycles").and_then(Json::as_u64), Some(17));
+        assert_eq!(parsed.get("from_cache"), Some(&Json::Bool(false)));
+        assert!(parsed
+            .get("activity")
+            .and_then(|a| a.get("fetch"))
+            .is_some());
+
+        let outcome = JobOutcome {
+            spec,
+            metrics: result.metrics,
+            from_cache: true,
+        };
+        let body = sweep_result_json(&[outcome], &model);
+        let parsed = Json::parse(&body).unwrap();
+        assert_eq!(parsed.get("jobs").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            parsed.get("served_from_cache").and_then(Json::as_u64),
+            Some(1)
+        );
+        assert_eq!(
+            parsed
+                .get("outcomes")
+                .and_then(Json::as_arr)
+                .map(<[Json]>::len),
+            Some(1)
+        );
+    }
+}

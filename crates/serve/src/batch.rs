@@ -1,0 +1,496 @@
+//! The batching scheduler: the core of the serving subsystem.
+//!
+//! Concurrent connections enqueue [`JobSpec`]s into one shared bounded
+//! queue. A single dispatcher thread drains the queue into batches of up to
+//! [`BatchConfig::max_batch`] jobs, **deduplicates** identical
+//! configurations by their content hash ([`JobSpec::job_id`]), answers what
+//! it can from an in-memory memo and the shared on-disk
+//! [`ResultCache`], and feeds only the remaining unique jobs to
+//! [`sigcomp_explore::run_jobs`] — the same work-stealing executor the
+//! `repro sweep` CLI uses. A thousand clients asking for overlapping
+//! configurations therefore cost one simulation each, and every caller still
+//! receives bit-identical [`JobMetrics`] (all counters are exact integers;
+//! cache hits are substitutable for simulations by construction).
+//!
+//! Backpressure: when the queue is full, [`Batcher::submit`] blocks the
+//! submitting connection thread until the dispatcher makes room, bounding
+//! server memory under overload.
+
+use crate::metrics::ServerMetrics;
+use sigcomp_explore::{run_jobs, JobMetrics, JobSpec, ResultCache, SweepOptions};
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Scheduler tuning knobs.
+#[derive(Debug, Clone, Default)]
+pub struct BatchConfig {
+    /// Maximum jobs coalesced into one executor batch (0 = default 64).
+    pub max_batch: usize,
+    /// Bounded queue capacity; submitters block when it is full
+    /// (0 = default 1024).
+    pub queue_capacity: usize,
+    /// Worker threads per batch; `None` uses the machine's available
+    /// parallelism.
+    pub sim_workers: Option<usize>,
+    /// Shared on-disk result cache, if any. The same directory may be used
+    /// concurrently by `repro sweep` — [`ResultCache::store`] publishes
+    /// atomically.
+    pub disk_cache: Option<ResultCache>,
+}
+
+impl BatchConfig {
+    fn max_batch(&self) -> usize {
+        if self.max_batch == 0 {
+            64
+        } else {
+            self.max_batch
+        }
+    }
+
+    fn queue_capacity(&self) -> usize {
+        if self.queue_capacity == 0 {
+            1024
+        } else {
+            self.queue_capacity
+        }
+    }
+}
+
+/// One answered job.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchedResult {
+    /// The measured counters — bit-identical whether simulated fresh,
+    /// deduplicated against a concurrent request, or restored from a cache.
+    pub metrics: JobMetrics,
+    /// `true` when this caller's answer did not run a fresh simulation of
+    /// its own (memo hit, disk-cache hit, or coalesced duplicate).
+    pub from_cache: bool,
+}
+
+/// Why a submission failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The batcher is shutting down and no longer accepts work.
+    ShuttingDown,
+    /// The simulation of this job's batch panicked; the batcher survives
+    /// and later submissions still work, but this request has no result.
+    SimulationFailed,
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::ShuttingDown => write!(f, "server is shutting down"),
+            SubmitError::SimulationFailed => write!(f, "simulation failed (internal error)"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// A per-request completion slot: the dispatcher fills it, the submitting
+/// thread sleeps on the condvar until it does.
+#[derive(Debug, Default)]
+struct Slot {
+    done: Mutex<Option<Result<BatchedResult, SubmitError>>>,
+    ready: Condvar,
+}
+
+impl Slot {
+    fn fill(&self, result: Result<BatchedResult, SubmitError>) {
+        *self.done.lock().expect("slot poisoned") = Some(result);
+        self.ready.notify_all();
+    }
+
+    fn wait(&self) -> Result<BatchedResult, SubmitError> {
+        let mut done = self.done.lock().expect("slot poisoned");
+        while done.is_none() {
+            done = self.ready.wait(done).expect("slot poisoned");
+        }
+        done.take().expect("checked above")
+    }
+}
+
+#[derive(Debug)]
+struct QueueState {
+    queue: VecDeque<(JobSpec, Arc<Slot>)>,
+    /// Results of every job this batcher has ever answered, keyed by
+    /// [`JobSpec::job_id`]. Metrics are ~30 integers, so even a large
+    /// design space stays a few megabytes.
+    memo: HashMap<u64, JobMetrics>,
+    shutdown: bool,
+}
+
+#[derive(Debug)]
+struct Shared {
+    state: Mutex<QueueState>,
+    /// Signalled when the queue gains work or shutdown begins.
+    work_ready: Condvar,
+    /// Signalled when the dispatcher drains the queue below capacity.
+    space_ready: Condvar,
+    config: BatchConfig,
+    metrics: Arc<ServerMetrics>,
+}
+
+/// The batching scheduler. Dropping it shuts the dispatcher down, failing
+/// any still-queued submissions with [`SubmitError::ShuttingDown`].
+#[derive(Debug)]
+pub struct Batcher {
+    shared: Arc<Shared>,
+    dispatcher: Option<JoinHandle<()>>,
+}
+
+impl Batcher {
+    /// Starts the dispatcher thread.
+    #[must_use]
+    pub fn new(config: BatchConfig, metrics: Arc<ServerMetrics>) -> Self {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(QueueState {
+                queue: VecDeque::new(),
+                memo: HashMap::new(),
+                shutdown: false,
+            }),
+            work_ready: Condvar::new(),
+            space_ready: Condvar::new(),
+            config,
+            metrics,
+        });
+        let dispatcher = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("sigcomp-serve-dispatcher".into())
+                .spawn(move || dispatch_loop(&shared))
+                .expect("spawning the dispatcher thread")
+        };
+        Batcher {
+            shared,
+            dispatcher: Some(dispatcher),
+        }
+    }
+
+    /// Submits one job and blocks until its result is available.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::ShuttingDown`] when the batcher is stopping.
+    pub fn submit(&self, spec: JobSpec) -> Result<BatchedResult, SubmitError> {
+        match self.enqueue(spec)? {
+            Enqueued::Ready(result) => Ok(result),
+            Enqueued::Waiting(slot) => slot.wait(),
+        }
+    }
+
+    /// Submits a whole batch (e.g. an enumerated sweep) at once and waits
+    /// for every result, returned in `specs` order. Enqueuing everything
+    /// before waiting lets the dispatcher coalesce the entire batch instead
+    /// of ping-ponging one job at a time.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::ShuttingDown`] if any job was refused or failed;
+    /// partial results are discarded.
+    pub fn submit_many(&self, specs: &[JobSpec]) -> Result<Vec<BatchedResult>, SubmitError> {
+        let pending: Vec<Enqueued> = specs
+            .iter()
+            .map(|&spec| self.enqueue(spec))
+            .collect::<Result<_, _>>()?;
+        pending
+            .into_iter()
+            .map(|p| match p {
+                Enqueued::Ready(result) => Ok(result),
+                Enqueued::Waiting(slot) => slot.wait(),
+            })
+            .collect()
+    }
+
+    /// Jobs currently waiting in the queue (a point-in-time sample).
+    #[must_use]
+    pub fn queue_depth(&self) -> usize {
+        self.shared
+            .state
+            .lock()
+            .expect("queue poisoned")
+            .queue
+            .len()
+    }
+
+    fn enqueue(&self, spec: JobSpec) -> Result<Enqueued, SubmitError> {
+        let metrics = &self.shared.metrics;
+        ServerMetrics::incr(&metrics.jobs_requested);
+        let mut state = self.shared.state.lock().expect("queue poisoned");
+        if let Some(&cached) = state.memo.get(&spec.job_id()) {
+            ServerMetrics::incr(&metrics.jobs_memo_hits);
+            return Ok(Enqueued::Ready(BatchedResult {
+                metrics: cached,
+                from_cache: true,
+            }));
+        }
+        while state.queue.len() >= self.shared.config.queue_capacity() && !state.shutdown {
+            state = self.shared.space_ready.wait(state).expect("queue poisoned");
+        }
+        if state.shutdown {
+            return Err(SubmitError::ShuttingDown);
+        }
+        let slot = Arc::new(Slot::default());
+        state.queue.push_back((spec, Arc::clone(&slot)));
+        drop(state);
+        self.shared.work_ready.notify_all();
+        Ok(Enqueued::Waiting(slot))
+    }
+}
+
+impl Drop for Batcher {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.state.lock().expect("queue poisoned");
+            state.shutdown = true;
+        }
+        self.shared.work_ready.notify_all();
+        self.shared.space_ready.notify_all();
+        if let Some(handle) = self.dispatcher.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+enum Enqueued {
+    Ready(BatchedResult),
+    Waiting(Arc<Slot>),
+}
+
+fn dispatch_loop(shared: &Shared) {
+    loop {
+        // Collect the next batch (blocking while the queue is empty).
+        let batch: Vec<(JobSpec, Arc<Slot>)> = {
+            let mut state = shared.state.lock().expect("queue poisoned");
+            while state.queue.is_empty() && !state.shutdown {
+                state = shared.work_ready.wait(state).expect("queue poisoned");
+            }
+            if state.queue.is_empty() && state.shutdown {
+                return;
+            }
+            let n = state.queue.len().min(shared.config.max_batch());
+            let batch = state.queue.drain(..n).collect();
+            shared.space_ready.notify_all();
+            batch
+        };
+        shared.metrics.observe_batch(batch.len() as u64);
+        run_batch(shared, batch);
+    }
+}
+
+/// Deduplicates one drained batch by job id, simulates the unique residue
+/// through the explore executor, and fills every waiter's slot.
+fn run_batch(shared: &Shared, batch: Vec<(JobSpec, Arc<Slot>)>) {
+    let metrics = &shared.metrics;
+    // Group the batch: first occurrence of each job id becomes the unique
+    // job list fed to the executor; followers coalesce onto it.
+    let mut unique: Vec<JobSpec> = Vec::new();
+    let mut index_of: HashMap<u64, usize> = HashMap::new();
+    let mut members: Vec<(usize, Arc<Slot>, bool)> = Vec::with_capacity(batch.len());
+    {
+        // Jobs enqueued before a previous batch finished may have been
+        // answered by it; re-check the memo so they don't re-simulate.
+        let state = shared.state.lock().expect("queue poisoned");
+        for (spec, slot) in batch {
+            let id = spec.job_id();
+            if let Some(&cached) = state.memo.get(&id) {
+                ServerMetrics::incr(&metrics.jobs_memo_hits);
+                slot.fill(Ok(BatchedResult {
+                    metrics: cached,
+                    from_cache: true,
+                }));
+                continue;
+            }
+            match index_of.get(&id) {
+                Some(&idx) => {
+                    ServerMetrics::incr(&metrics.jobs_batch_deduped);
+                    members.push((idx, slot, true));
+                }
+                None => {
+                    let idx = unique.len();
+                    index_of.insert(id, idx);
+                    unique.push(spec);
+                    members.push((idx, slot, false));
+                }
+            }
+        }
+    }
+    if unique.is_empty() {
+        return;
+    }
+
+    // One executor pass over the deduplicated batch. `run_jobs` consults
+    // the shared on-disk cache per job and returns outcomes in input order.
+    // A panicking simulation must not unwind through the dispatcher: every
+    // waiter would hang on its condvar forever (no socket timeout applies
+    // there) and the queue would never drain again. Catch it, fail this
+    // batch's waiters, and keep serving. AssertUnwindSafe is fine: on panic
+    // the batch state is discarded (the memo is only written on success).
+    let options = SweepOptions {
+        workers: shared.config.sim_workers,
+        cache: shared.config.disk_cache.clone(),
+    };
+    let summary = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_jobs(&unique, &options)
+    })) {
+        Ok(summary) => summary,
+        Err(_) => {
+            for (_, slot, _) in members {
+                slot.fill(Err(SubmitError::SimulationFailed));
+            }
+            return;
+        }
+    };
+
+    // Publish into the memo, then wake every waiter.
+    {
+        let mut state = shared.state.lock().expect("queue poisoned");
+        for outcome in &summary.outcomes {
+            state.memo.insert(outcome.spec.job_id(), outcome.metrics);
+        }
+    }
+    for outcome in &summary.outcomes {
+        if outcome.from_cache {
+            ServerMetrics::incr(&metrics.jobs_disk_cache_hits);
+        } else {
+            ServerMetrics::incr(&metrics.jobs_simulated);
+        }
+    }
+    for (idx, slot, follower) in members {
+        let outcome = &summary.outcomes[idx];
+        slot.fill(Ok(BatchedResult {
+            metrics: outcome.metrics,
+            // A follower's answer reused the leader's run; the leader
+            // reports whether *its* answer came from the disk cache.
+            from_cache: follower || outcome.from_cache,
+        }));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigcomp::ExtScheme;
+    use sigcomp_explore::{simulate_job, MemProfile};
+    use sigcomp_pipeline::OrgKind;
+    use sigcomp_workloads::{find, suite_names, WorkloadSize};
+    use std::sync::atomic::Ordering;
+
+    fn spec(workload_index: usize, org: OrgKind) -> JobSpec {
+        JobSpec {
+            scheme: ExtScheme::ThreeBit,
+            org,
+            workload: suite_names()[workload_index],
+            size: WorkloadSize::Tiny,
+            mem: MemProfile::Paper,
+        }
+    }
+
+    fn batcher() -> (Batcher, Arc<ServerMetrics>) {
+        let metrics = Arc::new(ServerMetrics::default());
+        let config = BatchConfig {
+            max_batch: 16,
+            queue_capacity: 64,
+            sim_workers: Some(2),
+            disk_cache: None,
+        };
+        (Batcher::new(config, Arc::clone(&metrics)), metrics)
+    }
+
+    #[test]
+    fn concurrent_identical_submissions_simulate_once() {
+        let (batcher, metrics) = batcher();
+        let job = spec(0, OrgKind::ByteSerial);
+        let expected = {
+            let benchmark = find(job.workload, job.size).unwrap();
+            simulate_job(&job, &benchmark)
+        };
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let batcher = &batcher;
+                scope.spawn(move || {
+                    let result = batcher.submit(job).expect("submit succeeds");
+                    assert_eq!(result.metrics, expected, "answers must be bit-identical");
+                });
+            }
+        });
+        let requested = metrics.jobs_requested.load(Ordering::Relaxed);
+        let simulated = metrics.jobs_simulated.load(Ordering::Relaxed);
+        assert_eq!(requested, 8);
+        assert_eq!(simulated, 1, "one simulation serves all eight clients");
+        let coalesced = metrics.jobs_batch_deduped.load(Ordering::Relaxed)
+            + metrics.jobs_memo_hits.load(Ordering::Relaxed);
+        assert_eq!(coalesced, 7);
+    }
+
+    #[test]
+    fn submit_many_answers_in_order_with_duplicates() {
+        let (batcher, metrics) = batcher();
+        let a = spec(0, OrgKind::Baseline32);
+        let b = spec(0, OrgKind::ByteSerial);
+        let results = batcher.submit_many(&[a, b, a, b, a]).expect("batch runs");
+        assert_eq!(results.len(), 5);
+        assert_eq!(results[0].metrics, results[2].metrics);
+        assert_eq!(results[0].metrics, results[4].metrics);
+        assert_eq!(results[1].metrics, results[3].metrics);
+        assert_ne!(results[0].metrics, results[1].metrics);
+        assert!(metrics.jobs_simulated.load(Ordering::Relaxed) <= 2);
+    }
+
+    #[test]
+    fn memo_serves_repeat_submissions_without_requeueing() {
+        let (batcher, metrics) = batcher();
+        let job = spec(1, OrgKind::Baseline32);
+        let first = batcher.submit(job).expect("first submit");
+        assert!(!first.from_cache);
+        let second = batcher.submit(job).expect("second submit");
+        assert!(second.from_cache, "repeat must be a memo hit");
+        assert_eq!(first.metrics, second.metrics);
+        assert_eq!(metrics.jobs_memo_hits.load(Ordering::Relaxed), 1);
+        assert_eq!(metrics.jobs_simulated.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn disk_cache_hits_are_counted_and_bit_identical() {
+        let dir = std::env::temp_dir().join(format!(
+            "sigcomp-serve-test-diskcache-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ResultCache::open(&dir).expect("cache opens");
+        let job = spec(2, OrgKind::ByteSerial);
+        // Warm the cache the way a CLI sweep would.
+        let direct = {
+            let benchmark = find(job.workload, job.size).unwrap();
+            simulate_job(&job, &benchmark)
+        };
+        cache.store(job.job_id(), &direct).expect("store succeeds");
+
+        let metrics = Arc::new(ServerMetrics::default());
+        let config = BatchConfig {
+            disk_cache: Some(cache),
+            sim_workers: Some(1),
+            ..BatchConfig::default()
+        };
+        let batcher = Batcher::new(config, Arc::clone(&metrics));
+        let result = batcher.submit(job).expect("submit succeeds");
+        assert!(result.from_cache);
+        assert_eq!(result.metrics, direct);
+        assert_eq!(metrics.jobs_disk_cache_hits.load(Ordering::Relaxed), 1);
+        assert_eq!(metrics.jobs_simulated.load(Ordering::Relaxed), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shutdown_rejects_new_work() {
+        let (first, _metrics) = batcher();
+        drop(first);
+        // Dropping joins the dispatcher; a fresh batcher still works.
+        let (second, _metrics) = batcher();
+        let result = second.submit(spec(0, OrgKind::Baseline32));
+        assert!(result.is_ok());
+    }
+}

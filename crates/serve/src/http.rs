@@ -1,0 +1,438 @@
+//! Minimal HTTP/1.1 request reading and response writing.
+//!
+//! Hand-rolled over `std::io` in the same spirit as the workspace's other
+//! wire formats: no external dependency, strict limits, and every failure
+//! mapped to a clean 4xx. The server speaks a deliberately small subset —
+//! one request per connection (`Connection: close` on every response),
+//! `Content-Length` bodies only (chunked transfer encoding is rejected) —
+//! which is all the batching front-end needs and keeps the attack surface
+//! enumerable.
+
+use std::fmt;
+use std::io::{self, BufRead, Read, Write};
+
+/// Upper bound on the request line plus all header bytes.
+pub const MAX_HEADER_BYTES: usize = 16 * 1024;
+
+/// Upper bound on a request body (a sweep spec is a few hundred bytes; a
+/// megabyte is already hostile).
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method (`GET`, `POST`, ...), as sent.
+    pub method: String,
+    /// Request target, e.g. `/simulate`. Query strings are not split off.
+    pub path: String,
+    /// Header name/value pairs in arrival order, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The value of header `name` (ASCII case-insensitive), if present.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// The peer closed the connection before sending a request line — not a
+    /// protocol error, just the end of the conversation.
+    Closed,
+    /// A malformed request line, header, or body framing problem.
+    BadRequest(&'static str),
+    /// The request line + headers exceeded [`MAX_HEADER_BYTES`].
+    HeadersTooLarge,
+    /// The declared body length exceeded [`MAX_BODY_BYTES`].
+    BodyTooLarge,
+    /// A method that carries a body arrived without `Content-Length`.
+    LengthRequired,
+    /// The underlying socket failed (timeout, reset, ...).
+    Io(io::ErrorKind),
+}
+
+impl HttpError {
+    /// The HTTP status code this error maps to.
+    #[must_use]
+    pub fn status(&self) -> u16 {
+        match self {
+            HttpError::Closed | HttpError::Io(_) => 400,
+            HttpError::BadRequest(_) => 400,
+            HttpError::HeadersTooLarge => 431,
+            HttpError::BodyTooLarge => 413,
+            HttpError::LengthRequired => 411,
+        }
+    }
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::Closed => write!(f, "connection closed"),
+            HttpError::BadRequest(why) => write!(f, "bad request: {why}"),
+            HttpError::HeadersTooLarge => {
+                write!(f, "request headers exceed {MAX_HEADER_BYTES} bytes")
+            }
+            HttpError::BodyTooLarge => write!(f, "request body exceeds {MAX_BODY_BYTES} bytes"),
+            HttpError::LengthRequired => write!(f, "content-length required"),
+            HttpError::Io(kind) => write!(f, "i/o error: {kind:?}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> Self {
+        HttpError::Io(e.kind())
+    }
+}
+
+/// Reads one request from `reader`, enforcing the header and body limits.
+///
+/// # Errors
+///
+/// [`HttpError::Closed`] on a clean end-of-stream before any byte of a
+/// request; any other variant describes a malformed or oversized request.
+pub fn read_request(reader: &mut impl BufRead) -> Result<Request, HttpError> {
+    let mut budget = MAX_HEADER_BYTES;
+    let request_line = match read_line(reader, &mut budget)? {
+        None => return Err(HttpError::Closed),
+        Some(line) if line.is_empty() => return Err(HttpError::BadRequest("empty request line")),
+        Some(line) => line,
+    };
+
+    let mut parts = request_line.split(' ');
+    let method = parts.next().unwrap_or_default();
+    let path = parts
+        .next()
+        .ok_or(HttpError::BadRequest("request line is missing the target"))?;
+    let version = parts
+        .next()
+        .ok_or(HttpError::BadRequest("request line is missing the version"))?;
+    if parts.next().is_some() || !version.starts_with("HTTP/1.") {
+        return Err(HttpError::BadRequest("malformed request line"));
+    }
+    if method.is_empty() || !path.starts_with('/') {
+        return Err(HttpError::BadRequest("malformed request target"));
+    }
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(reader, &mut budget)?
+            .ok_or(HttpError::BadRequest("connection closed inside headers"))?;
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or(HttpError::BadRequest("header line without ':'"))?;
+        if name.is_empty() || name.contains(' ') {
+            return Err(HttpError::BadRequest("malformed header name"));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_owned()));
+    }
+
+    let request = Request {
+        method: method.to_owned(),
+        path: path.to_owned(),
+        headers,
+        body: Vec::new(),
+    };
+
+    if request.header("transfer-encoding").is_some() {
+        return Err(HttpError::BadRequest(
+            "chunked transfer encoding is not supported",
+        ));
+    }
+
+    let length = match request.header("content-length") {
+        Some(value) => Some(
+            value
+                .parse::<usize>()
+                .map_err(|_| HttpError::BadRequest("invalid content-length"))?,
+        ),
+        None => None,
+    };
+    let length = match (length, request.method.as_str()) {
+        (Some(n), _) => n,
+        (None, "POST" | "PUT" | "PATCH") => return Err(HttpError::LengthRequired),
+        (None, _) => 0,
+    };
+    if length > MAX_BODY_BYTES {
+        return Err(HttpError::BodyTooLarge);
+    }
+
+    let mut body = vec![0u8; length];
+    reader.read_exact(&mut body).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            HttpError::BadRequest("body shorter than content-length")
+        } else {
+            HttpError::Io(e.kind())
+        }
+    })?;
+    Ok(Request { body, ..request })
+}
+
+/// Reads one CRLF-terminated line (bare LF tolerated), charging `budget`.
+/// `Ok(None)` means end-of-stream before any byte.
+fn read_line(reader: &mut impl BufRead, budget: &mut usize) -> Result<Option<String>, HttpError> {
+    let mut raw = Vec::new();
+    // Cap the read itself, not just the accounting afterwards: a peer
+    // streaming an endless header line must hit the limit, not our memory.
+    let read = reader
+        .take(*budget as u64 + 1)
+        .read_until(b'\n', &mut raw)?;
+    if read == 0 {
+        return Ok(None);
+    }
+    if raw.last() != Some(&b'\n') {
+        return Err(if raw.len() > *budget {
+            HttpError::HeadersTooLarge
+        } else {
+            HttpError::BadRequest("truncated header line")
+        });
+    }
+    *budget -= raw.len().min(*budget);
+    raw.pop();
+    if raw.last() == Some(&b'\r') {
+        raw.pop();
+    }
+    String::from_utf8(raw)
+        .map(Some)
+        .map_err(|_| HttpError::BadRequest("header line is not UTF-8"))
+}
+
+/// An outgoing response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Body bytes (always JSON in this server).
+    pub body: String,
+}
+
+impl Response {
+    /// A JSON response with the given status.
+    #[must_use]
+    pub fn json(status: u16, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            body: body.into(),
+        }
+    }
+
+    /// A JSON error response: `{"error": "<message>"}` with the message
+    /// escaped.
+    #[must_use]
+    pub fn error(status: u16, message: &str) -> Self {
+        Response::json(
+            status,
+            format!("{{\"error\": \"{}\"}}\n", crate::json::escape(message)),
+        )
+    }
+
+    /// Serializes the response (status line, `Content-Type`,
+    /// `Content-Length`, `Connection: close`, body) to `writer`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write errors.
+    pub fn write_to(&self, writer: &mut impl Write) -> io::Result<()> {
+        write!(
+            writer,
+            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.status,
+            status_text(self.status),
+            self.body.len()
+        )?;
+        writer.write_all(self.body.as_bytes())?;
+        writer.flush()
+    }
+}
+
+/// The canonical reason phrase for the status codes this server emits.
+#[must_use]
+pub fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        411 => "Length Required",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(input: &[u8]) -> Result<Request, HttpError> {
+        read_request(&mut BufReader::new(input))
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req =
+            parse(b"POST /simulate HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nbody").unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/simulate");
+        assert_eq!(req.header("HOST"), Some("x"));
+        assert_eq!(req.body, b"body");
+    }
+
+    #[test]
+    fn parses_a_get_without_body_and_bare_lf() {
+        let req = parse(b"GET /healthz HTTP/1.1\nHost: x\n\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn clean_eof_reads_as_closed() {
+        assert_eq!(parse(b"").unwrap_err(), HttpError::Closed);
+    }
+
+    #[test]
+    fn truncated_headers_are_rejected() {
+        for truncated in [
+            &b"GET /x HTTP/1.1"[..],           // EOF mid request line
+            b"GET /x HTTP/1.1\r\nHost: x",     // EOF mid header
+            b"GET /x HTTP/1.1\r\nHost: x\r\n", // EOF before blank line
+        ] {
+            let err = parse(truncated).unwrap_err();
+            assert!(
+                matches!(err, HttpError::BadRequest(_)),
+                "{truncated:?} gave {err:?}"
+            );
+            assert_eq!(err.status(), 400);
+        }
+    }
+
+    #[test]
+    fn malformed_request_lines_are_rejected() {
+        for bad in [
+            &b"\r\n\r\n"[..],
+            b"GET\r\n\r\n",
+            b"GET /x\r\n\r\n",
+            b"GET /x HTTP/2 extra\r\n\r\n",
+            b"GET x HTTP/1.1\r\n\r\n",
+            b"GET /x FTP/1.1\r\n\r\n",
+        ] {
+            let err = parse(bad).unwrap_err();
+            assert!(
+                matches!(err, HttpError::BadRequest(_)),
+                "{bad:?} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_headers_are_rejected() {
+        let err = parse(b"GET /x HTTP/1.1\r\nno-colon-here\r\n\r\n").unwrap_err();
+        assert_eq!(err, HttpError::BadRequest("header line without ':'"));
+        let err = parse(b"GET /x HTTP/1.1\r\nbad name: v\r\n\r\n").unwrap_err();
+        assert_eq!(err, HttpError::BadRequest("malformed header name"));
+        let err = parse(b"GET /x HTTP/1.1\r\nHost: \xff\xfe\r\n\r\n").unwrap_err();
+        assert_eq!(err, HttpError::BadRequest("header line is not UTF-8"));
+    }
+
+    #[test]
+    fn bad_content_length_is_rejected() {
+        let err = parse(b"POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n").unwrap_err();
+        assert_eq!(err, HttpError::BadRequest("invalid content-length"));
+        assert_eq!(err.status(), 400);
+        let err = parse(b"POST /x HTTP/1.1\r\nContent-Length: -1\r\n\r\n").unwrap_err();
+        assert_eq!(err, HttpError::BadRequest("invalid content-length"));
+    }
+
+    #[test]
+    fn missing_content_length_on_post_is_rejected() {
+        let err = parse(b"POST /x HTTP/1.1\r\n\r\n").unwrap_err();
+        assert_eq!(err, HttpError::LengthRequired);
+        assert_eq!(err.status(), 411);
+    }
+
+    #[test]
+    fn oversized_bodies_are_rejected_without_reading_them() {
+        let request = format!(
+            "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        let err = parse(request.as_bytes()).unwrap_err();
+        assert_eq!(err, HttpError::BodyTooLarge);
+        assert_eq!(err.status(), 413);
+    }
+
+    #[test]
+    fn short_bodies_are_rejected() {
+        let err = parse(b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nonly4").unwrap_err();
+        assert_eq!(
+            err,
+            HttpError::BadRequest("body shorter than content-length")
+        );
+    }
+
+    #[test]
+    fn oversized_headers_are_rejected() {
+        let huge = format!(
+            "GET /x HTTP/1.1\r\nX-Fill: {}\r\n\r\n",
+            "a".repeat(MAX_HEADER_BYTES)
+        );
+        let err = parse(huge.as_bytes()).unwrap_err();
+        assert_eq!(err, HttpError::HeadersTooLarge);
+        assert_eq!(err.status(), 431);
+        // An endless single line (no terminator at all) must also hit the
+        // limit rather than buffering forever.
+        let endless = format!("GET /x{}", "a".repeat(MAX_HEADER_BYTES * 2));
+        let err = parse(endless.as_bytes()).unwrap_err();
+        assert_eq!(err, HttpError::HeadersTooLarge);
+    }
+
+    #[test]
+    fn chunked_encoding_is_rejected() {
+        let err = parse(b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n").unwrap_err();
+        assert_eq!(
+            err,
+            HttpError::BadRequest("chunked transfer encoding is not supported")
+        );
+    }
+
+    #[test]
+    fn responses_serialize_with_framing() {
+        let mut out = Vec::new();
+        Response::json(200, "{\"ok\": true}")
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 12\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\": true}"));
+
+        let mut out = Vec::new();
+        Response::error(400, "broke \"here\"")
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("400 Bad Request"));
+        assert!(text.contains("{\"error\": \"broke \\\"here\\\"\"}"));
+    }
+}

@@ -1,0 +1,58 @@
+//! # sigcomp-serve
+//!
+//! A dependency-free concurrent simulation server: the significance-
+//! compression models behind a long-running HTTP/1.1 + JSON service, so the
+//! paper's energy/CPI numbers are an always-on queryable resource instead of
+//! a batch CLI run.
+//!
+//! Everything is `std`-only, in the same spirit as the rest of the
+//! workspace: a hand-rolled HTTP parser ([`http`]), a hand-rolled JSON
+//! parser ([`json`]), `TcpListener` + threads for concurrency.
+//!
+//! The heart of the crate is the **batching scheduler** ([`batch`]):
+//! concurrent connections enqueue jobs into one shared bounded queue; a
+//! dispatcher drains it into batches, deduplicates identical configurations
+//! by their content hash ([`sigcomp_explore::JobSpec::job_id`]), answers
+//! repeats from an in-memory memo and the shared on-disk
+//! [`sigcomp_explore::ResultCache`], and feeds only the unique residue to
+//! [`sigcomp_explore::run_jobs`] — the same work-stealing executor behind
+//! `repro sweep`. A thousand clients asking for overlapping configurations
+//! cost one simulation each, and every response is bit-identical to a
+//! direct run (all counters are exact integers).
+//!
+//! # Example
+//!
+//! ```
+//! use sigcomp_serve::{ServeConfig, Server};
+//!
+//! let server = Server::bind(ServeConfig {
+//!     addr: "127.0.0.1:0".into(), // port 0: pick a free port
+//!     ..ServeConfig::default()
+//! })
+//! .expect("bind")
+//! .spawn();
+//! println!("serving on http://{}", server.addr());
+//! // POST {"workload": "rawcaudio"} to /simulate, then:
+//! server.shutdown();
+//! ```
+//!
+//! The CLI entry point is `repro serve` (see `sigcomp-bench`); an
+//! end-to-end exercise lives in the workspace's `examples/load_gen.rs`.
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod api;
+pub mod batch;
+pub mod http;
+pub mod json;
+pub mod metrics;
+pub mod registry;
+pub mod server;
+
+pub use batch::{BatchConfig, BatchedResult, Batcher, SubmitError};
+pub use http::{read_request, HttpError, Request, Response};
+pub use json::Json;
+pub use metrics::ServerMetrics;
+pub use registry::{SweepRegistry, SweepState};
+pub use server::{ServeConfig, Server, ServerHandle};

@@ -1,0 +1,176 @@
+//! Server observability: lock-free counters and a fixed-bucket latency
+//! histogram, rendered as the `GET /metrics` JSON document.
+//!
+//! Everything is an `AtomicU64` bumped with relaxed ordering — the counters
+//! are statistics, not synchronization — so the hot request path never takes
+//! a lock for accounting. The batching counters are the server's proof of
+//! work coalescing: `jobs_simulated` staying below `jobs_requested` is the
+//! deduplication guarantee the end-to-end tests assert.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Upper bounds (exclusive, in microseconds) of the latency buckets; the
+/// last bucket is unbounded.
+const LATENCY_BOUNDS_US: [u64; 5] = [100, 1_000, 10_000, 100_000, 1_000_000];
+
+/// JSON field names for the latency buckets, aligned with
+/// [`LATENCY_BOUNDS_US`] plus the overflow bucket.
+const LATENCY_LABELS: [&str; 6] = [
+    "le_100us", "le_1ms", "le_10ms", "le_100ms", "le_1s", "gt_1s",
+];
+
+/// All counters the server exposes on `GET /metrics`.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    /// Requests that produced a response (any status).
+    pub http_requests: AtomicU64,
+    /// Responses with a 2xx status.
+    pub http_2xx: AtomicU64,
+    /// Responses with a 4xx status.
+    pub http_4xx: AtomicU64,
+    /// Responses with a 5xx status.
+    pub http_5xx: AtomicU64,
+    /// Request-to-response latency histogram.
+    latency: [AtomicU64; 6],
+    /// Jobs submitted to the batcher (before any deduplication).
+    pub jobs_requested: AtomicU64,
+    /// Jobs answered from the in-memory memo without touching the queue.
+    pub jobs_memo_hits: AtomicU64,
+    /// Jobs coalesced away inside a batch (duplicates of another in-flight
+    /// job with the same content hash).
+    pub jobs_batch_deduped: AtomicU64,
+    /// Jobs answered from the shared on-disk result cache.
+    pub jobs_disk_cache_hits: AtomicU64,
+    /// Jobs that actually ran a fresh simulation.
+    pub jobs_simulated: AtomicU64,
+    /// Batches dispatched to the explore executor.
+    pub batches_dispatched: AtomicU64,
+    /// Largest batch dispatched so far.
+    pub largest_batch: AtomicU64,
+    /// Sweep tickets created by `POST /sweep`.
+    pub sweeps_submitted: AtomicU64,
+    /// Sweeps that finished successfully.
+    pub sweeps_completed: AtomicU64,
+    /// Sweeps that failed (e.g. server shutdown mid-run).
+    pub sweeps_failed: AtomicU64,
+}
+
+impl ServerMetrics {
+    /// Bumps `counter` by one.
+    pub fn incr(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one request/response round trip in the latency histogram.
+    pub fn observe_latency(&self, elapsed: Duration) {
+        let us = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+        let bucket = LATENCY_BOUNDS_US
+            .iter()
+            .position(|&bound| us < bound)
+            .unwrap_or(LATENCY_BOUNDS_US.len());
+        self.latency[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a dispatched batch of `size` jobs.
+    pub fn observe_batch(&self, size: u64) {
+        self.batches_dispatched.fetch_add(1, Ordering::Relaxed);
+        self.largest_batch.fetch_max(size, Ordering::Relaxed);
+    }
+
+    /// Renders every counter as the `/metrics` JSON document. `queue_depth`
+    /// and `uptime` are sampled by the caller (they live outside this
+    /// struct).
+    #[must_use]
+    pub fn to_json(&self, queue_depth: usize, uptime: Duration) -> String {
+        let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        let mut latency = String::new();
+        for (i, label) in LATENCY_LABELS.iter().enumerate() {
+            if i > 0 {
+                latency.push_str(", ");
+            }
+            latency.push_str(&format!("\"{label}\": {}", get(&self.latency[i])));
+        }
+        format!(
+            concat!(
+                "{{\n",
+                "  \"uptime_ms\": {uptime},\n",
+                "  \"http\": {{\"requests\": {req}, \"responses_2xx\": {s2}, ",
+                "\"responses_4xx\": {s4}, \"responses_5xx\": {s5}, ",
+                "\"latency\": {{{latency}}}}},\n",
+                "  \"batch\": {{\"queue_depth\": {depth}, \"jobs_requested\": {jr}, ",
+                "\"jobs_memo_hits\": {jm}, \"jobs_batch_deduped\": {jd}, ",
+                "\"jobs_disk_cache_hits\": {jc}, \"jobs_simulated\": {js}, ",
+                "\"batches_dispatched\": {bd}, \"largest_batch\": {lb}}},\n",
+                "  \"sweeps\": {{\"submitted\": {ss}, \"completed\": {sc}, ",
+                "\"failed\": {sf}}}\n",
+                "}}\n"
+            ),
+            uptime = uptime.as_millis(),
+            req = get(&self.http_requests),
+            s2 = get(&self.http_2xx),
+            s4 = get(&self.http_4xx),
+            s5 = get(&self.http_5xx),
+            latency = latency,
+            depth = queue_depth,
+            jr = get(&self.jobs_requested),
+            jm = get(&self.jobs_memo_hits),
+            jd = get(&self.jobs_batch_deduped),
+            jc = get(&self.jobs_disk_cache_hits),
+            js = get(&self.jobs_simulated),
+            bd = get(&self.batches_dispatched),
+            lb = get(&self.largest_batch),
+            ss = get(&self.sweeps_submitted),
+            sc = get(&self.sweeps_completed),
+            sf = get(&self.sweeps_failed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+
+    #[test]
+    fn latency_buckets_cover_the_full_range() {
+        let m = ServerMetrics::default();
+        m.observe_latency(Duration::from_micros(5));
+        m.observe_latency(Duration::from_micros(500));
+        m.observe_latency(Duration::from_millis(5));
+        m.observe_latency(Duration::from_millis(50));
+        m.observe_latency(Duration::from_millis(500));
+        m.observe_latency(Duration::from_secs(5));
+        let doc = Json::parse(&m.to_json(0, Duration::ZERO)).unwrap();
+        let latency = doc.get("http").and_then(|h| h.get("latency")).unwrap();
+        for label in LATENCY_LABELS {
+            assert_eq!(
+                latency.get(label).and_then(Json::as_u64),
+                Some(1),
+                "bucket {label}"
+            );
+        }
+    }
+
+    #[test]
+    fn metrics_json_parses_and_carries_counters() {
+        let m = ServerMetrics::default();
+        for _ in 0..7 {
+            ServerMetrics::incr(&m.jobs_requested);
+        }
+        ServerMetrics::incr(&m.jobs_simulated);
+        m.observe_batch(5);
+        m.observe_batch(3);
+        let doc = Json::parse(&m.to_json(2, Duration::from_millis(1234))).unwrap();
+        assert_eq!(doc.get("uptime_ms").and_then(Json::as_u64), Some(1234));
+        let batch = doc.get("batch").unwrap();
+        assert_eq!(batch.get("queue_depth").and_then(Json::as_u64), Some(2));
+        assert_eq!(batch.get("jobs_requested").and_then(Json::as_u64), Some(7));
+        assert_eq!(batch.get("jobs_simulated").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            batch.get("batches_dispatched").and_then(Json::as_u64),
+            Some(2)
+        );
+        assert_eq!(batch.get("largest_batch").and_then(Json::as_u64), Some(5));
+    }
+}

@@ -1,0 +1,126 @@
+//! Asynchronous sweep tickets: `POST /sweep` creates one, a background
+//! thread runs the sweep through the batcher, and `GET /jobs/:id` polls it.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// How many *finished* tickets (and their result documents) are retained; a
+/// long-running server must not grow without bound, so once a ticket falls
+/// out of the window polling it returns 404. Running tickets are never
+/// evicted.
+pub const MAX_FINISHED_TICKETS: usize = 64;
+
+/// The lifecycle of one asynchronous sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SweepState {
+    /// Still executing.
+    Running,
+    /// Finished; the payload is the ready-to-serve JSON result document.
+    Done(String),
+    /// Failed; the payload is a human-readable reason.
+    Failed(String),
+}
+
+#[derive(Debug, Default)]
+struct Tickets {
+    jobs: HashMap<u64, SweepState>,
+    /// Finished ids, oldest first, for eviction beyond the retention window.
+    finished: VecDeque<u64>,
+}
+
+impl Tickets {
+    fn settle(&mut self, id: u64, state: SweepState) {
+        self.jobs.insert(id, state);
+        self.finished.push_back(id);
+        while self.finished.len() > MAX_FINISHED_TICKETS {
+            if let Some(evicted) = self.finished.pop_front() {
+                self.jobs.remove(&evicted);
+            }
+        }
+    }
+}
+
+/// Thread-safe registry of sweep tickets, keyed by a monotonically
+/// increasing id. Finished tickets are retained up to
+/// [`MAX_FINISHED_TICKETS`], then evicted oldest-first.
+#[derive(Debug, Default)]
+pub struct SweepRegistry {
+    tickets: Mutex<Tickets>,
+    next_id: AtomicU64,
+}
+
+impl SweepRegistry {
+    /// Creates a new ticket in the [`SweepState::Running`] state and returns
+    /// its id.
+    #[must_use]
+    pub fn create(&self) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+        self.tickets
+            .lock()
+            .expect("registry poisoned")
+            .jobs
+            .insert(id, SweepState::Running);
+        id
+    }
+
+    /// Marks ticket `id` done with the given result document.
+    pub fn finish(&self, id: u64, result_json: String) {
+        self.tickets
+            .lock()
+            .expect("registry poisoned")
+            .settle(id, SweepState::Done(result_json));
+    }
+
+    /// Marks ticket `id` failed with the given reason.
+    pub fn fail(&self, id: u64, reason: String) {
+        self.tickets
+            .lock()
+            .expect("registry poisoned")
+            .settle(id, SweepState::Failed(reason));
+    }
+
+    /// A snapshot of ticket `id`, or `None` for unknown (or evicted) ids.
+    #[must_use]
+    pub fn get(&self, id: u64) -> Option<SweepState> {
+        self.tickets
+            .lock()
+            .expect("registry poisoned")
+            .jobs
+            .get(&id)
+            .cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tickets_progress_and_ids_are_unique() {
+        let registry = SweepRegistry::default();
+        let a = registry.create();
+        let b = registry.create();
+        assert_ne!(a, b);
+        assert_eq!(registry.get(a), Some(SweepState::Running));
+        registry.finish(a, "{}".to_owned());
+        assert_eq!(registry.get(a), Some(SweepState::Done("{}".to_owned())));
+        registry.fail(b, "boom".to_owned());
+        assert_eq!(registry.get(b), Some(SweepState::Failed("boom".to_owned())));
+        assert_eq!(registry.get(999), None);
+    }
+
+    #[test]
+    fn finished_tickets_are_evicted_oldest_first() {
+        let registry = SweepRegistry::default();
+        let first = registry.create();
+        registry.finish(first, "first".to_owned());
+        let running = registry.create(); // never settled — never evicted
+        for _ in 0..MAX_FINISHED_TICKETS {
+            let id = registry.create();
+            registry.finish(id, "filler".to_owned());
+        }
+        assert_eq!(registry.get(first), None, "oldest finished ticket evicted");
+        assert_eq!(registry.get(running), Some(SweepState::Running));
+    }
+}

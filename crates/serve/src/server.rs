@@ -1,0 +1,518 @@
+//! The TCP front-end: accept loop, per-connection threads, and routing.
+//!
+//! Endpoints:
+//!
+//! | method | path        | body                | response |
+//! |--------|-------------|---------------------|----------|
+//! | GET    | `/healthz`  | —                   | `{"status": "ok"}` |
+//! | GET    | `/metrics`  | —                   | counters + latency histogram |
+//! | POST   | `/simulate` | one job spec        | that job's metrics (batched + deduplicated) |
+//! | POST   | `/sweep`    | a sweep spec        | poll ticket, or the full result with `"sync": true` |
+//! | GET    | `/jobs/:id` | —                   | sweep ticket state / result |
+//!
+//! Each connection carries one request (`Connection: close`); request
+//! handling happens on a per-connection thread so a slow client never
+//! blocks the accept loop, while the real work — simulation — is serialized
+//! through the [`Batcher`]'s dispatcher and its work-stealing executor.
+
+use crate::api::{job_spec_from_json, simulate_response, sweep_result_json, sweep_spec_from_json};
+use crate::batch::{BatchConfig, Batcher, SubmitError};
+use crate::http::{read_request, HttpError, Request, Response};
+use crate::json::Json;
+use crate::metrics::ServerMetrics;
+use crate::registry::{SweepRegistry, SweepState};
+use sigcomp::EnergyModel;
+use sigcomp_explore::JobOutcome;
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How long a connection may dally sending its request or draining the
+/// response before the server gives up on it.
+const SOCKET_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Upper bound on concurrently-handled connections (and therefore
+/// connection threads). At the cap the accept loop stops accepting, so
+/// further clients queue in the kernel backlog instead of spawning
+/// unbounded threads — this is what makes the batcher's blocking-submit
+/// backpressure actually bound server memory under overload.
+const MAX_CONNECTIONS: usize = 256;
+
+/// A counting gate for in-flight connections: `acquire` blocks the accept
+/// loop at [`MAX_CONNECTIONS`]; the returned guard releases on drop (even
+/// if the connection handler panics).
+#[derive(Debug, Default)]
+struct ConnGate {
+    count: Mutex<usize>,
+    changed: Condvar,
+}
+
+impl ConnGate {
+    fn acquire(self: &Arc<Self>) -> ConnPermit {
+        let mut count = self.count.lock().expect("gate poisoned");
+        while *count >= MAX_CONNECTIONS {
+            count = self.changed.wait(count).expect("gate poisoned");
+        }
+        *count += 1;
+        ConnPermit {
+            gate: Arc::clone(self),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct ConnPermit {
+    gate: Arc<ConnGate>,
+}
+
+impl Drop for ConnPermit {
+    fn drop(&mut self) {
+        *self.gate.count.lock().expect("gate poisoned") -= 1;
+        self.gate.changed.notify_one();
+    }
+}
+
+/// Server configuration.
+#[derive(Debug, Default)]
+pub struct ServeConfig {
+    /// Listen address, e.g. `127.0.0.1:7878` (port `0` picks a free port).
+    /// Empty string defaults to `127.0.0.1:7878`.
+    pub addr: String,
+    /// Batching scheduler tuning, including the shared on-disk result
+    /// cache ([`BatchConfig::disk_cache`] — also consulted and filled by
+    /// CLI sweeps pointed at the same directory).
+    pub batch: BatchConfig,
+}
+
+/// Everything the request handlers share.
+#[derive(Debug)]
+struct Ctx {
+    batcher: Batcher,
+    registry: SweepRegistry,
+    metrics: Arc<ServerMetrics>,
+    model: EnergyModel,
+    started: Instant,
+}
+
+/// A bound (but not yet running) server.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    ctx: Arc<Ctx>,
+}
+
+impl Server {
+    /// Binds the listen socket and starts the batching dispatcher.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error (address in use, permission, ...).
+    pub fn bind(config: ServeConfig) -> io::Result<Server> {
+        let addr: &str = if config.addr.is_empty() {
+            "127.0.0.1:7878"
+        } else {
+            &config.addr
+        };
+        let listener = TcpListener::bind(addr)?;
+        let metrics = Arc::new(ServerMetrics::default());
+        let ctx = Arc::new(Ctx {
+            batcher: Batcher::new(config.batch, Arc::clone(&metrics)),
+            registry: SweepRegistry::default(),
+            metrics,
+            model: EnergyModel::default(),
+            started: Instant::now(),
+        });
+        Ok(Server { listener, ctx })
+    }
+
+    /// The bound address (useful after binding port 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the socket has no local address, which cannot happen for a
+    /// bound listener.
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener.local_addr().expect("listener is bound")
+    }
+
+    /// Runs the accept loop on the calling thread, forever (the CLI entry
+    /// point).
+    ///
+    /// # Errors
+    ///
+    /// Returns only on a fatal listener error.
+    pub fn run(self) -> io::Result<()> {
+        let never = Arc::new(AtomicBool::new(false));
+        accept_loop(&self.listener, &self.ctx, &never)
+    }
+
+    /// Runs the accept loop on a background thread and returns a handle that
+    /// can stop it — the embedding used by tests and the load-generator
+    /// example.
+    #[must_use]
+    pub fn spawn(self) -> ServerHandle {
+        let addr = self.local_addr();
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread = {
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("sigcomp-serve-accept".into())
+                .spawn(move || accept_loop(&self.listener, &self.ctx, &stop))
+                .expect("spawning the accept thread")
+        };
+        ServerHandle {
+            addr,
+            stop,
+            thread: Some(thread),
+        }
+    }
+}
+
+/// A running background server. Dropping the handle shuts the server down.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<io::Result<()>>>,
+}
+
+impl ServerHandle {
+    /// The server's bound address.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the server thread. In-flight
+    /// connection threads finish their current request.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        let Some(thread) = self.thread.take() else {
+            return;
+        };
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept() with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        let _ = thread.join();
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, ctx: &Arc<Ctx>, stop: &Arc<AtomicBool>) -> io::Result<()> {
+    let gate = Arc::new(ConnGate::default());
+    loop {
+        let (stream, _) = match listener.accept() {
+            Ok(accepted) => accepted,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        if stop.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        // One thread per connection, bounded by the gate: connections are
+        // short-lived (one request each) and the expensive part is
+        // serialized through the batcher anyway. Blocking here at the cap
+        // pushes further clients into the kernel backlog.
+        let permit = gate.acquire();
+        let ctx = Arc::clone(ctx);
+        let spawned = std::thread::Builder::new()
+            .name("sigcomp-serve-conn".into())
+            .spawn(move || {
+                let _permit = permit;
+                handle_connection(stream, &ctx);
+            });
+        if let Err(e) = spawned {
+            // Out of threads: the closure (and with it the stream and the
+            // permit) is dropped, so the client sees a prompt connection
+            // reset instead of a timeout; log the cause server-side.
+            eprintln!("sigcomp-serve: could not spawn a connection thread: {e}");
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, ctx: &Arc<Ctx>) {
+    let _ = stream.set_read_timeout(Some(SOCKET_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(SOCKET_TIMEOUT));
+    let started = Instant::now();
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return,
+    });
+    let response = match read_request(&mut reader) {
+        Ok(request) => route(ctx, &request),
+        // The peer connected and went away (e.g. a health probe or the
+        // shutdown wake-up): nothing to answer, nothing to count.
+        Err(HttpError::Closed) => return,
+        Err(e) => Response::error(e.status(), &e.to_string()),
+    };
+    ServerMetrics::incr(&ctx.metrics.http_requests);
+    match response.status {
+        200..=299 => ServerMetrics::incr(&ctx.metrics.http_2xx),
+        400..=499 => ServerMetrics::incr(&ctx.metrics.http_4xx),
+        _ => ServerMetrics::incr(&ctx.metrics.http_5xx),
+    }
+    let mut stream = stream;
+    let _ = response.write_to(&mut stream);
+    ctx.metrics.observe_latency(started.elapsed());
+}
+
+/// Maps one request to one response. Pure routing — no socket I/O — so the
+/// whole surface is unit-testable without a listener.
+fn route(ctx: &Arc<Ctx>, request: &Request) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => Response::json(200, "{\"status\": \"ok\"}\n"),
+        ("GET", "/metrics") => Response::json(
+            200,
+            ctx.metrics
+                .to_json(ctx.batcher.queue_depth(), ctx.started.elapsed()),
+        ),
+        ("POST", "/simulate") => match parse_body(request) {
+            Ok(doc) => match job_spec_from_json(&doc) {
+                Ok(spec) => match ctx.batcher.submit(spec) {
+                    Ok(result) => {
+                        Response::json(200, simulate_response(&spec, &result, &ctx.model))
+                    }
+                    Err(e) => submit_error_response(e),
+                },
+                Err(message) => Response::error(400, &message),
+            },
+            Err(response) => response,
+        },
+        ("POST", "/sweep") => match parse_body(request) {
+            Ok(doc) => match sweep_spec_from_json(&doc) {
+                Ok((spec, sync)) => handle_sweep(ctx, &spec, sync),
+                Err(message) => Response::error(400, &message),
+            },
+            Err(response) => response,
+        },
+        ("GET", path) if path.starts_with("/jobs/") => {
+            match path["/jobs/".len()..].parse::<u64>() {
+                Ok(id) => match ctx.registry.get(id) {
+                    None => Response::error(404, &format!("no such job {id}")),
+                    Some(SweepState::Running) => Response::json(200, "{\"status\": \"running\"}\n"),
+                    Some(SweepState::Done(result)) => Response::json(200, result),
+                    Some(SweepState::Failed(reason)) => Response::error(500, &reason),
+                },
+                Err(_) => Response::error(400, "job ids are decimal integers"),
+            }
+        }
+        (_, "/healthz" | "/metrics" | "/simulate" | "/sweep") => {
+            Response::error(405, "method not allowed")
+        }
+        _ => Response::error(404, "no such endpoint"),
+    }
+}
+
+fn handle_sweep(ctx: &Arc<Ctx>, spec: &sigcomp_explore::SweepSpec, sync: bool) -> Response {
+    ServerMetrics::incr(&ctx.metrics.sweeps_submitted);
+    let jobs = spec.enumerate();
+    if sync {
+        return match run_sweep_through_batcher(ctx, &jobs) {
+            Ok(body) => {
+                ServerMetrics::incr(&ctx.metrics.sweeps_completed);
+                Response::json(200, body)
+            }
+            Err(e) => {
+                ServerMetrics::incr(&ctx.metrics.sweeps_failed);
+                submit_error_response(e)
+            }
+        };
+    }
+    let id = ctx.registry.create();
+    let ctx_for_job = Arc::clone(ctx);
+    let spawned = std::thread::Builder::new()
+        .name(format!("sigcomp-serve-sweep-{id}"))
+        .spawn(move || {
+            match run_sweep_through_batcher(&ctx_for_job, &jobs) {
+                Ok(body) => {
+                    ServerMetrics::incr(&ctx_for_job.metrics.sweeps_completed);
+                    ctx_for_job.registry.finish(id, body);
+                }
+                Err(e) => {
+                    ServerMetrics::incr(&ctx_for_job.metrics.sweeps_failed);
+                    ctx_for_job.registry.fail(id, e.to_string());
+                }
+            };
+        });
+    if spawned.is_err() {
+        ServerMetrics::incr(&ctx.metrics.sweeps_failed);
+        ctx.registry
+            .fail(id, "could not spawn the sweep thread".into());
+        return Response::error(500, "could not spawn the sweep thread");
+    }
+    Response::json(
+        202,
+        format!("{{\"job\": {id}, \"status\": \"running\", \"poll\": \"/jobs/{id}\"}}\n"),
+    )
+}
+
+fn run_sweep_through_batcher(
+    ctx: &Arc<Ctx>,
+    jobs: &[sigcomp_explore::JobSpec],
+) -> Result<String, SubmitError> {
+    let results = ctx.batcher.submit_many(jobs)?;
+    let outcomes: Vec<JobOutcome> = jobs
+        .iter()
+        .zip(&results)
+        .map(|(&spec, result)| JobOutcome {
+            spec,
+            metrics: result.metrics,
+            from_cache: result.from_cache,
+        })
+        .collect();
+    Ok(sweep_result_json(&outcomes, &ctx.model))
+}
+
+fn submit_error_response(e: SubmitError) -> Response {
+    let status = match e {
+        SubmitError::ShuttingDown => 503,
+        SubmitError::SimulationFailed => 500,
+    };
+    Response::error(status, &e.to_string())
+}
+
+fn parse_body(request: &Request) -> Result<Json, Response> {
+    let text = std::str::from_utf8(&request.body)
+        .map_err(|_| Response::error(400, "request body is not UTF-8"))?;
+    Json::parse(text).map_err(|e| Response::error(400, &format!("invalid JSON body: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_ctx() -> Arc<Ctx> {
+        let metrics = Arc::new(ServerMetrics::default());
+        Arc::new(Ctx {
+            batcher: Batcher::new(
+                BatchConfig {
+                    sim_workers: Some(1),
+                    ..BatchConfig::default()
+                },
+                Arc::clone(&metrics),
+            ),
+            registry: SweepRegistry::default(),
+            metrics,
+            model: EnergyModel::default(),
+            started: Instant::now(),
+        })
+    }
+
+    fn get(ctx: &Arc<Ctx>, path: &str) -> Response {
+        route(
+            ctx,
+            &Request {
+                method: "GET".into(),
+                path: path.into(),
+                headers: Vec::new(),
+                body: Vec::new(),
+            },
+        )
+    }
+
+    fn post(ctx: &Arc<Ctx>, path: &str, body: &str) -> Response {
+        route(
+            ctx,
+            &Request {
+                method: "POST".into(),
+                path: path.into(),
+                headers: Vec::new(),
+                body: body.as_bytes().to_vec(),
+            },
+        )
+    }
+
+    #[test]
+    fn healthz_and_unknown_routes() {
+        let ctx = test_ctx();
+        assert_eq!(get(&ctx, "/healthz").status, 200);
+        assert_eq!(get(&ctx, "/nope").status, 404);
+        assert_eq!(post(&ctx, "/healthz", "").status, 405);
+        assert_eq!(get(&ctx, "/jobs/abc").status, 400);
+        assert_eq!(get(&ctx, "/jobs/42").status, 404);
+    }
+
+    #[test]
+    fn simulate_rejects_bad_bodies_cleanly() {
+        let ctx = test_ctx();
+        let r = post(&ctx, "/simulate", "{not json");
+        assert_eq!(r.status, 400);
+        assert!(r.body.contains("invalid JSON body"));
+        let r = post(&ctx, "/simulate", "{\"workload\": \"nope\"}");
+        assert_eq!(r.status, 400);
+        assert!(r.body.contains("unknown workload"));
+        let r = post(&ctx, "/sweep", "{\"orgs\": [42]}");
+        assert_eq!(r.status, 400);
+        assert!(r.body.contains("array of strings"));
+    }
+
+    #[test]
+    fn simulate_and_sync_sweep_round_trip() {
+        let ctx = test_ctx();
+        let r = post(
+            &ctx,
+            "/simulate",
+            "{\"workload\": \"rawcaudio\", \"size\": \"tiny\"}",
+        );
+        assert_eq!(r.status, 200, "{}", r.body);
+        let doc = Json::parse(&r.body).unwrap();
+        assert!(doc.get("cycles").and_then(Json::as_u64).unwrap() > 0);
+
+        let r = post(
+            &ctx,
+            "/sweep",
+            "{\"workloads\": [\"rawcaudio\"], \"sizes\": [\"tiny\"], \
+             \"orgs\": [\"baseline32\", \"byte-serial\"], \"sync\": true}",
+        );
+        assert_eq!(r.status, 200, "{}", r.body);
+        let doc = Json::parse(&r.body).unwrap();
+        assert_eq!(doc.get("jobs").and_then(Json::as_u64), Some(2));
+    }
+
+    #[test]
+    fn async_sweep_finishes_and_is_pollable() {
+        let ctx = test_ctx();
+        let r = post(
+            &ctx,
+            "/sweep",
+            "{\"workloads\": [\"rawcaudio\"], \"sizes\": [\"tiny\"], \
+             \"orgs\": [\"baseline32\"]}",
+        );
+        assert_eq!(r.status, 202, "{}", r.body);
+        let id = Json::parse(&r.body)
+            .unwrap()
+            .get("job")
+            .and_then(Json::as_u64)
+            .unwrap();
+        // Poll until the background sweep completes.
+        let deadline = Instant::now() + Duration::from_secs(60);
+        loop {
+            let r = get(&ctx, &format!("/jobs/{id}"));
+            assert_eq!(r.status, 200, "{}", r.body);
+            let doc = Json::parse(&r.body).unwrap();
+            match doc.get("status").and_then(Json::as_str) {
+                Some("running") => {
+                    assert!(Instant::now() < deadline, "sweep never finished");
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Some("done") => {
+                    assert_eq!(doc.get("jobs").and_then(Json::as_u64), Some(1));
+                    break;
+                }
+                other => panic!("unexpected status {other:?} in {}", r.body),
+            }
+        }
+    }
+}

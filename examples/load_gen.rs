@@ -1,0 +1,125 @@
+//! Load generator for the serving front-end: spins up an in-process
+//! `sigcomp-serve` server on an ephemeral port, fires many concurrent
+//! clients at `POST /simulate` with heavily overlapping configurations, and
+//! then reads `GET /metrics` to show the batching scheduler coalescing the
+//! overlap — thousands of requests, a handful of simulations.
+//!
+//! ```sh
+//! cargo run --release --example load_gen
+//! ```
+
+use sigcomp_pipeline::OrgKind;
+use sigcomp_serve::{BatchConfig, Json, ServeConfig, Server};
+use sigcomp_workloads::suite_names;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Instant;
+
+const CLIENTS: usize = 16;
+const REQUESTS_PER_CLIENT: usize = 25;
+
+fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: load-gen\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes()).expect("send");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read");
+    let status = raw
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_owned())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn main() {
+    let server = Server::bind(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        batch: BatchConfig {
+            max_batch: 64,
+            queue_capacity: 512,
+            sim_workers: None, // all cores
+            disk_cache: None,
+        },
+    })
+    .expect("bind")
+    .spawn();
+    let addr = server.addr();
+    println!("serving on http://{addr}");
+
+    // The request mix: every workload in the suite under three
+    // organizations at the tiny size — 33 distinct configurations that
+    // CLIENTS × REQUESTS_PER_CLIENT = 400 requests keep revisiting.
+    let orgs = [
+        OrgKind::Baseline32,
+        OrgKind::ByteSerial,
+        OrgKind::SemiParallel,
+    ];
+    let mix: Vec<String> = suite_names()
+        .iter()
+        .flat_map(|workload| {
+            orgs.iter().map(move |org| {
+                format!(
+                    "{{\"workload\": \"{workload}\", \"size\": \"tiny\", \"org\": \"{}\"}}",
+                    org.id()
+                )
+            })
+        })
+        .collect();
+
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for client in 0..CLIENTS {
+            let mix = &mix;
+            scope.spawn(move || {
+                for i in 0..REQUESTS_PER_CLIENT {
+                    // Each client walks the mix from a different offset so
+                    // in-flight batches overlap across clients.
+                    let body = &mix[(client * 7 + i) % mix.len()];
+                    let (status, payload) = http(addr, "POST", "/simulate", body);
+                    assert_eq!(status, 200, "{payload}");
+                }
+            });
+        }
+    });
+    let wall = started.elapsed();
+
+    let total = CLIENTS * REQUESTS_PER_CLIENT;
+    println!(
+        "{total} requests from {CLIENTS} clients in {:.2} s ({:.0} req/s)",
+        wall.as_secs_f64(),
+        total as f64 / wall.as_secs_f64()
+    );
+
+    let (status, metrics_body) = http(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    let metrics = Json::parse(&metrics_body).expect("metrics JSON parses");
+    let batch = metrics.get("batch").expect("batch section");
+    let field = |name: &str| batch.get(name).and_then(Json::as_u64).unwrap_or(0);
+    let requested = field("jobs_requested");
+    let simulated = field("jobs_simulated");
+    println!(
+        "batching: {requested} jobs requested -> {simulated} simulated \
+         ({} memo hits, {} coalesced in-batch, largest batch {})",
+        field("jobs_memo_hits"),
+        field("jobs_batch_deduped"),
+        field("largest_batch"),
+    );
+    assert!(
+        simulated <= mix.len() as u64,
+        "must not simulate more than the distinct configurations"
+    );
+    println!(
+        "deduplication factor: {:.1}x ({} distinct configurations in the mix)",
+        requested as f64 / simulated.max(1) as f64,
+        mix.len()
+    );
+    server.shutdown();
+}

@@ -1,0 +1,306 @@
+//! End-to-end exercise of the serving front-end over real loopback
+//! sockets: concurrent clients submitting overlapping configurations must
+//! receive responses **bit-identical** to a direct `run_sweep` of the same
+//! specs, and the server's `/metrics` counters must prove the batching
+//! scheduler deduplicated the overlap (simulated count < requested count).
+
+use sigcomp::ExtScheme;
+use sigcomp_explore::{run_sweep, JobSpec, MemProfile, SweepOptions, SweepSpec};
+use sigcomp_pipeline::OrgKind;
+use sigcomp_serve::{BatchConfig, Json, ServeConfig, Server, ServerHandle};
+use sigcomp_workloads::WorkloadSize;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// A minimal raw HTTP/1.1 client: one request, read to connection close.
+fn http(addr: SocketAddr, method: &str, path: &str, body: Option<&str>) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let body = body.unwrap_or_default();
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes()).expect("send request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let status: u16 = raw
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("malformed response: {raw:?}"));
+    let payload = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_owned())
+        .unwrap_or_default();
+    (status, payload)
+}
+
+fn get_json(addr: SocketAddr, path: &str) -> Json {
+    let (status, body) = http(addr, "GET", path, None);
+    assert_eq!(status, 200, "{path}: {body}");
+    Json::parse(&body).unwrap_or_else(|e| panic!("{path}: invalid JSON {e}: {body}"))
+}
+
+fn start_server() -> ServerHandle {
+    Server::bind(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        batch: BatchConfig {
+            max_batch: 32,
+            queue_capacity: 256,
+            sim_workers: Some(2),
+            disk_cache: None,
+        },
+    })
+    .expect("bind")
+    .spawn()
+}
+
+#[test]
+fn concurrent_overlapping_clients_are_deduplicated_and_bit_identical() {
+    let server = start_server();
+    let addr = server.addr();
+
+    let (status, body) = http(addr, "GET", "/healthz", None);
+    assert_eq!(status, 200);
+    assert!(body.contains("\"status\": \"ok\""), "{body}");
+
+    // Four distinct configurations; every client asks for all four, so the
+    // 8 clients × 4 requests = 32 submissions overlap 8-fold.
+    let spec = SweepSpec::paper(WorkloadSize::Tiny)
+        .workloads(&["rawcaudio", "pgp"])
+        .orgs(&[OrgKind::Baseline32, OrgKind::ByteSerial]);
+    let jobs: Vec<JobSpec> = spec.enumerate();
+    assert_eq!(jobs.len(), 4);
+    let direct = run_sweep(&spec, &SweepOptions::with_workers(2));
+
+    let clients = 8;
+    std::thread::scope(|scope| {
+        for client in 0..clients {
+            let jobs = &jobs;
+            let direct = &direct;
+            scope.spawn(move || {
+                for i in 0..jobs.len() {
+                    // Stagger the order per client so batches interleave.
+                    let job = jobs[(i + client) % jobs.len()];
+                    let expected = &direct.outcomes[(i + client) % jobs.len()].metrics;
+                    let body = format!(
+                        "{{\"workload\": \"{}\", \"size\": \"{}\", \"scheme\": \"{}\", \
+                         \"org\": \"{}\", \"mem\": \"{}\"}}",
+                        job.workload,
+                        job.size.name(),
+                        job.scheme.id(),
+                        job.org.id(),
+                        job.mem.id()
+                    );
+                    let (status, payload) = http(addr, "POST", "/simulate", Some(&body));
+                    assert_eq!(status, 200, "{payload}");
+                    let doc = Json::parse(&payload).expect("valid JSON");
+                    // Bit-identical: every exact integer counter matches the
+                    // direct sweep of the same spec.
+                    for (field, expected_value) in [
+                        ("instructions", expected.instructions),
+                        ("cycles", expected.cycles),
+                        ("branches", expected.branches),
+                        ("stall_structural", expected.stall_structural),
+                        ("stall_data_hazard", expected.stall_data_hazard),
+                        ("stall_control", expected.stall_control),
+                    ] {
+                        assert_eq!(
+                            doc.get(field).and_then(Json::as_u64),
+                            Some(expected_value),
+                            "{} {field}",
+                            job.label()
+                        );
+                    }
+                    // ... including the per-stage activity counters.
+                    for (name, stage) in expected.activity.columns() {
+                        let key = sigcomp_explore::column_slug(name);
+                        let col = doc.get("activity").and_then(|a| a.get(&key)).unwrap();
+                        assert_eq!(
+                            col.get("compressed").and_then(Json::as_u64),
+                            Some(stage.compressed_bits),
+                            "{} activity {key}",
+                            job.label()
+                        );
+                        assert_eq!(
+                            col.get("baseline").and_then(Json::as_u64),
+                            Some(stage.baseline_bits),
+                            "{} activity {key}",
+                            job.label()
+                        );
+                    }
+                    assert_eq!(
+                        doc.get("job_id").and_then(Json::as_str),
+                        Some(format!("{:016x}", job.job_id()).as_str())
+                    );
+                }
+            });
+        }
+    });
+
+    // The metrics must prove deduplication: 32 requested, at most 4
+    // simulated (one per distinct configuration).
+    let metrics = get_json(addr, "/metrics");
+    let batch = metrics.get("batch").expect("batch section");
+    let requested = batch.get("jobs_requested").and_then(Json::as_u64).unwrap();
+    let simulated = batch.get("jobs_simulated").and_then(Json::as_u64).unwrap();
+    let memo = batch.get("jobs_memo_hits").and_then(Json::as_u64).unwrap();
+    let deduped = batch
+        .get("jobs_batch_deduped")
+        .and_then(Json::as_u64)
+        .unwrap();
+    assert_eq!(requested, (clients * jobs.len()) as u64);
+    assert_eq!(simulated as usize, jobs.len(), "one simulation per config");
+    assert!(
+        simulated < requested,
+        "deduplication must be visible: {simulated} !< {requested}"
+    );
+    assert_eq!(memo + deduped + simulated, requested);
+
+    server.shutdown();
+}
+
+#[test]
+fn sync_sweep_over_http_matches_run_sweep() {
+    let server = start_server();
+    let addr = server.addr();
+
+    let spec = SweepSpec::paper(WorkloadSize::Tiny).workloads(&["epic"]);
+    let direct = run_sweep(&spec, &SweepOptions::with_workers(2));
+
+    let (status, body) = http(
+        addr,
+        "POST",
+        "/sweep",
+        Some(
+            "{\"workloads\": [\"epic\"], \"sizes\": [\"tiny\"], \
+             \"schemes\": [\"3bit\"], \"mems\": [\"paper\"], \"sync\": true}",
+        ),
+    );
+    assert_eq!(status, 200, "{body}");
+    let doc = Json::parse(&body).expect("valid JSON");
+    assert_eq!(
+        doc.get("jobs").and_then(Json::as_u64),
+        Some(direct.outcomes.len() as u64)
+    );
+    let outcomes = doc.get("outcomes").and_then(Json::as_arr).unwrap();
+    assert_eq!(outcomes.len(), direct.outcomes.len());
+    for (served, expected) in outcomes.iter().zip(&direct.outcomes) {
+        assert_eq!(
+            served.get("job_id").and_then(Json::as_str),
+            Some(format!("{:016x}", expected.spec.job_id()).as_str())
+        );
+        assert_eq!(
+            served.get("cycles").and_then(Json::as_u64),
+            Some(expected.metrics.cycles)
+        );
+        assert_eq!(
+            served.get("instructions").and_then(Json::as_u64),
+            Some(expected.metrics.instructions)
+        );
+    }
+    assert!(doc.get("frontier").and_then(Json::as_arr).is_some());
+
+    server.shutdown();
+}
+
+#[test]
+fn async_sweep_ticket_is_pollable_to_completion() {
+    let server = start_server();
+    let addr = server.addr();
+
+    let (status, body) = http(
+        addr,
+        "POST",
+        "/sweep",
+        Some("{\"workloads\": [\"rawcaudio\"], \"sizes\": [\"tiny\"], \"orgs\": [\"baseline32\"]}"),
+    );
+    assert_eq!(status, 202, "{body}");
+    let ticket = Json::parse(&body).expect("valid JSON");
+    let poll = ticket
+        .get("poll")
+        .and_then(Json::as_str)
+        .unwrap()
+        .to_owned();
+
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+    loop {
+        let doc = get_json(addr, &poll);
+        match doc.get("status").and_then(Json::as_str) {
+            Some("running") => {
+                assert!(std::time::Instant::now() < deadline, "sweep never finished");
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            Some("done") => {
+                assert_eq!(doc.get("jobs").and_then(Json::as_u64), Some(1));
+                break;
+            }
+            other => panic!("unexpected status {other:?}"),
+        }
+    }
+
+    server.shutdown();
+}
+
+#[test]
+fn malformed_requests_get_clean_4xx_responses() {
+    let server = start_server();
+    let addr = server.addr();
+
+    let (status, body) = http(addr, "POST", "/simulate", Some("{not json"));
+    assert_eq!(status, 400);
+    assert!(body.contains("invalid JSON body"), "{body}");
+
+    let (status, body) = http(addr, "POST", "/simulate", Some("{\"workload\": \"nope\"}"));
+    assert_eq!(status, 400);
+    assert!(body.contains("unknown workload"), "{body}");
+
+    let (status, _) = http(addr, "GET", "/no-such-endpoint", None);
+    assert_eq!(status, 404);
+
+    let (status, _) = http(addr, "DELETE", "/simulate", Some(""));
+    assert_eq!(status, 405);
+
+    // Raw protocol garbage must still produce an HTTP error, not a hang or
+    // a dropped connection.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(b"NONSENSE\r\n\r\n").expect("send");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read");
+    assert!(raw.starts_with("HTTP/1.1 400"), "{raw}");
+
+    // The server must still be healthy afterwards.
+    let (status, _) = http(addr, "GET", "/healthz", None);
+    assert_eq!(status, 200);
+
+    server.shutdown();
+}
+
+#[test]
+fn job_specs_used_by_clients_hash_like_the_server() {
+    // The dedup key is the content hash; pin that a client-side JobSpec and
+    // the parsed server-side spec agree (guards against the API layer
+    // defaulting an axis differently than advertised).
+    let job = JobSpec {
+        scheme: ExtScheme::ThreeBit,
+        org: OrgKind::ByteSerial,
+        workload: "rawcaudio",
+        size: WorkloadSize::Default,
+        mem: MemProfile::Paper,
+    };
+    let server = start_server();
+    let (status, body) = http(
+        server.addr(),
+        "POST",
+        "/simulate",
+        Some("{\"workload\": \"rawcaudio\"}"),
+    );
+    assert_eq!(status, 200, "{body}");
+    let doc = Json::parse(&body).expect("valid JSON");
+    assert_eq!(
+        doc.get("job_id").and_then(Json::as_str),
+        Some(format!("{:016x}", job.job_id()).as_str()),
+        "server defaults must match the documented flagship configuration"
+    );
+    server.shutdown();
+}
