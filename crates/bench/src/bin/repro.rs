@@ -1,9 +1,11 @@
 //! `repro` — regenerate every table and figure of the paper, run
-//! design-space sweeps, and serve simulations over HTTP.
+//! design-space sweeps, record/replay portable traces, and serve simulations
+//! over HTTP.
 //!
 //! ```text
 //! repro [--size tiny|default|large] [table1|table2|table3|table4|table5|table6|
 //!        fig4|fig6|fig8|fig10|bottleneck|sweep|serve|all]
+//! repro trace record|replay|stat|golden …
 //!
 //! sweep options:
 //!   --workers N          worker threads (default: available parallelism)
@@ -11,6 +13,7 @@
 //!   --orgs a,b           organizations by id, or "all" (default: all)
 //!   --mems a,b           memory profiles: paper,small-l1,wide-l2,slow-memory
 //!                        (default: paper)
+//!   --traces a,b         recorded .sctrace files to sweep alongside kernels
 //!   --cache DIR          result-cache directory (default: target/sweep-cache)
 //!   --no-cache           disable the result cache
 //!   --csv PATH           write per-job results as CSV
@@ -19,32 +22,47 @@
 //! serve options (plus --workers/--cache/--no-cache as above):
 //!   --addr HOST:PORT     listen address (default: 127.0.0.1:7878)
 //!   --max-batch N        jobs coalesced per executor batch (default: 64)
+//!
+//! trace subcommands:
+//!   trace record WORKLOAD|--all --out PATH [--size S]
+//!                        run kernels live and write .sctrace files
+//!                        (--all writes <PATH>/<workload>.sctrace)
+//!   trace replay FILE [--schemes a,b] [--orgs all|a,b] [--mems a,b]
+//!                        replay a recorded trace through the models
+//!   trace stat FILE      header, digest and instruction-mix summary
+//!   trace golden DIR     regenerate the golden conformance corpus
 //! ```
 //!
 //! With no subcommand (or `all`) every paper artefact is printed in paper
-//! order (`all` does not include `sweep` or `serve`).
+//! order (`all` does not include `sweep`, `serve` or `trace`).
 
 use sigcomp::analyzer::AnalyzerConfig;
 use sigcomp::{EnergyModel, ExtScheme};
 use sigcomp_bench::{
-    activity_study, activity_table, bottleneck, cpi_study, figure, figure_orgs, merged_stats,
-    table1, table2, table3, table4,
+    activity_study, activity_table, bottleneck, cpi_study, figure, figure_orgs, golden,
+    merged_stats, table1, table2, table3, table4,
 };
 use sigcomp_explore::{
     config_points, frontier_table, run_sweep, to_csv, to_json, MemProfile, ResultCache,
-    SweepOptions, SweepSpec,
+    SweepOptions, SweepSpec, TraceInput,
 };
+use sigcomp_isa::TraceReader;
 use sigcomp_pipeline::OrgKind;
 use sigcomp_serve::{BatchConfig, ServeConfig, Server};
-use sigcomp_workloads::WorkloadSize;
+use sigcomp_workloads::{find, suite_names, WorkloadSize};
+use std::path::Path;
 use std::process::ExitCode;
 
 const USAGE: &str = "\
 usage: repro [--size tiny|default|large] \
 [table1|table2|table3|table4|table5|table6|fig4|fig6|fig8|fig10|bottleneck|sweep|serve|all]
+       repro trace record WORKLOAD|--all --out PATH [--size tiny|default|large]
+       repro trace replay FILE [--schemes a,b] [--orgs all|a,b] [--mems a,b]
+       repro trace stat FILE
+       repro trace golden DIR
 sweep options: [--workers N] [--schemes 2bit,3bit,halfword] [--orgs all|id,id,...]
-[--mems paper,small-l1,wide-l2,slow-memory] [--cache DIR] [--no-cache]
-[--csv PATH] [--json PATH]
+[--mems paper,small-l1,wide-l2,slow-memory] [--traces f1.sctrace,f2.sctrace]
+[--cache DIR] [--no-cache] [--csv PATH] [--json PATH]
 serve options: [--addr HOST:PORT] [--max-batch N] [--workers N] [--cache DIR] [--no-cache]";
 
 fn usage() -> ExitCode {
@@ -66,6 +84,7 @@ struct SweepArgs {
     schemes: Option<Vec<ExtScheme>>,
     orgs: Option<Vec<OrgKind>>,
     mems: Option<Vec<MemProfile>>,
+    traces: Option<Vec<String>>,
     cache_dir: Option<String>,
     no_cache: bool,
     csv: Option<String>,
@@ -104,6 +123,19 @@ fn run_sweep_command(size: WorkloadSize, args: &SweepArgs) -> ExitCode {
     }
     if let Some(mems) = &args.mems {
         spec = spec.mems(mems);
+    }
+    if let Some(paths) = &args.traces {
+        let mut inputs = Vec::with_capacity(paths.len());
+        for path in paths {
+            match TraceInput::load(path) {
+                Ok(input) => inputs.push(input),
+                Err(e) => {
+                    eprintln!("sweep: cannot read trace {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        spec = spec.trace_files(&inputs);
     }
     if spec.is_empty() {
         eprintln!("sweep: the requested design space is empty");
@@ -190,12 +222,305 @@ fn run_serve_command(args: &SweepArgs) -> ExitCode {
     }
 }
 
+/// Parses a `--size` value with the same named error as the global flag.
+fn parse_size(raw: &str) -> Result<WorkloadSize, String> {
+    WorkloadSize::parse(raw).ok_or_else(|| {
+        format!("invalid value '{raw}' for --size (expected tiny, default or large)")
+    })
+}
+
+/// Records one kernel execution to a `.sctrace` file.
+fn record_one(workload: &str, size: WorkloadSize, path: &Path) -> Result<(u64, u64), String> {
+    let benchmark = find(workload, size).ok_or_else(|| format!("unknown workload '{workload}'"))?;
+    let mut writer = sigcomp_isa::TraceWriter::new();
+    writer.set_meta("source", workload);
+    writer.set_meta("size", size.name());
+    let mut encode_error = None;
+    benchmark
+        .run_each(|rec| {
+            if encode_error.is_none() {
+                if let Err(e) = writer.push(rec) {
+                    encode_error = Some(e);
+                }
+            }
+        })
+        .map_err(|e| format!("kernel {workload} failed: {e}"))?;
+    if let Some(e) = encode_error {
+        return Err(format!("encoding {workload}: {e}"));
+    }
+    writer
+        .finish_to_path(path)
+        .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    Ok((writer.records(), writer.digest()))
+}
+
+fn trace_record(args: &[String]) -> ExitCode {
+    let mut size = WorkloadSize::Default;
+    let mut out: Option<String> = None;
+    let mut all = false;
+    let mut workload: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--size" => {
+                let Some(raw) = it.next() else {
+                    return fail("--size expects a value");
+                };
+                size = match parse_size(raw) {
+                    Ok(s) => s,
+                    Err(e) => return fail(&e),
+                };
+            }
+            "--out" | "-o" => {
+                let Some(value) = it.next() else {
+                    return fail("--out expects a value");
+                };
+                out = Some(value.clone());
+            }
+            "--all" => all = true,
+            other if other.starts_with('-') => {
+                return fail(&format!("unknown option '{other}'"));
+            }
+            other => {
+                if workload.replace(other.to_owned()).is_some() {
+                    return fail("trace record expects exactly one workload");
+                }
+            }
+        }
+    }
+    let Some(out) = out else {
+        return fail("trace record requires --out PATH");
+    };
+    let targets: Vec<(String, std::path::PathBuf)> = match (all, workload) {
+        (true, Some(_)) => return fail("--all and a workload name are mutually exclusive"),
+        (false, None) => return fail("trace record expects a workload name or --all"),
+        (true, None) => {
+            let dir = Path::new(&out);
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("trace record: cannot create {out}: {e}");
+                return ExitCode::FAILURE;
+            }
+            suite_names()
+                .iter()
+                .map(|&name| (name.to_owned(), dir.join(format!("{name}.sctrace"))))
+                .collect()
+        }
+        (false, Some(workload)) => vec![(workload, Path::new(&out).to_path_buf())],
+    };
+    for (workload, path) in &targets {
+        match record_one(workload, size, path) {
+            Ok((records, digest)) => println!(
+                "recorded {workload} ({}): {records} records, digest {digest:016x} -> {}",
+                size.name(),
+                path.display()
+            ),
+            Err(e) => {
+                eprintln!("trace record: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn trace_replay(args: &[String]) -> ExitCode {
+    let mut file: Option<String> = None;
+    let mut schemes: Option<Vec<ExtScheme>> = None;
+    let mut orgs: Option<Vec<OrgKind>> = None;
+    let mut mems: Option<Vec<MemProfile>> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--schemes" => {
+                let Some(raw) = it.next() else {
+                    return fail("--schemes expects a value");
+                };
+                let Some(value) = parse_list(raw, ExtScheme::parse) else {
+                    return fail(&format!("invalid value '{raw}' for --schemes"));
+                };
+                schemes = Some(value);
+            }
+            "--orgs" => {
+                let Some(raw) = it.next() else {
+                    return fail("--orgs expects a value");
+                };
+                if raw == "all" {
+                    orgs = Some(OrgKind::ALL.to_vec());
+                } else {
+                    let Some(value) = parse_list(raw, OrgKind::parse) else {
+                        return fail(&format!("invalid value '{raw}' for --orgs"));
+                    };
+                    orgs = Some(value);
+                }
+            }
+            "--mems" => {
+                let Some(raw) = it.next() else {
+                    return fail("--mems expects a value");
+                };
+                let Some(value) = parse_list(raw, MemProfile::parse) else {
+                    return fail(&format!("invalid value '{raw}' for --mems"));
+                };
+                mems = Some(value);
+            }
+            other if other.starts_with('-') => {
+                return fail(&format!("unknown option '{other}'"));
+            }
+            other => {
+                if file.replace(other.to_owned()).is_some() {
+                    return fail("trace replay expects exactly one file");
+                }
+            }
+        }
+    }
+    let Some(file) = file else {
+        return fail("trace replay expects a .sctrace file");
+    };
+    let input = match TraceInput::load(&file) {
+        Ok(input) => input,
+        Err(e) => {
+            eprintln!("trace replay: cannot read {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "replaying {} ({} records, digest {:016x})",
+        input.name(),
+        input.trace().len(),
+        input.digest()
+    );
+    let mut spec = SweepSpec::full(WorkloadSize::Tiny)
+        .no_kernels()
+        .trace_files(std::slice::from_ref(&input))
+        .mems(&[MemProfile::Paper]);
+    if let Some(schemes) = &schemes {
+        spec = spec.schemes(schemes);
+    }
+    if let Some(orgs) = &orgs {
+        spec = spec.orgs(orgs);
+    }
+    if let Some(mems) = &mems {
+        spec = spec.mems(mems);
+    }
+    if spec.is_empty() {
+        eprintln!("trace replay: the requested configuration set is empty");
+        return ExitCode::FAILURE;
+    }
+    let summary = run_sweep(&spec, &SweepOptions::default());
+    let model = EnergyModel::default();
+    println!(
+        "{:<44} {:>16} {:>12} {:>12} {:>7} {:>8}",
+        "configuration", "job id", "instructions", "cycles", "CPI", "saving"
+    );
+    for outcome in &summary.outcomes {
+        println!(
+            "{:<44} {:016x} {:>12} {:>12} {:>7.3} {:>7.1}%",
+            outcome.spec.label(),
+            outcome.spec.job_id(),
+            outcome.metrics.instructions,
+            outcome.metrics.cycles,
+            outcome.cpi(),
+            outcome.energy_saving(&model) * 100.0
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn trace_stat(args: &[String]) -> ExitCode {
+    let [file] = args else {
+        return fail("trace stat expects exactly one .sctrace file");
+    };
+    let mut reader = match TraceReader::open(file) {
+        Ok(reader) => reader,
+        Err(e) => {
+            eprintln!("trace stat: cannot read {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{file}:");
+    println!("  records  {}", reader.records());
+    println!("  digest   {:016x}", reader.declared_digest());
+    for (key, value) in reader.meta().to_vec() {
+        println!("  {key:<8} {value}");
+    }
+    let (mut loads, mut stores, mut branches, mut taken, mut writebacks) =
+        (0u64, 0u64, 0u64, 0u64, 0u64);
+    loop {
+        match reader.next_record() {
+            Ok(Some(rec)) => {
+                if let Some(mem) = rec.mem {
+                    if mem.is_store {
+                        stores += 1;
+                    } else {
+                        loads += 1;
+                    }
+                }
+                if let Some(branch) = rec.branch {
+                    branches += 1;
+                    taken += u64::from(branch.taken);
+                }
+                writebacks += u64::from(rec.writeback.is_some());
+            }
+            Ok(None) => break,
+            Err(e) => {
+                eprintln!("trace stat: {file}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    println!("  loads      {loads}");
+    println!("  stores     {stores}");
+    println!("  branches   {branches} ({taken} taken)");
+    println!("  writebacks {writebacks}");
+    println!("  payload verified (count and digest match the header)");
+    ExitCode::SUCCESS
+}
+
+fn trace_golden(args: &[String]) -> ExitCode {
+    let [dir] = args else {
+        return fail("trace golden expects exactly one output directory");
+    };
+    match golden::write_corpus(Path::new(dir)) {
+        Ok(paths) => {
+            for path in paths {
+                println!("wrote {}", path.display());
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("trace golden: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Dispatches `repro trace <subcommand> …`.
+fn run_trace_command(args: &[String]) -> ExitCode {
+    let Some(verb) = args.first() else {
+        return fail("trace expects a subcommand (record, replay, stat or golden)");
+    };
+    let rest = &args[1..];
+    match verb.as_str() {
+        "record" => trace_record(rest),
+        "replay" => trace_replay(rest),
+        "stat" => trace_stat(rest),
+        "golden" => trace_golden(rest),
+        other => fail(&format!("unknown trace subcommand '{other}'")),
+    }
+}
+
 fn main() -> ExitCode {
     let mut size = WorkloadSize::Default;
     let mut commands: Vec<String> = Vec::new();
     let mut sweep_args = SweepArgs::default();
 
-    let mut args = std::env::args().skip(1);
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    // `trace` owns its own argument grammar (subcommand + positional files),
+    // so it is dispatched before the global flag loop.
+    if argv.first().map(String::as_str) == Some("trace") {
+        return run_trace_command(&argv[1..]);
+    }
+
+    let mut args = argv.into_iter();
     // An option's value: `--flag VALUE`. A missing value is reported by
     // name rather than as a generic usage failure.
     macro_rules! value_of {
@@ -210,12 +535,10 @@ fn main() -> ExitCode {
         match arg.as_str() {
             "--size" => {
                 let raw = value_of!("--size");
-                let Some(value) = WorkloadSize::parse(&raw) else {
-                    return fail(&format!(
-                        "invalid value '{raw}' for --size (expected tiny, default or large)"
-                    ));
+                size = match parse_size(&raw) {
+                    Ok(value) => value,
+                    Err(e) => return fail(&e),
                 };
-                size = value;
             }
             "--workers" => {
                 let raw = value_of!("--workers");
@@ -271,6 +594,22 @@ fn main() -> ExitCode {
                 };
                 sweep_args.mems = Some(value);
             }
+            "--traces" => {
+                let raw = value_of!("--traces");
+                let paths: Vec<String> = raw
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|p| !p.is_empty())
+                    .map(str::to_owned)
+                    .collect();
+                if paths.is_empty() {
+                    return fail(&format!(
+                        "invalid value '{raw}' for --traces (expected a comma-separated \
+                         list of .sctrace paths)"
+                    ));
+                }
+                sweep_args.traces = Some(paths);
+            }
             "--cache" => sweep_args.cache_dir = Some(value_of!("--cache")),
             "--no-cache" => sweep_args.no_cache = true,
             "--csv" => sweep_args.csv = Some(value_of!("--csv")),
@@ -282,6 +621,15 @@ fn main() -> ExitCode {
             }
             other if other.starts_with('-') => {
                 return fail(&format!("unknown option '{other}'"));
+            }
+            // `trace` owns its own grammar (its option flags would otherwise
+            // be misreported by this loop), so a misplaced one gets a
+            // pointed error instead of "unknown option '--out'".
+            "trace" => {
+                return fail(
+                    "'trace' must be the first argument \
+                     (e.g. `repro trace record rawcaudio --size tiny --out f.sctrace`)",
+                );
             }
             other => commands.push(other.to_owned()),
         }
@@ -299,6 +647,7 @@ fn main() -> ExitCode {
             (sweep_args.schemes.is_some(), "--schemes"),
             (sweep_args.orgs.is_some(), "--orgs"),
             (sweep_args.mems.is_some(), "--mems"),
+            (sweep_args.traces.is_some(), "--traces"),
             (sweep_args.csv.is_some(), "--csv"),
             (sweep_args.json.is_some(), "--json"),
         ] {

@@ -23,6 +23,8 @@
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod golden;
+
 use sigcomp::analyzer::{AnalyzerConfig, TraceAnalyzer};
 use sigcomp::{ActivityReport, ExtScheme, SigStats};
 use sigcomp_pipeline::{OrgKind, Organization, PipelineSim, SimResult};

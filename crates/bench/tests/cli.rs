@@ -117,6 +117,210 @@ fn subcommand_flags_without_their_subcommand_are_rejected() {
     }
 }
 
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("repro-cli-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+#[test]
+fn trace_without_a_subcommand_fails_with_a_named_error() {
+    let out = repro(&["trace"]);
+    assert!(!out.status.success());
+    let err = stderr(&out);
+    assert!(err.contains("trace expects a subcommand"), "{err}");
+    assert!(err.contains("usage: repro"), "{err}");
+
+    let out = repro(&["trace", "frobnicate"]);
+    assert!(!out.status.success());
+    assert!(
+        stderr(&out).contains("unknown trace subcommand 'frobnicate'"),
+        "{}",
+        stderr(&out)
+    );
+
+    // A misplaced `trace` gets a pointed error, not a misleading
+    // "unknown option" from the global flag loop.
+    let out = repro(&[
+        "--size",
+        "tiny",
+        "trace",
+        "record",
+        "rawcaudio",
+        "--out",
+        "x",
+    ]);
+    assert!(!out.status.success());
+    assert!(
+        stderr(&out).contains("'trace' must be the first argument"),
+        "{}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn trace_record_argument_errors_are_named() {
+    for (args, needle) in [
+        (
+            &["trace", "record", "rawcaudio"][..],
+            "trace record requires --out",
+        ),
+        (
+            &["trace", "record", "--out", "x.sctrace"],
+            "trace record expects a workload name or --all",
+        ),
+        (
+            &["trace", "record", "a", "b", "--out", "x.sctrace"],
+            "exactly one workload",
+        ),
+        (
+            &["trace", "record", "--all", "rawcaudio", "--out", "x"],
+            "mutually exclusive",
+        ),
+        (
+            &["trace", "record", "rawcaudio", "--size"],
+            "--size expects a value",
+        ),
+        (
+            &[
+                "trace",
+                "record",
+                "rawcaudio",
+                "--size",
+                "huge",
+                "--out",
+                "x",
+            ],
+            "invalid value 'huge' for --size",
+        ),
+    ] {
+        let out = repro(args);
+        assert!(!out.status.success(), "{args:?} must fail");
+        assert!(stderr(&out).contains(needle), "{args:?}: {}", stderr(&out));
+    }
+}
+
+#[test]
+fn trace_replay_and_stat_fail_cleanly_on_missing_and_corrupt_files() {
+    let dir = temp_dir("corrupt");
+    let missing = dir.join("nope.sctrace");
+    for verb in ["replay", "stat"] {
+        let out = repro(&["trace", verb, missing.to_str().unwrap()]);
+        assert!(!out.status.success(), "{verb} on a missing file must fail");
+        let err = stderr(&out);
+        assert!(err.contains("cannot read"), "{verb}: {err}");
+    }
+
+    let garbage = dir.join("garbage.sctrace");
+    std::fs::write(&garbage, "not a trace at all\n").unwrap();
+    for verb in ["replay", "stat"] {
+        let out = repro(&["trace", verb, garbage.to_str().unwrap()]);
+        assert!(!out.status.success(), "{verb} on garbage must fail");
+        let err = stderr(&out);
+        assert!(err.contains("bad magic"), "{verb}: {err}");
+    }
+
+    // A structurally-valid header with a corrupted payload must also fail
+    // (the digest guards it), not silently replay wrong data.
+    let recorded = dir.join("ok.sctrace");
+    let out = repro(&[
+        "trace",
+        "record",
+        "rawcaudio",
+        "--size",
+        "tiny",
+        "--out",
+        recorded.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let mut bytes = std::fs::read(&recorded).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x40;
+    let tampered = dir.join("tampered.sctrace");
+    std::fs::write(&tampered, bytes).unwrap();
+    let out = repro(&["trace", "stat", tampered.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("digest"), "{}", stderr(&out));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn trace_record_stat_replay_round_trip() {
+    let dir = temp_dir("roundtrip");
+    let path = dir.join("rawcaudio.sctrace");
+    let out = repro(&[
+        "trace",
+        "record",
+        "rawcaudio",
+        "--size",
+        "tiny",
+        "--out",
+        path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(text.contains("recorded rawcaudio (tiny)"), "{text}");
+
+    let out = repro(&["trace", "stat", path.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(text.contains("records"), "{text}");
+    assert!(text.contains("payload verified"), "{text}");
+
+    let out = repro(&[
+        "trace",
+        "replay",
+        path.to_str().unwrap(),
+        "--schemes",
+        "3bit",
+        "--orgs",
+        "baseline32,byte-serial",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(text.contains("replaying rawcaudio"), "{text}");
+    assert!(
+        text.contains("rawcaudio/byte-serial/3bit/paper/trace"),
+        "{text}"
+    );
+
+    let out = repro(&["trace", "record", "unknown-kernel", "--out", "x.sctrace"]);
+    assert!(!out.status.success());
+    assert!(
+        stderr(&out).contains("unknown workload 'unknown-kernel'"),
+        "{}",
+        stderr(&out)
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sweep_traces_flag_is_sweep_only_and_fails_cleanly_on_missing_files() {
+    let out = repro(&["table1", "--traces", "x.sctrace"]);
+    assert!(!out.status.success());
+    assert!(
+        stderr(&out).contains("--traces only applies to the sweep subcommand"),
+        "{}",
+        stderr(&out)
+    );
+
+    let out = repro(&[
+        "sweep",
+        "--no-cache",
+        "--traces",
+        "definitely-missing.sctrace",
+    ]);
+    assert!(!out.status.success());
+    let err = stderr(&out);
+    assert!(
+        err.contains("cannot read trace definitely-missing.sctrace"),
+        "{err}"
+    );
+}
+
 #[test]
 fn empty_sweeps_fail_cleanly() {
     let out = repro(&["--size", "tiny", "sweep", "--no-cache", "--orgs", ""]);

@@ -48,8 +48,8 @@ mod sweep;
 pub use cache::{column_slug, ResultCache};
 pub use executor::{run_parallel, WorkerReport};
 pub use report::{config_points, frontier_table, pareto_frontier, to_csv, to_json, ConfigPoint};
-pub use spec::{JobSpec, MemProfile, SweepSpec, SWEEP_FORMAT_VERSION};
+pub use spec::{JobSpec, MemProfile, SweepSpec, TraceInput, TraceSource, SWEEP_FORMAT_VERSION};
 pub use sweep::{
-    run_jobs, run_sweep, simulate_job, JobMetrics, JobOutcome, SweepOptions, SweepShard,
-    SweepSummary,
+    run_jobs, run_jobs_traced, run_sweep, simulate_job, simulate_trace, JobMetrics, JobOutcome,
+    SweepOptions, SweepShard, SweepSummary,
 };

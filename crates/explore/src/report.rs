@@ -178,20 +178,21 @@ pub fn frontier_table(points: &[ConfigPoint], model: &EnergyModel) -> String {
 pub fn to_csv(outcomes: &[JobOutcome], model: &EnergyModel) -> String {
     let mut out = String::new();
     out.push_str(
-        "job_id,workload,size,scheme,org,mem,from_cache,instructions,cycles,branches,\
+        "job_id,workload,size,scheme,org,mem,source,from_cache,instructions,cycles,branches,\
          stall_structural,stall_data_hazard,stall_control,cpi,energy_saving\n",
     );
     for o in outcomes {
         let m = &o.metrics;
         let _ = writeln!(
             out,
-            "{:016x},{},{},{},{},{},{},{},{},{},{},{},{},{:.6},{:.6}",
+            "{:016x},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.6},{:.6}",
             o.spec.job_id(),
             o.spec.workload,
-            o.spec.size.name(),
+            o.spec.size_label(),
             o.spec.scheme.id(),
             o.spec.org.id(),
             o.spec.mem.id(),
+            o.spec.source_id(),
             u8::from(o.from_cache),
             m.instructions,
             m.cycles,
@@ -217,16 +218,18 @@ pub fn to_json(outcomes: &[JobOutcome], model: &EnergyModel) -> String {
         let _ = write!(
             out,
             "  {{\"job_id\": \"{:016x}\", \"workload\": \"{}\", \"size\": \"{}\", \
-             \"scheme\": \"{}\", \"org\": \"{}\", \"mem\": \"{}\", \"from_cache\": {}, \
+             \"scheme\": \"{}\", \"org\": \"{}\", \"mem\": \"{}\", \"source\": \"{}\", \
+             \"from_cache\": {}, \
              \"instructions\": {}, \"cycles\": {}, \"branches\": {}, \
              \"stall_structural\": {}, \"stall_data_hazard\": {}, \"stall_control\": {}, \
              \"cpi\": {:.6}, \"energy_saving\": {:.6}}}",
             o.spec.job_id(),
             o.spec.workload,
-            o.spec.size.name(),
+            o.spec.size_label(),
             o.spec.scheme.id(),
             o.spec.org.id(),
             o.spec.mem.id(),
+            o.spec.source_id(),
             o.from_cache,
             m.instructions,
             m.cycles,
@@ -261,6 +264,7 @@ mod tests {
                 workload,
                 size: WorkloadSize::Tiny,
                 mem: MemProfile::Paper,
+                source: crate::TraceSource::Kernel,
             },
             metrics: JobMetrics {
                 instructions: 1000,

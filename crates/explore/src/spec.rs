@@ -3,14 +3,18 @@
 
 use sigcomp::hash::{ConfigHash, StableHasher};
 use sigcomp::{AnalyzerConfig, ExtScheme, FunctRecoder};
+use sigcomp_isa::tracefile::{self, TraceFileError};
+use sigcomp_isa::Trace;
 use sigcomp_mem::HierarchyConfig;
 use sigcomp_pipeline::{OrgKind, Organization};
 use sigcomp_workloads::{suite_names, WorkloadSize};
+use std::path::Path;
+use std::sync::Arc;
 
 /// Version folded into every job digest; bump it whenever the simulation
 /// semantics change so stale cache entries can never be mistaken for fresh
-/// results.
-pub const SWEEP_FORMAT_VERSION: u32 = 1;
+/// results. (v2: job identity gained a trace-source tag.)
+pub const SWEEP_FORMAT_VERSION: u32 = 2;
 
 /// A named memory-hierarchy variant for the cache-geometry axis.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -81,6 +85,124 @@ impl ConfigHash for MemProfile {
     }
 }
 
+/// Where a job's dynamic instruction stream comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceSource {
+    /// A built-in kernel, named by [`JobSpec::workload`] and assembled and
+    /// executed live at [`JobSpec::size`].
+    Kernel,
+    /// A recorded `.sctrace` file, identified purely by the FNV-1a digest of
+    /// its record stream ([`sigcomp_isa::tracefile::payload_digest`]). The
+    /// trace itself is resolved through the [`TraceInput`]s handed to the
+    /// sweep; `workload` is only a display label and `size` is ignored, so a
+    /// file job's [`JobSpec::job_id`] changes exactly when the trace
+    /// *content* changes.
+    File {
+        /// Digest of the trace's encoded record stream.
+        digest: u64,
+    },
+}
+
+/// A loaded portable trace, usable as a sweep axis alongside the built-in
+/// kernels.
+#[derive(Debug, Clone)]
+pub struct TraceInput {
+    name: &'static str,
+    digest: u64,
+    trace: Arc<Trace>,
+}
+
+impl TraceInput {
+    /// Loads and fully validates a `.sctrace` file. The display name is the
+    /// file stem, interned for the life of the process (one leaked string
+    /// per *distinct* name, so job labels stay cheap `&'static str`s like
+    /// kernel names and repeated loads don't grow memory).
+    ///
+    /// # Errors
+    ///
+    /// Any [`TraceFileError`] from opening, parsing or validating the file.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, TraceFileError> {
+        let path = path.as_ref();
+        let reader = tracefile::TraceReader::open(path)?;
+        // Draining the reader verifies count and digest, so the header's
+        // declared digest IS the payload digest — no need to re-encode the
+        // records just to recompute it.
+        let digest = reader.declared_digest();
+        let trace = tracefile::collect_records(reader)?;
+        let stem = path
+            .file_stem()
+            .map_or_else(|| path.to_string_lossy(), |s| s.to_string_lossy());
+        Ok(TraceInput {
+            name: intern_name(&stem),
+            digest,
+            trace: Arc::new(trace),
+        })
+    }
+
+    /// Wraps an in-memory trace under a display name, computing its content
+    /// digest.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the trace cannot be represented in the `.sctrace` format
+    /// (same conditions as [`sigcomp_isa::TraceWriter::push`]).
+    pub fn from_trace(name: &'static str, trace: Trace) -> Result<Self, TraceFileError> {
+        let digest = tracefile::payload_digest(&trace)?;
+        Ok(TraceInput {
+            name,
+            digest,
+            trace: Arc::new(trace),
+        })
+    }
+
+    /// The display name used as the job's `workload` label.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The FNV-1a digest of the trace's encoded record stream.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        self.digest
+    }
+
+    /// The records themselves.
+    #[must_use]
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// The [`TraceSource`] axis value this input contributes.
+    #[must_use]
+    pub fn source(&self) -> TraceSource {
+        TraceSource::File {
+            digest: self.digest,
+        }
+    }
+}
+
+/// Interns a trace display name: [`crate::JobSpec::workload`] is a
+/// `&'static str` (kernel names are literals), so file names are leaked
+/// once per distinct name and reused on every later load.
+fn intern_name(name: &str) -> &'static str {
+    use std::collections::HashSet;
+    use std::sync::{Mutex, OnceLock};
+    static INTERNED: OnceLock<Mutex<HashSet<&'static str>>> = OnceLock::new();
+    let mut set = INTERNED
+        .get_or_init(Default::default)
+        .lock()
+        .expect("intern table is never poisoned");
+    match set.get(name) {
+        Some(&interned) => interned,
+        None => {
+            let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+            set.insert(leaked);
+            leaked
+        }
+    }
+}
+
 /// One point of the design space: everything needed to run one simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct JobSpec {
@@ -94,6 +216,8 @@ pub struct JobSpec {
     pub size: WorkloadSize,
     /// Memory-hierarchy variant.
     pub mem: MemProfile,
+    /// Where the instruction stream comes from (live kernel or trace file).
+    pub source: TraceSource,
 }
 
 impl JobSpec {
@@ -117,20 +241,56 @@ impl JobSpec {
     /// The content-hashed job identity: a stable digest of every parameter
     /// that influences the simulation result, including the sweep format
     /// version. Equal digests ⇒ a cached result is valid.
+    ///
+    /// For a [`TraceSource::File`] job the instruction stream is fixed by
+    /// the trace itself, so the digest folds in the trace *content* and
+    /// leaves out the display name and the size axis: renaming a trace file
+    /// keeps its cache entries, editing one record invalidates them.
     #[must_use]
     pub fn job_id(&self) -> u64 {
         let mut h = StableHasher::new();
         h.write_u32(SWEEP_FORMAT_VERSION);
         self.scheme.config_hash(&mut h);
         self.org.config_hash(&mut h);
-        h.write_str(self.workload);
-        h.write_str(self.size.name());
+        match self.source {
+            TraceSource::Kernel => {
+                h.write_u8(0);
+                h.write_str(self.workload);
+                h.write_str(self.size.name());
+            }
+            TraceSource::File { digest } => {
+                h.write_u8(1);
+                h.write_u64(digest);
+            }
+        }
         self.mem.config_hash(&mut h);
         self.analyzer_config().config_hash(&mut h);
         h.finish()
     }
 
-    /// A compact human-readable label (`workload/org/scheme/mem/size`).
+    /// Stable identifier of the job's stream source (`kernel` or `trace`),
+    /// used by the CSV/JSON exports.
+    #[must_use]
+    pub fn source_id(&self) -> &'static str {
+        match self.source {
+            TraceSource::Kernel => "kernel",
+            TraceSource::File { .. } => "trace",
+        }
+    }
+
+    /// The size-axis value as reported to humans and exports: the workload
+    /// size for kernel jobs, `trace` for file jobs (whose stream length is
+    /// fixed by the recording — a size value would be fabricated).
+    #[must_use]
+    pub fn size_label(&self) -> &'static str {
+        match self.source {
+            TraceSource::Kernel => self.size.name(),
+            TraceSource::File { .. } => "trace",
+        }
+    }
+
+    /// A compact human-readable label (`workload/org/scheme/mem/size`, with
+    /// `trace` in place of the size for file-sourced jobs).
     #[must_use]
     pub fn label(&self) -> String {
         format!(
@@ -139,7 +299,7 @@ impl JobSpec {
             self.org.id(),
             self.scheme.id(),
             self.mem.id(),
-            self.size.name()
+            self.size_label(),
         )
     }
 }
@@ -157,6 +317,7 @@ pub struct SweepSpec {
     workloads: Vec<&'static str>,
     sizes: Vec<WorkloadSize>,
     mems: Vec<MemProfile>,
+    traces: Vec<TraceInput>,
 }
 
 impl SweepSpec {
@@ -170,6 +331,7 @@ impl SweepSpec {
             workloads: suite_names().to_vec(),
             sizes: vec![size],
             mems: vec![MemProfile::Paper],
+            traces: Vec::new(),
         }
     }
 
@@ -189,6 +351,7 @@ impl SweepSpec {
             workloads: suite_names().to_vec(),
             sizes: vec![size],
             mems: MemProfile::ALL.to_vec(),
+            traces: Vec::new(),
         }
     }
 
@@ -232,14 +395,45 @@ impl SweepSpec {
         self
     }
 
+    /// Replaces the recorded-trace axis. Each trace crosses with the scheme,
+    /// organization and memory axes (but not sizes — a recorded stream has a
+    /// fixed length), after the kernel jobs in enumeration order.
+    ///
+    /// Inputs with identical *content* are deduplicated (first name wins):
+    /// they would enumerate jobs with equal `job_id`s, whose cache-hit
+    /// provenance would then depend on scheduling — breaking the
+    /// bit-identical-across-workers guarantee.
+    #[must_use]
+    pub fn trace_files(mut self, traces: &[TraceInput]) -> Self {
+        self.traces.clear();
+        for input in traces {
+            if !self.traces.iter().any(|t| t.digest() == input.digest()) {
+                self.traces.push(input.clone());
+            }
+        }
+        self
+    }
+
+    /// Drops the kernel-workload axis, leaving only recorded traces.
+    #[must_use]
+    pub fn no_kernels(mut self) -> Self {
+        self.workloads.clear();
+        self
+    }
+
+    /// The recorded-trace axis.
+    #[must_use]
+    pub fn trace_inputs(&self) -> &[TraceInput] {
+        &self.traces
+    }
+
     /// Number of jobs the sweep will enumerate.
     #[must_use]
     pub fn len(&self) -> usize {
         self.schemes.len()
             * self.orgs.len()
-            * self.workloads.len()
-            * self.sizes.len()
             * self.mems.len()
+            * (self.workloads.len() * self.sizes.len() + self.traces.len())
     }
 
     /// Whether any axis is empty.
@@ -248,7 +442,8 @@ impl SweepSpec {
         self.len() == 0
     }
 
-    /// Enumerates the cross product in the fixed axis order.
+    /// Enumerates the cross product in the fixed axis order: kernel jobs
+    /// first, then one block per recorded trace.
     #[must_use]
     pub fn enumerate(&self) -> Vec<JobSpec> {
         let mut jobs = Vec::with_capacity(self.len());
@@ -263,8 +458,27 @@ impl SweepSpec {
                                 workload,
                                 size,
                                 mem,
+                                source: TraceSource::Kernel,
                             });
                         }
+                    }
+                }
+            }
+        }
+        for trace in &self.traces {
+            for &mem in &self.mems {
+                for &scheme in &self.schemes {
+                    for &org in &self.orgs {
+                        jobs.push(JobSpec {
+                            scheme,
+                            org,
+                            workload: trace.name(),
+                            // Cosmetic only: the stream length is the
+                            // trace's own; job_id ignores this field.
+                            size: WorkloadSize::Default,
+                            mem,
+                            source: trace.source(),
+                        });
                     }
                 }
             }
@@ -300,6 +514,7 @@ mod tests {
             workload: "rawcaudio",
             size: WorkloadSize::Tiny,
             mem: MemProfile::Paper,
+            source: TraceSource::Kernel,
         };
         assert_eq!(job.job_id(), job.job_id());
         let mut other = job;
@@ -319,6 +534,95 @@ mod tests {
             let _ = h.dl1.num_sets();
             let _ = h.l2.num_sets();
         }
+    }
+
+    fn tiny_trace(limit: i16) -> sigcomp_isa::Trace {
+        use sigcomp_isa::{reg, Interpreter, ProgramBuilder};
+        let mut b = ProgramBuilder::new();
+        b.li(reg::T0, 0);
+        b.li(reg::T1, i32::from(limit));
+        b.label("loop");
+        b.addiu(reg::T0, reg::T0, 1);
+        b.bne(reg::T0, reg::T1, "loop");
+        b.halt();
+        Interpreter::new(&b.assemble().unwrap())
+            .run(10_000)
+            .unwrap()
+    }
+
+    #[test]
+    fn trace_job_ids_change_exactly_when_trace_content_changes() {
+        let a = TraceInput::from_trace("alpha", tiny_trace(10)).unwrap();
+        let renamed = TraceInput::from_trace("beta", tiny_trace(10)).unwrap();
+        let edited = TraceInput::from_trace("alpha", tiny_trace(11)).unwrap();
+
+        let job_of = |input: &TraceInput| JobSpec {
+            scheme: ExtScheme::ThreeBit,
+            org: OrgKind::ByteSerial,
+            workload: input.name(),
+            size: WorkloadSize::Tiny,
+            mem: MemProfile::Paper,
+            source: input.source(),
+        };
+
+        // Renaming (or relabeling the cosmetic size) keeps the identity …
+        assert_eq!(a.digest(), renamed.digest());
+        assert_eq!(job_of(&a).job_id(), job_of(&renamed).job_id());
+        let mut resized = job_of(&a);
+        resized.size = WorkloadSize::Large;
+        assert_eq!(job_of(&a).job_id(), resized.job_id());
+
+        // … while any content change (and any model axis) moves it.
+        assert_ne!(a.digest(), edited.digest());
+        assert_ne!(job_of(&a).job_id(), job_of(&edited).job_id());
+        let mut other_scheme = job_of(&a);
+        other_scheme.scheme = ExtScheme::Halfword;
+        assert_ne!(job_of(&a).job_id(), other_scheme.job_id());
+
+        // And a file job can never collide with the kernel job of the same
+        // label.
+        let mut kernel_alias = job_of(&a);
+        kernel_alias.source = TraceSource::Kernel;
+        assert_ne!(job_of(&a).job_id(), kernel_alias.job_id());
+    }
+
+    #[test]
+    fn trace_axis_crosses_schemes_orgs_and_mems_but_not_sizes() {
+        let input = TraceInput::from_trace("alpha", tiny_trace(5)).unwrap();
+        let spec = SweepSpec::full(WorkloadSize::Tiny)
+            .no_kernels()
+            .trace_files(std::slice::from_ref(&input));
+        let jobs = spec.enumerate();
+        assert_eq!(jobs.len(), spec.len());
+        assert_eq!(jobs.len(), 3 * 7 * 4);
+        assert!(jobs
+            .iter()
+            .all(|j| j.source == input.source() && j.workload == "alpha"));
+        assert!(jobs[0].label().ends_with("/trace"));
+
+        let mixed = SweepSpec::paper(WorkloadSize::Tiny).trace_files(std::slice::from_ref(&input));
+        assert_eq!(mixed.len(), 11 * 7 + 7);
+        assert_eq!(mixed.enumerate().len(), mixed.len());
+    }
+
+    #[test]
+    fn duplicate_trace_content_is_deduplicated() {
+        // Two inputs with the same records (a copied file, say) would
+        // enumerate jobs with equal job_ids; only one block may survive.
+        let a = TraceInput::from_trace("alpha", tiny_trace(9)).unwrap();
+        let copy = TraceInput::from_trace("copy-of-alpha", tiny_trace(9)).unwrap();
+        let distinct = TraceInput::from_trace("beta", tiny_trace(10)).unwrap();
+        let spec = SweepSpec::paper(WorkloadSize::Tiny)
+            .no_kernels()
+            .trace_files(&[a.clone(), copy, distinct]);
+        assert_eq!(spec.trace_inputs().len(), 2);
+        assert_eq!(spec.len(), 2 * 7);
+        let jobs = spec.enumerate();
+        assert_eq!(jobs.len(), spec.len());
+        // First name wins for the shared content.
+        assert_eq!(jobs[0].workload, "alpha");
+        let ids: HashSet<u64> = jobs.iter().map(JobSpec::job_id).collect();
+        assert_eq!(ids.len(), jobs.len(), "job ids must be unique");
     }
 
     #[test]

@@ -2,8 +2,9 @@
 
 use crate::cache::ResultCache;
 use crate::executor::run_parallel;
-use crate::spec::{JobSpec, SweepSpec};
+use crate::spec::{JobSpec, SweepSpec, TraceInput, TraceSource};
 use sigcomp::{ActivityReport, EnergyModel, TraceAnalyzer};
+use sigcomp_isa::{ExecRecord, Trace};
 use sigcomp_pipeline::{OrgKind, PipelineSim};
 use sigcomp_workloads::{find, Benchmark, WorkloadSize};
 use std::collections::HashMap;
@@ -167,27 +168,61 @@ impl SweepSummary {
 /// condition).
 #[must_use]
 pub fn simulate_job(spec: &JobSpec, benchmark: &Benchmark) -> JobMetrics {
-    let hierarchy = spec.mem.hierarchy();
-    let config = spec.analyzer_config();
-    let recoder = config.recoder.clone();
-    let mut sim = PipelineSim::with_config(spec.organization(), &hierarchy, recoder);
-    let mut analyzer = TraceAnalyzer::new(config);
+    let mut models = JobModels::new(spec);
     benchmark
-        .run_each(|rec| {
-            sim.observe(rec);
-            analyzer.observe(rec);
-        })
+        .run_each(|rec| models.observe(rec))
         .unwrap_or_else(|e| panic!("kernel {} failed: {e}", benchmark.name()));
-    let activity = analyzer.report();
-    let result = sim.finish();
-    JobMetrics {
-        instructions: result.instructions,
-        cycles: result.cycles,
-        branches: result.branches,
-        stall_structural: result.stalls.structural.iter().sum(),
-        stall_data_hazard: result.stalls.data_hazard,
-        stall_control: result.stalls.control,
-        activity,
+    models.finish()
+}
+
+/// Simulates one design point against a recorded trace: the records are
+/// replayed through exactly the models a live run feeds, in the same order,
+/// so the resulting metrics are bit-identical to the run that recorded them.
+#[must_use]
+pub fn simulate_trace(spec: &JobSpec, trace: &Trace) -> JobMetrics {
+    let mut models = JobModels::new(spec);
+    for rec in trace {
+        models.observe(rec);
+    }
+    models.finish()
+}
+
+/// The model stack one job drives — a single stream of [`ExecRecord`]s feeds
+/// both the cycle-level timing simulator and the activity study, whether the
+/// stream comes from a live interpreter or a replayed file.
+struct JobModels {
+    sim: PipelineSim,
+    analyzer: TraceAnalyzer,
+}
+
+impl JobModels {
+    fn new(spec: &JobSpec) -> Self {
+        let hierarchy = spec.mem.hierarchy();
+        let config = spec.analyzer_config();
+        let recoder = config.recoder.clone();
+        JobModels {
+            sim: PipelineSim::with_config(spec.organization(), &hierarchy, recoder),
+            analyzer: TraceAnalyzer::new(config),
+        }
+    }
+
+    fn observe(&mut self, rec: &ExecRecord) {
+        self.sim.observe(rec);
+        self.analyzer.observe(rec);
+    }
+
+    fn finish(self) -> JobMetrics {
+        let activity = self.analyzer.report();
+        let result = self.sim.finish();
+        JobMetrics {
+            instructions: result.instructions,
+            cycles: result.cycles,
+            branches: result.branches,
+            stall_structural: result.stalls.structural.iter().sum(),
+            stall_data_hazard: result.stalls.data_hazard,
+            stall_control: result.stalls.control,
+            activity,
+        }
     }
 }
 
@@ -203,7 +238,7 @@ pub fn simulate_job(spec: &JobSpec, benchmark: &Benchmark) -> JobMetrics {
 /// Panics if a workload named by the spec does not exist or fails to run.
 #[must_use]
 pub fn run_sweep(spec: &SweepSpec, options: &SweepOptions) -> SweepSummary {
-    run_jobs(&spec.enumerate(), options)
+    run_jobs_traced(&spec.enumerate(), spec.trace_inputs(), options)
 }
 
 /// Runs an explicit batch of jobs — the submission API that long-running
@@ -218,9 +253,28 @@ pub fn run_sweep(spec: &SweepSpec, options: &SweepOptions) -> SweepSummary {
 ///
 /// # Panics
 ///
-/// Panics if a workload named by a job does not exist or fails to run.
+/// Panics if a workload named by a job does not exist or fails to run, or if
+/// a [`TraceSource::File`] job's digest has no matching trace (use
+/// [`run_jobs_traced`] to supply recorded traces).
 #[must_use]
 pub fn run_jobs(jobs: &[JobSpec], options: &SweepOptions) -> SweepSummary {
+    run_jobs_traced(jobs, &[], options)
+}
+
+/// [`run_jobs`] with a set of recorded traces resolving the jobs'
+/// [`TraceSource::File`] digests. Kernel jobs ignore `traces` entirely.
+///
+/// # Panics
+///
+/// Panics if a workload named by a job does not exist or fails to run, or if
+/// a file job's digest matches none of `traces` — both indicate a bug in the
+/// caller's sweep assembly, not a runtime condition.
+#[must_use]
+pub fn run_jobs_traced(
+    jobs: &[JobSpec],
+    traces: &[TraceInput],
+    options: &SweepOptions,
+) -> SweepSummary {
     // Mirror the executor's clamp so the summary reports the worker count
     // actually used.
     let workers = options.effective_workers().min(jobs.len().max(1));
@@ -229,8 +283,12 @@ pub fn run_jobs(jobs: &[JobSpec], options: &SweepOptions) -> SweepSummary {
     // that needs it — and not at all when all of its jobs hit the cache.
     let mut benchmarks: HashMap<(&'static str, WorkloadSize), OnceLock<Benchmark>> = HashMap::new();
     for job in jobs {
-        benchmarks.entry((job.workload, job.size)).or_default();
+        if job.source == TraceSource::Kernel {
+            benchmarks.entry((job.workload, job.size)).or_default();
+        }
     }
+    let traces_by_digest: HashMap<u64, &TraceInput> =
+        traces.iter().map(|t| (t.digest(), t)).collect();
 
     let started = Instant::now();
     let (outcomes, reports) =
@@ -240,11 +298,23 @@ pub fn run_jobs(jobs: &[JobSpec], options: &SweepOptions) -> SweepSummary {
             let (metrics, from_cache) = match options.cache.as_ref().and_then(|c| c.load(key)) {
                 Some(metrics) => (metrics, true),
                 None => {
-                    let benchmark = benchmarks[&(job.workload, job.size)].get_or_init(|| {
-                        find(job.workload, job.size)
-                            .unwrap_or_else(|| panic!("unknown workload {}", job.workload))
-                    });
-                    let metrics = simulate_job(&job, benchmark);
+                    let metrics = match job.source {
+                        TraceSource::Kernel => {
+                            let benchmark =
+                                benchmarks[&(job.workload, job.size)].get_or_init(|| {
+                                    find(job.workload, job.size).unwrap_or_else(|| {
+                                        panic!("unknown workload {}", job.workload)
+                                    })
+                                });
+                            simulate_job(&job, benchmark)
+                        }
+                        TraceSource::File { digest } => {
+                            let input = traces_by_digest.get(&digest).unwrap_or_else(|| {
+                                panic!("no trace with digest {digest:016x} for job {}", job.label())
+                            });
+                            simulate_trace(&job, input.trace())
+                        }
+                    };
                     if let Some(cache) = options.cache.as_ref() {
                         // A failed store only costs a re-simulation next run.
                         let _ = cache.store(key, &metrics);

@@ -5,9 +5,9 @@
 use sigcomp::EnergyModel;
 use sigcomp_explore::{
     config_points, run_sweep, to_csv, to_json, JobSpec, MemProfile, ResultCache, SweepOptions,
-    SweepSpec,
+    SweepSpec, TraceInput,
 };
-use sigcomp_workloads::WorkloadSize;
+use sigcomp_workloads::{find, WorkloadSize};
 
 fn small_spec() -> SweepSpec {
     // 2 workloads × 7 organizations × 2 schemes = 28 jobs; Tiny keeps each
@@ -67,6 +67,59 @@ fn cache_keys_are_identical_across_worker_counts_and_runs() {
     assert_eq!(reference.len(), 2 * 7 * 2);
     let unique: std::collections::HashSet<_> = reference.iter().collect();
     assert_eq!(unique.len(), reference.len());
+}
+
+#[test]
+fn trace_file_jobs_are_deterministic_across_workers_and_cache_compatible() {
+    // A recorded trace swept as a TraceSource::File axis behaves exactly
+    // like a kernel axis: bit-identical across worker counts, and its
+    // content-hashed job ids make cache hits indistinguishable from fresh
+    // simulation.
+    let trace = find("rawcaudio", WorkloadSize::Tiny)
+        .unwrap()
+        .trace()
+        .unwrap();
+    let input = TraceInput::from_trace("recorded-rawcaudio", trace).unwrap();
+    let spec = SweepSpec::paper(WorkloadSize::Tiny)
+        .no_kernels()
+        .trace_files(std::slice::from_ref(&input));
+    assert_eq!(spec.len(), 7);
+
+    let serial = run_sweep(&spec, &SweepOptions::with_workers(1));
+    let parallel = run_sweep(&spec, &SweepOptions::with_workers(4));
+    assert_eq!(serial.outcomes, parallel.outcomes);
+
+    // And the file-sourced metrics equal the live kernel's for the same
+    // scheme/org/mem (the trace IS that execution).
+    let kernel_spec = SweepSpec::paper(WorkloadSize::Tiny).workloads(&["rawcaudio"]);
+    let live = run_sweep(&kernel_spec, &SweepOptions::with_workers(1));
+    for (file_job, live_job) in serial.outcomes.iter().zip(&live.outcomes) {
+        assert_eq!(file_job.spec.org, live_job.spec.org);
+        assert_eq!(file_job.metrics, live_job.metrics);
+        // Same result, different identity: the cache can never conflate a
+        // file job with its kernel twin.
+        assert_ne!(file_job.spec.job_id(), live_job.spec.job_id());
+    }
+
+    let dir = std::env::temp_dir().join(format!(
+        "sigcomp-explore-trace-cache-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cold = run_sweep(
+        &spec,
+        &SweepOptions::with_workers(2).cache(ResultCache::open(&dir).unwrap()),
+    );
+    assert_eq!(cold.simulated(), 7);
+    let warm = run_sweep(
+        &spec,
+        &SweepOptions::with_workers(3).cache(ResultCache::open(&dir).unwrap()),
+    );
+    assert_eq!(warm.cached(), 7);
+    for (c, w) in cold.outcomes.iter().zip(&warm.outcomes) {
+        assert_eq!(c.metrics, w.metrics);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

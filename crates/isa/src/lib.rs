@@ -13,7 +13,10 @@
 //! * [`Interpreter`] — a functional simulator that executes a [`Program`] and
 //!   produces a dynamic [`Trace`] of [`ExecRecord`]s (operand values, memory
 //!   addresses, branch outcomes) that drives the significance-compression
-//!   activity models and the pipeline timing simulators.
+//!   activity models and the pipeline timing simulators,
+//! * [`tracefile`] — the portable `.sctrace` on-disk trace format
+//!   ([`TraceWriter`] / [`TraceReader`]), so captured executions can be
+//!   stored, shipped and replayed bit-identically.
 //!
 //! # Example
 //!
@@ -50,6 +53,7 @@ mod op;
 mod program;
 pub mod reg;
 mod trace;
+pub mod tracefile;
 
 pub use asm::ProgramBuilder;
 pub use error::{DecodeError, IsaError};
@@ -60,3 +64,4 @@ pub use op::{DestField, Op, OpClass};
 pub use program::Program;
 pub use reg::Reg;
 pub use trace::{BranchOutcome, ExecRecord, MemAccess, Trace};
+pub use tracefile::{read_trace, write_trace, TraceFileError, TraceReader, TraceWriter};

@@ -1,0 +1,1006 @@
+//! Portable on-disk dynamic traces (`.sctrace`).
+//!
+//! The simulation models are trace-driven: everything they need is a stream
+//! of [`ExecRecord`]s. This module pins that stream down as a versioned,
+//! portable file format so traces can be captured once (from the bundled
+//! interpreter today, from an external MIPS tracer tomorrow) and replayed
+//! bit-identically through every model.
+//!
+//! # Format
+//!
+//! A `.sctrace` file is a text header followed by a compact little-endian
+//! binary record stream:
+//!
+//! ```text
+//! sctrace 1                    magic + format version
+//! records=1234                 number of records in the stream (decimal)
+//! digest=0123456789abcdef      FNV-1a 64-bit digest of the record stream
+//! source=rawcaudio             optional free-form metadata (key=value)
+//! %%                           end of header
+//! <records … exactly `records` of them, then end of file>
+//! ```
+//!
+//! Each record is:
+//!
+//! ```text
+//! flags: u8    bit 0  rs operand value present
+//!              bit 1  rt operand value present
+//!              bit 2  register writeback present
+//!              bit 3  memory access present
+//!              bit 4  branch outcome present
+//!              bit 5  memory access is a store   (requires bit 3)
+//!              bit 6  branch was taken           (requires bit 4)
+//!              bit 7  reserved, must be zero
+//! pc:    u32
+//! word:  u32   raw instruction word; must decode, and the decoded
+//!              instruction defines the record's `instr`
+//! then, in order, only the fields whose flag bit is set:
+//! rs_value: u32
+//! rt_value: u32
+//! writeback: reg u8 (1..=31), value u32
+//! mem: addr u32, width u8 (1, 2 or 4), value u32
+//! branch: target u32
+//! ```
+//!
+//! Record sequence numbers are not stored: a record's `seq` is its index in
+//! the stream, and the writer rejects traces whose records are not numbered
+//! `0..len` (the interpreter always produces such traces).
+//!
+//! Every violation is a named [`TraceFileError`] — readers never panic on
+//! malformed input — and the header digest makes any payload corruption
+//! detectable before results are trusted.
+
+use crate::error::DecodeError;
+use crate::instr::Instruction;
+use crate::reg::Reg;
+use crate::trace::{BranchOutcome, ExecRecord, MemAccess, Trace};
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, Write};
+use std::path::Path;
+
+/// The first header line of every supported trace file.
+pub const MAGIC: &str = "sctrace";
+/// The format version this module reads and writes.
+pub const FORMAT_VERSION: u32 = 1;
+/// Header line separating the text header from the record stream.
+const HEADER_END: &str = "%%";
+
+const FLAG_RS: u8 = 1 << 0;
+const FLAG_RT: u8 = 1 << 1;
+const FLAG_WB: u8 = 1 << 2;
+const FLAG_MEM: u8 = 1 << 3;
+const FLAG_BRANCH: u8 = 1 << 4;
+const FLAG_STORE: u8 = 1 << 5;
+const FLAG_TAKEN: u8 = 1 << 6;
+const FLAG_RESERVED: u8 = 1 << 7;
+
+/// Everything that can go wrong while reading or writing a `.sctrace` file.
+#[derive(Debug)]
+pub enum TraceFileError {
+    /// An underlying I/O failure.
+    Io(io::Error),
+    /// The first line is not `sctrace <version>`.
+    BadMagic {
+        /// The line actually found (truncated for display).
+        found: String,
+    },
+    /// The magic line names a format version this reader does not support.
+    UnsupportedVersion {
+        /// The version found in the file.
+        version: u32,
+    },
+    /// A header line exceeds the reader's length bound — the file is not a
+    /// trace (e.g. a large binary opened by mistake), and refusing early
+    /// keeps a bad path from buffering it into memory.
+    OversizedHeaderLine {
+        /// The per-line byte bound that was exceeded.
+        limit: usize,
+    },
+    /// The header as a whole exceeds the reader's total size bound (e.g. a
+    /// crafted file with a valid magic line and endless metadata lines).
+    OversizedHeader {
+        /// The total header byte bound that was exceeded.
+        limit: usize,
+    },
+    /// A header line before `%%` is not a `key=value` pair.
+    MalformedHeader {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// The offending text (truncated for display).
+        text: String,
+    },
+    /// The header ended (at `%%` or end of file) without a required field.
+    MissingField {
+        /// The missing field name.
+        field: &'static str,
+    },
+    /// A required header field has an unparsable value.
+    BadField {
+        /// The field name.
+        field: &'static str,
+        /// The unparsable value.
+        value: String,
+    },
+    /// The record stream ended in the middle of a record.
+    TruncatedRecord {
+        /// Index of the record that could not be completed.
+        index: u64,
+    },
+    /// Bytes remain after the declared number of records.
+    TrailingBytes,
+    /// A record's flag byte sets a reserved bit or a dependent bit without
+    /// its parent (`store` without `mem`, `taken` without `branch`).
+    BadFlags {
+        /// Index of the offending record.
+        index: u64,
+        /// The offending flag byte.
+        flags: u8,
+    },
+    /// A writeback register is out of range (must be 1..=31; `$zero`
+    /// writebacks are architecturally invisible and never recorded).
+    BadRegister {
+        /// Index of the offending record.
+        index: u64,
+        /// The offending register number.
+        reg: u8,
+    },
+    /// A memory access width is not 1, 2 or 4 bytes.
+    BadWidth {
+        /// Index of the offending record.
+        index: u64,
+        /// The offending width.
+        width: u8,
+    },
+    /// A record's instruction word does not decode.
+    UndecodableWord {
+        /// Index of the offending record.
+        index: u64,
+        /// The decode failure.
+        source: DecodeError,
+    },
+    /// The payload's digest does not match the header's declaration.
+    DigestMismatch {
+        /// The digest declared in the header.
+        declared: u64,
+        /// The digest actually computed over the record stream.
+        actual: u64,
+    },
+    /// (Writer) a record's `seq` is not its index in the trace.
+    NonSequentialSeq {
+        /// Index at which the sequence breaks.
+        index: u64,
+        /// The `seq` found there.
+        seq: u64,
+    },
+    /// (Writer) a record's `word` does not decode back to its `instr`, so
+    /// the trace could not be reproduced from the file.
+    InconsistentInstruction {
+        /// Index of the offending record.
+        index: u64,
+    },
+}
+
+impl fmt::Display for TraceFileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceFileError::Io(e) => write!(f, "I/O error: {e}"),
+            TraceFileError::BadMagic { found } => {
+                write!(
+                    f,
+                    "bad magic: expected `{MAGIC} {FORMAT_VERSION}`, found `{found}`"
+                )
+            }
+            TraceFileError::UnsupportedVersion { version } => {
+                write!(f, "unsupported trace format version {version} (this reader supports {FORMAT_VERSION})")
+            }
+            TraceFileError::OversizedHeaderLine { limit } => {
+                write!(f, "header line exceeds {limit} bytes; not a trace file")
+            }
+            TraceFileError::OversizedHeader { limit } => {
+                write!(
+                    f,
+                    "header exceeds {limit} bytes before `%%`; not a trace file"
+                )
+            }
+            TraceFileError::MalformedHeader { line, text } => {
+                write!(f, "malformed header line {line}: `{text}` is not key=value")
+            }
+            TraceFileError::MissingField { field } => {
+                write!(f, "header is missing the required `{field}` field")
+            }
+            TraceFileError::BadField { field, value } => {
+                write!(f, "header field `{field}` has unparsable value `{value}`")
+            }
+            TraceFileError::TruncatedRecord { index } => {
+                write!(f, "record stream truncated inside record {index}")
+            }
+            TraceFileError::TrailingBytes => {
+                write!(f, "trailing bytes after the declared number of records")
+            }
+            TraceFileError::BadFlags { index, flags } => {
+                write!(f, "record {index} has invalid flag byte {flags:#04x}")
+            }
+            TraceFileError::BadRegister { index, reg } => {
+                write!(f, "record {index} writes invalid register {reg}")
+            }
+            TraceFileError::BadWidth { index, width } => {
+                write!(f, "record {index} has invalid memory width {width}")
+            }
+            TraceFileError::UndecodableWord { index, source } => {
+                write!(f, "record {index}: {source}")
+            }
+            TraceFileError::DigestMismatch { declared, actual } => {
+                write!(
+                    f,
+                    "payload digest {actual:016x} does not match declared digest {declared:016x}"
+                )
+            }
+            TraceFileError::NonSequentialSeq { index, seq } => {
+                write!(
+                    f,
+                    "record {index} has sequence number {seq}; the format requires seq == index"
+                )
+            }
+            TraceFileError::InconsistentInstruction { index } => {
+                write!(f, "record {index}: instruction word does not re-decode to the recorded instruction")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceFileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceFileError::Io(e) => Some(e),
+            TraceFileError::UndecodableWord { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceFileError {
+    fn from(e: io::Error) -> Self {
+        TraceFileError::Io(e)
+    }
+}
+
+/// Incremental FNV-1a 64-bit digest over the record stream. The same
+/// algorithm as `sigcomp::hash::StableHasher`, restated here so the trace
+/// format stays self-contained in the ISA crate.
+#[derive(Debug, Clone)]
+struct Fnv(u64);
+
+impl Fnv {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    fn new() -> Self {
+        Fnv(Self::OFFSET)
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Encodes one record into `out`, validating the writer-side invariants.
+fn encode_record(index: u64, rec: &ExecRecord, out: &mut Vec<u8>) -> Result<(), TraceFileError> {
+    if rec.seq != index {
+        return Err(TraceFileError::NonSequentialSeq {
+            index,
+            seq: rec.seq,
+        });
+    }
+    if Instruction::decode(rec.word) != Ok(rec.instr) {
+        return Err(TraceFileError::InconsistentInstruction { index });
+    }
+    let mut flags = 0u8;
+    if rec.rs_value.is_some() {
+        flags |= FLAG_RS;
+    }
+    if rec.rt_value.is_some() {
+        flags |= FLAG_RT;
+    }
+    if rec.writeback.is_some() {
+        flags |= FLAG_WB;
+    }
+    if let Some(mem) = rec.mem {
+        flags |= FLAG_MEM;
+        if mem.is_store {
+            flags |= FLAG_STORE;
+        }
+        if !matches!(mem.width, 1 | 2 | 4) {
+            return Err(TraceFileError::BadWidth {
+                index,
+                width: mem.width,
+            });
+        }
+    }
+    if let Some(branch) = rec.branch {
+        flags |= FLAG_BRANCH;
+        if branch.taken {
+            flags |= FLAG_TAKEN;
+        }
+    }
+    out.push(flags);
+    out.extend_from_slice(&rec.pc.to_le_bytes());
+    out.extend_from_slice(&rec.word.to_le_bytes());
+    if let Some(v) = rec.rs_value {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    if let Some(v) = rec.rt_value {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    if let Some((reg, value)) = rec.writeback {
+        if reg.is_zero() {
+            return Err(TraceFileError::BadRegister {
+                index,
+                reg: reg.index(),
+            });
+        }
+        out.push(reg.index());
+        out.extend_from_slice(&value.to_le_bytes());
+    }
+    if let Some(mem) = rec.mem {
+        out.extend_from_slice(&mem.addr.to_le_bytes());
+        out.push(mem.width);
+        out.extend_from_slice(&mem.value.to_le_bytes());
+    }
+    if let Some(branch) = rec.branch {
+        out.extend_from_slice(&branch.target.to_le_bytes());
+    }
+    Ok(())
+}
+
+/// The FNV-1a 64-bit digest of a trace's encoded record stream — the
+/// content identity that sweep job ids fold in for file-sourced jobs.
+///
+/// # Errors
+///
+/// Fails with the same writer-side validation errors as [`TraceWriter`] if
+/// the trace cannot be represented in the format.
+pub fn payload_digest(trace: &Trace) -> Result<u64, TraceFileError> {
+    let mut digest = Fnv::new();
+    let mut buf = Vec::with_capacity(32);
+    for (index, rec) in trace.iter().enumerate() {
+        buf.clear();
+        encode_record(index as u64, rec, &mut buf)?;
+        digest.update(&buf);
+    }
+    Ok(digest.finish())
+}
+
+/// Buffers a record stream and writes a complete `.sctrace` file.
+///
+/// Records are encoded into memory as they arrive (so the record count and
+/// the payload digest are known by the time the header must be written) and
+/// [`TraceWriter::finish`] emits header + payload in one pass.
+#[derive(Debug)]
+pub struct TraceWriter {
+    payload: Vec<u8>,
+    records: u64,
+    digest: Fnv,
+    meta: Vec<(String, String)>,
+}
+
+impl TraceWriter {
+    /// Creates an empty writer.
+    #[must_use]
+    pub fn new() -> Self {
+        TraceWriter {
+            payload: Vec::new(),
+            records: 0,
+            digest: Fnv::new(),
+            meta: Vec::new(),
+        }
+    }
+
+    /// Attaches a free-form `key=value` metadata pair to the header.
+    /// `records` and `digest` are reserved; keys must be non-empty
+    /// `[a-z0-9_-]` and values must not contain newlines. Invalid pairs are
+    /// ignored rather than corrupting the header.
+    pub fn set_meta(&mut self, key: &str, value: &str) {
+        let key_ok = !key.is_empty()
+            && key != "records"
+            && key != "digest"
+            && key
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_' || c == '-');
+        if key_ok && !value.contains('\n') && !value.contains('\r') {
+            self.meta.push((key.to_owned(), value.to_owned()));
+        }
+    }
+
+    /// Appends one record to the stream.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the record cannot be represented: non-sequential `seq`, a
+    /// `word` that does not re-decode to `instr`, a `$zero` writeback, or an
+    /// invalid memory width. A failed push leaves the writer exactly as it
+    /// was, so callers may skip the bad record and keep going.
+    pub fn push(&mut self, rec: &ExecRecord) -> Result<(), TraceFileError> {
+        let start = self.payload.len();
+        if let Err(e) = encode_record(self.records, rec, &mut self.payload) {
+            // Drop any bytes the failed encode already appended; otherwise
+            // they would silently corrupt every subsequent record.
+            self.payload.truncate(start);
+            return Err(e);
+        }
+        self.digest.update(&self.payload[start..]);
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Number of records buffered so far.
+    #[must_use]
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// The digest of the record stream buffered so far.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        self.digest.finish()
+    }
+
+    /// Writes the complete file (header + record stream) to `out`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `out`.
+    pub fn finish(&self, mut out: impl Write) -> Result<(), TraceFileError> {
+        let mut header = String::new();
+        header.push_str(&format!("{MAGIC} {FORMAT_VERSION}\n"));
+        header.push_str(&format!("records={}\n", self.records));
+        header.push_str(&format!("digest={:016x}\n", self.digest()));
+        for (key, value) in &self.meta {
+            header.push_str(&format!("{key}={value}\n"));
+        }
+        header.push_str(HEADER_END);
+        header.push('\n');
+        out.write_all(header.as_bytes())?;
+        out.write_all(&self.payload)?;
+        out.flush()?;
+        Ok(())
+    }
+
+    /// Writes the complete file to `path` (via a sibling temp file + rename,
+    /// so a crash never leaves a torn trace behind).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn finish_to_path(&self, path: impl AsRef<Path>) -> Result<(), TraceFileError> {
+        let path = path.as_ref();
+        let tmp = path.with_extension("sctrace.tmp");
+        let file = File::create(&tmp)?;
+        let result = self
+            .finish(io::BufWriter::new(file))
+            .and_then(|()| std::fs::rename(&tmp, path).map_err(TraceFileError::from));
+        if result.is_err() {
+            let _ = std::fs::remove_file(&tmp);
+        }
+        result
+    }
+}
+
+impl Default for TraceWriter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Writes a whole in-memory [`Trace`] to `path` and returns its payload
+/// digest. `meta` pairs are attached to the header in order.
+///
+/// # Errors
+///
+/// Fails on unrepresentable records (see [`TraceWriter::push`]) or I/O
+/// errors.
+pub fn write_trace(
+    path: impl AsRef<Path>,
+    trace: &Trace,
+    meta: &[(&str, &str)],
+) -> Result<u64, TraceFileError> {
+    let mut writer = TraceWriter::new();
+    for (key, value) in meta {
+        writer.set_meta(key, value);
+    }
+    for rec in trace {
+        writer.push(rec)?;
+    }
+    writer.finish_to_path(path)?;
+    Ok(writer.digest())
+}
+
+/// Streaming `.sctrace` reader: parses and validates the header eagerly,
+/// then yields one validated [`ExecRecord`] at a time.
+///
+/// After the last declared record, the reader verifies that the stream ends
+/// exactly there and that the payload digest matches the header — consuming
+/// the whole iterator therefore proves the file intact.
+#[derive(Debug)]
+pub struct TraceReader<R> {
+    input: R,
+    records: u64,
+    declared_digest: u64,
+    meta: Vec<(String, String)>,
+    next_index: u64,
+    digest: Fnv,
+    /// Set once a validation error has been yielded (or the stream has been
+    /// fully verified); further `next()` calls return `None`.
+    done: bool,
+}
+
+impl TraceReader<BufReader<File>> {
+    /// Opens a trace file for streaming.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the file cannot be opened or its header is invalid.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, TraceFileError> {
+        TraceReader::new(BufReader::new(File::open(path)?))
+    }
+}
+
+impl<R: BufRead> TraceReader<R> {
+    /// Wraps any buffered reader positioned at the start of a trace file and
+    /// validates the header.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors or any header violation.
+    pub fn new(mut input: R) -> Result<Self, TraceFileError> {
+        let magic = read_header_line(&mut input)?;
+        let Some(version_text) = magic.strip_prefix(&format!("{MAGIC} ")) else {
+            return Err(TraceFileError::BadMagic {
+                found: truncate(&magic),
+            });
+        };
+        let version: u32 = version_text
+            .trim()
+            .parse()
+            .map_err(|_| TraceFileError::BadMagic {
+                found: truncate(&magic),
+            })?;
+        if version != FORMAT_VERSION {
+            return Err(TraceFileError::UnsupportedVersion { version });
+        }
+
+        let mut records: Option<u64> = None;
+        let mut declared_digest: Option<u64> = None;
+        let mut meta = Vec::new();
+        let mut line_number = 1usize;
+        let mut header_bytes = magic.len() + 1;
+        loop {
+            line_number += 1;
+            let line = read_header_line(&mut input)?;
+            header_bytes += line.len() + 1;
+            if header_bytes > MAX_HEADER_BYTES {
+                return Err(TraceFileError::OversizedHeader {
+                    limit: MAX_HEADER_BYTES,
+                });
+            }
+            if line == HEADER_END {
+                break;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(TraceFileError::MalformedHeader {
+                    line: line_number,
+                    text: truncate(&line),
+                });
+            };
+            match key {
+                "records" => {
+                    records = Some(value.parse().map_err(|_| TraceFileError::BadField {
+                        field: "records",
+                        value: truncate(value),
+                    })?);
+                }
+                "digest" => {
+                    let parsed = (value.len() == 16)
+                        .then(|| u64::from_str_radix(value, 16).ok())
+                        .flatten();
+                    declared_digest = Some(parsed.ok_or_else(|| TraceFileError::BadField {
+                        field: "digest",
+                        value: truncate(value),
+                    })?);
+                }
+                _ => meta.push((key.to_owned(), value.to_owned())),
+            }
+        }
+        Ok(TraceReader {
+            input,
+            records: records.ok_or(TraceFileError::MissingField { field: "records" })?,
+            declared_digest: declared_digest
+                .ok_or(TraceFileError::MissingField { field: "digest" })?,
+            meta,
+            next_index: 0,
+            digest: Fnv::new(),
+            done: false,
+        })
+    }
+
+    /// The number of records the header declares.
+    #[must_use]
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// The payload digest the header declares.
+    #[must_use]
+    pub fn declared_digest(&self) -> u64 {
+        self.declared_digest
+    }
+
+    /// Free-form header metadata pairs, in file order.
+    #[must_use]
+    pub fn meta(&self) -> &[(String, String)] {
+        &self.meta
+    }
+
+    /// The value of a metadata key, if present.
+    #[must_use]
+    pub fn meta_value(&self, key: &str) -> Option<&str> {
+        self.meta
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Reads `buf.len()` payload bytes, folding them into the running digest.
+    fn fill(&mut self, buf: &mut [u8]) -> Result<(), TraceFileError> {
+        self.input.read_exact(buf).map_err(|e| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                TraceFileError::TruncatedRecord {
+                    index: self.next_index,
+                }
+            } else {
+                TraceFileError::Io(e)
+            }
+        })?;
+        self.digest.update(buf);
+        Ok(())
+    }
+
+    fn read_u8(&mut self) -> Result<u8, TraceFileError> {
+        let mut b = [0u8; 1];
+        self.fill(&mut b)?;
+        Ok(b[0])
+    }
+
+    fn read_u32(&mut self) -> Result<u32, TraceFileError> {
+        let mut b = [0u8; 4];
+        self.fill(&mut b)?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    /// Reads, validates and returns the next record, `Ok(None)` once the
+    /// stream is complete and verified.
+    ///
+    /// # Errors
+    ///
+    /// Any stream violation, after which the reader is exhausted.
+    #[allow(clippy::too_many_lines)]
+    pub fn next_record(&mut self) -> Result<Option<ExecRecord>, TraceFileError> {
+        if self.done {
+            return Ok(None);
+        }
+        let result = self.next_record_inner();
+        if !matches!(result, Ok(Some(_))) {
+            self.done = true;
+        }
+        result
+    }
+
+    fn next_record_inner(&mut self) -> Result<Option<ExecRecord>, TraceFileError> {
+        let index = self.next_index;
+        if index == self.records {
+            // The stream must end exactly here, with the declared digest.
+            let mut probe = [0u8; 1];
+            match self.input.read(&mut probe)? {
+                0 => {}
+                _ => return Err(TraceFileError::TrailingBytes),
+            }
+            let actual = self.digest.finish();
+            if actual != self.declared_digest {
+                return Err(TraceFileError::DigestMismatch {
+                    declared: self.declared_digest,
+                    actual,
+                });
+            }
+            return Ok(None);
+        }
+
+        let flags = self.read_u8()?;
+        if flags & FLAG_RESERVED != 0
+            || (flags & FLAG_STORE != 0 && flags & FLAG_MEM == 0)
+            || (flags & FLAG_TAKEN != 0 && flags & FLAG_BRANCH == 0)
+        {
+            return Err(TraceFileError::BadFlags { index, flags });
+        }
+        let pc = self.read_u32()?;
+        let word = self.read_u32()?;
+        let instr = Instruction::decode(word)
+            .map_err(|source| TraceFileError::UndecodableWord { index, source })?;
+        let rs_value = (flags & FLAG_RS != 0)
+            .then(|| self.read_u32())
+            .transpose()?;
+        let rt_value = (flags & FLAG_RT != 0)
+            .then(|| self.read_u32())
+            .transpose()?;
+        let writeback = if flags & FLAG_WB != 0 {
+            let reg = self.read_u8()?;
+            let value = self.read_u32()?;
+            if reg == 0 || reg >= 32 {
+                return Err(TraceFileError::BadRegister { index, reg });
+            }
+            Some((Reg::new(reg), value))
+        } else {
+            None
+        };
+        let mem = if flags & FLAG_MEM != 0 {
+            let addr = self.read_u32()?;
+            let width = self.read_u8()?;
+            let value = self.read_u32()?;
+            if !matches!(width, 1 | 2 | 4) {
+                return Err(TraceFileError::BadWidth { index, width });
+            }
+            Some(MemAccess {
+                addr,
+                width,
+                is_store: flags & FLAG_STORE != 0,
+                value,
+            })
+        } else {
+            None
+        };
+        let branch = (flags & FLAG_BRANCH != 0).then(|| {
+            Ok::<_, TraceFileError>(BranchOutcome {
+                taken: flags & FLAG_TAKEN != 0,
+                target: self.read_u32()?,
+            })
+        });
+        let branch = match branch {
+            Some(Ok(b)) => Some(b),
+            Some(Err(e)) => return Err(e),
+            None => None,
+        };
+
+        self.next_index += 1;
+        Ok(Some(ExecRecord {
+            seq: index,
+            pc,
+            word,
+            instr,
+            rs_value,
+            rt_value,
+            writeback,
+            mem,
+            branch,
+        }))
+    }
+}
+
+impl<R: BufRead> Iterator for TraceReader<R> {
+    type Item = Result<ExecRecord, TraceFileError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_record().transpose()
+    }
+}
+
+/// Reads and fully validates a trace file into memory.
+///
+/// # Errors
+///
+/// Any header or stream violation (see [`TraceFileError`]).
+pub fn read_trace(path: impl AsRef<Path>) -> Result<Trace, TraceFileError> {
+    collect_records(TraceReader::open(path)?)
+}
+
+/// Drains a reader into a [`Trace`], surfacing the first stream error.
+///
+/// # Errors
+///
+/// Any stream violation encountered while draining.
+pub fn collect_records<R: BufRead>(mut reader: TraceReader<R>) -> Result<Trace, TraceFileError> {
+    let mut trace = Trace::new();
+    while let Some(rec) = reader.next_record()? {
+        trace.push(rec);
+    }
+    Ok(trace)
+}
+
+/// The longest header line a reader will buffer. Far above any real header
+/// (the magic line is ~11 bytes, metadata values are short), but it keeps a
+/// mistakenly-opened multi-gigabyte binary with no newlines from being read
+/// into memory just to report `BadMagic`.
+const MAX_HEADER_LINE: usize = 64 * 1024;
+
+/// The most header a reader will accept in total before `%%`. Bounds the
+/// `meta` allocation against a crafted file with a valid magic line and an
+/// endless stream of `key=value` lines.
+const MAX_HEADER_BYTES: usize = 1024 * 1024;
+
+/// Reads one `\n`-terminated header line of at most [`MAX_HEADER_LINE`]
+/// bytes (the terminator is consumed and stripped; a `\r` before it is
+/// stripped too). The bound is checked per buffered chunk, so an oversized
+/// line never accumulates more than one extra buffer's worth of memory.
+fn read_header_line(input: &mut impl BufRead) -> Result<String, TraceFileError> {
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        let (used, done) = {
+            let available = input.fill_buf()?;
+            if available.is_empty() {
+                if buf.is_empty() {
+                    return Err(TraceFileError::Io(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "trace header ended before `%%`",
+                    )));
+                }
+                (0, true) // end of input terminates the final line
+            } else if let Some(pos) = available.iter().position(|&b| b == b'\n') {
+                buf.extend_from_slice(&available[..pos]);
+                (pos + 1, true)
+            } else {
+                buf.extend_from_slice(available);
+                (available.len(), false)
+            }
+        };
+        input.consume(used);
+        if buf.len() > MAX_HEADER_LINE {
+            return Err(TraceFileError::OversizedHeaderLine {
+                limit: MAX_HEADER_LINE,
+            });
+        }
+        if done {
+            break;
+        }
+    }
+    while buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    String::from_utf8(buf).map_err(|_| {
+        TraceFileError::Io(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "trace header is not UTF-8",
+        ))
+    })
+}
+
+fn truncate(s: &str) -> String {
+    const LIMIT: usize = 64;
+    if s.len() <= LIMIT {
+        s.to_owned()
+    } else {
+        let mut end = LIMIT;
+        while !s.is_char_boundary(end) {
+            end -= 1;
+        }
+        format!("{}…", &s[..end])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::ProgramBuilder;
+    use crate::interp::Interpreter;
+    use crate::reg;
+
+    fn sample_trace() -> Trace {
+        let mut b = ProgramBuilder::new();
+        b.dlabel("buf");
+        b.words(&[0, 0]);
+        b.li(reg::T0, 0);
+        b.li(reg::T1, 5);
+        b.label("loop");
+        b.la(reg::A0, "buf");
+        b.sw(reg::T0, reg::A0, 0);
+        b.lw(reg::T2, reg::A0, 0);
+        b.addiu(reg::T0, reg::T0, 1);
+        b.bne(reg::T0, reg::T1, "loop");
+        b.halt();
+        Interpreter::new(&b.assemble().unwrap())
+            .run(10_000)
+            .unwrap()
+    }
+
+    #[test]
+    fn round_trips_through_a_byte_buffer() {
+        let trace = sample_trace();
+        let mut writer = TraceWriter::new();
+        writer.set_meta("source", "unit-test");
+        for rec in &trace {
+            writer.push(rec).unwrap();
+        }
+        let mut bytes = Vec::new();
+        writer.finish(&mut bytes).unwrap();
+
+        let reader = TraceReader::new(io::Cursor::new(&bytes)).unwrap();
+        assert_eq!(reader.records(), trace.len() as u64);
+        assert_eq!(reader.meta_value("source"), Some("unit-test"));
+        let restored = collect_records(reader).unwrap();
+        assert_eq!(restored.records(), trace.records());
+    }
+
+    #[test]
+    fn digest_is_a_pure_function_of_the_records() {
+        let trace = sample_trace();
+        let mut writer = TraceWriter::new();
+        for rec in &trace {
+            writer.push(rec).unwrap();
+        }
+        assert_eq!(writer.digest(), payload_digest(&trace).unwrap());
+        // Metadata must not influence the digest.
+        let mut other = TraceWriter::new();
+        other.set_meta("note", "different metadata");
+        for rec in &trace {
+            other.push(rec).unwrap();
+        }
+        assert_eq!(writer.digest(), other.digest());
+    }
+
+    #[test]
+    fn non_sequential_seq_is_rejected_by_the_writer() {
+        let trace = sample_trace();
+        let mut rec = trace.records()[0];
+        rec.seq = 7;
+        let mut writer = TraceWriter::new();
+        assert!(matches!(
+            writer.push(&rec),
+            Err(TraceFileError::NonSequentialSeq { index: 0, seq: 7 })
+        ));
+    }
+
+    #[test]
+    fn header_rejections_are_named() {
+        type Check = fn(&TraceFileError) -> bool;
+        let cases: &[(&str, Check)] = &[
+            ("nottrace 1\n%%\n", |e| {
+                matches!(e, TraceFileError::BadMagic { .. })
+            }),
+            ("sctrace 99\n%%\n", |e| {
+                matches!(e, TraceFileError::UnsupportedVersion { version: 99 })
+            }),
+            ("sctrace 1\nnot-a-pair\n%%\n", |e| {
+                matches!(e, TraceFileError::MalformedHeader { line: 2, .. })
+            }),
+            ("sctrace 1\ndigest=0000000000000000\n%%\n", |e| {
+                matches!(e, TraceFileError::MissingField { field: "records" })
+            }),
+            ("sctrace 1\nrecords=zero\n%%\n", |e| {
+                matches!(
+                    e,
+                    TraceFileError::BadField {
+                        field: "records",
+                        ..
+                    }
+                )
+            }),
+            ("sctrace 1\nrecords=0\ndigest=xyz\n%%\n", |e| {
+                matches!(
+                    e,
+                    TraceFileError::BadField {
+                        field: "digest",
+                        ..
+                    }
+                )
+            }),
+        ];
+        for (text, check) in cases {
+            let err = TraceReader::new(io::Cursor::new(text.as_bytes())).unwrap_err();
+            assert!(check(&err), "{text:?} gave {err}");
+        }
+    }
+}

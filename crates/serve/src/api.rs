@@ -41,6 +41,9 @@ pub fn job_spec_from_json(doc: &Json) -> Result<JobSpec, String> {
         workload,
         size: parse_field(doc, "size", "default", WorkloadSize::parse, "workload size")?,
         mem: parse_field(doc, "mem", "paper", MemProfile::parse, "memory profile")?,
+        // The HTTP surface names built-in kernels only; recorded traces are
+        // a CLI/sweep axis (they would need an upload channel here).
+        source: sigcomp_explore::TraceSource::Kernel,
     })
 }
 

@@ -386,6 +386,7 @@ mod tests {
             workload: suite_names()[workload_index],
             size: WorkloadSize::Tiny,
             mem: MemProfile::Paper,
+            source: sigcomp_explore::TraceSource::Kernel,
         }
     }
 

@@ -287,6 +287,7 @@ fn job_specs_used_by_clients_hash_like_the_server() {
         workload: "rawcaudio",
         size: WorkloadSize::Default,
         mem: MemProfile::Paper,
+        source: sigcomp_explore::TraceSource::Kernel,
     };
     let server = start_server();
     let (status, body) = http(

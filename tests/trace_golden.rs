@@ -1,0 +1,90 @@
+//! Golden-corpus conformance suite for the `.sctrace` trace format.
+//!
+//! `tests/data/` holds recorded executions of seeded kernels plus their
+//! expected replay metrics. These tests fail on any drift — in the encoder
+//! (byte-level file comparison), the decoder, or any model behind replay
+//! (line-level JSON comparison with a readable diff). Regenerate the corpus
+//! deliberately with `repro trace golden tests/data` when semantics change
+//! on purpose, and bump the relevant format/sweep version.
+
+use sigcomp_bench::golden::{
+    diff_report, expected_json, expected_path, golden_bytes, record_golden, trace_path,
+    GOLDEN_WORKLOADS,
+};
+use sigcomp_explore::TraceInput;
+use std::path::Path;
+
+fn data_dir() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/data"))
+}
+
+#[test]
+fn corpus_has_at_least_four_members() {
+    assert!(GOLDEN_WORKLOADS.len() >= 4);
+    for &workload in GOLDEN_WORKLOADS {
+        assert!(
+            trace_path(data_dir(), workload).exists(),
+            "{workload}.sctrace is missing — run `repro trace golden tests/data`"
+        );
+        assert!(
+            expected_path(data_dir(), workload).exists(),
+            "{workload}.expected.json is missing — run `repro trace golden tests/data`"
+        );
+    }
+}
+
+#[test]
+fn recording_the_seeds_reproduces_the_checked_in_traces_bit_for_bit() {
+    for &workload in GOLDEN_WORKLOADS {
+        let checked_in = std::fs::read(trace_path(data_dir(), workload))
+            .unwrap_or_else(|e| panic!("cannot read {workload}.sctrace: {e}"));
+        let fresh = golden_bytes(workload, &record_golden(workload).unwrap()).unwrap();
+        assert!(
+            checked_in == fresh,
+            "{workload}.sctrace drifted from a fresh recording \
+             ({} checked-in bytes vs {} fresh) — if the change is intentional, \
+             regenerate with `repro trace golden tests/data`",
+            checked_in.len(),
+            fresh.len()
+        );
+    }
+}
+
+#[test]
+fn replaying_the_checked_in_traces_matches_the_expected_metrics() {
+    for &workload in GOLDEN_WORKLOADS {
+        // Read back through the real decoder, so this pins reader + models.
+        let input = TraceInput::load(trace_path(data_dir(), workload))
+            .unwrap_or_else(|e| panic!("cannot load {workload}.sctrace: {e}"));
+        let actual = expected_json(workload, input.trace()).unwrap();
+        let expected = std::fs::read_to_string(expected_path(data_dir(), workload))
+            .unwrap_or_else(|e| panic!("cannot read {workload}.expected.json: {e}"));
+        if let Some(report) = diff_report(&expected, &actual) {
+            panic!(
+                "{workload}.expected.json drifted:\n{report}\
+                 if the change is intentional, regenerate with \
+                 `repro trace golden tests/data`"
+            );
+        }
+    }
+}
+
+#[test]
+fn checked_in_headers_declare_the_true_content_digest() {
+    for &workload in GOLDEN_WORKLOADS {
+        let path = trace_path(data_dir(), workload);
+        let reader = sigcomp_isa::TraceReader::open(&path).unwrap();
+        let declared = reader.declared_digest();
+        assert_eq!(reader.meta_value("source"), Some(workload));
+        assert_eq!(reader.meta_value("size"), Some("tiny"));
+        // Recompute the digest from the decoded records (TraceInput::load
+        // trusts the verified header, so recompute independently here).
+        let input = TraceInput::load(&path).unwrap();
+        let recomputed = sigcomp_isa::tracefile::payload_digest(input.trace()).unwrap();
+        assert_eq!(
+            recomputed, declared,
+            "{workload}: header digest does not match the record stream"
+        );
+        assert_eq!(input.digest(), declared);
+    }
+}
