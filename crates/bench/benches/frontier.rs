@@ -1,0 +1,72 @@
+//! Self-timed benches for the sweep-reporting hot path: Pareto-frontier
+//! extraction and table formatting over a synthetic population of
+//! configuration points.
+//!
+//! The dominance scan is inherently O(n²) in the number of points; what this
+//! pins is that each comparison works on *precomputed* per-point metrics —
+//! re-deriving CPI, the energy savings and an allocated label string inside
+//! the scan multiplied the constant by the population size all over again.
+//! `cargo bench -p sigcomp-bench --bench frontier` runs it.
+
+use sigcomp::{ActivityReport, ProcessNode, StageActivity};
+use sigcomp_bench::time_scenario;
+use sigcomp_explore::{frontier_table, pareto_frontier, ConfigPoint, MemProfile};
+use sigcomp_pipeline::OrgKind;
+use sigcomp_workloads::WorkloadSize;
+use std::hint::black_box;
+
+/// A deterministic synthetic population: every scheme-free axis combination
+/// replicated with varied counters, the way a many-trace sweep aggregates.
+fn population(n: usize) -> Vec<ConfigPoint> {
+    let sizes = [
+        WorkloadSize::Tiny,
+        WorkloadSize::Default,
+        WorkloadSize::Large,
+    ];
+    (0..n)
+        .map(|i| {
+            let orgs = OrgKind::ALL;
+            let mems = MemProfile::ALL;
+            // Splitmix-style spread, fixed seed: identical population every
+            // run, no RNG dependency.
+            let x = (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 17;
+            let cycles = 1_000_000 + x % 900_000;
+            let saved = 200_000 + x % 500_000;
+            let gated = x % 800_000;
+            ConfigPoint {
+                scheme: sigcomp::ExtScheme::ALL[i % 3],
+                org: orgs[i % orgs.len()],
+                mem: mems[(i / orgs.len()) % mems.len()],
+                size: sizes[(i / (orgs.len() * mems.len())) % sizes.len()],
+                workloads: 11,
+                instructions: 800_000,
+                cycles,
+                activity: ActivityReport {
+                    alu: StageActivity::with_gating(1_000_000 - saved, 1_000_000, gated, 1_000_000),
+                    ..ActivityReport::default()
+                },
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let filter = std::env::args().nth(1);
+    let filter = filter.as_deref().filter(|a| !a.starts_with("--"));
+
+    for &n in &[100usize, 600] {
+        let points = population(n);
+        let dynamic_only = ProcessNode::Paper180nm.model();
+        let leaky = ProcessNode::Modern7nm.model();
+
+        time_scenario(&format!("pareto_frontier_{n}"), filter, || {
+            black_box(pareto_frontier(black_box(&points), &dynamic_only));
+        });
+        time_scenario(&format!("pareto_frontier_leaky_{n}"), filter, || {
+            black_box(pareto_frontier(black_box(&points), &leaky));
+        });
+        time_scenario(&format!("frontier_table_{n}"), filter, || {
+            black_box(frontier_table(black_box(&points), &dynamic_only));
+        });
+    }
+}

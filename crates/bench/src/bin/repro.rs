@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! repro [--size tiny|default|large] [table1|table2|table3|table4|table5|table6|
-//!        fig4|fig6|fig8|fig10|bottleneck|sweep|serve|all]
+//!        fig4|fig6|fig8|fig10|bottleneck|sweep|energy|serve|all]
 //! repro trace record|replay|stat|golden …
 //!
 //! sweep options:
@@ -14,10 +14,19 @@
 //!   --mems a,b           memory profiles: paper,small-l1,wide-l2,slow-memory
 //!                        (default: paper)
 //!   --traces a,b         recorded .sctrace files to sweep alongside kernels
+//!   --energy-model a,b   process-node energy models the reports are
+//!                        evaluated under: paper-180nm,generic-45nm,modern-7nm
+//!                        (default: paper-180nm; post-processing only — the
+//!                        exports use the first, the frontier is printed per
+//!                        model)
 //!   --cache DIR          result-cache directory (default: target/sweep-cache)
 //!   --no-cache           disable the result cache
 //!   --csv PATH           write per-job results as CSV
 //!   --json PATH          write per-job results as JSON
+//!
+//! energy (a per-preset comparison of the same sweep; accepts
+//! --schemes/--orgs/--mems and the --workers/--cache options):
+//!   repro [--size S] energy
 //!
 //! serve options (plus --workers/--cache/--no-cache as above):
 //!   --addr HOST:PORT     listen address (default: 127.0.0.1:7878)
@@ -37,7 +46,7 @@
 //! order (`all` does not include `sweep`, `serve` or `trace`).
 
 use sigcomp::analyzer::AnalyzerConfig;
-use sigcomp::{EnergyModel, ExtScheme};
+use sigcomp::{EnergyModel, ExtScheme, ProcessNode};
 use sigcomp_bench::{
     activity_study, activity_table, bottleneck, cpi_study, figure, figure_orgs, golden,
     merged_stats, table1, table2, table3, table4,
@@ -55,14 +64,18 @@ use std::process::ExitCode;
 
 const USAGE: &str = "\
 usage: repro [--size tiny|default|large] \
-[table1|table2|table3|table4|table5|table6|fig4|fig6|fig8|fig10|bottleneck|sweep|serve|all]
+[table1|table2|table3|table4|table5|table6|fig4|fig6|fig8|fig10|bottleneck|sweep|energy|serve|all]
        repro trace record WORKLOAD|--all --out PATH [--size tiny|default|large]
        repro trace replay FILE [--schemes a,b] [--orgs all|a,b] [--mems a,b]
+                   [--energy-model paper-180nm|generic-45nm|modern-7nm]
        repro trace stat FILE
        repro trace golden DIR
 sweep options: [--workers N] [--schemes 2bit,3bit,halfword] [--orgs all|id,id,...]
 [--mems paper,small-l1,wide-l2,slow-memory] [--traces f1.sctrace,f2.sctrace]
+[--energy-model paper-180nm,generic-45nm,modern-7nm]
 [--cache DIR] [--no-cache] [--csv PATH] [--json PATH]
+energy options: [--workers N] [--schemes a,b] [--orgs all|a,b] [--mems a,b]
+[--cache DIR] [--no-cache]
 serve options: [--addr HOST:PORT] [--max-batch N] [--workers N] [--cache DIR] [--no-cache]";
 
 fn usage() -> ExitCode {
@@ -85,6 +98,7 @@ struct SweepArgs {
     orgs: Option<Vec<OrgKind>>,
     mems: Option<Vec<MemProfile>>,
     traces: Option<Vec<String>>,
+    energy_models: Option<Vec<ProcessNode>>,
     cache_dir: Option<String>,
     no_cache: bool,
     csv: Option<String>,
@@ -123,6 +137,9 @@ fn run_sweep_command(size: WorkloadSize, args: &SweepArgs) -> ExitCode {
     }
     if let Some(mems) = &args.mems {
         spec = spec.mems(mems);
+    }
+    if let Some(models) = &args.energy_models {
+        spec = spec.energy_models(models);
     }
     if let Some(paths) = &args.traces {
         let mut inputs = Vec::with_capacity(paths.len());
@@ -168,10 +185,23 @@ fn run_sweep_command(size: WorkloadSize, args: &SweepArgs) -> ExitCode {
     println!("worker loads (jobs/steals): {}", loads.join(" "));
     println!();
 
-    let model = EnergyModel::default();
+    // One frontier per requested energy model; the axis is post-processing,
+    // so every model reads the same simulated counters.
+    let nodes = spec.energy_model_axis();
     let points = config_points(&summary.outcomes);
-    print!("{}", frontier_table(&points, &model));
+    for (i, &node) in nodes.iter().enumerate() {
+        if nodes.len() > 1 {
+            if i > 0 {
+                println!();
+            }
+            println!("energy model: {node}");
+        }
+        print!("{}", frontier_table(&points, &node.model()));
+    }
 
+    // Exports are evaluated under the first requested model (the only one,
+    // unless --energy-model named several).
+    let model = nodes[0].model();
     type Serializer = fn(&[sigcomp_explore::JobOutcome], &EnergyModel) -> String;
     for (path, serialize, what) in [
         (args.csv.as_deref(), to_csv as Serializer, "CSV"),
@@ -184,6 +214,110 @@ fn run_sweep_command(size: WorkloadSize, args: &SweepArgs) -> ExitCode {
             }
             println!("wrote {what} to {path}");
         }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Runs one sweep and compares its energy/performance picture across every
+/// process-node preset: the dynamic term is preset-independent (the paper's
+/// number), while the leakage term rewards gated-off byte lanes more the
+/// leakier the node — shifting which configurations are Pareto-optimal.
+fn run_energy_command(size: WorkloadSize, args: &SweepArgs) -> ExitCode {
+    let mut spec = SweepSpec::paper(size);
+    if let Some(schemes) = &args.schemes {
+        spec = spec.schemes(schemes);
+    }
+    if let Some(orgs) = &args.orgs {
+        spec = spec.orgs(orgs);
+    }
+    if let Some(mems) = &args.mems {
+        spec = spec.mems(mems);
+    }
+    if spec.is_empty() {
+        eprintln!("energy: the requested design space is empty");
+        return ExitCode::FAILURE;
+    }
+    let options = SweepOptions {
+        workers: args.workers,
+        cache: open_cache(args, "energy"),
+    };
+    println!(
+        "energy: {} configurations at size {}, compared across {} process-node presets",
+        spec.len(),
+        size.name(),
+        ProcessNode::ALL.len()
+    );
+    let summary = run_sweep(&spec, &options);
+    let points = config_points(&summary.outcomes);
+    let models: Vec<EnergyModel> = ProcessNode::ALL.iter().map(|n| n.model()).collect();
+
+    // Per-preset frontier membership, computed on the shared points.
+    let frontiers: Vec<Vec<String>> = models
+        .iter()
+        .map(|model| {
+            sigcomp_explore::pareto_frontier(&points, model)
+                .iter()
+                .map(sigcomp_explore::ConfigPoint::label)
+                .collect()
+        })
+        .collect();
+
+    // Per-point figures computed once, before sorting and printing — the
+    // comparators and row loop must not re-derive CPI, savings or labels.
+    struct Row {
+        label: String,
+        cpi: f64,
+        dynamic: f64,
+        totals: Vec<f64>,
+    }
+    let mut rows: Vec<Row> = points
+        .iter()
+        .map(|p| Row {
+            label: p.label(),
+            cpi: p.cpi(),
+            dynamic: p.dynamic_energy_saving(&EnergyModel::default()),
+            totals: models.iter().map(|m| p.energy_saving(m)).collect(),
+        })
+        .collect();
+    rows.sort_by(|a, b| {
+        a.cpi
+            .partial_cmp(&b.cpi)
+            .expect("CPI is never NaN")
+            .then_with(|| a.label.cmp(&b.label))
+    });
+
+    println!();
+    println!("Total-energy saving by process node (* = Pareto-optimal under that node)");
+    print!("{:<44} {:>8} {:>9}", "configuration", "CPI", "dynamic");
+    for node in ProcessNode::ALL {
+        print!(" {:>13}", node.id());
+    }
+    println!();
+    for row in &rows {
+        print!(
+            "{:<44} {:>8.3} {:>8.1}%",
+            row.label,
+            row.cpi,
+            row.dynamic * 100.0
+        );
+        for (ni, total) in row.totals.iter().enumerate() {
+            let star = if frontiers[ni].contains(&row.label) {
+                "*"
+            } else {
+                " "
+            };
+            print!(" {:>11.1}%{star}", total * 100.0);
+        }
+        println!();
+    }
+    println!();
+    for (ni, node) in ProcessNode::ALL.iter().enumerate() {
+        println!(
+            "frontier under {:<13} ({} configurations): {}",
+            node.id(),
+            frontiers[ni].len(),
+            frontiers[ni].join(", ")
+        );
     }
     ExitCode::SUCCESS
 }
@@ -328,9 +462,23 @@ fn trace_replay(args: &[String]) -> ExitCode {
     let mut schemes: Option<Vec<ExtScheme>> = None;
     let mut orgs: Option<Vec<OrgKind>> = None;
     let mut mems: Option<Vec<MemProfile>> = None;
+    let mut node = ProcessNode::Paper180nm;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--energy-model" => {
+                let Some(raw) = it.next() else {
+                    return fail("--energy-model expects a value");
+                };
+                let Some(value) = ProcessNode::parse(raw) else {
+                    let known: Vec<&str> = ProcessNode::ALL.iter().map(|n| n.id()).collect();
+                    return fail(&format!(
+                        "invalid value '{raw}' for --energy-model (expected one of {})",
+                        known.join(", ")
+                    ));
+                };
+                node = value;
+            }
             "--schemes" => {
                 let Some(raw) = it.next() else {
                     return fail("--schemes expects a value");
@@ -406,21 +554,37 @@ fn trace_replay(args: &[String]) -> ExitCode {
         return ExitCode::FAILURE;
     }
     let summary = run_sweep(&spec, &SweepOptions::default());
-    let model = EnergyModel::default();
-    println!(
+    let model = node.model();
+    let leaky = model.has_leakage();
+    if leaky {
+        println!("energy model: {node}");
+    }
+    print!(
         "{:<44} {:>16} {:>12} {:>12} {:>7} {:>8}",
         "configuration", "job id", "instructions", "cycles", "CPI", "saving"
     );
+    if leaky {
+        print!(" {:>8} {:>8}", "leakage", "total");
+    }
+    println!();
     for outcome in &summary.outcomes {
-        println!(
+        print!(
             "{:<44} {:016x} {:>12} {:>12} {:>7.3} {:>7.1}%",
             outcome.spec.label(),
             outcome.spec.job_id(),
             outcome.metrics.instructions,
             outcome.metrics.cycles,
             outcome.cpi(),
-            outcome.energy_saving(&model) * 100.0
+            outcome.dynamic_energy_saving(&model) * 100.0
         );
+        if leaky {
+            print!(
+                " {:>7.1}% {:>7.1}%",
+                outcome.leakage_saving(&model) * 100.0,
+                outcome.energy_saving(&model) * 100.0
+            );
+        }
+        println!();
     }
     ExitCode::SUCCESS
 }
@@ -610,6 +774,18 @@ fn main() -> ExitCode {
                 }
                 sweep_args.traces = Some(paths);
             }
+            "--energy-model" => {
+                let raw = value_of!("--energy-model");
+                let Some(value) = parse_list(&raw, ProcessNode::parse) else {
+                    let known: Vec<&str> = ProcessNode::ALL.iter().map(|n| n.id()).collect();
+                    return fail(&format!(
+                        "invalid value '{raw}' for --energy-model (expected a comma-separated \
+                         subset of {})",
+                        known.join(", ")
+                    ));
+                };
+                sweep_args.energy_models = Some(value);
+            }
             "--cache" => sweep_args.cache_dir = Some(value_of!("--cache")),
             "--no-cache" => sweep_args.no_cache = true,
             "--csv" => sweep_args.csv = Some(value_of!("--csv")),
@@ -644,15 +820,26 @@ fn main() -> ExitCode {
     let runs = |command: &str| commands.iter().any(|c| c == command);
     if !runs("sweep") {
         for (set, flag) in [
-            (sweep_args.schemes.is_some(), "--schemes"),
-            (sweep_args.orgs.is_some(), "--orgs"),
-            (sweep_args.mems.is_some(), "--mems"),
             (sweep_args.traces.is_some(), "--traces"),
+            (sweep_args.energy_models.is_some(), "--energy-model"),
             (sweep_args.csv.is_some(), "--csv"),
             (sweep_args.json.is_some(), "--json"),
         ] {
             if set {
                 return fail(&format!("{flag} only applies to the sweep subcommand"));
+            }
+        }
+    }
+    if !runs("sweep") && !runs("energy") {
+        for (set, flag) in [
+            (sweep_args.schemes.is_some(), "--schemes"),
+            (sweep_args.orgs.is_some(), "--orgs"),
+            (sweep_args.mems.is_some(), "--mems"),
+        ] {
+            if set {
+                return fail(&format!(
+                    "{flag} only applies to the sweep and energy subcommands"
+                ));
             }
         }
     }
@@ -667,10 +854,13 @@ fn main() -> ExitCode {
         }
     }
     if !runs("sweep")
+        && !runs("energy")
         && !runs("serve")
         && (sweep_args.workers.is_some() || sweep_args.no_cache || sweep_args.cache_dir.is_some())
     {
-        return fail("--workers/--cache/--no-cache only apply to the sweep and serve subcommands");
+        return fail(
+            "--workers/--cache/--no-cache only apply to the sweep, energy and serve subcommands",
+        );
     }
 
     // The activity studies feed several tables; run them lazily and only once.
@@ -766,6 +956,12 @@ fn main() -> ExitCode {
                 "bottleneck" => print!("{}", bottleneck(size)),
                 "sweep" => {
                     let code = run_sweep_command(size, &sweep_args);
+                    if code != ExitCode::SUCCESS {
+                        return code;
+                    }
+                }
+                "energy" => {
+                    let code = run_energy_command(size, &sweep_args);
                     if code != ExitCode::SUCCESS {
                         return code;
                     }

@@ -61,6 +61,10 @@ fn malformed_values_name_the_flag_and_the_value() {
             "invalid value 'warp-drive' for --orgs",
         ),
         (&["--mems", "ram"], "invalid value 'ram' for --mems"),
+        (
+            &["--energy-model", "paper-180nm,3nm"],
+            "invalid value 'paper-180nm,3nm' for --energy-model",
+        ),
     ] {
         let out = repro(args);
         assert!(!out.status.success(), "{args:?} must fail");
@@ -99,15 +103,19 @@ fn subcommand_flags_without_their_subcommand_are_rejected() {
         ),
         (
             &["serve", "--schemes", "3bit"],
-            "--schemes only applies to the sweep subcommand",
+            "--schemes only applies to the sweep and energy subcommands",
         ),
         (
             &["sweep", "--addr", "127.0.0.1:1"],
             "--addr only applies to the serve subcommand",
         ),
         (
+            &["energy", "--energy-model", "modern-7nm"],
+            "--energy-model only applies to the sweep subcommand",
+        ),
+        (
             &["--size", "tiny", "table1", "--workers", "2"],
-            "--workers/--cache/--no-cache only apply to the sweep and serve subcommands",
+            "--workers/--cache/--no-cache only apply to the sweep, energy and serve subcommands",
         ),
     ] {
         let out = repro(args);
@@ -319,6 +327,59 @@ fn sweep_traces_flag_is_sweep_only_and_fails_cleanly_on_missing_files() {
         err.contains("cannot read trace definitely-missing.sctrace"),
         "{err}"
     );
+}
+
+#[test]
+fn energy_compares_every_process_node_preset() {
+    let out = repro(&[
+        "--size",
+        "tiny",
+        "energy",
+        "--no-cache",
+        "--workers",
+        "2",
+        "--schemes",
+        "3bit",
+        "--orgs",
+        "baseline32,byte-serial,compressed",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(
+        text.contains("Total-energy saving by process node"),
+        "{text}"
+    );
+    for preset in ["paper-180nm", "generic-45nm", "modern-7nm"] {
+        assert!(text.contains(&format!("frontier under {preset}")), "{text}");
+    }
+    assert!(text.contains("3bit/compressed/paper/tiny"), "{text}");
+}
+
+#[test]
+fn sweep_energy_model_flag_prints_one_frontier_per_preset() {
+    let out = repro(&[
+        "--size",
+        "tiny",
+        "sweep",
+        "--no-cache",
+        "--workers",
+        "2",
+        "--schemes",
+        "3bit",
+        "--orgs",
+        "baseline32,byte-serial",
+        "--energy-model",
+        "paper-180nm,modern-7nm",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(text.contains("energy model: paper-180nm"), "{text}");
+    assert!(text.contains("energy model: modern-7nm"), "{text}");
+    // The dynamic-only preset prints the paper-era columns, the leaky one
+    // the extended set.
+    assert!(text.contains("energy saving"), "{text}");
+    assert!(text.contains("total saving"), "{text}");
+    assert!(text.contains("leakage saving"), "{text}");
 }
 
 #[test]

@@ -5,33 +5,94 @@
 //! (with significance compression and operand gating) and a *baseline* count
 //! (the conventional 32-bit pipeline); the ratio gives the per-stage savings
 //! of Tables 5 and 6.
+//!
+//! Alongside the switching counters, every stage tracks *gated-byte-cycles*:
+//! how many byte lanes were powered off for how many cycles because the
+//! extension bits marked their contents as mere sign extensions. Switching
+//! bits drive the dynamic-energy term of [`EnergyModel`]; gated-byte-cycles
+//! drive its static (leakage) term — a lane whose value is reconstructible
+//! from the extension bits can be gated off entirely (gated-Vdd style), so
+//! it leaks nothing, while the conventional pipeline keeps every lane
+//! powered every cycle.
 
 use std::fmt;
 use std::ops::AddAssign;
 
-/// A pair of activity counters: with compression and for the 32-bit baseline.
+/// A pair of activity counters (with compression and for the 32-bit
+/// baseline) plus the gated-lane occupancy the compressed design achieves.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StageActivity {
     /// Bits of activity with significance compression.
     pub compressed_bits: u64,
     /// Bits of activity of the conventional 32-bit design.
     pub baseline_bits: u64,
+    /// Byte-lane-cycles the compressed design powered off (insignificant
+    /// lanes behind the extension bits).
+    pub gated_byte_cycles: u64,
+    /// Byte-lane-cycles the conventional design keeps powered (every lane,
+    /// every occupied cycle). Always ≥ `gated_byte_cycles`.
+    pub total_byte_cycles: u64,
 }
 
 impl StageActivity {
-    /// Creates a counter pair.
+    /// Creates a counter pair with no gated-lane occupancy recorded.
     #[must_use]
     pub fn new(compressed_bits: u64, baseline_bits: u64) -> Self {
         StageActivity {
             compressed_bits,
             baseline_bits,
+            gated_byte_cycles: 0,
+            total_byte_cycles: 0,
         }
     }
 
-    /// Adds activity to both counters.
+    /// Creates a counter pair with gated-lane occupancy.
+    #[must_use]
+    pub fn with_gating(
+        compressed_bits: u64,
+        baseline_bits: u64,
+        gated_byte_cycles: u64,
+        total_byte_cycles: u64,
+    ) -> Self {
+        debug_assert!(gated_byte_cycles <= total_byte_cycles);
+        StageActivity {
+            compressed_bits,
+            baseline_bits,
+            gated_byte_cycles,
+            total_byte_cycles,
+        }
+    }
+
+    /// Adds activity to both switching counters.
     pub fn add(&mut self, compressed_bits: u64, baseline_bits: u64) {
         self.compressed_bits += compressed_bits;
         self.baseline_bits += baseline_bits;
+    }
+
+    /// Adds gated-lane occupancy: `gated` byte-lane-cycles powered off out
+    /// of `total` the baseline keeps powered.
+    pub fn add_gating(&mut self, gated: u64, total: u64) {
+        debug_assert!(gated <= total);
+        self.gated_byte_cycles += gated;
+        self.total_byte_cycles += total;
+    }
+
+    /// Byte-lane-cycles the compressed design still powers.
+    #[must_use]
+    pub fn powered_byte_cycles(&self) -> u64 {
+        self.total_byte_cycles
+            .saturating_sub(self.gated_byte_cycles)
+    }
+
+    /// Fraction of the baseline lane occupancy that was gated off; zero if
+    /// nothing was recorded.
+    #[must_use]
+    pub fn gated_fraction(&self) -> f64 {
+        if self.total_byte_cycles == 0 {
+            0.0
+        } else {
+            self.gated_byte_cycles as f64 / self.total_byte_cycles as f64
+        }
     }
 
     /// Fractional activity saving (1 − compressed/baseline); zero if nothing
@@ -57,6 +118,8 @@ impl AddAssign for StageActivity {
     fn add_assign(&mut self, rhs: Self) {
         self.compressed_bits += rhs.compressed_bits;
         self.baseline_bits += rhs.baseline_bits;
+        self.gated_byte_cycles += rhs.gated_byte_cycles;
+        self.total_byte_cycles += rhs.total_byte_cycles;
     }
 }
 
@@ -129,26 +192,127 @@ impl fmt::Display for ActivityReport {
     }
 }
 
-/// A relative dynamic-energy model: energy is proportional to switched
-/// capacitance, which we approximate as activity bits weighted per structure.
+/// A named process-node preset for [`EnergyModel`]: how much static
+/// (leakage) power weighs against dynamic switching power.
 ///
-/// The weights default to 1.0 (pure activity, as reported in the paper);
-/// they can be adjusted to explore how much a costlier structure (e.g. cache
-/// arrays with long bit lines) shifts the overall savings.
+/// The paper's 180 nm-era tables count switching activity only; at modern
+/// nodes leakage rivals dynamic power (Butts & Sohi), which is exactly what
+/// makes power-gating the insignificant byte lanes (Powell et al.'s
+/// gated-Vdd) attractive. The presets are *relative* weightings — one
+/// switched bit costs one unit — chosen so the qualitative balance matches
+/// those studies, not calibrated to a specific foundry process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProcessNode {
+    /// The paper's era: leakage negligible, dynamic switching only. With
+    /// this preset every figure is bit-identical to the activity tables.
+    Paper180nm,
+    /// A mid-2000s bulk node: leakage is a visible minority share.
+    Generic45nm,
+    /// A modern node: leakage rivals dynamic power, with the SRAM arrays
+    /// (caches) leaking hardest.
+    Modern7nm,
+}
+
+impl ProcessNode {
+    /// Every preset, paper configuration first.
+    pub const ALL: &'static [ProcessNode] = &[
+        ProcessNode::Paper180nm,
+        ProcessNode::Generic45nm,
+        ProcessNode::Modern7nm,
+    ];
+
+    /// Stable machine-readable identifier, used by CLI flags, HTTP request
+    /// fields and sweep reports.
+    #[must_use]
+    pub fn id(self) -> &'static str {
+        match self {
+            ProcessNode::Paper180nm => "paper-180nm",
+            ProcessNode::Generic45nm => "generic-45nm",
+            ProcessNode::Modern7nm => "modern-7nm",
+        }
+    }
+
+    /// Parses an identifier as produced by [`ProcessNode::id`].
+    #[must_use]
+    pub fn parse(id: &str) -> Option<Self> {
+        ProcessNode::ALL.iter().copied().find(|n| n.id() == id)
+    }
+
+    /// The energy model this preset stands for.
+    #[must_use]
+    pub fn model(self) -> EnergyModel {
+        match self {
+            ProcessNode::Paper180nm => EnergyModel::default(),
+            // Leakage weights are relative energy per powered byte-lane-cycle
+            // (a switched bit costs 1.0). Arrays leak hardest, datapath
+            // logic least; 7 nm is roughly 4× the 45 nm share.
+            ProcessNode::Generic45nm => EnergyModel {
+                fetch_leakage: 0.15,
+                regfile_leakage: 0.10,
+                alu_leakage: 0.08,
+                dcache_leakage: 0.25,
+                pc_leakage: 0.05,
+                latch_leakage: 0.06,
+                ..EnergyModel::default()
+            },
+            ProcessNode::Modern7nm => EnergyModel {
+                fetch_leakage: 0.6,
+                regfile_leakage: 0.4,
+                alu_leakage: 0.3,
+                dcache_leakage: 1.0,
+                pc_leakage: 0.2,
+                latch_leakage: 0.25,
+                ..EnergyModel::default()
+            },
+        }
+    }
+}
+
+impl fmt::Display for ProcessNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// A relative energy model with a dynamic and a static term.
+///
+/// Dynamic energy is proportional to switched capacitance, approximated as
+/// activity bits weighted per structure. Static (leakage) energy is
+/// proportional to how many byte lanes stay powered for how long: the
+/// conventional pipeline keeps every lane powered every occupied cycle,
+/// while the compressed pipeline power-gates the lanes its extension bits
+/// mark insignificant ([`StageActivity::gated_byte_cycles`]).
+///
+/// The dynamic weights default to 1.0 (pure activity, as reported in the
+/// paper) and every leakage weight defaults to 0.0, so the default model is
+/// exactly the paper's dynamic-only accounting — bit for bit. Use a
+/// [`ProcessNode`] preset (or set the weights directly) to weigh leakage in.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergyModel {
-    /// Relative energy per fetched bit.
+    /// Relative dynamic energy per fetched bit.
     pub fetch_weight: f64,
-    /// Relative energy per register-file bit.
+    /// Relative dynamic energy per register-file bit.
     pub regfile_weight: f64,
-    /// Relative energy per ALU bit.
+    /// Relative dynamic energy per ALU bit.
     pub alu_weight: f64,
-    /// Relative energy per data-cache bit.
+    /// Relative dynamic energy per data-cache bit.
     pub dcache_weight: f64,
-    /// Relative energy per PC-increment bit.
+    /// Relative dynamic energy per PC-increment bit.
     pub pc_weight: f64,
-    /// Relative energy per latched bit.
+    /// Relative dynamic energy per latched bit.
     pub latch_weight: f64,
+    /// Relative static energy per powered fetch-path byte-lane-cycle.
+    pub fetch_leakage: f64,
+    /// Relative static energy per powered register-file byte-lane-cycle.
+    pub regfile_leakage: f64,
+    /// Relative static energy per powered ALU byte-lane-cycle.
+    pub alu_leakage: f64,
+    /// Relative static energy per powered data-cache byte-lane-cycle.
+    pub dcache_leakage: f64,
+    /// Relative static energy per powered PC-incrementer byte-lane-cycle.
+    pub pc_leakage: f64,
+    /// Relative static energy per powered pipeline-latch byte-lane-cycle.
+    pub latch_leakage: f64,
 }
 
 impl Default for EnergyModel {
@@ -160,45 +324,118 @@ impl Default for EnergyModel {
             dcache_weight: 1.0,
             pc_weight: 1.0,
             latch_weight: 1.0,
+            fetch_leakage: 0.0,
+            regfile_leakage: 0.0,
+            alu_leakage: 0.0,
+            dcache_leakage: 0.0,
+            pc_leakage: 0.0,
+            latch_leakage: 0.0,
         }
     }
 }
 
 impl EnergyModel {
-    /// Relative dynamic energy of the compressed and baseline pipelines for a
-    /// given activity report, in arbitrary units.
-    #[must_use]
-    pub fn relative_energy(&self, report: &ActivityReport) -> (f64, f64) {
-        let weighted = |stage: StageActivity, weight: f64| {
-            (
-                stage.compressed_bits as f64 * weight,
-                stage.baseline_bits as f64 * weight,
-            )
-        };
-        let parts = [
-            weighted(report.fetch, self.fetch_weight),
-            weighted(report.rf_read, self.regfile_weight),
-            weighted(report.rf_write, self.regfile_weight),
-            weighted(report.alu, self.alu_weight),
-            weighted(report.dcache_data, self.dcache_weight),
-            weighted(report.dcache_tag, self.dcache_weight),
-            weighted(report.pc_increment, self.pc_weight),
-            weighted(report.latches, self.latch_weight),
-        ];
-        parts
-            .iter()
-            .fold((0.0, 0.0), |(c, b), (pc, pb)| (c + pc, b + pb))
+    /// The per-structure (stage, dynamic weight, leakage weight) rows of the
+    /// model, in column order. Register file and data cache each cover two
+    /// report columns.
+    fn weighted_stages(&self, report: &ActivityReport) -> [(StageActivity, f64, f64); 8] {
+        [
+            (report.fetch, self.fetch_weight, self.fetch_leakage),
+            (report.rf_read, self.regfile_weight, self.regfile_leakage),
+            (report.rf_write, self.regfile_weight, self.regfile_leakage),
+            (report.alu, self.alu_weight, self.alu_leakage),
+            (report.dcache_data, self.dcache_weight, self.dcache_leakage),
+            (report.dcache_tag, self.dcache_weight, self.dcache_leakage),
+            (report.pc_increment, self.pc_weight, self.pc_leakage),
+            (report.latches, self.latch_weight, self.latch_leakage),
+        ]
     }
 
-    /// Overall fractional energy saving for a report.
+    /// Whether any structure carries a nonzero leakage weight. With all
+    /// leakage weights zero the model is exactly the paper's dynamic-only
+    /// accounting and reports omit the leakage columns.
+    #[must_use]
+    pub fn has_leakage(&self) -> bool {
+        [
+            self.fetch_leakage,
+            self.regfile_leakage,
+            self.alu_leakage,
+            self.dcache_leakage,
+            self.pc_leakage,
+            self.latch_leakage,
+        ]
+        .iter()
+        .any(|&w| w != 0.0)
+    }
+
+    /// Relative dynamic (switching) energy of the compressed and baseline
+    /// pipelines for a given activity report, in arbitrary units.
+    #[must_use]
+    pub fn dynamic_energy(&self, report: &ActivityReport) -> (f64, f64) {
+        self.weighted_stages(report)
+            .iter()
+            .fold((0.0, 0.0), |(c, b), (stage, weight, _)| {
+                (
+                    c + stage.compressed_bits as f64 * weight,
+                    b + stage.baseline_bits as f64 * weight,
+                )
+            })
+    }
+
+    /// Relative static (leakage) energy of the compressed and baseline
+    /// pipelines: lanes the compressed design keeps powered vs every lane
+    /// the baseline powers.
+    #[must_use]
+    pub fn leakage_energy(&self, report: &ActivityReport) -> (f64, f64) {
+        self.weighted_stages(report)
+            .iter()
+            .fold((0.0, 0.0), |(c, b), (stage, _, leak)| {
+                (
+                    c + stage.powered_byte_cycles() as f64 * leak,
+                    b + stage.total_byte_cycles as f64 * leak,
+                )
+            })
+    }
+
+    /// Relative total (dynamic + static) energy of the compressed and
+    /// baseline pipelines. With all leakage weights zero this is exactly
+    /// [`EnergyModel::dynamic_energy`].
+    #[must_use]
+    pub fn relative_energy(&self, report: &ActivityReport) -> (f64, f64) {
+        let (dc, db) = self.dynamic_energy(report);
+        let (lc, lb) = self.leakage_energy(report);
+        (dc + lc, db + lb)
+    }
+
+    /// Overall fractional total-energy saving for a report.
     #[must_use]
     pub fn saving(&self, report: &ActivityReport) -> f64 {
         let (compressed, baseline) = self.relative_energy(report);
-        if baseline == 0.0 {
-            0.0
-        } else {
-            1.0 - compressed / baseline
-        }
+        ratio_saving(compressed, baseline)
+    }
+
+    /// Fractional saving of the dynamic term alone (the paper's number —
+    /// independent of the leakage weights).
+    #[must_use]
+    pub fn dynamic_saving(&self, report: &ActivityReport) -> f64 {
+        let (compressed, baseline) = self.dynamic_energy(report);
+        ratio_saving(compressed, baseline)
+    }
+
+    /// Fractional saving of the static term alone; zero when the model
+    /// carries no leakage (or no lane occupancy was recorded).
+    #[must_use]
+    pub fn leakage_saving(&self, report: &ActivityReport) -> f64 {
+        let (compressed, baseline) = self.leakage_energy(report);
+        ratio_saving(compressed, baseline)
+    }
+}
+
+fn ratio_saving(compressed: f64, baseline: f64) -> f64 {
+    if baseline == 0.0 {
+        0.0
+    } else {
+        1.0 - compressed / baseline
     }
 }
 
@@ -226,6 +463,26 @@ mod tests {
         s.add(10, 20);
         s += StageActivity::new(5, 10);
         assert_eq!(s, StageActivity::new(15, 30));
+    }
+
+    #[test]
+    fn gating_accumulates_and_merges() {
+        let mut s = StageActivity::new(10, 20);
+        s.add_gating(3, 4);
+        s += StageActivity::with_gating(0, 0, 1, 4);
+        assert_eq!(s.gated_byte_cycles, 4);
+        assert_eq!(s.total_byte_cycles, 8);
+        assert_eq!(s.powered_byte_cycles(), 4);
+        assert!((s.gated_fraction() - 0.5).abs() < 1e-12);
+        assert_eq!(StageActivity::default().gated_fraction(), 0.0);
+
+        let mut report = ActivityReport {
+            alu: StageActivity::with_gating(5, 10, 2, 8),
+            ..ActivityReport::default()
+        };
+        report.merge(&report.clone());
+        assert_eq!(report.alu.gated_byte_cycles, 4);
+        assert_eq!(report.total().total_byte_cycles, 16);
     }
 
     #[test]
@@ -271,6 +528,7 @@ mod tests {
         assert!((b - 200.0).abs() < 1e-9);
         assert!((m.saving(&r) - 0.625).abs() < 1e-9);
         assert_eq!(m.saving(&ActivityReport::default()), 0.0);
+        assert!(!m.has_leakage());
     }
 
     #[test]
@@ -285,5 +543,72 @@ mod tests {
             ..EnergyModel::default()
         };
         assert!(favor_alu.saving(&r) < EnergyModel::default().saving(&r));
+    }
+
+    /// A report where compression saves 25 % of the switching bits but gates
+    /// 75 % of the byte-lane occupancy (narrow values on a wide datapath).
+    fn gated_report() -> ActivityReport {
+        ActivityReport {
+            alu: StageActivity::with_gating(75, 100, 75, 100),
+            ..ActivityReport::default()
+        }
+    }
+
+    #[test]
+    fn zero_leakage_presets_are_bit_identical_to_the_dynamic_model() {
+        let r = gated_report();
+        let paper = ProcessNode::Paper180nm.model();
+        let default = EnergyModel::default();
+        assert_eq!(paper, default);
+        // Exact equality on purpose: the zero-leakage preset must reproduce
+        // the dynamic-only numbers bit for bit.
+        assert_eq!(paper.saving(&r), default.dynamic_saving(&r));
+        assert_eq!(paper.relative_energy(&r), default.dynamic_energy(&r));
+        assert_eq!(paper.leakage_energy(&r), (0.0, 0.0));
+        assert_eq!(paper.leakage_saving(&r), 0.0);
+    }
+
+    #[test]
+    fn leakage_term_rewards_gated_lanes() {
+        let r = gated_report();
+        let modern = ProcessNode::Modern7nm.model();
+        assert!(modern.has_leakage());
+        // Dynamic saving is unchanged by the leakage weights …
+        assert_eq!(
+            modern.dynamic_saving(&r),
+            EnergyModel::default().dynamic_saving(&r)
+        );
+        // … but gating 75 % of the lanes saves 75 % of the leakage, so the
+        // total saving exceeds the 25 % dynamic saving.
+        assert!((modern.leakage_saving(&r) - 0.75).abs() < 1e-12);
+        assert!(modern.saving(&r) > modern.dynamic_saving(&r));
+
+        // With no gating recorded the leakage term punishes the compressed
+        // design to exactly the dynamic ratio (powered == total).
+        let ungated = ActivityReport {
+            alu: StageActivity::with_gating(75, 100, 0, 100),
+            ..ActivityReport::default()
+        };
+        assert_eq!(modern.leakage_saving(&ungated), 0.0);
+        assert!(modern.saving(&ungated) < modern.dynamic_saving(&ungated));
+    }
+
+    #[test]
+    fn process_nodes_parse_and_order_by_leakage() {
+        for &node in ProcessNode::ALL {
+            assert_eq!(ProcessNode::parse(node.id()), Some(node));
+            assert_eq!(node.to_string(), node.id());
+        }
+        assert_eq!(
+            ProcessNode::parse("paper-180nm"),
+            Some(ProcessNode::Paper180nm)
+        );
+        assert_eq!(ProcessNode::parse("3nm"), None);
+        let r = gated_report();
+        let paper = ProcessNode::Paper180nm.model().saving(&r);
+        let mid = ProcessNode::Generic45nm.model().saving(&r);
+        let modern = ProcessNode::Modern7nm.model().saving(&r);
+        // The heavier the leakage share, the more the gated lanes pay off.
+        assert!(paper < mid && mid < modern, "{paper} {mid} {modern}");
     }
 }

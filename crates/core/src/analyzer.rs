@@ -5,7 +5,7 @@
 use crate::activity::{ActivityReport, StageActivity};
 use crate::cost::{instr_cost, InstrCost};
 use crate::dcache::DCacheActivity;
-use crate::ext::ExtScheme;
+use crate::ext::{significant_bytes, ExtScheme};
 use crate::ifetch::{FetchActivity, FunctRecoder};
 use crate::pc::{PcActivity, PC_BITS};
 use crate::regfile::RegFileActivity;
@@ -74,6 +74,31 @@ impl Default for AnalyzerConfig {
 /// (64) + EX/MEM result (32) + MEM/WB data (32).
 const BASELINE_LATCH_BITS: u64 = PC_BITS as u64 + 32 + 64 + 32 + 32;
 
+/// Byte lanes of pipeline latch the conventional design clocks (and powers)
+/// per instruction: [`BASELINE_LATCH_BITS`] rounded up to whole lanes.
+const BASELINE_LATCH_LANES: u64 = BASELINE_LATCH_BITS.div_ceil(8);
+
+/// Byte lanes of a full machine word.
+const WORD_LANES: u64 = 4;
+
+/// Gated-lane accounting for the structures whose sub-models track bits
+/// only: per instruction, `total` byte lanes the baseline keeps powered and
+/// `gated` lanes the extension bits let the compressed design power off.
+#[derive(Debug, Clone, Copy, Default)]
+struct GateCounter {
+    gated: u64,
+    total: u64,
+}
+
+impl GateCounter {
+    /// Records one structure occupation: `powered` significant lanes out of
+    /// `total` (powered is clamped, so approximate callers cannot underflow).
+    fn occupy(&mut self, powered: u64, total: u64) {
+        self.gated += total.saturating_sub(powered);
+        self.total += total;
+    }
+}
+
 /// Trace-driven activity analyzer (reproduces Tables 5 and 6).
 ///
 /// ```
@@ -110,6 +135,11 @@ pub struct TraceAnalyzer {
     pc: PcActivity,
     latches: StageActivity,
     stats: SigStats,
+    fetch_gate: GateCounter,
+    rf_read_gate: GateCounter,
+    rf_write_gate: GateCounter,
+    dcache_gate: GateCounter,
+    pc_gate: GateCounter,
 }
 
 impl TraceAnalyzer {
@@ -126,6 +156,11 @@ impl TraceAnalyzer {
             pc: PcActivity::new(config.pc_block_bits),
             latches: StageActivity::default(),
             stats: SigStats::new(),
+            fetch_gate: GateCounter::default(),
+            rf_read_gate: GateCounter::default(),
+            rf_write_gate: GateCounter::default(),
+            dcache_gate: GateCounter::default(),
+            pc_gate: GateCounter::default(),
             hierarchy,
             config,
         }
@@ -145,19 +180,40 @@ impl TraceAnalyzer {
         // ---- instruction fetch (I-cache data array + I-TLB) ----------------
         self.hierarchy.fetch_instruction(rec.pc);
         self.fetch.observe(&cost.fetch);
+        self.fetch_gate
+            .occupy(u64::from(cost.fetch.fetch_bytes), WORD_LANES);
 
         // ---- PC update ------------------------------------------------------
-        self.pc.observe(rec.pc);
+        let updates_before = self.pc.updates();
+        let changed_blocks = self.pc.observe(rec.pc);
+        if self.pc.updates() > updates_before {
+            // Block-serial incrementer: only the blocks the carry (or a
+            // redirect) reaches power up; the rest stay gated behind it.
+            // Rounded up to whole lanes, so sub-byte blocks (pc_block_bits
+            // < 8 is a legal configuration) still record occupancy instead
+            // of silently vanishing from the leakage term.
+            let block_lanes = u64::from(self.config.pc_block_bits.div_ceil(8));
+            let blocks = u64::from(self.pc.num_blocks());
+            self.pc_gate.occupy(
+                u64::from(changed_blocks.max(1)) * block_lanes,
+                blocks * block_lanes,
+            );
+        }
 
         // ---- register-file reads -------------------------------------------
         for value in rec.source_values() {
-            self.regfile.read(value);
+            let stored = self.regfile.read(value);
+            self.rf_read_gate.occupy(u64::from(stored), WORD_LANES);
         }
 
         // ---- ALU -------------------------------------------------------------
         if let Some(alu) = cost.alu {
             self.alu
                 .add(alu.compressed_bits(self.config.scheme), alu.baseline_bits());
+            self.alu.add_gating(
+                u64::from(alu.baseline_bytes.saturating_sub(alu.bytes_operated)),
+                u64::from(alu.baseline_bytes),
+            );
         }
 
         // ---- data cache ------------------------------------------------------
@@ -169,6 +225,10 @@ impl TraceAnalyzer {
             };
             let result = self.hierarchy.data_access(mem.addr, kind);
             self.dcache.access(mem.value, mem.width);
+            if let Some(m) = cost.mem {
+                self.dcache_gate
+                    .occupy(u64::from(m.sig_bytes), u64::from(m.width_bytes));
+            }
             if result.l1_fill.is_some() {
                 // A line fill regenerates extension bits for every word of
                 // the 32-byte line. The analyzer does not track line
@@ -176,20 +236,27 @@ impl TraceAnalyzer {
                 // neighbours (documented approximation; fills are a small
                 // fraction of accesses at the paper's miss rates).
                 let words = self.hierarchy.l1_line_bytes() / 4;
+                let fill_sig = u64::from(significant_bytes(mem.value, self.config.scheme));
                 for _ in 0..words {
                     self.dcache.fill_word(mem.value);
+                    self.dcache_gate.occupy(fill_sig, WORD_LANES);
                 }
             }
         }
 
         // ---- register write-back --------------------------------------------
         if let Some(value) = rec.result_value() {
-            self.regfile.write(value);
+            let stored = self.regfile.write(value);
+            self.rf_write_gate.occupy(u64::from(stored), WORD_LANES);
         }
 
         // ---- pipeline latches ------------------------------------------------
-        self.latches
-            .add(self.latched_bits(&cost), BASELINE_LATCH_BITS);
+        let latched = self.latched_bits(&cost);
+        self.latches.add(latched, BASELINE_LATCH_BITS);
+        self.latches.add_gating(
+            BASELINE_LATCH_LANES.saturating_sub(latched.div_ceil(8)),
+            BASELINE_LATCH_LANES,
+        );
     }
 
     /// Bits latched for one instruction under operand gating: only the
@@ -210,22 +277,45 @@ impl TraceAnalyzer {
     #[must_use]
     pub fn report(&self) -> ActivityReport {
         ActivityReport {
-            fetch: StageActivity::new(self.fetch.compressed_bits(), self.fetch.baseline_bits()),
-            rf_read: StageActivity::new(
+            fetch: StageActivity::with_gating(
+                self.fetch.compressed_bits(),
+                self.fetch.baseline_bits(),
+                self.fetch_gate.gated,
+                self.fetch_gate.total,
+            ),
+            rf_read: StageActivity::with_gating(
                 self.regfile.read_compressed_bits(),
                 self.regfile.read_baseline_bits(),
+                self.rf_read_gate.gated,
+                self.rf_read_gate.total,
             ),
-            rf_write: StageActivity::new(
+            rf_write: StageActivity::with_gating(
                 self.regfile.write_compressed_bits(),
                 self.regfile.write_baseline_bits(),
+                self.rf_write_gate.gated,
+                self.rf_write_gate.total,
             ),
             alu: self.alu,
-            dcache_data: StageActivity::new(
+            dcache_data: StageActivity::with_gating(
                 self.dcache.data_compressed_bits(),
                 self.dcache.data_baseline_bits(),
+                self.dcache_gate.gated,
+                self.dcache_gate.total,
             ),
-            dcache_tag: StageActivity::new(self.dcache.tag_bits(), self.dcache.tag_bits()),
-            pc_increment: StageActivity::new(self.pc.compressed_bits(), self.pc.baseline_bits()),
+            // The tag array carries no extension bits, so none of its lanes
+            // can be gated: it leaks the same on both sides.
+            dcache_tag: StageActivity::with_gating(
+                self.dcache.tag_bits(),
+                self.dcache.tag_bits(),
+                0,
+                self.dcache.tag_bits().div_ceil(8),
+            ),
+            pc_increment: StageActivity::with_gating(
+                self.pc.compressed_bits(),
+                self.pc.baseline_bits(),
+                self.pc_gate.gated,
+                self.pc_gate.total,
+            ),
             latches: self.latches,
         }
     }
@@ -252,6 +342,7 @@ impl TraceAnalyzer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::activity::ProcessNode;
     use sigcomp_isa::{reg, Interpreter, ProgramBuilder};
 
     fn analyze(build: impl Fn(&mut ProgramBuilder), config: AnalyzerConfig) -> TraceAnalyzer {
@@ -333,6 +424,66 @@ mod tests {
             8
         );
         assert_eq!(AnalyzerConfig::default().pc_block_bits, 8);
+    }
+
+    #[test]
+    fn gated_byte_cycles_track_insignificant_lanes() {
+        let a = analyze(counter_loop, AnalyzerConfig::paper_byte());
+        let report = a.report();
+        // Narrow counter values leave most upper lanes gated in the value
+        // datapaths, and the block-serial PC rarely ripples past block 0.
+        for (name, stage) in report.columns() {
+            assert!(
+                stage.gated_byte_cycles <= stage.total_byte_cycles,
+                "{name}: gated {} > total {}",
+                stage.gated_byte_cycles,
+                stage.total_byte_cycles
+            );
+            assert!(stage.total_byte_cycles > 0, "{name}: no occupancy recorded");
+        }
+        assert!(report.rf_read.gated_fraction() > 0.25);
+        assert!(report.rf_write.gated_fraction() > 0.25);
+        assert!(report.alu.gated_fraction() > 0.15);
+        assert!(report.pc_increment.gated_fraction() > 0.5);
+        assert!(report.latches.gated_fraction() > 0.2);
+        // The tag array can never gate a lane.
+        assert_eq!(report.dcache_tag.gated_byte_cycles, 0);
+    }
+
+    #[test]
+    fn sub_byte_pc_blocks_still_record_lane_occupancy() {
+        // Regression: flooring pc_block_bits/8 made 4-bit blocks count zero
+        // lanes, erasing the PC incrementer from the leakage term.
+        let config = AnalyzerConfig {
+            pc_block_bits: 4,
+            ..AnalyzerConfig::paper_byte()
+        };
+        let report = analyze(counter_loop, config).report();
+        assert!(report.pc_increment.total_byte_cycles > 0);
+        assert!(report.pc_increment.gated_byte_cycles <= report.pc_increment.total_byte_cycles);
+        assert!(report.pc_increment.gated_fraction() > 0.5);
+    }
+
+    #[test]
+    fn halfword_granularity_gates_fewer_lanes_than_byte() {
+        let byte = analyze(counter_loop, AnalyzerConfig::paper_byte()).report();
+        let half = analyze(counter_loop, AnalyzerConfig::paper_halfword()).report();
+        assert!(byte.rf_read.gated_fraction() > half.rf_read.gated_fraction());
+        assert!(byte.pc_increment.gated_fraction() > half.pc_increment.gated_fraction());
+        assert!(half.rf_read.gated_fraction() > 0.0);
+    }
+
+    #[test]
+    fn leaky_nodes_reward_the_narrow_workload() {
+        let report = analyze(counter_loop, AnalyzerConfig::paper_byte()).report();
+        let dynamic_only = ProcessNode::Paper180nm.model();
+        let modern = ProcessNode::Modern7nm.model();
+        assert_eq!(
+            dynamic_only.saving(&report),
+            modern.dynamic_saving(&report),
+            "leakage weights must not disturb the dynamic term"
+        );
+        assert!(modern.leakage_saving(&report) > 0.2);
     }
 
     #[test]

@@ -73,7 +73,7 @@ pub mod pc;
 pub mod regfile;
 pub mod stats;
 
-pub use activity::{ActivityReport, EnergyModel, StageActivity};
+pub use activity::{ActivityReport, EnergyModel, ProcessNode, StageActivity};
 pub use analyzer::{AnalyzerConfig, TraceAnalyzer};
 pub use cost::{instr_cost, InstrCost, MemCost};
 pub use ext::{CompressedWord, ExtScheme, SigPattern};

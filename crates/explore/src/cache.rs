@@ -14,7 +14,11 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-const HEADER: &str = "sigcomp-explore v1";
+// v2: entries carry the gated-byte-cycle counters the leakage-aware energy
+// model reads. Bumping the header (not the job hash) retires v1 entries as
+// clean misses while keeping every cache *key* stable — the simulation
+// semantics, and hence the job identities, did not change.
+const HEADER: &str = "sigcomp-explore v2";
 
 /// A directory of cached job results, keyed by content hash.
 ///
@@ -128,6 +132,8 @@ fn format_metrics(m: &JobMetrics) -> String {
         for (suffix, bits) in [
             ("compressed", stage.compressed_bits),
             ("baseline", stage.baseline_bits),
+            ("gated", stage.gated_byte_cycles),
+            ("total_lanes", stage.total_byte_cycles),
         ] {
             kv(&format!("{}.{suffix}", slug(name)), bits);
         }
@@ -167,7 +173,14 @@ fn parse_metrics(text: &str) -> Option<JobMetrics> {
     for name in &names {
         let compressed = get(&format!("{name}.compressed"))?;
         let baseline = get(&format!("{name}.baseline"))?;
-        stages.push(StageActivity::new(compressed, baseline));
+        let gated = get(&format!("{name}.gated"))?;
+        let total = get(&format!("{name}.total_lanes"))?;
+        if gated > total {
+            return None;
+        }
+        stages.push(StageActivity::with_gating(
+            compressed, baseline, gated, total,
+        ));
     }
     [
         &mut m.activity.fetch,
@@ -202,7 +215,7 @@ mod tests {
     fn sample_metrics() -> JobMetrics {
         let activity = ActivityReport {
             fetch: StageActivity::new(123, 456),
-            rf_read: StageActivity::new(7, 11),
+            rf_read: StageActivity::with_gating(7, 11, 5, 16),
             latches: StageActivity::new(99, 100),
             ..ActivityReport::default()
         };
@@ -310,9 +323,40 @@ mod tests {
     #[test]
     fn text_format_is_stable() {
         let text = format_metrics(&sample_metrics());
-        assert!(text.starts_with("sigcomp-explore v1\ninstructions=1000000\n"));
+        assert!(text.starts_with("sigcomp-explore v2\ninstructions=1000000\n"));
         assert!(text.contains("fetch.compressed=123"));
         assert!(text.contains("d_cache_data.compressed=0"));
+        assert!(text.contains("rf_read.gated=5"));
+        assert!(text.contains("rf_read.total_lanes=16"));
         assert_eq!(parse_metrics(&text), Some(sample_metrics()));
+    }
+
+    #[test]
+    fn v1_entries_without_gating_counters_read_as_misses() {
+        // A pre-leakage cache directory must be re-simulated, never
+        // mis-decoded: the v1 header no longer matches.
+        let cache = temp_cache("v1-migration");
+        let mut v1 = String::from("sigcomp-explore v1\n");
+        for (key, value) in [
+            ("instructions", 10u64),
+            ("cycles", 17),
+            ("branches", 1),
+            ("stall_structural", 0),
+            ("stall_data_hazard", 0),
+            ("stall_control", 0),
+        ] {
+            v1.push_str(&format!("{key}={value}\n"));
+        }
+        for (name, _) in ActivityReport::default().columns() {
+            v1.push_str(&format!("{}.compressed=1\n{0}.baseline=2\n", slug(name)));
+        }
+        fs::write(cache.root().join("000000000000002a.job"), v1).unwrap();
+        assert!(cache.load(42).is_none(), "v1 entries must not decode");
+        // Corrupt gating (gated > total) is also a miss.
+        let mut text = format_metrics(&sample_metrics());
+        text = text.replace("rf_read.gated=5", "rf_read.gated=99");
+        fs::write(cache.root().join("000000000000002a.job"), text).unwrap();
+        assert!(cache.load(42).is_none());
+        let _ = fs::remove_dir_all(cache.root());
     }
 }

@@ -2,7 +2,7 @@
 //! product, enumerated deterministically into job specifications.
 
 use sigcomp::hash::{ConfigHash, StableHasher};
-use sigcomp::{AnalyzerConfig, ExtScheme, FunctRecoder};
+use sigcomp::{AnalyzerConfig, ExtScheme, FunctRecoder, ProcessNode};
 use sigcomp_isa::tracefile::{self, TraceFileError};
 use sigcomp_isa::Trace;
 use sigcomp_mem::HierarchyConfig;
@@ -14,6 +14,16 @@ use std::sync::Arc;
 /// Version folded into every job digest; bump it whenever the simulation
 /// semantics change so stale cache entries can never be mistaken for fresh
 /// results. (v2: job identity gained a trace-source tag.)
+///
+/// The leakage-aware energy model deliberately did NOT bump this: energy
+/// models are pure post-processing over the cached integer counters, so the
+/// [`SweepSpec::energy_models`] axis never enters a job digest, and the new
+/// gated-byte-cycle counters are additive — the switching and timing numbers
+/// they sit beside are unchanged, which the golden corpus (whose expected
+/// JSON embeds these job ids) pins bit for bit. Pre-leakage cache *entries*
+/// lack the new counters, so the on-disk entry format header was bumped
+/// instead (`sigcomp-explore v2` in `cache.rs`), retiring them as clean
+/// misses under unchanged keys.
 pub const SWEEP_FORMAT_VERSION: u32 = 2;
 
 /// A named memory-hierarchy variant for the cache-geometry axis.
@@ -318,6 +328,7 @@ pub struct SweepSpec {
     sizes: Vec<WorkloadSize>,
     mems: Vec<MemProfile>,
     traces: Vec<TraceInput>,
+    energy_models: Vec<ProcessNode>,
 }
 
 impl SweepSpec {
@@ -332,6 +343,7 @@ impl SweepSpec {
             sizes: vec![size],
             mems: vec![MemProfile::Paper],
             traces: Vec::new(),
+            energy_models: vec![ProcessNode::Paper180nm],
         }
     }
 
@@ -352,6 +364,7 @@ impl SweepSpec {
             sizes: vec![size],
             mems: MemProfile::ALL.to_vec(),
             traces: Vec::new(),
+            energy_models: vec![ProcessNode::Paper180nm],
         }
     }
 
@@ -412,6 +425,35 @@ impl SweepSpec {
             }
         }
         self
+    }
+
+    /// Replaces the energy-model axis (process-node presets the reports are
+    /// evaluated under; default: the paper's dynamic-only `paper-180nm`).
+    ///
+    /// Unlike every other axis this one does **not** multiply the job list:
+    /// energy models are post-processing over the simulated counters, so a
+    /// sweep runs each configuration once and [`JobSpec::job_id`]s (and with
+    /// them the result-cache keys) are independent of the models chosen.
+    /// Duplicates are dropped (first occurrence wins); an empty list falls
+    /// back to `paper-180nm` so reports always have a model to evaluate.
+    #[must_use]
+    pub fn energy_models(mut self, models: &[ProcessNode]) -> Self {
+        self.energy_models.clear();
+        for &model in models {
+            if !self.energy_models.contains(&model) {
+                self.energy_models.push(model);
+            }
+        }
+        if self.energy_models.is_empty() {
+            self.energy_models.push(ProcessNode::Paper180nm);
+        }
+        self
+    }
+
+    /// The energy-model axis the reports should be evaluated under.
+    #[must_use]
+    pub fn energy_model_axis(&self) -> &[ProcessNode] {
+        &self.energy_models
     }
 
     /// Drops the kernel-workload axis, leaving only recorded traces.
@@ -623,6 +665,30 @@ mod tests {
         assert_eq!(jobs[0].workload, "alpha");
         let ids: HashSet<u64> = jobs.iter().map(JobSpec::job_id).collect();
         assert_eq!(ids.len(), jobs.len(), "job ids must be unique");
+    }
+
+    #[test]
+    fn energy_model_axis_is_post_processing_only() {
+        let spec = SweepSpec::paper(WorkloadSize::Tiny);
+        assert_eq!(spec.energy_model_axis(), &[ProcessNode::Paper180nm]);
+        let jobs_before = spec.enumerate();
+
+        let leaky = spec.clone().energy_models(&[
+            ProcessNode::Modern7nm,
+            ProcessNode::Modern7nm,
+            ProcessNode::Paper180nm,
+        ]);
+        assert_eq!(
+            leaky.energy_model_axis(),
+            &[ProcessNode::Modern7nm, ProcessNode::Paper180nm]
+        );
+        // The axis multiplies reports, never jobs: same length, same specs,
+        // and therefore byte-identical job ids / cache keys.
+        assert_eq!(leaky.len(), spec.len());
+        assert_eq!(leaky.enumerate(), jobs_before);
+
+        let empty = spec.energy_models(&[]);
+        assert_eq!(empty.energy_model_axis(), &[ProcessNode::Paper180nm]);
     }
 
     #[test]

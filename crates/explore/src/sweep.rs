@@ -3,9 +3,9 @@
 use crate::cache::ResultCache;
 use crate::executor::run_parallel;
 use crate::spec::{JobSpec, SweepSpec, TraceInput, TraceSource};
-use sigcomp::{ActivityReport, EnergyModel, TraceAnalyzer};
+use sigcomp::{ActivityReport, EnergyModel, StageActivity, TraceAnalyzer};
 use sigcomp_isa::{ExecRecord, Trace};
-use sigcomp_pipeline::{OrgKind, PipelineSim};
+use sigcomp_pipeline::{OrgKind, Organization, PipelineSim, SimResult, Stage};
 use sigcomp_workloads::{find, Benchmark, WorkloadSize};
 use std::collections::HashMap;
 use std::sync::OnceLock;
@@ -47,26 +47,52 @@ pub struct JobOutcome {
 }
 
 impl JobOutcome {
-    /// Cycles per instruction.
+    /// Cycles per instruction. Like [`crate::ConfigPoint::cpi`], a job that
+    /// retired no instructions (an empty replayed trace) has *infinite* CPI
+    /// — not zero, which would rank it as the best-performing job in any
+    /// export a consumer sorts by CPI.
     #[must_use]
     pub fn cpi(&self) -> f64 {
         if self.metrics.instructions == 0 {
-            0.0
+            f64::INFINITY
         } else {
             self.metrics.cycles as f64 / self.metrics.instructions as f64
         }
     }
 
-    /// Fractional dynamic-energy saving of this configuration. The 32-bit
-    /// baseline organization carries no extension bits, so its saving is
-    /// zero by definition; every other organization is credited the
-    /// activity reduction its scheme achieves under `model`.
+    /// Fractional total-energy (dynamic + static) saving of this
+    /// configuration. The 32-bit baseline organization carries no extension
+    /// bits, so its saving is zero by definition; every other organization
+    /// is credited the reduction its scheme achieves under `model`. With a
+    /// dynamic-only model this is exactly the dynamic saving.
     #[must_use]
     pub fn energy_saving(&self, model: &EnergyModel) -> f64 {
         if self.spec.org == OrgKind::Baseline32 {
             0.0
         } else {
             model.saving(&self.metrics.activity)
+        }
+    }
+
+    /// Fractional saving of the dynamic (switching) term alone — the
+    /// paper's number, independent of the model's leakage weights.
+    #[must_use]
+    pub fn dynamic_energy_saving(&self, model: &EnergyModel) -> f64 {
+        if self.spec.org == OrgKind::Baseline32 {
+            0.0
+        } else {
+            model.dynamic_saving(&self.metrics.activity)
+        }
+    }
+
+    /// Fractional saving of the static (leakage) term alone; zero under a
+    /// dynamic-only model.
+    #[must_use]
+    pub fn leakage_saving(&self, model: &EnergyModel) -> f64 {
+        if self.spec.org == OrgKind::Baseline32 {
+            0.0
+        } else {
+            model.leakage_saving(&self.metrics.activity)
         }
     }
 }
@@ -191,6 +217,7 @@ pub fn simulate_trace(spec: &JobSpec, trace: &Trace) -> JobMetrics {
 /// both the cycle-level timing simulator and the activity study, whether the
 /// stream comes from a live interpreter or a replayed file.
 struct JobModels {
+    org: Organization,
     sim: PipelineSim,
     analyzer: TraceAnalyzer,
 }
@@ -200,8 +227,10 @@ impl JobModels {
         let hierarchy = spec.mem.hierarchy();
         let config = spec.analyzer_config();
         let recoder = config.recoder.clone();
+        let org = spec.organization();
         JobModels {
-            sim: PipelineSim::with_config(spec.organization(), &hierarchy, recoder),
+            sim: PipelineSim::with_config(org.clone(), &hierarchy, recoder),
+            org,
             analyzer: TraceAnalyzer::new(config),
         }
     }
@@ -212,8 +241,9 @@ impl JobModels {
     }
 
     fn finish(self) -> JobMetrics {
-        let activity = self.analyzer.report();
+        let mut activity = self.analyzer.report();
         let result = self.sim.finish();
+        apply_pipeline_gating(&mut activity, &self.org, &result);
         JobMetrics {
             instructions: result.instructions,
             cycles: result.cycles,
@@ -223,6 +253,43 @@ impl JobModels {
             stall_control: result.stalls.control,
             activity,
         }
+    }
+}
+
+/// Replaces the gated-lane occupancy of the datapath columns with the timed
+/// pipeline's per-stage counters.
+///
+/// The analyzer's occupancy is one slot per instruction per structure — the
+/// paper's organization-independent activity framing, right for the dynamic
+/// (switching) term. Static leakage, though, accrues over *time* in the
+/// lanes an organization actually builds: a byte-serial machine holds one
+/// narrow ALU busy for many cycles (little to gate, long runtime), the
+/// full-width compressed machine powers wide lanes briefly and gates most
+/// of them. The sweep therefore weighs the leakage term with the timing
+/// model's `lane width × occupied cycles` budgets (miss stalls included),
+/// which differ per organization; the switching counters are untouched, so
+/// every dynamic figure stays bit-identical to the activity study.
+///
+/// The PC incrementer, pipeline latches and tag array have no timed stage
+/// of their own; their analyzer-side occupancy is kept.
+fn apply_pipeline_gating(activity: &mut ActivityReport, org: &Organization, result: &SimResult) {
+    fn mapped(activity: &mut ActivityReport, stage: Stage) -> &mut StageActivity {
+        match stage {
+            Stage::Fetch => &mut activity.fetch,
+            Stage::RegRead => &mut activity.rf_read,
+            Stage::Execute | Stage::ExecuteHi => &mut activity.alu,
+            Stage::Memory | Stage::MemoryHi => &mut activity.dcache_data,
+            Stage::Writeback => &mut activity.rf_write,
+        }
+    }
+    for &stage in org.stages() {
+        let column = mapped(activity, stage);
+        column.gated_byte_cycles = 0;
+        column.total_byte_cycles = 0;
+    }
+    for (s, &stage) in org.stages().iter().enumerate() {
+        mapped(activity, stage)
+            .add_gating(result.gated_byte_cycles[s], result.total_byte_cycles[s]);
     }
 }
 

@@ -79,9 +79,29 @@ pub struct SimResult {
     /// Branch mispredictions (zero when prediction is disabled — every
     /// branch then pays the full resolution stall, as in the paper).
     pub mispredictions: u64,
+    /// Byte-lane-cycles each stage powered off because the extension bits
+    /// marked the lanes insignificant, indexed like the organization's stage
+    /// list (all zero for the 32-bit baseline, which cannot gate).
+    pub gated_byte_cycles: [u64; 7],
+    /// Byte-lane-cycles each stage was occupied for in total
+    /// (`lane width × occupancy`, including miss penalties), indexed like
+    /// the organization's stage list.
+    pub total_byte_cycles: [u64; 7],
 }
 
 impl SimResult {
+    /// Fraction of all stage lane-cycles that were gated off; zero when
+    /// nothing was simulated (and for the baseline organization).
+    #[must_use]
+    pub fn gated_fraction(&self) -> f64 {
+        let total: u64 = self.total_byte_cycles.iter().sum();
+        if total == 0 {
+            0.0
+        } else {
+            self.gated_byte_cycles.iter().sum::<u64>() as f64 / total as f64
+        }
+    }
+
     /// Cycles per instruction.
     #[must_use]
     pub fn cpi(&self) -> f64 {
@@ -143,6 +163,8 @@ pub struct PipelineSim {
     branches: u64,
     mispredictions: u64,
     stalls: StallBreakdown,
+    gated_byte_cycles: [u64; 7],
+    total_byte_cycles: [u64; 7],
 }
 
 impl PipelineSim {
@@ -178,6 +200,8 @@ impl PipelineSim {
             branches: 0,
             mispredictions: 0,
             stalls: StallBreakdown::default(),
+            gated_byte_cycles: [0; 7],
+            total_byte_cycles: [0; 7],
             org,
         }
     }
@@ -231,6 +255,22 @@ impl PipelineSim {
                 .stage_index(Stage::Memory)
                 .expect("every organization has a memory stage");
             occ[mem_index] += u64::from(dmem.latency.saturating_sub(1));
+        }
+
+        // Gated-lane occupancy: each occupied cycle powers the stage's lane
+        // budget; the lanes the instruction's significant bytes don't need
+        // are gated off (only in the compressed organizations — the
+        // baseline has no extension bits to gate with).
+        let gates = self.org.gates_lanes();
+        for (s, &stage) in stages.iter().enumerate() {
+            let total = u64::from(self.org.lane_bytes(stage)) * occ[s];
+            let used = if gates {
+                u64::from(self.org.stage_used_bytes(stage, &cost)).min(total)
+            } else {
+                total
+            };
+            self.gated_byte_cycles[s] += total - used;
+            self.total_byte_cycles[s] += total;
         }
 
         // Stage-to-stage advance latency: streamed organizations hand the
@@ -369,6 +409,8 @@ impl PipelineSim {
             hierarchy: self.hierarchy.stats(),
             branches: self.branches,
             mispredictions: self.mispredictions,
+            gated_byte_cycles: self.gated_byte_cycles,
+            total_byte_cycles: self.total_byte_cycles,
         }
     }
 
@@ -482,6 +524,64 @@ mod tests {
         let trace = counter_trace(1_000);
         let r = simulate(OrgKind::Baseline32, &trace);
         assert!(r.stalls.control > 0);
+    }
+
+    #[test]
+    fn gated_occupancy_is_reported_per_stage_for_every_organization() {
+        let trace = counter_trace(2_000);
+        for &kind in OrgKind::ALL {
+            let org = Organization::new(kind);
+            let r = PipelineSim::new(org.clone()).run(trace.iter());
+            let gated: u64 = r.gated_byte_cycles.iter().sum();
+            let total: u64 = r.total_byte_cycles.iter().sum();
+            assert!(total > 0, "{}: no lane occupancy", r.organization);
+            for s in 0..org.depth() {
+                assert!(
+                    r.gated_byte_cycles[s] <= r.total_byte_cycles[s],
+                    "{} stage {s}: gated exceeds total",
+                    r.organization
+                );
+                assert!(
+                    r.total_byte_cycles[s] > 0,
+                    "{} stage {s}: no occupancy",
+                    r.organization
+                );
+            }
+            // Stages beyond the organization's depth must stay untouched.
+            for s in org.depth()..7 {
+                assert_eq!(r.total_byte_cycles[s], 0, "{}", r.organization);
+            }
+            if kind == OrgKind::Baseline32 {
+                assert_eq!(gated, 0, "the baseline cannot gate lanes");
+                assert_eq!(r.gated_fraction(), 0.0);
+            } else {
+                assert!(
+                    r.gated_fraction() > 0.05,
+                    "{}: narrow counter values should gate lanes, got {}",
+                    r.organization,
+                    r.gated_fraction()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn serial_organizations_gate_less_than_wide_ones() {
+        // A one-byte datapath reuses its single lane instead of gating
+        // three; the full-width compressed organization gates the unused
+        // upper lanes outright. On narrow data the wide machine must
+        // therefore gate a larger fraction of its (larger) lane budget.
+        let trace = counter_trace(2_000);
+        let serial = PipelineSim::new(Organization::new(OrgKind::ByteSerial)).run(trace.iter());
+        let wide =
+            PipelineSim::new(Organization::new(OrgKind::ParallelCompressed)).run(trace.iter());
+        let ex = Organization::new(OrgKind::ByteSerial)
+            .stage_index(Stage::Execute)
+            .unwrap();
+        // The byte-serial execute stage has exactly one lane: it can never
+        // gate it (the low byte is always significant).
+        assert_eq!(serial.gated_byte_cycles[ex], 0);
+        assert!(wide.gated_fraction() > serial.gated_fraction());
     }
 
     #[test]

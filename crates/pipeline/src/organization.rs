@@ -309,6 +309,83 @@ impl Organization {
         }
     }
 
+    /// Whether this organization can power-gate unused byte lanes: every
+    /// compressed organization carries extension bits that mark lanes as
+    /// insignificant; the 32-bit baseline has none and keeps every lane
+    /// powered.
+    #[must_use]
+    pub fn gates_lanes(&self) -> bool {
+        self.kind != OrgKind::Baseline32
+    }
+
+    /// Byte lanes the stage powers when occupied: the datapath width of the
+    /// stage in this organization (the register-read stage counts both read
+    /// ports). `lanes × occupancy` is the stage's powered-lane budget for
+    /// one instruction; [`Organization::stage_used_bytes`] says how much of
+    /// it the instruction's significant bytes actually need.
+    #[must_use]
+    pub fn lane_bytes(&self, stage: Stage) -> u32 {
+        let (regread, execute, memory, writeback) = match self.kind {
+            OrgKind::Baseline32 => (8, 4, 4, 4),
+            OrgKind::ByteSerial => (2, 1, 1, 1),
+            OrgKind::HalfwordSerial => (4, 2, 2, 2),
+            // §5: three bytes of fetch, two bytes of register file and ALU,
+            // one byte of data cache.
+            OrgKind::SemiParallel => (4, 2, 1, 2),
+            // Full-width datapath split into low/high halves across the
+            // paired stages (§6).
+            OrgKind::ParallelSkewed | OrgKind::SkewedBypass => (8, 2, 2, 4),
+            OrgKind::ParallelCompressed => (8, 4, 4, 4),
+        };
+        match stage {
+            // Three I-cache banks plus the extension bit feed every
+            // compressed fetch stage (Fig. 3); the baseline fetches a word.
+            Stage::Fetch => {
+                if self.kind == OrgKind::Baseline32 {
+                    4
+                } else {
+                    3
+                }
+            }
+            Stage::RegRead => regread,
+            Stage::Execute | Stage::ExecuteHi => execute,
+            Stage::Memory | Stage::MemoryHi => memory,
+            Stage::Writeback => writeback,
+        }
+    }
+
+    /// Significant bytes one instruction streams through the stage — the
+    /// lanes that must stay powered. The remainder of the stage's
+    /// `lane_bytes × occupancy` budget can be gated (in the organizations
+    /// where [`Organization::gates_lanes`] holds).
+    #[must_use]
+    pub fn stage_used_bytes(&self, stage: Stage, cost: &InstrCost) -> u32 {
+        let split = matches!(self.kind, OrgKind::ParallelSkewed | OrgKind::SkewedBypass);
+        let ex = u32::from(serial_ex_bytes(cost));
+        let mem = cost.mem.map_or(0, |m| u32::from(m.sig_bytes));
+        match stage {
+            Stage::Fetch => u32::from(cost.fetch.fetch_bytes),
+            Stage::RegRead => u32::from(cost.regfile_read_bytes()),
+            Stage::Execute => {
+                if split {
+                    ex.min(2)
+                } else {
+                    ex
+                }
+            }
+            Stage::ExecuteHi => ex.saturating_sub(2),
+            Stage::Memory => {
+                if split {
+                    mem.min(2)
+                } else {
+                    mem
+                }
+            }
+            Stage::MemoryHi => mem.saturating_sub(2),
+            Stage::Writeback => u32::from(cost.result_bytes.unwrap_or(0)),
+        }
+    }
+
     fn serial_occupancy(&self, stage: Stage, cost: &InstrCost, width: u32) -> u32 {
         match stage {
             Stage::Fetch => fetch_cycles(cost, 3),
@@ -555,6 +632,68 @@ mod tests {
             Some(!(3u32)),
         );
         assert_eq!(org.occupancy(Stage::Fetch, &cold), 2);
+    }
+
+    #[test]
+    fn lane_budgets_cover_every_stage_and_only_the_baseline_never_gates() {
+        for org in Organization::all() {
+            assert_eq!(
+                org.gates_lanes(),
+                org.kind() != OrgKind::Baseline32,
+                "{}",
+                org.name()
+            );
+            for &stage in org.stages() {
+                assert!(org.lane_bytes(stage) > 0, "{} {stage:?}", org.name());
+            }
+        }
+        // The paper's §5 widths: 3 fetch bytes, 2-byte ALU, 1-byte D-cache.
+        let semi = Organization::new(OrgKind::SemiParallel);
+        assert_eq!(semi.lane_bytes(Stage::Fetch), 3);
+        assert_eq!(semi.lane_bytes(Stage::Execute), 2);
+        assert_eq!(semi.lane_bytes(Stage::Memory), 1);
+        assert_eq!(
+            Organization::new(OrgKind::Baseline32).lane_bytes(Stage::Fetch),
+            4
+        );
+    }
+
+    #[test]
+    fn stage_used_bytes_follow_the_cost_vector() {
+        let wide = cost_of(
+            Instruction::r3(Op::Addu, T0, T1, T2),
+            Some(0x1234_5678),
+            Some(0x0101_0101),
+            Some(0x1335_5779),
+        );
+        let narrow = cost_of(
+            Instruction::r3(Op::Addu, T0, T1, T2),
+            Some(5),
+            Some(9),
+            Some(14),
+        );
+        let serial = Organization::new(OrgKind::ByteSerial);
+        assert_eq!(serial.stage_used_bytes(Stage::Fetch, &narrow), 3);
+        assert_eq!(serial.stage_used_bytes(Stage::RegRead, &narrow), 2);
+        assert_eq!(serial.stage_used_bytes(Stage::RegRead, &wide), 8);
+        assert_eq!(serial.stage_used_bytes(Stage::Execute, &wide), 4);
+        assert_eq!(serial.stage_used_bytes(Stage::Writeback, &narrow), 1);
+        // A non-memory instruction uses no data-cache lanes at all.
+        assert_eq!(serial.stage_used_bytes(Stage::Memory, &wide), 0);
+        assert_eq!(
+            serial.stage_used_bytes(Stage::Memory, &load_cost(0x1234_5678)),
+            4
+        );
+
+        // The skewed pair splits the work: low half first, remainder above.
+        let skewed = Organization::new(OrgKind::ParallelSkewed);
+        assert_eq!(skewed.stage_used_bytes(Stage::Execute, &wide), 2);
+        assert_eq!(skewed.stage_used_bytes(Stage::ExecuteHi, &wide), 2);
+        assert_eq!(skewed.stage_used_bytes(Stage::Execute, &narrow), 1);
+        assert_eq!(skewed.stage_used_bytes(Stage::ExecuteHi, &narrow), 0);
+        let wide_load = load_cost(0x1234_5678);
+        assert_eq!(skewed.stage_used_bytes(Stage::Memory, &wide_load), 2);
+        assert_eq!(skewed.stage_used_bytes(Stage::MemoryHi, &wide_load), 2);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 
 use crate::batch::BatchedResult;
 use crate::json::{escape, Json};
-use sigcomp::{EnergyModel, ExtScheme};
+use sigcomp::{ExtScheme, ProcessNode};
 use sigcomp_explore::{
     column_slug, config_points, pareto_frontier, to_json, JobOutcome, JobSpec, MemProfile,
     SweepSpec,
@@ -19,23 +19,31 @@ use sigcomp_pipeline::OrgKind;
 use sigcomp_workloads::{suite_names, WorkloadSize};
 use std::fmt::Write as _;
 
-/// Decodes a `POST /simulate` body into a [`JobSpec`].
+/// Decodes a `POST /simulate` body into a [`JobSpec`] plus the process-node
+/// energy model the response should be evaluated under.
 ///
 /// Only `workload` is required; the remaining axes default to the paper's
 /// flagship configuration (`scheme` `3bit`, `org` `byte-serial`, `mem`
-/// `paper`, `size` `default`).
+/// `paper`, `size` `default`, `energy_model` `paper-180nm` — the dynamic-
+/// only accounting). The energy model is pure post-processing: it changes
+/// the derived savings figures in the response, never the simulation (or
+/// its cache identity).
 ///
 /// # Errors
 ///
 /// A human-readable message naming the offending field or value.
-pub fn job_spec_from_json(doc: &Json) -> Result<JobSpec, String> {
+pub fn job_spec_from_json(doc: &Json) -> Result<(JobSpec, ProcessNode), String> {
     if !matches!(doc, Json::Obj(_)) {
         return Err("request body must be a JSON object".to_owned());
     }
-    check_fields(doc, &["workload", "size", "scheme", "org", "mem"])?;
+    check_fields(
+        doc,
+        &["workload", "size", "scheme", "org", "mem", "energy_model"],
+    )?;
     let workload = required_str(doc, "workload")?;
     let workload = resolve_workload(workload)?;
-    Ok(JobSpec {
+    let node = parse_energy_model(doc)?;
+    let spec = JobSpec {
         scheme: parse_field(doc, "scheme", "3bit", ExtScheme::parse, "extension scheme")?,
         org: parse_field(doc, "org", "byte-serial", OrgKind::parse, "organization")?,
         workload,
@@ -44,6 +52,25 @@ pub fn job_spec_from_json(doc: &Json) -> Result<JobSpec, String> {
         // The HTTP surface names built-in kernels only; recorded traces are
         // a CLI/sweep axis (they would need an upload channel here).
         source: sigcomp_explore::TraceSource::Kernel,
+    };
+    Ok((spec, node))
+}
+
+fn parse_energy_model(doc: &Json) -> Result<ProcessNode, String> {
+    parse_field(
+        doc,
+        "energy_model",
+        ProcessNode::Paper180nm.id(),
+        ProcessNode::parse,
+        "energy model",
+    )
+    .map_err(|e| {
+        if e.starts_with("unknown energy model") {
+            let known: Vec<&str> = ProcessNode::ALL.iter().map(|n| n.id()).collect();
+            format!("{e} (known: {})", known.join(", "))
+        } else {
+            e
+        }
     })
 }
 
@@ -51,8 +78,12 @@ pub fn job_spec_from_json(doc: &Json) -> Result<JobSpec, String> {
 ///
 /// Every axis is an optional array of strings; the defaults are the paper's
 /// primary slice (scheme `3bit`, every organization, the full workload
-/// suite, size `default`, the paper memory hierarchy). `"sync": true` asks
-/// for the result inline instead of a poll ticket.
+/// suite, size `default`, the paper memory hierarchy). An optional
+/// `energy_model` string selects the process-node preset the result's
+/// frontier and savings are evaluated under (default `paper-180nm`; pure
+/// post-processing, so it never changes which jobs run or their cache
+/// identities). `"sync": true` asks for the result inline instead of a poll
+/// ticket.
 ///
 /// # Errors
 ///
@@ -63,9 +94,18 @@ pub fn sweep_spec_from_json(doc: &Json) -> Result<(SweepSpec, bool), String> {
     }
     check_fields(
         doc,
-        &["workloads", "schemes", "orgs", "mems", "sizes", "sync"],
+        &[
+            "workloads",
+            "schemes",
+            "orgs",
+            "mems",
+            "sizes",
+            "energy_model",
+            "sync",
+        ],
     )?;
     let mut spec = SweepSpec::paper(WorkloadSize::Default);
+    spec = spec.energy_models(&[parse_energy_model(doc)?]);
     if let Some(items) = axis_items(doc, "schemes")? {
         spec = spec.schemes(&parse_axis(&items, ExtScheme::parse, "extension scheme")?);
     }
@@ -98,31 +138,36 @@ pub fn sweep_spec_from_json(doc: &Json) -> Result<(SweepSpec, bool), String> {
 }
 
 /// Encodes a `POST /simulate` response: the job's identity, every integer
-/// counter, the derived CPI/energy-saving figures, and the per-stage
-/// activity — bit-exact integers throughout, so clients can compare
-/// responses across replicas.
+/// counter, the derived CPI/energy-saving figures under the requested
+/// energy model (named in `energy_model`; a leaky preset adds
+/// `total_energy_saving` and `leakage_saving`), and the per-stage activity
+/// including the gated-byte-cycle occupancy — bit-exact integers
+/// throughout, so clients can compare responses across replicas.
 #[must_use]
-pub fn simulate_response(spec: &JobSpec, result: &BatchedResult, model: &EnergyModel) -> String {
+pub fn simulate_response(spec: &JobSpec, result: &BatchedResult, node: ProcessNode) -> String {
     let outcome = JobOutcome {
         spec: *spec,
         metrics: result.metrics,
         from_cache: result.from_cache,
     };
+    let model = node.model();
     let m = &outcome.metrics;
     let mut out = String::with_capacity(1024);
     let _ = write!(
         out,
         "{{\"job_id\": \"{:016x}\", \"workload\": \"{}\", \"size\": \"{}\", \
-         \"scheme\": \"{}\", \"org\": \"{}\", \"mem\": \"{}\", \"from_cache\": {}, \
+         \"scheme\": \"{}\", \"org\": \"{}\", \"mem\": \"{}\", \
+         \"energy_model\": \"{}\", \"from_cache\": {}, \
          \"instructions\": {}, \"cycles\": {}, \"branches\": {}, \
          \"stall_structural\": {}, \"stall_data_hazard\": {}, \"stall_control\": {}, \
-         \"cpi\": {:.6}, \"energy_saving\": {:.6}, \"activity\": {{",
+         \"cpi\": {}, \"energy_saving\": {:.6}",
         spec.job_id(),
         spec.workload,
         spec.size.name(),
         spec.scheme.id(),
         spec.org.id(),
         spec.mem.id(),
+        node.id(),
         outcome.from_cache,
         m.instructions,
         m.cycles,
@@ -130,43 +175,69 @@ pub fn simulate_response(spec: &JobSpec, result: &BatchedResult, model: &EnergyM
         m.stall_structural,
         m.stall_data_hazard,
         m.stall_control,
-        outcome.cpi(),
-        outcome.energy_saving(model),
+        json_cpi(outcome.cpi()),
+        outcome.dynamic_energy_saving(&model),
     );
+    if model.has_leakage() {
+        let _ = write!(
+            out,
+            ", \"total_energy_saving\": {:.6}, \"leakage_saving\": {:.6}",
+            outcome.energy_saving(&model),
+            outcome.leakage_saving(&model),
+        );
+    }
+    out.push_str(", \"activity\": {");
     for (i, (name, stage)) in m.activity.columns().iter().enumerate() {
         let _ = write!(
             out,
-            "{}\"{}\": {{\"compressed\": {}, \"baseline\": {}}}",
+            "{}\"{}\": {{\"compressed\": {}, \"baseline\": {}, \
+             \"gated_byte_cycles\": {}, \"total_byte_cycles\": {}}}",
             if i > 0 { ", " } else { "" },
             column_slug(name),
             stage.compressed_bits,
             stage.baseline_bits,
+            stage.gated_byte_cycles,
+            stage.total_byte_cycles,
         );
     }
     out.push_str("}}\n");
     out
 }
 
-/// Encodes a finished sweep: job count, cache statistics, the Pareto
-/// frontier labels, and the full per-job outcome array (the same document
-/// `repro sweep --json` writes).
+/// Encodes a finished sweep: job count, cache statistics, the energy model
+/// the figures were evaluated under, the Pareto frontier labels, and the
+/// full per-job outcome array (the same document `repro sweep --json`
+/// writes).
 #[must_use]
-pub fn sweep_result_json(outcomes: &[JobOutcome], model: &EnergyModel) -> String {
+pub fn sweep_result_json(outcomes: &[JobOutcome], node: ProcessNode) -> String {
+    let model = node.model();
     let served_from_cache = outcomes.iter().filter(|o| o.from_cache).count();
     let points = config_points(outcomes);
-    let frontier = pareto_frontier(&points, model);
+    let frontier = pareto_frontier(&points, &model);
     let labels: Vec<String> = frontier
         .iter()
         .map(|p| format!("\"{}\"", escape(&p.label())))
         .collect();
     format!(
         "{{\"status\": \"done\", \"jobs\": {}, \"served_from_cache\": {}, \
-         \"frontier\": [{}], \"outcomes\": {}}}\n",
+         \"energy_model\": \"{}\", \"frontier\": [{}], \"outcomes\": {}}}\n",
         outcomes.len(),
         served_from_cache,
+        node.id(),
         labels.join(", "),
-        to_json(outcomes, model).trim_end(),
+        to_json(outcomes, &model).trim_end(),
     )
+}
+
+/// Formats a CPI figure as a JSON value: `inf` is not a JSON number, so the
+/// infinite CPI of a zero-instruction job becomes `null` (built-in kernels
+/// always retire instructions; this guards the invariant, not a live path).
+fn json_cpi(cpi: f64) -> String {
+    if cpi.is_finite() {
+        format!("{cpi:.6}")
+    } else {
+        "null".to_owned()
+    }
 }
 
 fn check_fields(doc: &Json, allowed: &[&str]) -> Result<(), String> {
@@ -246,23 +317,26 @@ mod tests {
     #[test]
     fn job_spec_defaults_and_overrides() {
         let doc = Json::parse(r#"{"workload": "rawcaudio"}"#).unwrap();
-        let spec = job_spec_from_json(&doc).unwrap();
+        let (spec, node) = job_spec_from_json(&doc).unwrap();
         assert_eq!(spec.workload, "rawcaudio");
         assert_eq!(spec.scheme, ExtScheme::ThreeBit);
         assert_eq!(spec.org, OrgKind::ByteSerial);
         assert_eq!(spec.size, WorkloadSize::Default);
         assert_eq!(spec.mem, MemProfile::Paper);
+        assert_eq!(node, ProcessNode::Paper180nm);
 
         let doc = Json::parse(
             r#"{"workload": "pgp", "size": "tiny", "scheme": "halfword",
-                "org": "baseline32", "mem": "slow-memory"}"#,
+                "org": "baseline32", "mem": "slow-memory",
+                "energy_model": "modern-7nm"}"#,
         )
         .unwrap();
-        let spec = job_spec_from_json(&doc).unwrap();
+        let (spec, node) = job_spec_from_json(&doc).unwrap();
         assert_eq!(spec.scheme, ExtScheme::Halfword);
         assert_eq!(spec.org, OrgKind::Baseline32);
         assert_eq!(spec.size, WorkloadSize::Tiny);
         assert_eq!(spec.mem, MemProfile::SlowMemory);
+        assert_eq!(node, ProcessNode::Modern7nm);
     }
 
     #[test]
@@ -281,6 +355,14 @@ mod tests {
                 r#"{"workload": "pgp", "size": "huge"}"#,
                 "unknown workload size 'huge'",
             ),
+            (
+                r#"{"workload": "pgp", "energy_model": "3nm"}"#,
+                "unknown energy model '3nm' (known: paper-180nm, generic-45nm, modern-7nm)",
+            ),
+            (
+                r#"{"workload": "pgp", "energy_model": 7}"#,
+                "field 'energy_model' must be a string",
+            ),
         ] {
             let doc = Json::parse(body).unwrap();
             let err = job_spec_from_json(&doc).unwrap_err();
@@ -294,6 +376,23 @@ mod tests {
         let (spec, sync) = sweep_spec_from_json(&doc).unwrap();
         assert!(!sync);
         assert_eq!(spec.len(), OrgKind::ALL.len() * suite_names().len());
+        assert_eq!(spec.energy_model_axis(), &[ProcessNode::Paper180nm]);
+    }
+
+    #[test]
+    fn sweep_spec_carries_the_requested_energy_model_without_multiplying_jobs() {
+        let doc = Json::parse(
+            r#"{"workloads": ["rawcaudio"], "orgs": ["baseline32"],
+                "energy_model": "generic-45nm"}"#,
+        )
+        .unwrap();
+        let (spec, _) = sweep_spec_from_json(&doc).unwrap();
+        assert_eq!(spec.energy_model_axis(), &[ProcessNode::Generic45nm]);
+        assert_eq!(spec.len(), 1, "the model axis must not multiply jobs");
+
+        let doc = Json::parse(r#"{"energy_model": "3nm"}"#).unwrap();
+        let err = sweep_spec_from_json(&doc).unwrap_err();
+        assert!(err.contains("unknown energy model '3nm'"), "{err}");
     }
 
     #[test]
@@ -328,7 +427,7 @@ mod tests {
     #[test]
     fn responses_are_valid_json() {
         let doc = Json::parse(r#"{"workload": "rawcaudio", "size": "tiny"}"#).unwrap();
-        let spec = job_spec_from_json(&doc).unwrap();
+        let (spec, node) = job_spec_from_json(&doc).unwrap();
         let result = BatchedResult {
             metrics: JobMetrics {
                 instructions: 10,
@@ -337,27 +436,35 @@ mod tests {
             },
             from_cache: false,
         };
-        let model = EnergyModel::default();
-        let body = simulate_response(&spec, &result, &model);
+        let body = simulate_response(&spec, &result, node);
         let parsed = Json::parse(&body).unwrap();
         assert_eq!(parsed.get("cycles").and_then(Json::as_u64), Some(17));
         assert_eq!(parsed.get("from_cache"), Some(&Json::Bool(false)));
-        assert!(parsed
-            .get("activity")
-            .and_then(|a| a.get("fetch"))
-            .is_some());
+        assert_eq!(
+            parsed.get("energy_model").and_then(Json::as_str),
+            Some("paper-180nm")
+        );
+        // The dynamic-only preset carries no leakage figures.
+        assert_eq!(parsed.get("total_energy_saving"), None);
+        let fetch = parsed.get("activity").and_then(|a| a.get("fetch")).unwrap();
+        assert!(fetch.get("gated_byte_cycles").is_some());
+        assert!(fetch.get("total_byte_cycles").is_some());
 
         let outcome = JobOutcome {
             spec,
             metrics: result.metrics,
             from_cache: true,
         };
-        let body = sweep_result_json(&[outcome], &model);
+        let body = sweep_result_json(&[outcome], node);
         let parsed = Json::parse(&body).unwrap();
         assert_eq!(parsed.get("jobs").and_then(Json::as_u64), Some(1));
         assert_eq!(
             parsed.get("served_from_cache").and_then(Json::as_u64),
             Some(1)
+        );
+        assert_eq!(
+            parsed.get("energy_model").and_then(Json::as_str),
+            Some("paper-180nm")
         );
         assert_eq!(
             parsed
@@ -366,5 +473,31 @@ mod tests {
                 .map(<[Json]>::len),
             Some(1)
         );
+    }
+
+    #[test]
+    fn leaky_presets_add_savings_fields_to_simulate_responses() {
+        let doc = Json::parse(
+            r#"{"workload": "rawcaudio", "size": "tiny", "energy_model": "modern-7nm"}"#,
+        )
+        .unwrap();
+        let (spec, node) = job_spec_from_json(&doc).unwrap();
+        assert_eq!(node, ProcessNode::Modern7nm);
+        let result = BatchedResult {
+            metrics: JobMetrics {
+                instructions: 10,
+                cycles: 17,
+                ..JobMetrics::default()
+            },
+            from_cache: false,
+        };
+        let body = simulate_response(&spec, &result, node);
+        let parsed = Json::parse(&body).unwrap();
+        assert_eq!(
+            parsed.get("energy_model").and_then(Json::as_str),
+            Some("modern-7nm")
+        );
+        assert!(parsed.get("total_energy_saving").is_some());
+        assert!(parsed.get("leakage_saving").is_some());
     }
 }

@@ -177,7 +177,7 @@ impl Batcher {
     /// [`SubmitError::ShuttingDown`] when the batcher is stopping.
     pub fn submit(&self, spec: JobSpec) -> Result<BatchedResult, SubmitError> {
         match self.enqueue(spec)? {
-            Enqueued::Ready(result) => Ok(result),
+            Enqueued::Ready(result) => Ok(*result),
             Enqueued::Waiting(slot) => slot.wait(),
         }
     }
@@ -199,7 +199,7 @@ impl Batcher {
         pending
             .into_iter()
             .map(|p| match p {
-                Enqueued::Ready(result) => Ok(result),
+                Enqueued::Ready(result) => Ok(*result),
                 Enqueued::Waiting(slot) => slot.wait(),
             })
             .collect()
@@ -222,10 +222,10 @@ impl Batcher {
         let mut state = self.shared.state.lock().expect("queue poisoned");
         if let Some(&cached) = state.memo.get(&spec.job_id()) {
             ServerMetrics::incr(&metrics.jobs_memo_hits);
-            return Ok(Enqueued::Ready(BatchedResult {
+            return Ok(Enqueued::Ready(Box::new(BatchedResult {
                 metrics: cached,
                 from_cache: true,
-            }));
+            })));
         }
         while state.queue.len() >= self.shared.config.queue_capacity() && !state.shutdown {
             state = self.shared.space_ready.wait(state).expect("queue poisoned");
@@ -256,7 +256,9 @@ impl Drop for Batcher {
 }
 
 enum Enqueued {
-    Ready(BatchedResult),
+    // Boxed: a BatchedResult carries the full per-stage activity report
+    // (~300 bytes), dwarfing the waiting variant's Arc.
+    Ready(Box<BatchedResult>),
     Waiting(Arc<Slot>),
 }
 

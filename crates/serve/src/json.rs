@@ -49,6 +49,36 @@ impl fmt::Display for JsonError {
 
 impl std::error::Error for JsonError {}
 
+/// Why a JSON value could not be decoded as an exact `u64`
+/// ([`Json::to_u64`]). Named variants, so decode failures surface as a
+/// specific rejection instead of a silently clamped cast or an anonymous
+/// `None`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NumError {
+    /// The value is not a number at all.
+    NotANumber,
+    /// The number is negative; a `u64` field cannot hold it.
+    Negative,
+    /// The number has a fractional part.
+    Fractional,
+    /// The number exceeds 2⁵³, beyond which an `f64` no longer represents
+    /// every integer and a cast would silently lose (or clamp) bits.
+    TooLarge,
+}
+
+impl fmt::Display for NumError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            NumError::NotANumber => "not a number",
+            NumError::Negative => "is negative",
+            NumError::Fractional => "has a fractional part",
+            NumError::TooLarge => "exceeds 2^53 (the exact-integer range of JSON numbers)",
+        })
+    }
+}
+
+impl std::error::Error for NumError {}
+
 impl Json {
     /// Parses a complete JSON document (one value, surrounded by optional
     /// whitespace).
@@ -109,16 +139,34 @@ impl Json {
     }
 
     /// The value as an exact unsigned integer: a number with no fractional
-    /// part that round-trips through `u64` unchanged.
+    /// part that round-trips through `u64` unchanged. Convenience wrapper
+    /// over [`Json::to_u64`] for callers that don't need the reason.
     #[must_use]
     pub fn as_u64(&self) -> Option<u64> {
-        let n = self.as_f64()?;
-        // 2^53 bounds the exactly-representable integers; beyond it the
-        // round trip below silently loses bits.
-        if n.fract() != 0.0 || !(0.0..=9_007_199_254_740_992.0).contains(&n) {
-            return None;
+        self.to_u64().ok()
+    }
+
+    /// Decodes the value as an exact unsigned integer, naming exactly why a
+    /// value is rejected. Never clamps: a negative, fractional, or
+    /// out-of-range number (beyond 2⁵³, where `f64` stops representing
+    /// every integer — so anything near or past 2⁶⁴ too) is an error, not a
+    /// silently saturated cast.
+    ///
+    /// # Errors
+    ///
+    /// The [`NumError`] variant describing the rejection.
+    pub fn to_u64(&self) -> Result<u64, NumError> {
+        let n = self.as_f64().ok_or(NumError::NotANumber)?;
+        if n < 0.0 {
+            return Err(NumError::Negative);
         }
-        Some(n as u64)
+        if n > 9_007_199_254_740_992.0 {
+            return Err(NumError::TooLarge);
+        }
+        if n.fract() != 0.0 {
+            return Err(NumError::Fractional);
+        }
+        Ok(n as u64)
     }
 
     /// The element slice, if this is an array.
@@ -452,6 +500,45 @@ mod tests {
         assert_eq!(Json::parse("18.5").unwrap().as_u64(), None);
         assert_eq!(Json::parse("-1").unwrap().as_u64(), None);
         assert_eq!(Json::parse("1e300").unwrap().as_u64(), None);
+    }
+
+    #[test]
+    fn to_u64_names_every_rejection_instead_of_clamping() {
+        // Regression: a float cast (`n as u64`) would silently clamp
+        // negatives to 0 and huge values to u64::MAX; the decoder must
+        // reject with a named error instead.
+        assert_eq!(Json::parse("18").unwrap().to_u64(), Ok(18));
+        assert_eq!(Json::parse("0").unwrap().to_u64(), Ok(0));
+        // 2^53 is the last exactly-representable integer and is accepted.
+        assert_eq!(
+            Json::parse("9007199254740992").unwrap().to_u64(),
+            Ok(9_007_199_254_740_992)
+        );
+        for (text, expected) in [
+            ("-1", NumError::Negative),
+            ("-0.5", NumError::Negative),
+            ("-1e999", NumError::Negative),
+            ("18.5", NumError::Fractional),
+            // Would clamp to u64::MAX through a bare cast.
+            ("1e300", NumError::TooLarge),
+            ("1e999", NumError::TooLarge),
+            ("18446744073709551616", NumError::TooLarge),
+            // Past 2^53 the round trip through f64 loses bits even though
+            // the value fits in u64.
+            ("9007199254740994", NumError::TooLarge),
+        ] {
+            assert_eq!(Json::parse(text).unwrap().to_u64(), Err(expected), "{text}");
+        }
+        assert_eq!(
+            Json::parse("\"7\"").unwrap().to_u64(),
+            Err(NumError::NotANumber)
+        );
+        assert_eq!(
+            Json::parse("null").unwrap().to_u64(),
+            Err(NumError::NotANumber)
+        );
+        // The message names the constraint for 400 bodies.
+        assert!(NumError::TooLarge.to_string().contains("2^53"));
     }
 
     #[test]

@@ -52,7 +52,7 @@ pub mod server;
 
 pub use batch::{BatchConfig, BatchedResult, Batcher, SubmitError};
 pub use http::{read_request, HttpError, Request, Response};
-pub use json::Json;
+pub use json::{Json, NumError};
 pub use metrics::ServerMetrics;
 pub use registry::{SweepRegistry, SweepState};
 pub use server::{ServeConfig, Server, ServerHandle};

@@ -21,7 +21,7 @@ use crate::http::{read_request, HttpError, Request, Response};
 use crate::json::Json;
 use crate::metrics::ServerMetrics;
 use crate::registry::{SweepRegistry, SweepState};
-use sigcomp::EnergyModel;
+use sigcomp::ProcessNode;
 use sigcomp_explore::JobOutcome;
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -93,7 +93,6 @@ struct Ctx {
     batcher: Batcher,
     registry: SweepRegistry,
     metrics: Arc<ServerMetrics>,
-    model: EnergyModel,
     started: Instant,
 }
 
@@ -122,7 +121,6 @@ impl Server {
             batcher: Batcher::new(config.batch, Arc::clone(&metrics)),
             registry: SweepRegistry::default(),
             metrics,
-            model: EnergyModel::default(),
             started: Instant::now(),
         });
         Ok(Server { listener, ctx })
@@ -280,10 +278,8 @@ fn route(ctx: &Arc<Ctx>, request: &Request) -> Response {
         ),
         ("POST", "/simulate") => match parse_body(request) {
             Ok(doc) => match job_spec_from_json(&doc) {
-                Ok(spec) => match ctx.batcher.submit(spec) {
-                    Ok(result) => {
-                        Response::json(200, simulate_response(&spec, &result, &ctx.model))
-                    }
+                Ok((spec, node)) => match ctx.batcher.submit(spec) {
+                    Ok(result) => Response::json(200, simulate_response(&spec, &result, node)),
                     Err(e) => submit_error_response(e),
                 },
                 Err(message) => Response::error(400, &message),
@@ -318,8 +314,10 @@ fn route(ctx: &Arc<Ctx>, request: &Request) -> Response {
 fn handle_sweep(ctx: &Arc<Ctx>, spec: &sigcomp_explore::SweepSpec, sync: bool) -> Response {
     ServerMetrics::incr(&ctx.metrics.sweeps_submitted);
     let jobs = spec.enumerate();
+    // The decoder guarantees a non-empty model axis (default paper-180nm).
+    let node = spec.energy_model_axis()[0];
     if sync {
-        return match run_sweep_through_batcher(ctx, &jobs) {
+        return match run_sweep_through_batcher(ctx, &jobs, node) {
             Ok(body) => {
                 ServerMetrics::incr(&ctx.metrics.sweeps_completed);
                 Response::json(200, body)
@@ -335,7 +333,7 @@ fn handle_sweep(ctx: &Arc<Ctx>, spec: &sigcomp_explore::SweepSpec, sync: bool) -
     let spawned = std::thread::Builder::new()
         .name(format!("sigcomp-serve-sweep-{id}"))
         .spawn(move || {
-            match run_sweep_through_batcher(&ctx_for_job, &jobs) {
+            match run_sweep_through_batcher(&ctx_for_job, &jobs, node) {
                 Ok(body) => {
                     ServerMetrics::incr(&ctx_for_job.metrics.sweeps_completed);
                     ctx_for_job.registry.finish(id, body);
@@ -361,6 +359,7 @@ fn handle_sweep(ctx: &Arc<Ctx>, spec: &sigcomp_explore::SweepSpec, sync: bool) -
 fn run_sweep_through_batcher(
     ctx: &Arc<Ctx>,
     jobs: &[sigcomp_explore::JobSpec],
+    node: ProcessNode,
 ) -> Result<String, SubmitError> {
     let results = ctx.batcher.submit_many(jobs)?;
     let outcomes: Vec<JobOutcome> = jobs
@@ -372,7 +371,7 @@ fn run_sweep_through_batcher(
             from_cache: result.from_cache,
         })
         .collect();
-    Ok(sweep_result_json(&outcomes, &ctx.model))
+    Ok(sweep_result_json(&outcomes, node))
 }
 
 fn submit_error_response(e: SubmitError) -> Response {
@@ -405,7 +404,6 @@ mod tests {
             ),
             registry: SweepRegistry::default(),
             metrics,
-            model: EnergyModel::default(),
             started: Instant::now(),
         })
     }
@@ -456,6 +454,46 @@ mod tests {
         let r = post(&ctx, "/sweep", "{\"orgs\": [42]}");
         assert_eq!(r.status, 400);
         assert!(r.body.contains("array of strings"));
+        let r = post(
+            &ctx,
+            "/simulate",
+            "{\"workload\": \"rawcaudio\", \"energy_model\": \"3nm\"}",
+        );
+        assert_eq!(r.status, 400);
+        assert!(r.body.contains("unknown energy model"), "{}", r.body);
+    }
+
+    #[test]
+    fn simulate_honors_the_requested_energy_model() {
+        let ctx = test_ctx();
+        let r = post(
+            &ctx,
+            "/simulate",
+            "{\"workload\": \"rawcaudio\", \"size\": \"tiny\", \
+             \"energy_model\": \"modern-7nm\"}",
+        );
+        assert_eq!(r.status, 200, "{}", r.body);
+        let doc = Json::parse(&r.body).unwrap();
+        assert_eq!(
+            doc.get("energy_model").and_then(Json::as_str),
+            Some("modern-7nm")
+        );
+        assert!(doc.get("total_energy_saving").is_some(), "{}", r.body);
+        assert!(doc.get("leakage_saving").is_some(), "{}", r.body);
+
+        let r = post(
+            &ctx,
+            "/sweep",
+            "{\"workloads\": [\"rawcaudio\"], \"sizes\": [\"tiny\"], \
+             \"orgs\": [\"byte-serial\"], \"energy_model\": \"generic-45nm\", \
+             \"sync\": true}",
+        );
+        assert_eq!(r.status, 200, "{}", r.body);
+        let doc = Json::parse(&r.body).unwrap();
+        assert_eq!(
+            doc.get("energy_model").and_then(Json::as_str),
+            Some("generic-45nm")
+        );
     }
 
     #[test]

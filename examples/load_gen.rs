@@ -102,7 +102,16 @@ fn main() {
     assert_eq!(status, 200);
     let metrics = Json::parse(&metrics_body).expect("metrics JSON parses");
     let batch = metrics.get("batch").expect("batch section");
-    let field = |name: &str| batch.get(name).and_then(Json::as_u64).unwrap_or(0);
+    // Strict decode: a missing or non-exact counter fails with the decoder's
+    // named reason instead of silently reading as 0 and faking a perfect
+    // dedup factor.
+    let field = |name: &str| {
+        batch
+            .get(name)
+            .unwrap_or_else(|| panic!("metrics counter '{name}' is missing"))
+            .to_u64()
+            .unwrap_or_else(|e| panic!("metrics counter '{name}' {e}"))
+    };
     let requested = field("jobs_requested");
     let simulated = field("jobs_simulated");
     println!(

@@ -5,6 +5,7 @@
 use sigcomp::alu;
 use sigcomp::ext::{sig_mask, significant_bytes, ExtScheme};
 use sigcomp::pc::{pc_update_analytic, PcActivity};
+use sigcomp::{EnergyModel, ProcessNode};
 use sigcomp_explore::{simulate_job, simulate_trace, JobSpec, MemProfile, TraceSource};
 use sigcomp_isa::{reg, Interpreter, ProgramBuilder, TraceReader, TraceWriter};
 use sigcomp_pipeline::{OrgKind, Organization, PipelineSim, Stage};
@@ -164,6 +165,98 @@ fn recorded_then_replayed_traces_time_and_count_identically_to_live_runs() {
             }
         }
     }
+}
+
+#[test]
+fn zero_leakage_preset_reproduces_the_dynamic_only_figures_bit_for_bit() {
+    // The invariant that keeps the leakage refactor honest: the energy model
+    // is post-processing, so (1) simulation output is identical no matter
+    // which preset will read it, and (2) the zero-leakage preset's figures
+    // are bit-identical to the pre-leakage dynamic-only model — which is
+    // what pins the golden corpus (its expected JSON embeds these integer
+    // counters and job ids) to its pre-leakage bytes.
+    let benchmark = &suite(WorkloadSize::Tiny)[0];
+    for &org in OrgKind::ALL {
+        let spec = JobSpec {
+            scheme: ExtScheme::ThreeBit,
+            org,
+            workload: benchmark.name(),
+            size: WorkloadSize::Tiny,
+            mem: MemProfile::Paper,
+            source: TraceSource::Kernel,
+        };
+        let metrics = simulate_job(&spec, benchmark);
+        assert_eq!(metrics, simulate_job(&spec, benchmark));
+
+        let paper = ProcessNode::Paper180nm.model();
+        assert_eq!(paper, EnergyModel::default());
+        assert!(!paper.has_leakage());
+        assert_eq!(
+            paper.saving(&metrics.activity),
+            EnergyModel::default().saving(&metrics.activity),
+            "{org:?}"
+        );
+        for &node in ProcessNode::ALL {
+            assert_eq!(
+                node.model().dynamic_saving(&metrics.activity),
+                paper.saving(&metrics.activity),
+                "{org:?}/{node}: a leakage preset disturbed the dynamic term"
+            );
+        }
+    }
+}
+
+#[test]
+fn sweep_metrics_carry_organization_dependent_gated_occupancy() {
+    // The sweep path weighs leakage with the timed pipeline's lane budgets:
+    // the 32-bit baseline can never gate a datapath lane, the byte-serial
+    // machine has almost nothing to gate (one busy narrow lane), and the
+    // full-width compressed machine gates most of its budget on narrow data.
+    let benchmark = &suite(WorkloadSize::Tiny)[0];
+    let metrics_for = |org: OrgKind| {
+        let spec = JobSpec {
+            scheme: ExtScheme::ThreeBit,
+            org,
+            workload: benchmark.name(),
+            size: WorkloadSize::Tiny,
+            mem: MemProfile::Paper,
+            source: TraceSource::Kernel,
+        };
+        simulate_job(&spec, benchmark)
+    };
+    let datapath_gating = |m: &sigcomp_explore::JobMetrics| {
+        let a = &m.activity;
+        let gated: u64 = [a.fetch, a.rf_read, a.rf_write, a.alu, a.dcache_data]
+            .iter()
+            .map(|s| s.gated_byte_cycles)
+            .sum();
+        let total: u64 = [a.fetch, a.rf_read, a.rf_write, a.alu, a.dcache_data]
+            .iter()
+            .map(|s| s.total_byte_cycles)
+            .sum();
+        (gated, total)
+    };
+
+    let (baseline_gated, baseline_total) = datapath_gating(&metrics_for(OrgKind::Baseline32));
+    assert_eq!(baseline_gated, 0, "the baseline has no extension bits");
+    assert!(baseline_total > 0);
+
+    let (serial_gated, serial_total) = datapath_gating(&metrics_for(OrgKind::ByteSerial));
+    let (wide_gated, wide_total) = datapath_gating(&metrics_for(OrgKind::ParallelCompressed));
+    assert!(serial_total > 0 && wide_total > 0);
+    let serial_fraction = serial_gated as f64 / serial_total as f64;
+    let wide_fraction = wide_gated as f64 / wide_total as f64;
+    assert!(
+        wide_fraction > serial_fraction,
+        "wide lanes must gate a larger fraction: serial {serial_fraction:.3} \
+         vs compressed {wide_fraction:.3}"
+    );
+    // And the leaky presets turn exactly that difference into energy:
+    let modern = ProcessNode::Modern7nm.model();
+    assert!(
+        modern.leakage_saving(&metrics_for(OrgKind::ParallelCompressed).activity)
+            > modern.leakage_saving(&metrics_for(OrgKind::ByteSerial).activity)
+    );
 }
 
 #[test]

@@ -5,7 +5,11 @@
 use sigcomp::analyzer::{AnalyzerConfig, TraceAnalyzer};
 use sigcomp::ext::{CompressedWord, ExtScheme};
 use sigcomp::ifetch::{compress_instruction, decompress_instruction, FunctRecoder};
-use sigcomp::EnergyModel;
+use sigcomp::{EnergyModel, ProcessNode};
+use sigcomp_explore::{
+    config_points, pareto_frontier, run_sweep, to_csv, to_json, ConfigPoint, SweepOptions,
+    SweepSpec,
+};
 use sigcomp_pipeline::{simulate_all, simulate_trace, OrgKind};
 use sigcomp_workloads::{suite, SynthConfig, TraceSynthesizer, WorkloadSize};
 
@@ -118,6 +122,72 @@ fn activity_reports_merge_across_benchmarks() {
         merged.merge(&report);
     }
     assert_eq!(merged.total().baseline_bits, per_benchmark_total);
+}
+
+#[test]
+fn process_node_presets_shift_a_real_sweep_frontier() {
+    // The paper's primary slice, evaluated under every process-node preset.
+    // Dynamic switching activity is organization-independent, so the
+    // dynamic-only frontier keeps only the fastest compressed organization;
+    // a leaky node credits the full-width compressed machine its mostly
+    // gated-off lanes, pulling it onto the frontier even at a higher CPI.
+    let spec = SweepSpec::paper(WorkloadSize::Tiny);
+    let summary = run_sweep(&spec, &SweepOptions::with_workers(4));
+    let points = config_points(&summary.outcomes);
+
+    let labels = |node: ProcessNode| -> Vec<String> {
+        pareto_frontier(&points, &node.model())
+            .iter()
+            .map(ConfigPoint::label)
+            .collect()
+    };
+    let paper = labels(ProcessNode::Paper180nm);
+    let modern = labels(ProcessNode::Modern7nm);
+    assert_ne!(
+        paper, modern,
+        "a leakage-heavy node must change which configurations are Pareto-optimal"
+    );
+    assert!(
+        !paper.iter().any(|l| l.contains("/compressed/")),
+        "dynamic-only: the compressed organization is dominated: {paper:?}"
+    );
+    assert!(
+        modern.iter().any(|l| l.contains("/compressed/")),
+        "modern-7nm: gated wide lanes must pull the compressed organization \
+         onto the frontier: {modern:?}"
+    );
+
+    // The dynamic term itself is untouched by any preset.
+    for point in &points {
+        let dynamic_only = point.energy_saving(&ProcessNode::Paper180nm.model());
+        for &node in ProcessNode::ALL {
+            assert_eq!(
+                point.dynamic_energy_saving(&node.model()),
+                dynamic_only,
+                "{}: leakage weights disturbed the dynamic term",
+                point.label()
+            );
+        }
+    }
+
+    // Zero-leakage exports are bit-identical to the pre-leakage format, and
+    // the leaky presets only append columns.
+    let default_csv = to_csv(&summary.outcomes, &EnergyModel::default());
+    assert_eq!(
+        default_csv,
+        to_csv(&summary.outcomes, &ProcessNode::Paper180nm.model())
+    );
+    assert!(!default_csv.contains("total_energy_saving"));
+    let default_json = to_json(&summary.outcomes, &EnergyModel::default());
+    assert_eq!(
+        default_json,
+        to_json(&summary.outcomes, &ProcessNode::Paper180nm.model())
+    );
+    assert!(to_csv(&summary.outcomes, &ProcessNode::Modern7nm.model())
+        .lines()
+        .next()
+        .unwrap()
+        .ends_with("total_energy_saving,leakage_saving"));
 }
 
 #[test]
