@@ -1,14 +1,21 @@
 //! `repro` — regenerate every table and figure of the paper, run
-//! design-space sweeps, record/replay portable traces, and serve simulations
-//! over HTTP.
+//! design-space sweeps (single-process or sharded across worker processes),
+//! record/replay portable traces, and serve simulations over HTTP.
 //!
 //! ```text
 //! repro [--size tiny|default|large] [table1|table2|table3|table4|table5|table6|
 //!        fig4|fig6|fig8|fig10|bottleneck|sweep|energy|serve|all]
 //! repro trace record|replay|stat|golden …
+//! repro worker --shard I/N --cache DIR [--workers N] [--traces a,b]
 //!
 //! sweep options:
-//!   --workers N          worker threads (default: available parallelism)
+//!   --workers N          worker threads (default: available parallelism;
+//!                        with --shards, threads per shard process)
+//!   --shards N           fan the sweep out across N `repro worker` child
+//!                        processes sharing the result cache; merged output
+//!                        is byte-identical to the single-process run
+//!                        (requires the cache: incompatible with --no-cache;
+//!                        set REPRO_WORKER to interpose a worker launcher)
 //!   --schemes a,b        extension schemes: 2bit,3bit,halfword (default: all)
 //!   --orgs a,b           organizations by id, or "all" (default: all)
 //!   --mems a,b           memory profiles: paper,small-l1,wide-l2,slow-memory
@@ -31,6 +38,20 @@
 //! serve options (plus --workers/--cache/--no-cache as above):
 //!   --addr HOST:PORT     listen address (default: 127.0.0.1:7878)
 //!   --max-batch N        jobs coalesced per executor batch (default: 64)
+//!   --backend B          where batches execute: local (default) or
+//!                        subprocess[:SHARDS] — sharded `repro worker`
+//!                        children merging through the shared cache
+//!                        (requires --cache)
+//!   --memo-cap N         in-memory result-memo entries retained (default
+//!                        4096, oldest evicted first)
+//!   --ticket-cap N       finished /sweep tickets retained for polling
+//!                        (default 64, oldest evicted first)
+//!
+//! worker (the subprocess-backend shard protocol; normally spawned by
+//! `repro sweep --shards` or `repro serve --backend subprocess`, not by
+//! hand): reads the deduped job list on stdin — one line per job, sorted by
+//! job id — executes the lines with index % N == I against the shared
+//! cache, and reports per-job provenance on stdout.
 //!
 //! trace subcommands:
 //!   trace record WORKLOAD|--all --out PATH [--size S]
@@ -52,8 +73,9 @@ use sigcomp_bench::{
     merged_stats, table1, table2, table3, table4,
 };
 use sigcomp_explore::{
-    config_points, frontier_table, run_sweep, to_csv, to_json, MemProfile, ResultCache,
-    SweepOptions, SweepSpec, TraceInput,
+    config_points, frontier_table, parse_shard, run_sweep, to_csv, to_json, try_run_jobs_traced,
+    try_run_sweep, ExecBackend, JobSpec, MemProfile, ResultCache, SubprocessConfig, SweepOptions,
+    SweepSpec, TraceInput, TraceSource, WORKER_HEADER,
 };
 use sigcomp_isa::TraceReader;
 use sigcomp_pipeline::OrgKind;
@@ -70,13 +92,18 @@ usage: repro [--size tiny|default|large] \
                    [--energy-model paper-180nm|generic-45nm|modern-7nm]
        repro trace stat FILE
        repro trace golden DIR
-sweep options: [--workers N] [--schemes 2bit,3bit,halfword] [--orgs all|id,id,...]
-[--mems paper,small-l1,wide-l2,slow-memory] [--traces f1.sctrace,f2.sctrace]
+       repro worker --shard I/N --cache DIR [--workers N] [--traces a,b]
+sweep options: [--workers N] [--shards N] [--schemes 2bit,3bit,halfword]
+[--orgs all|id,id,...] [--mems paper,small-l1,wide-l2,slow-memory]
+[--traces f1.sctrace,f2.sctrace]
 [--energy-model paper-180nm,generic-45nm,modern-7nm]
 [--cache DIR] [--no-cache] [--csv PATH] [--json PATH]
+(--shards requires the cache: worker processes merge through it; set
+REPRO_WORKER to interpose a worker launcher)
 energy options: [--workers N] [--schemes a,b] [--orgs all|a,b] [--mems a,b]
 [--cache DIR] [--no-cache]
-serve options: [--addr HOST:PORT] [--max-batch N] [--workers N] [--cache DIR] [--no-cache]";
+serve options: [--addr HOST:PORT] [--max-batch N] [--backend local|subprocess[:N]]
+[--memo-cap N] [--ticket-cap N] [--workers N] [--cache DIR] [--no-cache]";
 
 fn usage() -> ExitCode {
     eprintln!("{USAGE}");
@@ -94,6 +121,7 @@ fn fail(message: &str) -> ExitCode {
 #[derive(Default)]
 struct SweepArgs {
     workers: Option<usize>,
+    shards: Option<usize>,
     schemes: Option<Vec<ExtScheme>>,
     orgs: Option<Vec<OrgKind>>,
     mems: Option<Vec<MemProfile>>,
@@ -105,6 +133,61 @@ struct SweepArgs {
     json: Option<String>,
     addr: Option<String>,
     max_batch: Option<usize>,
+    backend: Option<BackendChoice>,
+    memo_cap: Option<usize>,
+    ticket_cap: Option<usize>,
+}
+
+/// The `--backend` value of `repro serve`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BackendChoice {
+    /// In-process threads (the default).
+    Local,
+    /// Sharded `repro worker` subprocesses.
+    Subprocess(usize),
+}
+
+/// Parses a `--backend` value: `local`, `subprocess`, or `subprocess:N`.
+fn parse_backend(raw: &str) -> Result<BackendChoice, String> {
+    if raw == "local" {
+        return Ok(BackendChoice::Local);
+    }
+    let shards = match raw.split_once(':') {
+        None if raw == "subprocess" => {
+            std::thread::available_parallelism().map_or(2, std::num::NonZeroUsize::get)
+        }
+        Some(("subprocess", n)) => n.parse().ok().filter(|&n: &usize| n > 0).ok_or_else(|| {
+            format!(
+                "invalid value '{raw}' for --backend \
+                     (the shard count must be a positive integer)"
+            )
+        })?,
+        _ => {
+            return Err(format!(
+                "invalid value '{raw}' for --backend (expected local or subprocess[:SHARDS])"
+            ))
+        }
+    };
+    Ok(BackendChoice::Subprocess(shards))
+}
+
+/// The worker executable the subprocess backend spawns: `REPRO_WORKER` when
+/// set (to interpose a launcher — a container or ssh wrapper, say),
+/// otherwise this very binary.
+fn worker_program() -> Result<std::path::PathBuf, String> {
+    if let Some(program) = std::env::var_os("REPRO_WORKER") {
+        return Ok(std::path::PathBuf::from(program));
+    }
+    std::env::current_exe()
+        .map_err(|e| format!("cannot locate the repro binary to spawn workers: {e}"))
+}
+
+/// Builds the subprocess backend config shared by `sweep --shards` and
+/// `serve --backend subprocess`.
+fn subprocess_backend(shards: usize, trace_paths: &[String]) -> Result<ExecBackend, String> {
+    let mut config = SubprocessConfig::new(shards, worker_program()?);
+    config.trace_paths = trace_paths.to_vec();
+    Ok(ExecBackend::Subprocess(config))
 }
 
 fn parse_list<T>(value: &str, parse: impl Fn(&str) -> Option<T>) -> Option<Vec<T>> {
@@ -159,9 +242,33 @@ fn run_sweep_command(size: WorkloadSize, args: &SweepArgs) -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    let cache = open_cache(args, "sweep");
+    let backend = match args.shards {
+        None => ExecBackend::LocalThreads,
+        Some(shards) => {
+            // The shared cache directory is how worker processes publish
+            // their results back; without it there is nothing to merge.
+            if args.no_cache {
+                return fail("--shards requires the result cache (drop --no-cache)");
+            }
+            if cache.is_none() {
+                eprintln!("sweep: --shards requires the result cache, which could not be opened");
+                return ExitCode::FAILURE;
+            }
+            let trace_paths = args.traces.clone().unwrap_or_default();
+            match subprocess_backend(shards, &trace_paths) {
+                Ok(backend) => backend,
+                Err(e) => {
+                    eprintln!("sweep: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
     let options = SweepOptions {
         workers: args.workers,
-        cache: open_cache(args, "sweep"),
+        cache,
+        backend,
     };
 
     println!(
@@ -169,10 +276,21 @@ fn run_sweep_command(size: WorkloadSize, args: &SweepArgs) -> ExitCode {
         spec.len(),
         size.name()
     );
-    let summary = run_sweep(&spec, &options);
+    let summary = match try_run_sweep(&spec, &options) {
+        Ok(summary) => summary,
+        Err(e) => {
+            eprintln!("sweep: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     println!(
-        "ran on {} workers in {:.2} s: {} simulated, {} from cache",
+        "ran on {} {} in {:.2} s: {} simulated, {} from cache",
         summary.workers,
+        if summary.backend == "subprocess" {
+            "worker processes"
+        } else {
+            "workers"
+        },
         summary.wall.as_secs_f64(),
         summary.simulated(),
         summary.cached()
@@ -240,6 +358,7 @@ fn run_energy_command(size: WorkloadSize, args: &SweepArgs) -> ExitCode {
     let options = SweepOptions {
         workers: args.workers,
         cache: open_cache(args, "energy"),
+        backend: ExecBackend::LocalThreads,
     };
     println!(
         "energy: {} configurations at size {}, compared across {} process-node presets",
@@ -324,14 +443,40 @@ fn run_energy_command(size: WorkloadSize, args: &SweepArgs) -> ExitCode {
 
 /// Runs the HTTP serving front-end (blocks until the listener fails).
 fn run_serve_command(args: &SweepArgs) -> ExitCode {
+    let disk_cache = open_cache(args, "serve");
+    let backend = match args.backend.unwrap_or(BackendChoice::Local) {
+        BackendChoice::Local => ExecBackend::LocalThreads,
+        BackendChoice::Subprocess(shards) => {
+            if args.no_cache {
+                return fail("--backend subprocess requires the result cache (drop --no-cache)");
+            }
+            if disk_cache.is_none() {
+                eprintln!(
+                    "serve: --backend subprocess requires the result cache, \
+                     which could not be opened"
+                );
+                return ExitCode::FAILURE;
+            }
+            match subprocess_backend(shards, &[]) {
+                Ok(backend) => backend,
+                Err(e) => {
+                    eprintln!("serve: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
     let config = ServeConfig {
         addr: args.addr.clone().unwrap_or_default(),
         batch: BatchConfig {
             max_batch: args.max_batch.unwrap_or(0),
             queue_capacity: 0,
             sim_workers: args.workers,
-            disk_cache: open_cache(args, "serve"),
+            disk_cache,
+            backend,
+            memo_capacity: args.memo_cap.unwrap_or(0),
         },
+        finished_tickets: args.ticket_cap.unwrap_or(0),
     };
     let server = match Server::bind(config) {
         Ok(server) => server,
@@ -657,6 +802,152 @@ fn trace_golden(args: &[String]) -> ExitCode {
     }
 }
 
+/// Runs one shard of a sharded sweep (the subprocess-backend worker
+/// protocol; see `sigcomp_explore::backend`): reads the deduped job list
+/// from stdin — one wire line per job, sorted by job id by the parent —
+/// executes the lines whose 0-based index satisfies `index % N == I` on the
+/// in-process executor against the shared result cache, and reports per-job
+/// provenance on stdout for the parent to verify.
+fn run_worker_command(args: &[String]) -> ExitCode {
+    let mut shard: Option<(usize, usize)> = None;
+    let mut cache_dir: Option<String> = None;
+    let mut workers: Option<usize> = None;
+    let mut trace_paths: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--shard" => {
+                let Some(raw) = it.next() else {
+                    return fail("--shard expects a value");
+                };
+                shard = match parse_shard(raw) {
+                    Ok(parsed) => Some(parsed),
+                    Err(e) => return fail(&format!("invalid value '{raw}' for --shard: {e}")),
+                };
+            }
+            "--cache" => {
+                let Some(value) = it.next() else {
+                    return fail("--cache expects a value");
+                };
+                cache_dir = Some(value.clone());
+            }
+            "--workers" => {
+                let Some(raw) = it.next() else {
+                    return fail("--workers expects a value");
+                };
+                let Some(value) = raw.parse().ok().filter(|&n: &usize| n > 0) else {
+                    return fail(&format!(
+                        "invalid value '{raw}' for --workers (expected a positive integer)"
+                    ));
+                };
+                workers = Some(value);
+            }
+            "--traces" => {
+                let Some(raw) = it.next() else {
+                    return fail("--traces expects a value");
+                };
+                trace_paths = raw
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|p| !p.is_empty())
+                    .map(str::to_owned)
+                    .collect();
+            }
+            other => return fail(&format!("unknown worker option '{other}'")),
+        }
+    }
+    let Some((index, count)) = shard else {
+        return fail("worker requires --shard INDEX/COUNT");
+    };
+    let Some(cache_dir) = cache_dir else {
+        return fail("worker requires --cache DIR (the shared merge point)");
+    };
+    let cache = match ResultCache::open(&cache_dir) {
+        Ok(cache) => cache,
+        Err(e) => {
+            eprintln!("worker: cannot open result cache at {cache_dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut traces = Vec::with_capacity(trace_paths.len());
+    for path in &trace_paths {
+        match TraceInput::load(path) {
+            Ok(input) => traces.push(input),
+            Err(e) => {
+                eprintln!("worker: cannot read trace {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    // Drain stdin to EOF *before* simulating — the parent relies on this to
+    // feed every worker without deadlocking against their reports.
+    let mut wire = String::new();
+    if let Err(e) = std::io::Read::read_to_string(&mut std::io::stdin().lock(), &mut wire) {
+        eprintln!("worker: cannot read the job list from stdin: {e}");
+        return ExitCode::FAILURE;
+    }
+    let mut jobs: Vec<JobSpec> = Vec::new();
+    for (rank, line) in wire.lines().filter(|l| !l.trim().is_empty()).enumerate() {
+        // Every line is validated — a malformed list must fail loudly even
+        // if the bad line belongs to a sibling shard.
+        let job = match JobSpec::from_wire(line) {
+            Ok(job) => job,
+            Err(e) => {
+                eprintln!("worker: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if rank % count == index {
+            jobs.push(job);
+        }
+    }
+    for job in &jobs {
+        if let TraceSource::File { digest } = job.source {
+            if !traces.iter().any(|t| t.digest() == digest) {
+                eprintln!(
+                    "worker: no trace with digest {digest:016x} for job {} \
+                     (pass its .sctrace file via --traces)",
+                    job.label()
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let options = SweepOptions {
+        workers,
+        cache: Some(cache),
+        backend: ExecBackend::LocalThreads,
+    };
+    let summary = match try_run_jobs_traced(&jobs, &traces, &options) {
+        Ok(summary) => summary,
+        Err(e) => {
+            eprintln!("worker: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{WORKER_HEADER} shard {index}/{count}");
+    for outcome in &summary.outcomes {
+        println!(
+            "job {:016x} {}",
+            outcome.spec.job_id(),
+            if outcome.from_cache {
+                "cached"
+            } else {
+                "simulated"
+            }
+        );
+    }
+    println!(
+        "done jobs={} simulated={} cached={}",
+        summary.outcomes.len(),
+        summary.simulated(),
+        summary.cached()
+    );
+    ExitCode::SUCCESS
+}
+
 /// Dispatches `repro trace <subcommand> …`.
 fn run_trace_command(args: &[String]) -> ExitCode {
     let Some(verb) = args.first() else {
@@ -678,10 +969,14 @@ fn main() -> ExitCode {
     let mut sweep_args = SweepArgs::default();
 
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    // `trace` owns its own argument grammar (subcommand + positional files),
-    // so it is dispatched before the global flag loop.
+    // `trace` and `worker` own their own argument grammars (subcommand +
+    // positional files / the shard protocol flags), so they are dispatched
+    // before the global flag loop.
     if argv.first().map(String::as_str) == Some("trace") {
         return run_trace_command(&argv[1..]);
+    }
+    if argv.first().map(String::as_str) == Some("worker") {
+        return run_worker_command(&argv[1..]);
     }
 
     let mut args = argv.into_iter();
@@ -721,6 +1016,40 @@ fn main() -> ExitCode {
                     ));
                 };
                 sweep_args.max_batch = Some(value);
+            }
+            "--shards" => {
+                let raw = value_of!("--shards");
+                let Some(value) = raw.parse().ok().filter(|&n: &usize| n > 0) else {
+                    return fail(&format!(
+                        "invalid value '{raw}' for --shards (expected a positive integer)"
+                    ));
+                };
+                sweep_args.shards = Some(value);
+            }
+            "--backend" => {
+                let raw = value_of!("--backend");
+                sweep_args.backend = match parse_backend(&raw) {
+                    Ok(choice) => Some(choice),
+                    Err(e) => return fail(&e),
+                };
+            }
+            "--memo-cap" => {
+                let raw = value_of!("--memo-cap");
+                let Some(value) = raw.parse().ok().filter(|&n: &usize| n > 0) else {
+                    return fail(&format!(
+                        "invalid value '{raw}' for --memo-cap (expected a positive integer)"
+                    ));
+                };
+                sweep_args.memo_cap = Some(value);
+            }
+            "--ticket-cap" => {
+                let raw = value_of!("--ticket-cap");
+                let Some(value) = raw.parse().ok().filter(|&n: &usize| n > 0) else {
+                    return fail(&format!(
+                        "invalid value '{raw}' for --ticket-cap (expected a positive integer)"
+                    ));
+                };
+                sweep_args.ticket_cap = Some(value);
             }
             "--schemes" => {
                 let raw = value_of!("--schemes");
@@ -798,13 +1127,20 @@ fn main() -> ExitCode {
             other if other.starts_with('-') => {
                 return fail(&format!("unknown option '{other}'"));
             }
-            // `trace` owns its own grammar (its option flags would otherwise
-            // be misreported by this loop), so a misplaced one gets a
-            // pointed error instead of "unknown option '--out'".
+            // `trace` and `worker` own their own grammars (their option
+            // flags would otherwise be misreported by this loop), so a
+            // misplaced one gets a pointed error instead of
+            // "unknown option '--out'".
             "trace" => {
                 return fail(
                     "'trace' must be the first argument \
                      (e.g. `repro trace record rawcaudio --size tiny --out f.sctrace`)",
+                );
+            }
+            "worker" => {
+                return fail(
+                    "'worker' must be the first argument \
+                     (e.g. `repro worker --shard 0/2 --cache DIR`)",
                 );
             }
             other => commands.push(other.to_owned()),
@@ -820,6 +1156,7 @@ fn main() -> ExitCode {
     let runs = |command: &str| commands.iter().any(|c| c == command);
     if !runs("sweep") {
         for (set, flag) in [
+            (sweep_args.shards.is_some(), "--shards"),
             (sweep_args.traces.is_some(), "--traces"),
             (sweep_args.energy_models.is_some(), "--energy-model"),
             (sweep_args.csv.is_some(), "--csv"),
@@ -847,6 +1184,9 @@ fn main() -> ExitCode {
         for (set, flag) in [
             (sweep_args.addr.is_some(), "--addr"),
             (sweep_args.max_batch.is_some(), "--max-batch"),
+            (sweep_args.backend.is_some(), "--backend"),
+            (sweep_args.memo_cap.is_some(), "--memo-cap"),
+            (sweep_args.ticket_cap.is_some(), "--ticket-cap"),
         ] {
             if set {
                 return fail(&format!("{flag} only applies to the serve subcommand"));

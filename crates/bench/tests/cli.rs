@@ -396,3 +396,339 @@ fn serve_fails_cleanly_on_an_unbindable_address() {
     assert!(!out.status.success());
     assert!(stderr(&out).contains("cannot bind listener"));
 }
+
+#[test]
+fn shards_flag_is_validated_and_sweep_only() {
+    for (args, needle) in [
+        (
+            &["--size", "tiny", "sweep", "--shards", "0"][..],
+            "invalid value '0' for --shards",
+        ),
+        (
+            &["--size", "tiny", "sweep", "--shards", "three"],
+            "invalid value 'three' for --shards",
+        ),
+        (&["sweep", "--shards"], "--shards expects a value"),
+        (
+            &["table1", "--shards", "2"],
+            "--shards only applies to the sweep subcommand",
+        ),
+        (
+            &["--size", "tiny", "sweep", "--no-cache", "--shards", "2"],
+            "--shards requires the result cache",
+        ),
+    ] {
+        let out = repro(args);
+        assert!(!out.status.success(), "{args:?} must fail");
+        let err = stderr(&out);
+        assert!(err.contains(needle), "{args:?}: {err}");
+    }
+}
+
+#[test]
+fn worker_argument_errors_are_named() {
+    let dir = temp_dir("worker-args");
+    let cache = dir.join("cache");
+    let cache = cache.to_str().unwrap();
+    for (args, needle) in [
+        (
+            &["worker", "--cache", cache][..],
+            "worker requires --shard INDEX/COUNT",
+        ),
+        (&["worker", "--shard", "0/2"], "worker requires --cache DIR"),
+        (&["worker", "--shard"], "--shard expects a value"),
+        (
+            &["worker", "--shard", "3/2", "--cache", cache],
+            "invalid value '3/2' for --shard",
+        ),
+        (
+            &["worker", "--shard", "2/2", "--cache", cache],
+            "the shard index must be below the shard count",
+        ),
+        (
+            &["worker", "--shard", "0/0", "--cache", cache],
+            "the shard count must be positive",
+        ),
+        (
+            &["worker", "--shard", "zero/two", "--cache", cache],
+            "is not an integer",
+        ),
+        (
+            &["worker", "--shard", "0of2", "--cache", cache],
+            "expected INDEX/COUNT",
+        ),
+        (
+            &["worker", "--shard", "0/1", "--cache", cache, "--frobnicate"],
+            "unknown worker option '--frobnicate'",
+        ),
+        (
+            &["--size", "tiny", "worker", "--shard", "0/1"],
+            "'worker' must be the first argument",
+        ),
+    ] {
+        let out = repro(args);
+        assert!(!out.status.success(), "{args:?} must fail");
+        let err = stderr(&out);
+        assert!(err.contains(needle), "{args:?}: {err}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn worker_rejects_malformed_job_lines_from_stdin() {
+    use std::io::Write as _;
+    let dir = temp_dir("worker-stdin");
+    let cache = dir.join("cache");
+    let mut child = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args([
+            "worker",
+            "--shard",
+            "0/1",
+            "--cache",
+            cache.to_str().unwrap(),
+        ])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("worker spawns");
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(b"kernel rawcaudio tiny paper 3bit byte-serial\ngarbage line\n")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(!out.status.success(), "malformed job lines must fail");
+    let err = stderr(&out);
+    assert!(err.contains("bad job line 'garbage line'"), "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn dead_and_unspawnable_worker_children_produce_named_errors() {
+    // A worker that dies (here: /bin/false via the REPRO_WORKER launcher
+    // override) must surface as a named failure with a failing exit code,
+    // never a hang or a partial merge.
+    let dir = temp_dir("dead-worker");
+    let cache = dir.join("cache");
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args([
+            "--size",
+            "tiny",
+            "sweep",
+            "--shards",
+            "2",
+            "--schemes",
+            "3bit",
+            "--orgs",
+            "baseline32",
+            "--cache",
+            cache.to_str().unwrap(),
+        ])
+        .env("REPRO_WORKER", "/bin/false")
+        .output()
+        .expect("repro runs");
+    assert!(
+        !out.status.success(),
+        "a dead worker child must fail the sweep"
+    );
+    let err = stderr(&out);
+    assert!(err.contains("worker shard 0/2 failed"), "{err}");
+
+    // And a worker binary that cannot even be spawned names the shard too.
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args([
+            "--size",
+            "tiny",
+            "sweep",
+            "--shards",
+            "2",
+            "--schemes",
+            "3bit",
+            "--orgs",
+            "baseline32",
+            "--cache",
+            cache.to_str().unwrap(),
+        ])
+        .env("REPRO_WORKER", "/definitely/not/a/binary")
+        .output()
+        .expect("repro runs");
+    assert!(!out.status.success());
+    let err = stderr(&out);
+    assert!(err.contains("cannot spawn worker shard 0/2"), "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sharded_sweeps_are_byte_identical_to_single_process_runs() {
+    let dir = temp_dir("sharded-equiv");
+    let cache = dir.join("cache");
+    let single_csv = dir.join("single.csv");
+    let single_json = dir.join("single.json");
+    let sharded_csv = dir.join("sharded.csv");
+    let sharded_json = dir.join("sharded.json");
+
+    let base = [
+        "--size",
+        "tiny",
+        "sweep",
+        "--schemes",
+        "3bit",
+        "--orgs",
+        "baseline32,byte-serial",
+    ];
+    let mut single = base.to_vec();
+    single.extend(["--no-cache", "--csv", single_csv.to_str().unwrap()]);
+    single.extend(["--json", single_json.to_str().unwrap()]);
+    let out = repro(&single);
+    assert!(out.status.success(), "{}", stderr(&out));
+
+    let mut sharded = base.to_vec();
+    sharded.extend(["--shards", "3", "--cache", cache.to_str().unwrap()]);
+    sharded.extend(["--csv", sharded_csv.to_str().unwrap()]);
+    sharded.extend(["--json", sharded_json.to_str().unwrap()]);
+    let out = repro(&sharded);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(text.contains("ran on 3 worker processes"), "{text}");
+
+    // The merge invariant: for any shard count, merged exports are
+    // byte-identical to the single-process sweep.
+    assert_eq!(
+        std::fs::read(&single_csv).unwrap(),
+        std::fs::read(&sharded_csv).unwrap(),
+        "sharded CSV must be byte-identical"
+    );
+    assert_eq!(
+        std::fs::read(&single_json).unwrap(),
+        std::fs::read(&sharded_json).unwrap(),
+        "sharded JSON must be byte-identical"
+    );
+
+    // A warm rerun with a different shard count answers everything from the
+    // shared cache and still exports the same bytes.
+    let rerun_csv = dir.join("rerun.csv");
+    let mut rerun = base.to_vec();
+    rerun.extend(["--shards", "2", "--cache", cache.to_str().unwrap()]);
+    rerun.extend(["--csv", rerun_csv.to_str().unwrap()]);
+    let out = repro(&rerun);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(text.contains("0 simulated, 22 from cache"), "{text}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn serve_backend_flag_is_validated() {
+    for (args, needle) in [
+        (
+            &["serve", "--backend", "warp"][..],
+            "invalid value 'warp' for --backend",
+        ),
+        (
+            &["serve", "--backend", "subprocess:0"],
+            "invalid value 'subprocess:0' for --backend",
+        ),
+        (
+            &["serve", "--no-cache", "--backend", "subprocess:2"],
+            "--backend subprocess requires the result cache",
+        ),
+        (
+            &["table1", "--backend", "local"],
+            "--backend only applies to the serve subcommand",
+        ),
+        (
+            &["table1", "--memo-cap", "10"],
+            "--memo-cap only applies to the serve subcommand",
+        ),
+        (
+            &["serve", "--memo-cap", "0"],
+            "invalid value '0' for --memo-cap",
+        ),
+        (
+            &["serve", "--ticket-cap", "-1"],
+            "invalid value '-1' for --ticket-cap",
+        ),
+    ] {
+        let out = repro(args);
+        assert!(!out.status.success(), "{args:?} must fail");
+        let err = stderr(&out);
+        assert!(err.contains(needle), "{args:?}: {err}");
+    }
+}
+
+#[test]
+fn serve_on_the_subprocess_backend_answers_and_counts_dispatch() {
+    use std::io::{BufRead, BufReader, Read, Write};
+    use std::net::TcpStream;
+
+    let dir = temp_dir("serve-subprocess");
+    let cache = dir.join("cache");
+    let mut child = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--backend",
+            "subprocess:2",
+            "--cache",
+            cache.to_str().unwrap(),
+        ])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("serve spawns");
+
+    // The banner names the bound address (port 0 picks a free one).
+    let mut stdout = BufReader::new(child.stdout.take().unwrap());
+    let addr = loop {
+        let mut line = String::new();
+        if stdout.read_line(&mut line).unwrap() == 0 {
+            let _ = child.kill();
+            panic!("serve exited before printing its address");
+        }
+        if let Some(rest) = line.trim().strip_prefix("serving on http://") {
+            break rest.to_owned();
+        }
+    };
+
+    let request = |method: &str, path: &str, body: &str| -> (u16, String) {
+        let mut stream = TcpStream::connect(&addr).expect("connect");
+        let request = format!(
+            "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        stream.write_all(request.as_bytes()).expect("send");
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).expect("read");
+        let status = raw.split(' ').nth(1).and_then(|s| s.parse().ok()).unwrap();
+        let payload = raw
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_owned())
+            .unwrap_or_default();
+        (status, payload)
+    };
+
+    // A simulation served through sharded worker subprocesses...
+    let (status, body) = request(
+        "POST",
+        "/simulate",
+        "{\"workload\": \"rawcaudio\", \"size\": \"tiny\"}",
+    );
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"cycles\": "), "{body}");
+
+    // ...is what the dispatch counters must attribute to the subprocess
+    // backend.
+    let (status, metrics) = request("GET", "/metrics", "");
+    assert_eq!(status, 200, "{metrics}");
+    assert!(
+        metrics.contains("\"dispatch\": {\"local\": 0, \"subprocess\": 1}"),
+        "{metrics}"
+    );
+
+    let _ = child.kill();
+    let _ = child.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}

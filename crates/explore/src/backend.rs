@@ -1,0 +1,757 @@
+//! Pluggable execution backends: where the jobs of a sweep actually run.
+//!
+//! Every execution path in the workspace — `repro sweep`, the serving
+//! front-end's [`Batcher`](../../sigcomp_serve/batch/struct.Batcher.html),
+//! the examples — funnels through one dispatch point
+//! ([`crate::try_run_jobs_traced`]) parameterized by an [`ExecBackend`]:
+//!
+//! * [`ExecBackend::LocalThreads`] — the in-process work-stealing executor
+//!   ([`crate::executor`]), behavior-preserving with the original engine.
+//! * [`ExecBackend::Subprocess`] — shards the **deduplicated** job list
+//!   `i/n` by stable [`JobSpec::job_id`] order across `repro worker`
+//!   child processes that all write through one shared atomic
+//!   [`crate::ResultCache`], then merges their shards bit-identically.
+//!
+//! # The worker protocol
+//!
+//! The parent serializes the deduped job list — sorted by `job_id` so the
+//! order is a pure function of the job *contents*, independent of
+//! submission order — one [`JobSpec::to_wire`] line per job, and pipes the
+//! **whole** list to every child's stdin. A child started with
+//! `--shard i/n` executes exactly the lines whose 0-based index satisfies
+//! `index % n == i`; because every child sees the same list in the same
+//! order, the partition is consistent without any coordination, and the
+//! same broadcast works unchanged for a future multi-host fan-out.
+//!
+//! Children answer on stdout with a versioned report the parent verifies:
+//!
+//! ```text
+//! sigcomp-worker v1 shard 0/3
+//! job 00f3a6e2d41b9c70 simulated
+//! job 3b1e09c55a7d2f18 cached
+//! done jobs=2 simulated=1 cached=1
+//! ```
+//!
+//! Results never travel over the pipe: each child stores its metrics into
+//! the shared [`crate::ResultCache`] (atomic write-to-temp + rename), and the
+//! parent restores every job from the cache afterwards — the cache *is*
+//! the merge point, exactly as when a CLI sweep and a server share a
+//! directory. Since cache hits are substitutable for simulations by
+//! construction, the merged [`SweepSummary`](crate::SweepSummary) is
+//! **byte-identical to the single-process run for any shard count**.
+//!
+//! Failures are first-class: a child that dies, is killed, or emits a
+//! malformed report becomes a named [`ExecError`], never a hang or a
+//! panic.
+
+use crate::spec::{JobSpec, TraceInput};
+use crate::sweep::{JobOutcome, SweepOptions, SweepShard, SweepSummary};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::Instant;
+
+/// First line of a worker's stdout report (followed by ` shard i/n`); the
+/// version is bumped whenever the report grammar changes so a parent can
+/// never misread an incompatible worker.
+pub const WORKER_HEADER: &str = "sigcomp-worker v1";
+
+/// Where the jobs of a sweep execute.
+///
+/// The default is [`ExecBackend::LocalThreads`] — the original in-process
+/// engine, bit-for-bit. Every backend upholds the same contract: outcomes
+/// come back in submission order and merged results are byte-identical to a
+/// single-worker, single-process run.
+#[derive(Debug, Clone, Default)]
+pub enum ExecBackend {
+    /// The in-process work-stealing thread pool ([`crate::executor`]).
+    #[default]
+    LocalThreads,
+    /// Worker child processes sharing one on-disk [`crate::ResultCache`]
+    /// (which [`SweepOptions::cache`] must therefore provide).
+    Subprocess(SubprocessConfig),
+}
+
+impl ExecBackend {
+    /// Stable identifier used in summaries, logs and server metrics.
+    #[must_use]
+    pub fn id(&self) -> &'static str {
+        match self {
+            ExecBackend::LocalThreads => "local",
+            ExecBackend::Subprocess(_) => "subprocess",
+        }
+    }
+}
+
+/// How the subprocess backend spawns its workers.
+#[derive(Debug, Clone)]
+pub struct SubprocessConfig {
+    /// Worker processes to spawn (clamped to the deduped job count; must be
+    /// at least 1).
+    pub shards: usize,
+    /// The worker executable — normally the `repro` binary itself (the
+    /// parent's `std::env::current_exe()`), overridable to interpose a
+    /// launcher (a container or ssh wrapper, say).
+    pub program: PathBuf,
+    /// Arguments placed before the protocol flags, normally `["worker"]`.
+    pub args: Vec<String>,
+    /// `.sctrace` paths forwarded to workers so they can resolve
+    /// [`crate::TraceSource::File`] jobs (the wire line carries only the
+    /// content digest).
+    pub trace_paths: Vec<String>,
+}
+
+impl SubprocessConfig {
+    /// A config running `program worker` with the given shard count.
+    #[must_use]
+    pub fn new(shards: usize, program: impl Into<PathBuf>) -> Self {
+        SubprocessConfig {
+            shards,
+            program: program.into(),
+            args: vec!["worker".to_owned()],
+            trace_paths: Vec::new(),
+        }
+    }
+}
+
+/// Why a backend could not produce a summary. Subprocess placement is the
+/// only fallible path today; the local backend never returns these.
+#[derive(Debug)]
+pub enum ExecError {
+    /// The backend configuration is unusable (e.g. zero shards).
+    Config(String),
+    /// The subprocess backend needs [`SweepOptions::cache`]: the shared
+    /// cache directory is the merge point workers publish results through.
+    CacheRequired,
+    /// A worker process could not be spawned.
+    Spawn {
+        /// Shard index of the worker.
+        shard: usize,
+        /// Total shard count.
+        shards: usize,
+        /// The underlying spawn failure.
+        error: std::io::Error,
+    },
+    /// A worker exited unsuccessfully (crashed, was killed, or reported a
+    /// failure of its own).
+    WorkerFailed {
+        /// Shard index of the worker.
+        shard: usize,
+        /// Total shard count.
+        shards: usize,
+        /// Exit-status description.
+        detail: String,
+    },
+    /// A worker's stdout report violated the protocol.
+    Protocol {
+        /// Shard index of the worker.
+        shard: usize,
+        /// Total shard count.
+        shards: usize,
+        /// What was malformed.
+        detail: String,
+    },
+    /// Every worker succeeded yet the shared cache holds no entry for a
+    /// job — the merge point lost a result (e.g. the directory was cleaned
+    /// mid-run).
+    ResultMissing {
+        /// The orphaned job's content hash.
+        job_id: u64,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Config(detail) => write!(f, "bad backend configuration: {detail}"),
+            ExecError::CacheRequired => write!(
+                f,
+                "the subprocess backend requires a result cache \
+                 (the shared cache directory is the merge point)"
+            ),
+            ExecError::Spawn {
+                shard,
+                shards,
+                error,
+            } => write!(f, "cannot spawn worker shard {shard}/{shards}: {error}"),
+            ExecError::WorkerFailed {
+                shard,
+                shards,
+                detail,
+            } => write!(f, "worker shard {shard}/{shards} failed: {detail}"),
+            ExecError::Protocol {
+                shard,
+                shards,
+                detail,
+            } => write!(
+                f,
+                "worker shard {shard}/{shards} protocol violation: {detail}"
+            ),
+            ExecError::ResultMissing { job_id } => write!(
+                f,
+                "job {job_id:016x} missing from the shared cache after all workers finished"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExecError::Spawn { error, .. } => Some(error),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a `--shard i/n` value into `(index, count)`.
+///
+/// # Errors
+///
+/// A message naming the malformation: not of the form `i/n`, a zero count,
+/// or an index not below the count (e.g. `3/2`).
+pub fn parse_shard(value: &str) -> Result<(usize, usize), String> {
+    let (index, count) = value
+        .split_once('/')
+        .ok_or_else(|| format!("invalid shard '{value}' (expected INDEX/COUNT, e.g. 0/3)"))?;
+    let index: usize = index
+        .parse()
+        .map_err(|_| format!("invalid shard '{value}': '{index}' is not an integer"))?;
+    let count: usize = count
+        .parse()
+        .map_err(|_| format!("invalid shard '{value}': '{count}' is not an integer"))?;
+    if count == 0 {
+        return Err(format!(
+            "invalid shard '{value}': the shard count must be positive"
+        ));
+    }
+    if index >= count {
+        return Err(format!(
+            "invalid shard '{value}': the shard index must be below the shard count"
+        ));
+    }
+    Ok((index, count))
+}
+
+/// A job list deduplicated by content hash: the first occurrence of each
+/// [`JobSpec::job_id`] leads; every position maps back to its leader.
+///
+/// This is the *one* dedup-by-`job_id` implementation in the workspace —
+/// the serve batcher and the subprocess backend both group through it, so
+/// coalescing semantics can never drift between the two schedulers.
+#[derive(Debug)]
+pub struct DedupedJobs {
+    /// First occurrence of each distinct job id, in submission order.
+    pub unique: Vec<JobSpec>,
+    /// For every input position, the index into [`DedupedJobs::unique`]
+    /// that answers it.
+    pub leader_of: Vec<usize>,
+    /// For every unique entry, the input position that introduced it.
+    pub leader_position: Vec<usize>,
+}
+
+impl DedupedJobs {
+    /// Whether input position `pos` coalesced onto an earlier submission
+    /// (i.e. is not the first occurrence of its job id).
+    #[must_use]
+    pub fn is_follower(&self, pos: usize) -> bool {
+        self.leader_position[self.leader_of[pos]] != pos
+    }
+
+    /// Input positions minus unique jobs: how many submissions coalesced.
+    #[must_use]
+    pub fn followers(&self) -> usize {
+        self.leader_of.len() - self.unique.len()
+    }
+}
+
+/// Groups `jobs` by [`JobSpec::job_id`], first occurrence leading.
+#[must_use]
+pub fn dedup_jobs(jobs: &[JobSpec]) -> DedupedJobs {
+    let mut unique = Vec::new();
+    let mut leader_of = Vec::with_capacity(jobs.len());
+    let mut leader_position = Vec::new();
+    let mut index_of: HashMap<u64, usize> = HashMap::new();
+    for (pos, job) in jobs.iter().enumerate() {
+        let id = job.job_id();
+        let leader = *index_of.entry(id).or_insert_with(|| {
+            unique.push(*job);
+            leader_position.push(pos);
+            unique.len() - 1
+        });
+        leader_of.push(leader);
+    }
+    DedupedJobs {
+        unique,
+        leader_of,
+        leader_position,
+    }
+}
+
+/// What one worker reported about its shard.
+#[derive(Debug)]
+struct ShardReport {
+    /// `(job_id, from_cache)` per executed job, in the worker's order.
+    jobs: Vec<(u64, bool)>,
+}
+
+/// Runs `jobs` on the subprocess backend: dedup, shard by stable `job_id`
+/// order, spawn `--shard i/n` workers over the shared cache, verify their
+/// reports, and reassemble outcomes in submission order.
+///
+/// Duplicate submissions (equal job ids) are coalesced: every follower
+/// position receives its leader's metrics with `from_cache = true`.
+///
+/// # Errors
+///
+/// Any [`ExecError`]; the job list is returned untouched by side effects on
+/// error except for cache entries already published by finished workers
+/// (which later runs simply reuse).
+pub(crate) fn run_subprocess(
+    jobs: &[JobSpec],
+    _traces: &[TraceInput],
+    options: &SweepOptions,
+    config: &SubprocessConfig,
+) -> Result<SweepSummary, ExecError> {
+    if config.shards == 0 {
+        return Err(ExecError::Config(
+            "the shard count must be positive".to_owned(),
+        ));
+    }
+    let cache = options.cache.as_ref().ok_or(ExecError::CacheRequired)?;
+    let started = Instant::now();
+    if jobs.is_empty() {
+        return Ok(SweepSummary {
+            outcomes: Vec::new(),
+            totals: SweepShard::default(),
+            worker_loads: Vec::new(),
+            workers: 0,
+            wall: started.elapsed(),
+            backend: "subprocess",
+        });
+    }
+
+    let deduped = dedup_jobs(jobs);
+    // The wire order is sorted by job id: a pure function of the job
+    // contents, so parent and workers (and any future remote frontier)
+    // agree on shard membership regardless of submission order.
+    let mut ordered: Vec<(u64, usize)> = deduped
+        .unique
+        .iter()
+        .enumerate()
+        .map(|(u, job)| (job.job_id(), u))
+        .collect();
+    ordered.sort_unstable_by_key(|&(id, _)| id);
+    let shards = config.shards.min(ordered.len());
+
+    // Threads per shard: an explicit --workers is forwarded as-is (it is
+    // documented as "per shard"); otherwise the machine's parallelism is
+    // divided across the shards so a default run never oversubscribes the
+    // host shards × cores ways.
+    let threads_per_shard = options.workers.unwrap_or_else(|| {
+        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        (cores / shards).max(1)
+    });
+
+    let wire: String = ordered
+        .iter()
+        .map(|&(_, u)| {
+            let mut line = deduped.unique[u].to_wire();
+            line.push('\n');
+            line
+        })
+        .collect();
+    let mut children: Vec<Child> = Vec::with_capacity(shards);
+    for shard in 0..shards {
+        let mut command = Command::new(&config.program);
+        command
+            .args(&config.args)
+            .arg("--shard")
+            .arg(format!("{shard}/{shards}"))
+            .arg("--cache")
+            .arg(cache.root())
+            .arg("--workers")
+            .arg(threads_per_shard.to_string());
+        if !config.trace_paths.is_empty() {
+            command.arg("--traces").arg(config.trace_paths.join(","));
+        }
+        // stderr is inherited: a worker's own named error surfaces directly
+        // on the parent's stderr next to the ExecError naming the shard.
+        let child = command
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .map_err(|error| ExecError::Spawn {
+                shard,
+                shards,
+                error,
+            })?;
+        children.push(child);
+    }
+
+    // One thread per child feeds its stdin (the full wire list — workers
+    // drain it to EOF before simulating) and then collects its output, so
+    // a slow or stuck sibling can neither block another child's feed nor
+    // let a long report fill its stdout pipe unread.
+    let outputs: Vec<std::io::Result<std::process::Output>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = children
+            .into_iter()
+            .map(|mut child| {
+                let wire = &wire;
+                scope.spawn(move || {
+                    if let Some(mut stdin) = child.stdin.take() {
+                        // A write failure means the child died early; its
+                        // exit status carries the real diagnosis below.
+                        let _ = stdin.write_all(wire.as_bytes());
+                    }
+                    child.wait_with_output()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("reader thread never panics"))
+            .collect()
+    });
+
+    // Verify every report before touching the cache.
+    let mut reports = Vec::with_capacity(shards);
+    for (shard, output) in outputs.into_iter().enumerate() {
+        let output = output.map_err(|error| ExecError::WorkerFailed {
+            shard,
+            shards,
+            detail: format!("collecting its output failed: {error}"),
+        })?;
+        if !output.status.success() {
+            return Err(ExecError::WorkerFailed {
+                shard,
+                shards,
+                detail: output.status.to_string(),
+            });
+        }
+        let expected: HashSet<u64> = ordered
+            .iter()
+            .enumerate()
+            .filter(|&(rank, _)| rank % shards == shard)
+            .map(|(_, &(id, _))| id)
+            .collect();
+        let stdout = String::from_utf8_lossy(&output.stdout);
+        reports.push(parse_report(&stdout, shard, shards, &expected)?);
+    }
+
+    // Merge through the cache: every unique job's metrics are restored from
+    // the shared directory the workers published into.
+    let mut provenance: HashMap<u64, bool> = HashMap::new();
+    for report in &reports {
+        for &(id, from_cache) in &report.jobs {
+            provenance.insert(id, from_cache);
+        }
+    }
+    let mut metrics_of = HashMap::with_capacity(deduped.unique.len());
+    for &(id, _) in &ordered {
+        let metrics = cache
+            .load(id)
+            .ok_or(ExecError::ResultMissing { job_id: id })?;
+        metrics_of.insert(id, metrics);
+    }
+
+    // Totals are folded per submitted *position* (like the local backend),
+    // so `simulated + cached == outcomes.len()` holds on every backend:
+    // follower positions coalesced onto their leader's run and count as
+    // cache-answered, and the leader carries the worker-reported provenance
+    // (fresh simulation vs shared-cache hit) — only freshly simulated jobs
+    // contribute to `simulated`/`instructions_simulated`.
+    let mut totals = SweepShard::default();
+    let mut outcomes = Vec::with_capacity(jobs.len());
+    for (pos, &leader) in deduped.leader_of.iter().enumerate() {
+        let spec = deduped.unique[leader];
+        let id = spec.job_id();
+        let metrics = metrics_of[&id];
+        let from_cache = deduped.is_follower(pos) || provenance[&id];
+        totals.activity.merge(&metrics.activity);
+        if from_cache {
+            totals.cached += 1;
+        } else {
+            totals.simulated += 1;
+            totals.instructions_simulated += metrics.instructions;
+        }
+        outcomes.push(JobOutcome {
+            spec,
+            metrics,
+            from_cache,
+        });
+    }
+
+    let worker_loads = reports.iter().map(|r| (r.jobs.len() as u64, 0)).collect();
+    Ok(SweepSummary {
+        outcomes,
+        totals,
+        worker_loads,
+        workers: shards,
+        wall: started.elapsed(),
+        backend: "subprocess",
+    })
+}
+
+/// Parses and verifies one worker's stdout report against the job-id set
+/// the shard was assigned.
+fn parse_report(
+    stdout: &str,
+    shard: usize,
+    shards: usize,
+    expected: &HashSet<u64>,
+) -> Result<ShardReport, ExecError> {
+    let violation = |detail: String| ExecError::Protocol {
+        shard,
+        shards,
+        detail,
+    };
+    let mut lines = stdout.lines().filter(|l| !l.trim().is_empty());
+    let header = lines
+        .next()
+        .ok_or_else(|| violation("empty report".to_owned()))?;
+    let expected_header = format!("{WORKER_HEADER} shard {shard}/{shards}");
+    if header != expected_header {
+        return Err(violation(format!(
+            "bad header '{header}' (expected '{expected_header}')"
+        )));
+    }
+    let mut jobs = Vec::new();
+    let mut done = false;
+    for line in lines {
+        if let Some(rest) = line.strip_prefix("job ") {
+            if done {
+                return Err(violation("job line after the done line".to_owned()));
+            }
+            let (id, provenance) = rest
+                .split_once(' ')
+                .ok_or_else(|| violation(format!("malformed job line '{line}'")))?;
+            let id = u64::from_str_radix(id, 16)
+                .map_err(|_| violation(format!("malformed job id in '{line}'")))?;
+            let from_cache = match provenance {
+                "simulated" => false,
+                "cached" => true,
+                other => {
+                    return Err(violation(format!(
+                        "unknown provenance '{other}' in '{line}'"
+                    )))
+                }
+            };
+            if !expected.contains(&id) {
+                return Err(violation(format!(
+                    "job {id:016x} does not belong to shard {shard}/{shards}"
+                )));
+            }
+            if jobs.iter().any(|&(seen, _)| seen == id) {
+                return Err(violation(format!("job {id:016x} reported twice")));
+            }
+            jobs.push((id, from_cache));
+        } else if let Some(rest) = line.strip_prefix("done ") {
+            let declared = rest
+                .split_whitespace()
+                .find_map(|kv| kv.strip_prefix("jobs="))
+                .and_then(|v| v.parse::<usize>().ok())
+                .ok_or_else(|| violation(format!("malformed done line '{line}'")))?;
+            if declared != jobs.len() {
+                return Err(violation(format!(
+                    "done line declares {declared} jobs but {} were reported",
+                    jobs.len()
+                )));
+            }
+            done = true;
+        } else {
+            return Err(violation(format!("unexpected line '{line}'")));
+        }
+    }
+    if !done {
+        return Err(violation(
+            "report ended without a done line (worker died mid-shard?)".to_owned(),
+        ));
+    }
+    if jobs.len() != expected.len() {
+        return Err(violation(format!(
+            "shard executed {} of its {} assigned jobs",
+            jobs.len(),
+            expected.len()
+        )));
+    }
+    Ok(ShardReport { jobs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::ResultCache;
+    use crate::spec::{MemProfile, SweepSpec, TraceSource};
+    use sigcomp::ExtScheme;
+    use sigcomp_pipeline::OrgKind;
+    use sigcomp_workloads::{suite_names, WorkloadSize};
+
+    fn spec(workload_index: usize, org: OrgKind) -> JobSpec {
+        JobSpec {
+            scheme: ExtScheme::ThreeBit,
+            org,
+            workload: suite_names()[workload_index],
+            size: WorkloadSize::Tiny,
+            mem: MemProfile::Paper,
+            source: TraceSource::Kernel,
+        }
+    }
+
+    #[test]
+    fn shard_values_parse_and_malformed_ones_are_named() {
+        assert_eq!(parse_shard("0/1"), Ok((0, 1)));
+        assert_eq!(parse_shard("2/3"), Ok((2, 3)));
+        for (raw, needle) in [
+            ("", "expected INDEX/COUNT"),
+            ("3", "expected INDEX/COUNT"),
+            ("a/2", "'a' is not an integer"),
+            ("1/b", "'b' is not an integer"),
+            ("0/0", "must be positive"),
+            ("3/2", "below the shard count"),
+            ("2/2", "below the shard count"),
+        ] {
+            let err = parse_shard(raw).unwrap_err();
+            assert!(err.contains(needle), "{raw:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn dedup_groups_by_job_id_with_first_occurrence_leading() {
+        let a = spec(0, OrgKind::Baseline32);
+        let b = spec(0, OrgKind::ByteSerial);
+        let deduped = dedup_jobs(&[a, b, a, b, a]);
+        assert_eq!(deduped.unique, vec![a, b]);
+        assert_eq!(deduped.leader_of, vec![0, 1, 0, 1, 0]);
+        assert_eq!(deduped.leader_position, vec![0, 1]);
+        assert_eq!(deduped.followers(), 3);
+        let followers: Vec<bool> = (0..5).map(|p| deduped.is_follower(p)).collect();
+        assert_eq!(followers, vec![false, false, true, true, true]);
+
+        let empty = dedup_jobs(&[]);
+        assert!(empty.unique.is_empty());
+        assert_eq!(empty.followers(), 0);
+    }
+
+    #[test]
+    fn worker_reports_are_verified_strictly() {
+        let job = spec(0, OrgKind::ByteSerial);
+        let id = job.job_id();
+        let expected: HashSet<u64> = [id].into_iter().collect();
+        let good = format!("{WORKER_HEADER} shard 0/2\njob {id:016x} simulated\ndone jobs=1\n");
+        let report = parse_report(&good, 0, 2, &expected).expect("valid report");
+        assert_eq!(report.jobs, vec![(id, false)]);
+
+        for (stdout, needle) in [
+            (String::new(), "empty report"),
+            ("definitely not the header\n".to_owned(), "bad header"),
+            (
+                format!("{WORKER_HEADER} shard 1/2\ndone jobs=0\n"),
+                "bad header",
+            ),
+            (
+                format!("{WORKER_HEADER} shard 0/2\njob zz simulated\ndone jobs=1\n"),
+                "malformed job id",
+            ),
+            (
+                format!("{WORKER_HEADER} shard 0/2\njob {id:016x} teleported\ndone jobs=1\n"),
+                "unknown provenance",
+            ),
+            (
+                format!(
+                    "{WORKER_HEADER} shard 0/2\njob {:016x} simulated\ndone jobs=1\n",
+                    id ^ 1
+                ),
+                "does not belong to shard",
+            ),
+            (
+                format!(
+                    "{WORKER_HEADER} shard 0/2\njob {id:016x} simulated\n\
+                     job {id:016x} cached\ndone jobs=2\n"
+                ),
+                "reported twice",
+            ),
+            (
+                format!("{WORKER_HEADER} shard 0/2\njob {id:016x} simulated\ndone jobs=7\n"),
+                "declares 7 jobs",
+            ),
+            (
+                format!("{WORKER_HEADER} shard 0/2\njob {id:016x} simulated\n"),
+                "without a done line",
+            ),
+            (
+                format!("{WORKER_HEADER} shard 0/2\ndone jobs=0\n"),
+                "0 of its 1 assigned jobs",
+            ),
+        ] {
+            let err = parse_report(&stdout, 0, 2, &expected).unwrap_err();
+            assert!(err.to_string().contains(needle), "{stdout:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn subprocess_without_a_cache_is_a_named_error() {
+        let jobs = SweepSpec::paper(WorkloadSize::Tiny)
+            .workloads(&["rawcaudio"])
+            .enumerate();
+        let config = SubprocessConfig::new(2, "/definitely/not/a/binary");
+        let options = SweepOptions::default();
+        let err = run_subprocess(&jobs, &[], &options, &config).unwrap_err();
+        assert!(matches!(err, ExecError::CacheRequired), "{err}");
+
+        let zero = SubprocessConfig::new(0, "/definitely/not/a/binary");
+        let err = run_subprocess(&jobs, &[], &options, &zero).unwrap_err();
+        assert!(matches!(err, ExecError::Config(_)), "{err}");
+    }
+
+    #[test]
+    fn subprocess_spawn_failures_name_the_shard() {
+        let dir =
+            std::env::temp_dir().join(format!("sigcomp-backend-spawn-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ResultCache::open(&dir).expect("cache opens");
+        let jobs = SweepSpec::paper(WorkloadSize::Tiny)
+            .workloads(&["rawcaudio"])
+            .enumerate();
+        let config = SubprocessConfig::new(2, "/definitely/not/a/binary");
+        let options = SweepOptions {
+            cache: Some(cache),
+            ..SweepOptions::default()
+        };
+        let err = run_subprocess(&jobs, &[], &options, &config).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ExecError::Spawn {
+                    shard: 0,
+                    shards: 2,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        assert!(err.to_string().contains("cannot spawn worker shard 0/2"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_job_lists_short_circuit_without_spawning() {
+        let dir =
+            std::env::temp_dir().join(format!("sigcomp-backend-empty-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ResultCache::open(&dir).expect("cache opens");
+        let config = SubprocessConfig::new(3, "/definitely/not/a/binary");
+        let options = SweepOptions {
+            cache: Some(cache),
+            ..SweepOptions::default()
+        };
+        let summary = run_subprocess(&[], &[], &options, &config).expect("empty run");
+        assert!(summary.outcomes.is_empty());
+        assert_eq!(summary.workers, 0);
+        assert_eq!(summary.backend, "subprocess");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,4 +1,7 @@
-//! A dependency-free work-stealing executor for sweep jobs.
+//! A dependency-free work-stealing executor for sweep jobs — the engine
+//! behind [`crate::ExecBackend::LocalThreads`] (and, transitively, behind
+//! every shard process of [`crate::ExecBackend::Subprocess`], each of which
+//! runs its slice of the job list on this pool).
 //!
 //! Jobs are indices `0..n`. Each worker owns a deque seeded with a
 //! contiguous block of the job list; it pops from the front of its own deque

@@ -6,18 +6,25 @@
 //! workload size × cache geometry; this crate sweeps whole regions of that
 //! space at once and reports the energy/performance trade-off.
 //!
-//! The engine has four parts:
+//! The engine has five parts:
 //!
 //! * [`SweepSpec`] — a builder that enumerates and filters the cross product
 //!   into [`JobSpec`]s with deterministic indices and content-hashed
 //!   [`JobSpec::job_id`]s,
-//! * [`executor`] — a dependency-free work-stealing thread pool
-//!   (`std` threads + channels) whose merged output is **bit-identical for
-//!   every worker count**: results are reassembled in job order and the
-//!   per-worker statistic shards hold only integer counters,
+//! * [`backend`] — the pluggable execution layer ([`ExecBackend`]):
+//!   [`ExecBackend::LocalThreads`] runs jobs on the in-process
+//!   work-stealing pool, [`ExecBackend::Subprocess`] shards the deduped
+//!   job list across `repro worker` child processes that merge through the
+//!   shared cache — with merged output **byte-identical to the
+//!   single-process run for any shard count**,
+//! * [`executor`] — the dependency-free work-stealing thread pool
+//!   (`std` threads + channels) behind the local backend, whose merged
+//!   output is **bit-identical for every worker count**: results are
+//!   reassembled in job order and the per-worker statistic shards hold
+//!   only integer counters,
 //! * [`ResultCache`] — an on-disk cache keyed by job content hash, so
 //!   re-running a sweep only simulates configurations whose parameters
-//!   changed,
+//!   changed — and the merge point subprocess workers publish through,
 //! * [`report`] — aggregation into per-configuration [`ConfigPoint`]s,
 //!   Pareto-frontier extraction (dynamic-energy saving vs CPI) and CSV/JSON
 //!   export.
@@ -39,17 +46,22 @@
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod backend;
 mod cache;
 pub mod executor;
 pub mod report;
 mod spec;
 mod sweep;
 
+pub use backend::{
+    dedup_jobs, parse_shard, DedupedJobs, ExecBackend, ExecError, SubprocessConfig, WORKER_HEADER,
+};
 pub use cache::{column_slug, ResultCache};
 pub use executor::{run_parallel, WorkerReport};
 pub use report::{config_points, frontier_table, pareto_frontier, to_csv, to_json, ConfigPoint};
 pub use spec::{JobSpec, MemProfile, SweepSpec, TraceInput, TraceSource, SWEEP_FORMAT_VERSION};
 pub use sweep::{
-    run_jobs, run_jobs_traced, run_sweep, simulate_job, simulate_trace, JobMetrics, JobOutcome,
-    SweepOptions, SweepShard, SweepSummary,
+    run_jobs, run_jobs_traced, run_sweep, simulate_job, simulate_trace, try_run_jobs,
+    try_run_jobs_traced, try_run_sweep, JobMetrics, JobOutcome, SweepOptions, SweepShard,
+    SweepSummary,
 };

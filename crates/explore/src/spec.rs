@@ -312,6 +312,184 @@ impl JobSpec {
             self.size_label(),
         )
     }
+
+    /// Serializes the spec as one line of the worker wire protocol
+    /// ([`crate::backend`]): every axis by its stable id, space-separated.
+    ///
+    /// * kernel jobs: `kernel <workload> <size> <mem> <scheme> <org>`
+    /// * trace jobs: `trace <digest> <mem> <scheme> <org> <name>` — the
+    ///   display name comes last and is percent-escaped
+    ///   ([`escape_wire_name`]): being a user-controlled file stem it may
+    ///   contain spaces or even newlines, which must not break the
+    ///   line-oriented protocol; every other token is a fixed identifier.
+    ///
+    /// [`JobSpec::from_wire`] is the exact inverse; a round trip preserves
+    /// [`JobSpec::job_id`] bit for bit (pinned by tests), which is what lets
+    /// a worker process re-derive the same cache keys as its parent.
+    #[must_use]
+    pub fn to_wire(&self) -> String {
+        match self.source {
+            TraceSource::Kernel => format!(
+                "kernel {} {} {} {} {}",
+                self.workload,
+                self.size.name(),
+                self.mem.id(),
+                self.scheme.id(),
+                self.org.id(),
+            ),
+            TraceSource::File { digest } => format!(
+                "trace {digest:016x} {} {} {} {}",
+                self.mem.id(),
+                self.scheme.id(),
+                self.org.id(),
+                escape_wire_name(self.workload),
+            ),
+        }
+    }
+
+    /// Parses one wire-protocol line back into a spec (the inverse of
+    /// [`JobSpec::to_wire`]).
+    ///
+    /// # Errors
+    ///
+    /// A message naming the offending token: unknown source kind, unknown
+    /// workload/size/mem/scheme/org id, malformed digest, or a missing
+    /// field.
+    pub fn from_wire(line: &str) -> Result<JobSpec, String> {
+        let line = line.trim();
+        let (kind, rest) = line
+            .split_once(' ')
+            .ok_or_else(|| format!("bad job line '{line}': expected '<kind> <fields...>'"))?;
+        let field = |parts: &mut std::str::SplitWhitespace<'_>, what: &str| {
+            parts
+                .next()
+                .map(str::to_owned)
+                .ok_or_else(|| format!("bad job line '{line}': missing {what}"))
+        };
+        let parse_with = |raw: &str, what: &str, ok: bool| {
+            if ok {
+                Ok(())
+            } else {
+                Err(format!("bad job line '{line}': unknown {what} '{raw}'"))
+            }
+        };
+        match kind {
+            "kernel" => {
+                let mut parts = rest.split_whitespace();
+                let workload_raw = field(&mut parts, "workload")?;
+                let size_raw = field(&mut parts, "size")?;
+                let mem_raw = field(&mut parts, "memory profile")?;
+                let scheme_raw = field(&mut parts, "scheme")?;
+                let org_raw = field(&mut parts, "organization")?;
+                if parts.next().is_some() {
+                    return Err(format!("bad job line '{line}': trailing fields"));
+                }
+                let workload = suite_names()
+                    .iter()
+                    .copied()
+                    .find(|&n| n == workload_raw)
+                    .ok_or_else(|| {
+                        format!("bad job line '{line}': unknown workload '{workload_raw}'")
+                    })?;
+                let size = WorkloadSize::parse(&size_raw);
+                parse_with(&size_raw, "size", size.is_some())?;
+                let mem = MemProfile::parse(&mem_raw);
+                parse_with(&mem_raw, "memory profile", mem.is_some())?;
+                let scheme = ExtScheme::parse(&scheme_raw);
+                parse_with(&scheme_raw, "scheme", scheme.is_some())?;
+                let org = OrgKind::parse(&org_raw);
+                parse_with(&org_raw, "organization", org.is_some())?;
+                Ok(JobSpec {
+                    scheme: scheme.expect("checked above"),
+                    org: org.expect("checked above"),
+                    workload,
+                    size: size.expect("checked above"),
+                    mem: mem.expect("checked above"),
+                    source: TraceSource::Kernel,
+                })
+            }
+            "trace" => {
+                // The display name is the last (escaped) token; split off
+                // exactly the four fixed fields first.
+                let mut parts = rest.splitn(5, ' ');
+                let mut fixed = |what: &str| {
+                    parts
+                        .next()
+                        .filter(|t| !t.is_empty())
+                        .map(str::to_owned)
+                        .ok_or_else(|| format!("bad job line '{line}': missing {what}"))
+                };
+                let digest_raw = fixed("digest")?;
+                let mem_raw = fixed("memory profile")?;
+                let scheme_raw = fixed("scheme")?;
+                let org_raw = fixed("organization")?;
+                let name = fixed("trace name")?;
+                let digest = u64::from_str_radix(&digest_raw, 16).map_err(|_| {
+                    format!("bad job line '{line}': malformed digest '{digest_raw}'")
+                })?;
+                let mem = MemProfile::parse(&mem_raw);
+                parse_with(&mem_raw, "memory profile", mem.is_some())?;
+                let scheme = ExtScheme::parse(&scheme_raw);
+                parse_with(&scheme_raw, "scheme", scheme.is_some())?;
+                let org = OrgKind::parse(&org_raw);
+                parse_with(&org_raw, "organization", org.is_some())?;
+                let name =
+                    unescape_wire_name(&name).map_err(|e| format!("bad job line '{line}': {e}"))?;
+                Ok(JobSpec {
+                    scheme: scheme.expect("checked above"),
+                    org: org.expect("checked above"),
+                    workload: intern_name(&name),
+                    // Cosmetic for file jobs (job_id ignores it), mirroring
+                    // SweepSpec::enumerate.
+                    size: WorkloadSize::Default,
+                    mem: mem.expect("checked above"),
+                    source: TraceSource::File { digest },
+                })
+            }
+            other => Err(format!(
+                "bad job line '{line}': unknown source kind '{other}' (expected kernel or trace)"
+            )),
+        }
+    }
+}
+
+/// Percent-escapes a trace display name for the one-line wire protocol:
+/// `%`, space, tab, CR and LF become `%25`/`%20`/`%09`/`%0D`/`%0A`, so the
+/// escaped name is a single whitespace-free token no matter what the file
+/// stem contained. Kernel workload names never need this — they are
+/// compiled-in identifiers validated against [`suite_names`].
+fn escape_wire_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for c in name.chars() {
+        match c {
+            '%' => out.push_str("%25"),
+            ' ' => out.push_str("%20"),
+            '\t' => out.push_str("%09"),
+            '\r' => out.push_str("%0D"),
+            '\n' => out.push_str("%0A"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Inverse of [`escape_wire_name`].
+fn unescape_wire_name(escaped: &str) -> Result<String, String> {
+    let mut out = String::with_capacity(escaped.len());
+    let mut chars = escaped.chars();
+    while let Some(c) = chars.next() {
+        if c != '%' {
+            out.push(c);
+            continue;
+        }
+        let pair: String = chars.by_ref().take(2).collect();
+        let code = Some(&pair)
+            .filter(|p| p.len() == 2)
+            .and_then(|p| u8::from_str_radix(p, 16).ok())
+            .ok_or_else(|| format!("malformed trace name escape '%{pair}'"))?;
+        out.push(char::from(code));
+    }
+    Ok(out)
 }
 
 /// Builder for the cross product of the design-space axes.
@@ -689,6 +867,86 @@ mod tests {
 
         let empty = spec.energy_models(&[]);
         assert_eq!(empty.energy_model_axis(), &[ProcessNode::Paper180nm]);
+    }
+
+    #[test]
+    fn wire_format_round_trips_every_job_and_preserves_job_ids() {
+        // Kernel jobs: the whole cross product survives a wire round trip
+        // with its identity intact — this is what lets a worker process
+        // derive the same cache keys as its parent.
+        for job in SweepSpec::full(WorkloadSize::Tiny).enumerate() {
+            let line = job.to_wire();
+            let back = JobSpec::from_wire(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            assert_eq!(back, job, "{line}");
+            assert_eq!(back.job_id(), job.job_id(), "{line}");
+        }
+        // Trace jobs, including hostile display names (file stems are
+        // user-controlled): spaces, a literal %, leading/trailing
+        // whitespace, even an embedded newline must survive the one-line
+        // protocol via percent-escaping.
+        for name in ["my recorded trace", " we%ird\nname\t", "plain"] {
+            let input = TraceInput::from_trace(name, tiny_trace(4)).unwrap();
+            let spec = SweepSpec::paper(WorkloadSize::Tiny)
+                .no_kernels()
+                .trace_files(std::slice::from_ref(&input));
+            for job in spec.enumerate() {
+                let line = job.to_wire();
+                assert_eq!(line.lines().count(), 1, "{name:?} must stay one line");
+                let back = JobSpec::from_wire(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
+                assert_eq!(back, job, "{line}");
+                assert_eq!(back.job_id(), job.job_id(), "{line}");
+                assert_eq!(back.workload, name);
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_wire_lines_are_rejected_with_named_errors() {
+        for (line, needle) in [
+            ("", "bad job line"),
+            ("kernel", "expected '<kind> <fields...>'"),
+            (
+                "warp rawcaudio tiny paper 3bit byte-serial",
+                "unknown source kind 'warp'",
+            ),
+            (
+                "kernel nope tiny paper 3bit byte-serial",
+                "unknown workload 'nope'",
+            ),
+            (
+                "kernel rawcaudio huge paper 3bit byte-serial",
+                "unknown size 'huge'",
+            ),
+            (
+                "kernel rawcaudio tiny ram 3bit byte-serial",
+                "unknown memory profile 'ram'",
+            ),
+            (
+                "kernel rawcaudio tiny paper 9bit byte-serial",
+                "unknown scheme '9bit'",
+            ),
+            (
+                "kernel rawcaudio tiny paper 3bit warp-drive",
+                "unknown organization 'warp-drive'",
+            ),
+            ("kernel rawcaudio tiny paper 3bit", "missing organization"),
+            (
+                "kernel rawcaudio tiny paper 3bit byte-serial extra",
+                "trailing fields",
+            ),
+            (
+                "trace xyzzy paper 3bit byte-serial name",
+                "malformed digest 'xyzzy'",
+            ),
+            ("trace 00ff paper 3bit byte-serial", "missing trace name"),
+            (
+                "trace 00ff paper 3bit byte-serial bad%zz",
+                "malformed trace name escape",
+            ),
+        ] {
+            let err = JobSpec::from_wire(line).unwrap_err();
+            assert!(err.contains(needle), "{line:?}: {err}");
+        }
     }
 
     #[test]

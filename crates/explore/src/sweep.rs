@@ -1,5 +1,7 @@
-//! Running a sweep: per-job simulation, sharded accumulation, caching.
+//! Running a sweep: per-job simulation, sharded accumulation, caching, and
+//! dispatch onto the configured execution backend.
 
+use crate::backend::{ExecBackend, ExecError};
 use crate::cache::ResultCache;
 use crate::executor::run_parallel;
 use crate::spec::{JobSpec, SweepSpec, TraceInput, TraceSource};
@@ -124,10 +126,14 @@ impl SweepShard {
 /// How to run a sweep.
 #[derive(Debug, Default)]
 pub struct SweepOptions {
-    /// Worker threads; `None` uses the machine's available parallelism.
+    /// Worker threads; `None` uses the machine's available parallelism. On
+    /// the subprocess backend this is the thread count *per shard*.
     pub workers: Option<usize>,
-    /// Result cache; `None` simulates everything.
+    /// Result cache; `None` simulates everything. Required by
+    /// [`ExecBackend::Subprocess`], whose workers merge through it.
     pub cache: Option<ResultCache>,
+    /// Where the jobs execute (default: the in-process thread pool).
+    pub backend: ExecBackend,
 }
 
 impl SweepOptions {
@@ -137,6 +143,7 @@ impl SweepOptions {
         SweepOptions {
             workers: Some(workers),
             cache: None,
+            backend: ExecBackend::LocalThreads,
         }
     }
 
@@ -144,6 +151,13 @@ impl SweepOptions {
     #[must_use]
     pub fn cache(mut self, cache: ResultCache) -> Self {
         self.cache = Some(cache);
+        self
+    }
+
+    /// Selects the execution backend.
+    #[must_use]
+    pub fn backend(mut self, backend: ExecBackend) -> Self {
+        self.backend = backend;
         self
     }
 
@@ -162,12 +176,18 @@ pub struct SweepSummary {
     pub outcomes: Vec<JobOutcome>,
     /// The worker shards folded together in worker order.
     pub totals: SweepShard,
-    /// `(jobs, steals)` per worker, in worker order.
+    /// `(jobs, steals)` per worker, in worker order. On the subprocess
+    /// backend a "worker" is one shard process (steals are always 0 there —
+    /// the shard partition is static).
     pub worker_loads: Vec<(u64, u64)>,
-    /// Worker threads actually used.
+    /// Worker threads (local backend) or shard processes (subprocess
+    /// backend) actually used.
     pub workers: usize,
     /// Wall-clock time of the parallel phase.
     pub wall: Duration,
+    /// Stable id of the backend that executed the sweep
+    /// ([`ExecBackend::id`]): `"local"` or `"subprocess"`.
+    pub backend: &'static str,
 }
 
 impl SweepSummary {
@@ -294,54 +314,110 @@ fn apply_pipeline_gating(activity: &mut ActivityReport, org: &Organization, resu
 }
 
 /// Runs the whole sweep: enumerates the design space, executes every job on
-/// the work-stealing executor (answering from the cache where possible), and
-/// merges the worker shards.
+/// the configured [`ExecBackend`] (answering from the cache where possible),
+/// and merges the shards.
 ///
-/// Outcomes and totals are bit-identical for every worker count: results are
-/// reassembled in job order and shards hold only integer counters.
+/// Outcomes and totals are bit-identical for every worker count *and* shard
+/// count: results are reassembled in job order and shards hold only integer
+/// counters.
+///
+/// # Errors
+///
+/// Any [`ExecError`] from the subprocess backend (a dead or misbehaving
+/// worker child, a missing cache); the local backend is infallible.
+pub fn try_run_sweep(spec: &SweepSpec, options: &SweepOptions) -> Result<SweepSummary, ExecError> {
+    try_run_jobs_traced(&spec.enumerate(), spec.trace_inputs(), options)
+}
+
+/// Infallible [`try_run_sweep`] for the local backend.
 ///
 /// # Panics
 ///
-/// Panics if a workload named by the spec does not exist or fails to run.
+/// Panics if a workload named by the spec does not exist or fails to run, or
+/// if the configured backend reports an [`ExecError`] (use [`try_run_sweep`]
+/// when running on the fallible subprocess backend).
 #[must_use]
 pub fn run_sweep(spec: &SweepSpec, options: &SweepOptions) -> SweepSummary {
-    run_jobs_traced(&spec.enumerate(), spec.trace_inputs(), options)
+    try_run_sweep(spec, options).unwrap_or_else(|e| panic!("sweep execution failed: {e}"))
 }
 
 /// Runs an explicit batch of jobs — the submission API that long-running
 /// front-ends (e.g. `sigcomp-serve`) feed coalesced request batches into.
 ///
-/// Exactly the engine behind [`run_sweep`], minus the design-space
-/// enumeration: every job runs on the work-stealing executor, cache hits are
+/// Exactly the engine behind [`try_run_sweep`], minus the design-space
+/// enumeration: every job runs on the configured backend, cache hits are
 /// substituted where [`SweepOptions::cache`] holds a result, and
-/// [`SweepSummary::outcomes`] comes back in `jobs` order (bit-identical for
-/// every worker count). Duplicate specs in `jobs` are each answered — batch
-/// deduplication is the caller's concern, keyed by [`JobSpec::job_id`].
+/// [`SweepSummary::outcomes`] comes back in `jobs` order. On the local
+/// backend duplicate specs in `jobs` are each answered — batch
+/// deduplication is the caller's concern, keyed by [`JobSpec::job_id`]
+/// (see [`crate::dedup_jobs`]); the subprocess backend dedups internally
+/// and answers follower positions from their leader's run.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if a workload named by a job does not exist or fails to run, or if
-/// a [`TraceSource::File`] job's digest has no matching trace (use
-/// [`run_jobs_traced`] to supply recorded traces).
-#[must_use]
-pub fn run_jobs(jobs: &[JobSpec], options: &SweepOptions) -> SweepSummary {
-    run_jobs_traced(jobs, &[], options)
+/// Any [`ExecError`] from the subprocess backend; the local backend is
+/// infallible.
+pub fn try_run_jobs(jobs: &[JobSpec], options: &SweepOptions) -> Result<SweepSummary, ExecError> {
+    try_run_jobs_traced(jobs, &[], options)
 }
 
-/// [`run_jobs`] with a set of recorded traces resolving the jobs'
-/// [`TraceSource::File`] digests. Kernel jobs ignore `traces` entirely.
+/// Infallible [`try_run_jobs`] for the local backend.
 ///
 /// # Panics
 ///
-/// Panics if a workload named by a job does not exist or fails to run, or if
-/// a file job's digest matches none of `traces` — both indicate a bug in the
-/// caller's sweep assembly, not a runtime condition.
+/// Panics if a workload named by a job does not exist or fails to run, if a
+/// [`TraceSource::File`] job's digest has no matching trace (use
+/// [`run_jobs_traced`] to supply recorded traces), or if the configured
+/// backend reports an [`ExecError`].
+#[must_use]
+pub fn run_jobs(jobs: &[JobSpec], options: &SweepOptions) -> SweepSummary {
+    try_run_jobs(jobs, options).unwrap_or_else(|e| panic!("job execution failed: {e}"))
+}
+
+/// [`try_run_jobs`] with a set of recorded traces resolving the jobs'
+/// [`TraceSource::File`] digests. Kernel jobs ignore `traces` entirely.
+/// (On the subprocess backend workers re-load traces from
+/// [`crate::SubprocessConfig::trace_paths`]; the wire protocol ships only
+/// content digests.)
+///
+/// # Errors
+///
+/// Any [`ExecError`] from the subprocess backend; the local backend is
+/// infallible.
+pub fn try_run_jobs_traced(
+    jobs: &[JobSpec],
+    traces: &[TraceInput],
+    options: &SweepOptions,
+) -> Result<SweepSummary, ExecError> {
+    match &options.backend {
+        ExecBackend::LocalThreads => Ok(run_jobs_local(jobs, traces, options)),
+        ExecBackend::Subprocess(config) => {
+            crate::backend::run_subprocess(jobs, traces, options, config)
+        }
+    }
+}
+
+/// Infallible [`try_run_jobs_traced`] for the local backend.
+///
+/// # Panics
+///
+/// Panics if a workload named by a job does not exist or fails to run, if a
+/// file job's digest matches none of `traces` — both indicate a bug in the
+/// caller's sweep assembly, not a runtime condition — or if the configured
+/// backend reports an [`ExecError`].
 #[must_use]
 pub fn run_jobs_traced(
     jobs: &[JobSpec],
     traces: &[TraceInput],
     options: &SweepOptions,
 ) -> SweepSummary {
+    try_run_jobs_traced(jobs, traces, options)
+        .unwrap_or_else(|e| panic!("job execution failed: {e}"))
+}
+
+/// The [`ExecBackend::LocalThreads`] engine: every job on the in-process
+/// work-stealing executor, results reassembled in job order.
+fn run_jobs_local(jobs: &[JobSpec], traces: &[TraceInput], options: &SweepOptions) -> SweepSummary {
     // Mirror the executor's clamp so the summary reports the worker count
     // actually used.
     let workers = options.effective_workers().min(jobs.len().max(1));
@@ -417,5 +493,6 @@ pub fn run_jobs_traced(
         worker_loads,
         workers,
         wall,
+        backend: "local",
     }
 }

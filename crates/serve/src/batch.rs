@@ -3,25 +3,38 @@
 //! Concurrent connections enqueue [`JobSpec`]s into one shared bounded
 //! queue. A single dispatcher thread drains the queue into batches of up to
 //! [`BatchConfig::max_batch`] jobs, **deduplicates** identical
-//! configurations by their content hash ([`JobSpec::job_id`]), answers what
-//! it can from an in-memory memo and the shared on-disk
-//! [`ResultCache`], and feeds only the remaining unique jobs to
-//! [`sigcomp_explore::run_jobs`] — the same work-stealing executor the
-//! `repro sweep` CLI uses. A thousand clients asking for overlapping
-//! configurations therefore cost one simulation each, and every caller still
-//! receives bit-identical [`JobMetrics`] (all counters are exact integers;
-//! cache hits are substitutable for simulations by construction).
+//! configurations by their content hash ([`sigcomp_explore::dedup_jobs`] —
+//! the same grouping the subprocess backend shards by, so coalescing
+//! semantics can never drift between the server and the CLI), answers what
+//! it can from a *bounded* in-memory memo and the shared on-disk
+//! [`ResultCache`], and places only the remaining unique jobs on the
+//! configured [`ExecBackend`] via [`sigcomp_explore::try_run_jobs`]: the
+//! in-process work-stealing pool by default, or sharded `repro worker`
+//! subprocesses so `/sweep` requests fan out across processes. A thousand
+//! clients asking for overlapping configurations therefore cost one
+//! simulation each, and every caller still receives bit-identical
+//! [`JobMetrics`] (all counters are exact integers; cache hits are
+//! substitutable for simulations by construction).
 //!
 //! Backpressure: when the queue is full, [`Batcher::submit`] blocks the
 //! submitting connection thread until the dispatcher makes room, bounding
-//! server memory under overload.
+//! server memory under overload. The memo is bounded too
+//! ([`BatchConfig::memo_capacity`], insertion-order eviction), so sustained
+//! *distinct* traffic holds server memory flat instead of growing a
+//! result per job id forever.
 
 use crate::metrics::ServerMetrics;
-use sigcomp_explore::{run_jobs, JobMetrics, JobSpec, ResultCache, SweepOptions};
+use sigcomp_explore::{
+    dedup_jobs, try_run_jobs, ExecBackend, JobMetrics, JobSpec, ResultCache, SweepOptions,
+};
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+
+/// Default [`BatchConfig::memo_capacity`]: metrics are ~300 bytes, so the
+/// default memo tops out around a megabyte.
+pub const DEFAULT_MEMO_CAPACITY: usize = 4096;
 
 /// Scheduler tuning knobs.
 #[derive(Debug, Clone, Default)]
@@ -36,8 +49,16 @@ pub struct BatchConfig {
     pub sim_workers: Option<usize>,
     /// Shared on-disk result cache, if any. The same directory may be used
     /// concurrently by `repro sweep` — [`ResultCache::store`] publishes
-    /// atomically.
+    /// atomically. Required when `backend` is
+    /// [`ExecBackend::Subprocess`] (it is the merge point).
     pub disk_cache: Option<ResultCache>,
+    /// Where each batch's unique jobs execute (default: in-process
+    /// threads).
+    pub backend: ExecBackend,
+    /// Result-memo entries retained, oldest evicted first
+    /// (0 = [`DEFAULT_MEMO_CAPACITY`]). Evicted entries simply fall back
+    /// to the disk cache or a re-simulation.
+    pub memo_capacity: usize,
 }
 
 impl BatchConfig {
@@ -55,6 +76,55 @@ impl BatchConfig {
         } else {
             self.queue_capacity
         }
+    }
+
+    fn memo_capacity(&self) -> usize {
+        if self.memo_capacity == 0 {
+            DEFAULT_MEMO_CAPACITY
+        } else {
+            self.memo_capacity
+        }
+    }
+}
+
+/// The in-memory result memo: a capacity-bounded map from
+/// [`JobSpec::job_id`] to metrics with insertion-order eviction. Bounded so
+/// a long-running server under sustained *distinct* traffic holds memory
+/// flat; an evicted entry merely costs a disk-cache load or re-simulation.
+#[derive(Debug)]
+struct BoundedMemo {
+    entries: HashMap<u64, JobMetrics>,
+    /// Insertion order, oldest first.
+    order: VecDeque<u64>,
+    capacity: usize,
+}
+
+impl BoundedMemo {
+    fn new(capacity: usize) -> Self {
+        BoundedMemo {
+            entries: HashMap::new(),
+            order: VecDeque::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn get(&self, id: u64) -> Option<JobMetrics> {
+        self.entries.get(&id).copied()
+    }
+
+    fn insert(&mut self, id: u64, metrics: JobMetrics) {
+        if self.entries.insert(id, metrics).is_none() {
+            self.order.push_back(id);
+            while self.entries.len() > self.capacity {
+                if let Some(evicted) = self.order.pop_front() {
+                    self.entries.remove(&evicted);
+                }
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
     }
 }
 
@@ -116,10 +186,9 @@ impl Slot {
 #[derive(Debug)]
 struct QueueState {
     queue: VecDeque<(JobSpec, Arc<Slot>)>,
-    /// Results of every job this batcher has ever answered, keyed by
-    /// [`JobSpec::job_id`]. Metrics are ~30 integers, so even a large
-    /// design space stays a few megabytes.
-    memo: HashMap<u64, JobMetrics>,
+    /// Recently answered jobs, keyed by [`JobSpec::job_id`] and bounded by
+    /// [`BatchConfig::memo_capacity`].
+    memo: BoundedMemo,
     shutdown: bool,
 }
 
@@ -146,10 +215,11 @@ impl Batcher {
     /// Starts the dispatcher thread.
     #[must_use]
     pub fn new(config: BatchConfig, metrics: Arc<ServerMetrics>) -> Self {
+        let memo = BoundedMemo::new(config.memo_capacity());
         let shared = Arc::new(Shared {
             state: Mutex::new(QueueState {
                 queue: VecDeque::new(),
-                memo: HashMap::new(),
+                memo,
                 shutdown: false,
             }),
             work_ready: Condvar::new(),
@@ -216,11 +286,18 @@ impl Batcher {
             .len()
     }
 
+    /// Results currently memoized (a point-in-time sample); never exceeds
+    /// the configured [`BatchConfig::memo_capacity`].
+    #[must_use]
+    pub fn memo_len(&self) -> usize {
+        self.shared.state.lock().expect("queue poisoned").memo.len()
+    }
+
     fn enqueue(&self, spec: JobSpec) -> Result<Enqueued, SubmitError> {
         let metrics = &self.shared.metrics;
         ServerMetrics::incr(&metrics.jobs_requested);
         let mut state = self.shared.state.lock().expect("queue poisoned");
-        if let Some(&cached) = state.memo.get(&spec.job_id()) {
+        if let Some(cached) = state.memo.get(spec.job_id()) {
             ServerMetrics::incr(&metrics.jobs_memo_hits);
             return Ok(Enqueued::Ready(Box::new(BatchedResult {
                 metrics: cached,
@@ -283,22 +360,18 @@ fn dispatch_loop(shared: &Shared) {
     }
 }
 
-/// Deduplicates one drained batch by job id, simulates the unique residue
-/// through the explore executor, and fills every waiter's slot.
+/// Deduplicates one drained batch by job id, places the unique residue on
+/// the configured execution backend, and fills every waiter's slot.
 fn run_batch(shared: &Shared, batch: Vec<(JobSpec, Arc<Slot>)>) {
     let metrics = &shared.metrics;
-    // Group the batch: first occurrence of each job id becomes the unique
-    // job list fed to the executor; followers coalesce onto it.
-    let mut unique: Vec<JobSpec> = Vec::new();
-    let mut index_of: HashMap<u64, usize> = HashMap::new();
-    let mut members: Vec<(usize, Arc<Slot>, bool)> = Vec::with_capacity(batch.len());
+    // Jobs enqueued before a previous batch finished may have been answered
+    // by it; re-check the memo so they don't re-simulate, then group the
+    // remainder with the workspace-wide dedup (first occurrence leads).
+    let mut residue: Vec<(JobSpec, Arc<Slot>)> = Vec::with_capacity(batch.len());
     {
-        // Jobs enqueued before a previous batch finished may have been
-        // answered by it; re-check the memo so they don't re-simulate.
         let state = shared.state.lock().expect("queue poisoned");
         for (spec, slot) in batch {
-            let id = spec.job_id();
-            if let Some(&cached) = state.memo.get(&id) {
+            if let Some(cached) = state.memo.get(spec.job_id()) {
                 ServerMetrics::incr(&metrics.jobs_memo_hits);
                 slot.fill(Ok(BatchedResult {
                     metrics: cached,
@@ -306,39 +379,57 @@ fn run_batch(shared: &Shared, batch: Vec<(JobSpec, Arc<Slot>)>) {
                 }));
                 continue;
             }
-            match index_of.get(&id) {
-                Some(&idx) => {
-                    ServerMetrics::incr(&metrics.jobs_batch_deduped);
-                    members.push((idx, slot, true));
-                }
-                None => {
-                    let idx = unique.len();
-                    index_of.insert(id, idx);
-                    unique.push(spec);
-                    members.push((idx, slot, false));
-                }
-            }
+            residue.push((spec, slot));
         }
     }
-    if unique.is_empty() {
+    if residue.is_empty() {
         return;
     }
+    let specs: Vec<JobSpec> = residue.iter().map(|(spec, _)| *spec).collect();
+    let deduped = dedup_jobs(&specs);
+    let mut members: Vec<(usize, Arc<Slot>, bool)> = Vec::with_capacity(residue.len());
+    for (pos, (_, slot)) in residue.into_iter().enumerate() {
+        let follower = deduped.is_follower(pos);
+        if follower {
+            ServerMetrics::incr(&metrics.jobs_batch_deduped);
+        }
+        members.push((deduped.leader_of[pos], slot, follower));
+    }
 
-    // One executor pass over the deduplicated batch. `run_jobs` consults
-    // the shared on-disk cache per job and returns outcomes in input order.
+    // One backend pass over the deduplicated batch: the in-process executor
+    // or a sharded subprocess fan-out, both consulting the shared on-disk
+    // cache and returning outcomes in input order.
     // A panicking simulation must not unwind through the dispatcher: every
     // waiter would hang on its condvar forever (no socket timeout applies
     // there) and the queue would never drain again. Catch it, fail this
     // batch's waiters, and keep serving. AssertUnwindSafe is fine: on panic
     // the batch state is discarded (the memo is only written on success).
+    // Backend errors (a dead worker child, say) fail the same way, after
+    // logging the named cause server-side.
     let options = SweepOptions {
         workers: shared.config.sim_workers,
         cache: shared.config.disk_cache.clone(),
+        backend: shared.config.backend.clone(),
     };
+    let placed = match &shared.config.backend {
+        ExecBackend::LocalThreads => &metrics.jobs_placed_local,
+        ExecBackend::Subprocess(_) => &metrics.jobs_placed_subprocess,
+    };
+    placed.fetch_add(
+        deduped.unique.len() as u64,
+        std::sync::atomic::Ordering::Relaxed,
+    );
     let summary = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        run_jobs(&unique, &options)
+        try_run_jobs(&deduped.unique, &options)
     })) {
-        Ok(summary) => summary,
+        Ok(Ok(summary)) => summary,
+        Ok(Err(e)) => {
+            eprintln!("sigcomp-serve: batch execution failed: {e}");
+            for (_, slot, _) in members {
+                slot.fill(Err(SubmitError::SimulationFailed));
+            }
+            return;
+        }
         Err(_) => {
             for (_, slot, _) in members {
                 slot.fill(Err(SubmitError::SimulationFailed));
@@ -398,7 +489,7 @@ mod tests {
             max_batch: 16,
             queue_capacity: 64,
             sim_workers: Some(2),
-            disk_cache: None,
+            ..BatchConfig::default()
         };
         (Batcher::new(config, Arc::clone(&metrics)), metrics)
     }
@@ -485,6 +576,67 @@ mod tests {
         assert_eq!(metrics.jobs_disk_cache_hits.load(Ordering::Relaxed), 1);
         assert_eq!(metrics.jobs_simulated.load(Ordering::Relaxed), 0);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn local_placement_is_counted_per_unique_job() {
+        let (batcher, metrics) = batcher();
+        let a = spec(0, OrgKind::Baseline32);
+        let b = spec(0, OrgKind::ByteSerial);
+        batcher.submit_many(&[a, b, a]).expect("batch runs");
+        // Dedup happens before placement: at most 2 jobs reach the backend,
+        // all on the local side (the default backend).
+        let local = metrics.jobs_placed_local.load(Ordering::Relaxed);
+        assert!(local == 2, "expected 2 local placements, saw {local}");
+        assert_eq!(metrics.jobs_placed_subprocess.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn sustained_distinct_submissions_hold_the_memo_flat() {
+        // The memory-flatness regression guard: a capped memo must never
+        // grow past its capacity no matter how many distinct jobs stream
+        // through, and evicted entries must still be answerable (from the
+        // executor) rather than erroring.
+        let metrics = Arc::new(ServerMetrics::default());
+        let config = BatchConfig {
+            max_batch: 4,
+            queue_capacity: 16,
+            sim_workers: Some(2),
+            memo_capacity: 3,
+            ..BatchConfig::default()
+        };
+        let batcher = Batcher::new(config, Arc::clone(&metrics));
+        // 2 workloads × 4 orgs = 8 distinct jobs, submitted twice over.
+        let orgs = [
+            OrgKind::Baseline32,
+            OrgKind::ByteSerial,
+            OrgKind::ParallelSkewed,
+            OrgKind::ParallelCompressed,
+        ];
+        let mut distinct = Vec::new();
+        for workload in 0..2 {
+            for org in orgs {
+                distinct.push(spec(workload, org));
+            }
+        }
+        for round in 0..2 {
+            for &job in &distinct {
+                let result = batcher.submit(job).expect("submit succeeds");
+                assert!(result.metrics.cycles > 0);
+                assert!(
+                    batcher.memo_len() <= 3,
+                    "round {round}: memo grew to {}",
+                    batcher.memo_len()
+                );
+            }
+        }
+        assert_eq!(batcher.memo_len(), 3, "memo sits at its cap");
+        // Every submission was answered; evicted entries re-simulated
+        // rather than failing.
+        assert_eq!(
+            metrics.jobs_requested.load(Ordering::Relaxed),
+            2 * distinct.len() as u64
+        );
     }
 
     #[test]

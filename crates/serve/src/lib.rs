@@ -12,13 +12,15 @@
 //! The heart of the crate is the **batching scheduler** ([`batch`]):
 //! concurrent connections enqueue jobs into one shared bounded queue; a
 //! dispatcher drains it into batches, deduplicates identical configurations
-//! by their content hash ([`sigcomp_explore::JobSpec::job_id`]), answers
-//! repeats from an in-memory memo and the shared on-disk
-//! [`sigcomp_explore::ResultCache`], and feeds only the unique residue to
-//! [`sigcomp_explore::run_jobs`] — the same work-stealing executor behind
-//! `repro sweep`. A thousand clients asking for overlapping configurations
-//! cost one simulation each, and every response is bit-identical to a
-//! direct run (all counters are exact integers).
+//! by their content hash ([`sigcomp_explore::dedup_jobs`]), answers
+//! repeats from a bounded in-memory memo and the shared on-disk
+//! [`sigcomp_explore::ResultCache`], and places only the unique residue on
+//! the configured [`sigcomp_explore::ExecBackend`] — the same pluggable
+//! execution layer behind `repro sweep`, so the server can run its batches
+//! on the in-process work-stealing pool or fan them out across sharded
+//! `repro worker` subprocesses. A thousand clients asking for overlapping
+//! configurations cost one simulation each, and every response is
+//! bit-identical to a direct run (all counters are exact integers).
 //!
 //! # Example
 //!
@@ -50,7 +52,7 @@ pub mod metrics;
 pub mod registry;
 pub mod server;
 
-pub use batch::{BatchConfig, BatchedResult, Batcher, SubmitError};
+pub use batch::{BatchConfig, BatchedResult, Batcher, SubmitError, DEFAULT_MEMO_CAPACITY};
 pub use http::{read_request, HttpError, Request, Response};
 pub use json::{Json, NumError};
 pub use metrics::ServerMetrics;

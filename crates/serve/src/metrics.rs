@@ -44,6 +44,13 @@ pub struct ServerMetrics {
     pub jobs_disk_cache_hits: AtomicU64,
     /// Jobs that actually ran a fresh simulation.
     pub jobs_simulated: AtomicU64,
+    /// Jobs placed on the in-process thread backend
+    /// ([`sigcomp_explore::ExecBackend::LocalThreads`]) — the unique
+    /// residue of each batch when the server runs with the default backend.
+    pub jobs_placed_local: AtomicU64,
+    /// Jobs placed on the sharded subprocess backend
+    /// ([`sigcomp_explore::ExecBackend::Subprocess`]).
+    pub jobs_placed_subprocess: AtomicU64,
     /// Batches dispatched to the explore executor.
     pub batches_dispatched: AtomicU64,
     /// Largest batch dispatched so far.
@@ -78,11 +85,11 @@ impl ServerMetrics {
         self.largest_batch.fetch_max(size, Ordering::Relaxed);
     }
 
-    /// Renders every counter as the `/metrics` JSON document. `queue_depth`
-    /// and `uptime` are sampled by the caller (they live outside this
-    /// struct).
+    /// Renders every counter as the `/metrics` JSON document. `queue_depth`,
+    /// `memo_entries` and `uptime` are sampled by the caller (they live
+    /// outside this struct).
     #[must_use]
-    pub fn to_json(&self, queue_depth: usize, uptime: Duration) -> String {
+    pub fn to_json(&self, queue_depth: usize, memo_entries: usize, uptime: Duration) -> String {
         let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
         let mut latency = String::new();
         for (i, label) in LATENCY_LABELS.iter().enumerate() {
@@ -98,10 +105,12 @@ impl ServerMetrics {
                 "  \"http\": {{\"requests\": {req}, \"responses_2xx\": {s2}, ",
                 "\"responses_4xx\": {s4}, \"responses_5xx\": {s5}, ",
                 "\"latency\": {{{latency}}}}},\n",
-                "  \"batch\": {{\"queue_depth\": {depth}, \"jobs_requested\": {jr}, ",
+                "  \"batch\": {{\"queue_depth\": {depth}, \"memo_entries\": {memo}, ",
+                "\"jobs_requested\": {jr}, ",
                 "\"jobs_memo_hits\": {jm}, \"jobs_batch_deduped\": {jd}, ",
                 "\"jobs_disk_cache_hits\": {jc}, \"jobs_simulated\": {js}, ",
-                "\"batches_dispatched\": {bd}, \"largest_batch\": {lb}}},\n",
+                "\"batches_dispatched\": {bd}, \"largest_batch\": {lb}, ",
+                "\"dispatch\": {{\"local\": {pl}, \"subprocess\": {ps}}}}},\n",
                 "  \"sweeps\": {{\"submitted\": {ss}, \"completed\": {sc}, ",
                 "\"failed\": {sf}}}\n",
                 "}}\n"
@@ -113,6 +122,7 @@ impl ServerMetrics {
             s5 = get(&self.http_5xx),
             latency = latency,
             depth = queue_depth,
+            memo = memo_entries,
             jr = get(&self.jobs_requested),
             jm = get(&self.jobs_memo_hits),
             jd = get(&self.jobs_batch_deduped),
@@ -120,6 +130,8 @@ impl ServerMetrics {
             js = get(&self.jobs_simulated),
             bd = get(&self.batches_dispatched),
             lb = get(&self.largest_batch),
+            pl = get(&self.jobs_placed_local),
+            ps = get(&self.jobs_placed_subprocess),
             ss = get(&self.sweeps_submitted),
             sc = get(&self.sweeps_completed),
             sf = get(&self.sweeps_failed),
@@ -141,7 +153,7 @@ mod tests {
         m.observe_latency(Duration::from_millis(50));
         m.observe_latency(Duration::from_millis(500));
         m.observe_latency(Duration::from_secs(5));
-        let doc = Json::parse(&m.to_json(0, Duration::ZERO)).unwrap();
+        let doc = Json::parse(&m.to_json(0, 0, Duration::ZERO)).unwrap();
         let latency = doc.get("http").and_then(|h| h.get("latency")).unwrap();
         for label in LATENCY_LABELS {
             assert_eq!(
@@ -159,12 +171,17 @@ mod tests {
             ServerMetrics::incr(&m.jobs_requested);
         }
         ServerMetrics::incr(&m.jobs_simulated);
+        for _ in 0..3 {
+            ServerMetrics::incr(&m.jobs_placed_local);
+        }
+        ServerMetrics::incr(&m.jobs_placed_subprocess);
         m.observe_batch(5);
         m.observe_batch(3);
-        let doc = Json::parse(&m.to_json(2, Duration::from_millis(1234))).unwrap();
+        let doc = Json::parse(&m.to_json(2, 6, Duration::from_millis(1234))).unwrap();
         assert_eq!(doc.get("uptime_ms").and_then(Json::as_u64), Some(1234));
         let batch = doc.get("batch").unwrap();
         assert_eq!(batch.get("queue_depth").and_then(Json::as_u64), Some(2));
+        assert_eq!(batch.get("memo_entries").and_then(Json::as_u64), Some(6));
         assert_eq!(batch.get("jobs_requested").and_then(Json::as_u64), Some(7));
         assert_eq!(batch.get("jobs_simulated").and_then(Json::as_u64), Some(1));
         assert_eq!(
@@ -172,5 +189,8 @@ mod tests {
             Some(2)
         );
         assert_eq!(batch.get("largest_batch").and_then(Json::as_u64), Some(5));
+        let dispatch = batch.get("dispatch").expect("dispatch section");
+        assert_eq!(dispatch.get("local").and_then(Json::as_u64), Some(3));
+        assert_eq!(dispatch.get("subprocess").and_then(Json::as_u64), Some(1));
     }
 }

@@ -5,10 +5,11 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
-/// How many *finished* tickets (and their result documents) are retained; a
+/// Default retention of *finished* tickets (and their result documents); a
 /// long-running server must not grow without bound, so once a ticket falls
 /// out of the window polling it returns 404. Running tickets are never
-/// evicted.
+/// evicted. Override with [`SweepRegistry::with_capacity`] (the
+/// `repro serve --ticket-cap` flag).
 pub const MAX_FINISHED_TICKETS: usize = 64;
 
 /// The lifecycle of one asynchronous sweep.
@@ -30,10 +31,10 @@ struct Tickets {
 }
 
 impl Tickets {
-    fn settle(&mut self, id: u64, state: SweepState) {
+    fn settle(&mut self, id: u64, state: SweepState, capacity: usize) {
         self.jobs.insert(id, state);
         self.finished.push_back(id);
-        while self.finished.len() > MAX_FINISHED_TICKETS {
+        while self.finished.len() > capacity {
             if let Some(evicted) = self.finished.pop_front() {
                 self.jobs.remove(&evicted);
             }
@@ -42,15 +43,41 @@ impl Tickets {
 }
 
 /// Thread-safe registry of sweep tickets, keyed by a monotonically
-/// increasing id. Finished tickets are retained up to
-/// [`MAX_FINISHED_TICKETS`], then evicted oldest-first.
-#[derive(Debug, Default)]
+/// increasing id. Finished tickets are retained up to the configured
+/// capacity ([`MAX_FINISHED_TICKETS`] by default), then evicted
+/// oldest-first — so sustained distinct `/sweep` traffic holds the
+/// registry's memory flat.
+#[derive(Debug)]
 pub struct SweepRegistry {
     tickets: Mutex<Tickets>,
     next_id: AtomicU64,
+    capacity: usize,
+}
+
+impl Default for SweepRegistry {
+    fn default() -> Self {
+        SweepRegistry::with_capacity(MAX_FINISHED_TICKETS)
+    }
 }
 
 impl SweepRegistry {
+    /// A registry retaining at most `capacity` finished tickets (clamped to
+    /// at least 1 — a ticket must survive long enough to be polled once).
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        SweepRegistry {
+            tickets: Mutex::default(),
+            next_id: AtomicU64::new(0),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The configured finished-ticket retention.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Creates a new ticket in the [`SweepState::Running`] state and returns
     /// its id.
     #[must_use]
@@ -66,18 +93,33 @@ impl SweepRegistry {
 
     /// Marks ticket `id` done with the given result document.
     pub fn finish(&self, id: u64, result_json: String) {
-        self.tickets
-            .lock()
-            .expect("registry poisoned")
-            .settle(id, SweepState::Done(result_json));
+        self.tickets.lock().expect("registry poisoned").settle(
+            id,
+            SweepState::Done(result_json),
+            self.capacity,
+        );
     }
 
     /// Marks ticket `id` failed with the given reason.
     pub fn fail(&self, id: u64, reason: String) {
-        self.tickets
-            .lock()
-            .expect("registry poisoned")
-            .settle(id, SweepState::Failed(reason));
+        self.tickets.lock().expect("registry poisoned").settle(
+            id,
+            SweepState::Failed(reason),
+            self.capacity,
+        );
+    }
+
+    /// Tickets currently retained (running + finished) — a point-in-time
+    /// sample for observability and the memory-flatness tests.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tickets.lock().expect("registry poisoned").jobs.len()
+    }
+
+    /// Whether no tickets are retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 
     /// A snapshot of ticket `id`, or `None` for unknown (or evicted) ids.
@@ -122,5 +164,30 @@ mod tests {
         }
         assert_eq!(registry.get(first), None, "oldest finished ticket evicted");
         assert_eq!(registry.get(running), Some(SweepState::Running));
+    }
+
+    #[test]
+    fn sustained_distinct_tickets_hold_memory_flat_at_the_configured_cap() {
+        let registry = SweepRegistry::with_capacity(5);
+        assert_eq!(registry.capacity(), 5);
+        for round in 0..100 {
+            let id = registry.create();
+            registry.finish(id, format!("result {round}"));
+            assert!(
+                registry.len() <= 5,
+                "round {round}: registry grew to {}",
+                registry.len()
+            );
+        }
+        // The newest ticket is still pollable, the oldest long gone.
+        assert_eq!(registry.len(), 5);
+        assert_eq!(registry.get(1), None);
+
+        // A zero capacity clamps to 1: every ticket is briefly pollable.
+        let tiny = SweepRegistry::with_capacity(0);
+        assert_eq!(tiny.capacity(), 1);
+        let id = tiny.create();
+        tiny.finish(id, "kept".to_owned());
+        assert_eq!(tiny.get(id), Some(SweepState::Done("kept".to_owned())));
     }
 }

@@ -83,8 +83,13 @@ pub struct ServeConfig {
     pub addr: String,
     /// Batching scheduler tuning, including the shared on-disk result
     /// cache ([`BatchConfig::disk_cache`] — also consulted and filled by
-    /// CLI sweeps pointed at the same directory).
+    /// CLI sweeps pointed at the same directory) and the execution backend
+    /// ([`BatchConfig::backend`]).
     pub batch: BatchConfig,
+    /// Finished `/sweep` tickets retained for `GET /jobs/:id` polling
+    /// before oldest-first eviction
+    /// (0 = [`crate::registry::MAX_FINISHED_TICKETS`]).
+    pub finished_tickets: usize,
 }
 
 /// Everything the request handlers share.
@@ -117,9 +122,14 @@ impl Server {
         };
         let listener = TcpListener::bind(addr)?;
         let metrics = Arc::new(ServerMetrics::default());
+        let registry = if config.finished_tickets == 0 {
+            SweepRegistry::default()
+        } else {
+            SweepRegistry::with_capacity(config.finished_tickets)
+        };
         let ctx = Arc::new(Ctx {
             batcher: Batcher::new(config.batch, Arc::clone(&metrics)),
-            registry: SweepRegistry::default(),
+            registry,
             metrics,
             started: Instant::now(),
         });
@@ -273,8 +283,11 @@ fn route(ctx: &Arc<Ctx>, request: &Request) -> Response {
         ("GET", "/healthz") => Response::json(200, "{\"status\": \"ok\"}\n"),
         ("GET", "/metrics") => Response::json(
             200,
-            ctx.metrics
-                .to_json(ctx.batcher.queue_depth(), ctx.started.elapsed()),
+            ctx.metrics.to_json(
+                ctx.batcher.queue_depth(),
+                ctx.batcher.memo_len(),
+                ctx.started.elapsed(),
+            ),
         ),
         ("POST", "/simulate") => match parse_body(request) {
             Ok(doc) => match job_spec_from_json(&doc) {

@@ -46,8 +46,9 @@ fn main() {
             max_batch: 64,
             queue_capacity: 512,
             sim_workers: None, // all cores
-            disk_cache: None,
+            ..BatchConfig::default()
         },
+        finished_tickets: 0,
     })
     .expect("bind")
     .spawn();

@@ -48,8 +48,9 @@ fn start_server() -> ServerHandle {
             max_batch: 32,
             queue_capacity: 256,
             sim_workers: Some(2),
-            disk_cache: None,
+            ..BatchConfig::default()
         },
+        finished_tickets: 0,
     })
     .expect("bind")
     .spawn()
@@ -156,6 +157,110 @@ fn concurrent_overlapping_clients_are_deduplicated_and_bit_identical() {
         "deduplication must be visible: {simulated} !< {requested}"
     );
     assert_eq!(memo + deduped + simulated, requested);
+
+    // Per-backend dispatch accounting: this server runs the default
+    // in-process backend, so every job that reached a backend was placed
+    // locally — and placement happens after memo/batch dedup, so placed
+    // jobs are exactly those that simulated or hit the disk cache.
+    let dispatch = batch.get("dispatch").expect("dispatch section");
+    let placed_local = dispatch.get("local").and_then(Json::as_u64).unwrap();
+    let placed_subprocess = dispatch.get("subprocess").and_then(Json::as_u64).unwrap();
+    let disk_hits = batch
+        .get("jobs_disk_cache_hits")
+        .and_then(Json::as_u64)
+        .unwrap();
+    assert_eq!(placed_local, simulated + disk_hits);
+    assert_eq!(placed_subprocess, 0, "no subprocess backend configured");
+
+    // The bounded memo reports its occupancy (and can never exceed the
+    // distinct-job count here).
+    let memo_entries = batch.get("memo_entries").and_then(Json::as_u64).unwrap();
+    assert_eq!(memo_entries as usize, jobs.len());
+
+    server.shutdown();
+}
+
+#[test]
+fn capped_memo_and_registry_hold_server_memory_flat_under_distinct_traffic() {
+    // A server with tiny caps must keep answering correctly while its
+    // in-memory structures stay at their configured bounds.
+    let server = Server::bind(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        batch: BatchConfig {
+            max_batch: 8,
+            queue_capacity: 64,
+            sim_workers: Some(2),
+            memo_capacity: 2,
+            ..BatchConfig::default()
+        },
+        finished_tickets: 1,
+    })
+    .expect("bind")
+    .spawn();
+    let addr = server.addr();
+
+    // Sustained distinct traffic: more distinct configurations than the
+    // memo retains.
+    let spec = SweepSpec::paper(WorkloadSize::Tiny)
+        .workloads(&["rawcaudio", "pgp", "epic"])
+        .orgs(&[OrgKind::Baseline32, OrgKind::ByteSerial]);
+    for job in spec.enumerate() {
+        let body = format!(
+            "{{\"workload\": \"{}\", \"size\": \"{}\", \"scheme\": \"{}\", \
+             \"org\": \"{}\", \"mem\": \"{}\"}}",
+            job.workload,
+            job.size.name(),
+            job.scheme.id(),
+            job.org.id(),
+            job.mem.id()
+        );
+        let (status, payload) = http(addr, "POST", "/simulate", Some(&body));
+        assert_eq!(status, 200, "{payload}");
+        let metrics = get_json(addr, "/metrics");
+        let entries = metrics
+            .get("batch")
+            .and_then(|b| b.get("memo_entries"))
+            .and_then(Json::as_u64)
+            .unwrap();
+        assert!(entries <= 2, "memo grew past its cap: {entries}");
+    }
+
+    // Two finished sweep tickets with a retention of one: the older falls
+    // out (404), the newer stays pollable — the registry cannot grow.
+    let mut tickets = Vec::new();
+    for _ in 0..2 {
+        let (status, body) = http(
+            addr,
+            "POST",
+            "/sweep",
+            Some("{\"workloads\": [\"rawcaudio\"], \"sizes\": [\"tiny\"], \"orgs\": [\"baseline32\"]}"),
+        );
+        assert_eq!(status, 202, "{body}");
+        let poll = Json::parse(&body)
+            .unwrap()
+            .get("poll")
+            .and_then(Json::as_str)
+            .unwrap()
+            .to_owned();
+        // Wait for this ticket to settle before submitting the next so the
+        // eviction order is deterministic.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+        loop {
+            let (status, body) = http(addr, "GET", &poll, None);
+            if status == 200 && body.contains("\"status\": \"done\"") {
+                break;
+            }
+            assert_eq!(status, 200, "{body}");
+            assert!(std::time::Instant::now() < deadline, "sweep never finished");
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+        tickets.push(poll);
+    }
+    let (status, _) = http(addr, "GET", &tickets[0], None);
+    assert_eq!(status, 404, "evicted ticket must be gone");
+    let (status, body) = http(addr, "GET", &tickets[1], None);
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"status\": \"done\""), "{body}");
 
     server.shutdown();
 }
