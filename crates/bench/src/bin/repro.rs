@@ -4,9 +4,10 @@
 //!
 //! ```text
 //! repro [--size tiny|default|large] [table1|table2|table3|table4|table5|table6|
-//!        fig4|fig6|fig8|fig10|bottleneck|sweep|energy|serve|all]
+//!        fig4|fig6|fig8|fig10|bottleneck|sweep|energy|serve|bench|all]
 //! repro trace record|replay|stat|golden …
 //! repro worker --shard I/N --cache DIR [--workers N] [--traces a,b]
+//!              [--obs-log FILE]
 //!
 //! sweep options:
 //!   --workers N          worker threads (default: available parallelism;
@@ -30,6 +31,8 @@
 //!   --no-cache           disable the result cache
 //!   --csv PATH           write per-job results as CSV
 //!   --json PATH          write per-job results as JSON
+//!   --obs-log FILE       stream observability span events as JSONL (sweep,
+//!                        serve and bench; workers append to FILE.shard-<i>)
 //!
 //! energy (a per-preset comparison of the same sweep; accepts
 //! --schemes/--orgs/--mems and the --workers/--cache options):
@@ -46,6 +49,16 @@
 //!                        4096, oldest evicted first)
 //!   --ticket-cap N       finished /sweep tickets retained for polling
 //!                        (default 64, oldest evicted first)
+//!
+//! bench (the self-timed perf harness; see `sigcomp_bench::perf`): replays
+//! the golden corpus, runs the standard tiny sweep cache-cold and
+//! cache-warm against a throwaway cache, and times repeated Pareto-frontier
+//! extraction, writing a schema-checked `BENCH_<label>.json`:
+//!   --quick              shrunk phases for CI smoke runs
+//!   --label NAME         report label (default: local)
+//!   --out PATH           report path (default: BENCH_<label>.json)
+//!   --corpus DIR         replay a pre-recorded golden corpus directory
+//!   --check FILE         only validate FILE against the report schema
 //!
 //! worker (the subprocess-backend shard protocol; normally spawned by
 //! `repro sweep --shards` or `repro serve --backend subprocess`, not by
@@ -64,13 +77,13 @@
 //! ```
 //!
 //! With no subcommand (or `all`) every paper artefact is printed in paper
-//! order (`all` does not include `sweep`, `serve` or `trace`).
+//! order (`all` does not include `sweep`, `serve`, `bench` or `trace`).
 
 use sigcomp::analyzer::AnalyzerConfig;
 use sigcomp::{EnergyModel, ExtScheme, ProcessNode};
 use sigcomp_bench::{
     activity_study, activity_table, bottleneck, cpi_study, figure, figure_orgs, golden,
-    merged_stats, table1, table2, table3, table4,
+    merged_stats, perf, table1, table2, table3, table4,
 };
 use sigcomp_explore::{
     config_points, frontier_table, parse_shard, run_sweep, to_csv, to_json, try_run_jobs_traced,
@@ -86,24 +99,28 @@ use std::process::ExitCode;
 
 const USAGE: &str = "\
 usage: repro [--size tiny|default|large] \
-[table1|table2|table3|table4|table5|table6|fig4|fig6|fig8|fig10|bottleneck|sweep|energy|serve|all]
+[table1|table2|table3|table4|table5|table6|fig4|fig6|fig8|fig10|bottleneck|sweep|energy|serve|bench|all]
        repro trace record WORKLOAD|--all --out PATH [--size tiny|default|large]
        repro trace replay FILE [--schemes a,b] [--orgs all|a,b] [--mems a,b]
                    [--energy-model paper-180nm|generic-45nm|modern-7nm]
        repro trace stat FILE
        repro trace golden DIR
        repro worker --shard I/N --cache DIR [--workers N] [--traces a,b]
+                    [--obs-log FILE]
 sweep options: [--workers N] [--shards N] [--schemes 2bit,3bit,halfword]
 [--orgs all|id,id,...] [--mems paper,small-l1,wide-l2,slow-memory]
 [--traces f1.sctrace,f2.sctrace]
 [--energy-model paper-180nm,generic-45nm,modern-7nm]
-[--cache DIR] [--no-cache] [--csv PATH] [--json PATH]
+[--cache DIR] [--no-cache] [--csv PATH] [--json PATH] [--obs-log FILE]
 (--shards requires the cache: worker processes merge through it; set
 REPRO_WORKER to interpose a worker launcher)
 energy options: [--workers N] [--schemes a,b] [--orgs all|a,b] [--mems a,b]
 [--cache DIR] [--no-cache]
 serve options: [--addr HOST:PORT] [--max-batch N] [--backend local|subprocess[:N]]
-[--memo-cap N] [--ticket-cap N] [--workers N] [--cache DIR] [--no-cache]";
+[--memo-cap N] [--ticket-cap N] [--workers N] [--cache DIR] [--no-cache]
+[--obs-log FILE]
+bench options: [--quick] [--label NAME] [--out PATH] [--corpus DIR]
+[--obs-log FILE], or `repro bench --check FILE` to schema-validate a report";
 
 fn usage() -> ExitCode {
     eprintln!("{USAGE}");
@@ -136,6 +153,12 @@ struct SweepArgs {
     backend: Option<BackendChoice>,
     memo_cap: Option<usize>,
     ticket_cap: Option<usize>,
+    obs_log: Option<String>,
+    bench_quick: bool,
+    bench_label: Option<String>,
+    bench_out: Option<String>,
+    bench_corpus: Option<String>,
+    bench_check: Option<String>,
 }
 
 /// The `--backend` value of `repro serve`.
@@ -183,10 +206,16 @@ fn worker_program() -> Result<std::path::PathBuf, String> {
 }
 
 /// Builds the subprocess backend config shared by `sweep --shards` and
-/// `serve --backend subprocess`.
-fn subprocess_backend(shards: usize, trace_paths: &[String]) -> Result<ExecBackend, String> {
+/// `serve --backend subprocess`. When `obs_log` is set each worker also
+/// streams its span events to `<obs_log>.shard-<i>`.
+fn subprocess_backend(
+    shards: usize,
+    trace_paths: &[String],
+    obs_log: Option<&str>,
+) -> Result<ExecBackend, String> {
     let mut config = SubprocessConfig::new(shards, worker_program()?);
     config.trace_paths = trace_paths.to_vec();
+    config.obs_log = obs_log.map(std::path::PathBuf::from);
     Ok(ExecBackend::Subprocess(config))
 }
 
@@ -256,7 +285,7 @@ fn run_sweep_command(size: WorkloadSize, args: &SweepArgs) -> ExitCode {
                 return ExitCode::FAILURE;
             }
             let trace_paths = args.traces.clone().unwrap_or_default();
-            match subprocess_backend(shards, &trace_paths) {
+            match subprocess_backend(shards, &trace_paths, args.obs_log.as_deref()) {
                 Ok(backend) => backend,
                 Err(e) => {
                     eprintln!("sweep: {e}");
@@ -301,6 +330,27 @@ fn run_sweep_command(size: WorkloadSize, args: &SweepArgs) -> ExitCode {
         .map(|(jobs, steals)| format!("{jobs}/{steals}"))
         .collect();
     println!("worker loads (jobs/steals): {}", loads.join(" "));
+    if options.cache.is_some() {
+        let stats = sigcomp_explore::cache_stats();
+        println!(
+            "cache: {} hits, {} misses, {} retired, {} stores",
+            stats.hits, stats.misses, stats.retired, stats.stores
+        );
+    }
+    // The replay/cache counters are invariant across backends: a sharded run
+    // merges its workers' registries, so this line must match the
+    // single-process run byte for byte (CI pins that). Scheduling-dependent
+    // counters (dedup, worker gauges) are deliberately left out.
+    let totals: Vec<String> = sigcomp_obs::global()
+        .snapshot()
+        .counters
+        .iter()
+        .filter(|(name, _)| name.starts_with("replay.") || name.starts_with("explore.cache."))
+        .map(|(name, value)| format!("{name}={value}"))
+        .collect();
+    if !totals.is_empty() {
+        println!("obs totals: {}", totals.join(" "));
+    }
     println!();
 
     // One frontier per requested energy model; the axis is post-processing,
@@ -457,7 +507,7 @@ fn run_serve_command(args: &SweepArgs) -> ExitCode {
                 );
                 return ExitCode::FAILURE;
             }
-            match subprocess_backend(shards, &[]) {
+            match subprocess_backend(shards, &[], args.obs_log.as_deref()) {
                 Ok(backend) => backend,
                 Err(e) => {
                     eprintln!("serve: {e}");
@@ -489,6 +539,7 @@ fn run_serve_command(args: &SweepArgs) -> ExitCode {
     println!("serving on http://{addr}");
     println!("  GET  /healthz   liveness probe");
     println!("  GET  /metrics   request/batching/cache counters");
+    println!("  GET  /metrics.json  full observability registry snapshot");
     println!("  POST /simulate  one configuration -> metrics (batched + deduplicated)");
     println!("  POST /sweep     a design-space slice -> poll ticket (or \"sync\": true)");
     println!("  GET  /jobs/:id  sweep progress and results");
@@ -499,6 +550,93 @@ fn run_serve_command(args: &SweepArgs) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Runs the self-timed perf harness (or, with `--check`, only the report
+/// validator) and writes/validates `BENCH_<label>.json`.
+fn run_bench_command(args: &SweepArgs) -> ExitCode {
+    if let Some(path) = &args.bench_check {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("bench: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return match perf::validate(&text) {
+            Ok(()) => {
+                println!("{path}: valid {} report", perf::SCHEMA);
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("bench: {path}: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let options = perf::BenchOptions {
+        quick: args.bench_quick,
+        label: args
+            .bench_label
+            .clone()
+            .unwrap_or_else(|| "local".to_owned()),
+        corpus: args.bench_corpus.clone().map(std::path::PathBuf::from),
+    };
+    println!(
+        "bench: label {}{}",
+        options.label,
+        if options.quick { " (quick)" } else { "" }
+    );
+    let report = match perf::run(&options) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("bench: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "replay:   {} workloads, {} instructions in {:.2} s ({:.0} instructions/s)",
+        report.replay_workloads,
+        report.replay.units,
+        report.replay.wall_s,
+        report.replay.rate()
+    );
+    println!(
+        "sweep:    {} configurations; cold {:.2} s ({:.1} configs/s), \
+         warm {:.2} s ({:.1} configs/s), {:.1}x speedup",
+        report.sweep_configs,
+        report.sweep_cold.wall_s,
+        report.sweep_cold.rate(),
+        report.sweep_warm.wall_s,
+        report.sweep_warm.rate(),
+        report.warm_speedup()
+    );
+    println!(
+        "frontier: {} iterations over {} points in {:.2} s ({:.0} points/s)",
+        report.frontier_iterations,
+        report.frontier.units / report.frontier_iterations.max(1),
+        report.frontier.wall_s,
+        report.frontier.rate()
+    );
+
+    let json = report.to_json();
+    // Self-check before writing: an emitted report that fails its own
+    // schema is a bug, not an artifact.
+    if let Err(e) = perf::validate(&json) {
+        eprintln!("bench: emitted report fails validation: {e}");
+        return ExitCode::FAILURE;
+    }
+    let path = args
+        .bench_out
+        .clone()
+        .unwrap_or_else(|| format!("BENCH_{}.json", options.label));
+    if let Err(e) = std::fs::write(&path, &json) {
+        eprintln!("bench: cannot write {path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {path}");
+    ExitCode::SUCCESS
 }
 
 /// Parses a `--size` value with the same named error as the global flag.
@@ -813,6 +951,7 @@ fn run_worker_command(args: &[String]) -> ExitCode {
     let mut cache_dir: Option<String> = None;
     let mut workers: Option<usize> = None;
     let mut trace_paths: Vec<String> = Vec::new();
+    let mut obs_log: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -853,12 +992,24 @@ fn run_worker_command(args: &[String]) -> ExitCode {
                     .map(str::to_owned)
                     .collect();
             }
+            "--obs-log" => {
+                let Some(value) = it.next() else {
+                    return fail("--obs-log expects a value");
+                };
+                obs_log = Some(value.clone());
+            }
             other => return fail(&format!("unknown worker option '{other}'")),
         }
     }
     let Some((index, count)) = shard else {
         return fail("worker requires --shard INDEX/COUNT");
     };
+    if let Some(path) = &obs_log {
+        if let Err(e) = sigcomp_obs::global().open_jsonl_log(Path::new(path)) {
+            eprintln!("worker: cannot open obs log {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     let Some(cache_dir) = cache_dir else {
         return fail("worker requires --cache DIR (the shared merge point)");
     };
@@ -938,6 +1089,12 @@ fn run_worker_command(args: &[String]) -> ExitCode {
                 "simulated"
             }
         );
+    }
+    // The registry snapshot travels home on the report stream (v2 `obs`
+    // lines, strictly before `done`) so the parent can merge a per-shard
+    // view that sums to the single-process run.
+    for line in sigcomp_obs::global().snapshot().to_wire().lines() {
+        println!("obs {line}");
     }
     println!(
         "done jobs={} simulated={} cached={}",
@@ -1120,6 +1277,12 @@ fn main() -> ExitCode {
             "--csv" => sweep_args.csv = Some(value_of!("--csv")),
             "--json" => sweep_args.json = Some(value_of!("--json")),
             "--addr" => sweep_args.addr = Some(value_of!("--addr")),
+            "--obs-log" => sweep_args.obs_log = Some(value_of!("--obs-log")),
+            "--quick" => sweep_args.bench_quick = true,
+            "--label" => sweep_args.bench_label = Some(value_of!("--label")),
+            "--out" => sweep_args.bench_out = Some(value_of!("--out")),
+            "--corpus" => sweep_args.bench_corpus = Some(value_of!("--corpus")),
+            "--check" => sweep_args.bench_check = Some(value_of!("--check")),
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -1193,6 +1356,22 @@ fn main() -> ExitCode {
             }
         }
     }
+    if !runs("bench") {
+        for (set, flag) in [
+            (sweep_args.bench_quick, "--quick"),
+            (sweep_args.bench_label.is_some(), "--label"),
+            (sweep_args.bench_out.is_some(), "--out"),
+            (sweep_args.bench_corpus.is_some(), "--corpus"),
+            (sweep_args.bench_check.is_some(), "--check"),
+        ] {
+            if set {
+                return fail(&format!("{flag} only applies to the bench subcommand"));
+            }
+        }
+    }
+    if !runs("sweep") && !runs("serve") && !runs("bench") && sweep_args.obs_log.is_some() {
+        return fail("--obs-log only applies to the sweep, serve and bench subcommands");
+    }
     if !runs("sweep")
         && !runs("energy")
         && !runs("serve")
@@ -1201,6 +1380,15 @@ fn main() -> ExitCode {
         return fail(
             "--workers/--cache/--no-cache only apply to the sweep, energy and serve subcommands",
         );
+    }
+
+    // One JSONL event stream per process: opened up front so every
+    // instrumented path of every requested subcommand feeds it.
+    if let Some(path) = &sweep_args.obs_log {
+        if let Err(e) = sigcomp_obs::global().open_jsonl_log(Path::new(path)) {
+            eprintln!("repro: cannot open obs log {path}: {e}");
+            return ExitCode::FAILURE;
+        }
     }
 
     // The activity studies feed several tables; run them lazily and only once.
@@ -1307,6 +1495,12 @@ fn main() -> ExitCode {
                     }
                 }
                 "serve" => return run_serve_command(&sweep_args),
+                "bench" => {
+                    let code = run_bench_command(&sweep_args);
+                    if code != ExitCode::SUCCESS {
+                        return code;
+                    }
+                }
                 other => return fail(&format!("unknown command '{other}'")),
             }
             println!();

@@ -24,6 +24,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod golden;
+pub mod perf;
 
 use sigcomp::analyzer::{AnalyzerConfig, TraceAnalyzer};
 use sigcomp::{ActivityReport, ExtScheme, SigStats};

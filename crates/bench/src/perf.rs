@@ -1,0 +1,443 @@
+//! The self-timed perf harness behind `repro bench` — the start of the
+//! repo's tracked performance trajectory.
+//!
+//! Three phases, each timed with a monotonic clock:
+//!
+//! 1. **replay** — the golden conformance corpus replayed through one
+//!    pipeline configuration: instructions per second of raw simulation.
+//! 2. **sweep** — a standard tiny design-space sweep against a fresh
+//!    throwaway cache, run twice: cache-cold (every job simulated) and
+//!    cache-warm (every job loaded back), configurations per second each.
+//! 3. **frontier** — repeated Pareto-frontier extraction over the sweep's
+//!    config points: points per second of post-processing.
+//!
+//! [`run`] returns a [`BenchReport`]; [`BenchReport::to_json`] renders the
+//! `sigcomp-bench v1` document that `BENCH_<label>.json` files carry, and
+//! [`validate`] schema-checks such a document (CI runs it on every emitted
+//! report, and `repro bench --check FILE` exposes it to hand-written
+//! tooling). The process-global observability registry snapshot rides along
+//! under `"obs"` so a report also captures cache and replay counters.
+
+use crate::golden::{self, GOLDEN_WORKLOADS};
+use sigcomp::{EnergyModel, ExtScheme};
+use sigcomp_explore::{
+    config_points, pareto_frontier, run_sweep, ExecBackend, MemProfile, ResultCache, SweepOptions,
+    SweepSpec, TraceInput,
+};
+use sigcomp_pipeline::OrgKind;
+use sigcomp_serve::Json;
+use sigcomp_workloads::WorkloadSize;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// The schema tag every report leads with; bump on incompatible changes.
+pub const SCHEMA: &str = "sigcomp-bench v1";
+
+/// What to measure and how to label it.
+#[derive(Debug, Clone)]
+pub struct BenchOptions {
+    /// Shrink every phase (one replay workload, a two-organization sweep,
+    /// fewer frontier iterations) for CI smoke runs.
+    pub quick: bool,
+    /// The `<label>` of `BENCH_<label>.json`; also recorded in the report.
+    pub label: String,
+    /// Replay pre-recorded `.sctrace` files from this golden-corpus
+    /// directory instead of re-recording the kernels in memory.
+    pub corpus: Option<PathBuf>,
+}
+
+impl Default for BenchOptions {
+    fn default() -> Self {
+        BenchOptions {
+            quick: false,
+            label: "local".to_owned(),
+            corpus: None,
+        }
+    }
+}
+
+/// One timed phase: how much work, how long it took.
+#[derive(Debug, Clone, Copy)]
+pub struct Phase {
+    /// Work units processed (instructions, configurations, frontier points).
+    pub units: u64,
+    /// Wall-clock seconds.
+    pub wall_s: f64,
+}
+
+impl Phase {
+    /// Units per second; `0.0` when the phase was too fast to time.
+    pub fn rate(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.units as f64 / self.wall_s
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Everything `repro bench` measured, ready to serialize.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// The `--label` the run was tagged with.
+    pub label: String,
+    /// Whether the shrunk `--quick` phases were used.
+    pub quick: bool,
+    /// Golden workloads replayed.
+    pub replay_workloads: u64,
+    /// Replay phase: units are instructions.
+    pub replay: Phase,
+    /// Configurations in the sweep design space.
+    pub sweep_configs: u64,
+    /// Cache-cold sweep: units are configurations, all simulated.
+    pub sweep_cold: Phase,
+    /// Cache-warm sweep: units are configurations, all loaded back.
+    pub sweep_warm: Phase,
+    /// Frontier extractions performed.
+    pub frontier_iterations: u64,
+    /// Frontier phase: units are points processed across all iterations.
+    pub frontier: Phase,
+    /// The process-global observability registry after the run.
+    pub obs: sigcomp_obs::Snapshot,
+}
+
+impl BenchReport {
+    /// Cold-to-warm wall-clock ratio — how much the result cache buys.
+    pub fn warm_speedup(&self) -> f64 {
+        if self.sweep_warm.wall_s > 0.0 {
+            self.sweep_cold.wall_s / self.sweep_warm.wall_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Renders the `sigcomp-bench v1` JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": \"{SCHEMA}\",");
+        let _ = writeln!(
+            out,
+            "  \"label\": \"{}\",",
+            sigcomp_serve::json::escape(&self.label)
+        );
+        let _ = writeln!(out, "  \"quick\": {},", self.quick);
+        let _ = writeln!(
+            out,
+            "  \"replay\": {{\"workloads\": {}, \"instructions\": {}, \"wall_s\": {:.6}, \
+             \"instructions_per_sec\": {:.1}}},",
+            self.replay_workloads,
+            self.replay.units,
+            self.replay.wall_s,
+            self.replay.rate()
+        );
+        let _ = writeln!(
+            out,
+            "  \"sweep\": {{\"configs\": {}, \
+             \"cold\": {{\"wall_s\": {:.6}, \"configs_per_sec\": {:.1}}}, \
+             \"warm\": {{\"wall_s\": {:.6}, \"configs_per_sec\": {:.1}}}, \
+             \"warm_speedup\": {:.2}}},",
+            self.sweep_configs,
+            self.sweep_cold.wall_s,
+            self.sweep_cold.rate(),
+            self.sweep_warm.wall_s,
+            self.sweep_warm.rate(),
+            self.warm_speedup()
+        );
+        let _ = writeln!(
+            out,
+            "  \"frontier\": {{\"iterations\": {}, \"points\": {}, \"wall_s\": {:.6}, \
+             \"points_per_sec\": {:.1}}},",
+            self.frontier_iterations,
+            self.frontier.units,
+            self.frontier.wall_s,
+            self.frontier.rate()
+        );
+        let _ = writeln!(out, "  \"obs\": {}", self.obs.to_json());
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Runs every phase and assembles the report.
+///
+/// The sweep phase uses a private throwaway cache directory under the
+/// system temp dir (removed afterwards), never the user's `--cache`: a
+/// benchmark that could hit a pre-warmed cache would not measure anything.
+pub fn run(options: &BenchOptions) -> Result<BenchReport, String> {
+    // Phase 1: golden-corpus replay.
+    let workloads: &[&str] = if options.quick {
+        &GOLDEN_WORKLOADS[..1]
+    } else {
+        GOLDEN_WORKLOADS
+    };
+    let mut inputs = Vec::with_capacity(workloads.len());
+    for &workload in workloads {
+        let input = match &options.corpus {
+            Some(dir) => golden::load_corpus_trace(dir, workload)?,
+            None => {
+                let trace = golden::record_golden(workload)?;
+                TraceInput::from_trace(workload, trace)
+                    .map_err(|e| format!("golden trace {workload}: {e}"))?
+            }
+        };
+        inputs.push(input);
+    }
+    let replay_spec = SweepSpec::full(WorkloadSize::Tiny)
+        .no_kernels()
+        .trace_files(&inputs)
+        .schemes(&[ExtScheme::ThreeBit])
+        .orgs(&OrgKind::ALL[..1])
+        .mems(&[MemProfile::Paper]);
+    let start = Instant::now();
+    let replay_summary = run_sweep(&replay_spec, &SweepOptions::default());
+    let replay = Phase {
+        units: replay_summary
+            .outcomes
+            .iter()
+            .map(|o| o.metrics.instructions)
+            .sum(),
+        wall_s: start.elapsed().as_secs_f64(),
+    };
+
+    // Phase 2: the standard sweep, cache-cold then cache-warm.
+    let mut sweep_spec = SweepSpec::full(WorkloadSize::Tiny).mems(&[MemProfile::Paper]);
+    if options.quick {
+        sweep_spec = sweep_spec
+            .schemes(&[ExtScheme::ThreeBit])
+            .orgs(&OrgKind::ALL[..2]);
+    }
+    let cache_dir =
+        std::env::temp_dir().join(format!("sigcomp-bench-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let timed_sweep = |what: &str| -> Result<(sigcomp_explore::SweepSummary, Phase), String> {
+        let cache = ResultCache::open(&cache_dir)
+            .map_err(|e| format!("cannot open the throwaway bench cache ({what}): {e}"))?;
+        let sweep_options = SweepOptions {
+            workers: None,
+            cache: Some(cache),
+            backend: ExecBackend::LocalThreads,
+        };
+        let start = Instant::now();
+        let summary = run_sweep(&sweep_spec, &sweep_options);
+        let phase = Phase {
+            units: summary.outcomes.len() as u64,
+            wall_s: start.elapsed().as_secs_f64(),
+        };
+        Ok((summary, phase))
+    };
+    let result = timed_sweep("cold").and_then(|(cold_summary, sweep_cold)| {
+        let (warm_summary, sweep_warm) = timed_sweep("warm")?;
+        Ok((cold_summary, sweep_cold, warm_summary, sweep_warm))
+    });
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let (cold_summary, sweep_cold, warm_summary, sweep_warm) = result?;
+    if cold_summary.cached() != 0 {
+        return Err(format!(
+            "the cold sweep hit the cache ({} jobs) — the throwaway directory was not fresh",
+            cold_summary.cached()
+        ));
+    }
+    if warm_summary.simulated() != 0 {
+        return Err(format!(
+            "the warm sweep missed the cache ({} jobs simulated)",
+            warm_summary.simulated()
+        ));
+    }
+
+    // Phase 3: repeated frontier extraction over the sweep's points.
+    let points = config_points(&cold_summary.outcomes);
+    let model = EnergyModel::default();
+    let frontier_iterations: u64 = if options.quick { 50 } else { 500 };
+    let start = Instant::now();
+    for _ in 0..frontier_iterations {
+        std::hint::black_box(pareto_frontier(std::hint::black_box(&points), &model));
+    }
+    let frontier = Phase {
+        units: frontier_iterations * points.len() as u64,
+        wall_s: start.elapsed().as_secs_f64(),
+    };
+
+    Ok(BenchReport {
+        label: options.label.clone(),
+        quick: options.quick,
+        replay_workloads: workloads.len() as u64,
+        replay,
+        sweep_configs: sweep_spec.len() as u64,
+        sweep_cold,
+        sweep_warm,
+        frontier_iterations,
+        frontier,
+        obs: sigcomp_obs::global().snapshot(),
+    })
+}
+
+/// Fetches `key` out of `json`, naming the missing path on failure.
+fn field<'j>(json: &'j Json, context: &str, key: &str) -> Result<&'j Json, String> {
+    json.get(key)
+        .ok_or_else(|| format!("missing key \"{context}{key}\""))
+}
+
+/// Requires `key` to be a non-negative number (all report rates and walls).
+fn number(json: &Json, context: &str, key: &str) -> Result<(), String> {
+    let value = field(json, context, key)?
+        .as_f64()
+        .ok_or_else(|| format!("\"{context}{key}\" is not a number"))?;
+    if !value.is_finite() || value < 0.0 {
+        return Err(format!(
+            "\"{context}{key}\" is not a finite non-negative number"
+        ));
+    }
+    Ok(())
+}
+
+/// Schema-checks a `sigcomp-bench v1` document (`repro bench --check`).
+///
+/// # Errors
+///
+/// Returns a one-line description of the first violation: unparsable JSON,
+/// a wrong or missing schema tag, or a missing/mistyped field.
+pub fn validate(text: &str) -> Result<(), String> {
+    let json = Json::parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    match field(&json, "", "schema")?.as_str() {
+        Some(SCHEMA) => {}
+        Some(other) => return Err(format!("schema is \"{other}\", expected \"{SCHEMA}\"")),
+        None => return Err("\"schema\" is not a string".to_owned()),
+    }
+    if field(&json, "", "label")?.as_str().is_none() {
+        return Err("\"label\" is not a string".to_owned());
+    }
+    if field(&json, "", "quick")?.as_bool().is_none() {
+        return Err("\"quick\" is not a boolean".to_owned());
+    }
+
+    let replay = field(&json, "", "replay")?;
+    for key in ["workloads", "instructions"] {
+        if field(replay, "replay.", key)?.as_u64().is_none() {
+            return Err(format!("\"replay.{key}\" is not an unsigned integer"));
+        }
+    }
+    for key in ["wall_s", "instructions_per_sec"] {
+        number(replay, "replay.", key)?;
+    }
+
+    let sweep = field(&json, "", "sweep")?;
+    if field(sweep, "sweep.", "configs")?.as_u64().is_none() {
+        return Err("\"sweep.configs\" is not an unsigned integer".to_owned());
+    }
+    for pass in ["cold", "warm"] {
+        let obj = field(sweep, "sweep.", pass)?;
+        let context = format!("sweep.{pass}.");
+        for key in ["wall_s", "configs_per_sec"] {
+            number(obj, &context, key)?;
+        }
+    }
+    number(sweep, "sweep.", "warm_speedup")?;
+
+    let frontier = field(&json, "", "frontier")?;
+    for key in ["iterations", "points"] {
+        if field(frontier, "frontier.", key)?.as_u64().is_none() {
+            return Err(format!("\"frontier.{key}\" is not an unsigned integer"));
+        }
+    }
+    for key in ["wall_s", "points_per_sec"] {
+        number(frontier, "frontier.", key)?;
+    }
+
+    let obs = field(&json, "", "obs")?;
+    for key in ["counters", "gauges", "histograms"] {
+        field(obs, "obs.", key)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> BenchReport {
+        BenchReport {
+            label: "unit".to_owned(),
+            quick: true,
+            replay_workloads: 1,
+            replay: Phase {
+                units: 1000,
+                wall_s: 0.5,
+            },
+            sweep_configs: 22,
+            sweep_cold: Phase {
+                units: 22,
+                wall_s: 2.0,
+            },
+            sweep_warm: Phase {
+                units: 22,
+                wall_s: 0.25,
+            },
+            frontier_iterations: 50,
+            frontier: Phase {
+                units: 1100,
+                wall_s: 0.1,
+            },
+            obs: sigcomp_obs::Snapshot::default(),
+        }
+    }
+
+    #[test]
+    fn report_round_trips_through_the_validator() {
+        let report = sample_report();
+        let json = report.to_json();
+        validate(&json).expect("the emitted report must satisfy its own schema");
+        let parsed = Json::parse(&json).unwrap();
+        assert_eq!(parsed.get("schema").unwrap().as_str(), Some(SCHEMA));
+        assert_eq!(parsed.get("label").unwrap().as_str(), Some("unit"));
+        let sweep = parsed.get("sweep").unwrap();
+        assert_eq!(
+            sweep.get("warm_speedup").unwrap().as_f64(),
+            Some(8.0),
+            "2.0 s cold over 0.25 s warm"
+        );
+    }
+
+    #[test]
+    fn rates_divide_units_by_wall_and_survive_zero_wall() {
+        let phase = Phase {
+            units: 1000,
+            wall_s: 0.5,
+        };
+        assert_eq!(phase.rate(), 2000.0);
+        let instant = Phase {
+            units: 1000,
+            wall_s: 0.0,
+        };
+        assert_eq!(instant.rate(), 0.0);
+    }
+
+    #[test]
+    fn validator_names_the_violation() {
+        assert!(validate("not json")
+            .unwrap_err()
+            .starts_with("not valid JSON"));
+        let wrong_schema = sample_report()
+            .to_json()
+            .replace(SCHEMA, "sigcomp-bench v0");
+        assert_eq!(
+            validate(&wrong_schema).unwrap_err(),
+            format!("schema is \"sigcomp-bench v0\", expected \"{SCHEMA}\"")
+        );
+        let missing = sample_report()
+            .to_json()
+            .replace("\"instructions_per_sec\"", "\"renamed\"");
+        assert_eq!(
+            validate(&missing).unwrap_err(),
+            "missing key \"replay.instructions_per_sec\""
+        );
+        let negative = sample_report()
+            .to_json()
+            .replace("\"warm_speedup\": 8.00", "\"warm_speedup\": -1");
+        assert_eq!(
+            validate(&negative).unwrap_err(),
+            "\"sweep.warm_speedup\" is not a finite non-negative number"
+        );
+    }
+}

@@ -732,3 +732,151 @@ fn serve_on_the_subprocess_backend_answers_and_counts_dispatch() {
     let _ = child.wait();
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn sharded_obs_totals_match_the_single_process_run() {
+    // The merged observability registry of a sharded sweep must report the
+    // same replay/cache counters as the single-process run — shard
+    // attribution may differ, the totals may not.
+    let dir = temp_dir("obs-totals");
+    let base = [
+        "--size",
+        "tiny",
+        "sweep",
+        "--schemes",
+        "3bit",
+        "--orgs",
+        "baseline32,byte-serial",
+    ];
+    let obs_line = |stdout: &[u8], tag: &str| -> String {
+        let text = String::from_utf8_lossy(stdout).into_owned();
+        text.lines()
+            .find(|l| l.starts_with("obs totals: "))
+            .unwrap_or_else(|| panic!("{tag}: no obs totals line in:\n{text}"))
+            .to_owned()
+    };
+    let cache_line = |stdout: &[u8]| -> Option<String> {
+        String::from_utf8_lossy(stdout)
+            .lines()
+            .find(|l| l.starts_with("cache: "))
+            .map(str::to_owned)
+    };
+
+    let single_cache = dir.join("single-cache");
+    let mut single = base.to_vec();
+    single.extend(["--cache", single_cache.to_str().unwrap()]);
+    let out = repro(&single);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let single_totals = obs_line(&out.stdout, "single");
+    assert!(
+        single_totals.contains("replay.jobs_simulated=22"),
+        "{single_totals}"
+    );
+    assert!(
+        single_totals.contains("explore.cache.store=22"),
+        "{single_totals}"
+    );
+    let single_cache_stats = cache_line(&out.stdout).expect("single run prints cache stats");
+
+    let sharded_cache = dir.join("sharded-cache");
+    let obs_log = dir.join("events.jsonl");
+    let mut sharded = base.to_vec();
+    sharded.extend(["--shards", "3", "--cache", sharded_cache.to_str().unwrap()]);
+    sharded.extend(["--obs-log", obs_log.to_str().unwrap()]);
+    let out = repro(&sharded);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert_eq!(single_totals, obs_line(&out.stdout, "sharded"));
+    assert_eq!(Some(single_cache_stats), cache_line(&out.stdout));
+
+    // --obs-log on a sharded sweep streams events per process: the parent
+    // file plus one `.shard-<i>` file per worker, each led by the header.
+    for path in [
+        obs_log.clone(),
+        obs_log.with_extension("jsonl.shard-0"),
+        obs_log.with_extension("jsonl.shard-2"),
+    ] {
+        let text =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert!(
+            text.starts_with("{\"obs_log\": \"sigcomp-obs v1\"}"),
+            "{}: {text}",
+            path.display()
+        );
+    }
+    let shard0 = std::fs::read_to_string(obs_log.with_extension("jsonl.shard-0")).unwrap();
+    assert!(shard0.contains("\"span\": \"replay.job\""), "{shard0}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bench_quick_emits_a_schema_valid_report_and_check_validates_it() {
+    let dir = temp_dir("bench-quick");
+    let report = dir.join("bench.json");
+    let out = repro(&[
+        "bench",
+        "--quick",
+        "--label",
+        "smoke",
+        "--out",
+        report.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(text.contains("bench: label smoke (quick)"), "{text}");
+    assert!(text.contains("replay:"), "{text}");
+    assert!(text.contains("frontier:"), "{text}");
+
+    let json = std::fs::read_to_string(&report).expect("report written");
+    assert!(json.contains("\"schema\": \"sigcomp-bench v1\""), "{json}");
+    assert!(json.contains("\"label\": \"smoke\""), "{json}");
+    sigcomp_bench::perf::validate(&json).expect("report validates");
+
+    // `bench --check` accepts the emitted report...
+    let out = repro(&["bench", "--check", report.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("valid sigcomp-bench v1 report"),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+
+    // ...and names the violation on a broken one.
+    let broken = dir.join("broken.json");
+    std::fs::write(&broken, json.replace("\"quick\": true", "\"quick\": 3")).unwrap();
+    let out = repro(&["bench", "--check", broken.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(
+        stderr(&out).contains("\"quick\" is not a boolean"),
+        "{}",
+        stderr(&out)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bench_and_obs_flags_are_scoped_to_their_subcommands() {
+    for (args, needle) in [
+        (
+            &["table1", "--quick"][..],
+            "--quick only applies to the bench subcommand",
+        ),
+        (
+            &["table1", "--label", "x"],
+            "--label only applies to the bench subcommand",
+        ),
+        (
+            &["sweep", "--check", "x.json"],
+            "--check only applies to the bench subcommand",
+        ),
+        (
+            &["table1", "--obs-log", "x.jsonl"],
+            "--obs-log only applies to the sweep, serve and bench subcommands",
+        ),
+        (&["bench", "--label"], "--label expects a value"),
+    ] {
+        let out = repro(args);
+        assert!(!out.status.success(), "{args:?} must fail");
+        let err = stderr(&out);
+        assert!(err.contains(needle), "{args:?}: {err}");
+    }
+}

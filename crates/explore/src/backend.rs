@@ -26,11 +26,19 @@
 //! Children answer on stdout with a versioned report the parent verifies:
 //!
 //! ```text
-//! sigcomp-worker v1 shard 0/3
+//! sigcomp-worker v2 shard 0/3
 //! job 00f3a6e2d41b9c70 simulated
 //! job 3b1e09c55a7d2f18 cached
+//! obs counter replay.jobs_simulated 1
+//! obs counter replay.jobs_cached 1
 //! done jobs=2 simulated=1 cached=1
 //! ```
+//!
+//! `obs` lines (v2) carry the worker's observability-registry snapshot in
+//! [`sigcomp_obs::Snapshot::to_wire`] form; the parent folds each shard's
+//! snapshot into its own global registry (the merge is commutative, so the
+//! totals are shard-order-independent) and keeps the per-shard snapshots in
+//! [`SweepSummary::shard_obs`](crate::SweepSummary::shard_obs).
 //!
 //! Results never travel over the pipe: each child stores its metrics into
 //! the shared [`crate::ResultCache`] (atomic write-to-temp + rename), and the
@@ -56,7 +64,7 @@ use std::time::Instant;
 /// First line of a worker's stdout report (followed by ` shard i/n`); the
 /// version is bumped whenever the report grammar changes so a parent can
 /// never misread an incompatible worker.
-pub const WORKER_HEADER: &str = "sigcomp-worker v1";
+pub const WORKER_HEADER: &str = "sigcomp-worker v2";
 
 /// Where the jobs of a sweep execute.
 ///
@@ -101,6 +109,9 @@ pub struct SubprocessConfig {
     /// [`crate::TraceSource::File`] jobs (the wire line carries only the
     /// content digest).
     pub trace_paths: Vec<String>,
+    /// When set, each worker is started with `--obs-log <path>.shard-<i>`
+    /// so its JSONL structured-event stream lands next to the parent's.
+    pub obs_log: Option<PathBuf>,
 }
 
 impl SubprocessConfig {
@@ -112,6 +123,7 @@ impl SubprocessConfig {
             program: program.into(),
             args: vec!["worker".to_owned()],
             trace_paths: Vec::new(),
+            obs_log: None,
         }
     }
 }
@@ -283,6 +295,10 @@ pub fn dedup_jobs(jobs: &[JobSpec]) -> DedupedJobs {
         });
         leader_of.push(leader);
     }
+    let obs = sigcomp_obs::global();
+    obs.counter("explore.dedup.unique").add(unique.len() as u64);
+    obs.counter("explore.dedup.followers")
+        .add((jobs.len() - unique.len()) as u64);
     DedupedJobs {
         unique,
         leader_of,
@@ -295,6 +311,8 @@ pub fn dedup_jobs(jobs: &[JobSpec]) -> DedupedJobs {
 struct ShardReport {
     /// `(job_id, from_cache)` per executed job, in the worker's order.
     jobs: Vec<(u64, bool)>,
+    /// The worker's observability-registry snapshot (v2 `obs` lines).
+    obs: sigcomp_obs::Snapshot,
 }
 
 /// Runs `jobs` on the subprocess backend: dedup, shard by stable `job_id`
@@ -330,6 +348,7 @@ pub(crate) fn run_subprocess(
             workers: 0,
             wall: started.elapsed(),
             backend: "subprocess",
+            shard_obs: Vec::new(),
         });
     }
 
@@ -376,6 +395,11 @@ pub(crate) fn run_subprocess(
             .arg(threads_per_shard.to_string());
         if !config.trace_paths.is_empty() {
             command.arg("--traces").arg(config.trace_paths.join(","));
+        }
+        if let Some(obs_log) = &config.obs_log {
+            command
+                .arg("--obs-log")
+                .arg(format!("{}.shard-{shard}", obs_log.display()));
         }
         // stderr is inherited: a worker's own named error surfaces directly
         // on the parent's stderr next to the ExecError naming the shard.
@@ -442,8 +466,25 @@ pub(crate) fn run_subprocess(
         reports.push(parse_report(&stdout, shard, shards, &expected)?);
     }
 
+    // Fold every shard's observability snapshot into the parent's global
+    // registry. The merge is commutative, so the merged totals equal the
+    // single-process run's regardless of how the jobs were sharded.
+    let shard_obs: Vec<sigcomp_obs::Snapshot> = reports.iter().map(|r| r.obs.clone()).collect();
+    for (shard, snap) in shard_obs.iter().enumerate() {
+        sigcomp_obs::global()
+            .merge_snapshot(snap)
+            .map_err(|e| ExecError::Protocol {
+                shard,
+                shards,
+                detail: e.to_string(),
+            })?;
+    }
+
     // Merge through the cache: every unique job's metrics are restored from
-    // the shared directory the workers published into.
+    // the shared directory the workers published into. These loads are
+    // `load_unobserved`: the cache *traffic* already happened inside the
+    // workers (and was merged above); re-counting the restore would break
+    // the sharded-equals-single-process invariant on the obs totals.
     let mut provenance: HashMap<u64, bool> = HashMap::new();
     for report in &reports {
         for &(id, from_cache) in &report.jobs {
@@ -453,7 +494,7 @@ pub(crate) fn run_subprocess(
     let mut metrics_of = HashMap::with_capacity(deduped.unique.len());
     for &(id, _) in &ordered {
         let metrics = cache
-            .load(id)
+            .load_unobserved(id)
             .ok_or(ExecError::ResultMissing { job_id: id })?;
         metrics_of.insert(id, metrics);
     }
@@ -493,6 +534,7 @@ pub(crate) fn run_subprocess(
         workers: shards,
         wall: started.elapsed(),
         backend: "subprocess",
+        shard_obs,
     })
 }
 
@@ -520,9 +562,16 @@ fn parse_report(
         )));
     }
     let mut jobs = Vec::new();
+    let mut obs = sigcomp_obs::Snapshot::default();
     let mut done = false;
     for line in lines {
-        if let Some(rest) = line.strip_prefix("job ") {
+        if let Some(rest) = line.strip_prefix("obs ") {
+            if done {
+                return Err(violation("obs line after the done line".to_owned()));
+            }
+            obs.parse_wire_line(rest)
+                .map_err(|e| violation(e.to_string()))?;
+        } else if let Some(rest) = line.strip_prefix("job ") {
             if done {
                 return Err(violation("job line after the done line".to_owned()));
             }
@@ -578,7 +627,7 @@ fn parse_report(
             expected.len()
         )));
     }
-    Ok(ShardReport { jobs })
+    Ok(ShardReport { jobs, obs })
 }
 
 #[cfg(test)]
@@ -644,6 +693,18 @@ mod tests {
         let good = format!("{WORKER_HEADER} shard 0/2\njob {id:016x} simulated\ndone jobs=1\n");
         let report = parse_report(&good, 0, 2, &expected).expect("valid report");
         assert_eq!(report.jobs, vec![(id, false)]);
+        assert!(report.obs.is_empty());
+
+        // v2: obs lines carry the worker's registry snapshot.
+        let with_obs = format!(
+            "{WORKER_HEADER} shard 0/2\njob {id:016x} simulated\n\
+             obs counter replay.jobs_simulated 1\n\
+             obs hist replay.job count=1 sum=7 min=7 max=7 bounds=10,100 buckets=1,0,0\n\
+             done jobs=1\n"
+        );
+        let report = parse_report(&with_obs, 0, 2, &expected).expect("valid report with obs");
+        assert_eq!(report.obs.counter("replay.jobs_simulated"), 1);
+        assert_eq!(report.obs.histograms["replay.job"].count, 1);
 
         for (stdout, needle) in [
             (String::new(), "empty report"),
@@ -685,6 +746,20 @@ mod tests {
             (
                 format!("{WORKER_HEADER} shard 0/2\ndone jobs=0\n"),
                 "0 of its 1 assigned jobs",
+            ),
+            (
+                format!(
+                    "{WORKER_HEADER} shard 0/2\njob {id:016x} simulated\n\
+                     obs widget x 1\ndone jobs=1\n"
+                ),
+                "unknown metric kind",
+            ),
+            (
+                format!(
+                    "{WORKER_HEADER} shard 0/2\njob {id:016x} simulated\n\
+                     done jobs=1\nobs counter replay.jobs_simulated 1\n"
+                ),
+                "obs line after the done line",
             ),
         ] {
             let err = parse_report(&stdout, 0, 2, &expected).unwrap_err();

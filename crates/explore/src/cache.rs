@@ -56,8 +56,37 @@ impl ResultCache {
 
     /// Loads the metrics cached under `key`, or `None` on a miss (including
     /// corrupt or version-mismatched entries).
+    ///
+    /// Every outcome bumps one of the global `explore.cache.{hit,miss,
+    /// retired}` counters (see [`cache_stats`]): `retired` means a file was
+    /// present but unreadable or from another format version — it will be
+    /// re-simulated and overwritten.
     #[must_use]
     pub fn load(&self, key: u64) -> Option<JobMetrics> {
+        let obs = sigcomp_obs::global();
+        let Ok(text) = fs::read_to_string(self.entry_path(key)) else {
+            obs.counter("explore.cache.miss").incr();
+            return None;
+        };
+        match parse_metrics(&text) {
+            Some(m) => {
+                obs.counter("explore.cache.hit").incr();
+                Some(m)
+            }
+            None => {
+                obs.counter("explore.cache.retired").incr();
+                None
+            }
+        }
+    }
+
+    /// [`ResultCache::load`] without the counter bumps. Used by the
+    /// subprocess backend when re-reading entries the workers just wrote —
+    /// those reads are bookkeeping, not cache traffic, and counting them
+    /// would make a sharded sweep's merged totals disagree with the same
+    /// sweep run in-process.
+    #[must_use]
+    pub(crate) fn load_unobserved(&self, key: u64) -> Option<JobMetrics> {
         let text = fs::read_to_string(self.entry_path(key)).ok()?;
         parse_metrics(&text)
     }
@@ -82,6 +111,8 @@ impl ResultCache {
         let result = fs::rename(&tmp, self.entry_path(key));
         if result.is_err() {
             let _ = fs::remove_file(&tmp);
+        } else {
+            sigcomp_obs::global().counter("explore.cache.store").incr();
         }
         result
     }
@@ -207,6 +238,34 @@ pub fn column_slug(name: &str) -> String {
 }
 
 use column_slug as slug;
+
+/// Process-wide [`ResultCache`] traffic counters, sampled from the global
+/// observability registry. In a sharded sweep the parent's numbers include
+/// every worker's, folded in over the stdout protocol.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Loads that decoded a current-version entry.
+    pub hits: u64,
+    /// Loads that found no entry file.
+    pub misses: u64,
+    /// Loads that found an unreadable or version-mismatched entry (it gets
+    /// re-simulated and overwritten).
+    pub retired: u64,
+    /// Entries successfully published.
+    pub stores: u64,
+}
+
+/// Samples the global `explore.cache.*` counters.
+#[must_use]
+pub fn cache_stats() -> CacheStats {
+    let snap = sigcomp_obs::global().snapshot();
+    CacheStats {
+        hits: snap.counter("explore.cache.hit"),
+        misses: snap.counter("explore.cache.miss"),
+        retired: snap.counter("explore.cache.retired"),
+        stores: snap.counter("explore.cache.store"),
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -76,6 +76,9 @@ where
             let result_tx = result_tx.clone();
             let report_tx = report_tx.clone();
             scope.spawn(move || {
+                // Per-worker wall time, from first to last job: the spread
+                // across workers is the pool's load-balance signal.
+                let _wall = sigcomp_obs::span!("explore.worker.wall", worker);
                 let mut report = WorkerReport {
                     worker,
                     jobs: 0,

@@ -188,6 +188,12 @@ pub struct SweepSummary {
     /// Stable id of the backend that executed the sweep
     /// ([`ExecBackend::id`]): `"local"` or `"subprocess"`.
     pub backend: &'static str,
+    /// On the subprocess backend, each shard's observability snapshot as
+    /// reported over the worker protocol, in shard order — the per-shard
+    /// attribution behind the merged view the parent's global registry
+    /// carries. Empty on the local backend (metrics were recorded into the
+    /// parent's registry directly).
+    pub shard_obs: Vec<sigcomp_obs::Snapshot>,
 }
 
 impl SweepSummary {
@@ -433,11 +439,20 @@ fn run_jobs_local(jobs: &[JobSpec], traces: &[TraceInput], options: &SweepOption
     let traces_by_digest: HashMap<u64, &TraceInput> =
         traces.iter().map(|t| (t.digest(), t)).collect();
 
+    // Handles are fetched once; the per-job hot path below records through
+    // them lock-free.
+    let obs = sigcomp_obs::global();
+    let obs_simulated = obs.counter("replay.jobs_simulated");
+    let obs_cached = obs.counter("replay.jobs_cached");
+    let obs_instructions = obs.counter("replay.instructions");
+    obs.gauge("explore.workers").set_max(workers as u64);
+
     let started = Instant::now();
     let (outcomes, reports) =
         run_parallel::<JobOutcome, SweepShard, _>(jobs.len(), workers, |index, shard| {
             let job = jobs[index];
             let key = job.job_id();
+            let _span = sigcomp_obs::span!("replay.job", job_id = format_args!("{key:016x}"));
             let (metrics, from_cache) = match options.cache.as_ref().and_then(|c| c.load(key)) {
                 Some(metrics) => (metrics, true),
                 None => {
@@ -467,9 +482,12 @@ fn run_jobs_local(jobs: &[JobSpec], traces: &[TraceInput], options: &SweepOption
             };
             if from_cache {
                 shard.cached += 1;
+                obs_cached.incr();
             } else {
                 shard.simulated += 1;
                 shard.instructions_simulated += metrics.instructions;
+                obs_simulated.incr();
+                obs_instructions.add(metrics.instructions);
             }
             shard.activity.merge(&metrics.activity);
             JobOutcome {
@@ -479,6 +497,8 @@ fn run_jobs_local(jobs: &[JobSpec], traces: &[TraceInput], options: &SweepOption
             }
         });
     let wall = started.elapsed();
+    obs.histogram("explore.batch.wall", sigcomp_obs::DEFAULT_SPAN_BOUNDS_US)
+        .observe(u64::try_from(wall.as_micros()).unwrap_or(u64::MAX));
 
     let mut totals = SweepShard::default();
     let mut worker_loads = Vec::with_capacity(reports.len());
@@ -494,5 +514,6 @@ fn run_jobs_local(jobs: &[JobSpec], traces: &[TraceInput], options: &SweepOption
         workers,
         wall,
         backend: "local",
+        shard_obs: Vec::new(),
     }
 }

@@ -200,6 +200,87 @@ fn racing_executors_share_one_cache_without_tearing_or_duplicates() {
 }
 
 #[test]
+fn obs_snapshots_merge_order_independently_and_round_trip_the_wire() {
+    // The observability merge the sharded backend relies on: whatever order
+    // the shard reports arrive in, the folded registry is identical — and
+    // the wire form each worker prints re-parses to the exact snapshot.
+    let make = |counter: u64, observations: &[u64]| {
+        let registry = sigcomp_obs::Registry::new();
+        registry.counter("replay.jobs_simulated").add(counter);
+        registry.gauge("explore.workers").set_max(counter);
+        let hist = registry.histogram("replay.job", sigcomp_obs::DEFAULT_SPAN_BOUNDS_US);
+        for &value in observations {
+            hist.observe(value);
+        }
+        registry.snapshot()
+    };
+    let shards = [
+        make(3, &[40, 800, 120_000]),
+        make(5, &[75, 75, 2_000_000]),
+        make(1, &[999]),
+    ];
+
+    let merged = |order: &[usize]| {
+        let target = sigcomp_obs::Registry::new();
+        for &i in order {
+            target.merge_snapshot(&shards[i]).unwrap();
+        }
+        target.snapshot()
+    };
+    let reference = merged(&[0, 1, 2]);
+    for order in [[1, 2, 0], [2, 1, 0], [0, 2, 1]] {
+        assert_eq!(reference, merged(&order), "merge order {order:?}");
+    }
+    assert_eq!(reference.counter("replay.jobs_simulated"), 9);
+    assert_eq!(
+        reference.gauges["explore.workers"], 5,
+        "gauges merge by max"
+    );
+
+    // Wire round-trip, exactly as the worker protocol carries it.
+    let wire = reference.to_wire();
+    let reparsed = sigcomp_obs::Snapshot::from_wire(&wire).unwrap();
+    assert_eq!(reference, reparsed);
+    assert_eq!(wire, reparsed.to_wire());
+}
+
+#[test]
+fn shard_registries_fold_to_the_single_process_registry() {
+    // Splitting one run's observations across shard registries and merging
+    // the snapshots must be indistinguishable from recording everything in
+    // one process — the invariant behind `sweep --shards` obs totals.
+    let observations: Vec<u64> = (0..28).map(|i| 50 + i * 37).collect();
+
+    let single = sigcomp_obs::Registry::new();
+    let hist = single.histogram("replay.job", sigcomp_obs::DEFAULT_SPAN_BOUNDS_US);
+    for &value in &observations {
+        single.counter("replay.jobs_simulated").incr();
+        hist.observe(value);
+    }
+
+    let folded = sigcomp_obs::Registry::new();
+    for shard in 0..3 {
+        let registry = sigcomp_obs::Registry::new();
+        let hist = registry.histogram("replay.job", sigcomp_obs::DEFAULT_SPAN_BOUNDS_US);
+        for (i, &value) in observations.iter().enumerate() {
+            if i % 3 == shard {
+                registry.counter("replay.jobs_simulated").incr();
+                hist.observe(value);
+            }
+        }
+        folded.merge_snapshot(&registry.snapshot()).unwrap();
+    }
+    assert_eq!(single.snapshot(), folded.snapshot());
+
+    // Quantiles are computed on the snapshot, so they agree too.
+    let s = single.snapshot().histograms["replay.job"].clone();
+    let f = folded.snapshot().histograms["replay.job"].clone();
+    for q in [0.5, 0.95, 0.99] {
+        assert_eq!(s.quantile(q).to_bits(), f.quantile(q).to_bits());
+    }
+}
+
+#[test]
 fn second_run_hits_the_cache_with_identical_results() {
     let dir = std::env::temp_dir().join(format!(
         "sigcomp-explore-determinism-{}",

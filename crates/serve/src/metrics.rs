@@ -6,22 +6,27 @@
 //! a lock for accounting. The batching counters are the server's proof of
 //! work coalescing: `jobs_simulated` staying below `jobs_requested` is the
 //! deduplication guarantee the end-to-end tests assert.
+//!
+//! The latency histogram is a [`sigcomp_obs::Histogram`]: the struct owns
+//! it (no registry lookups on the request path) and [`ServerMetrics::
+//! register_global`] aliases it into the process-wide registry so
+//! `GET /metrics.json` and worker snapshots see the same buckets.
 
+use sigcomp_explore::CacheStats;
+use sigcomp_obs::Histogram;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 /// Upper bounds (exclusive, in microseconds) of the latency buckets; the
-/// last bucket is unbounded.
-const LATENCY_BOUNDS_US: [u64; 5] = [100, 1_000, 10_000, 100_000, 1_000_000];
-
-/// JSON field names for the latency buckets, aligned with
-/// [`LATENCY_BOUNDS_US`] plus the overflow bucket.
-const LATENCY_LABELS: [&str; 6] = [
-    "le_100us", "le_1ms", "le_10ms", "le_100ms", "le_1s", "gt_1s",
+/// last bucket is unbounded. Five sub-millisecond buckets — memo hits and
+/// cache answers return in tens to hundreds of microseconds, and the old
+/// `[100µs, 1ms, ...]` ladder collapsed all of them into one bin.
+pub const LATENCY_BOUNDS_US: &[u64] = &[
+    50, 100, 250, 500, 1_000, 5_000, 10_000, 50_000, 100_000, 500_000, 1_000_000,
 ];
 
 /// All counters the server exposes on `GET /metrics`.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ServerMetrics {
     /// Requests that produced a response (any status).
     pub http_requests: AtomicU64,
@@ -32,7 +37,7 @@ pub struct ServerMetrics {
     /// Responses with a 5xx status.
     pub http_5xx: AtomicU64,
     /// Request-to-response latency histogram.
-    latency: [AtomicU64; 6],
+    latency: Histogram,
     /// Jobs submitted to the batcher (before any deduplication).
     pub jobs_requested: AtomicU64,
     /// Jobs answered from the in-memory memo without touching the queue.
@@ -63,6 +68,30 @@ pub struct ServerMetrics {
     pub sweeps_failed: AtomicU64,
 }
 
+impl Default for ServerMetrics {
+    fn default() -> Self {
+        ServerMetrics {
+            http_requests: AtomicU64::new(0),
+            http_2xx: AtomicU64::new(0),
+            http_4xx: AtomicU64::new(0),
+            http_5xx: AtomicU64::new(0),
+            latency: Histogram::new(LATENCY_BOUNDS_US),
+            jobs_requested: AtomicU64::new(0),
+            jobs_memo_hits: AtomicU64::new(0),
+            jobs_batch_deduped: AtomicU64::new(0),
+            jobs_disk_cache_hits: AtomicU64::new(0),
+            jobs_simulated: AtomicU64::new(0),
+            jobs_placed_local: AtomicU64::new(0),
+            jobs_placed_subprocess: AtomicU64::new(0),
+            batches_dispatched: AtomicU64::new(0),
+            largest_batch: AtomicU64::new(0),
+            sweeps_submitted: AtomicU64::new(0),
+            sweeps_completed: AtomicU64::new(0),
+            sweeps_failed: AtomicU64::new(0),
+        }
+    }
+}
+
 impl ServerMetrics {
     /// Bumps `counter` by one.
     pub fn incr(counter: &AtomicU64) {
@@ -72,11 +101,7 @@ impl ServerMetrics {
     /// Records one request/response round trip in the latency histogram.
     pub fn observe_latency(&self, elapsed: Duration) {
         let us = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
-        let bucket = LATENCY_BOUNDS_US
-            .iter()
-            .position(|&bound| us < bound)
-            .unwrap_or(LATENCY_BOUNDS_US.len());
-        self.latency[bucket].fetch_add(1, Ordering::Relaxed);
+        self.latency.observe(us);
     }
 
     /// Records a dispatched batch of `size` jobs.
@@ -85,32 +110,41 @@ impl ServerMetrics {
         self.largest_batch.fetch_max(size, Ordering::Relaxed);
     }
 
+    /// Aliases the latency histogram into the process-wide observability
+    /// registry (as `serve.http.latency`), so the full-registry exports see
+    /// the same buckets this struct records into. Called once at bind time
+    /// — standalone instances (tests) stay out of the global registry.
+    pub fn register_global(&self) {
+        sigcomp_obs::global().register_histogram("serve.http.latency", &self.latency);
+    }
+
     /// Renders every counter as the `/metrics` JSON document. `queue_depth`,
-    /// `memo_entries` and `uptime` are sampled by the caller (they live
-    /// outside this struct).
+    /// `memo_entries`, `uptime` and `cache` are sampled by the caller (they
+    /// live outside this struct).
     #[must_use]
-    pub fn to_json(&self, queue_depth: usize, memo_entries: usize, uptime: Duration) -> String {
+    pub fn to_json(
+        &self,
+        queue_depth: usize,
+        memo_entries: usize,
+        uptime: Duration,
+        cache: &CacheStats,
+    ) -> String {
         let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
-        let mut latency = String::new();
-        for (i, label) in LATENCY_LABELS.iter().enumerate() {
-            if i > 0 {
-                latency.push_str(", ");
-            }
-            latency.push_str(&format!("\"{label}\": {}", get(&self.latency[i])));
-        }
         format!(
             concat!(
                 "{{\n",
                 "  \"uptime_ms\": {uptime},\n",
                 "  \"http\": {{\"requests\": {req}, \"responses_2xx\": {s2}, ",
                 "\"responses_4xx\": {s4}, \"responses_5xx\": {s5}, ",
-                "\"latency\": {{{latency}}}}},\n",
+                "\"latency\": {latency}}},\n",
                 "  \"batch\": {{\"queue_depth\": {depth}, \"memo_entries\": {memo}, ",
                 "\"jobs_requested\": {jr}, ",
                 "\"jobs_memo_hits\": {jm}, \"jobs_batch_deduped\": {jd}, ",
                 "\"jobs_disk_cache_hits\": {jc}, \"jobs_simulated\": {js}, ",
                 "\"batches_dispatched\": {bd}, \"largest_batch\": {lb}, ",
                 "\"dispatch\": {{\"local\": {pl}, \"subprocess\": {ps}}}}},\n",
+                "  \"cache\": {{\"hits\": {ch}, \"misses\": {cm}, ",
+                "\"retired\": {cr}, \"stores\": {cs}}},\n",
                 "  \"sweeps\": {{\"submitted\": {ss}, \"completed\": {sc}, ",
                 "\"failed\": {sf}}}\n",
                 "}}\n"
@@ -120,7 +154,7 @@ impl ServerMetrics {
             s2 = get(&self.http_2xx),
             s4 = get(&self.http_4xx),
             s5 = get(&self.http_5xx),
-            latency = latency,
+            latency = self.latency.snapshot().to_json(),
             depth = queue_depth,
             memo = memo_entries,
             jr = get(&self.jobs_requested),
@@ -132,6 +166,10 @@ impl ServerMetrics {
             lb = get(&self.largest_batch),
             pl = get(&self.jobs_placed_local),
             ps = get(&self.jobs_placed_subprocess),
+            ch = cache.hits,
+            cm = cache.misses,
+            cr = cache.retired,
+            cs = cache.stores,
             ss = get(&self.sweeps_submitted),
             sc = get(&self.sweeps_completed),
             sf = get(&self.sweeps_failed),
@@ -144,17 +182,29 @@ mod tests {
     use super::*;
     use crate::json::Json;
 
+    const LATENCY_LABELS: [&str; 12] = [
+        "le_50us", "le_100us", "le_250us", "le_500us", "le_1ms", "le_5ms", "le_10ms", "le_50ms",
+        "le_100ms", "le_500ms", "le_1s", "gt_1s",
+    ];
+
+    fn latency_doc(m: &ServerMetrics) -> Json {
+        let doc = Json::parse(&m.to_json(0, 0, Duration::ZERO, &CacheStats::default())).unwrap();
+        doc.get("http")
+            .and_then(|h| h.get("latency"))
+            .cloned()
+            .expect("latency section")
+    }
+
     #[test]
     fn latency_buckets_cover_the_full_range() {
         let m = ServerMetrics::default();
-        m.observe_latency(Duration::from_micros(5));
-        m.observe_latency(Duration::from_micros(500));
-        m.observe_latency(Duration::from_millis(5));
-        m.observe_latency(Duration::from_millis(50));
-        m.observe_latency(Duration::from_millis(500));
+        for us in [
+            5, 80, 120, 300, 700, 2_000, 7_000, 20_000, 70_000, 200_000, 700_000,
+        ] {
+            m.observe_latency(Duration::from_micros(us));
+        }
         m.observe_latency(Duration::from_secs(5));
-        let doc = Json::parse(&m.to_json(0, 0, Duration::ZERO)).unwrap();
-        let latency = doc.get("http").and_then(|h| h.get("latency")).unwrap();
+        let latency = latency_doc(&m);
         for label in LATENCY_LABELS {
             assert_eq!(
                 latency.get(label).and_then(Json::as_u64),
@@ -162,6 +212,49 @@ mod tests {
                 "bucket {label}"
             );
         }
+        assert_eq!(latency.get("count").and_then(Json::as_u64), Some(12));
+    }
+
+    #[test]
+    fn latency_bucket_assignment_is_pinned_at_the_edges() {
+        // Regression: bounds are upper-exclusive, and sub-millisecond
+        // requests must spread across five buckets instead of collapsing
+        // into the first.
+        let m = ServerMetrics::default();
+        m.observe_latency(Duration::from_micros(49)); // le_50us
+        m.observe_latency(Duration::from_micros(50)); // le_100us (50 is excluded from le_50us)
+        m.observe_latency(Duration::from_micros(99)); // le_100us
+        m.observe_latency(Duration::from_micros(100)); // le_250us
+        m.observe_latency(Duration::from_micros(999)); // le_1ms
+        m.observe_latency(Duration::from_micros(1_000)); // le_5ms
+        m.observe_latency(Duration::from_micros(999_999)); // le_1s
+        m.observe_latency(Duration::from_secs(1)); // gt_1s (1s is excluded from le_1s)
+        let latency = latency_doc(&m);
+        let bucket = |label: &str| latency.get(label).and_then(Json::as_u64).unwrap();
+        assert_eq!(bucket("le_50us"), 1);
+        assert_eq!(bucket("le_100us"), 2);
+        assert_eq!(bucket("le_250us"), 1);
+        assert_eq!(bucket("le_500us"), 0);
+        assert_eq!(bucket("le_1ms"), 1);
+        assert_eq!(bucket("le_5ms"), 1);
+        assert_eq!(bucket("le_1s"), 1);
+        assert_eq!(bucket("gt_1s"), 1);
+    }
+
+    #[test]
+    fn latency_quantiles_are_exported() {
+        let m = ServerMetrics::default();
+        for _ in 0..90 {
+            m.observe_latency(Duration::from_micros(75));
+        }
+        for _ in 0..10 {
+            m.observe_latency(Duration::from_millis(800));
+        }
+        let latency = latency_doc(&m);
+        let p50 = latency.get("p50").and_then(Json::as_f64).expect("p50");
+        let p99 = latency.get("p99").and_then(Json::as_f64).expect("p99");
+        assert!((50.0..100.0).contains(&p50), "p50 = {p50}");
+        assert!(p99 > 100_000.0, "p99 = {p99}");
     }
 
     #[test]
@@ -177,7 +270,13 @@ mod tests {
         ServerMetrics::incr(&m.jobs_placed_subprocess);
         m.observe_batch(5);
         m.observe_batch(3);
-        let doc = Json::parse(&m.to_json(2, 6, Duration::from_millis(1234))).unwrap();
+        let cache = CacheStats {
+            hits: 11,
+            misses: 4,
+            retired: 1,
+            stores: 5,
+        };
+        let doc = Json::parse(&m.to_json(2, 6, Duration::from_millis(1234), &cache)).unwrap();
         assert_eq!(doc.get("uptime_ms").and_then(Json::as_u64), Some(1234));
         let batch = doc.get("batch").unwrap();
         assert_eq!(batch.get("queue_depth").and_then(Json::as_u64), Some(2));
@@ -192,5 +291,10 @@ mod tests {
         let dispatch = batch.get("dispatch").expect("dispatch section");
         assert_eq!(dispatch.get("local").and_then(Json::as_u64), Some(3));
         assert_eq!(dispatch.get("subprocess").and_then(Json::as_u64), Some(1));
+        let cache_doc = doc.get("cache").expect("cache section");
+        assert_eq!(cache_doc.get("hits").and_then(Json::as_u64), Some(11));
+        assert_eq!(cache_doc.get("misses").and_then(Json::as_u64), Some(4));
+        assert_eq!(cache_doc.get("retired").and_then(Json::as_u64), Some(1));
+        assert_eq!(cache_doc.get("stores").and_then(Json::as_u64), Some(5));
     }
 }

@@ -6,6 +6,7 @@
 //! |--------|-------------|---------------------|----------|
 //! | GET    | `/healthz`  | —                   | `{"status": "ok"}` |
 //! | GET    | `/metrics`  | —                   | counters + latency histogram |
+//! | GET    | `/metrics.json` | —               | the full `sigcomp_obs` registry snapshot |
 //! | POST   | `/simulate` | one job spec        | that job's metrics (batched + deduplicated) |
 //! | POST   | `/sweep`    | a sweep spec        | poll ticket, or the full result with `"sync": true` |
 //! | GET    | `/jobs/:id` | —                   | sweep ticket state / result |
@@ -122,6 +123,11 @@ impl Server {
         };
         let listener = TcpListener::bind(addr)?;
         let metrics = Arc::new(ServerMetrics::default());
+        // Alias the latency histogram into the process-wide observability
+        // registry so GET /metrics.json exports it alongside the explore
+        // counters. Only bound servers register — standalone ServerMetrics
+        // (unit tests) stay isolated.
+        metrics.register_global();
         let registry = if config.finished_tickets == 0 {
             SweepRegistry::default()
         } else {
@@ -287,8 +293,13 @@ fn route(ctx: &Arc<Ctx>, request: &Request) -> Response {
                 ctx.batcher.queue_depth(),
                 ctx.batcher.memo_len(),
                 ctx.started.elapsed(),
+                &sigcomp_explore::cache_stats(),
             ),
         ),
+        // The full observability registry — every counter, gauge, and
+        // histogram in the process (explore's cache/replay metrics
+        // included), in sigcomp_obs::Snapshot::to_json form.
+        ("GET", "/metrics.json") => Response::json(200, sigcomp_obs::global().snapshot().to_json()),
         ("POST", "/simulate") => match parse_body(request) {
             Ok(doc) => match job_spec_from_json(&doc) {
                 Ok((spec, node)) => match ctx.batcher.submit(spec) {
@@ -317,7 +328,7 @@ fn route(ctx: &Arc<Ctx>, request: &Request) -> Response {
                 Err(_) => Response::error(400, "job ids are decimal integers"),
             }
         }
-        (_, "/healthz" | "/metrics" | "/simulate" | "/sweep") => {
+        (_, "/healthz" | "/metrics" | "/metrics.json" | "/simulate" | "/sweep") => {
             Response::error(405, "method not allowed")
         }
         _ => Response::error(404, "no such endpoint"),

@@ -8,6 +8,7 @@
 //! cargo run --release --example load_gen
 //! ```
 
+use sigcomp_obs::{Histogram, DEFAULT_SPAN_BOUNDS_US};
 use sigcomp_pipeline::OrgKind;
 use sigcomp_serve::{BatchConfig, Json, ServeConfig, Server};
 use sigcomp_workloads::suite_names;
@@ -75,16 +76,23 @@ fn main() {
         })
         .collect();
 
+    // Client-observed end-to-end latency, all clients into one histogram —
+    // the same shared-handle pattern the server uses internally, so the
+    // quantiles below come from the same bucket math as `/metrics`.
+    let latency = Histogram::new(DEFAULT_SPAN_BOUNDS_US);
     let started = Instant::now();
     std::thread::scope(|scope| {
         for client in 0..CLIENTS {
             let mix = &mix;
+            let latency = &latency;
             scope.spawn(move || {
                 for i in 0..REQUESTS_PER_CLIENT {
                     // Each client walks the mix from a different offset so
                     // in-flight batches overlap across clients.
                     let body = &mix[(client * 7 + i) % mix.len()];
+                    let sent = Instant::now();
                     let (status, payload) = http(addr, "POST", "/simulate", body);
+                    latency.observe(sent.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
                     assert_eq!(status, 200, "{payload}");
                 }
             });
@@ -97,6 +105,15 @@ fn main() {
         "{total} requests from {CLIENTS} clients in {:.2} s ({:.0} req/s)",
         wall.as_secs_f64(),
         total as f64 / wall.as_secs_f64()
+    );
+    let snap = latency.snapshot();
+    println!(
+        "client latency: p50 {:.0} us, p95 {:.0} us, p99 {:.0} us (min {} us, max {} us)",
+        snap.quantile(0.50),
+        snap.quantile(0.95),
+        snap.quantile(0.99),
+        snap.min,
+        snap.max
     );
 
     let (status, metrics_body) = http(addr, "GET", "/metrics", "");
