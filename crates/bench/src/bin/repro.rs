@@ -8,6 +8,7 @@
 //! repro trace record|replay|stat|golden …
 //! repro worker --shard I/N --cache DIR [--workers N] [--traces a,b]
 //!              [--obs-log FILE]
+//! repro fleet serve|sweep|status …
 //!
 //! sweep options:
 //!   --workers N          worker threads (default: available parallelism;
@@ -49,6 +50,25 @@
 //!                        4096, oldest evicted first)
 //!   --ticket-cap N       finished /sweep tickets retained for polling
 //!                        (default 64, oldest evicted first)
+//!   --frontier HOST:PORT register with (and heartbeat to) this frontier so
+//!                        it dispatches fleet shards here
+//!   --self-addr H:P      the address advertised to the frontier (default:
+//!                        the bound listen address)
+//!   --heartbeat-ms N     heartbeat interval (default 2000)
+//!
+//! fleet (the frontier/worker topology over HTTP; see `sigcomp_fabric`):
+//!   fleet serve …        a worker: `serve` plus registration — same options,
+//!                        --frontier names the frontier to announce to
+//!   fleet sweep …        run a sweep as the frontier of a worker fleet:
+//!                        the sweep options above (cache required) plus
+//!                          --fleet a:p,b:p   worker addresses to dispatch to
+//!                                            (default: none — degrades to a
+//!                                            local run over the same cache)
+//!                          --timeout-ms N    per-dispatch timeout (60000)
+//!                          --attempts N      dispatch attempts per worker
+//!                                            before re-sharding its jobs (3)
+//!   fleet status --frontier H:P   print a frontier's /fleet document
+//!                        (workers, liveness, merged worker obs)
 //!
 //! bench (the self-timed perf harness; see `sigcomp_bench::perf`): replays
 //! the golden corpus, runs the standard tiny sweep cache-cold and
@@ -59,6 +79,10 @@
 //!   --out PATH           report path (default: BENCH_<label>.json)
 //!   --corpus DIR         replay a pre-recorded golden corpus directory
 //!   --check FILE         only validate FILE against the report schema
+//!   --compare FILE       diff the fresh report against baseline FILE:
+//!                        shape metrics must match, throughput metrics may
+//!                        regress at most 4x; each violation is named and
+//!                        the exit code fails
 //!
 //! worker (the subprocess-backend shard protocol; normally spawned by
 //! `repro sweep --shards` or `repro serve --backend subprocess`, not by
@@ -87,9 +111,11 @@ use sigcomp_bench::{
 };
 use sigcomp_explore::{
     config_points, frontier_table, parse_shard, run_sweep, to_csv, to_json, try_run_jobs_traced,
-    try_run_sweep, ExecBackend, JobSpec, MemProfile, ResultCache, SubprocessConfig, SweepOptions,
-    SweepSpec, TraceInput, TraceSource, WORKER_HEADER,
+    try_run_sweep, ExecBackend, FleetConfig, JobSpec, MemProfile, ResultCache, SubprocessConfig,
+    SweepOptions, SweepSpec, TraceInput, TraceSource, WORKER_HEADER,
 };
+use sigcomp_fabric::client::HttpClient;
+use sigcomp_fabric::worker::Heartbeater;
 use sigcomp_isa::TraceReader;
 use sigcomp_pipeline::OrgKind;
 use sigcomp_serve::{BatchConfig, ServeConfig, Server};
@@ -107,6 +133,10 @@ usage: repro [--size tiny|default|large] \
        repro trace golden DIR
        repro worker --shard I/N --cache DIR [--workers N] [--traces a,b]
                     [--obs-log FILE]
+       repro fleet serve [serve options] [--frontier HOST:PORT]
+       repro fleet sweep [sweep options] [--fleet a:p,b:p] [--timeout-ms N]
+                   [--attempts N]
+       repro fleet status --frontier HOST:PORT
 sweep options: [--workers N] [--shards N] [--schemes 2bit,3bit,halfword]
 [--orgs all|id,id,...] [--mems paper,small-l1,wide-l2,slow-memory]
 [--traces f1.sctrace,f2.sctrace]
@@ -118,9 +148,11 @@ energy options: [--workers N] [--schemes a,b] [--orgs all|a,b] [--mems a,b]
 [--cache DIR] [--no-cache]
 serve options: [--addr HOST:PORT] [--max-batch N] [--backend local|subprocess[:N]]
 [--memo-cap N] [--ticket-cap N] [--workers N] [--cache DIR] [--no-cache]
-[--obs-log FILE]
+[--obs-log FILE] [--frontier HOST:PORT] [--self-addr HOST:PORT]
+[--heartbeat-ms N]
 bench options: [--quick] [--label NAME] [--out PATH] [--corpus DIR]
-[--obs-log FILE], or `repro bench --check FILE` to schema-validate a report";
+[--compare BASELINE.json] [--obs-log FILE], or `repro bench --check FILE`
+to schema-validate a report";
 
 fn usage() -> ExitCode {
     eprintln!("{USAGE}");
@@ -159,6 +191,13 @@ struct SweepArgs {
     bench_out: Option<String>,
     bench_corpus: Option<String>,
     bench_check: Option<String>,
+    bench_compare: Option<String>,
+    fleet_workers: Option<Vec<String>>,
+    frontier: Option<String>,
+    self_addr: Option<String>,
+    heartbeat_ms: Option<u64>,
+    timeout_ms: Option<u64>,
+    attempts: Option<u32>,
 }
 
 /// The `--backend` value of `repro serve`.
@@ -239,7 +278,10 @@ fn open_cache(args: &SweepArgs, what: &str) -> Option<ResultCache> {
     }
 }
 
-fn run_sweep_command(size: WorkloadSize, args: &SweepArgs) -> ExitCode {
+/// Runs `repro sweep` (`fleet = false`) or `repro fleet sweep` (`fleet =
+/// true` — this process is the frontier and the configured backend is the
+/// worker fleet).
+fn run_sweep_command(size: WorkloadSize, args: &SweepArgs, fleet: bool) -> ExitCode {
     let mut spec = SweepSpec::full(size).mems(&[MemProfile::Paper]);
     if let Some(schemes) = &args.schemes {
         spec = spec.schemes(schemes);
@@ -272,24 +314,46 @@ fn run_sweep_command(size: WorkloadSize, args: &SweepArgs) -> ExitCode {
     }
 
     let cache = open_cache(args, "sweep");
-    let backend = match args.shards {
-        None => ExecBackend::LocalThreads,
-        Some(shards) => {
-            // The shared cache directory is how worker processes publish
-            // their results back; without it there is nothing to merge.
-            if args.no_cache {
-                return fail("--shards requires the result cache (drop --no-cache)");
-            }
-            if cache.is_none() {
-                eprintln!("sweep: --shards requires the result cache, which could not be opened");
-                return ExitCode::FAILURE;
-            }
-            let trace_paths = args.traces.clone().unwrap_or_default();
-            match subprocess_backend(shards, &trace_paths, args.obs_log.as_deref()) {
-                Ok(backend) => backend,
-                Err(e) => {
-                    eprintln!("sweep: {e}");
+    let backend = if fleet {
+        // The frontier replicates every worker's cache entries into this
+        // cache and merges the sweep from it — exactly the subprocess
+        // backend's merge discipline, so the output stays byte-identical.
+        if args.no_cache {
+            return fail("fleet sweep requires the result cache (drop --no-cache)");
+        }
+        if cache.is_none() {
+            eprintln!("sweep: fleet sweep requires the result cache, which could not be opened");
+            return ExitCode::FAILURE;
+        }
+        sigcomp_fabric::install();
+        let defaults = FleetConfig::default();
+        ExecBackend::Fleet(FleetConfig {
+            workers: args.fleet_workers.clone().unwrap_or_default(),
+            timeout_ms: args.timeout_ms.unwrap_or(defaults.timeout_ms),
+            attempts: args.attempts.unwrap_or(defaults.attempts),
+        })
+    } else {
+        match args.shards {
+            None => ExecBackend::LocalThreads,
+            Some(shards) => {
+                // The shared cache directory is how worker processes publish
+                // their results back; without it there is nothing to merge.
+                if args.no_cache {
+                    return fail("--shards requires the result cache (drop --no-cache)");
+                }
+                if cache.is_none() {
+                    eprintln!(
+                        "sweep: --shards requires the result cache, which could not be opened"
+                    );
                     return ExitCode::FAILURE;
+                }
+                let trace_paths = args.traces.clone().unwrap_or_default();
+                match subprocess_backend(shards, &trace_paths, args.obs_log.as_deref()) {
+                    Ok(backend) => backend,
+                    Err(e) => {
+                        eprintln!("sweep: {e}");
+                        return ExitCode::FAILURE;
+                    }
                 }
             }
         }
@@ -538,15 +602,56 @@ fn run_serve_command(args: &SweepArgs) -> ExitCode {
     let addr = server.local_addr();
     println!("serving on http://{addr}");
     println!("  GET  /healthz   liveness probe");
-    println!("  GET  /metrics   request/batching/cache counters");
+    println!("  GET  /metrics   request/batching/cache counters (+ fleet section)");
     println!("  GET  /metrics.json  full observability registry snapshot");
     println!("  POST /simulate  one configuration -> metrics (batched + deduplicated)");
     println!("  POST /sweep     a design-space slice -> poll ticket (or \"sync\": true)");
     println!("  GET  /jobs/:id  sweep progress and results");
-    match server.run() {
+    println!("  POST /register, POST /heartbeat, POST /fleet/dispatch, GET /fleet");
+    println!("                  the sigcomp-fleet worker protocol");
+    // A worker announces itself to its frontier and keeps heartbeating for
+    // as long as it serves; the heartbeater thread dies with the process.
+    let heartbeater = args.frontier.clone().map(|frontier| {
+        let advertised = args.self_addr.clone().unwrap_or_else(|| addr.to_string());
+        let interval = std::time::Duration::from_millis(args.heartbeat_ms.unwrap_or(2000).max(1));
+        println!("fleet worker: announcing {advertised} to frontier {frontier}");
+        Heartbeater::spawn(frontier, advertised, interval)
+    });
+    let result = server.run();
+    if let Some(heartbeater) = heartbeater {
+        heartbeater.stop();
+    }
+    match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("serve: listener failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Prints a frontier's `/fleet` document: its known workers, their
+/// liveness/capacity/dispatch counters, and the merged worker obs snapshot.
+fn run_fleet_status_command(args: &SweepArgs) -> ExitCode {
+    let Some(frontier) = &args.frontier else {
+        return fail("fleet status requires --frontier HOST:PORT");
+    };
+    let timeout = std::time::Duration::from_millis(args.timeout_ms.unwrap_or(5_000));
+    match HttpClient::new(timeout).get(frontier, "/fleet") {
+        Ok(response) if response.status == 200 => {
+            print!("{}", response.body);
+            ExitCode::SUCCESS
+        }
+        Ok(response) => {
+            eprintln!(
+                "fleet status: {frontier} answered {}: {}",
+                response.status,
+                response.body.trim()
+            );
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("fleet status: cannot reach {frontier}: {e}");
             ExitCode::FAILURE
         }
     }
@@ -636,6 +741,34 @@ fn run_bench_command(args: &SweepArgs) -> ExitCode {
         return ExitCode::FAILURE;
     }
     println!("wrote {path}");
+
+    // The regression gate: diff the fresh report against a baseline. Any
+    // violation (shape mismatch or a >4x throughput regression) is printed
+    // by name and fails the run — this is what CI diffs against the
+    // checked-in baseline.
+    if let Some(baseline_path) = &args.bench_compare {
+        let baseline = match std::fs::read_to_string(baseline_path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("bench: cannot read baseline {baseline_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match perf::compare(&json, &baseline, perf::DEFAULT_MAX_SLOWDOWN) {
+            Ok(lines) => {
+                println!("compare vs {baseline_path}:");
+                for line in lines {
+                    println!("  {line}");
+                }
+            }
+            Err(violations) => {
+                for violation in violations {
+                    eprintln!("bench: compare vs {baseline_path}: {violation}");
+                }
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     ExitCode::SUCCESS
 }
 
@@ -1125,7 +1258,7 @@ fn main() -> ExitCode {
     let mut commands: Vec<String> = Vec::new();
     let mut sweep_args = SweepArgs::default();
 
-    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
     // `trace` and `worker` own their own argument grammars (subcommand +
     // positional files / the shard protocol flags), so they are dispatched
     // before the global flag loop.
@@ -1134,6 +1267,25 @@ fn main() -> ExitCode {
     }
     if argv.first().map(String::as_str) == Some("worker") {
         return run_worker_command(&argv[1..]);
+    }
+    // `fleet <verb>` reuses the global flag grammar (a fleet sweep takes
+    // the same axes/cache/export flags as a plain sweep): the verb is
+    // rewritten into an internal command name and the remaining arguments
+    // fall through to the flag loop below.
+    if argv.first().map(String::as_str) == Some("fleet") {
+        let command = match argv.get(1).map(String::as_str) {
+            Some("serve") => "fleet-serve",
+            Some("sweep") => "fleet-sweep",
+            Some("status") => "fleet-status",
+            Some(other) => {
+                return fail(&format!(
+                    "unknown fleet subcommand '{other}' (expected serve, sweep or status)"
+                ))
+            }
+            None => return fail("fleet expects a subcommand (serve, sweep or status)"),
+        };
+        commands.push(command.to_owned());
+        argv.drain(..2);
     }
 
     let mut args = argv.into_iter();
@@ -1283,6 +1435,52 @@ fn main() -> ExitCode {
             "--out" => sweep_args.bench_out = Some(value_of!("--out")),
             "--corpus" => sweep_args.bench_corpus = Some(value_of!("--corpus")),
             "--check" => sweep_args.bench_check = Some(value_of!("--check")),
+            "--compare" => sweep_args.bench_compare = Some(value_of!("--compare")),
+            "--fleet" => {
+                let raw = value_of!("--fleet");
+                let workers: Vec<String> = raw
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|a| !a.is_empty())
+                    .map(str::to_owned)
+                    .collect();
+                if workers.is_empty() {
+                    return fail(&format!(
+                        "invalid value '{raw}' for --fleet (expected a comma-separated \
+                         list of host:port worker addresses)"
+                    ));
+                }
+                sweep_args.fleet_workers = Some(workers);
+            }
+            "--frontier" => sweep_args.frontier = Some(value_of!("--frontier")),
+            "--self-addr" => sweep_args.self_addr = Some(value_of!("--self-addr")),
+            "--heartbeat-ms" => {
+                let raw = value_of!("--heartbeat-ms");
+                let Some(value) = raw.parse().ok().filter(|&n: &u64| n > 0) else {
+                    return fail(&format!(
+                        "invalid value '{raw}' for --heartbeat-ms (expected a positive integer)"
+                    ));
+                };
+                sweep_args.heartbeat_ms = Some(value);
+            }
+            "--timeout-ms" => {
+                let raw = value_of!("--timeout-ms");
+                let Some(value) = raw.parse().ok().filter(|&n: &u64| n > 0) else {
+                    return fail(&format!(
+                        "invalid value '{raw}' for --timeout-ms (expected a positive integer)"
+                    ));
+                };
+                sweep_args.timeout_ms = Some(value);
+            }
+            "--attempts" => {
+                let raw = value_of!("--attempts");
+                let Some(value) = raw.parse().ok().filter(|&n: &u32| n > 0) else {
+                    return fail(&format!(
+                        "invalid value '{raw}' for --attempts (expected a positive integer)"
+                    ));
+                };
+                sweep_args.attempts = Some(value);
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -1306,6 +1504,12 @@ fn main() -> ExitCode {
                      (e.g. `repro worker --shard 0/2 --cache DIR`)",
                 );
             }
+            "fleet" => {
+                return fail(
+                    "'fleet' must be the first argument \
+                     (e.g. `repro fleet sweep --fleet host:port --cache DIR`)",
+                );
+            }
             other => commands.push(other.to_owned()),
         }
     }
@@ -1317,20 +1521,26 @@ fn main() -> ExitCode {
     // passes `--csv` without `sweep` (or `--addr` without `serve`) would
     // otherwise believe the flag took effect.
     let runs = |command: &str| commands.iter().any(|c| c == command);
-    if !runs("sweep") {
+    let sweeps = runs("sweep") || runs("fleet-sweep");
+    let serves = runs("serve") || runs("fleet-serve");
+    if !runs("sweep") && sweep_args.shards.is_some() {
+        return fail("--shards only applies to the sweep subcommand");
+    }
+    if !sweeps {
         for (set, flag) in [
-            (sweep_args.shards.is_some(), "--shards"),
             (sweep_args.traces.is_some(), "--traces"),
             (sweep_args.energy_models.is_some(), "--energy-model"),
             (sweep_args.csv.is_some(), "--csv"),
             (sweep_args.json.is_some(), "--json"),
         ] {
             if set {
-                return fail(&format!("{flag} only applies to the sweep subcommand"));
+                return fail(&format!(
+                    "{flag} only applies to the sweep and fleet sweep subcommands"
+                ));
             }
         }
     }
-    if !runs("sweep") && !runs("energy") {
+    if !sweeps && !runs("energy") {
         for (set, flag) in [
             (sweep_args.schemes.is_some(), "--schemes"),
             (sweep_args.orgs.is_some(), "--orgs"),
@@ -1338,23 +1548,39 @@ fn main() -> ExitCode {
         ] {
             if set {
                 return fail(&format!(
-                    "{flag} only applies to the sweep and energy subcommands"
+                    "{flag} only applies to the sweep, fleet sweep and energy subcommands"
                 ));
             }
         }
     }
-    if !runs("serve") {
+    if !serves {
         for (set, flag) in [
             (sweep_args.addr.is_some(), "--addr"),
             (sweep_args.max_batch.is_some(), "--max-batch"),
             (sweep_args.backend.is_some(), "--backend"),
             (sweep_args.memo_cap.is_some(), "--memo-cap"),
             (sweep_args.ticket_cap.is_some(), "--ticket-cap"),
+            (sweep_args.self_addr.is_some(), "--self-addr"),
+            (sweep_args.heartbeat_ms.is_some(), "--heartbeat-ms"),
         ] {
             if set {
-                return fail(&format!("{flag} only applies to the serve subcommand"));
+                return fail(&format!(
+                    "{flag} only applies to the serve and fleet serve subcommands"
+                ));
             }
         }
+    }
+    if !serves && !runs("fleet-status") && sweep_args.frontier.is_some() {
+        return fail("--frontier only applies to the serve and fleet status subcommands");
+    }
+    if !runs("fleet-sweep") && sweep_args.fleet_workers.is_some() {
+        return fail("--fleet only applies to the fleet sweep subcommand");
+    }
+    if !runs("fleet-sweep") && sweep_args.attempts.is_some() {
+        return fail("--attempts only applies to the fleet sweep subcommand");
+    }
+    if !runs("fleet-sweep") && !runs("fleet-status") && sweep_args.timeout_ms.is_some() {
+        return fail("--timeout-ms only applies to the fleet sweep and fleet status subcommands");
     }
     if !runs("bench") {
         for (set, flag) in [
@@ -1363,18 +1589,19 @@ fn main() -> ExitCode {
             (sweep_args.bench_out.is_some(), "--out"),
             (sweep_args.bench_corpus.is_some(), "--corpus"),
             (sweep_args.bench_check.is_some(), "--check"),
+            (sweep_args.bench_compare.is_some(), "--compare"),
         ] {
             if set {
                 return fail(&format!("{flag} only applies to the bench subcommand"));
             }
         }
     }
-    if !runs("sweep") && !runs("serve") && !runs("bench") && sweep_args.obs_log.is_some() {
+    if !sweeps && !serves && !runs("bench") && sweep_args.obs_log.is_some() {
         return fail("--obs-log only applies to the sweep, serve and bench subcommands");
     }
-    if !runs("sweep")
+    if !sweeps
         && !runs("energy")
-        && !runs("serve")
+        && !serves
         && (sweep_args.workers.is_some() || sweep_args.no_cache || sweep_args.cache_dir.is_some())
     {
         return fail(
@@ -1483,7 +1710,19 @@ fn main() -> ExitCode {
                 }
                 "bottleneck" => print!("{}", bottleneck(size)),
                 "sweep" => {
-                    let code = run_sweep_command(size, &sweep_args);
+                    let code = run_sweep_command(size, &sweep_args, false);
+                    if code != ExitCode::SUCCESS {
+                        return code;
+                    }
+                }
+                "fleet-sweep" => {
+                    let code = run_sweep_command(size, &sweep_args, true);
+                    if code != ExitCode::SUCCESS {
+                        return code;
+                    }
+                }
+                "fleet-status" => {
+                    let code = run_fleet_status_command(&sweep_args);
                     if code != ExitCode::SUCCESS {
                         return code;
                     }
@@ -1494,7 +1733,7 @@ fn main() -> ExitCode {
                         return code;
                     }
                 }
-                "serve" => return run_serve_command(&sweep_args),
+                "serve" | "fleet-serve" => return run_serve_command(&sweep_args),
                 "bench" => {
                     let code = run_bench_command(&sweep_args);
                     if code != ExitCode::SUCCESS {

@@ -352,6 +352,108 @@ pub fn validate(text: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// The default `compare` tolerance: a throughput metric may be up to this
+/// many times slower than the baseline before it counts as a regression.
+/// Generous on purpose — CI machines and checked-in baselines differ in raw
+/// speed; the comparison is meant to catch order-of-magnitude cliffs
+/// (accidentally quadratic merges, a cache that stopped hitting), not 10%
+/// noise.
+pub const DEFAULT_MAX_SLOWDOWN: f64 = 4.0;
+
+/// Reads the `f64` at a dotted `path` (e.g. `"sweep.cold.configs_per_sec"`).
+fn metric(json: &Json, path: &str) -> Result<f64, String> {
+    let mut node = json;
+    for key in path.split('.') {
+        node = node
+            .get(key)
+            .ok_or_else(|| format!("missing key \"{path}\""))?;
+    }
+    node.as_f64()
+        .ok_or_else(|| format!("\"{path}\" is not a number"))
+}
+
+/// Compares a fresh report against a baseline (`repro bench --compare`).
+///
+/// Both documents are schema-checked first. Shape metrics (the `quick`
+/// flag, workload and configuration counts) must match exactly — comparing
+/// differently-shaped runs would be meaningless. Throughput metrics may
+/// regress by at most `max_slowdown`×.
+///
+/// Returns one summary line per throughput metric on success.
+///
+/// # Errors
+///
+/// Every violation is returned, each naming the offending metric.
+pub fn compare(
+    current: &str,
+    baseline: &str,
+    max_slowdown: f64,
+) -> Result<Vec<String>, Vec<String>> {
+    validate(current).map_err(|e| vec![format!("current report: {e}")])?;
+    validate(baseline).map_err(|e| vec![format!("baseline report: {e}")])?;
+    let cur = Json::parse(current).expect("validated above");
+    let base = Json::parse(baseline).expect("validated above");
+
+    let mut violations = Vec::new();
+    for path in ["replay.workloads", "sweep.configs", "frontier.iterations"] {
+        match (metric(&cur, path), metric(&base, path)) {
+            (Ok(c), Ok(b)) if c != b => violations.push(format!(
+                "{path}: shape mismatch (baseline {b}, current {c}) — \
+                 rerun with the baseline's bench flags"
+            )),
+            (Err(e), _) | (_, Err(e)) => violations.push(e),
+            _ => {}
+        }
+    }
+    let quick = |doc: &Json| doc.get("quick").and_then(Json::as_bool);
+    if quick(&cur) != quick(&base) {
+        violations
+            .push("quick: shape mismatch (one report used --quick, the other did not)".to_owned());
+    }
+    if !violations.is_empty() {
+        return Err(violations);
+    }
+
+    let mut lines = Vec::new();
+    for path in [
+        "replay.instructions_per_sec",
+        "sweep.cold.configs_per_sec",
+        "sweep.warm.configs_per_sec",
+        "frontier.points_per_sec",
+    ] {
+        let (c, b) = match (metric(&cur, path), metric(&base, path)) {
+            (Ok(c), Ok(b)) => (c, b),
+            (Err(e), _) | (_, Err(e)) => {
+                violations.push(e);
+                continue;
+            }
+        };
+        if b <= 0.0 {
+            // A zero baseline rate means the phase was too fast to time —
+            // nothing to regress against.
+            lines.push(format!("{path}: baseline rate is 0, skipped"));
+            continue;
+        }
+        let floor = b / max_slowdown;
+        if c < floor {
+            violations.push(format!(
+                "{path}: regression — current {c:.1}/s is below {floor:.1}/s \
+                 (baseline {b:.1}/s, tolerance {max_slowdown}x)"
+            ));
+        } else {
+            lines.push(format!(
+                "{path}: ok ({c:.1}/s vs baseline {b:.1}/s, {:.2}x)",
+                c / b
+            ));
+        }
+    }
+    if violations.is_empty() {
+        Ok(lines)
+    } else {
+        Err(violations)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -411,6 +513,56 @@ mod tests {
             wall_s: 0.0,
         };
         assert_eq!(instant.rate(), 0.0);
+    }
+
+    #[test]
+    fn compare_accepts_identical_reports_and_names_regressions() {
+        let json = sample_report().to_json();
+        let lines = compare(&json, &json, DEFAULT_MAX_SLOWDOWN).expect("identical reports match");
+        assert_eq!(lines.len(), 4, "one line per throughput metric: {lines:?}");
+
+        // A 100x-slower cold sweep must be called out by name.
+        let mut slow = sample_report();
+        slow.sweep_cold.wall_s *= 100.0;
+        let violations =
+            compare(&slow.to_json(), &json, DEFAULT_MAX_SLOWDOWN).expect_err("regression");
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.starts_with("sweep.cold.configs_per_sec: regression")),
+            "{violations:?}"
+        );
+        // The warm sweep was untouched, so it is not blamed.
+        assert!(
+            !violations.iter().any(|v| v.contains("sweep.warm")),
+            "{violations:?}"
+        );
+
+        // Differently-shaped runs are a named shape error, not a rate diff.
+        let mut reshaped = sample_report();
+        reshaped.sweep_configs = 231;
+        let violations =
+            compare(&reshaped.to_json(), &json, DEFAULT_MAX_SLOWDOWN).expect_err("shape");
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.starts_with("sweep.configs: shape mismatch")),
+            "{violations:?}"
+        );
+        let mut full = sample_report();
+        full.quick = false;
+        let violations = compare(&full.to_json(), &json, DEFAULT_MAX_SLOWDOWN).expect_err("quick");
+        assert!(
+            violations.iter().any(|v| v.starts_with("quick:")),
+            "{violations:?}"
+        );
+
+        // Garbage on either side is rejected with the side named.
+        let violations = compare("not json", &json, DEFAULT_MAX_SLOWDOWN).expect_err("bad current");
+        assert!(
+            violations[0].starts_with("current report:"),
+            "{violations:?}"
+        );
     }
 
     #[test]

@@ -99,19 +99,19 @@ fn subcommand_flags_without_their_subcommand_are_rejected() {
     for (args, needle) in [
         (
             &["--csv", "out.csv", "table1"][..],
-            "--csv only applies to the sweep subcommand",
+            "--csv only applies to the sweep and fleet sweep subcommands",
         ),
         (
             &["serve", "--schemes", "3bit"],
-            "--schemes only applies to the sweep and energy subcommands",
+            "--schemes only applies to the sweep, fleet sweep and energy subcommands",
         ),
         (
             &["sweep", "--addr", "127.0.0.1:1"],
-            "--addr only applies to the serve subcommand",
+            "--addr only applies to the serve and fleet serve subcommands",
         ),
         (
             &["energy", "--energy-model", "modern-7nm"],
-            "--energy-model only applies to the sweep subcommand",
+            "--energy-model only applies to the sweep and fleet sweep subcommands",
         ),
         (
             &["--size", "tiny", "table1", "--workers", "2"],
@@ -310,7 +310,7 @@ fn sweep_traces_flag_is_sweep_only_and_fails_cleanly_on_missing_files() {
     let out = repro(&["table1", "--traces", "x.sctrace"]);
     assert!(!out.status.success());
     assert!(
-        stderr(&out).contains("--traces only applies to the sweep subcommand"),
+        stderr(&out).contains("--traces only applies to the sweep and fleet sweep subcommands"),
         "{}",
         stderr(&out)
     );
@@ -636,11 +636,11 @@ fn serve_backend_flag_is_validated() {
         ),
         (
             &["table1", "--backend", "local"],
-            "--backend only applies to the serve subcommand",
+            "--backend only applies to the serve and fleet serve subcommands",
         ),
         (
             &["table1", "--memo-cap", "10"],
-            "--memo-cap only applies to the serve subcommand",
+            "--memo-cap only applies to the serve and fleet serve subcommands",
         ),
         (
             &["serve", "--memo-cap", "0"],
@@ -724,7 +724,7 @@ fn serve_on_the_subprocess_backend_answers_and_counts_dispatch() {
     let (status, metrics) = request("GET", "/metrics", "");
     assert_eq!(status, 200, "{metrics}");
     assert!(
-        metrics.contains("\"dispatch\": {\"local\": 0, \"subprocess\": 1}"),
+        metrics.contains("\"dispatch\": {\"local\": 0, \"subprocess\": 1, \"fleet\": 0}"),
         "{metrics}"
     );
 

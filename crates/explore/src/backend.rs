@@ -59,6 +59,7 @@ use std::fmt;
 use std::io::Write as _;
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
+use std::sync::OnceLock;
 use std::time::Instant;
 
 /// First line of a worker's stdout report (followed by ` shard i/n`); the
@@ -80,6 +81,13 @@ pub enum ExecBackend {
     /// Worker child processes sharing one on-disk [`crate::ResultCache`]
     /// (which [`SweepOptions::cache`] must therefore provide).
     Subprocess(SubprocessConfig),
+    /// Remote `repro serve` worker servers dispatched over HTTP by the
+    /// `sigcomp-fabric` frontier, merging through the local
+    /// [`crate::ResultCache`] (which [`SweepOptions::cache`] must provide).
+    /// The runner itself lives in `sigcomp-fabric` and is registered via
+    /// [`install_fleet_runner`]; selecting this backend without a linked
+    /// fabric is a named [`ExecError::Config`].
+    Fleet(FleetConfig),
 }
 
 impl ExecBackend {
@@ -89,7 +97,70 @@ impl ExecBackend {
         match self {
             ExecBackend::LocalThreads => "local",
             ExecBackend::Subprocess(_) => "subprocess",
+            ExecBackend::Fleet(_) => "fleet",
         }
+    }
+}
+
+/// How the fleet backend reaches its worker servers.
+///
+/// This is pure data — the HTTP client and the dispatch/retry/re-shard
+/// machinery live in `sigcomp-fabric` — so `sigcomp-explore` stays free of
+/// any networking while the [`ExecBackend`] enum remains the single
+/// execution dispatch point of the workspace.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Worker base addresses (`host:port`). The frontier sorts them before
+    /// sharding so the partition is a pure function of the worker set, not
+    /// of registration order. Empty means "no workers": the fleet runner
+    /// degrades gracefully to local execution over the same cache.
+    pub workers: Vec<String>,
+    /// Per-dispatch HTTP timeout in milliseconds (connect + request +
+    /// response). A dispatch that exceeds it counts as one failed attempt.
+    pub timeout_ms: u64,
+    /// Dispatch attempts per worker (with backoff between them) before the
+    /// worker is declared dead and its jobs are re-sharded to survivors.
+    pub attempts: u32,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            workers: Vec::new(),
+            timeout_ms: 60_000,
+            attempts: 3,
+        }
+    }
+}
+
+/// Signature of the fleet runner `sigcomp-fabric` installs: the same
+/// contract as the other backends — outcomes in submission order, merged
+/// output byte-identical to a single-process run.
+pub type FleetRunner =
+    fn(&[JobSpec], &[TraceInput], &SweepOptions, &FleetConfig) -> Result<SweepSummary, ExecError>;
+
+static FLEET_RUNNER: OnceLock<FleetRunner> = OnceLock::new();
+
+/// Registers the fleet runner (called by `sigcomp_fabric::install`).
+/// Idempotent: the first installation wins, later calls are no-ops — the
+/// runner is a stateless `fn` pointer, so "again" could only ever mean
+/// "the same".
+pub fn install_fleet_runner(runner: FleetRunner) {
+    let _ = FLEET_RUNNER.set(runner);
+}
+
+/// Dispatches to the installed fleet runner.
+pub(crate) fn run_fleet(
+    jobs: &[JobSpec],
+    traces: &[TraceInput],
+    options: &SweepOptions,
+    config: &FleetConfig,
+) -> Result<SweepSummary, ExecError> {
+    match FLEET_RUNNER.get() {
+        Some(runner) => runner(jobs, traces, options, config),
+        None => Err(ExecError::Config(
+            "no fleet runner is installed (link sigcomp-fabric and call its install())".to_owned(),
+        )),
     }
 }
 
@@ -128,14 +199,14 @@ impl SubprocessConfig {
     }
 }
 
-/// Why a backend could not produce a summary. Subprocess placement is the
-/// only fallible path today; the local backend never returns these.
+/// Why a backend could not produce a summary. The subprocess and fleet
+/// backends are the fallible paths; the local backend never returns these.
 #[derive(Debug)]
 pub enum ExecError {
     /// The backend configuration is unusable (e.g. zero shards).
     Config(String),
-    /// The subprocess backend needs [`SweepOptions::cache`]: the shared
-    /// cache directory is the merge point workers publish results through.
+    /// The subprocess and fleet backends need [`SweepOptions::cache`]: the
+    /// cache directory is the merge point results are published through.
     CacheRequired,
     /// A worker process could not be spawned.
     Spawn {
@@ -180,8 +251,8 @@ impl fmt::Display for ExecError {
             ExecError::Config(detail) => write!(f, "bad backend configuration: {detail}"),
             ExecError::CacheRequired => write!(
                 f,
-                "the subprocess backend requires a result cache \
-                 (the shared cache directory is the merge point)"
+                "this backend requires a result cache \
+                 (the cache directory is the merge point)"
             ),
             ExecError::Spawn {
                 shard,

@@ -81,12 +81,12 @@ impl ResultCache {
     }
 
     /// [`ResultCache::load`] without the counter bumps. Used by the
-    /// subprocess backend when re-reading entries the workers just wrote —
-    /// those reads are bookkeeping, not cache traffic, and counting them
-    /// would make a sharded sweep's merged totals disagree with the same
-    /// sweep run in-process.
+    /// subprocess and fleet backends when re-reading entries the workers
+    /// just published — those reads are bookkeeping, not cache traffic, and
+    /// counting them would make a sharded sweep's merged totals disagree
+    /// with the same sweep run in-process.
     #[must_use]
-    pub(crate) fn load_unobserved(&self, key: u64) -> Option<JobMetrics> {
+    pub fn load_unobserved(&self, key: u64) -> Option<JobMetrics> {
         let text = fs::read_to_string(self.entry_path(key)).ok()?;
         parse_metrics(&text)
     }
@@ -99,6 +99,33 @@ impl ResultCache {
     /// Returns the underlying I/O error; callers may treat a failed store as
     /// merely "not cached".
     pub fn store(&self, key: u64, metrics: &JobMetrics) -> io::Result<()> {
+        let result = self.store_entry_text(key, &format_metrics(metrics));
+        if result.is_ok() {
+            sigcomp_obs::global().counter("explore.cache.store").incr();
+        }
+        result
+    }
+
+    /// Stores an already-encoded entry ([`encode_entry`] text) under `key`,
+    /// atomically, without bumping any traffic counter — the replication
+    /// path fleet frontiers use to publish entries received from remote
+    /// workers (the worker's own counters already accounted for the store;
+    /// see [`ResultCache::load_unobserved`] for the symmetric read side).
+    ///
+    /// The text is validated first: replicating an undecodable entry would
+    /// poison the cache with a file every later load retires.
+    ///
+    /// # Errors
+    ///
+    /// [`io::ErrorKind::InvalidData`] if `text` does not decode as a
+    /// current-version entry; otherwise the underlying I/O error.
+    pub fn store_entry_text(&self, key: u64, text: &str) -> io::Result<()> {
+        if parse_metrics(text).is_none() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("entry text for {key:016x} is not a valid {HEADER} entry"),
+            ));
+        }
         // Process id + per-process counter: two threads (or processes)
         // storing the same key never share a temp file.
         static TMP_COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
@@ -107,14 +134,22 @@ impl ResultCache {
             ".{key:016x}.{:x}.{unique:x}.tmp",
             std::process::id()
         ));
-        fs::write(&tmp, format_metrics(metrics))?;
+        fs::write(&tmp, text)?;
         let result = fs::rename(&tmp, self.entry_path(key));
         if result.is_err() {
             let _ = fs::remove_file(&tmp);
-        } else {
-            sigcomp_obs::global().counter("explore.cache.store").incr();
         }
         result
+    }
+
+    /// The raw on-disk text of the entry under `key`, verbatim, or `None`
+    /// when absent or not a valid current-version entry — what a worker
+    /// ships over the fleet wire so the frontier can replicate the exact
+    /// bytes (and verify their [`entry_digest`]) without re-encoding.
+    #[must_use]
+    pub fn entry_text(&self, key: u64) -> Option<String> {
+        let text = fs::read_to_string(self.entry_path(key)).ok()?;
+        parse_metrics(&text).map(|_| text)
     }
 
     /// Number of entries currently stored.
@@ -227,6 +262,33 @@ fn parse_metrics(text: &str) -> Option<JobMetrics> {
     .zip(stages)
     .for_each(|(slot, stage)| *slot = stage);
     Some(m)
+}
+
+/// Encodes metrics as cache-entry text — the exact bytes
+/// [`ResultCache::store`] writes to disk. Fleet workers use this to answer
+/// a dispatch from in-memory results without needing a cache directory of
+/// their own; the frontier replicates the text into its cache verbatim.
+#[must_use]
+pub fn encode_entry(metrics: &JobMetrics) -> String {
+    format_metrics(metrics)
+}
+
+/// Decodes cache-entry text back into metrics, or `None` for anything
+/// corrupt or from another format version (the inverse of
+/// [`encode_entry`], same strictness as [`ResultCache::load`]).
+#[must_use]
+pub fn decode_entry(text: &str) -> Option<JobMetrics> {
+    parse_metrics(text)
+}
+
+/// FNV-1a digest of an entry's text, the checksum the fleet protocol
+/// carries beside every replicated entry so a frontier can verify the
+/// bytes survived the wire before publishing them into its cache.
+#[must_use]
+pub fn entry_digest(text: &str) -> u64 {
+    let mut h = sigcomp::hash::StableHasher::new();
+    h.write_str(text);
+    h.finish()
 }
 
 /// Normalizes an activity column name into the stable `[a-z0-9_]` key used

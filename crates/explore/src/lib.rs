@@ -54,9 +54,12 @@ mod spec;
 mod sweep;
 
 pub use backend::{
-    dedup_jobs, parse_shard, DedupedJobs, ExecBackend, ExecError, SubprocessConfig, WORKER_HEADER,
+    dedup_jobs, install_fleet_runner, parse_shard, DedupedJobs, ExecBackend, ExecError,
+    FleetConfig, FleetRunner, SubprocessConfig, WORKER_HEADER,
 };
-pub use cache::{cache_stats, column_slug, CacheStats, ResultCache};
+pub use cache::{
+    cache_stats, column_slug, decode_entry, encode_entry, entry_digest, CacheStats, ResultCache,
+};
 pub use executor::{run_parallel, WorkerReport};
 pub use report::{config_points, frontier_table, pareto_frontier, to_csv, to_json, ConfigPoint};
 pub use spec::{JobSpec, MemProfile, SweepSpec, TraceInput, TraceSource, SWEEP_FORMAT_VERSION};

@@ -186,13 +186,14 @@ pub struct SweepSummary {
     /// Wall-clock time of the parallel phase.
     pub wall: Duration,
     /// Stable id of the backend that executed the sweep
-    /// ([`ExecBackend::id`]): `"local"` or `"subprocess"`.
+    /// ([`ExecBackend::id`]): `"local"`, `"subprocess"` or `"fleet"`.
     pub backend: &'static str,
     /// On the subprocess backend, each shard's observability snapshot as
-    /// reported over the worker protocol, in shard order — the per-shard
-    /// attribution behind the merged view the parent's global registry
-    /// carries. Empty on the local backend (metrics were recorded into the
-    /// parent's registry directly).
+    /// reported over the worker protocol, in shard order (on the fleet
+    /// backend, each worker server's snapshot in dispatch order) — the
+    /// per-shard attribution behind the merged view the parent's global
+    /// registry carries. Empty on the local backend (metrics were recorded
+    /// into the parent's registry directly).
     pub shard_obs: Vec<sigcomp_obs::Snapshot>,
 }
 
@@ -400,6 +401,7 @@ pub fn try_run_jobs_traced(
         ExecBackend::Subprocess(config) => {
             crate::backend::run_subprocess(jobs, traces, options, config)
         }
+        ExecBackend::Fleet(config) => crate::backend::run_fleet(jobs, traces, options, config),
     }
 }
 

@@ -1,0 +1,177 @@
+//! A minimal std-only HTTP/1.1 client — the fabric's outbound half,
+//! mirroring the hand-rolled server in `sigcomp-serve`.
+//!
+//! One request per connection (`Connection: close`), a connect timeout and
+//! per-operation read/write timeouts, and a hard response-size cap. That is
+//! everything the fleet protocol needs: dispatches and heartbeats are
+//! single request/response exchanges, and a stuck or dead peer must turn
+//! into a timely named error, never a hang.
+
+use std::io::{self, Read as _, Write as _};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Hard cap on response bodies: a dispatch report for a large sweep runs to
+/// a few hundred KiB of cache-entry text, so 64 MiB is comfortably above
+/// any legitimate exchange while still bounding a misbehaving peer.
+const MAX_RESPONSE_BYTES: u64 = 64 * 1024 * 1024;
+
+/// A parsed HTTP response.
+#[derive(Debug)]
+pub struct HttpResponse {
+    /// Status code from the response line.
+    pub status: u16,
+    /// Headers in arrival order, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The body, decoded as (lossy) UTF-8 — every fleet payload is text.
+    pub body: String,
+}
+
+impl HttpResponse {
+    /// The first header named `name` (case-insensitive), if any.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A client with one timeout governing connect and every read/write
+/// operation of a request.
+#[derive(Debug, Clone)]
+pub struct HttpClient {
+    timeout: Duration,
+}
+
+impl HttpClient {
+    /// A client whose connect/read/write operations each time out after
+    /// `timeout` (clamped to at least 1 ms — a zero `Duration` means
+    /// "no timeout" to the socket API, the opposite of the intent).
+    #[must_use]
+    pub fn new(timeout: Duration) -> Self {
+        HttpClient {
+            timeout: timeout.max(Duration::from_millis(1)),
+        }
+    }
+
+    /// Issues `GET path` against `addr` (a `host:port` authority).
+    ///
+    /// # Errors
+    ///
+    /// Any I/O failure (unresolvable address, refused connection, timeout)
+    /// or a response that does not parse as HTTP/1.x.
+    pub fn get(&self, addr: &str, path: &str) -> io::Result<HttpResponse> {
+        self.request("GET", addr, path, "")
+    }
+
+    /// Issues `POST path` with the given body against `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`HttpClient::get`].
+    pub fn post(&self, addr: &str, path: &str, body: &str) -> io::Result<HttpResponse> {
+        self.request("POST", addr, path, body)
+    }
+
+    fn request(
+        &self,
+        method: &str,
+        addr: &str,
+        path: &str,
+        body: &str,
+    ) -> io::Result<HttpResponse> {
+        let sock = addr.to_socket_addrs()?.next().ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("'{addr}' resolves to no address"),
+            )
+        })?;
+        let mut stream = TcpStream::connect_timeout(&sock, self.timeout)?;
+        stream.set_read_timeout(Some(self.timeout))?;
+        stream.set_write_timeout(Some(self.timeout))?;
+        let request = format!(
+            "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        );
+        stream.write_all(request.as_bytes())?;
+        let mut raw = Vec::new();
+        stream.take(MAX_RESPONSE_BYTES).read_to_end(&mut raw)?;
+        parse_response(&raw)
+    }
+}
+
+fn parse_response(raw: &[u8]) -> io::Result<HttpResponse> {
+    let bad = |reason: &str| io::Error::new(io::ErrorKind::InvalidData, reason.to_owned());
+    let text = String::from_utf8_lossy(raw);
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| bad("response has no header/body separator"))?;
+    let mut lines = head.lines();
+    let status_line = lines.next().ok_or_else(|| bad("empty response"))?;
+    if !status_line.starts_with("HTTP/1.") {
+        return Err(bad("response is not HTTP/1.x"));
+    }
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("response line carries no status code"))?;
+    let headers = lines
+        .filter_map(|line| {
+            line.split_once(':')
+                .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_owned()))
+        })
+        .collect();
+    Ok(HttpResponse {
+        status,
+        headers,
+        body: body.to_owned(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn responses_parse_with_status_headers_and_body() {
+        let raw = b"HTTP/1.1 503 Service Unavailable\r\nContent-Type: application/json\r\nRetry-After: 2\r\n\r\n{\"error\": \"full\"}";
+        let resp = parse_response(raw).expect("parses");
+        assert_eq!(resp.status, 503);
+        assert_eq!(resp.header("retry-after"), Some("2"));
+        assert_eq!(resp.header("Retry-After"), Some("2"));
+        assert_eq!(resp.header("x-missing"), None);
+        assert!(resp.body.contains("full"));
+    }
+
+    #[test]
+    fn malformed_responses_are_named_errors() {
+        for (raw, needle) in [
+            (&b"not http at all\r\n\r\n"[..], "not HTTP/1.x"),
+            (&b"HTTP/1.1\r\n\r\n"[..], "no status code"),
+            (&b"HTTP/1.1 200 OK"[..], "no header/body separator"),
+        ] {
+            let err = parse_response(raw).unwrap_err();
+            assert!(err.to_string().contains(needle), "{err}");
+        }
+    }
+
+    #[test]
+    fn dead_addresses_fail_fast_with_io_errors() {
+        // Bind then drop: the port is (almost certainly) unreachable, and a
+        // connection attempt must come back as an error, not a hang.
+        let port = {
+            let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+            listener.local_addr().expect("addr").port()
+        };
+        let client = HttpClient::new(Duration::from_millis(500));
+        assert!(client
+            .get(&format!("127.0.0.1:{port}"), "/healthz")
+            .is_err());
+        assert!(client.get("definitely-not-a-host.invalid:1", "/").is_err());
+    }
+}

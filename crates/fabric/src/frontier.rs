@@ -1,0 +1,417 @@
+//! The frontier: the fleet runner installed into `sigcomp-explore`.
+//!
+//! [`run_fleet_jobs`] is the [`FleetRunner`](sigcomp_explore::FleetRunner)
+//! behind [`ExecBackend::Fleet`](sigcomp_explore::ExecBackend) and upholds
+//! the contract every backend shares: outcomes in submission order, merged
+//! output **byte-identical to a single-process run** for any worker count —
+//! including zero workers, a worker list full of dead addresses, or a
+//! worker killed mid-sweep.
+//!
+//! The shape deliberately mirrors the subprocess backend: dedup, sort the
+//! unique jobs by content-hashed id, partition round-robin, execute, then
+//! restore *everything* from the shared [`ResultCache`] and fold totals per
+//! submitted position. Only the middle differs — instead of child
+//! processes on one machine, shards travel as `POST /fleet/dispatch` bodies
+//! to worker servers, and results come back as digest-verified cache-entry
+//! bytes that the frontier replicates into its own cache. Because the cache
+//! is the merge point and entries are keyed by config hash, the merge logic
+//! cannot tell (and does not care) which machine produced a result.
+
+use crate::client::HttpClient;
+use crate::pool::{self, WorkerPool, DEFAULT_LIVENESS_TTL};
+use crate::proto::{self, FleetReport};
+use sigcomp_explore::{
+    dedup_jobs, ExecBackend, ExecError, FleetConfig, JobSpec, SweepOptions, SweepShard,
+    SweepSummary, TraceInput, TraceSource,
+};
+use std::collections::{HashMap, HashSet};
+use std::time::{Duration, Instant};
+
+/// Upper bound on the exponential retry backoff.
+const MAX_BACKOFF: Duration = Duration::from_secs(2);
+
+/// Runs `jobs` across the fleet: dedup, shard round-robin over the live
+/// workers, dispatch with retry/backoff, re-shard a dead worker's jobs to
+/// the survivors, and degrade to local execution when no workers remain.
+///
+/// Workers come from [`FleetConfig::workers`] when non-empty, otherwise
+/// from the registered [`pool::global()`] members that heartbeated within
+/// [`DEFAULT_LIVENESS_TTL`].
+///
+/// # Errors
+///
+/// [`ExecError::CacheRequired`] without a cache (it is the merge point),
+/// [`ExecError::Config`] for trace-file jobs (the fleet wire carries only
+/// content digests and workers have no trace channel yet), and
+/// [`ExecError::ResultMissing`] if the cache lost an entry after execution.
+/// Worker failures are *not* errors: they cost retries, then a re-shard,
+/// then at worst a local fallback.
+pub fn run_fleet_jobs(
+    jobs: &[JobSpec],
+    traces: &[TraceInput],
+    options: &SweepOptions,
+    config: &FleetConfig,
+) -> Result<SweepSummary, ExecError> {
+    let cache = options.cache.as_ref().ok_or(ExecError::CacheRequired)?;
+    let started = Instant::now();
+    if let Some(job) = jobs
+        .iter()
+        .find(|j| matches!(j.source, TraceSource::File { .. }))
+    {
+        return Err(ExecError::Config(format!(
+            "job {:016x} is trace-sourced; the fleet backend dispatches kernel jobs only \
+             (run trace sweeps locally or on the subprocess backend)",
+            job.job_id()
+        )));
+    }
+    let _ = traces; // kernel-only for now; kept for runner-signature parity
+    if jobs.is_empty() {
+        return Ok(SweepSummary {
+            outcomes: Vec::new(),
+            totals: SweepShard::default(),
+            worker_loads: Vec::new(),
+            workers: 0,
+            wall: started.elapsed(),
+            backend: "fleet",
+            shard_obs: Vec::new(),
+        });
+    }
+
+    let deduped = dedup_jobs(jobs);
+    // Sorted by job id: the dispatch order is a pure function of the job
+    // contents, so any fleet shape partitions the same list the same way.
+    let mut ordered: Vec<(u64, usize)> = deduped
+        .unique
+        .iter()
+        .enumerate()
+        .map(|(u, job)| (job.job_id(), u))
+        .collect();
+    ordered.sort_unstable_by_key(|&(id, _)| id);
+    let spec_of: HashMap<u64, JobSpec> = ordered
+        .iter()
+        .map(|&(id, u)| (id, deduped.unique[u]))
+        .collect();
+
+    let pool = pool::global();
+    let mut live: Vec<String> = if config.workers.is_empty() {
+        pool.live(DEFAULT_LIVENESS_TTL)
+    } else {
+        config.workers.clone()
+    };
+    live.sort_unstable();
+    live.dedup();
+
+    let obs = sigcomp_obs::global();
+    let client = HttpClient::new(Duration::from_millis(config.timeout_ms.max(1)));
+    let mut pending: Vec<u64> = ordered.iter().map(|&(id, _)| id).collect();
+    let mut provenance: HashMap<u64, bool> = HashMap::new();
+    let mut worker_loads: Vec<(u64, u64)> = Vec::new();
+    let mut shard_obs: Vec<sigcomp_obs::Snapshot> = Vec::new();
+
+    while !pending.is_empty() && !live.is_empty() {
+        // Round-robin partition of the pending (id-sorted) jobs over the
+        // live workers, skipping workers the round leaves empty.
+        let assignments: Vec<(String, Vec<u64>)> = live
+            .iter()
+            .enumerate()
+            .map(|(i, addr)| {
+                let ids: Vec<u64> = pending
+                    .iter()
+                    .enumerate()
+                    .filter(|(rank, _)| rank % live.len() == i)
+                    .map(|(_, &id)| id)
+                    .collect();
+                (addr.clone(), ids)
+            })
+            .filter(|(_, ids)| !ids.is_empty())
+            .collect();
+
+        let results: Vec<(String, Result<FleetReport, String>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = assignments
+                .iter()
+                .map(|(addr, ids)| {
+                    let client = &client;
+                    let spec_of = &spec_of;
+                    scope.spawn(move || {
+                        let shard: Vec<JobSpec> = ids.iter().map(|id| spec_of[id]).collect();
+                        let outcome = dispatch_with_retry(client, addr, &shard, config, pool);
+                        (addr.clone(), outcome)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("dispatch thread never panics"))
+                .collect()
+        });
+
+        let mut completed: HashSet<u64> = HashSet::new();
+        let mut survivors: Vec<String> = Vec::new();
+        let mut lost = false;
+        for (addr, outcome) in results {
+            match outcome {
+                Ok(report) => {
+                    // Replicate the worker's verified entry bytes into the
+                    // local cache. Store failures are deliberately ignored
+                    // here: the restore pass below is the arbiter, and a
+                    // genuinely missing entry becomes ResultMissing there.
+                    for (id, text) in &report.entries {
+                        let _ = cache.store_entry_text(*id, text);
+                    }
+                    for &(id, from_cache) in &report.jobs {
+                        provenance.insert(id, from_cache);
+                        completed.insert(id);
+                    }
+                    obs.counter("fleet.frontier.dispatches").incr();
+                    obs.counter("fleet.frontier.jobs_remote")
+                        .add(report.jobs.len() as u64);
+                    pool.note_dispatch(&addr);
+                    pool.update_obs(&addr, report.obs.clone());
+                    worker_loads.push((report.jobs.len() as u64, 0));
+                    shard_obs.push(report.obs);
+                    survivors.push(addr);
+                }
+                Err(_detail) => {
+                    // The worker exhausted its attempts: drop it from this
+                    // sweep and hand its jobs back to the pending set.
+                    obs.counter("fleet.frontier.workers_lost").incr();
+                    pool.note_failure(&addr);
+                    lost = true;
+                }
+            }
+        }
+        pending.retain(|id| !completed.contains(id));
+        live = survivors;
+        if lost && !pending.is_empty() && !live.is_empty() {
+            obs.counter("fleet.frontier.reshards").incr();
+        }
+    }
+
+    // Graceful degradation: anything still pending (no workers registered,
+    // or the whole fleet died) runs locally over the same cache, so the
+    // sweep always completes and always merges identically.
+    if !pending.is_empty() {
+        let local_specs: Vec<JobSpec> = pending.iter().map(|id| spec_of[id]).collect();
+        let local_options = SweepOptions {
+            workers: options.workers,
+            cache: Some(cache.clone()),
+            backend: ExecBackend::LocalThreads,
+        };
+        let local = sigcomp_explore::try_run_jobs_traced(&local_specs, &[], &local_options)
+            .map_err(|e| ExecError::Config(format!("local fallback failed: {e}")))?;
+        obs.counter("fleet.frontier.jobs_local")
+            .add(local.outcomes.len() as u64);
+        for outcome in &local.outcomes {
+            provenance.insert(outcome.spec.job_id(), outcome.from_cache);
+        }
+        worker_loads.push((local.outcomes.len() as u64, 0));
+    }
+
+    // Merge through the cache, exactly like the subprocess backend: restore
+    // every unique job unobserved (the cache traffic happened where the job
+    // ran) and fold totals per submitted position.
+    let mut metrics_of = HashMap::with_capacity(ordered.len());
+    for &(id, _) in &ordered {
+        let metrics = cache
+            .load_unobserved(id)
+            .ok_or(ExecError::ResultMissing { job_id: id })?;
+        metrics_of.insert(id, metrics);
+    }
+    let mut totals = SweepShard::default();
+    let mut outcomes = Vec::with_capacity(jobs.len());
+    for (pos, &leader) in deduped.leader_of.iter().enumerate() {
+        let spec = deduped.unique[leader];
+        let id = spec.job_id();
+        let metrics = metrics_of[&id];
+        let from_cache = deduped.is_follower(pos) || provenance[&id];
+        totals.activity.merge(&metrics.activity);
+        if from_cache {
+            totals.cached += 1;
+        } else {
+            totals.simulated += 1;
+            totals.instructions_simulated += metrics.instructions;
+        }
+        outcomes.push(sigcomp_explore::JobOutcome {
+            spec,
+            metrics,
+            from_cache,
+        });
+    }
+
+    let workers = worker_loads.len();
+    Ok(SweepSummary {
+        outcomes,
+        totals,
+        worker_loads,
+        workers,
+        wall: started.elapsed(),
+        backend: "fleet",
+        shard_obs,
+    })
+}
+
+/// One worker's shard: up to [`FleetConfig::attempts`] `POST /fleet/dispatch`
+/// exchanges with exponential backoff, each response verified by
+/// [`proto::parse_report`] against the exact id set dispatched.
+///
+/// An overloaded worker's `503` honors its `Retry-After` header (capped at
+/// [`MAX_BACKOFF`]); every other failure — connect/read timeout, non-200
+/// status, protocol violation — waits `100ms · 2^attempt`.
+fn dispatch_with_retry(
+    client: &HttpClient,
+    addr: &str,
+    shard: &[JobSpec],
+    config: &FleetConfig,
+    pool: &WorkerPool,
+) -> Result<FleetReport, String> {
+    let body = proto::encode_dispatch(shard);
+    let expected: HashSet<u64> = shard.iter().map(JobSpec::job_id).collect();
+    let attempts = config.attempts.max(1);
+    let mut last_error = String::new();
+    for attempt in 0..attempts {
+        if attempt > 0 {
+            pool.note_retry(addr);
+            sigcomp_obs::global()
+                .counter("fleet.frontier.retries")
+                .incr();
+        }
+        let mut backoff = Duration::from_millis(100 << attempt.min(8)).min(MAX_BACKOFF);
+        match client.post(addr, "/fleet/dispatch", &body) {
+            Ok(response) if response.status == 200 => {
+                match proto::parse_report(&response.body, &expected) {
+                    Ok(report) => return Ok(report),
+                    Err(detail) => last_error = format!("protocol violation: {detail}"),
+                }
+            }
+            Ok(response) => {
+                if response.status == 503 {
+                    if let Some(secs) = response
+                        .header("retry-after")
+                        .and_then(|v| v.parse::<u64>().ok())
+                    {
+                        backoff = Duration::from_secs(secs).min(MAX_BACKOFF);
+                    }
+                }
+                let body = response.body.trim();
+                last_error = format!(
+                    "HTTP {}{}{}",
+                    response.status,
+                    if body.is_empty() { "" } else { ": " },
+                    body
+                );
+            }
+            Err(error) => last_error = format!("request failed: {error}"),
+        }
+        if attempt + 1 < attempts {
+            std::thread::sleep(backoff);
+        }
+    }
+    Err(format!(
+        "worker {addr} failed after {attempts} attempts: {last_error}"
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigcomp_explore::{ResultCache, SweepSpec};
+    use sigcomp_workloads::WorkloadSize;
+
+    fn jobs() -> Vec<JobSpec> {
+        SweepSpec::paper(WorkloadSize::Tiny)
+            .workloads(&["rawcaudio"])
+            .enumerate()
+    }
+
+    fn temp_cache(tag: &str) -> (std::path::PathBuf, ResultCache) {
+        let dir = std::env::temp_dir().join(format!(
+            "sigcomp-fabric-frontier-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ResultCache::open(&dir).expect("cache opens");
+        (dir, cache)
+    }
+
+    #[test]
+    fn fleet_without_a_cache_is_a_named_error() {
+        let err = run_fleet_jobs(
+            &jobs(),
+            &[],
+            &SweepOptions::default(),
+            &FleetConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ExecError::CacheRequired), "{err}");
+    }
+
+    #[test]
+    fn no_workers_degrades_to_local_and_matches_the_local_backend() {
+        let (dir, cache) = temp_cache("local");
+        let jobs = jobs();
+        let options = SweepOptions {
+            workers: Some(2),
+            cache: Some(cache),
+            backend: ExecBackend::LocalThreads,
+        };
+        // Explicitly empty worker list and (in a fresh process) an empty
+        // registration pool: the run must fall through to local execution.
+        let fleet = run_fleet_jobs(&jobs, &[], &options, &FleetConfig::default()).expect("runs");
+        assert_eq!(fleet.backend, "fleet");
+        assert_eq!(fleet.outcomes.len(), jobs.len());
+        assert!(fleet.totals.simulated + fleet.totals.cached == jobs.len() as u64);
+
+        let local = sigcomp_explore::try_run_jobs_traced(&jobs, &[], &options).expect("runs");
+        for (a, b) in fleet.outcomes.iter().zip(&local.outcomes) {
+            assert_eq!(a.spec, b.spec);
+            assert_eq!(a.metrics, b.metrics);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dead_workers_are_retried_then_execution_falls_back_locally() {
+        let (dir, cache) = temp_cache("dead");
+        // Bind-then-drop: almost certainly nothing listens on this port.
+        let port = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+            l.local_addr().expect("addr").port()
+        };
+        let jobs = jobs();
+        let options = SweepOptions {
+            workers: Some(2),
+            cache: Some(cache),
+            backend: ExecBackend::LocalThreads,
+        };
+        let config = FleetConfig {
+            workers: vec![format!("127.0.0.1:{port}")],
+            timeout_ms: 300,
+            attempts: 2,
+        };
+        let before = sigcomp_obs::global()
+            .snapshot()
+            .counter("fleet.frontier.workers_lost");
+        let fleet = run_fleet_jobs(&jobs, &[], &options, &config).expect("completes anyway");
+        assert_eq!(fleet.outcomes.len(), jobs.len());
+        let after = sigcomp_obs::global()
+            .snapshot()
+            .counter("fleet.frontier.workers_lost");
+        assert!(after > before, "the dead worker must be counted as lost");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trace_jobs_are_rejected_with_a_named_error() {
+        let (dir, cache) = temp_cache("trace");
+        let mut job = jobs()[0];
+        job.source = TraceSource::File { digest: 0xdead };
+        let options = SweepOptions {
+            workers: Some(1),
+            cache: Some(cache),
+            backend: ExecBackend::LocalThreads,
+        };
+        let err = run_fleet_jobs(&[job], &[], &options, &FleetConfig::default()).unwrap_err();
+        assert!(err.to_string().contains("kernel jobs only"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,71 @@
+//! # sigcomp-fabric
+//!
+//! The distributed sweep fabric: a **frontier/worker topology over HTTP**
+//! that promotes the PR 5 subprocess scale-out to a fleet of machines while
+//! preserving its merge invariant — *N hosts × M shards byte-identical to
+//! one process*.
+//!
+//! Workers are ordinary `repro serve` processes. They register with a
+//! frontier (`POST /register`), then heartbeat periodically with their
+//! capacity and observability snapshot (`POST /heartbeat`); the frontier
+//! tracks them in a [`WorkerPool`]. A sweep run on
+//! [`ExecBackend::Fleet`](sigcomp_explore::ExecBackend) is deduplicated,
+//! sorted by content-hashed [`JobSpec::job_id`](sigcomp_explore::JobSpec)
+//! (so the partition is a pure function of the job *contents*), sharded
+//! round-robin across the live workers, and dispatched as one
+//! `POST /fleet/dispatch` per worker carrying
+//! [`JobSpec::to_wire`](sigcomp_explore::JobSpec::to_wire) lines — the same
+//! wire grammar the subprocess backend broadcasts on stdin.
+//!
+//! Results come back as **replicated cache entries**: each worker answers
+//! with the exact on-disk [`ResultCache`](sigcomp_explore::ResultCache)
+//! entry text for every job, guarded by an FNV-1a digest
+//! ([`sigcomp_explore::entry_digest`]). The frontier verifies each digest,
+//! publishes the bytes into its own cache
+//! ([`ResultCache::store_entry_text`](sigcomp_explore::ResultCache::store_entry_text)),
+//! and restores every outcome from the cache in submission order — the
+//! cache is the merge point, generalized across machines. Every entry is
+//! keyed by config hash, so replication is conflict-free by construction:
+//! two workers racing the same key write identical bytes.
+//!
+//! Robustness is first-class:
+//!
+//! * per-dispatch timeouts with bounded retry + exponential backoff
+//!   ([`FleetConfig`](sigcomp_explore::FleetConfig)),
+//! * a worker that exhausts its attempts (killed mid-sweep, say) is dropped
+//!   and its outstanding jobs are **re-sharded** across the survivors,
+//! * with no workers left (or none registered), the frontier **degrades
+//!   gracefully to local execution** over the same cache — the sweep always
+//!   completes, byte-identically.
+//!
+//! `sigcomp-explore` stays free of networking: it exposes the
+//! [`ExecBackend::Fleet`](sigcomp_explore::ExecBackend) variant as pure
+//! data plus an [`install_fleet_runner`](sigcomp_explore::install_fleet_runner)
+//! hook, and this crate registers its [`frontier`] runner via [`install`]
+//! (called by `sigcomp_serve::Server::bind` and every `repro fleet` path).
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod client;
+pub mod frontier;
+pub mod pool;
+pub mod proto;
+pub mod worker;
+
+pub use client::{HttpClient, HttpResponse};
+pub use frontier::run_fleet_jobs;
+pub use pool::{WorkerPool, WorkerStatus, DEFAULT_LIVENESS_TTL};
+pub use proto::{
+    encode_dispatch, encode_heartbeat, encode_register, encode_report, parse_dispatch,
+    parse_heartbeat, parse_register, parse_report, DispatchOutcome, FleetReport, FLEET_HEADER,
+};
+pub use worker::Heartbeater;
+
+/// Registers the fleet runner with `sigcomp-explore`, making
+/// [`ExecBackend::Fleet`](sigcomp_explore::ExecBackend) executable.
+/// Idempotent and cheap — call it from every entry point that might select
+/// the fleet backend.
+pub fn install() {
+    sigcomp_explore::install_fleet_runner(frontier::run_fleet_jobs);
+}

@@ -1,0 +1,127 @@
+//! The worker's side of fleet membership: a background thread that
+//! registers with the frontier and then heartbeats on an interval, carrying
+//! the worker's capacity and its current obs snapshot.
+//!
+//! Registration is retried until it succeeds (a worker may come up before
+//! its frontier), and a lost heartbeat is just a counter — the worker keeps
+//! trying, and the frontier's liveness TTL decides what silence means.
+
+use crate::client::HttpClient;
+use crate::proto;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How often [`Heartbeater::spawn`]'s thread checks whether it was stopped;
+/// bounds shutdown latency without busy-waiting.
+const STOP_POLL: Duration = Duration::from_millis(100);
+
+/// A handle to the background registration/heartbeat thread. Dropping it
+/// without calling [`Heartbeater::stop`] detaches the thread (fine for a
+/// worker process that heartbeats until it exits).
+#[derive(Debug)]
+pub struct Heartbeater {
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl Heartbeater {
+    /// Spawns the membership thread: registers `self_addr` (this worker's
+    /// dial-back `host:port`) with the frontier at `frontier`, retrying
+    /// until the registration lands, then heartbeats every `interval` with
+    /// the worker's capacity and the global registry's snapshot.
+    #[must_use]
+    pub fn spawn(frontier: String, self_addr: String, interval: Duration) -> Heartbeater {
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let thread = std::thread::spawn(move || run(&frontier, &self_addr, interval, &flag));
+        Heartbeater {
+            stop,
+            thread: Some(thread),
+        }
+    }
+
+    /// Stops the thread and waits for it to exit.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+fn run(frontier: &str, self_addr: &str, interval: Duration, stop: &AtomicBool) {
+    let obs = sigcomp_obs::global();
+    let client = HttpClient::new(interval.max(Duration::from_millis(250)));
+    let capacity =
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get) as u64;
+
+    // Register until it lands; the frontier may not be up yet.
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            return;
+        }
+        let body = proto::encode_register(self_addr, capacity);
+        match client.post(frontier, "/register", &body) {
+            Ok(response) if response.status == 200 => {
+                obs.counter("fleet.worker.registered").incr();
+                break;
+            }
+            _ => obs.counter("fleet.worker.register_failures").incr(),
+        }
+        sleep_until(interval, stop);
+    }
+
+    // Heartbeat until stopped.
+    loop {
+        sleep_until(interval, stop);
+        if stop.load(Ordering::Relaxed) {
+            return;
+        }
+        let body = proto::encode_heartbeat(self_addr, capacity, &obs.snapshot());
+        match client.post(frontier, "/heartbeat", &body) {
+            Ok(response) if response.status == 200 => {
+                obs.counter("fleet.worker.heartbeats").incr();
+            }
+            _ => obs.counter("fleet.worker.heartbeat_failures").incr(),
+        }
+    }
+}
+
+/// Sleeps `total` in [`STOP_POLL`] slices, returning early once stopped.
+fn sleep_until(total: Duration, stop: &AtomicBool) {
+    let mut remaining = total;
+    while !remaining.is_zero() && !stop.load(Ordering::Relaxed) {
+        let step = remaining.min(STOP_POLL);
+        std::thread::sleep(step);
+        remaining -= step;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_heartbeater_against_a_dead_frontier_stops_promptly() {
+        // Nothing listens here; the thread must spin on register retries
+        // and still stop within a few polls.
+        let port = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+            l.local_addr().expect("addr").port()
+        };
+        let hb = Heartbeater::spawn(
+            format!("127.0.0.1:{port}"),
+            "127.0.0.1:1".to_owned(),
+            Duration::from_millis(200),
+        );
+        std::thread::sleep(Duration::from_millis(50));
+        let started = std::time::Instant::now();
+        hb.stop();
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "stop() must not hang on a dead frontier"
+        );
+    }
+}

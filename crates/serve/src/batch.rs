@@ -144,6 +144,10 @@ pub struct BatchedResult {
 pub enum SubmitError {
     /// The batcher is shutting down and no longer accepts work.
     ShuttingDown,
+    /// The queue is full and the caller asked not to wait: the job was
+    /// **shed**, not queued. The HTTP layer turns this into a fast `503`
+    /// with a `Retry-After` header instead of a connection that hangs.
+    Overloaded,
     /// The simulation of this job's batch panicked; the batcher survives
     /// and later submissions still work, but this request has no result.
     SimulationFailed,
@@ -153,6 +157,12 @@ impl fmt::Display for SubmitError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SubmitError::ShuttingDown => write!(f, "server is shutting down"),
+            SubmitError::Overloaded => {
+                write!(
+                    f,
+                    "server is overloaded (batch queue is full); retry shortly"
+                )
+            }
             SubmitError::SimulationFailed => write!(f, "simulation failed (internal error)"),
         }
     }
@@ -240,13 +250,18 @@ impl Batcher {
         }
     }
 
-    /// Submits one job and blocks until its result is available.
+    /// Submits one job and blocks until its result is available. When the
+    /// queue is full the job is **shed** with [`SubmitError::Overloaded`]
+    /// instead of blocking the calling (connection) thread: an interactive
+    /// `/simulate` client is better served by a fast `503 Retry-After` than
+    /// by a connection that silently hangs until space appears.
     ///
     /// # Errors
     ///
-    /// [`SubmitError::ShuttingDown`] when the batcher is stopping.
+    /// [`SubmitError::ShuttingDown`] when the batcher is stopping;
+    /// [`SubmitError::Overloaded`] when the queue is full.
     pub fn submit(&self, spec: JobSpec) -> Result<BatchedResult, SubmitError> {
-        match self.enqueue(spec)? {
+        match self.enqueue(spec, false)? {
             Enqueued::Ready(result) => Ok(*result),
             Enqueued::Waiting(slot) => slot.wait(),
         }
@@ -255,7 +270,10 @@ impl Batcher {
     /// Submits a whole batch (e.g. an enumerated sweep) at once and waits
     /// for every result, returned in `specs` order. Enqueuing everything
     /// before waiting lets the dispatcher coalesce the entire batch instead
-    /// of ping-ponging one job at a time.
+    /// of ping-ponging one job at a time. Unlike [`Batcher::submit`], a full
+    /// queue **blocks** rather than sheds: batch callers (sweeps, fleet
+    /// dispatches) are throughput work where backpressure is the right
+    /// answer, and shedding mid-batch would discard partial results.
     ///
     /// # Errors
     ///
@@ -264,7 +282,7 @@ impl Batcher {
     pub fn submit_many(&self, specs: &[JobSpec]) -> Result<Vec<BatchedResult>, SubmitError> {
         let pending: Vec<Enqueued> = specs
             .iter()
-            .map(|&spec| self.enqueue(spec))
+            .map(|&spec| self.enqueue(spec, true))
             .collect::<Result<_, _>>()?;
         pending
             .into_iter()
@@ -293,7 +311,7 @@ impl Batcher {
         self.shared.state.lock().expect("queue poisoned").memo.len()
     }
 
-    fn enqueue(&self, spec: JobSpec) -> Result<Enqueued, SubmitError> {
+    fn enqueue(&self, spec: JobSpec, block: bool) -> Result<Enqueued, SubmitError> {
         let metrics = &self.shared.metrics;
         ServerMetrics::incr(&metrics.jobs_requested);
         let mut state = self.shared.state.lock().expect("queue poisoned");
@@ -303,6 +321,10 @@ impl Batcher {
                 metrics: cached,
                 from_cache: true,
             })));
+        }
+        if !block && state.queue.len() >= self.shared.config.queue_capacity() && !state.shutdown {
+            ServerMetrics::incr(&metrics.jobs_shed);
+            return Err(SubmitError::Overloaded);
         }
         while state.queue.len() >= self.shared.config.queue_capacity() && !state.shutdown {
             state = self.shared.space_ready.wait(state).expect("queue poisoned");
@@ -414,6 +436,7 @@ fn run_batch(shared: &Shared, batch: Vec<(JobSpec, Arc<Slot>)>) {
     let placed = match &shared.config.backend {
         ExecBackend::LocalThreads => &metrics.jobs_placed_local,
         ExecBackend::Subprocess(_) => &metrics.jobs_placed_subprocess,
+        ExecBackend::Fleet(_) => &metrics.jobs_placed_fleet,
     };
     placed.fetch_add(
         deduped.unique.len() as u64,
@@ -637,6 +660,32 @@ mod tests {
             metrics.jobs_requested.load(Ordering::Relaxed),
             2 * distinct.len() as u64
         );
+    }
+
+    #[test]
+    fn full_queue_sheds_single_submissions_instead_of_blocking() {
+        let metrics = Arc::new(ServerMetrics::default());
+        let config = BatchConfig {
+            max_batch: 1,
+            queue_capacity: 1,
+            sim_workers: Some(1),
+            ..BatchConfig::default()
+        };
+        let batcher = Batcher::new(config, Arc::clone(&metrics));
+        // Fill the queue behind the dispatcher's back: push without
+        // signalling work_ready, so the dispatcher stays asleep on its
+        // condvar and cannot drain the entry before we observe the shed.
+        {
+            let mut state = batcher.shared.state.lock().unwrap();
+            state
+                .queue
+                .push_back((spec(0, OrgKind::Baseline32), Arc::new(Slot::default())));
+        }
+        let shed = batcher.submit(spec(0, OrgKind::ByteSerial));
+        assert_eq!(shed, Err(SubmitError::Overloaded));
+        assert_eq!(metrics.jobs_shed.load(Ordering::Relaxed), 1);
+        // Dropping the batcher wakes the dispatcher, which drains the
+        // stuffed entry and exits cleanly.
     }
 
     #[test]

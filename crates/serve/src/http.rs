@@ -219,6 +219,10 @@ pub struct Response {
     pub status: u16,
     /// Body bytes (always JSON in this server).
     pub body: String,
+    /// When set, emitted as a `Retry-After: <seconds>` header — the
+    /// load-shedding contract: a shed client learns *when* to come back
+    /// instead of guessing.
+    pub retry_after: Option<u64>,
 }
 
 impl Response {
@@ -228,7 +232,15 @@ impl Response {
         Response {
             status,
             body: body.into(),
+            retry_after: None,
         }
+    }
+
+    /// Adds a `Retry-After: <seconds>` header to the response.
+    #[must_use]
+    pub fn with_retry_after(mut self, seconds: u64) -> Self {
+        self.retry_after = Some(seconds);
+        self
     }
 
     /// A JSON error response: `{"error": "<message>"}` with the message
@@ -250,11 +262,15 @@ impl Response {
     pub fn write_to(&self, writer: &mut impl Write) -> io::Result<()> {
         write!(
             writer,
-            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
             self.status,
             status_text(self.status),
             self.body.len()
         )?;
+        if let Some(seconds) = self.retry_after {
+            write!(writer, "Retry-After: {seconds}\r\n")?;
+        }
+        writer.write_all(b"\r\n")?;
         writer.write_all(self.body.as_bytes())?;
         writer.flush()
     }
@@ -434,5 +450,24 @@ mod tests {
         let text = String::from_utf8(out).unwrap();
         assert!(text.contains("400 Bad Request"));
         assert!(text.contains("{\"error\": \"broke \\\"here\\\"\"}"));
+    }
+
+    #[test]
+    fn retry_after_is_emitted_as_a_header() {
+        let mut out = Vec::new();
+        Response::error(503, "overloaded")
+            .with_retry_after(2)
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("Retry-After: 2\r\n"), "{text}");
+        // The header block still terminates correctly before the body.
+        assert!(text.contains("\r\n\r\n{\"error\""), "{text}");
+
+        let mut out = Vec::new();
+        Response::json(200, "{}").write_to(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(!text.contains("Retry-After"), "{text}");
     }
 }

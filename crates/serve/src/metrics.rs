@@ -40,6 +40,9 @@ pub struct ServerMetrics {
     latency: Histogram,
     /// Jobs submitted to the batcher (before any deduplication).
     pub jobs_requested: AtomicU64,
+    /// Jobs shed with a fast `503 Retry-After` because the queue was full
+    /// (non-blocking submissions only; batch submissions block instead).
+    pub jobs_shed: AtomicU64,
     /// Jobs answered from the in-memory memo without touching the queue.
     pub jobs_memo_hits: AtomicU64,
     /// Jobs coalesced away inside a batch (duplicates of another in-flight
@@ -56,6 +59,9 @@ pub struct ServerMetrics {
     /// Jobs placed on the sharded subprocess backend
     /// ([`sigcomp_explore::ExecBackend::Subprocess`]).
     pub jobs_placed_subprocess: AtomicU64,
+    /// Jobs placed on the distributed fleet backend
+    /// ([`sigcomp_explore::ExecBackend::Fleet`]).
+    pub jobs_placed_fleet: AtomicU64,
     /// Batches dispatched to the explore executor.
     pub batches_dispatched: AtomicU64,
     /// Largest batch dispatched so far.
@@ -77,12 +83,14 @@ impl Default for ServerMetrics {
             http_5xx: AtomicU64::new(0),
             latency: Histogram::new(LATENCY_BOUNDS_US),
             jobs_requested: AtomicU64::new(0),
+            jobs_shed: AtomicU64::new(0),
             jobs_memo_hits: AtomicU64::new(0),
             jobs_batch_deduped: AtomicU64::new(0),
             jobs_disk_cache_hits: AtomicU64::new(0),
             jobs_simulated: AtomicU64::new(0),
             jobs_placed_local: AtomicU64::new(0),
             jobs_placed_subprocess: AtomicU64::new(0),
+            jobs_placed_fleet: AtomicU64::new(0),
             batches_dispatched: AtomicU64::new(0),
             largest_batch: AtomicU64::new(0),
             sweeps_submitted: AtomicU64::new(0),
@@ -119,8 +127,10 @@ impl ServerMetrics {
     }
 
     /// Renders every counter as the `/metrics` JSON document. `queue_depth`,
-    /// `memo_entries`, `uptime` and `cache` are sampled by the caller (they
-    /// live outside this struct).
+    /// `memo_entries`, `uptime`, `cache` and `fleet` are sampled by the
+    /// caller (they live outside this struct); `fleet` must be a complete
+    /// JSON value — the worker-pool document on a frontier, `null`
+    /// elsewhere.
     #[must_use]
     pub fn to_json(
         &self,
@@ -128,6 +138,7 @@ impl ServerMetrics {
         memo_entries: usize,
         uptime: Duration,
         cache: &CacheStats,
+        fleet: &str,
     ) -> String {
         let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
         format!(
@@ -138,15 +149,17 @@ impl ServerMetrics {
                 "\"responses_4xx\": {s4}, \"responses_5xx\": {s5}, ",
                 "\"latency\": {latency}}},\n",
                 "  \"batch\": {{\"queue_depth\": {depth}, \"memo_entries\": {memo}, ",
-                "\"jobs_requested\": {jr}, ",
+                "\"jobs_requested\": {jr}, \"jobs_shed\": {jsh}, ",
                 "\"jobs_memo_hits\": {jm}, \"jobs_batch_deduped\": {jd}, ",
                 "\"jobs_disk_cache_hits\": {jc}, \"jobs_simulated\": {js}, ",
                 "\"batches_dispatched\": {bd}, \"largest_batch\": {lb}, ",
-                "\"dispatch\": {{\"local\": {pl}, \"subprocess\": {ps}}}}},\n",
+                "\"dispatch\": {{\"local\": {pl}, \"subprocess\": {ps}, ",
+                "\"fleet\": {pf}}}}},\n",
                 "  \"cache\": {{\"hits\": {ch}, \"misses\": {cm}, ",
                 "\"retired\": {cr}, \"stores\": {cs}}},\n",
                 "  \"sweeps\": {{\"submitted\": {ss}, \"completed\": {sc}, ",
-                "\"failed\": {sf}}}\n",
+                "\"failed\": {sf}}},\n",
+                "  \"fleet\": {fleet}\n",
                 "}}\n"
             ),
             uptime = uptime.as_millis(),
@@ -158,6 +171,7 @@ impl ServerMetrics {
             depth = queue_depth,
             memo = memo_entries,
             jr = get(&self.jobs_requested),
+            jsh = get(&self.jobs_shed),
             jm = get(&self.jobs_memo_hits),
             jd = get(&self.jobs_batch_deduped),
             jc = get(&self.jobs_disk_cache_hits),
@@ -166,6 +180,7 @@ impl ServerMetrics {
             lb = get(&self.largest_batch),
             pl = get(&self.jobs_placed_local),
             ps = get(&self.jobs_placed_subprocess),
+            pf = get(&self.jobs_placed_fleet),
             ch = cache.hits,
             cm = cache.misses,
             cr = cache.retired,
@@ -173,6 +188,7 @@ impl ServerMetrics {
             ss = get(&self.sweeps_submitted),
             sc = get(&self.sweeps_completed),
             sf = get(&self.sweeps_failed),
+            fleet = fleet.trim_end(),
         )
     }
 }
@@ -188,7 +204,8 @@ mod tests {
     ];
 
     fn latency_doc(m: &ServerMetrics) -> Json {
-        let doc = Json::parse(&m.to_json(0, 0, Duration::ZERO, &CacheStats::default())).unwrap();
+        let doc =
+            Json::parse(&m.to_json(0, 0, Duration::ZERO, &CacheStats::default(), "null")).unwrap();
         doc.get("http")
             .and_then(|h| h.get("latency"))
             .cloned()
@@ -268,6 +285,12 @@ mod tests {
             ServerMetrics::incr(&m.jobs_placed_local);
         }
         ServerMetrics::incr(&m.jobs_placed_subprocess);
+        for _ in 0..2 {
+            ServerMetrics::incr(&m.jobs_placed_fleet);
+        }
+        for _ in 0..4 {
+            ServerMetrics::incr(&m.jobs_shed);
+        }
         m.observe_batch(5);
         m.observe_batch(3);
         let cache = CacheStats {
@@ -276,7 +299,9 @@ mod tests {
             retired: 1,
             stores: 5,
         };
-        let doc = Json::parse(&m.to_json(2, 6, Duration::from_millis(1234), &cache)).unwrap();
+        let fleet = "{\"known\": 2, \"live\": 1}";
+        let doc =
+            Json::parse(&m.to_json(2, 6, Duration::from_millis(1234), &cache, fleet)).unwrap();
         assert_eq!(doc.get("uptime_ms").and_then(Json::as_u64), Some(1234));
         let batch = doc.get("batch").unwrap();
         assert_eq!(batch.get("queue_depth").and_then(Json::as_u64), Some(2));
@@ -288,9 +313,14 @@ mod tests {
             Some(2)
         );
         assert_eq!(batch.get("largest_batch").and_then(Json::as_u64), Some(5));
+        assert_eq!(batch.get("jobs_shed").and_then(Json::as_u64), Some(4));
         let dispatch = batch.get("dispatch").expect("dispatch section");
         assert_eq!(dispatch.get("local").and_then(Json::as_u64), Some(3));
         assert_eq!(dispatch.get("subprocess").and_then(Json::as_u64), Some(1));
+        assert_eq!(dispatch.get("fleet").and_then(Json::as_u64), Some(2));
+        let fleet_doc = doc.get("fleet").expect("fleet section");
+        assert_eq!(fleet_doc.get("known").and_then(Json::as_u64), Some(2));
+        assert_eq!(fleet_doc.get("live").and_then(Json::as_u64), Some(1));
         let cache_doc = doc.get("cache").expect("cache section");
         assert_eq!(cache_doc.get("hits").and_then(Json::as_u64), Some(11));
         assert_eq!(cache_doc.get("misses").and_then(Json::as_u64), Some(4));

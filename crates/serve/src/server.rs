@@ -10,6 +10,10 @@
 //! | POST   | `/simulate` | one job spec        | that job's metrics (batched + deduplicated) |
 //! | POST   | `/sweep`    | a sweep spec        | poll ticket, or the full result with `"sync": true` |
 //! | GET    | `/jobs/:id` | —                   | sweep ticket state / result |
+//! | POST   | `/register` | fleet announcement  | worker joins the frontier's pool |
+//! | POST   | `/heartbeat`| announcement + obs  | liveness refresh + worker obs snapshot |
+//! | POST   | `/fleet/dispatch` | a job shard   | `sigcomp-fleet v1` report (cache entries + obs) |
+//! | GET    | `/fleet`    | —                   | worker-pool status + merged worker obs |
 //!
 //! Each connection carries one request (`Connection: close`); request
 //! handling happens on a per-connection thread so a slow client never
@@ -24,6 +28,8 @@ use crate::metrics::ServerMetrics;
 use crate::registry::{SweepRegistry, SweepState};
 use sigcomp::ProcessNode;
 use sigcomp_explore::JobOutcome;
+use sigcomp_fabric::pool::{self, DEFAULT_LIVENESS_TTL};
+use sigcomp_fabric::proto::{self, DispatchOutcome};
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -122,6 +128,11 @@ impl Server {
             &config.addr
         };
         let listener = TcpListener::bind(addr)?;
+        // Make the Fleet backend runnable in-process: explore's backend
+        // enum can name it, but only the fabric crate knows how to run it.
+        // Installing here means any server (frontier or worker) can also
+        // act as a fleet client of further workers.
+        sigcomp_fabric::install();
         let metrics = Arc::new(ServerMetrics::default());
         // Alias the latency histogram into the process-wide observability
         // registry so GET /metrics.json exports it alongside the explore
@@ -294,6 +305,7 @@ fn route(ctx: &Arc<Ctx>, request: &Request) -> Response {
                 ctx.batcher.memo_len(),
                 ctx.started.elapsed(),
                 &sigcomp_explore::cache_stats(),
+                &pool::global().to_json(DEFAULT_LIVENESS_TTL),
             ),
         ),
         // The full observability registry — every counter, gauge, and
@@ -317,6 +329,34 @@ fn route(ctx: &Arc<Ctx>, request: &Request) -> Response {
             },
             Err(response) => response,
         },
+        ("POST", "/register") => match body_text(request) {
+            Ok(text) => match proto::parse_register(text) {
+                Ok((addr, capacity)) => {
+                    pool::global().register(&addr, capacity);
+                    Response::json(200, "{\"status\": \"ok\"}\n")
+                }
+                Err(message) => Response::error(400, &message),
+            },
+            Err(response) => response,
+        },
+        ("POST", "/heartbeat") => match body_text(request) {
+            Ok(text) => match proto::parse_heartbeat(text) {
+                Ok((addr, capacity, obs)) => {
+                    pool::global().heartbeat(&addr, capacity, obs);
+                    Response::json(200, "{\"status\": \"ok\"}\n")
+                }
+                Err(message) => Response::error(400, &message),
+            },
+            Err(response) => response,
+        },
+        ("POST", "/fleet/dispatch") => match body_text(request) {
+            Ok(text) => match proto::parse_dispatch(text) {
+                Ok(jobs) => handle_fleet_dispatch(ctx, &jobs),
+                Err(message) => Response::error(400, &message),
+            },
+            Err(response) => response,
+        },
+        ("GET", "/fleet") => Response::json(200, pool::global().to_json(DEFAULT_LIVENESS_TTL)),
         ("GET", path) if path.starts_with("/jobs/") => {
             match path["/jobs/".len()..].parse::<u64>() {
                 Ok(id) => match ctx.registry.get(id) {
@@ -328,9 +368,11 @@ fn route(ctx: &Arc<Ctx>, request: &Request) -> Response {
                 Err(_) => Response::error(400, "job ids are decimal integers"),
             }
         }
-        (_, "/healthz" | "/metrics" | "/metrics.json" | "/simulate" | "/sweep") => {
-            Response::error(405, "method not allowed")
-        }
+        (
+            _,
+            "/healthz" | "/metrics" | "/metrics.json" | "/simulate" | "/sweep" | "/register"
+            | "/heartbeat" | "/fleet/dispatch" | "/fleet",
+        ) => Response::error(405, "method not allowed"),
         _ => Response::error(404, "no such endpoint"),
     }
 }
@@ -398,17 +440,47 @@ fn run_sweep_through_batcher(
     Ok(sweep_result_json(&outcomes, node))
 }
 
+/// Answers a frontier's job shard: runs it through the batcher (memo,
+/// dedup, disk cache and all) and reports each job's metrics as verbatim
+/// cache-entry text so the frontier can replicate them into its own store.
+fn handle_fleet_dispatch(ctx: &Arc<Ctx>, jobs: &[sigcomp_explore::JobSpec]) -> Response {
+    match ctx.batcher.submit_many(jobs) {
+        Ok(results) => {
+            let outcomes: Vec<DispatchOutcome> = jobs
+                .iter()
+                .zip(&results)
+                .map(|(&spec, result)| DispatchOutcome {
+                    spec,
+                    metrics: result.metrics,
+                    from_cache: result.from_cache,
+                })
+                .collect();
+            let obs = sigcomp_obs::global().snapshot();
+            // The report is the sigcomp-fleet wire text, not JSON; the
+            // frontier's parser reads the body and ignores Content-Type.
+            Response::json(200, proto::encode_report(&outcomes, &obs))
+        }
+        Err(e) => submit_error_response(e),
+    }
+}
+
 fn submit_error_response(e: SubmitError) -> Response {
-    let status = match e {
-        SubmitError::ShuttingDown => 503,
-        SubmitError::SimulationFailed => 500,
-    };
-    Response::error(status, &e.to_string())
+    match e {
+        SubmitError::ShuttingDown => Response::error(503, &e.to_string()),
+        // Shed, don't stall: the queue is full, so tell the client when to
+        // come back instead of tying up a connection thread.
+        SubmitError::Overloaded => Response::error(503, &e.to_string()).with_retry_after(1),
+        SubmitError::SimulationFailed => Response::error(500, &e.to_string()),
+    }
+}
+
+fn body_text(request: &Request) -> Result<&str, Response> {
+    std::str::from_utf8(&request.body)
+        .map_err(|_| Response::error(400, "request body is not UTF-8"))
 }
 
 fn parse_body(request: &Request) -> Result<Json, Response> {
-    let text = std::str::from_utf8(&request.body)
-        .map_err(|_| Response::error(400, "request body is not UTF-8"))?;
+    let text = body_text(request)?;
     Json::parse(text).map_err(|e| Response::error(400, &format!("invalid JSON body: {e}")))
 }
 
@@ -462,8 +534,64 @@ mod tests {
         assert_eq!(get(&ctx, "/healthz").status, 200);
         assert_eq!(get(&ctx, "/nope").status, 404);
         assert_eq!(post(&ctx, "/healthz", "").status, 405);
+        assert_eq!(get(&ctx, "/register").status, 405);
+        assert_eq!(get(&ctx, "/heartbeat").status, 405);
+        assert_eq!(get(&ctx, "/fleet/dispatch").status, 405);
+        assert_eq!(post(&ctx, "/fleet", "").status, 405);
         assert_eq!(get(&ctx, "/jobs/abc").status, 400);
         assert_eq!(get(&ctx, "/jobs/42").status, 404);
+    }
+
+    #[test]
+    fn register_and_heartbeat_feed_the_worker_pool() {
+        let ctx = test_ctx();
+        // The pool is process-global; a unique address keeps this test
+        // independent of anything else that touches it.
+        let addr = "serve-route-test.invalid:19001";
+        let r = post(&ctx, "/register", &proto::encode_register(addr, 4));
+        assert_eq!(r.status, 200, "{}", r.body);
+        let mut obs = sigcomp_obs::Snapshot::default();
+        obs.parse_wire_line("counter route.test.beats 1").unwrap();
+        let r = post(&ctx, "/heartbeat", &proto::encode_heartbeat(addr, 4, &obs));
+        assert_eq!(r.status, 200, "{}", r.body);
+        assert_eq!(post(&ctx, "/register", "nonsense").status, 400);
+        assert_eq!(post(&ctx, "/heartbeat", "nonsense").status, 400);
+        let fleet = get(&ctx, "/fleet");
+        assert_eq!(fleet.status, 200);
+        let doc = Json::parse(&fleet.body).unwrap();
+        let workers = doc.get("workers").and_then(Json::as_arr).unwrap();
+        let me = workers
+            .iter()
+            .find(|w| w.get("addr").and_then(Json::as_str) == Some(addr))
+            .expect("registered worker listed");
+        assert_eq!(me.get("heartbeats").and_then(Json::as_u64), Some(1));
+        assert_eq!(me.get("live").and_then(Json::as_bool), Some(true));
+        // /metrics embeds the same pool document as its fleet section.
+        let metrics = get(&ctx, "/metrics");
+        assert_eq!(metrics.status, 200);
+        let doc = Json::parse(&metrics.body).unwrap();
+        assert!(doc.get("fleet").and_then(|f| f.get("workers")).is_some());
+    }
+
+    #[test]
+    fn fleet_dispatch_round_trips_the_wire_protocol() {
+        use std::collections::HashSet;
+        let ctx = test_ctx();
+        let spec = sigcomp_explore::JobSpec {
+            scheme: sigcomp::ExtScheme::ThreeBit,
+            org: sigcomp_pipeline::OrgKind::ByteSerial,
+            workload: sigcomp_workloads::suite_names()[0],
+            size: sigcomp_workloads::WorkloadSize::Tiny,
+            mem: sigcomp_explore::MemProfile::Paper,
+            source: sigcomp_explore::TraceSource::Kernel,
+        };
+        let r = post(&ctx, "/fleet/dispatch", &proto::encode_dispatch(&[spec]));
+        assert_eq!(r.status, 200, "{}", r.body);
+        let expected: HashSet<u64> = [spec.job_id()].into();
+        let report = proto::parse_report(&r.body, &expected).expect("verifiable report");
+        assert_eq!(report.jobs.len(), 1);
+        assert_eq!(report.entries.len(), 1);
+        assert_eq!(post(&ctx, "/fleet/dispatch", "garbage").status, 400);
     }
 
     #[test]

@@ -14,12 +14,23 @@ use sigcomp_serve::{BatchConfig, Json, ServeConfig, Server};
 use sigcomp_workloads::suite_names;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
-use std::time::Instant;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 const CLIENTS: usize = 16;
 const REQUESTS_PER_CLIENT: usize = 25;
+/// How many times a `503`-shed request is retried (after honoring the
+/// server's `Retry-After`) before the load generator gives up on it.
+const SHED_RETRIES: u32 = 5;
 
-fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+/// One request, read to connection close: status, headers (lowercased
+/// names), body.
+fn http(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> (u16, Vec<(String, String)>, String) {
     let mut stream = TcpStream::connect(addr).expect("connect");
     let request = format!(
         "{method} {path} HTTP/1.1\r\nHost: load-gen\r\nContent-Length: {}\r\n\r\n{body}",
@@ -33,11 +44,28 @@ fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String)
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(0);
-    let body = raw
-        .split_once("\r\n\r\n")
-        .map(|(_, b)| b.to_owned())
-        .unwrap_or_default();
-    (status, body)
+    let (head, body) = raw.split_once("\r\n\r\n").unwrap_or((raw.as_str(), ""));
+    let headers = head
+        .lines()
+        .skip(1)
+        .filter_map(|line| line.split_once(':'))
+        .map(|(name, value)| (name.to_ascii_lowercase(), value.trim().to_owned()))
+        .collect();
+    (status, headers, body.to_owned())
+}
+
+/// Tallies of every response class the clients saw. The generator's exit
+/// code is derived from these: any request that never reached `200` makes
+/// the whole run fail.
+#[derive(Default)]
+struct Outcomes {
+    ok: AtomicU64,
+    /// `503` sheds that were retried (after the advertised `Retry-After`).
+    shed: AtomicU64,
+    /// Responses that ended a request without a `200`: any `5xx` other
+    /// than a shed, a `4xx`, a malformed response, or a shed that stayed
+    /// `503` through every retry.
+    failed: AtomicU64,
 }
 
 fn main() {
@@ -80,20 +108,47 @@ fn main() {
     // the same shared-handle pattern the server uses internally, so the
     // quantiles below come from the same bucket math as `/metrics`.
     let latency = Histogram::new(DEFAULT_SPAN_BOUNDS_US);
+    let outcomes = Outcomes::default();
     let started = Instant::now();
     std::thread::scope(|scope| {
         for client in 0..CLIENTS {
             let mix = &mix;
             let latency = &latency;
+            let outcomes = &outcomes;
             scope.spawn(move || {
                 for i in 0..REQUESTS_PER_CLIENT {
                     // Each client walks the mix from a different offset so
                     // in-flight batches overlap across clients.
                     let body = &mix[(client * 7 + i) % mix.len()];
                     let sent = Instant::now();
-                    let (status, payload) = http(addr, "POST", "/simulate", body);
+                    let mut attempts = 0;
+                    loop {
+                        let (status, headers, payload) = http(addr, "POST", "/simulate", body);
+                        if status == 503 && attempts < SHED_RETRIES {
+                            // Shed under load: honor the server's
+                            // Retry-After and try again.
+                            attempts += 1;
+                            outcomes.shed.fetch_add(1, Ordering::Relaxed);
+                            let wait = headers
+                                .iter()
+                                .find(|(name, _)| name == "retry-after")
+                                .and_then(|(_, value)| value.parse().ok())
+                                .unwrap_or(1u64);
+                            std::thread::sleep(Duration::from_secs(wait));
+                            continue;
+                        }
+                        if status == 200 {
+                            outcomes.ok.fetch_add(1, Ordering::Relaxed);
+                        } else {
+                            outcomes.failed.fetch_add(1, Ordering::Relaxed);
+                            eprintln!(
+                                "request failed: {status} for {body}: {}",
+                                payload.lines().next().unwrap_or_default()
+                            );
+                        }
+                        break;
+                    }
                     latency.observe(sent.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
-                    assert_eq!(status, 200, "{payload}");
                 }
             });
         }
@@ -106,6 +161,12 @@ fn main() {
         wall.as_secs_f64(),
         total as f64 / wall.as_secs_f64()
     );
+    let (ok, shed, failed) = (
+        outcomes.ok.load(Ordering::Relaxed),
+        outcomes.shed.load(Ordering::Relaxed),
+        outcomes.failed.load(Ordering::Relaxed),
+    );
+    println!("responses: {ok} ok, {shed} shed-then-retried (503), {failed} failed");
     let snap = latency.snapshot();
     println!(
         "client latency: p50 {:.0} us, p95 {:.0} us, p99 {:.0} us (min {} us, max {} us)",
@@ -116,7 +177,7 @@ fn main() {
         snap.max
     );
 
-    let (status, metrics_body) = http(addr, "GET", "/metrics", "");
+    let (status, _, metrics_body) = http(addr, "GET", "/metrics", "");
     assert_eq!(status, 200);
     let metrics = Json::parse(&metrics_body).expect("metrics JSON parses");
     let batch = metrics.get("batch").expect("batch section");
@@ -149,4 +210,8 @@ fn main() {
         mix.len()
     );
     server.shutdown();
+    if failed > 0 {
+        eprintln!("load_gen: {failed} of {total} requests failed");
+        std::process::exit(1);
+    }
 }

@@ -13,7 +13,8 @@ use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 
 /// A minimal raw HTTP/1.1 client: one request, read to connection close.
-fn http(addr: SocketAddr, method: &str, path: &str, body: Option<&str>) -> (u16, String) {
+/// Returns the status and the complete raw response (headers included).
+fn http_raw(addr: SocketAddr, method: &str, path: &str, body: Option<&str>) -> (u16, String) {
     let mut stream = TcpStream::connect(addr).expect("connect");
     let body = body.unwrap_or_default();
     let request = format!(
@@ -28,6 +29,12 @@ fn http(addr: SocketAddr, method: &str, path: &str, body: Option<&str>) -> (u16,
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or_else(|| panic!("malformed response: {raw:?}"));
+    (status, raw)
+}
+
+/// Like [`http_raw`] but discards the headers.
+fn http(addr: SocketAddr, method: &str, path: &str, body: Option<&str>) -> (u16, String) {
+    let (status, raw) = http_raw(addr, method, path, body);
     let payload = raw
         .split_once("\r\n\r\n")
         .map(|(_, b)| b.to_owned())
@@ -343,6 +350,85 @@ fn async_sweep_ticket_is_pollable_to_completion() {
             other => panic!("unexpected status {other:?}"),
         }
     }
+
+    server.shutdown();
+}
+
+#[test]
+fn full_queue_sheds_with_a_fast_503_and_retry_after() {
+    // Load-shedding regression: a single-slot queue behind a single-slot
+    // dispatcher. Concurrent interactive /simulate clients beyond queue
+    // room must get an immediate 503 with a Retry-After header — never a
+    // connection that silently hangs until the queue drains.
+    let server = Server::bind(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        batch: BatchConfig {
+            max_batch: 1,
+            queue_capacity: 1,
+            sim_workers: Some(1),
+            ..BatchConfig::default()
+        },
+        finished_tickets: 0,
+    })
+    .expect("bind")
+    .spawn();
+    let addr = server.addr();
+
+    // Distinct default-size jobs (slow enough to occupy the dispatcher) in
+    // bursts of concurrent clients; each round uses fresh configurations so
+    // the memo can never answer without queueing. Timing-dependent, so loop
+    // bursts until a shed is observed.
+    let jobs: Vec<JobSpec> = SweepSpec::paper(WorkloadSize::Default).enumerate();
+    let mut shed = None;
+    'rounds: for round in jobs.chunks(8).take(4) {
+        let responses: Vec<(u16, String)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = round
+                .iter()
+                .map(|job| {
+                    let body = format!(
+                        "{{\"workload\": \"{}\", \"size\": \"{}\", \"scheme\": \"{}\", \
+                         \"org\": \"{}\", \"mem\": \"{}\"}}",
+                        job.workload,
+                        job.size.name(),
+                        job.scheme.id(),
+                        job.org.id(),
+                        job.mem.id()
+                    );
+                    scope.spawn(move || http_raw(addr, "POST", "/simulate", Some(&body)))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (status, raw) in responses {
+            assert!(
+                status == 200 || status == 503,
+                "unexpected status {status}: {raw}"
+            );
+            if status == 503 {
+                shed = Some(raw);
+                break 'rounds;
+            }
+        }
+    }
+    let raw = shed.expect("a one-slot queue under concurrent bursts must shed");
+    let lowered = raw.to_ascii_lowercase();
+    assert!(
+        lowered.contains("\r\nretry-after:"),
+        "503 must carry Retry-After: {raw}"
+    );
+    assert!(lowered.contains("overloaded"), "{raw}");
+
+    // The shed is accounted on /metrics.
+    let metrics = get_json(addr, "/metrics");
+    let shed_count = metrics
+        .get("batch")
+        .and_then(|b| b.get("jobs_shed"))
+        .and_then(Json::as_u64)
+        .unwrap();
+    assert!(
+        shed_count >= 1,
+        "jobs_shed must count the 503: {shed_count}"
+    );
 
     server.shutdown();
 }
