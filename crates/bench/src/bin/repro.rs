@@ -81,8 +81,11 @@
 //!   --check FILE         only validate FILE against the report schema
 //!   --compare FILE       diff the fresh report against baseline FILE:
 //!                        shape metrics must match, throughput metrics may
-//!                        regress at most 4x; each violation is named and
+//!                        regress at most 2x; each violation is named and
 //!                        the exit code fails
+//!   --trajectory PATH    rolling history document each measuring run
+//!                        appends a compact row to
+//!                        (default: BENCH_trajectory.json)
 //!
 //! worker (the subprocess-backend shard protocol; normally spawned by
 //! `repro sweep --shards` or `repro serve --backend subprocess`, not by
@@ -151,8 +154,8 @@ serve options: [--addr HOST:PORT] [--max-batch N] [--backend local|subprocess[:N
 [--obs-log FILE] [--frontier HOST:PORT] [--self-addr HOST:PORT]
 [--heartbeat-ms N]
 bench options: [--quick] [--label NAME] [--out PATH] [--corpus DIR]
-[--compare BASELINE.json] [--obs-log FILE], or `repro bench --check FILE`
-to schema-validate a report";
+[--compare BASELINE.json] [--trajectory PATH] [--obs-log FILE], or
+`repro bench --check FILE` to schema-validate a report";
 
 fn usage() -> ExitCode {
     eprintln!("{USAGE}");
@@ -192,6 +195,7 @@ struct SweepArgs {
     bench_corpus: Option<String>,
     bench_check: Option<String>,
     bench_compare: Option<String>,
+    bench_trajectory: Option<String>,
     fleet_workers: Option<Vec<String>>,
     frontier: Option<String>,
     self_addr: Option<String>,
@@ -743,7 +747,7 @@ fn run_bench_command(args: &SweepArgs) -> ExitCode {
     println!("wrote {path}");
 
     // The regression gate: diff the fresh report against a baseline. Any
-    // violation (shape mismatch or a >4x throughput regression) is printed
+    // violation (shape mismatch or a >2x throughput regression) is printed
     // by name and fails the run — this is what CI diffs against the
     // checked-in baseline.
     if let Some(baseline_path) = &args.bench_compare {
@@ -769,7 +773,35 @@ fn run_bench_command(args: &SweepArgs) -> ExitCode {
             }
         }
     }
+
+    // Accumulate the perf trajectory: one compact row per measuring run,
+    // appended to a rolling document CI archives alongside the full report.
+    let trajectory_path = args
+        .bench_trajectory
+        .clone()
+        .unwrap_or_else(|| "BENCH_trajectory.json".to_owned());
+    let row = perf::trajectory_row(&report, &head_commit());
+    match perf::append_trajectory(std::path::Path::new(&trajectory_path), &row) {
+        Ok(rows) => println!("appended to {trajectory_path} ({rows} rows)"),
+        Err(e) => {
+            eprintln!("bench: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     ExitCode::SUCCESS
+}
+
+/// The short commit hash of `HEAD`, or `"unknown"` outside a git checkout.
+fn head_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|hash| hash.trim().to_owned())
+        .filter(|hash| !hash.is_empty())
+        .unwrap_or_else(|| "unknown".to_owned())
 }
 
 /// Parses a `--size` value with the same named error as the global flag.
@@ -949,7 +981,7 @@ fn trace_replay(args: &[String]) -> ExitCode {
     println!(
         "replaying {} ({} records, digest {:016x})",
         input.name(),
-        input.trace().len(),
+        input.decoded().len(),
         input.digest()
     );
     let mut spec = SweepSpec::full(WorkloadSize::Tiny)
@@ -1436,6 +1468,7 @@ fn main() -> ExitCode {
             "--corpus" => sweep_args.bench_corpus = Some(value_of!("--corpus")),
             "--check" => sweep_args.bench_check = Some(value_of!("--check")),
             "--compare" => sweep_args.bench_compare = Some(value_of!("--compare")),
+            "--trajectory" => sweep_args.bench_trajectory = Some(value_of!("--trajectory")),
             "--fleet" => {
                 let raw = value_of!("--fleet");
                 let workers: Vec<String> = raw
@@ -1590,6 +1623,7 @@ fn main() -> ExitCode {
             (sweep_args.bench_corpus.is_some(), "--corpus"),
             (sweep_args.bench_check.is_some(), "--check"),
             (sweep_args.bench_compare.is_some(), "--compare"),
+            (sweep_args.bench_trajectory.is_some(), "--trajectory"),
         ] {
             if set {
                 return fail(&format!("{flag} only applies to the bench subcommand"));

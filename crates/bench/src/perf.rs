@@ -4,7 +4,10 @@
 //! Three phases, each timed with a monotonic clock:
 //!
 //! 1. **replay** — the golden conformance corpus replayed through one
-//!    pipeline configuration: instructions per second of raw simulation.
+//!    pipeline configuration straight from its decode-once arenas
+//!    (one warm-up pass, then the fastest of [`REPLAY_PASSES`] timed
+//!    passes): instructions per second of raw simulation, free of sweep
+//!    machinery.
 //! 2. **sweep** — a standard tiny design-space sweep against a fresh
 //!    throwaway cache, run twice: cache-cold (every job simulated) and
 //!    cache-warm (every job loaded back), configurations per second each.
@@ -21,8 +24,8 @@
 use crate::golden::{self, GOLDEN_WORKLOADS};
 use sigcomp::{EnergyModel, ExtScheme};
 use sigcomp_explore::{
-    config_points, pareto_frontier, run_sweep, ExecBackend, MemProfile, ResultCache, SweepOptions,
-    SweepSpec, TraceInput,
+    config_points, pareto_frontier, run_sweep, simulate_decoded, ExecBackend, JobSpec, MemProfile,
+    ResultCache, SweepOptions, SweepSpec, TraceInput,
 };
 use sigcomp_pipeline::OrgKind;
 use sigcomp_serve::Json;
@@ -33,6 +36,19 @@ use std::time::Instant;
 
 /// The schema tag every report leads with; bump on incompatible changes.
 pub const SCHEMA: &str = "sigcomp-bench v1";
+
+/// Timed passes over the replay corpus; the fastest pass is reported. A
+/// single pass of the tiny golden traces lasts about a millisecond, which
+/// timer fixed costs and scheduler noise would dominate — and on shared
+/// (virtualized) hosts, whole slow epochs lasting hundreds of milliseconds
+/// appear and vanish. Spreading best-of sampling across a ~1 s window rides
+/// out both and reports the true steady-state rate of the hot loop.
+pub const REPLAY_PASSES: u32 = 1024;
+
+/// Minimum untimed warm-up before the replay passes are timed: long enough
+/// for the CPU frequency governor to ramp the measuring core, short enough
+/// to stay negligible next to the sweep phase.
+pub const WARMUP_FLOOR: std::time::Duration = std::time::Duration::from_millis(300);
 
 /// What to measure and how to label it.
 #[derive(Debug, Clone)]
@@ -184,21 +200,53 @@ pub fn run(options: &BenchOptions) -> Result<BenchReport, String> {
         };
         inputs.push(input);
     }
-    let replay_spec = SweepSpec::full(WorkloadSize::Tiny)
-        .no_kernels()
-        .trace_files(&inputs)
-        .schemes(&[ExtScheme::ThreeBit])
-        .orgs(&OrgKind::ALL[..1])
-        .mems(&[MemProfile::Paper]);
-    let start = Instant::now();
-    let replay_summary = run_sweep(&replay_spec, &SweepOptions::default());
-    let replay = Phase {
-        units: replay_summary
-            .outcomes
+    // Raw simulation throughput: each decode-once arena replayed straight
+    // through the models, single-threaded — no executor, no cache, no sweep
+    // machinery (the sweep phase times those). An untimed warm-up ramps the
+    // core, then the fastest of REPLAY_PASSES timed passes estimates the
+    // steady state the sweep hot loop actually runs at.
+    let replay_jobs: Vec<(JobSpec, &TraceInput)> = inputs
+        .iter()
+        .map(|input| {
+            let spec = JobSpec {
+                scheme: ExtScheme::ThreeBit,
+                org: OrgKind::ALL[0],
+                workload: input.name(),
+                size: WorkloadSize::Tiny,
+                mem: MemProfile::Paper,
+                source: input.source(),
+            };
+            (spec, input)
+        })
+        .collect();
+    let replay_pass = || -> u64 {
+        replay_jobs
             .iter()
-            .map(|o| o.metrics.instructions)
-            .sum(),
-        wall_s: start.elapsed().as_secs_f64(),
+            .map(|(spec, input)| simulate_decoded(spec, input.decoded()).instructions)
+            .sum()
+    };
+    // Warm up untimed until the clock governor has ramped this core to its
+    // steady-state frequency — a single ~1 ms pass is far too short for
+    // that, and timing against a half-ramped core understates the rate by
+    // 30-40 % on idle machines.
+    let warmup = Instant::now();
+    while warmup.elapsed() < WARMUP_FLOOR {
+        replay_pass();
+    }
+    let mut replay_instructions = 0u64;
+    let mut best_pass_s = f64::INFINITY;
+    for _ in 0..REPLAY_PASSES {
+        let start = Instant::now();
+        let pass_instructions = replay_pass();
+        best_pass_s = best_pass_s.min(start.elapsed().as_secs_f64());
+        replay_instructions = pass_instructions;
+    }
+    // The corpus is tiny (a pass lasts about a millisecond), so a sum over
+    // passes is dominated by scheduler noise; the fastest pass is the stable
+    // estimate of the steady-state rate the sweep hot loop runs at.
+    let replay = Phase {
+        units: replay_instructions,
+        wall_s: best_pass_s,
     };
 
     // Phase 2: the standard sweep, cache-cold then cache-warm.
@@ -354,11 +402,99 @@ pub fn validate(text: &str) -> Result<(), String> {
 
 /// The default `compare` tolerance: a throughput metric may be up to this
 /// many times slower than the baseline before it counts as a regression.
-/// Generous on purpose — CI machines and checked-in baselines differ in raw
-/// speed; the comparison is meant to catch order-of-magnitude cliffs
-/// (accidentally quadratic merges, a cache that stopped hitting), not 10%
-/// noise.
-pub const DEFAULT_MAX_SLOWDOWN: f64 = 4.0;
+/// CI machines and checked-in baselines differ in raw speed, so the
+/// comparison is meant to catch real cliffs (accidentally quadratic merges,
+/// a cache that stopped hitting), not 10% noise — but since the replay path
+/// went arena + table-dispatch the margin over the baseline is wide enough
+/// to hold the gate at 2x.
+pub const DEFAULT_MAX_SLOWDOWN: f64 = 2.0;
+
+/// Schema tag of the rolling `BENCH_trajectory.json` document.
+pub const TRAJECTORY_SCHEMA: &str = "sigcomp-bench-trajectory v1";
+
+/// Renders one compact trajectory row: the run's label, the commit it
+/// measured, and the four throughput metrics the compare gate watches.
+/// Single-line on purpose — [`append_trajectory`] recovers existing rows
+/// line-by-line.
+#[must_use]
+pub fn trajectory_row(report: &BenchReport, commit: &str) -> String {
+    format!(
+        "{{\"label\": \"{}\", \"commit\": \"{}\", \"quick\": {}, \
+         \"replay_instructions_per_sec\": {:.1}, \
+         \"sweep_cold_configs_per_sec\": {:.1}, \
+         \"sweep_warm_configs_per_sec\": {:.1}, \
+         \"frontier_points_per_sec\": {:.1}}}",
+        sigcomp_serve::json::escape(&report.label),
+        sigcomp_serve::json::escape(commit),
+        report.quick,
+        report.replay.rate(),
+        report.sweep_cold.rate(),
+        report.sweep_warm.rate(),
+        report.frontier.rate()
+    )
+}
+
+/// Appends one [`trajectory_row`] to the rolling trajectory document,
+/// creating it when absent, and returns the total row count. The document
+/// is a plain JSON object (`{"schema": ..., "rows": [...]}`) with one row
+/// per line, so history accumulates without ever re-serializing old rows.
+///
+/// # Errors
+///
+/// Fails when an existing file is unreadable, is not a
+/// [`TRAJECTORY_SCHEMA`] document, or has lost its one-row-per-line shape
+/// (better to stop than to silently drop history).
+pub fn append_trajectory(path: &std::path::Path, row: &str) -> Result<usize, String> {
+    let mut rows: Vec<String> = Vec::new();
+    match std::fs::read_to_string(path) {
+        Ok(text) => {
+            let doc = Json::parse(&text)
+                .map_err(|e| format!("trajectory {}: invalid JSON: {e}", path.display()))?;
+            if doc.get("schema").and_then(Json::as_str) != Some(TRAJECTORY_SCHEMA) {
+                return Err(format!(
+                    "trajectory {}: not a \"{TRAJECTORY_SCHEMA}\" document",
+                    path.display()
+                ));
+            }
+            let declared = doc
+                .get("rows")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| format!("trajectory {}: \"rows\" is not an array", path.display()))?
+                .len();
+            // Rows are emitted one per line, each starting with "label".
+            rows.extend(
+                text.lines()
+                    .map(|line| line.trim().trim_end_matches(','))
+                    .filter(|line| line.starts_with("{\"label\""))
+                    .map(str::to_owned),
+            );
+            if rows.len() != declared {
+                return Err(format!(
+                    "trajectory {}: found {} row lines but \"rows\" declares {declared} — \
+                     restore the one-row-per-line layout before appending",
+                    path.display(),
+                    rows.len()
+                ));
+            }
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+        Err(e) => return Err(format!("trajectory {}: {e}", path.display())),
+    }
+    rows.push(row.to_owned());
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"{TRAJECTORY_SCHEMA}\",");
+    out.push_str("  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(out, "    {row}{comma}");
+    }
+    out.push_str("  ]\n}\n");
+    Json::parse(&out).map_err(|e| format!("trajectory row is not valid JSON: {e}"))?;
+    std::fs::write(path, &out).map_err(|e| format!("trajectory {}: {e}", path.display()))?;
+    Ok(rows.len())
+}
 
 /// Reads the `f64` at a dotted `path` (e.g. `"sweep.cold.configs_per_sec"`).
 fn metric(json: &Json, path: &str) -> Result<f64, String> {
@@ -563,6 +699,49 @@ mod tests {
             violations[0].starts_with("current report:"),
             "{violations:?}"
         );
+    }
+
+    #[test]
+    fn trajectory_accumulates_one_row_per_run() {
+        let dir = std::env::temp_dir().join(format!("sigcomp-trajectory-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_trajectory.json");
+        let _ = std::fs::remove_file(&path);
+
+        let row = trajectory_row(&sample_report(), "abc123def456");
+        assert_eq!(append_trajectory(&path, &row).unwrap(), 1);
+        assert_eq!(append_trajectory(&path, &row).unwrap(), 2);
+
+        let doc = Json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some(TRAJECTORY_SCHEMA)
+        );
+        let rows = doc.get("rows").and_then(Json::as_arr).unwrap();
+        assert_eq!(rows.len(), 2);
+        for row in rows {
+            assert_eq!(row.get("label").and_then(Json::as_str), Some("unit"));
+            assert_eq!(
+                row.get("commit").and_then(Json::as_str),
+                Some("abc123def456")
+            );
+            assert_eq!(
+                row.get("replay_instructions_per_sec")
+                    .and_then(Json::as_f64),
+                Some(2000.0)
+            );
+        }
+
+        // A foreign or mangled file is refused, never overwritten.
+        let foreign = dir.join("not-a-trajectory.json");
+        std::fs::write(&foreign, "{\"schema\": \"something else\", \"rows\": []}").unwrap();
+        let err = append_trajectory(&foreign, &row).unwrap_err();
+        assert!(err.contains("not a"), "{err}");
+        std::fs::write(&foreign, "mangled").unwrap();
+        let err = append_trajectory(&foreign, &row).unwrap_err();
+        assert!(err.contains("invalid JSON"), "{err}");
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -812,6 +812,7 @@ fn sharded_obs_totals_match_the_single_process_run() {
 fn bench_quick_emits_a_schema_valid_report_and_check_validates_it() {
     let dir = temp_dir("bench-quick");
     let report = dir.join("bench.json");
+    let trajectory = dir.join("trajectory.json");
     let out = repro(&[
         "bench",
         "--quick",
@@ -819,12 +820,21 @@ fn bench_quick_emits_a_schema_valid_report_and_check_validates_it() {
         "smoke",
         "--out",
         report.to_str().unwrap(),
+        "--trajectory",
+        trajectory.to_str().unwrap(),
     ]);
     assert!(out.status.success(), "{}", stderr(&out));
     let text = String::from_utf8_lossy(&out.stdout).into_owned();
     assert!(text.contains("bench: label smoke (quick)"), "{text}");
     assert!(text.contains("replay:"), "{text}");
     assert!(text.contains("frontier:"), "{text}");
+    assert!(text.contains("appended to"), "{text}");
+    let traj = std::fs::read_to_string(&trajectory).expect("trajectory written");
+    assert!(
+        traj.contains("\"schema\": \"sigcomp-bench-trajectory v1\""),
+        "{traj}"
+    );
+    assert!(traj.contains("{\"label\": \"smoke\""), "{traj}");
 
     let json = std::fs::read_to_string(&report).expect("report written");
     assert!(json.contains("\"schema\": \"sigcomp-bench v1\""), "{json}");

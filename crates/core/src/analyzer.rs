@@ -175,6 +175,15 @@ impl TraceAnalyzer {
     /// Observes one retired instruction.
     pub fn observe(&mut self, rec: &ExecRecord) {
         let cost = instr_cost(rec, self.config.scheme, &self.config.recoder);
+        self.observe_with_cost(rec, &cost);
+    }
+
+    /// [`TraceAnalyzer::observe`] with the record's [`InstrCost`] supplied
+    /// by the caller — for drivers that also feed a timing model and want
+    /// to distil the record once instead of once per model. The cost must
+    /// come from `instr_cost(rec, ...)` under this analyzer's scheme and
+    /// recoder, or the activity accounting is meaningless.
+    pub fn observe_with_cost(&mut self, rec: &ExecRecord, cost: &InstrCost) {
         self.stats.observe(rec);
 
         // ---- instruction fetch (I-cache data array + I-TLB) ----------------
@@ -201,9 +210,12 @@ impl TraceAnalyzer {
         }
 
         // ---- register-file reads -------------------------------------------
-        for value in rec.source_values() {
-            let stored = self.regfile.read(value);
-            self.rf_read_gate.occupy(u64::from(stored), WORD_LANES);
+        // The significance counts were already produced by the batched
+        // `instr_cost` pass for the same operand values; reuse them instead
+        // of recomputing per bank access.
+        for bytes in [cost.rs_bytes, cost.rt_bytes].into_iter().flatten() {
+            self.regfile.record_read(bytes);
+            self.rf_read_gate.occupy(u64::from(bytes), WORD_LANES);
         }
 
         // ---- ALU -------------------------------------------------------------
@@ -235,23 +247,22 @@ impl TraceAnalyzer {
                 // contents, so the accessed word's value stands in for its
                 // neighbours (documented approximation; fills are a small
                 // fraction of accesses at the paper's miss rates).
-                let words = self.hierarchy.l1_line_bytes() / 4;
+                let words = u64::from(self.hierarchy.l1_line_bytes() / 4);
                 let fill_sig = u64::from(significant_bytes(mem.value, self.config.scheme));
-                for _ in 0..words {
-                    self.dcache.fill_word(mem.value);
-                    self.dcache_gate.occupy(fill_sig, WORD_LANES);
-                }
+                self.dcache.fill_line(mem.value, words);
+                self.dcache_gate
+                    .occupy(fill_sig * words, WORD_LANES * words);
             }
         }
 
         // ---- register write-back --------------------------------------------
-        if let Some(value) = rec.result_value() {
-            let stored = self.regfile.write(value);
-            self.rf_write_gate.occupy(u64::from(stored), WORD_LANES);
+        if let Some(bytes) = cost.result_bytes {
+            self.regfile.record_write(bytes);
+            self.rf_write_gate.occupy(u64::from(bytes), WORD_LANES);
         }
 
         // ---- pipeline latches ------------------------------------------------
-        let latched = self.latched_bits(&cost);
+        let latched = self.latched_bits(cost);
         self.latches.add(latched, BASELINE_LATCH_BITS);
         self.latches.add_gating(
             BASELINE_LATCH_LANES.saturating_sub(latched.div_ceil(8)),

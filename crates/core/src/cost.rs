@@ -8,7 +8,7 @@
 //! `sigcomp-pipeline` turn the same costs into per-stage cycle counts.
 
 use crate::alu::{self, AluOutcome, LogicOp, ShiftOp};
-use crate::ext::{significant_bytes, ExtScheme};
+use crate::ext::{significant_bytes, significant_bytes_x4, ExtScheme};
 use crate::ifetch::{compress_instruction, CompressedInstr, FunctRecoder};
 use sigcomp_isa::{ExecRecord, Op};
 
@@ -86,54 +86,126 @@ impl InstrCost {
     }
 }
 
+/// How an operation uses the ALU datapath — the attribute looked up per
+/// opcode instead of re-deriving it through a 45-arm match on every record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AluUse {
+    /// Add of `rs` and the second-operand selector's value.
+    Add(Operand2),
+    /// Subtract of the second operand from `rs`.
+    Sub(Operand2),
+    /// Bitwise logic of `rs` and the second operand.
+    Logic(LogicOp, Operand2),
+    /// Compare `rs` against the second operand (`signed` selects the flag).
+    Compare(Operand2, bool),
+    /// `lui`: the ALU produces `imm << 16` directly.
+    Lui,
+    /// Shift of `rt` by the amount selector's value.
+    Shift(ShiftOp, ShiftAmount),
+    /// Multiply/divide of `rs` and `rt` into HI/LO.
+    MulDiv,
+    /// HI/LO moves pass one value through the datapath unchanged.
+    HiLoMove,
+    /// Sign/zero test of `rs` against zero (REGIMM and z-branches).
+    SignTest,
+    /// The ALU is idle (jumps, `break`).
+    Unused,
+}
+
+/// Second-operand selector for [`AluUse`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Operand2 {
+    Rt,
+    ImmSe,
+    ImmZe,
+}
+
+/// Shift-amount selector for [`AluUse`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ShiftAmount {
+    Shamt,
+    Rs,
+}
+
+const fn alu_use_of(op: Op) -> AluUse {
+    use AluUse::*;
+    match op {
+        Op::Add | Op::Addu => Add(Operand2::Rt),
+        Op::Sub | Op::Subu => Sub(Operand2::Rt),
+        Op::Addi | Op::Addiu => Add(Operand2::ImmSe),
+        Op::And => Logic(LogicOp::And, Operand2::Rt),
+        Op::Or => Logic(LogicOp::Or, Operand2::Rt),
+        Op::Xor => Logic(LogicOp::Xor, Operand2::Rt),
+        Op::Nor => Logic(LogicOp::Nor, Operand2::Rt),
+        Op::Andi => Logic(LogicOp::And, Operand2::ImmZe),
+        Op::Ori => Logic(LogicOp::Or, Operand2::ImmZe),
+        Op::Xori => Logic(LogicOp::Xor, Operand2::ImmZe),
+        Op::Slt => Compare(Operand2::Rt, true),
+        Op::Sltu => Compare(Operand2::Rt, false),
+        Op::Slti => Compare(Operand2::ImmSe, true),
+        Op::Sltiu => Compare(Operand2::ImmSe, false),
+        Op::Lui => Lui,
+        Op::Sll => Shift(ShiftOp::Left, ShiftAmount::Shamt),
+        Op::Srl => Shift(ShiftOp::RightLogical, ShiftAmount::Shamt),
+        Op::Sra => Shift(ShiftOp::RightArithmetic, ShiftAmount::Shamt),
+        Op::Sllv => Shift(ShiftOp::Left, ShiftAmount::Rs),
+        Op::Srlv => Shift(ShiftOp::RightLogical, ShiftAmount::Rs),
+        Op::Srav => Shift(ShiftOp::RightArithmetic, ShiftAmount::Rs),
+        Op::Mult | Op::Multu | Op::Div | Op::Divu => MulDiv,
+        Op::Mfhi | Op::Mflo | Op::Mthi | Op::Mtlo => HiLoMove,
+        // Loads/stores use the adder for address generation.
+        Op::Lb | Op::Lbu | Op::Lh | Op::Lhu | Op::Lw | Op::Sb | Op::Sh | Op::Sw => {
+            Add(Operand2::ImmSe)
+        }
+        Op::Beq | Op::Bne => Compare(Operand2::Rt, true),
+        Op::Blez | Op::Bgtz | Op::Bltz | Op::Bgez => SignTest,
+        Op::J | Op::Jal | Op::Jr | Op::Jalr | Op::Break => Unused,
+    }
+}
+
+/// Per-opcode ALU attribute table, indexed by `op as usize` (declaration
+/// order is the discriminant, pinned by `Op::ALL`).
+const ALU_USE: [AluUse; Op::ALL.len()] = {
+    let mut table = [AluUse::Unused; Op::ALL.len()];
+    let mut i = 0;
+    while i < Op::ALL.len() {
+        table[i] = alu_use_of(Op::ALL[i]);
+        i += 1;
+    }
+    table
+};
+
 fn alu_outcome(rec: &ExecRecord, scheme: ExtScheme) -> Option<AluOutcome> {
-    let op = rec.instr.op;
     let rs = rec.rs_value.unwrap_or(0);
     let rt = rec.rt_value.unwrap_or(0);
-    let imm_se = rec.instr.imm_se() as u32;
-    let imm_ze = rec.instr.imm_ze();
+    let operand2 = |sel: Operand2| match sel {
+        Operand2::Rt => rt,
+        Operand2::ImmSe => rec.instr.imm_se() as u32,
+        Operand2::ImmZe => rec.instr.imm_ze(),
+    };
 
-    let outcome = match op {
-        Op::Add | Op::Addu => alu::add(rs, rt, scheme),
-        Op::Sub | Op::Subu => alu::sub(rs, rt, scheme),
-        Op::Addi | Op::Addiu => alu::add(rs, imm_se, scheme),
-        Op::And => alu::logic(LogicOp::And, rs, rt, scheme),
-        Op::Or => alu::logic(LogicOp::Or, rs, rt, scheme),
-        Op::Xor => alu::logic(LogicOp::Xor, rs, rt, scheme),
-        Op::Nor => alu::logic(LogicOp::Nor, rs, rt, scheme),
-        Op::Andi => alu::logic(LogicOp::And, rs, imm_ze, scheme),
-        Op::Ori => alu::logic(LogicOp::Or, rs, imm_ze, scheme),
-        Op::Xori => alu::logic(LogicOp::Xor, rs, imm_ze, scheme),
-        Op::Slt => alu::compare(rs, rt, true, scheme),
-        Op::Sltu => alu::compare(rs, rt, false, scheme),
-        Op::Slti => alu::compare(rs, imm_se, true, scheme),
-        Op::Sltiu => alu::compare(rs, imm_se, false, scheme),
-        Op::Lui => {
-            let result = imm_ze << 16;
+    let outcome = match ALU_USE[rec.instr.op as usize] {
+        AluUse::Add(sel) => alu::add(rs, operand2(sel), scheme),
+        AluUse::Sub(sel) => alu::sub(rs, operand2(sel), scheme),
+        AluUse::Logic(op, sel) => alu::logic(op, rs, operand2(sel), scheme),
+        AluUse::Compare(sel, signed) => alu::compare(rs, operand2(sel), signed, scheme),
+        AluUse::Lui => {
+            let result = rec.instr.imm_ze() << 16;
             AluOutcome {
                 result,
                 bytes_operated: significant_bytes(result, scheme).max(1),
                 baseline_bytes: 4,
             }
         }
-        Op::Sll => alu::shift(ShiftOp::Left, rt, u32::from(rec.instr.shamt), scheme),
-        Op::Srl => alu::shift(
-            ShiftOp::RightLogical,
-            rt,
-            u32::from(rec.instr.shamt),
-            scheme,
-        ),
-        Op::Sra => alu::shift(
-            ShiftOp::RightArithmetic,
-            rt,
-            u32::from(rec.instr.shamt),
-            scheme,
-        ),
-        Op::Sllv => alu::shift(ShiftOp::Left, rt, rs, scheme),
-        Op::Srlv => alu::shift(ShiftOp::RightLogical, rt, rs, scheme),
-        Op::Srav => alu::shift(ShiftOp::RightArithmetic, rt, rs, scheme),
-        Op::Mult | Op::Multu | Op::Div | Op::Divu => alu::muldiv(rs, rt, scheme),
-        Op::Mfhi | Op::Mflo | Op::Mthi | Op::Mtlo => {
+        AluUse::Shift(op, amount) => {
+            let amount = match amount {
+                ShiftAmount::Shamt => u32::from(rec.instr.shamt),
+                ShiftAmount::Rs => rs,
+            };
+            alu::shift(op, rt, amount, scheme)
+        }
+        AluUse::MulDiv => alu::muldiv(rs, rt, scheme),
+        AluUse::HiLoMove => {
             // HI/LO moves pass one value through the ALU datapath unchanged.
             let moved = rec.result_value().unwrap_or(rs);
             AluOutcome {
@@ -142,12 +214,7 @@ fn alu_outcome(rec: &ExecRecord, scheme: ExtScheme) -> Option<AluOutcome> {
                 baseline_bytes: 4,
             }
         }
-        Op::Lb | Op::Lbu | Op::Lh | Op::Lhu | Op::Lw | Op::Sb | Op::Sh | Op::Sw => {
-            // Address generation: base + sign-extended offset.
-            alu::add(rs, imm_se, scheme)
-        }
-        Op::Beq | Op::Bne => alu::compare(rs, rt, true, scheme),
-        Op::Blez | Op::Bgtz | Op::Bltz | Op::Bgez => {
+        AluUse::SignTest => {
             // Sign/zero test against zero: a subtract of zero, i.e. the
             // significant bytes of rs must be examined.
             AluOutcome {
@@ -156,7 +223,7 @@ fn alu_outcome(rec: &ExecRecord, scheme: ExtScheme) -> Option<AluOutcome> {
                 baseline_bytes: 4,
             }
         }
-        Op::J | Op::Jal | Op::Jr | Op::Jalr | Op::Break => return None,
+        AluUse::Unused => return None,
     };
     Some(outcome)
 }
@@ -167,13 +234,25 @@ fn alu_outcome(rec: &ExecRecord, scheme: ExtScheme) -> Option<AluOutcome> {
 pub fn instr_cost(rec: &ExecRecord, scheme: ExtScheme, recoder: &FunctRecoder) -> InstrCost {
     let op = rec.instr.op;
     let fetch = compress_instruction(&rec.instr, recoder);
-    let rs_bytes = rec.rs_value.map(|v| significant_bytes(v, scheme));
-    let rt_bytes = rec.rt_value.map(|v| significant_bytes(v, scheme));
-    let result_bytes = rec.result_value().map(|v| significant_bytes(v, scheme));
+    let result = rec.result_value();
+    // One branchless four-lane batch counts every per-value significance the
+    // cost vector needs; the Option structure is re-applied afterwards.
+    let [rs_sig, rt_sig, result_sig, mem_sig] = significant_bytes_x4(
+        [
+            rec.rs_value.unwrap_or(0),
+            rec.rt_value.unwrap_or(0),
+            result.unwrap_or(0),
+            rec.mem.map_or(0, |m| m.value),
+        ],
+        scheme,
+    );
+    let rs_bytes = rec.rs_value.map(|_| rs_sig);
+    let rt_bytes = rec.rt_value.map(|_| rt_sig);
+    let result_bytes = result.map(|_| result_sig);
     let alu = alu_outcome(rec, scheme);
     let mem = rec.mem.map(|m| MemCost {
         width_bytes: m.width,
-        sig_bytes: significant_bytes(m.value, scheme)
+        sig_bytes: mem_sig
             .min(m.width)
             .max(scheme.granule_bytes() as u8)
             .min(m.width.max(scheme.granule_bytes() as u8)),
@@ -216,6 +295,16 @@ mod tests {
 
     fn recoder() -> FunctRecoder {
         FunctRecoder::paper_default()
+    }
+
+    #[test]
+    fn alu_attribute_table_is_indexed_by_declaration_order() {
+        for &op in Op::ALL {
+            assert_eq!(ALU_USE[op as usize], alu_use_of(op), "{op}");
+        }
+        assert_eq!(ALU_USE[Op::Addu as usize], AluUse::Add(Operand2::Rt));
+        assert_eq!(ALU_USE[Op::Lw as usize], AluUse::Add(Operand2::ImmSe));
+        assert_eq!(ALU_USE[Op::Jr as usize], AluUse::Unused);
     }
 
     #[test]

@@ -50,10 +50,18 @@ impl DCacheActivity {
     /// Records the fill of one word of a cache line (extension bits are
     /// generated at fill time).
     pub fn fill_word(&mut self, value: u32) {
-        self.fill_words += 1;
+        self.fill_line(value, 1);
+    }
+
+    /// Records a whole line fill of `words` identical words in one batch
+    /// (the analyzer's stand-in fill, where the accessed word's value
+    /// represents its line neighbours).
+    pub fn fill_line(&mut self, value: u32, words: u64) {
+        self.fill_words += words;
         let sig = significant_bytes(value, self.scheme);
-        self.compressed_data_bits += u64::from(sig) * 8 + u64::from(self.scheme.overhead_bits());
-        self.baseline_data_bits += 32;
+        self.compressed_data_bits +=
+            words * (u64::from(sig) * 8 + u64::from(self.scheme.overhead_bits()));
+        self.baseline_data_bits += words * 32;
     }
 
     /// Number of load/store accesses observed.

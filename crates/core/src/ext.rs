@@ -107,57 +107,79 @@ pub fn word_bytes(value: u32) -> [u8; WORD_BYTES] {
     value.to_le_bytes()
 }
 
-/// The per-byte significance mask of `value` under `scheme`.
+/// The packed per-byte significance mask of `value` under `scheme`: bit *i*
+/// set means byte *i* must be stored/operated on.
+///
+/// This is the branchless core every hot-path helper reduces to — no
+/// `[bool; 4]` materialization, no per-byte loop. Byte 0 is always
+/// significant; for the halfword scheme bytes 0 and 1 are always significant
+/// and bytes 2 and 3 share one decision.
+#[must_use]
+#[inline]
+pub fn sig_bits(value: u32, scheme: ExtScheme) -> u8 {
+    match scheme {
+        ExtScheme::ThreeBit => {
+            // Byte i (1..=3) is significant iff it differs from the sign
+            // extension of byte i-1. Build all three extension bytes at
+            // once: spread the sign bits of bytes 0..=2 into full 0x00/0xff
+            // fill bytes (the per-lane multiply cannot carry across lanes),
+            // shift them up a lane and XOR — a nonzero upper byte of `diff`
+            // marks a significant byte.
+            let fill = (((value & 0x0080_8080) >> 7) * 0xff) << 8;
+            let diff = value ^ fill;
+            1 | (u8::from(diff & 0x0000_ff00 != 0) << 1)
+                | (u8::from(diff & 0x00ff_0000 != 0) << 2)
+                | (u8::from(diff & 0xff00_0000 != 0) << 3)
+        }
+        ExtScheme::TwoBit => (1u8 << significant_bytes_prefix(value)) - 1,
+        ExtScheme::Halfword => {
+            let upper_sig = u8::from(value != ((value as u16) as i16 as i32 as u32));
+            0b0011 | (0b1100 * upper_sig)
+        }
+    }
+}
+
+/// The per-byte significance mask of `value` under `scheme`, unpacked.
 ///
 /// `mask[i]` is `true` when byte *i* must be stored/operated on. Byte 0 is
 /// always significant; for the halfword scheme bytes 0 and 1 are always
 /// significant and bytes 2 and 3 share one decision.
 #[must_use]
 pub fn sig_mask(value: u32, scheme: ExtScheme) -> [bool; WORD_BYTES] {
-    let bytes = word_bytes(value);
-    match scheme {
-        ExtScheme::ThreeBit => {
-            let mut mask = [true; WORD_BYTES];
-            for i in 1..WORD_BYTES {
-                mask[i] = bytes[i] != sign_extension_of(bytes[i - 1]);
-            }
-            mask
-        }
-        ExtScheme::TwoBit => {
-            let n = significant_bytes_prefix(value) as usize;
-            let mut mask = [false; WORD_BYTES];
-            for (i, m) in mask.iter_mut().enumerate() {
-                *m = i < n;
-            }
-            mask
-        }
-        ExtScheme::Halfword => {
-            let upper_insignificant = value == ((value as u16) as i16 as i32 as u32);
-            [true, true, !upper_insignificant, !upper_insignificant]
-        }
-    }
+    let bits = sig_bits(value, scheme);
+    [bits & 1 != 0, bits & 2 != 0, bits & 4 != 0, bits & 8 != 0]
 }
 
 /// Number of significant granules (bytes or halfwords) of `value` under
 /// `scheme`. For byte schemes the result is in 1..=4; for the halfword
 /// scheme it is 2 or 4 (expressed in bytes).
 #[must_use]
+#[inline]
 pub fn significant_bytes(value: u32, scheme: ExtScheme) -> u8 {
-    sig_mask(value, scheme).iter().filter(|&&b| b).count() as u8
+    sig_bits(value, scheme).count_ones() as u8
+}
+
+/// [`significant_bytes`] over four values at once — the shape the per-record
+/// cost model wants (fetch word, two operands, result), wide enough for the
+/// compiler to keep the whole batch in registers.
+#[must_use]
+#[inline]
+pub fn significant_bytes_x4(values: [u32; WORD_BYTES], scheme: ExtScheme) -> [u8; WORD_BYTES] {
+    values.map(|v| significant_bytes(v, scheme))
 }
 
 /// The minimal number of low-order bytes whose sign extension reproduces
 /// `value` (the quantity encoded by the two-bit scheme).
 #[must_use]
+#[inline]
 pub fn significant_bytes_prefix(value: u32) -> u8 {
-    for n in 1..WORD_BYTES as u32 {
-        let shift = 32 - 8 * n;
-        let truncated = ((value << shift) as i32 >> shift) as u32;
-        if truncated == value {
-            return n as u8;
-        }
-    }
-    WORD_BYTES as u8
+    // Folding the sign away (negative values keep the prefix length of
+    // their complement) leaves the question "how many bytes hold the
+    // value's magnitude plus its sign bit", which is a leading-zeros count:
+    // bit length + 1 sign bit, rounded up to whole bytes.
+    let folded = value ^ (((value as i32) >> 31) as u32);
+    let bits = 33 - folded.leading_zeros();
+    bits.div_ceil(8) as u8
 }
 
 /// The encoded extension bits of `value` under `scheme`.
@@ -167,20 +189,12 @@ pub fn significant_bytes_prefix(value: u32) -> u8 {
 ///   *i−1* (bit 0 ↔ byte 1, bit 2 ↔ byte 3),
 /// * halfword: bit 0 set when the upper halfword is insignificant.
 #[must_use]
+#[inline]
 pub fn ext_bits(value: u32, scheme: ExtScheme) -> u8 {
     match scheme {
         ExtScheme::TwoBit => (WORD_BYTES as u8) - significant_bytes_prefix(value),
-        ExtScheme::ThreeBit => {
-            let mask = sig_mask(value, scheme);
-            let mut bits = 0u8;
-            for (i, &significant) in mask.iter().enumerate().skip(1) {
-                if !significant {
-                    bits |= 1 << (i - 1);
-                }
-            }
-            bits
-        }
-        ExtScheme::Halfword => u8::from(!sig_mask(value, scheme)[2]),
+        ExtScheme::ThreeBit => (!sig_bits(value, scheme) >> 1) & 0b111,
+        ExtScheme::Halfword => u8::from(sig_bits(value, scheme) & 0b0100 == 0),
     }
 }
 
@@ -447,6 +461,96 @@ mod tests {
             for &scheme in ExtScheme::ALL {
                 let c = CompressedWord::compress(v, scheme);
                 assert_eq!(c.decompress(), v, "value {v:#x} under {scheme}");
+            }
+        }
+    }
+
+    /// The pre-optimization reference implementations, kept verbatim so the
+    /// branchless rewrites are pinned against them over a wide value sweep.
+    mod reference {
+        use super::super::*;
+
+        pub fn sig_mask(value: u32, scheme: ExtScheme) -> [bool; WORD_BYTES] {
+            let bytes = word_bytes(value);
+            match scheme {
+                ExtScheme::ThreeBit => {
+                    let mut mask = [true; WORD_BYTES];
+                    for i in 1..WORD_BYTES {
+                        mask[i] = bytes[i] != sign_extension_of(bytes[i - 1]);
+                    }
+                    mask
+                }
+                ExtScheme::TwoBit => {
+                    let n = significant_bytes_prefix(value) as usize;
+                    let mut mask = [false; WORD_BYTES];
+                    for (i, m) in mask.iter_mut().enumerate() {
+                        *m = i < n;
+                    }
+                    mask
+                }
+                ExtScheme::Halfword => {
+                    let upper_insignificant = value == ((value as u16) as i16 as i32 as u32);
+                    [true, true, !upper_insignificant, !upper_insignificant]
+                }
+            }
+        }
+
+        pub fn significant_bytes_prefix(value: u32) -> u8 {
+            for n in 1..WORD_BYTES as u32 {
+                let shift = 32 - 8 * n;
+                let truncated = ((value << shift) as i32 >> shift) as u32;
+                if truncated == value {
+                    return n as u8;
+                }
+            }
+            WORD_BYTES as u8
+        }
+    }
+
+    #[test]
+    fn branchless_rewrites_match_the_reference_implementations() {
+        let interesting = (0..=20u32)
+            .flat_map(|b| {
+                let base = 1u32 << (b % 32);
+                [
+                    base.wrapping_sub(1),
+                    base,
+                    base.wrapping_add(1),
+                    !base,
+                    base.wrapping_neg(),
+                ]
+            })
+            .chain((0..200_000u32).map(|i| i.wrapping_mul(2_654_435_761)))
+            .chain([0, 1, 0x7f, 0x80, 0xff, 0xffff_ffff, 0x8000_0000]);
+        for v in interesting {
+            assert_eq!(
+                significant_bytes_prefix(v),
+                reference::significant_bytes_prefix(v),
+                "prefix of {v:#010x}"
+            );
+            for &scheme in ExtScheme::ALL {
+                let expect = reference::sig_mask(v, scheme);
+                assert_eq!(sig_mask(v, scheme), expect, "{v:#010x} under {scheme}");
+                let bits = sig_bits(v, scheme);
+                for (i, &sig) in expect.iter().enumerate() {
+                    assert_eq!(bits & (1 << i) != 0, sig, "{v:#010x} byte {i} {scheme}");
+                }
+                assert_eq!(
+                    significant_bytes(v, scheme),
+                    expect.iter().filter(|&&b| b).count() as u8,
+                    "{v:#010x} under {scheme}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_counts_match_the_scalar_helper() {
+        let batch = [0x0000_0004, 0x1000_0009, 0xffe7_0004, 0xdead_beef];
+        for &scheme in ExtScheme::ALL {
+            let wide = significant_bytes_x4(batch, scheme);
+            for (i, &v) in batch.iter().enumerate() {
+                assert_eq!(wide[i], significant_bytes(v, scheme));
             }
         }
     }

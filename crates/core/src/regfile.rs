@@ -58,18 +58,31 @@ impl RegFileActivity {
     /// banks) that had to be accessed.
     pub fn read(&mut self, value: u32) -> u8 {
         let bytes = significant_bytes(value, self.scheme);
+        self.record_read(bytes);
+        bytes
+    }
+
+    /// Records a read whose significant-byte count the caller already
+    /// computed (the batched replay path counts all of a record's values in
+    /// one pass and hands the counts down).
+    pub fn record_read(&mut self, bytes: u8) {
         self.reads += 1;
         self.read_bytes += u64::from(bytes);
-        bytes
     }
 
     /// Records a register write of `value`. Returns the number of bytes
     /// written.
     pub fn write(&mut self, value: u32) -> u8 {
         let bytes = significant_bytes(value, self.scheme);
+        self.record_write(bytes);
+        bytes
+    }
+
+    /// Records a write whose significant-byte count the caller already
+    /// computed.
+    pub fn record_write(&mut self, bytes: u8) {
         self.writes += 1;
         self.write_bytes += u64::from(bytes);
-        bytes
     }
 
     /// Number of read accesses observed.

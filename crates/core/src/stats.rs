@@ -38,12 +38,13 @@ pub struct FunctRow {
 /// * [`SigStats::funct_table`] — Table 3 (dynamic function-code frequencies),
 /// * [`SigStats::format_fractions`], [`SigStats::immediate_8bit_fraction`] —
 ///   the instruction-mix numbers quoted in §2.3.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct SigStats {
     /// Histogram over the 8 three-bit patterns, indexed by [`SigPattern::index`].
     pattern_counts: [u64; 8],
     values_observed: u64,
-    funct_counts: HashMap<Op, u64>,
+    /// Dynamic R-format counts, indexed by `Op as usize` (non-R slots stay 0).
+    funct_counts: [u64; Op::ALL.len()],
     r_format: u64,
     i_format: u64,
     j_format: u64,
@@ -54,6 +55,26 @@ pub struct SigStats {
     addition_instructions: u64,
     branch_instructions: u64,
     taken_branches: u64,
+}
+
+impl Default for SigStats {
+    fn default() -> Self {
+        SigStats {
+            pattern_counts: [0; 8],
+            values_observed: 0,
+            funct_counts: [0; Op::ALL.len()],
+            r_format: 0,
+            i_format: 0,
+            j_format: 0,
+            instructions: 0,
+            with_immediate: 0,
+            immediate_fits_8bit: 0,
+            mem_instructions: 0,
+            addition_instructions: 0,
+            branch_instructions: 0,
+            taken_branches: 0,
+        }
+    }
 }
 
 impl SigStats {
@@ -71,7 +92,7 @@ impl SigStats {
         match op.format() {
             Format::R => {
                 self.r_format += 1;
-                *self.funct_counts.entry(op).or_insert(0) += 1;
+                self.funct_counts[op as usize] += 1;
             }
             Format::I => self.i_format += 1,
             Format::J => self.j_format += 1,
@@ -186,11 +207,11 @@ impl SigStats {
     /// instructions, sorted by decreasing frequency.
     #[must_use]
     pub fn funct_table(&self) -> Vec<FunctRow> {
-        let total: u64 = self.funct_counts.values().sum();
-        let mut rows: Vec<(Op, u64)> = self
-            .funct_counts
+        let total: u64 = self.funct_counts.iter().sum();
+        let mut rows: Vec<(Op, u64)> = Op::ALL
             .iter()
-            .map(|(&op, &count)| (op, count))
+            .map(|&op| (op, self.funct_counts[op as usize]))
+            .filter(|&(_, count)| count > 0)
             .collect();
         rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.mnemonic().cmp(b.0.mnemonic())));
         let mut cumulative = 0.0;
@@ -214,8 +235,12 @@ impl SigStats {
     /// The raw per-operation dynamic counts of R-format instructions, used to
     /// build a [`FunctRecoder`](crate::ifetch::FunctRecoder) profile.
     #[must_use]
-    pub fn funct_counts(&self) -> &HashMap<Op, u64> {
-        &self.funct_counts
+    pub fn funct_counts(&self) -> HashMap<Op, u64> {
+        Op::ALL
+            .iter()
+            .map(|&op| (op, self.funct_counts[op as usize]))
+            .filter(|&(_, count)| count > 0)
+            .collect()
     }
 
     /// Fractions (in percent) of R-, I- and J-format instructions. The paper
@@ -295,8 +320,8 @@ impl SigStats {
             self.pattern_counts[i] += other.pattern_counts[i];
         }
         self.values_observed += other.values_observed;
-        for (&op, &count) in &other.funct_counts {
-            *self.funct_counts.entry(op).or_insert(0) += count;
+        for (mine, theirs) in self.funct_counts.iter_mut().zip(&other.funct_counts) {
+            *mine += theirs;
         }
         self.r_format += other.r_format;
         self.i_format += other.i_format;

@@ -64,7 +64,7 @@ pub use executor::{run_parallel, WorkerReport};
 pub use report::{config_points, frontier_table, pareto_frontier, to_csv, to_json, ConfigPoint};
 pub use spec::{JobSpec, MemProfile, SweepSpec, TraceInput, TraceSource, SWEEP_FORMAT_VERSION};
 pub use sweep::{
-    run_jobs, run_jobs_traced, run_sweep, simulate_job, simulate_trace, try_run_jobs,
-    try_run_jobs_traced, try_run_sweep, JobMetrics, JobOutcome, SweepOptions, SweepShard,
-    SweepSummary,
+    run_jobs, run_jobs_traced, run_sweep, simulate_decoded, simulate_job, simulate_trace,
+    try_run_jobs, try_run_jobs_traced, try_run_sweep, JobMetrics, JobOutcome, SweepOptions,
+    SweepShard, SweepSummary,
 };

@@ -4,7 +4,7 @@
 use sigcomp::hash::{ConfigHash, StableHasher};
 use sigcomp::{AnalyzerConfig, ExtScheme, FunctRecoder, ProcessNode};
 use sigcomp_isa::tracefile::{self, TraceFileError};
-use sigcomp_isa::Trace;
+use sigcomp_isa::{DecodedTrace, Trace};
 use sigcomp_mem::HierarchyConfig;
 use sigcomp_pipeline::{OrgKind, Organization};
 use sigcomp_workloads::{suite_names, WorkloadSize};
@@ -115,11 +115,16 @@ pub enum TraceSource {
 
 /// A loaded portable trace, usable as a sweep axis alongside the built-in
 /// kernels.
+///
+/// The records live in a [`DecodedTrace`] arena behind an [`Arc`]: the file
+/// is parsed and decoded exactly once, and every sweep job that replays the
+/// trace shares the same arena instead of re-decoding (or deep-copying) the
+/// record stream.
 #[derive(Debug, Clone)]
 pub struct TraceInput {
     name: &'static str,
     digest: u64,
-    trace: Arc<Trace>,
+    decoded: Arc<DecodedTrace>,
 }
 
 impl TraceInput {
@@ -138,14 +143,14 @@ impl TraceInput {
         // declared digest IS the payload digest — no need to re-encode the
         // records just to recompute it.
         let digest = reader.declared_digest();
-        let trace = tracefile::collect_records(reader)?;
+        let decoded = DecodedTrace::from_reader(reader)?;
         let stem = path
             .file_stem()
             .map_or_else(|| path.to_string_lossy(), |s| s.to_string_lossy());
         Ok(TraceInput {
             name: intern_name(&stem),
             digest,
-            trace: Arc::new(trace),
+            decoded: Arc::new(decoded),
         })
     }
 
@@ -161,7 +166,7 @@ impl TraceInput {
         Ok(TraceInput {
             name,
             digest,
-            trace: Arc::new(trace),
+            decoded: Arc::new(DecodedTrace::from_trace(&trace)),
         })
     }
 
@@ -177,10 +182,10 @@ impl TraceInput {
         self.digest
     }
 
-    /// The records themselves.
+    /// The decoded records, shared by every job that replays this input.
     #[must_use]
-    pub fn trace(&self) -> &Trace {
-        &self.trace
+    pub fn decoded(&self) -> &Arc<DecodedTrace> {
+        &self.decoded
     }
 
     /// The [`TraceSource`] axis value this input contributes.

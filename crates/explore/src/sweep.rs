@@ -6,7 +6,7 @@ use crate::cache::ResultCache;
 use crate::executor::run_parallel;
 use crate::spec::{JobSpec, SweepSpec, TraceInput, TraceSource};
 use sigcomp::{ActivityReport, EnergyModel, StageActivity, TraceAnalyzer};
-use sigcomp_isa::{ExecRecord, Trace};
+use sigcomp_isa::{DecodedTrace, ExecRecord, Trace};
 use sigcomp_pipeline::{OrgKind, Organization, PipelineSim, SimResult, Stage};
 use sigcomp_workloads::{find, Benchmark, WorkloadSize};
 use std::collections::HashMap;
@@ -240,6 +240,18 @@ pub fn simulate_trace(spec: &JobSpec, trace: &Trace) -> JobMetrics {
     models.finish()
 }
 
+/// [`simulate_trace`] over a decode-once arena: the records come out of the
+/// shared [`DecodedTrace`] instead of a `Vec<ExecRecord>`, but they are the
+/// same records in the same order, so the metrics are bit-identical.
+#[must_use]
+pub fn simulate_decoded(spec: &JobSpec, trace: &DecodedTrace) -> JobMetrics {
+    let mut models = JobModels::new(spec);
+    for rec in trace.iter() {
+        models.observe(&rec);
+    }
+    models.finish()
+}
+
 /// The model stack one job drives — a single stream of [`ExecRecord`]s feeds
 /// both the cycle-level timing simulator and the activity study, whether the
 /// stream comes from a live interpreter or a replayed file.
@@ -263,8 +275,13 @@ impl JobModels {
     }
 
     fn observe(&mut self, rec: &ExecRecord) {
-        self.sim.observe(rec);
-        self.analyzer.observe(rec);
+        // Both models run under the same scheme and recoder (they come from
+        // the same JobSpec), so the record is distilled into its cost vector
+        // once and shared instead of once per model.
+        let config = self.analyzer.config();
+        let cost = sigcomp::cost::instr_cost(rec, config.scheme, &config.recoder);
+        self.sim.observe_with_cost(rec, &cost);
+        self.analyzer.observe_with_cost(rec, &cost);
     }
 
     fn finish(self) -> JobMetrics {
@@ -472,7 +489,7 @@ fn run_jobs_local(jobs: &[JobSpec], traces: &[TraceInput], options: &SweepOption
                             let input = traces_by_digest.get(&digest).unwrap_or_else(|| {
                                 panic!("no trace with digest {digest:016x} for job {}", job.label())
                             });
-                            simulate_trace(&job, input.trace())
+                            simulate_decoded(&job, input.decoded())
                         }
                     };
                     if let Some(cache) = options.cache.as_ref() {

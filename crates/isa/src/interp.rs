@@ -1,4 +1,9 @@
 //! Functional (architectural) simulator producing dynamic traces.
+//!
+//! Execution is table-driven: [`DISPATCH`] maps every opcode (by its
+//! declaration-order discriminant) to a handler function, so the per-record
+//! path of [`Interpreter::step`] is one indexed call instead of a 45-arm
+//! match.
 
 use crate::error::IsaError;
 use crate::instr::Instruction;
@@ -140,173 +145,23 @@ impl Interpreter {
 
         let rs_value = op.reads_rs().then(|| self.reg(instr.rs));
         let rt_value = op.reads_rt().then(|| self.reg(instr.rt));
-        let rs = rs_value.unwrap_or(0);
-        let rt = rt_value.unwrap_or(0);
-        let imm_se = instr.imm_se() as u32;
-        let imm_ze = instr.imm_ze();
-
-        let mut next_pc = pc.wrapping_add(4);
-        let mut writeback: Option<(Reg, u32)> = None;
-        let mut mem_access: Option<MemAccess> = None;
-        let mut branch: Option<BranchOutcome> = None;
-
-        let mut write = |dest: Option<Reg>, value: u32| {
-            if let Some(d) = dest {
-                writeback = Some((d, value));
-            }
+        let operands = Operands {
+            pc,
+            rs: rs_value.unwrap_or(0),
+            rt: rt_value.unwrap_or(0),
+            imm_se: instr.imm_se() as u32,
+            imm_ze: instr.imm_ze(),
         };
 
-        match op {
-            // ---- R-format ALU ------------------------------------------------
-            Op::Add | Op::Addu => write(instr.dest_reg(), rs.wrapping_add(rt)),
-            Op::Sub | Op::Subu => write(instr.dest_reg(), rs.wrapping_sub(rt)),
-            Op::And => write(instr.dest_reg(), rs & rt),
-            Op::Or => write(instr.dest_reg(), rs | rt),
-            Op::Xor => write(instr.dest_reg(), rs ^ rt),
-            Op::Nor => write(instr.dest_reg(), !(rs | rt)),
-            Op::Slt => write(instr.dest_reg(), u32::from((rs as i32) < (rt as i32))),
-            Op::Sltu => write(instr.dest_reg(), u32::from(rs < rt)),
-            Op::Sll => write(instr.dest_reg(), rt << instr.shamt),
-            Op::Srl => write(instr.dest_reg(), rt >> instr.shamt),
-            Op::Sra => write(instr.dest_reg(), ((rt as i32) >> instr.shamt) as u32),
-            Op::Sllv => write(instr.dest_reg(), rt << (rs & 0x1f)),
-            Op::Srlv => write(instr.dest_reg(), rt >> (rs & 0x1f)),
-            Op::Srav => write(instr.dest_reg(), ((rt as i32) >> (rs & 0x1f)) as u32),
+        let effects = DISPATCH[op as usize](self, instr, operands)?;
 
-            // ---- multiply / divide -------------------------------------------
-            Op::Mult => {
-                let p = i64::from(rs as i32) * i64::from(rt as i32);
-                self.lo = p as u32;
-                self.hi = (p >> 32) as u32;
-            }
-            Op::Multu => {
-                let p = u64::from(rs) * u64::from(rt);
-                self.lo = p as u32;
-                self.hi = (p >> 32) as u32;
-            }
-            Op::Div => {
-                if rt != 0 {
-                    self.lo = ((rs as i32).wrapping_div(rt as i32)) as u32;
-                    self.hi = ((rs as i32).wrapping_rem(rt as i32)) as u32;
-                } else {
-                    self.lo = 0;
-                    self.hi = rs;
-                }
-            }
-            Op::Divu => {
-                if let (Some(quotient), Some(remainder)) = (rs.checked_div(rt), rs.checked_rem(rt))
-                {
-                    self.lo = quotient;
-                    self.hi = remainder;
-                } else {
-                    self.lo = 0;
-                    self.hi = rs;
-                }
-            }
-            Op::Mfhi => write(instr.dest_reg(), self.hi),
-            Op::Mflo => write(instr.dest_reg(), self.lo),
-            Op::Mthi => self.hi = rs,
-            Op::Mtlo => self.lo = rs,
-
-            // ---- I-format ALU ------------------------------------------------
-            Op::Addi | Op::Addiu => write(instr.dest_reg(), rs.wrapping_add(imm_se)),
-            Op::Slti => write(instr.dest_reg(), u32::from((rs as i32) < (imm_se as i32))),
-            Op::Sltiu => write(instr.dest_reg(), u32::from(rs < imm_se)),
-            Op::Andi => write(instr.dest_reg(), rs & imm_ze),
-            Op::Ori => write(instr.dest_reg(), rs | imm_ze),
-            Op::Xori => write(instr.dest_reg(), rs ^ imm_ze),
-            Op::Lui => write(instr.dest_reg(), imm_ze << 16),
-
-            // ---- loads / stores ----------------------------------------------
-            Op::Lb | Op::Lbu | Op::Lh | Op::Lhu | Op::Lw | Op::Sb | Op::Sh | Op::Sw => {
-                let addr = rs.wrapping_add(imm_se);
-                let width = op.mem_width().expect("memory op has width");
-                if addr % u32::from(width) != 0 {
-                    return Err(IsaError::Misaligned { addr, width });
-                }
-                if op.is_store() {
-                    let value = rt;
-                    match op {
-                        Op::Sb => self.mem.write_byte(addr, value as u8),
-                        Op::Sh => self.mem.write_half(addr, value as u16),
-                        Op::Sw => self.mem.write_word(addr, value),
-                        _ => unreachable!(),
-                    }
-                    mem_access = Some(MemAccess {
-                        addr,
-                        width,
-                        is_store: true,
-                        value,
-                    });
-                } else {
-                    let value = match op {
-                        Op::Lb => self.mem.read_byte(addr) as i8 as i32 as u32,
-                        Op::Lbu => u32::from(self.mem.read_byte(addr)),
-                        Op::Lh => self.mem.read_half(addr) as i16 as i32 as u32,
-                        Op::Lhu => u32::from(self.mem.read_half(addr)),
-                        Op::Lw => self.mem.read_word(addr),
-                        _ => unreachable!(),
-                    };
-                    write(instr.dest_reg(), value);
-                    mem_access = Some(MemAccess {
-                        addr,
-                        width,
-                        is_store: false,
-                        value,
-                    });
-                }
-            }
-
-            // ---- control flow ------------------------------------------------
-            Op::Beq | Op::Bne | Op::Blez | Op::Bgtz | Op::Bltz | Op::Bgez => {
-                let taken = match op {
-                    Op::Beq => rs == rt,
-                    Op::Bne => rs != rt,
-                    Op::Blez => (rs as i32) <= 0,
-                    Op::Bgtz => (rs as i32) > 0,
-                    Op::Bltz => (rs as i32) < 0,
-                    Op::Bgez => (rs as i32) >= 0,
-                    _ => unreachable!(),
-                };
-                let target = pc.wrapping_add(4).wrapping_add(imm_se << 2);
-                if taken {
-                    next_pc = target;
-                }
-                branch = Some(BranchOutcome { taken, target });
-            }
-            Op::J | Op::Jal => {
-                let target = (pc.wrapping_add(4) & 0xf000_0000) | (instr.target << 2);
-                if op == Op::Jal {
-                    write(Some(reg::RA), pc.wrapping_add(4));
-                }
-                next_pc = target;
-                branch = Some(BranchOutcome {
-                    taken: true,
-                    target,
-                });
-            }
-            Op::Jr | Op::Jalr => {
-                let target = rs;
-                if op == Op::Jalr {
-                    write(instr.dest_reg(), pc.wrapping_add(4));
-                }
-                next_pc = target;
-                branch = Some(BranchOutcome {
-                    taken: true,
-                    target,
-                });
-            }
-
-            Op::Break => unreachable!("handled above"),
-        }
-
-        if let Some((r, v)) = writeback {
+        if let Some((r, v)) = effects.writeback {
             self.set_reg(r, v);
         }
         // Report writes to $zero as no writeback (they have no effect).
-        let writeback = writeback.filter(|(r, _)| !r.is_zero());
+        let writeback = effects.writeback.filter(|(r, _)| !r.is_zero());
 
-        self.pc = next_pc;
+        self.pc = effects.redirect.unwrap_or(pc.wrapping_add(4));
         let record = ExecRecord {
             seq: self.retired,
             pc,
@@ -315,8 +170,8 @@ impl Interpreter {
             rs_value,
             rt_value,
             writeback,
-            mem: mem_access,
-            branch,
+            mem: effects.mem,
+            branch: effects.branch,
         };
         self.retired += 1;
         Ok(Some(record))
@@ -354,6 +209,373 @@ impl Interpreter {
         }
         Ok(())
     }
+}
+
+/// Operand values captured once before dispatch.
+#[derive(Debug, Clone, Copy)]
+struct Operands {
+    pc: u32,
+    rs: u32,
+    rt: u32,
+    imm_se: u32,
+    imm_ze: u32,
+}
+
+/// What one instruction did: the architectural side effects [`Interpreter::step`]
+/// applies and records after the handler returns.
+#[derive(Debug, Default)]
+struct Effects {
+    writeback: Option<(Reg, u32)>,
+    mem: Option<MemAccess>,
+    branch: Option<BranchOutcome>,
+    /// Control redirect; `None` falls through to `pc + 4`.
+    redirect: Option<u32>,
+}
+
+impl Effects {
+    fn write(dest: Option<Reg>, value: u32) -> Self {
+        Effects {
+            writeback: dest.map(|d| (d, value)),
+            ..Effects::default()
+        }
+    }
+}
+
+type ExecFn = fn(&mut Interpreter, Instruction, Operands) -> Result<Effects, IsaError>;
+
+/// Per-opcode execution handlers, indexed by `op as usize` (declaration
+/// order is the discriminant, pinned by `Op::ALL`).
+const DISPATCH: [ExecFn; Op::ALL.len()] = {
+    let mut table = [x_break as ExecFn; Op::ALL.len()];
+    let mut i = 0;
+    while i < Op::ALL.len() {
+        table[i] = exec_fn_of(Op::ALL[i]);
+        i += 1;
+    }
+    table
+};
+
+const fn exec_fn_of(op: Op) -> ExecFn {
+    match op {
+        Op::Add | Op::Addu => x_add,
+        Op::Sub | Op::Subu => x_sub,
+        Op::And => x_and,
+        Op::Or => x_or,
+        Op::Xor => x_xor,
+        Op::Nor => x_nor,
+        Op::Slt => x_slt,
+        Op::Sltu => x_sltu,
+        Op::Sll => x_sll,
+        Op::Srl => x_srl,
+        Op::Sra => x_sra,
+        Op::Sllv => x_sllv,
+        Op::Srlv => x_srlv,
+        Op::Srav => x_srav,
+        Op::Mult => x_mult,
+        Op::Multu => x_multu,
+        Op::Div => x_div,
+        Op::Divu => x_divu,
+        Op::Mfhi => x_mfhi,
+        Op::Mflo => x_mflo,
+        Op::Mthi => x_mthi,
+        Op::Mtlo => x_mtlo,
+        Op::Addi | Op::Addiu => x_addi,
+        Op::Slti => x_slti,
+        Op::Sltiu => x_sltiu,
+        Op::Andi => x_andi,
+        Op::Ori => x_ori,
+        Op::Xori => x_xori,
+        Op::Lui => x_lui,
+        Op::Lb => x_lb,
+        Op::Lbu => x_lbu,
+        Op::Lh => x_lh,
+        Op::Lhu => x_lhu,
+        Op::Lw => x_lw,
+        Op::Sb => x_sb,
+        Op::Sh => x_sh,
+        Op::Sw => x_sw,
+        Op::Beq => x_beq,
+        Op::Bne => x_bne,
+        Op::Blez => x_blez,
+        Op::Bgtz => x_bgtz,
+        Op::Bltz => x_bltz,
+        Op::Bgez => x_bgez,
+        Op::J => x_j,
+        Op::Jal => x_jal,
+        Op::Jr => x_jr,
+        Op::Jalr => x_jalr,
+        Op::Break => x_break,
+    }
+}
+
+fn check_aligned(addr: u32, width: u8) -> Result<(), IsaError> {
+    if !addr.is_multiple_of(u32::from(width)) {
+        return Err(IsaError::Misaligned { addr, width });
+    }
+    Ok(())
+}
+
+fn load_effects(instr: Instruction, addr: u32, width: u8, value: u32) -> Effects {
+    Effects {
+        writeback: instr.dest_reg().map(|d| (d, value)),
+        mem: Some(MemAccess {
+            addr,
+            width,
+            is_store: false,
+            value,
+        }),
+        ..Effects::default()
+    }
+}
+
+fn store_effects(addr: u32, width: u8, value: u32) -> Effects {
+    Effects {
+        mem: Some(MemAccess {
+            addr,
+            width,
+            is_store: true,
+            value,
+        }),
+        ..Effects::default()
+    }
+}
+
+fn branch_effects(o: Operands, taken: bool) -> Effects {
+    let target = o.pc.wrapping_add(4).wrapping_add(o.imm_se << 2);
+    Effects {
+        branch: Some(BranchOutcome { taken, target }),
+        redirect: taken.then_some(target),
+        ..Effects::default()
+    }
+}
+
+fn jump_effects(target: u32, link: Option<(Reg, u32)>) -> Effects {
+    Effects {
+        writeback: link,
+        branch: Some(BranchOutcome {
+            taken: true,
+            target,
+        }),
+        redirect: Some(target),
+        ..Effects::default()
+    }
+}
+
+// ---- R-format ALU ---------------------------------------------------------
+fn x_add(_: &mut Interpreter, n: Instruction, o: Operands) -> Result<Effects, IsaError> {
+    Ok(Effects::write(n.dest_reg(), o.rs.wrapping_add(o.rt)))
+}
+fn x_sub(_: &mut Interpreter, n: Instruction, o: Operands) -> Result<Effects, IsaError> {
+    Ok(Effects::write(n.dest_reg(), o.rs.wrapping_sub(o.rt)))
+}
+fn x_and(_: &mut Interpreter, n: Instruction, o: Operands) -> Result<Effects, IsaError> {
+    Ok(Effects::write(n.dest_reg(), o.rs & o.rt))
+}
+fn x_or(_: &mut Interpreter, n: Instruction, o: Operands) -> Result<Effects, IsaError> {
+    Ok(Effects::write(n.dest_reg(), o.rs | o.rt))
+}
+fn x_xor(_: &mut Interpreter, n: Instruction, o: Operands) -> Result<Effects, IsaError> {
+    Ok(Effects::write(n.dest_reg(), o.rs ^ o.rt))
+}
+fn x_nor(_: &mut Interpreter, n: Instruction, o: Operands) -> Result<Effects, IsaError> {
+    Ok(Effects::write(n.dest_reg(), !(o.rs | o.rt)))
+}
+fn x_slt(_: &mut Interpreter, n: Instruction, o: Operands) -> Result<Effects, IsaError> {
+    Ok(Effects::write(
+        n.dest_reg(),
+        u32::from((o.rs as i32) < (o.rt as i32)),
+    ))
+}
+fn x_sltu(_: &mut Interpreter, n: Instruction, o: Operands) -> Result<Effects, IsaError> {
+    Ok(Effects::write(n.dest_reg(), u32::from(o.rs < o.rt)))
+}
+fn x_sll(_: &mut Interpreter, n: Instruction, o: Operands) -> Result<Effects, IsaError> {
+    Ok(Effects::write(n.dest_reg(), o.rt << n.shamt))
+}
+fn x_srl(_: &mut Interpreter, n: Instruction, o: Operands) -> Result<Effects, IsaError> {
+    Ok(Effects::write(n.dest_reg(), o.rt >> n.shamt))
+}
+fn x_sra(_: &mut Interpreter, n: Instruction, o: Operands) -> Result<Effects, IsaError> {
+    Ok(Effects::write(
+        n.dest_reg(),
+        ((o.rt as i32) >> n.shamt) as u32,
+    ))
+}
+fn x_sllv(_: &mut Interpreter, n: Instruction, o: Operands) -> Result<Effects, IsaError> {
+    Ok(Effects::write(n.dest_reg(), o.rt << (o.rs & 0x1f)))
+}
+fn x_srlv(_: &mut Interpreter, n: Instruction, o: Operands) -> Result<Effects, IsaError> {
+    Ok(Effects::write(n.dest_reg(), o.rt >> (o.rs & 0x1f)))
+}
+fn x_srav(_: &mut Interpreter, n: Instruction, o: Operands) -> Result<Effects, IsaError> {
+    Ok(Effects::write(
+        n.dest_reg(),
+        ((o.rt as i32) >> (o.rs & 0x1f)) as u32,
+    ))
+}
+
+// ---- multiply / divide ----------------------------------------------------
+fn x_mult(i: &mut Interpreter, _: Instruction, o: Operands) -> Result<Effects, IsaError> {
+    let p = i64::from(o.rs as i32) * i64::from(o.rt as i32);
+    i.lo = p as u32;
+    i.hi = (p >> 32) as u32;
+    Ok(Effects::default())
+}
+fn x_multu(i: &mut Interpreter, _: Instruction, o: Operands) -> Result<Effects, IsaError> {
+    let p = u64::from(o.rs) * u64::from(o.rt);
+    i.lo = p as u32;
+    i.hi = (p >> 32) as u32;
+    Ok(Effects::default())
+}
+fn x_div(i: &mut Interpreter, _: Instruction, o: Operands) -> Result<Effects, IsaError> {
+    if o.rt != 0 {
+        i.lo = ((o.rs as i32).wrapping_div(o.rt as i32)) as u32;
+        i.hi = ((o.rs as i32).wrapping_rem(o.rt as i32)) as u32;
+    } else {
+        i.lo = 0;
+        i.hi = o.rs;
+    }
+    Ok(Effects::default())
+}
+fn x_divu(i: &mut Interpreter, _: Instruction, o: Operands) -> Result<Effects, IsaError> {
+    if let (Some(quotient), Some(remainder)) = (o.rs.checked_div(o.rt), o.rs.checked_rem(o.rt)) {
+        i.lo = quotient;
+        i.hi = remainder;
+    } else {
+        i.lo = 0;
+        i.hi = o.rs;
+    }
+    Ok(Effects::default())
+}
+fn x_mfhi(i: &mut Interpreter, n: Instruction, _: Operands) -> Result<Effects, IsaError> {
+    Ok(Effects::write(n.dest_reg(), i.hi))
+}
+fn x_mflo(i: &mut Interpreter, n: Instruction, _: Operands) -> Result<Effects, IsaError> {
+    Ok(Effects::write(n.dest_reg(), i.lo))
+}
+fn x_mthi(i: &mut Interpreter, _: Instruction, o: Operands) -> Result<Effects, IsaError> {
+    i.hi = o.rs;
+    Ok(Effects::default())
+}
+fn x_mtlo(i: &mut Interpreter, _: Instruction, o: Operands) -> Result<Effects, IsaError> {
+    i.lo = o.rs;
+    Ok(Effects::default())
+}
+
+// ---- I-format ALU ---------------------------------------------------------
+fn x_addi(_: &mut Interpreter, n: Instruction, o: Operands) -> Result<Effects, IsaError> {
+    Ok(Effects::write(n.dest_reg(), o.rs.wrapping_add(o.imm_se)))
+}
+fn x_slti(_: &mut Interpreter, n: Instruction, o: Operands) -> Result<Effects, IsaError> {
+    Ok(Effects::write(
+        n.dest_reg(),
+        u32::from((o.rs as i32) < (o.imm_se as i32)),
+    ))
+}
+fn x_sltiu(_: &mut Interpreter, n: Instruction, o: Operands) -> Result<Effects, IsaError> {
+    Ok(Effects::write(n.dest_reg(), u32::from(o.rs < o.imm_se)))
+}
+fn x_andi(_: &mut Interpreter, n: Instruction, o: Operands) -> Result<Effects, IsaError> {
+    Ok(Effects::write(n.dest_reg(), o.rs & o.imm_ze))
+}
+fn x_ori(_: &mut Interpreter, n: Instruction, o: Operands) -> Result<Effects, IsaError> {
+    Ok(Effects::write(n.dest_reg(), o.rs | o.imm_ze))
+}
+fn x_xori(_: &mut Interpreter, n: Instruction, o: Operands) -> Result<Effects, IsaError> {
+    Ok(Effects::write(n.dest_reg(), o.rs ^ o.imm_ze))
+}
+fn x_lui(_: &mut Interpreter, n: Instruction, o: Operands) -> Result<Effects, IsaError> {
+    Ok(Effects::write(n.dest_reg(), o.imm_ze << 16))
+}
+
+// ---- loads / stores -------------------------------------------------------
+fn x_lb(i: &mut Interpreter, n: Instruction, o: Operands) -> Result<Effects, IsaError> {
+    let addr = o.rs.wrapping_add(o.imm_se);
+    check_aligned(addr, 1)?;
+    let value = i.mem.read_byte(addr) as i8 as i32 as u32;
+    Ok(load_effects(n, addr, 1, value))
+}
+fn x_lbu(i: &mut Interpreter, n: Instruction, o: Operands) -> Result<Effects, IsaError> {
+    let addr = o.rs.wrapping_add(o.imm_se);
+    check_aligned(addr, 1)?;
+    let value = u32::from(i.mem.read_byte(addr));
+    Ok(load_effects(n, addr, 1, value))
+}
+fn x_lh(i: &mut Interpreter, n: Instruction, o: Operands) -> Result<Effects, IsaError> {
+    let addr = o.rs.wrapping_add(o.imm_se);
+    check_aligned(addr, 2)?;
+    let value = i.mem.read_half(addr) as i16 as i32 as u32;
+    Ok(load_effects(n, addr, 2, value))
+}
+fn x_lhu(i: &mut Interpreter, n: Instruction, o: Operands) -> Result<Effects, IsaError> {
+    let addr = o.rs.wrapping_add(o.imm_se);
+    check_aligned(addr, 2)?;
+    let value = u32::from(i.mem.read_half(addr));
+    Ok(load_effects(n, addr, 2, value))
+}
+fn x_lw(i: &mut Interpreter, n: Instruction, o: Operands) -> Result<Effects, IsaError> {
+    let addr = o.rs.wrapping_add(o.imm_se);
+    check_aligned(addr, 4)?;
+    let value = i.mem.read_word(addr);
+    Ok(load_effects(n, addr, 4, value))
+}
+fn x_sb(i: &mut Interpreter, _: Instruction, o: Operands) -> Result<Effects, IsaError> {
+    let addr = o.rs.wrapping_add(o.imm_se);
+    check_aligned(addr, 1)?;
+    i.mem.write_byte(addr, o.rt as u8);
+    Ok(store_effects(addr, 1, o.rt))
+}
+fn x_sh(i: &mut Interpreter, _: Instruction, o: Operands) -> Result<Effects, IsaError> {
+    let addr = o.rs.wrapping_add(o.imm_se);
+    check_aligned(addr, 2)?;
+    i.mem.write_half(addr, o.rt as u16);
+    Ok(store_effects(addr, 2, o.rt))
+}
+fn x_sw(i: &mut Interpreter, _: Instruction, o: Operands) -> Result<Effects, IsaError> {
+    let addr = o.rs.wrapping_add(o.imm_se);
+    check_aligned(addr, 4)?;
+    i.mem.write_word(addr, o.rt);
+    Ok(store_effects(addr, 4, o.rt))
+}
+
+// ---- control flow ---------------------------------------------------------
+fn x_beq(_: &mut Interpreter, _: Instruction, o: Operands) -> Result<Effects, IsaError> {
+    Ok(branch_effects(o, o.rs == o.rt))
+}
+fn x_bne(_: &mut Interpreter, _: Instruction, o: Operands) -> Result<Effects, IsaError> {
+    Ok(branch_effects(o, o.rs != o.rt))
+}
+fn x_blez(_: &mut Interpreter, _: Instruction, o: Operands) -> Result<Effects, IsaError> {
+    Ok(branch_effects(o, (o.rs as i32) <= 0))
+}
+fn x_bgtz(_: &mut Interpreter, _: Instruction, o: Operands) -> Result<Effects, IsaError> {
+    Ok(branch_effects(o, (o.rs as i32) > 0))
+}
+fn x_bltz(_: &mut Interpreter, _: Instruction, o: Operands) -> Result<Effects, IsaError> {
+    Ok(branch_effects(o, (o.rs as i32) < 0))
+}
+fn x_bgez(_: &mut Interpreter, _: Instruction, o: Operands) -> Result<Effects, IsaError> {
+    Ok(branch_effects(o, (o.rs as i32) >= 0))
+}
+fn x_j(_: &mut Interpreter, n: Instruction, o: Operands) -> Result<Effects, IsaError> {
+    let target = (o.pc.wrapping_add(4) & 0xf000_0000) | (n.target << 2);
+    Ok(jump_effects(target, None))
+}
+fn x_jal(_: &mut Interpreter, n: Instruction, o: Operands) -> Result<Effects, IsaError> {
+    let target = (o.pc.wrapping_add(4) & 0xf000_0000) | (n.target << 2);
+    Ok(jump_effects(target, Some((reg::RA, o.pc.wrapping_add(4)))))
+}
+fn x_jr(_: &mut Interpreter, _: Instruction, o: Operands) -> Result<Effects, IsaError> {
+    Ok(jump_effects(o.rs, None))
+}
+fn x_jalr(_: &mut Interpreter, n: Instruction, o: Operands) -> Result<Effects, IsaError> {
+    Ok(jump_effects(
+        o.rs,
+        n.dest_reg().map(|d| (d, o.pc.wrapping_add(4))),
+    ))
+}
+fn x_break(_: &mut Interpreter, _: Instruction, _: Operands) -> Result<Effects, IsaError> {
+    unreachable!("break halts before dispatch")
 }
 
 #[cfg(test)]

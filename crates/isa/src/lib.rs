@@ -45,6 +45,7 @@
 #![warn(rust_2018_idioms)]
 
 mod asm;
+mod decoded;
 mod error;
 mod instr;
 mod interp;
@@ -56,6 +57,7 @@ mod trace;
 pub mod tracefile;
 
 pub use asm::ProgramBuilder;
+pub use decoded::DecodedTrace;
 pub use error::{DecodeError, IsaError};
 pub use instr::{Format, Instruction};
 pub use interp::Interpreter;

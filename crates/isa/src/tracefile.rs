@@ -66,14 +66,58 @@ pub const FORMAT_VERSION: u32 = 1;
 /// Header line separating the text header from the record stream.
 const HEADER_END: &str = "%%";
 
-const FLAG_RS: u8 = 1 << 0;
-const FLAG_RT: u8 = 1 << 1;
-const FLAG_WB: u8 = 1 << 2;
-const FLAG_MEM: u8 = 1 << 3;
-const FLAG_BRANCH: u8 = 1 << 4;
-const FLAG_STORE: u8 = 1 << 5;
-const FLAG_TAKEN: u8 = 1 << 6;
-const FLAG_RESERVED: u8 = 1 << 7;
+pub(crate) const FLAG_RS: u8 = 1 << 0;
+pub(crate) const FLAG_RT: u8 = 1 << 1;
+pub(crate) const FLAG_WB: u8 = 1 << 2;
+pub(crate) const FLAG_MEM: u8 = 1 << 3;
+pub(crate) const FLAG_BRANCH: u8 = 1 << 4;
+pub(crate) const FLAG_STORE: u8 = 1 << 5;
+pub(crate) const FLAG_TAKEN: u8 = 1 << 6;
+pub(crate) const FLAG_RESERVED: u8 = 1 << 7;
+
+/// Encoded length (flag byte included) of a record for every possible flag
+/// byte; `0` marks the invalid combinations (reserved bit set, `store`
+/// without `mem`, `taken` without `branch`). Indexed once per record, this
+/// replaces the per-field branching of the old streaming decoder.
+pub(crate) const RECORD_LEN: [u8; 256] = {
+    let mut table = [0u8; 256];
+    let mut f = 0usize;
+    while f < 256 {
+        let flags = f as u8;
+        let valid = flags & FLAG_RESERVED == 0
+            && !(flags & FLAG_STORE != 0 && flags & FLAG_MEM == 0)
+            && !(flags & FLAG_TAKEN != 0 && flags & FLAG_BRANCH == 0);
+        if valid {
+            // flags u8 + pc u32 + word u32 ...
+            let mut len = 9u8;
+            if flags & FLAG_RS != 0 {
+                len += 4;
+            }
+            if flags & FLAG_RT != 0 {
+                len += 4;
+            }
+            if flags & FLAG_WB != 0 {
+                len += 5;
+            }
+            if flags & FLAG_MEM != 0 {
+                len += 9;
+            }
+            if flags & FLAG_BRANCH != 0 {
+                len += 4;
+            }
+            table[f] = len;
+        }
+        f += 1;
+    }
+    table
+};
+
+/// The longest possible encoded record (every optional field present).
+const MAX_RECORD: usize = 35;
+
+/// Size of the reader's block buffer. Must hold at least one whole record.
+const BLOCK: usize = 64 * 1024;
+const _: () = assert!(BLOCK >= MAX_RECORD);
 
 /// Everything that can go wrong while reading or writing a `.sctrace` file.
 #[derive(Debug)]
@@ -539,6 +583,14 @@ pub struct TraceReader<R> {
     /// Set once a validation error has been yielded (or the stream has been
     /// fully verified); further `next()` calls return `None`.
     done: bool,
+    /// Block buffer the record stream is sliced out of: records are decoded
+    /// in place from `buf[pos..filled]`, and the payload digest is folded
+    /// over whole consumed blocks (`buf[digested..pos]`) at refill and at
+    /// end of stream rather than field by field.
+    buf: Vec<u8>,
+    pos: usize,
+    filled: usize,
+    digested: usize,
 }
 
 impl TraceReader<BufReader<File>> {
@@ -627,6 +679,10 @@ impl<R: BufRead> TraceReader<R> {
             next_index: 0,
             digest: Fnv::new(),
             done: false,
+            buf: vec![0u8; BLOCK],
+            pos: 0,
+            filled: 0,
+            digested: 0,
         })
     }
 
@@ -657,31 +713,44 @@ impl<R: BufRead> TraceReader<R> {
             .map(|(_, v)| v.as_str())
     }
 
-    /// Reads `buf.len()` payload bytes, folding them into the running digest.
-    fn fill(&mut self, buf: &mut [u8]) -> Result<(), TraceFileError> {
-        self.input.read_exact(buf).map_err(|e| {
-            if e.kind() == io::ErrorKind::UnexpectedEof {
-                TraceFileError::TruncatedRecord {
-                    index: self.next_index,
-                }
-            } else {
-                TraceFileError::Io(e)
+    /// Folds every consumed-but-unfolded buffer byte into the running
+    /// digest. Called at compaction boundaries and at end of stream, so the
+    /// digest advances in whole blocks, not per field — FNV-1a is a
+    /// byte-sequential fold, so the result is bit-identical either way.
+    fn fold_digest(&mut self) {
+        if self.digested < self.pos {
+            self.digest.update(&self.buf[self.digested..self.pos]);
+            self.digested = self.pos;
+        }
+    }
+
+    /// Ensures at least `n` unconsumed bytes are buffered, compacting and
+    /// refilling as needed. End of input mid-record is a `TruncatedRecord`;
+    /// transient `Interrupted` reads are retried like `read_exact` would.
+    fn ensure(&mut self, n: usize) -> Result<(), TraceFileError> {
+        while self.filled - self.pos < n {
+            if self.buf.len() - self.pos < n {
+                self.fold_digest();
+                self.buf.copy_within(self.pos..self.filled, 0);
+                self.filled -= self.pos;
+                self.pos = 0;
+                self.digested = 0;
             }
-        })?;
-        self.digest.update(buf);
+            let read = loop {
+                match self.input.read(&mut self.buf[self.filled..]) {
+                    Ok(read) => break read,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(e) => return Err(TraceFileError::Io(e)),
+                }
+            };
+            if read == 0 {
+                return Err(TraceFileError::TruncatedRecord {
+                    index: self.next_index,
+                });
+            }
+            self.filled += read;
+        }
         Ok(())
-    }
-
-    fn read_u8(&mut self) -> Result<u8, TraceFileError> {
-        let mut b = [0u8; 1];
-        self.fill(&mut b)?;
-        Ok(b[0])
-    }
-
-    fn read_u32(&mut self) -> Result<u32, TraceFileError> {
-        let mut b = [0u8; 4];
-        self.fill(&mut b)?;
-        Ok(u32::from_le_bytes(b))
     }
 
     /// Reads, validates and returns the next record, `Ok(None)` once the
@@ -690,7 +759,6 @@ impl<R: BufRead> TraceReader<R> {
     /// # Errors
     ///
     /// Any stream violation, after which the reader is exhausted.
-    #[allow(clippy::too_many_lines)]
     pub fn next_record(&mut self) -> Result<Option<ExecRecord>, TraceFileError> {
         if self.done {
             return Ok(None);
@@ -705,90 +773,114 @@ impl<R: BufRead> TraceReader<R> {
     fn next_record_inner(&mut self) -> Result<Option<ExecRecord>, TraceFileError> {
         let index = self.next_index;
         if index == self.records {
-            // The stream must end exactly here, with the declared digest.
-            let mut probe = [0u8; 1];
-            match self.input.read(&mut probe)? {
-                0 => {}
-                _ => return Err(TraceFileError::TrailingBytes),
-            }
-            let actual = self.digest.finish();
-            if actual != self.declared_digest {
-                return Err(TraceFileError::DigestMismatch {
-                    declared: self.declared_digest,
-                    actual,
-                });
-            }
-            return Ok(None);
+            return self.finish_stream().map(|()| None);
         }
 
-        let flags = self.read_u8()?;
-        if flags & FLAG_RESERVED != 0
-            || (flags & FLAG_STORE != 0 && flags & FLAG_MEM == 0)
-            || (flags & FLAG_TAKEN != 0 && flags & FLAG_BRANCH == 0)
-        {
+        self.ensure(1)?;
+        let flags = self.buf[self.pos];
+        let len = RECORD_LEN[flags as usize] as usize;
+        if len == 0 {
             return Err(TraceFileError::BadFlags { index, flags });
         }
-        let pc = self.read_u32()?;
-        let word = self.read_u32()?;
-        let instr = Instruction::decode(word)
-            .map_err(|source| TraceFileError::UndecodableWord { index, source })?;
-        let rs_value = (flags & FLAG_RS != 0)
-            .then(|| self.read_u32())
-            .transpose()?;
-        let rt_value = (flags & FLAG_RT != 0)
-            .then(|| self.read_u32())
-            .transpose()?;
-        let writeback = if flags & FLAG_WB != 0 {
-            let reg = self.read_u8()?;
-            let value = self.read_u32()?;
-            if reg == 0 || reg >= 32 {
-                return Err(TraceFileError::BadRegister { index, reg });
-            }
-            Some((Reg::new(reg), value))
-        } else {
-            None
-        };
-        let mem = if flags & FLAG_MEM != 0 {
-            let addr = self.read_u32()?;
-            let width = self.read_u8()?;
-            let value = self.read_u32()?;
-            if !matches!(width, 1 | 2 | 4) {
-                return Err(TraceFileError::BadWidth { index, width });
-            }
-            Some(MemAccess {
-                addr,
-                width,
-                is_store: flags & FLAG_STORE != 0,
-                value,
-            })
-        } else {
-            None
-        };
-        let branch = (flags & FLAG_BRANCH != 0).then(|| {
-            Ok::<_, TraceFileError>(BranchOutcome {
-                taken: flags & FLAG_TAKEN != 0,
-                target: self.read_u32()?,
-            })
-        });
-        let branch = match branch {
-            Some(Ok(b)) => Some(b),
-            Some(Err(e)) => return Err(e),
-            None => None,
-        };
-
+        self.ensure(len)?;
+        let rec = decode_record_body(index, flags, &self.buf[self.pos + 1..self.pos + len])?;
+        self.pos += len;
         self.next_index += 1;
-        Ok(Some(ExecRecord {
-            seq: index,
-            pc,
-            word,
-            instr,
-            rs_value,
-            rt_value,
-            writeback,
-            mem,
-            branch,
-        }))
+        Ok(Some(rec))
     }
+
+    /// The stream must end exactly at the declared record count, with the
+    /// declared digest. The end-of-stream probe retries transient
+    /// `Interrupted` reads instead of surfacing them as a hard I/O error.
+    fn finish_stream(&mut self) -> Result<(), TraceFileError> {
+        self.fold_digest();
+        if self.pos < self.filled {
+            return Err(TraceFileError::TrailingBytes);
+        }
+        let mut probe = [0u8; 1];
+        loop {
+            match self.input.read(&mut probe) {
+                Ok(0) => break,
+                Ok(_) => return Err(TraceFileError::TrailingBytes),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(TraceFileError::Io(e)),
+            }
+        }
+        let actual = self.digest.finish();
+        if actual != self.declared_digest {
+            return Err(TraceFileError::DigestMismatch {
+                declared: self.declared_digest,
+                actual,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Decodes the body of one record (everything after the flag byte) from a
+/// slice whose length was already fixed by [`RECORD_LEN`]. Shared by the
+/// streaming reader and the [`crate::DecodedTrace`] arena builder.
+pub(crate) fn decode_record_body(
+    index: u64,
+    flags: u8,
+    body: &[u8],
+) -> Result<ExecRecord, TraceFileError> {
+    debug_assert_eq!(body.len() + 1, RECORD_LEN[flags as usize] as usize);
+    let mut at = 0usize;
+    let u32_field = |at: &mut usize| {
+        let v = u32::from_le_bytes(body[*at..*at + 4].try_into().expect("4-byte slice"));
+        *at += 4;
+        v
+    };
+    let pc = u32_field(&mut at);
+    let word = u32_field(&mut at);
+    let instr = Instruction::decode(word)
+        .map_err(|source| TraceFileError::UndecodableWord { index, source })?;
+    let rs_value = (flags & FLAG_RS != 0).then(|| u32_field(&mut at));
+    let rt_value = (flags & FLAG_RT != 0).then(|| u32_field(&mut at));
+    let writeback = if flags & FLAG_WB != 0 {
+        let reg = body[at];
+        at += 1;
+        let value = u32_field(&mut at);
+        if reg == 0 || reg >= 32 {
+            return Err(TraceFileError::BadRegister { index, reg });
+        }
+        Some((Reg::new(reg), value))
+    } else {
+        None
+    };
+    let mem = if flags & FLAG_MEM != 0 {
+        let addr = u32_field(&mut at);
+        let width = body[at];
+        at += 1;
+        let value = u32_field(&mut at);
+        if !matches!(width, 1 | 2 | 4) {
+            return Err(TraceFileError::BadWidth { index, width });
+        }
+        Some(MemAccess {
+            addr,
+            width,
+            is_store: flags & FLAG_STORE != 0,
+            value,
+        })
+    } else {
+        None
+    };
+    let branch = (flags & FLAG_BRANCH != 0).then(|| BranchOutcome {
+        taken: flags & FLAG_TAKEN != 0,
+        target: u32_field(&mut at),
+    });
+    Ok(ExecRecord {
+        seq: index,
+        pc,
+        word,
+        instr,
+        rs_value,
+        rt_value,
+        writeback,
+        mem,
+        branch,
+    })
 }
 
 impl<R: BufRead> Iterator for TraceReader<R> {
@@ -840,7 +932,11 @@ fn read_header_line(input: &mut impl BufRead) -> Result<String, TraceFileError> 
     let mut buf: Vec<u8> = Vec::new();
     loop {
         let (used, done) = {
-            let available = input.fill_buf()?;
+            let available = match input.fill_buf() {
+                Ok(available) => available,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(TraceFileError::Io(e)),
+            };
             if available.is_empty() {
                 if buf.is_empty() {
                     return Err(TraceFileError::Io(io::Error::new(
@@ -1002,5 +1098,66 @@ mod tests {
             let err = TraceReader::new(io::Cursor::new(text.as_bytes())).unwrap_err();
             assert!(check(&err), "{text:?} gave {err}");
         }
+    }
+
+    #[test]
+    fn record_length_table_matches_the_encoder() {
+        let trace = sample_trace();
+        let mut buf = Vec::new();
+        for (index, rec) in trace.iter().enumerate() {
+            buf.clear();
+            encode_record(index as u64, rec, &mut buf).unwrap();
+            assert_eq!(
+                RECORD_LEN[buf[0] as usize] as usize,
+                buf.len(),
+                "flags {:#04x}",
+                buf[0]
+            );
+        }
+        assert_eq!(RECORD_LEN[FLAG_RESERVED as usize], 0);
+        assert_eq!(RECORD_LEN[FLAG_STORE as usize], 0, "store without mem");
+        assert_eq!(RECORD_LEN[FLAG_TAKEN as usize], 0, "taken without branch");
+        assert_eq!(RECORD_LEN[0], 9);
+        assert_eq!(RECORD_LEN[usize::from(!FLAG_RESERVED)], MAX_RECORD as u8);
+    }
+
+    /// Wraps a reader and injects a transient `Interrupted` error before
+    /// every successful read, the way a signal-delivering OS would.
+    struct Interrupting<R> {
+        inner: R,
+        interrupt_next: bool,
+    }
+
+    impl<R: io::Read> io::Read for Interrupting<R> {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.interrupt_next {
+                self.interrupt_next = false;
+                return Err(io::Error::new(io::ErrorKind::Interrupted, "signal"));
+            }
+            self.interrupt_next = true;
+            // One byte at a time, so interrupts land mid-record and at the
+            // end-of-stream probe alike.
+            let take = buf.len().min(1);
+            self.inner.read(&mut buf[..take])
+        }
+    }
+
+    #[test]
+    fn transient_interrupted_reads_are_retried_not_fatal() {
+        let trace = sample_trace();
+        let mut writer = TraceWriter::new();
+        for rec in &trace {
+            writer.push(rec).unwrap();
+        }
+        let mut bytes = Vec::new();
+        writer.finish(&mut bytes).unwrap();
+
+        let input = io::BufReader::new(Interrupting {
+            inner: io::Cursor::new(&bytes),
+            interrupt_next: true,
+        });
+        let reader = TraceReader::new(input).unwrap();
+        let restored = collect_records(reader).expect("interrupts must be retried, not fatal");
+        assert_eq!(restored.records(), trace.records());
     }
 }

@@ -19,7 +19,7 @@
 
 use crate::organization::{Organization, Stage};
 use crate::predictor::BimodalPredictor;
-use sigcomp::cost::instr_cost;
+use sigcomp::cost::{instr_cost, InstrCost};
 use sigcomp::FunctRecoder;
 use sigcomp_isa::{ExecRecord, Op};
 use sigcomp_mem::{AccessKind, HierarchyConfig, HierarchyStats, MemoryHierarchy};
@@ -147,10 +147,27 @@ pub struct PipelineSim {
     org: Organization,
     recoder: FunctRecoder,
     hierarchy: MemoryHierarchy,
+    /// Pipeline depth, cached so the hot loop never re-asks the organization.
+    depth: usize,
+    /// The organization's stage list in a fixed-size array (depth ≤ 7).
+    stages: [Stage; 7],
+    /// Per-stage powered-lane budget, cached from the organization.
+    lane_bytes: [u64; 7],
+    /// Stage → pipeline-index lookup, indexed by `Stage as usize`
+    /// (`usize::MAX` for stages the organization does not have).
+    stage_pos: [usize; 7],
+    /// Index of the (low-order) execute stage.
+    ex_index: usize,
+    /// Index of the (low-order) memory stage.
+    mem_index: usize,
+    /// Whether the organization can gate unused byte lanes.
+    gates: bool,
+    /// Whether stages stream bytes onward after one cycle.
+    streamed: bool,
     /// Enter times of the previous instruction, per stage.
-    prev_enter: Vec<u64>,
+    prev_enter: [u64; 7],
     /// Busy-until times of the previous instruction, per stage.
-    prev_busy: Vec<u64>,
+    prev_busy: [u64; 7],
     /// Cycle at which each architectural register's latest value is available
     /// for bypass.
     reg_ready: [u64; 32],
@@ -187,11 +204,32 @@ impl PipelineSim {
         recoder: FunctRecoder,
     ) -> Self {
         let depth = org.depth();
+        debug_assert!(depth <= 7, "the fixed stage arrays hold up to 7 stages");
+        let mut stages = [Stage::Fetch; 7];
+        stages[..depth].copy_from_slice(org.stages());
+        let mut lane_bytes = [0u64; 7];
+        let mut stage_pos = [usize::MAX; 7];
+        for (i, &stage) in org.stages().iter().enumerate() {
+            lane_bytes[i] = u64::from(org.lane_bytes(stage));
+            stage_pos[stage as usize] = i;
+        }
         PipelineSim {
             hierarchy: MemoryHierarchy::new(hierarchy),
             recoder,
-            prev_enter: vec![0; depth],
-            prev_busy: vec![0; depth],
+            depth,
+            stages,
+            lane_bytes,
+            stage_pos,
+            ex_index: org
+                .stage_index(Stage::Execute)
+                .expect("every organization has an execute stage"),
+            mem_index: org
+                .stage_index(Stage::Memory)
+                .expect("every organization has a memory stage"),
+            gates: org.gates_lanes(),
+            streamed: org.is_streamed(),
+            prev_enter: [0; 7],
+            prev_busy: [0; 7],
             reg_ready: [0; 32],
             fetch_allowed: 0,
             predictor: None,
@@ -231,17 +269,30 @@ impl PipelineSim {
     }
 
     /// Feeds one retired instruction through the timing model.
+    ///
+    /// This is the replay hot loop: every per-record quantity comes from the
+    /// attributes cached at construction and fixed-size stack arrays — no
+    /// heap allocation per record.
     pub fn observe(&mut self, rec: &ExecRecord) {
         let cost = instr_cost(rec, self.org.scheme(), &self.recoder);
-        let depth = self.org.depth();
-        let stages = self.org.stages().to_vec();
+        self.observe_with_cost(rec, &cost);
+    }
+
+    /// [`PipelineSim::observe`] with the record's [`InstrCost`] supplied by
+    /// the caller — for drivers that also feed an activity model and want to
+    /// distil the record once instead of once per model. The cost must come
+    /// from `instr_cost(rec, ...)` under this simulator's scheme and
+    /// recoder, or the timing is meaningless.
+    pub fn observe_with_cost(&mut self, rec: &ExecRecord, cost: &InstrCost) {
+        let cost = *cost;
+        let depth = self.depth;
 
         // Per-stage occupancy, including cache/TLB miss penalties.
         let imem = self.hierarchy.fetch_instruction(rec.pc);
-        let mut occ: Vec<u64> = stages
-            .iter()
-            .map(|&s| u64::from(self.org.occupancy(s, &cost)))
-            .collect();
+        let mut occ = [0u64; 7];
+        for (slot, &stage) in occ.iter_mut().zip(&self.stages[..depth]) {
+            *slot = u64::from(self.org.occupancy(stage, &cost));
+        }
         occ[0] += u64::from(imem.latency.saturating_sub(1));
         if let Some(mem) = rec.mem {
             let kind = if mem.is_store {
@@ -250,22 +301,17 @@ impl PipelineSim {
                 AccessKind::Load
             };
             let dmem = self.hierarchy.data_access(mem.addr, kind);
-            let mem_index = self
-                .org
-                .stage_index(Stage::Memory)
-                .expect("every organization has a memory stage");
-            occ[mem_index] += u64::from(dmem.latency.saturating_sub(1));
+            occ[self.mem_index] += u64::from(dmem.latency.saturating_sub(1));
         }
 
         // Gated-lane occupancy: each occupied cycle powers the stage's lane
         // budget; the lanes the instruction's significant bytes don't need
         // are gated off (only in the compressed organizations — the
         // baseline has no extension bits to gate with).
-        let gates = self.org.gates_lanes();
-        for (s, &stage) in stages.iter().enumerate() {
-            let total = u64::from(self.org.lane_bytes(stage)) * occ[s];
-            let used = if gates {
-                u64::from(self.org.stage_used_bytes(stage, &cost)).min(total)
+        for (s, &stage_occ) in occ.iter().enumerate().take(depth) {
+            let total = self.lane_bytes[s] * stage_occ;
+            let used = if self.gates {
+                u64::from(self.org.stage_used_bytes(self.stages[s], &cost)).min(total)
             } else {
                 total
             };
@@ -273,22 +319,9 @@ impl PipelineSim {
             self.total_byte_cycles[s] += total;
         }
 
-        // Stage-to-stage advance latency: streamed organizations hand the
-        // low-order byte onward after one cycle; the compressed organization
-        // holds the instruction until the stage has finished.
-        let advance: Vec<u64> = if self.org.is_streamed() {
-            vec![1; depth]
-        } else {
-            occ.clone()
-        };
-
-        let ex_index = self
-            .org
-            .stage_index(Stage::Execute)
-            .expect("every organization has an execute stage");
-
-        let mut enter = vec![0u64; depth];
-        let mut busy = vec![0u64; depth];
+        let ex_index = self.ex_index;
+        let mut enter = [0u64; 7];
+        let mut busy = [0u64; 7];
 
         for s in 0..depth {
             // Structural constraint: the previous instruction must have both
@@ -302,7 +335,12 @@ impl PipelineSim {
             let (flow, control_bound) = if s == 0 {
                 (vacated, self.fetch_allowed)
             } else {
-                (enter[s - 1] + advance[s - 1], 0)
+                // Stage-to-stage advance latency: streamed organizations
+                // hand the low-order byte onward after one cycle; a
+                // non-streamed one holds the instruction until the stage
+                // has finished.
+                let advance = if self.streamed { 1 } else { occ[s - 1] };
+                (enter[s - 1] + advance, 0)
             };
 
             let mut hazard_bound = 0u64;
@@ -355,11 +393,7 @@ impl PipelineSim {
             } else {
                 self.org.alu_result_stage(&cost)
             };
-            let idx = self
-                .org
-                .stage_index(produce_stage)
-                .expect("producing stage exists");
-            self.reg_ready[usize::from(dest)] = busy[idx];
+            self.reg_ready[usize::from(dest)] = busy[self.stage_pos[produce_stage as usize]];
         }
 
         // Control hazards. Without a predictor (the paper's configuration)
@@ -369,7 +403,7 @@ impl PipelineSim {
         if cost.is_branch {
             self.branches += 1;
             let resolve = self.org.branch_resolve_stage(&cost);
-            let idx = self.org.stage_index(resolve).expect("resolve stage exists");
+            let idx = self.stage_pos[resolve as usize];
             let correct = match self.predictor.as_mut() {
                 Some(p) => p.update(rec.pc, cost.taken),
                 None => false,
@@ -382,14 +416,13 @@ impl PipelineSim {
             }
         } else if matches!(rec.instr.op, Op::Jr | Op::Jalr) {
             let resolve = self.org.branch_resolve_stage(&cost);
-            let idx = self.org.stage_index(resolve).expect("resolve stage exists");
-            self.fetch_allowed = self.fetch_allowed.max(busy[idx]);
+            self.fetch_allowed = self
+                .fetch_allowed
+                .max(busy[self.stage_pos[resolve as usize]]);
         } else if cost.is_jump {
-            let idx = self
-                .org
-                .stage_index(Stage::RegRead)
-                .expect("decode stage exists");
-            self.fetch_allowed = self.fetch_allowed.max(busy[idx]);
+            self.fetch_allowed = self
+                .fetch_allowed
+                .max(busy[self.stage_pos[Stage::RegRead as usize]]);
         }
 
         self.completion = self.completion.max(busy[depth - 1]);

@@ -87,6 +87,20 @@ impl BatchConfig {
     }
 }
 
+/// Upper bound on the load-shed `Retry-After` hint, in seconds. A queue deep
+/// enough to hit this cap is drained long before the hint expires, so a
+/// larger value would only idle clients.
+pub const MAX_RETRY_AFTER_SECS: u64 = 30;
+
+/// [`Batcher::retry_after_hint`]'s backlog model as a pure function: one
+/// second per `max_batch`-sized executor batch queued, clamped to
+/// `1..=`[`MAX_RETRY_AFTER_SECS`].
+fn retry_after_secs(queue_depth: u64, max_batch: u64) -> u64 {
+    queue_depth
+        .div_ceil(max_batch.max(1))
+        .clamp(1, MAX_RETRY_AFTER_SECS)
+}
+
 /// The in-memory result memo: a capacity-bounded map from
 /// [`JobSpec::job_id`] to metrics with insertion-order eviction. Bounded so
 /// a long-running server under sustained *distinct* traffic holds memory
@@ -311,6 +325,20 @@ impl Batcher {
         self.shared.state.lock().expect("queue poisoned").memo.len()
     }
 
+    /// The `Retry-After` hint (seconds) for a load-shed response, derived
+    /// from the scheduler's actual backlog rather than a constant: one
+    /// second per executor batch queued ahead of the retrying client
+    /// (`queue_depth / max_batch`, rounded up), at least 1 and capped at
+    /// [`MAX_RETRY_AFTER_SECS`]. A deeper queue or a smaller batch size
+    /// pushes the hint out; a nearly drained queue says "come right back".
+    #[must_use]
+    pub fn retry_after_hint(&self) -> u64 {
+        retry_after_secs(
+            self.queue_depth() as u64,
+            self.shared.config.max_batch() as u64,
+        )
+    }
+
     fn enqueue(&self, spec: JobSpec, block: bool) -> Result<Enqueued, SubmitError> {
         let metrics = &self.shared.metrics;
         ServerMetrics::incr(&metrics.jobs_requested);
@@ -490,6 +518,26 @@ fn run_batch(shared: &Shared, batch: Vec<(JobSpec, Arc<Slot>)>) {
 mod tests {
     use super::*;
     use sigcomp::ExtScheme;
+
+    #[test]
+    fn retry_after_tracks_the_batch_backlog() {
+        // An empty (or racing-toward-empty) queue still asks for a 1 s
+        // pause, never 0 — "Retry-After: 0" would invite a busy loop.
+        assert_eq!(retry_after_secs(0, 64), 1);
+        // Up to one batch pending: come back after one drain interval.
+        assert_eq!(retry_after_secs(1, 64), 1);
+        assert_eq!(retry_after_secs(64, 64), 1);
+        // The hint grows with the number of batches queued ahead.
+        assert_eq!(retry_after_secs(65, 64), 2);
+        assert_eq!(retry_after_secs(640, 64), 10);
+        // Tiny batches make the same queue look longer.
+        assert_eq!(retry_after_secs(8, 1), 8);
+        // Pathological backlogs are capped, not relayed verbatim.
+        assert_eq!(retry_after_secs(1_000_000, 1), MAX_RETRY_AFTER_SECS);
+        // A zero max_batch cannot divide-by-zero.
+        assert_eq!(retry_after_secs(10, 0), 10);
+    }
+
     use sigcomp_explore::{simulate_job, MemProfile};
     use sigcomp_pipeline::OrgKind;
     use sigcomp_workloads::{find, suite_names, WorkloadSize};

@@ -316,7 +316,7 @@ fn route(ctx: &Arc<Ctx>, request: &Request) -> Response {
             Ok(doc) => match job_spec_from_json(&doc) {
                 Ok((spec, node)) => match ctx.batcher.submit(spec) {
                     Ok(result) => Response::json(200, simulate_response(&spec, &result, node)),
-                    Err(e) => submit_error_response(e),
+                    Err(e) => submit_error_response(ctx, e),
                 },
                 Err(message) => Response::error(400, &message),
             },
@@ -390,7 +390,7 @@ fn handle_sweep(ctx: &Arc<Ctx>, spec: &sigcomp_explore::SweepSpec, sync: bool) -
             }
             Err(e) => {
                 ServerMetrics::incr(&ctx.metrics.sweeps_failed);
-                submit_error_response(e)
+                submit_error_response(ctx, e)
             }
         };
     }
@@ -460,16 +460,19 @@ fn handle_fleet_dispatch(ctx: &Arc<Ctx>, jobs: &[sigcomp_explore::JobSpec]) -> R
             // frontier's parser reads the body and ignores Content-Type.
             Response::json(200, proto::encode_report(&outcomes, &obs))
         }
-        Err(e) => submit_error_response(e),
+        Err(e) => submit_error_response(ctx, e),
     }
 }
 
-fn submit_error_response(e: SubmitError) -> Response {
+fn submit_error_response(ctx: &Ctx, e: SubmitError) -> Response {
     match e {
         SubmitError::ShuttingDown => Response::error(503, &e.to_string()),
         // Shed, don't stall: the queue is full, so tell the client when to
-        // come back instead of tying up a connection thread.
-        SubmitError::Overloaded => Response::error(503, &e.to_string()).with_retry_after(1),
+        // come back instead of tying up a connection thread. The hint
+        // tracks the backlog actually queued ahead of the retry.
+        SubmitError::Overloaded => {
+            Response::error(503, &e.to_string()).with_retry_after(ctx.batcher.retry_after_hint())
+        }
         SubmitError::SimulationFailed => Response::error(500, &e.to_string()),
     }
 }

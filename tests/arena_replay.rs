@@ -1,0 +1,75 @@
+//! Differential proof that decode-once arena replay is bit-identical to
+//! streaming replay.
+//!
+//! The sweep's hot path replays [`DecodedTrace`] arenas
+//! ([`sigcomp_explore::simulate_decoded`]); the conformance tooling and the
+//! original replay path stream `Vec<ExecRecord>` traces
+//! ([`sigcomp_explore::simulate_trace`]). These tests pin the two paths to
+//! each other over the golden corpus: same records, and bit-identical
+//! metrics for every scheme × organization.
+
+use sigcomp::ExtScheme;
+use sigcomp_bench::golden::GOLDEN_WORKLOADS;
+use sigcomp_explore::{simulate_decoded, simulate_trace, JobSpec, MemProfile, TraceSource};
+use sigcomp_isa::tracefile::{collect_records, payload_digest};
+use sigcomp_isa::{DecodedTrace, Trace, TraceReader};
+use sigcomp_pipeline::OrgKind;
+use sigcomp_workloads::WorkloadSize;
+use std::path::PathBuf;
+
+fn golden_path(workload: &str) -> PathBuf {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/data"))
+        .join(format!("{workload}.sctrace"))
+}
+
+fn load_both(workload: &str) -> (Trace, DecodedTrace) {
+    let path = golden_path(workload);
+    let streamed = collect_records(TraceReader::open(&path).unwrap())
+        .unwrap_or_else(|e| panic!("streaming load of {workload}: {e}"));
+    let arena =
+        DecodedTrace::open(&path).unwrap_or_else(|e| panic!("arena load of {workload}: {e}"));
+    (streamed, arena)
+}
+
+#[test]
+fn arena_records_equal_streaming_records_over_the_golden_corpus() {
+    for &workload in GOLDEN_WORKLOADS {
+        let (streamed, arena) = load_both(workload);
+        assert_eq!(arena.len(), streamed.len(), "{workload}: record count");
+        for (i, (from_arena, from_stream)) in arena.iter().zip(streamed.iter()).enumerate() {
+            assert_eq!(
+                from_arena, *from_stream,
+                "{workload}: record {i} differs between arena and streaming decode"
+            );
+        }
+    }
+}
+
+#[test]
+fn arena_replay_metrics_are_bit_identical_for_every_scheme_and_organization() {
+    for &workload in GOLDEN_WORKLOADS {
+        let (streamed, arena) = load_both(workload);
+        let digest = payload_digest(&streamed).unwrap();
+        for &scheme in ExtScheme::ALL {
+            for &org in OrgKind::ALL {
+                let spec = JobSpec {
+                    scheme,
+                    org,
+                    workload: "arena-diff",
+                    size: WorkloadSize::Tiny,
+                    mem: MemProfile::Paper,
+                    source: TraceSource::File { digest },
+                };
+                let from_stream = simulate_trace(&spec, &streamed);
+                let from_arena = simulate_decoded(&spec, &arena);
+                assert_eq!(
+                    from_arena,
+                    from_stream,
+                    "{workload} / {} / {}: arena metrics diverge from streaming metrics",
+                    scheme.id(),
+                    org.id()
+                );
+            }
+        }
+    }
+}

@@ -416,6 +416,17 @@ fn full_queue_sheds_with_a_fast_503_and_retry_after() {
         lowered.contains("\r\nretry-after:"),
         "503 must carry Retry-After: {raw}"
     );
+    // The hint is derived from the backlog (batches queued ahead), not a
+    // hardcoded constant: with queue_capacity = max_batch = 1 the shed
+    // client has at most one batch ahead of it, so the hint must be the
+    // 1-second floor — and in any configuration it must stay within the
+    // derivation's clamp, never 0 (busy loop) or unbounded.
+    let retry_after: u64 = lowered
+        .lines()
+        .find_map(|line| line.strip_prefix("retry-after:"))
+        .and_then(|value| value.trim().parse().ok())
+        .expect("Retry-After value must be an integer");
+    assert_eq!(retry_after, 1, "one-slot queue ⇒ one pending batch: {raw}");
     assert!(lowered.contains("overloaded"), "{raw}");
 
     // The shed is accounted on /metrics.

@@ -56,7 +56,8 @@ fn replaying_the_checked_in_traces_matches_the_expected_metrics() {
         // Read back through the real decoder, so this pins reader + models.
         let input = TraceInput::load(trace_path(data_dir(), workload))
             .unwrap_or_else(|e| panic!("cannot load {workload}.sctrace: {e}"));
-        let actual = expected_json(workload, input.trace()).unwrap();
+        let records: sigcomp_isa::Trace = input.decoded().iter().collect();
+        let actual = expected_json(workload, &records).unwrap();
         let expected = std::fs::read_to_string(expected_path(data_dir(), workload))
             .unwrap_or_else(|e| panic!("cannot read {workload}.expected.json: {e}"));
         if let Some(report) = diff_report(&expected, &actual) {
@@ -80,7 +81,8 @@ fn checked_in_headers_declare_the_true_content_digest() {
         // Recompute the digest from the decoded records (TraceInput::load
         // trusts the verified header, so recompute independently here).
         let input = TraceInput::load(&path).unwrap();
-        let recomputed = sigcomp_isa::tracefile::payload_digest(input.trace()).unwrap();
+        let records: sigcomp_isa::Trace = input.decoded().iter().collect();
+        let recomputed = sigcomp_isa::tracefile::payload_digest(&records).unwrap();
         assert_eq!(
             recomputed, declared,
             "{workload}: header digest does not match the record stream"
