@@ -107,21 +107,25 @@
 //! order (`all` does not include `sweep`, `serve`, `bench` or `trace`).
 
 use sigcomp::analyzer::AnalyzerConfig;
-use sigcomp::{EnergyModel, ExtScheme, ProcessNode};
+use sigcomp::{EnergyModel, ExtScheme, ProcessNode, SigStats};
 use sigcomp_bench::{
-    activity_study, activity_table, bottleneck, cpi_study, figure, figure_orgs, golden,
-    merged_stats, perf, table1, table2, table3, table4,
+    activity_study, activity_table, bottleneck, cpi_study, figure, figure_orgs, golden, histogram,
+    merged_stats, pattern_histogram_rows, perf, table1, table2, table3, table4,
 };
 use sigcomp_explore::{
-    config_points, frontier_table, parse_shard, run_sweep, to_csv, to_json, try_run_jobs_traced,
-    try_run_sweep, ExecBackend, FleetConfig, JobSpec, MemProfile, ResultCache, SubprocessConfig,
-    SweepOptions, SweepSpec, TraceInput, TraceSource, WORKER_HEADER,
+    config_points, frontier_table, parse_shard, run_sweep, static_prune, to_csv, to_json,
+    try_run_jobs_traced, try_run_sweep, ExecBackend, FleetConfig, JobSpec, MemProfile, PruneReason,
+    ResultCache, SubprocessConfig, SweepOptions, SweepSpec, TraceInput, TraceSource, WORKER_HEADER,
 };
 use sigcomp_fabric::client::HttpClient;
 use sigcomp_fabric::worker::Heartbeater;
 use sigcomp_isa::TraceReader;
 use sigcomp_pipeline::OrgKind;
 use sigcomp_serve::{BatchConfig, ServeConfig, Server};
+use sigcomp_static::{
+    analyze_program, program_from_records, verify_trace_against_bounds, EntryState, Width,
+    WidthReport,
+};
 use sigcomp_workloads::{find, suite_names, WorkloadSize};
 use std::path::Path;
 use std::process::ExitCode;
@@ -134,6 +138,8 @@ usage: repro [--size tiny|default|large] \
                    [--energy-model paper-180nm|generic-45nm|modern-7nm]
        repro trace stat FILE
        repro trace golden DIR
+       repro analyze WORKLOAD|FILE.sctrace [--size tiny|default|large]
+                   [--csv PATH] [--json PATH]
        repro worker --shard I/N --cache DIR [--workers N] [--traces a,b]
                     [--obs-log FILE]
        repro fleet serve [serve options] [--frontier HOST:PORT]
@@ -145,6 +151,7 @@ sweep options: [--workers N] [--shards N] [--schemes 2bit,3bit,halfword]
 [--traces f1.sctrace,f2.sctrace]
 [--energy-model paper-180nm,generic-45nm,modern-7nm]
 [--cache DIR] [--no-cache] [--csv PATH] [--json PATH] [--obs-log FILE]
+[--static-prune PCT]
 (--shards requires the cache: worker processes merge through it; set
 REPRO_WORKER to interpose a worker launcher)
 energy options: [--workers N] [--schemes a,b] [--orgs all|a,b] [--mems a,b]
@@ -202,6 +209,7 @@ struct SweepArgs {
     heartbeat_ms: Option<u64>,
     timeout_ms: Option<u64>,
     attempts: Option<u32>,
+    static_prune: Option<f64>,
 }
 
 /// The `--backend` value of `repro serve`.
@@ -373,7 +381,34 @@ fn run_sweep_command(size: WorkloadSize, args: &SweepArgs, fleet: bool) -> ExitC
         spec.len(),
         size.name()
     );
-    let summary = match try_run_sweep(&spec, &options) {
+    let run = if let Some(threshold) = args.static_prune {
+        // The static pre-screen. Kept jobs stay in enumeration order, so
+        // their outcomes (and export rows) are byte-identical to the
+        // corresponding rows of an unpruned run; pruned configurations are
+        // reported here, never silently dropped.
+        let jobs = spec.enumerate();
+        let outcome = static_prune(&jobs, threshold);
+        println!(
+            "static prune (< {threshold} % predicted saving): kept {} of {} configurations",
+            outcome.kept.len(),
+            jobs.len()
+        );
+        for pruned in &outcome.pruned {
+            let PruneReason::BelowThreshold { predicted_pct } = pruned.reason;
+            println!(
+                "  pruned {} (predicted saving {predicted_pct:.1} %)",
+                pruned.spec.label()
+            );
+        }
+        if outcome.kept.is_empty() {
+            eprintln!("sweep: --static-prune removed every configuration");
+            return ExitCode::FAILURE;
+        }
+        try_run_jobs_traced(&outcome.kept, spec.trace_inputs(), &options)
+    } else {
+        try_run_sweep(&spec, &options)
+    };
+    let summary = match run {
         Ok(summary) => summary,
         Err(e) => {
             eprintln!("sweep: {e}");
@@ -1056,9 +1091,11 @@ fn trace_stat(args: &[String]) -> ExitCode {
     }
     let (mut loads, mut stores, mut branches, mut taken, mut writebacks) =
         (0u64, 0u64, 0u64, 0u64, 0u64);
+    let mut stats = SigStats::new();
     loop {
         match reader.next_record() {
             Ok(Some(rec)) => {
+                stats.observe(&rec);
                 if let Some(mem) = rec.mem {
                     if mem.is_store {
                         stores += 1;
@@ -1083,6 +1120,14 @@ fn trace_stat(args: &[String]) -> ExitCode {
     println!("  stores     {stores}");
     println!("  branches   {branches} ({taken} taken)");
     println!("  writebacks {writebacks}");
+    print!(
+        "{}",
+        histogram(
+            "significant-byte patterns over the recorded operand values",
+            "pattern",
+            &pattern_histogram_rows(&stats)
+        )
+    );
     println!("  payload verified (count and digest match the header)");
     ExitCode::SUCCESS
 }
@@ -1103,6 +1148,158 @@ fn trace_golden(args: &[String]) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Runs `repro analyze <workload|file.sctrace>`: builds the CFG, solves the
+/// width fixpoint and prints the static significance picture without
+/// simulating a cycle. Trace files are reconstructed from their recorded
+/// (pc, word) pairs and analyzed under an unknown entry state — and since
+/// the dynamic values are right there, every record is differentially
+/// verified against the computed bounds on the spot.
+fn run_analyze_command(args: &[String]) -> ExitCode {
+    let mut target: Option<String> = None;
+    let mut size = WorkloadSize::Default;
+    let mut csv: Option<String> = None;
+    let mut json: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--size" => {
+                let Some(raw) = it.next() else {
+                    return fail("--size expects a value");
+                };
+                size = match parse_size(raw) {
+                    Ok(value) => value,
+                    Err(e) => return fail(&e),
+                };
+            }
+            "--csv" => {
+                let Some(value) = it.next() else {
+                    return fail("--csv expects a value");
+                };
+                csv = Some(value.clone());
+            }
+            "--json" => {
+                let Some(value) = it.next() else {
+                    return fail("--json expects a value");
+                };
+                json = Some(value.clone());
+            }
+            other if other.starts_with('-') => {
+                return fail(&format!("unknown analyze option '{other}'"));
+            }
+            other => {
+                if target.is_some() {
+                    return fail("analyze expects exactly one workload or .sctrace file");
+                }
+                target = Some(other.to_owned());
+            }
+        }
+    }
+    let Some(target) = target else {
+        return fail("analyze expects a workload name or a .sctrace file");
+    };
+
+    let is_trace = target.ends_with(".sctrace") || Path::new(&target).is_file();
+    let report = if is_trace {
+        let mut reader = match TraceReader::open(&target) {
+            Ok(reader) => reader,
+            Err(e) => {
+                eprintln!("analyze: cannot read trace {target}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let mut records = Vec::new();
+        loop {
+            match reader.next_record() {
+                Ok(Some(rec)) => records.push(rec),
+                Ok(None) => break,
+                Err(e) => {
+                    eprintln!("analyze: {target}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        let Some(program) = program_from_records(&records) else {
+            eprintln!("analyze: {target}: the trace is empty, nothing to reconstruct");
+            return ExitCode::FAILURE;
+        };
+        let analysis = analyze_program(&program, EntryState::Unknown);
+        println!(
+            "{target}: program reconstructed from {} records",
+            records.len()
+        );
+        match verify_trace_against_bounds(&analysis, &records) {
+            Ok(verified) => println!(
+                "verified {} records ({} operand values) against the static bounds",
+                verified.records, verified.values_checked
+            ),
+            Err(e) => {
+                eprintln!("analyze: {target}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        WidthReport::from_analysis(&target, &analysis)
+    } else {
+        let Some(bench) = find(&target, size) else {
+            return fail(&format!(
+                "unknown workload '{target}' (expected one of {}, or an .sctrace file)",
+                suite_names().join(", ")
+            ));
+        };
+        let analysis = analyze_program(bench.program(), EntryState::KernelBoot);
+        println!("{target} ({}): static width analysis", size.name());
+        WidthReport::from_analysis(&target, &analysis)
+    };
+
+    println!(
+        "  blocks        {} ({} reachable)",
+        report.blocks, report.reachable_blocks
+    );
+    println!("  instructions  {}", report.instructions);
+    println!("  operand slots {}", report.operand_slots());
+    println!(
+        "  mean bound    {:.2} bytes (predicted saving {:.1} %)",
+        report.mean_bound_bytes(),
+        report.predicted_saving() * 100.0
+    );
+    println!();
+    print!(
+        "{}",
+        histogram(
+            "Static width bounds (operand slots proven to fit k bytes)",
+            "bound",
+            &report.histogram_rows()
+        )
+    );
+    println!();
+    println!(
+        "{:<10} {:>8} {:>14} {:>12}",
+        "op", "count", "mean op bytes", "result bound"
+    );
+    for row in &report.per_op {
+        println!(
+            "{:<10} {:>8} {:>14.2} {:>12}",
+            row.op.mnemonic(),
+            row.count,
+            row.mean_operand_bytes,
+            row.result.map_or("-", Width::label)
+        );
+    }
+
+    for (path, content, what) in [
+        (csv.as_deref(), report.to_csv(), "CSV"),
+        (json.as_deref(), report.to_json(), "JSON"),
+    ] {
+        if let Some(path) = path {
+            if let Err(e) = std::fs::write(path, content) {
+                eprintln!("analyze: cannot write {what} to {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {what} to {path}");
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 /// Runs one shard of a sharded sweep (the subprocess-backend worker
@@ -1299,6 +1496,9 @@ fn main() -> ExitCode {
     }
     if argv.first().map(String::as_str) == Some("worker") {
         return run_worker_command(&argv[1..]);
+    }
+    if argv.first().map(String::as_str) == Some("analyze") {
+        return run_analyze_command(&argv[1..]);
     }
     // `fleet <verb>` reuses the global flag grammar (a fleet sweep takes
     // the same axes/cache/export flags as a plain sweep): the verb is
@@ -1514,6 +1714,20 @@ fn main() -> ExitCode {
                 };
                 sweep_args.attempts = Some(value);
             }
+            "--static-prune" => {
+                let raw = value_of!("--static-prune");
+                let Some(value) = raw
+                    .parse()
+                    .ok()
+                    .filter(|&p: &f64| p.is_finite() && p >= 0.0)
+                else {
+                    return fail(&format!(
+                        "invalid value '{raw}' for --static-prune \
+                         (expected a non-negative saving percentage)"
+                    ));
+                };
+                sweep_args.static_prune = Some(value);
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -1535,6 +1749,12 @@ fn main() -> ExitCode {
                 return fail(
                     "'worker' must be the first argument \
                      (e.g. `repro worker --shard 0/2 --cache DIR`)",
+                );
+            }
+            "analyze" => {
+                return fail(
+                    "'analyze' must be the first argument \
+                     (e.g. `repro analyze rawcaudio --size tiny`)",
                 );
             }
             "fleet" => {
@@ -1565,6 +1785,7 @@ fn main() -> ExitCode {
             (sweep_args.energy_models.is_some(), "--energy-model"),
             (sweep_args.csv.is_some(), "--csv"),
             (sweep_args.json.is_some(), "--json"),
+            (sweep_args.static_prune.is_some(), "--static-prune"),
         ] {
             if set {
                 return fail(&format!(

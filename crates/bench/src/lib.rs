@@ -21,6 +21,7 @@
 //! | design-space sweep + Pareto frontier | `sigcomp_explore::run_sweep` | `sweep` |
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 #![warn(rust_2018_idioms)]
 
 pub mod golden;
@@ -132,25 +133,40 @@ pub fn merged_stats(rows: &[ActivityRow]) -> SigStats {
     merged
 }
 
+/// Formats a percentage histogram with a running cumulative column — the
+/// one shape shared by Table 1, `repro trace stat`'s significance histogram
+/// and `repro analyze`'s static width histogram.
+#[must_use]
+pub fn histogram(title: &str, label: &str, rows: &[(String, f64)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(out, "{label:<10} {:>10} {:>12}", "% values", "cumulative");
+    let mut cumulative = 0.0;
+    for (name, percent) in rows {
+        cumulative += percent;
+        let _ = writeln!(out, "{name:<10} {percent:>10.1} {cumulative:>12.1}");
+    }
+    out
+}
+
+/// The rows of [`SigStats::pattern_table`] in [`histogram`] form.
+#[must_use]
+pub fn pattern_histogram_rows(stats: &SigStats) -> Vec<(String, f64)> {
+    stats
+        .pattern_table()
+        .into_iter()
+        .map(|row| (row.pattern.notation(), row.percent))
+        .collect()
+}
+
 /// Formats Table 1 (significant-byte pattern frequencies).
 #[must_use]
 pub fn table1(stats: &SigStats) -> String {
-    let mut out = String::new();
-    let _ = writeln!(out, "Table 1: Frequency of significant byte patterns");
-    let _ = writeln!(
-        out,
-        "{:<10} {:>10} {:>12}",
-        "pattern", "% values", "cumulative"
+    let mut out = histogram(
+        "Table 1: Frequency of significant byte patterns",
+        "pattern",
+        &pattern_histogram_rows(stats),
     );
-    for row in stats.pattern_table() {
-        let _ = writeln!(
-            out,
-            "{:<10} {:>10.1} {:>12.1}",
-            row.pattern.notation(),
-            row.percent,
-            row.cumulative
-        );
-    }
     let _ = writeln!(
         out,
         "two-bit-expressible patterns cover {:.1} % (paper: ≈ 94 %)",
@@ -231,7 +247,7 @@ pub fn table4() -> String {
         "{:<22} {:<22} {:>12}",
         "A[i-1] top bits", "B[i-1] top bits", "generation"
     );
-    let pattern = |top: u8| format!("{:02b}xxxxxx", top);
+    let pattern = |top: u8| format!("{top:02b}xxxxxx");
     for row in sigcomp::alu::case3_table() {
         let needed = if row.always_required {
             "always"
@@ -466,7 +482,7 @@ mod tests {
 
     #[test]
     fn static_tables_render() {
-        assert!(table2().contains("8"));
+        assert!(table2().contains('8'));
         assert!(table4().contains("xxxxxx"));
     }
 

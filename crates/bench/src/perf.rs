@@ -190,13 +190,12 @@ pub fn run(options: &BenchOptions) -> Result<BenchReport, String> {
     };
     let mut inputs = Vec::with_capacity(workloads.len());
     for &workload in workloads {
-        let input = match &options.corpus {
-            Some(dir) => golden::load_corpus_trace(dir, workload)?,
-            None => {
-                let trace = golden::record_golden(workload)?;
-                TraceInput::from_trace(workload, trace)
-                    .map_err(|e| format!("golden trace {workload}: {e}"))?
-            }
+        let input = if let Some(dir) = &options.corpus {
+            golden::load_corpus_trace(dir, workload)?
+        } else {
+            let trace = golden::record_golden(workload)?;
+            TraceInput::from_trace(workload, trace)
+                .map_err(|e| format!("golden trace {workload}: {e}"))?
         };
         inputs.push(input);
     }

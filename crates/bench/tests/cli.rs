@@ -890,3 +890,224 @@ fn bench_and_obs_flags_are_scoped_to_their_subcommands() {
         assert!(err.contains(needle), "{args:?}: {err}");
     }
 }
+
+#[test]
+fn analyze_prints_the_static_width_picture_and_exports() {
+    let dir = temp_dir("analyze");
+    let csv = dir.join("widths.csv");
+    let json = dir.join("widths.json");
+    let out = repro(&[
+        "analyze",
+        "rawcaudio",
+        "--size",
+        "tiny",
+        "--csv",
+        csv.to_str().unwrap(),
+        "--json",
+        json.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(text.contains("static width analysis"), "{text}");
+    assert!(text.contains("Static width bounds"), "{text}");
+    assert!(text.contains("predicted saving"), "{text}");
+    let csv_text = std::fs::read_to_string(&csv).unwrap();
+    assert!(
+        csv_text.starts_with("op,count,mean_operand_bytes,result_bound\n"),
+        "{csv_text}"
+    );
+    assert!(csv_text.lines().last().unwrap().starts_with("total,"));
+    let json_text = std::fs::read_to_string(&json).unwrap();
+    assert!(json_text.contains("\"mean_bound_bytes\""), "{json_text}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn analyze_verifies_trace_files_against_the_reconstructed_bounds() {
+    let dir = temp_dir("analyze-trace");
+    let path = dir.join("rawcaudio.sctrace");
+    let out = repro(&[
+        "trace",
+        "record",
+        "rawcaudio",
+        "--size",
+        "tiny",
+        "--out",
+        path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+
+    let out = repro(&["analyze", path.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(text.contains("program reconstructed from"), "{text}");
+    assert!(
+        text.contains("against the static bounds"),
+        "every record must be differentially verified: {text}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn analyze_argument_errors_are_named_and_fail() {
+    let out = repro(&["analyze"]);
+    assert!(!out.status.success());
+    assert!(
+        stderr(&out).contains("analyze expects a workload name"),
+        "{}",
+        stderr(&out)
+    );
+
+    let out = repro(&["analyze", "no-such-workload"]);
+    assert!(!out.status.success());
+    let err = stderr(&out);
+    assert!(err.contains("unknown workload 'no-such-workload'"), "{err}");
+    assert!(err.contains("rawcaudio"), "must list the suite: {err}");
+
+    let out = repro(&["analyze", "definitely-missing.sctrace"]);
+    assert!(!out.status.success());
+    assert!(
+        stderr(&out).contains("cannot read trace definitely-missing.sctrace"),
+        "{}",
+        stderr(&out)
+    );
+
+    let dir = temp_dir("analyze-garbage");
+    let garbage = dir.join("garbage.sctrace");
+    std::fs::write(&garbage, "not a trace at all\n").unwrap();
+    let out = repro(&["analyze", garbage.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("bad magic"), "{}", stderr(&out));
+
+    let out = repro(&["analyze", "rawcaudio", "--frobnicate"]);
+    assert!(!out.status.success());
+    assert!(
+        stderr(&out).contains("unknown analyze option '--frobnicate'"),
+        "{}",
+        stderr(&out)
+    );
+
+    let out = repro(&["table1", "analyze"]);
+    assert!(!out.status.success());
+    assert!(
+        stderr(&out).contains("'analyze' must be the first argument"),
+        "{}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn trace_stat_prints_the_shared_significance_histogram() {
+    let dir = temp_dir("stat-histogram");
+    let path = dir.join("rawcaudio.sctrace");
+    let out = repro(&[
+        "trace",
+        "record",
+        "rawcaudio",
+        "--size",
+        "tiny",
+        "--out",
+        path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+
+    let out = repro(&["trace", "stat", path.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(text.contains("significant-byte patterns"), "{text}");
+    assert!(text.contains("cumulative"), "{text}");
+    assert!(text.contains("payload verified"), "{text}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn static_prune_flag_is_validated_and_sweep_only() {
+    let out = repro(&["table1", "--static-prune", "50"]);
+    assert!(!out.status.success());
+    assert!(
+        stderr(&out).contains("--static-prune only applies to the sweep and fleet sweep"),
+        "{}",
+        stderr(&out)
+    );
+
+    for bad in ["lots", "-3", "NaN"] {
+        let out = repro(&["sweep", "--static-prune", bad]);
+        assert!(!out.status.success(), "--static-prune {bad} must fail");
+        assert!(
+            stderr(&out).contains(&format!("invalid value '{bad}' for --static-prune")),
+            "{}",
+            stderr(&out)
+        );
+    }
+}
+
+#[test]
+fn static_prune_preserves_the_merge_invariant() {
+    let dir = temp_dir("static-prune");
+    let full_csv = dir.join("full.csv");
+    let pruned_csv = dir.join("pruned.csv");
+    let base = [
+        "--size",
+        "tiny",
+        "sweep",
+        "--no-cache",
+        "--schemes",
+        "3bit",
+        "--orgs",
+        "baseline32,byte-serial",
+    ];
+
+    let mut full = base.to_vec();
+    full.extend(["--csv", full_csv.to_str().unwrap()]);
+    let out = repro(&full);
+    assert!(out.status.success(), "{}", stderr(&out));
+
+    // Threshold 0 prunes nothing: the export must be byte-identical.
+    let mut zero = base.to_vec();
+    zero.extend(["--static-prune", "0", "--csv", pruned_csv.to_str().unwrap()]);
+    let out = repro(&zero);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert_eq!(
+        std::fs::read(&full_csv).unwrap(),
+        std::fs::read(&pruned_csv).unwrap(),
+        "threshold 0 must not change the export"
+    );
+
+    // An impossible threshold prunes every non-baseline configuration; the
+    // pruned jobs are reported explicitly and every surviving row is
+    // byte-identical to the corresponding row of the full run.
+    let mut tight = base.to_vec();
+    tight.extend([
+        "--static-prune",
+        "101",
+        "--csv",
+        pruned_csv.to_str().unwrap(),
+    ]);
+    let out = repro(&tight);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(text.contains("static prune"), "{text}");
+    assert!(text.contains("pruned rawcaudio/byte-serial/3bit"), "{text}");
+
+    let full_lines: Vec<String> = std::fs::read_to_string(&full_csv)
+        .unwrap()
+        .lines()
+        .map(str::to_owned)
+        .collect();
+    let pruned_lines: Vec<String> = std::fs::read_to_string(&pruned_csv)
+        .unwrap()
+        .lines()
+        .map(str::to_owned)
+        .collect();
+    assert!(
+        pruned_lines.len() < full_lines.len(),
+        "something was pruned"
+    );
+    for line in &pruned_lines {
+        assert!(
+            full_lines.contains(line),
+            "kept row must be byte-identical to the full run: {line}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -128,7 +128,7 @@ enum ShiftAmount {
 }
 
 const fn alu_use_of(op: Op) -> AluUse {
-    use AluUse::*;
+    use AluUse::{Add, Compare, HiLoMove, Logic, Lui, MulDiv, Shift, SignTest, Sub, Unused};
     match op {
         Op::Add | Op::Addu => Add(Operand2::Rt),
         Op::Sub | Op::Subu => Sub(Operand2::Rt),

@@ -577,7 +577,7 @@ mod tests {
     fn exactly_four_prefix_patterns() {
         let prefix: Vec<String> = SigPattern::all()
             .filter(|p| p.is_prefix_pattern())
-            .map(|p| p.notation())
+            .map(super::SigPattern::notation)
             .collect();
         assert_eq!(prefix.len(), 4);
         for n in ["eees", "eess", "esss", "ssss"] {

@@ -249,7 +249,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
+    #[should_panic(expected = "block_bits > 0")]
     fn zero_block_size_panics() {
         let _ = PcActivity::new(0);
     }

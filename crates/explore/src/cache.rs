@@ -68,15 +68,12 @@ impl ResultCache {
             obs.counter("explore.cache.miss").incr();
             return None;
         };
-        match parse_metrics(&text) {
-            Some(m) => {
-                obs.counter("explore.cache.hit").incr();
-                Some(m)
-            }
-            None => {
-                obs.counter("explore.cache.retired").incr();
-                None
-            }
+        if let Some(m) = parse_metrics(&text) {
+            obs.counter("explore.cache.hit").incr();
+            Some(m)
+        } else {
+            obs.counter("explore.cache.retired").incr();
+            None
         }
     }
 

@@ -171,7 +171,7 @@ mod tests {
         // Front-loaded work: worker 0's block is far slower, so the others
         // must steal from it to finish.
         let executed = AtomicU64::new(0);
-        let (results, reports) = run_parallel::<usize, (), _>(64, 4, |job, _| {
+        let (results, reports) = run_parallel::<usize, (), _>(64, 4, |job, ()| {
             if job < 16 {
                 std::thread::sleep(std::time::Duration::from_millis(2));
             }
@@ -188,14 +188,14 @@ mod tests {
 
     #[test]
     fn more_workers_than_jobs_is_fine() {
-        let (results, reports) = run_parallel::<usize, (), _>(3, 16, |job, _| job);
+        let (results, reports) = run_parallel::<usize, (), _>(3, 16, |job, ()| job);
         assert_eq!(results, vec![0, 1, 2]);
         assert!(reports.len() <= 3);
     }
 
     #[test]
     fn zero_jobs_returns_empty() {
-        let (results, _) = run_parallel::<usize, (), _>(0, 4, |job, _| job);
+        let (results, _) = run_parallel::<usize, (), _>(0, 4, |job, ()| job);
         assert!(results.is_empty());
     }
 }

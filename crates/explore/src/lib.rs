@@ -44,11 +44,13 @@
 //! ```
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 #![warn(rust_2018_idioms)]
 
 pub mod backend;
 mod cache;
 pub mod executor;
+pub mod prune;
 pub mod report;
 mod spec;
 mod sweep;
@@ -61,6 +63,7 @@ pub use cache::{
     cache_stats, column_slug, decode_entry, encode_entry, entry_digest, CacheStats, ResultCache,
 };
 pub use executor::{run_parallel, WorkerReport};
+pub use prune::{static_prune, PruneOutcome, PruneReason, PrunedJob};
 pub use report::{config_points, frontier_table, pareto_frontier, to_csv, to_json, ConfigPoint};
 pub use spec::{JobSpec, MemProfile, SweepSpec, TraceInput, TraceSource, SWEEP_FORMAT_VERSION};
 pub use sweep::{

@@ -1,0 +1,164 @@
+//! Static pre-screening of sweep jobs (`--static-prune`).
+//!
+//! Before dispatching a sweep, the abstract-interpretation width engine in
+//! [`sigcomp_static`] can bound every kernel workload's operand widths
+//! without simulating a single cycle. Configurations whose workload is
+//! statically proven to carry almost no narrow values cannot profit from a
+//! significance-compressed datapath, so the sweep may skip them.
+//!
+//! The screen is strictly opt-in and preserves the merge invariant:
+//!
+//! * kept jobs stay in enumeration order, so their outcomes (and CSV/JSON
+//!   rows) are **byte-identical** to the corresponding rows of an unpruned
+//!   run;
+//! * pruned jobs are returned as explicit [`PrunedJob`] decisions — callers
+//!   report them, they are never silently dropped;
+//! * baseline-organization jobs are always kept (they anchor every
+//!   energy-saving comparison), and trace-file jobs are always kept (there
+//!   is no program image to analyze, only a recorded stream).
+
+use crate::spec::{JobSpec, TraceSource};
+use sigcomp_pipeline::OrgKind;
+use sigcomp_static::{analyze_program, EntryState, WidthReport};
+use sigcomp_workloads::find;
+use std::collections::BTreeMap;
+
+/// Why a job survived or skipped the static screen.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PruneReason {
+    /// Predicted saving fell below the requested threshold.
+    BelowThreshold {
+        /// The statically predicted saving, in percent.
+        predicted_pct: f64,
+    },
+}
+
+/// One job the screen removed, with the evidence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrunedJob {
+    /// The job that will not run.
+    pub spec: JobSpec,
+    /// Why it was removed.
+    pub reason: PruneReason,
+}
+
+/// The outcome of pre-screening a job list.
+#[derive(Debug, Clone, Default)]
+pub struct PruneOutcome {
+    /// Jobs to run, in their original enumeration order.
+    pub kept: Vec<JobSpec>,
+    /// Jobs removed by the screen, in their original enumeration order.
+    pub pruned: Vec<PrunedJob>,
+    /// Static width reports per analyzed workload (sorted by name), for
+    /// reporting alongside the sweep.
+    pub reports: Vec<WidthReport>,
+}
+
+impl PruneOutcome {
+    /// `true` when the screen removed at least one job.
+    #[must_use]
+    pub fn any_pruned(&self) -> bool {
+        !self.pruned.is_empty()
+    }
+}
+
+/// Pre-screens `jobs`, removing non-baseline kernel configurations whose
+/// workload's statically predicted saving is below `min_saving_pct`
+/// (percent, `0.0..`). See the module docs for the invariants.
+#[must_use]
+pub fn static_prune(jobs: &[JobSpec], min_saving_pct: f64) -> PruneOutcome {
+    // One analysis per (workload, size) pair, not per job: the bound is a
+    // property of the program, not of the scheme/org axes.
+    let mut savings: BTreeMap<(&'static str, &'static str), Option<f64>> = BTreeMap::new();
+    let mut reports: BTreeMap<(&'static str, &'static str), WidthReport> = BTreeMap::new();
+    let mut outcome = PruneOutcome::default();
+
+    for &job in jobs {
+        let keep = match job.source {
+            // Recorded streams have no program image to analyze.
+            TraceSource::File { .. } => true,
+            // The baseline anchors every saving comparison; never prune it.
+            TraceSource::Kernel if job.org == OrgKind::Baseline32 => true,
+            TraceSource::Kernel => {
+                let key = (job.workload, job.size.name());
+                let predicted = *savings.entry(key).or_insert_with(|| {
+                    find(job.workload, job.size).map(|bench| {
+                        let analysis = analyze_program(bench.program(), EntryState::KernelBoot);
+                        let report = WidthReport::from_analysis(job.workload, &analysis);
+                        let saving = report.predicted_saving() * 100.0;
+                        reports.insert(key, report);
+                        saving
+                    })
+                });
+                match predicted {
+                    // Unknown workloads are kept; the sweep itself will
+                    // surface the error.
+                    None => true,
+                    Some(pct) => {
+                        if pct >= min_saving_pct {
+                            true
+                        } else {
+                            outcome.pruned.push(PrunedJob {
+                                spec: job,
+                                reason: PruneReason::BelowThreshold { predicted_pct: pct },
+                            });
+                            false
+                        }
+                    }
+                }
+            }
+        };
+        if keep {
+            outcome.kept.push(job);
+        }
+    }
+
+    outcome.reports = reports.into_values().collect();
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SweepSpec;
+    use sigcomp_workloads::WorkloadSize;
+
+    fn jobs() -> Vec<JobSpec> {
+        SweepSpec::paper(WorkloadSize::Tiny)
+            .workloads(&["rawcaudio", "pgp"])
+            .enumerate()
+    }
+
+    #[test]
+    fn zero_threshold_keeps_everything() {
+        let jobs = jobs();
+        let outcome = static_prune(&jobs, 0.0);
+        assert_eq!(outcome.kept, jobs);
+        assert!(!outcome.any_pruned());
+        assert_eq!(outcome.reports.len(), 2);
+    }
+
+    #[test]
+    fn impossible_threshold_keeps_only_the_baseline() {
+        let jobs = jobs();
+        let outcome = static_prune(&jobs, 101.0);
+        assert!(outcome.any_pruned());
+        assert!(outcome.kept.iter().all(|j| j.org == OrgKind::Baseline32));
+        assert_eq!(outcome.kept.len() + outcome.pruned.len(), jobs.len());
+        // Order preservation: kept is a subsequence of the original list.
+        let mut it = jobs.iter();
+        for k in &outcome.kept {
+            assert!(it.any(|j| j == k), "kept job out of enumeration order");
+        }
+    }
+
+    #[test]
+    fn pruned_jobs_carry_their_evidence() {
+        let outcome = static_prune(&jobs(), 101.0);
+        for p in &outcome.pruned {
+            let PruneReason::BelowThreshold { predicted_pct } = p.reason;
+            assert!(predicted_pct < 101.0);
+            assert!(predicted_pct >= 0.0);
+        }
+    }
+}

@@ -108,21 +108,20 @@ pub fn config_points(outcomes: &[JobOutcome]) -> Vec<ConfigPoint> {
         let point = points.iter_mut().find(|p| {
             p.scheme == spec.scheme && p.org == spec.org && p.mem == spec.mem && p.size == spec.size
         });
-        let point = match point {
-            Some(p) => p,
-            None => {
-                points.push(ConfigPoint {
-                    scheme: spec.scheme,
-                    org: spec.org,
-                    mem: spec.mem,
-                    size: spec.size,
-                    workloads: 0,
-                    instructions: 0,
-                    cycles: 0,
-                    activity: ActivityReport::default(),
-                });
-                points.last_mut().expect("just pushed")
-            }
+        let point = if let Some(p) = point {
+            p
+        } else {
+            points.push(ConfigPoint {
+                scheme: spec.scheme,
+                org: spec.org,
+                mem: spec.mem,
+                size: spec.size,
+                workloads: 0,
+                instructions: 0,
+                cycles: 0,
+                activity: ActivityReport::default(),
+            });
+            points.last_mut().expect("just pushed")
         };
         point.workloads += 1;
         point.instructions += outcome.metrics.instructions;

@@ -208,13 +208,12 @@ fn intern_name(name: &str) -> &'static str {
         .get_or_init(Default::default)
         .lock()
         .expect("intern table is never poisoned");
-    match set.get(name) {
-        Some(&interned) => interned,
-        None => {
-            let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
-            set.insert(leaked);
-            leaked
-        }
+    if let Some(&interned) = set.get(name) {
+        interned
+    } else {
+        let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+        set.insert(leaked);
+        leaked
     }
 }
 

@@ -472,32 +472,31 @@ fn run_jobs_local(jobs: &[JobSpec], traces: &[TraceInput], options: &SweepOption
             let job = jobs[index];
             let key = job.job_id();
             let _span = sigcomp_obs::span!("replay.job", job_id = format_args!("{key:016x}"));
-            let (metrics, from_cache) = match options.cache.as_ref().and_then(|c| c.load(key)) {
-                Some(metrics) => (metrics, true),
-                None => {
-                    let metrics = match job.source {
-                        TraceSource::Kernel => {
-                            let benchmark =
-                                benchmarks[&(job.workload, job.size)].get_or_init(|| {
-                                    find(job.workload, job.size).unwrap_or_else(|| {
-                                        panic!("unknown workload {}", job.workload)
-                                    })
-                                });
-                            simulate_job(&job, benchmark)
-                        }
-                        TraceSource::File { digest } => {
-                            let input = traces_by_digest.get(&digest).unwrap_or_else(|| {
-                                panic!("no trace with digest {digest:016x} for job {}", job.label())
-                            });
-                            simulate_decoded(&job, input.decoded())
-                        }
-                    };
-                    if let Some(cache) = options.cache.as_ref() {
-                        // A failed store only costs a re-simulation next run.
-                        let _ = cache.store(key, &metrics);
+            let (metrics, from_cache) = if let Some(metrics) =
+                options.cache.as_ref().and_then(|c| c.load(key))
+            {
+                (metrics, true)
+            } else {
+                let metrics = match job.source {
+                    TraceSource::Kernel => {
+                        let benchmark = benchmarks[&(job.workload, job.size)].get_or_init(|| {
+                            find(job.workload, job.size)
+                                .unwrap_or_else(|| panic!("unknown workload {}", job.workload))
+                        });
+                        simulate_job(&job, benchmark)
                     }
-                    (metrics, false)
+                    TraceSource::File { digest } => {
+                        let input = traces_by_digest.get(&digest).unwrap_or_else(|| {
+                            panic!("no trace with digest {digest:016x} for job {}", job.label())
+                        });
+                        simulate_decoded(&job, input.decoded())
+                    }
+                };
+                if let Some(cache) = options.cache.as_ref() {
+                    // A failed store only costs a re-simulation next run.
+                    let _ = cache.store(key, &metrics);
                 }
+                (metrics, false)
             };
             if from_cache {
                 shard.cached += 1;

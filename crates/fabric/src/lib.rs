@@ -45,6 +45,7 @@
 //! (called by `sigcomp_serve::Server::bind` and every `repro fleet` path).
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 #![warn(rust_2018_idioms)]
 
 pub mod client;

@@ -282,10 +282,10 @@ mod tests {
         pool.register("b:2", 8);
         pool.register("a:1", 6); // re-registration refreshes, not duplicates
         assert_eq!(pool.len(), 2);
-        assert_eq!(pool.live(Duration::from_secs(60)), vec!["a:1", "b:2"]);
+        assert_eq!(pool.live(Duration::from_mins(1)), vec!["a:1", "b:2"]);
         // A zero TTL makes everyone stale immediately.
         assert!(pool.live(Duration::ZERO).is_empty());
-        let rows = pool.status(Duration::from_secs(60));
+        let rows = pool.status(Duration::from_mins(1));
         assert_eq!(rows[0].capacity, 6);
         assert!(rows.iter().all(|r| r.live));
     }
@@ -298,7 +298,7 @@ mod tests {
         pool.heartbeat("b:2", 2, snap(7));
         // 25 + 7, NOT 10 + 25 + 7: per-worker latest, summed across workers.
         assert_eq!(pool.merged_obs().counter("replay.jobs_simulated"), 32);
-        let rows = pool.status(Duration::from_secs(60));
+        let rows = pool.status(Duration::from_mins(1));
         assert_eq!(rows[0].heartbeats, 2);
         assert_eq!(rows[1].heartbeats, 1);
     }
@@ -312,8 +312,8 @@ mod tests {
         pool.note_failure("a:1");
         pool.note_dispatch("explicit:9"); // --fleet worker never registered
                                           // Accounting rows are visible but only announced workers are live.
-        assert_eq!(pool.live(Duration::from_secs(60)), vec!["a:1"]);
-        let json = pool.to_json(Duration::from_secs(60));
+        assert_eq!(pool.live(Duration::from_mins(1)), vec!["a:1"]);
+        let json = pool.to_json(Duration::from_mins(1));
         assert!(json.contains("\"addr\": \"a:1\""), "{json}");
         assert!(json.contains("\"dispatches\": 1"), "{json}");
         assert!(json.contains("\"retries\": 1"), "{json}");

@@ -603,7 +603,7 @@ mod tests {
         let i = run_builder(&b);
         assert_eq!(i.reg(T2), 70);
         assert_eq!(i.reg(T3), 130);
-        assert_eq!(i.reg(V0), 100u32 & (-30i32 as u32));
+        assert_eq!(i.reg(V0), 0x64u32 & (-0x1ei32 as u32));
     }
 
     #[test]

@@ -42,6 +42,7 @@
 //! ```
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 #![warn(rust_2018_idioms)]
 
 mod asm;
@@ -51,7 +52,7 @@ mod instr;
 mod interp;
 mod memory;
 mod op;
-mod program;
+pub mod program;
 pub mod reg;
 mod trace;
 pub mod tracefile;

@@ -203,7 +203,7 @@ mod tests {
             }
             t.push(r);
         }
-        assert!((t.fraction(|r| r.is_taken_branch()) - 0.5).abs() < 1e-12);
+        assert!((t.fraction(super::ExecRecord::is_taken_branch) - 0.5).abs() < 1e-12);
         assert_eq!(Trace::new().fraction(|_| true), 0.0);
     }
 

@@ -145,7 +145,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
+    #[should_panic(expected = "left == right")]
     fn inconsistent_geometry_panics() {
         let _ = Tlb::new(TlbConfig {
             entries: 6,

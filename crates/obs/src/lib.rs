@@ -19,6 +19,7 @@
 //! process shares.
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 mod histogram;
 mod registry;

@@ -71,7 +71,7 @@ pub(crate) struct SinkState {
 
 /// A registry of named metrics. Independent registries are fully isolated —
 /// tests construct their own instead of asserting on [`global()`]
-/// (crate::global), which other threads share.
+/// (`crate::global`), which other threads share.
 pub struct Registry {
     counters: Mutex<BTreeMap<String, Counter>>,
     gauges: Mutex<BTreeMap<String, Gauge>>,
@@ -122,13 +122,12 @@ impl Registry {
     pub fn counter(&self, name: &str) -> Counter {
         check_name(name);
         let mut map = self.counters.lock().expect("obs counter map poisoned");
-        match map.get(name) {
-            Some(c) => c.clone(),
-            None => {
-                let c = Counter::default();
-                map.insert(name.to_owned(), c.clone());
-                c
-            }
+        if let Some(c) = map.get(name) {
+            c.clone()
+        } else {
+            let c = Counter::default();
+            map.insert(name.to_owned(), c.clone());
+            c
         }
     }
 
@@ -139,13 +138,12 @@ impl Registry {
     pub fn gauge(&self, name: &str) -> Gauge {
         check_name(name);
         let mut map = self.gauges.lock().expect("obs gauge map poisoned");
-        match map.get(name) {
-            Some(g) => g.clone(),
-            None => {
-                let g = Gauge::default();
-                map.insert(name.to_owned(), g.clone());
-                g
-            }
+        if let Some(g) = map.get(name) {
+            g.clone()
+        } else {
+            let g = Gauge::default();
+            map.insert(name.to_owned(), g.clone());
+            g
         }
     }
 
@@ -158,13 +156,12 @@ impl Registry {
     pub fn histogram(&self, name: &str, bounds: &[u64]) -> Histogram {
         check_name(name);
         let mut map = self.histograms.lock().expect("obs histogram map poisoned");
-        match map.get(name) {
-            Some(h) => h.clone(),
-            None => {
-                let h = Histogram::new(bounds);
-                map.insert(name.to_owned(), h.clone());
-                h
-            }
+        if let Some(h) = map.get(name) {
+            h.clone()
+        } else {
+            let h = Histogram::new(bounds);
+            map.insert(name.to_owned(), h.clone());
+            h
         }
     }
 

@@ -342,8 +342,8 @@ mod tests {
     #[test]
     fn job_spec_rejects_bad_input_with_named_culprits() {
         for (body, needle) in [
-            (r#"[1]"#, "must be a JSON object"),
-            (r#"{}"#, "missing required field 'workload'"),
+            (r"[1]", "must be a JSON object"),
+            (r"{}", "missing required field 'workload'"),
             (r#"{"workload": 3}"#, "field 'workload' must be a string"),
             (r#"{"workload": "nope"}"#, "unknown workload 'nope'"),
             (
@@ -372,7 +372,7 @@ mod tests {
 
     #[test]
     fn sweep_spec_defaults_to_the_paper_slice() {
-        let doc = Json::parse(r#"{}"#).unwrap();
+        let doc = Json::parse(r"{}").unwrap();
         let (spec, sync) = sweep_spec_from_json(&doc).unwrap();
         assert!(!sync);
         assert_eq!(spec.len(), OrgKind::ALL.len() * suite_names().len());

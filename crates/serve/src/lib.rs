@@ -42,6 +42,7 @@
 //! end-to-end exercise lives in the workspace's `examples/load_gen.rs`.
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 #![warn(rust_2018_idioms)]
 
 pub mod api;

@@ -243,7 +243,7 @@ mod tests {
         m.observe_latency(Duration::from_micros(99)); // le_100us
         m.observe_latency(Duration::from_micros(100)); // le_250us
         m.observe_latency(Duration::from_micros(999)); // le_1ms
-        m.observe_latency(Duration::from_micros(1_000)); // le_5ms
+        m.observe_latency(Duration::from_millis(1)); // le_5ms
         m.observe_latency(Duration::from_micros(999_999)); // le_1s
         m.observe_latency(Duration::from_secs(1)); // gt_1s (1s is excluded from le_1s)
         let latency = latency_doc(&m);

@@ -398,8 +398,8 @@ fn handle_sweep(ctx: &Arc<Ctx>, spec: &sigcomp_explore::SweepSpec, sync: bool) -
     let ctx_for_job = Arc::clone(ctx);
     let spawned = std::thread::Builder::new()
         .name(format!("sigcomp-serve-sweep-{id}"))
-        .spawn(move || {
-            match run_sweep_through_batcher(&ctx_for_job, &jobs, node) {
+        .spawn(
+            move || match run_sweep_through_batcher(&ctx_for_job, &jobs, node) {
                 Ok(body) => {
                     ServerMetrics::incr(&ctx_for_job.metrics.sweeps_completed);
                     ctx_for_job.registry.finish(id, body);
@@ -408,8 +408,8 @@ fn handle_sweep(ctx: &Arc<Ctx>, spec: &sigcomp_explore::SweepSpec, sync: bool) -
                     ServerMetrics::incr(&ctx_for_job.metrics.sweeps_failed);
                     ctx_for_job.registry.fail(id, e.to_string());
                 }
-            };
-        });
+            },
+        );
     if spawned.is_err() {
         ServerMetrics::incr(&ctx.metrics.sweeps_failed);
         ctx.registry
@@ -690,7 +690,7 @@ mod tests {
             .and_then(Json::as_u64)
             .unwrap();
         // Poll until the background sweep completes.
-        let deadline = Instant::now() + Duration::from_secs(60);
+        let deadline = Instant::now() + Duration::from_mins(1);
         loop {
             let r = get(&ctx, &format!("/jobs/{id}"));
             assert_eq!(r.status, 200, "{}", r.body);

@@ -1,0 +1,228 @@
+//! The worklist fixpoint solver and its per-instruction results.
+//!
+//! Block in-states start at ⊥ (unreachable); the entry block gets the
+//! abstract boot state. Each solver step runs the transfer functions over a
+//! block and joins the out-state into every successor, re-queueing
+//! successors whose in-state grew. The lattice is finite (each of 34 state
+//! cells climbs a six-element chain) and every transfer function is
+//! monotone, so the loop terminates; the property tests exercise this on
+//! randomized programs.
+
+use crate::cfg::Cfg;
+use crate::lattice::AbsState;
+use crate::transfer::{transfer, InstrBounds};
+use sigcomp_isa::{ExecRecord, Instruction, Op, Program};
+use std::collections::{BTreeMap, VecDeque};
+
+/// What the analysis may assume about registers at the program entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntryState {
+    /// The interpreter's boot state: zeroed registers, `$sp`/`$gp` holding
+    /// the program's stack top and data base (how kernels actually start).
+    KernelBoot,
+    /// Nothing known (programs reconstructed from a trace, which may begin
+    /// mid-execution).
+    Unknown,
+}
+
+/// The fixpoint result: a static width bound for every reachable
+/// instruction.
+#[derive(Debug, Clone)]
+pub struct StaticAnalysis {
+    /// The CFG the bounds were computed over.
+    pub cfg: Cfg,
+    /// Per-instruction bounds, keyed by address; reachable instructions
+    /// only. Deterministic iteration order (ascending pc).
+    pub bounds: BTreeMap<u32, InstrBounds>,
+    /// Number of blocks the fixpoint proved reachable.
+    pub reachable_blocks: usize,
+    /// Solver block-visits until the fixpoint stabilized.
+    pub iterations: u64,
+}
+
+impl StaticAnalysis {
+    /// The bounds proven for the instruction at `pc`, if it is reachable.
+    #[must_use]
+    pub fn bounds_at(&self, pc: u32) -> Option<&InstrBounds> {
+        self.bounds.get(&pc)
+    }
+}
+
+/// Runs the abstract interpretation over `program` to a fixpoint.
+#[must_use]
+pub fn analyze_program(program: &Program, entry: EntryState) -> StaticAnalysis {
+    let cfg = Cfg::build(program);
+    let entry_state = match entry {
+        EntryState::KernelBoot => AbsState::kernel_boot(program.stack_top, program.data_base),
+        EntryState::Unknown => AbsState::unknown(),
+    };
+
+    let mut in_states: Vec<Option<AbsState>> = vec![None; cfg.blocks.len()];
+    let mut worklist: VecDeque<usize> = VecDeque::new();
+    let mut queued = vec![false; cfg.blocks.len()];
+    let mut iterations: u64 = 0;
+
+    if let Some(entry_block) = cfg.entry {
+        in_states[entry_block] = Some(entry_state);
+        worklist.push_back(entry_block);
+        queued[entry_block] = true;
+    }
+
+    while let Some(idx) = worklist.pop_front() {
+        queued[idx] = false;
+        iterations += 1;
+        let Some(mut state) = in_states[idx] else {
+            continue;
+        };
+        let block = &cfg.blocks[idx];
+        let mut pc = block.start;
+        for instr in &block.instrs {
+            transfer(instr, pc, &mut state);
+            pc = pc.wrapping_add(4);
+        }
+        for &succ in &block.succs {
+            let grew = match &in_states[succ] {
+                None => {
+                    in_states[succ] = Some(state);
+                    true
+                }
+                Some(old) if !state.le(old) => {
+                    in_states[succ] = Some(old.join(&state));
+                    true
+                }
+                Some(_) => false,
+            };
+            if grew && !queued[succ] {
+                worklist.push_back(succ);
+                queued[succ] = true;
+            }
+        }
+    }
+
+    // Final pass: materialize per-instruction bounds from the stable
+    // in-states, for reachable blocks only.
+    let mut bounds = BTreeMap::new();
+    let mut reachable_blocks = 0;
+    for (idx, block) in cfg.blocks.iter().enumerate() {
+        let Some(mut state) = in_states[idx] else {
+            continue;
+        };
+        reachable_blocks += 1;
+        let mut pc = block.start;
+        for instr in &block.instrs {
+            bounds.insert(pc, transfer(instr, pc, &mut state));
+            pc = pc.wrapping_add(4);
+        }
+    }
+
+    StaticAnalysis {
+        cfg,
+        bounds,
+        reachable_blocks,
+        iterations,
+    }
+}
+
+/// Rebuilds an executable [`Program`] image from a trace's `(pc, word)`
+/// pairs, so recorded streams can be analyzed without the original binary.
+///
+/// The text segment spans `[min pc, max pc]`; addresses the trace never
+/// visited are filled with `break` (they contribute no edges and no
+/// reachable instructions, and the trace itself proves execution never
+/// fetched them). The entry is the first record's pc. Returns `None` for an
+/// empty record stream.
+#[must_use]
+pub fn program_from_records(records: &[ExecRecord]) -> Option<Program> {
+    let mut words: BTreeMap<u32, u32> = BTreeMap::new();
+    for r in records {
+        words.insert(r.pc, r.word);
+    }
+    let (&first, _) = words.first_key_value()?;
+    let (&last, _) = words.last_key_value()?;
+    let hole = Instruction {
+        op: Op::Break,
+        ..Instruction::NOP
+    }
+    .encode();
+    let len = (last - first) / 4 + 1;
+    let mut text = vec![hole; len as usize];
+    for (&pc, &word) in &words {
+        text[((pc - first) / 4) as usize] = word;
+    }
+    Some(Program {
+        text_base: first,
+        text,
+        data_base: sigcomp_isa::program::DEFAULT_DATA_BASE,
+        data: Vec::new(),
+        entry: records[0].pc,
+        stack_top: sigcomp_isa::program::DEFAULT_STACK_TOP,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lattice::Width;
+    use sigcomp_isa::{reg, Interpreter};
+
+    fn run_program(instrs: &[Instruction]) -> Program {
+        Program {
+            text_base: sigcomp_isa::program::DEFAULT_TEXT_BASE,
+            text: instrs.iter().map(Instruction::encode).collect(),
+            data_base: sigcomp_isa::program::DEFAULT_DATA_BASE,
+            data: Vec::new(),
+            entry: sigcomp_isa::program::DEFAULT_TEXT_BASE,
+            stack_top: sigcomp_isa::program::DEFAULT_STACK_TOP,
+        }
+    }
+
+    #[test]
+    fn loop_widens_to_fixpoint() {
+        // addiu $t0, $zero, 0
+        // loop: addiu $t0, $t0, 1
+        //       bne $t0, $zero, loop (-2)
+        //       break
+        let p = run_program(&[
+            Instruction::imm(Op::Addiu, reg::T0, reg::ZERO, 0),
+            Instruction::imm(Op::Addiu, reg::T0, reg::T0, 1),
+            Instruction::imm(Op::Bne, reg::ZERO, reg::T0, 0xfffeu32 as u16),
+            Instruction::r3(Op::Break, reg::ZERO, reg::ZERO, reg::ZERO),
+        ]);
+        let a = analyze_program(&p, EntryState::KernelBoot);
+        // The loop body re-enters with ever wider $t0 until it saturates.
+        let add_pc = p.text_base + 4;
+        assert_eq!(a.bounds_at(add_pc).unwrap().result, Some(Width::B4));
+        assert_eq!(a.reachable_blocks, a.cfg.blocks.len());
+    }
+
+    #[test]
+    fn unreachable_code_gets_no_bounds() {
+        // j +2 (skip the middle instruction)
+        let base = sigcomp_isa::program::DEFAULT_TEXT_BASE;
+        let p = run_program(&[
+            Instruction::jump(Op::J, (base + 8) >> 2),
+            Instruction::imm(Op::Addiu, reg::T0, reg::ZERO, 1),
+            Instruction::r3(Op::Break, reg::ZERO, reg::ZERO, reg::ZERO),
+        ]);
+        let a = analyze_program(&p, EntryState::KernelBoot);
+        assert!(a.bounds_at(base + 4).is_none());
+        assert!(a.bounds_at(base).is_some());
+    }
+
+    #[test]
+    fn reconstructed_trace_program_reanalyzes() {
+        let p = run_program(&[
+            Instruction::imm(Op::Addiu, reg::T0, reg::ZERO, 300),
+            Instruction::r3(Op::Addu, reg::T1, reg::T0, reg::T0),
+            Instruction::r3(Op::Break, reg::ZERO, reg::ZERO, reg::ZERO),
+        ]);
+        let mut interp = Interpreter::new(&p);
+        let trace = interp.run(1000).expect("runs to break");
+        let rebuilt = program_from_records(trace.records()).expect("non-empty");
+        assert_eq!(rebuilt.text_base, p.text_base);
+        let a = analyze_program(&rebuilt, EntryState::Unknown);
+        for r in trace.records() {
+            assert!(a.bounds_at(r.pc).is_some());
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! Control-flow graph construction over a decoded text segment.
+//!
+//! Leaders are the program entry, every static branch/jump target inside
+//! the text segment, and the instruction after any control-transfer op
+//! (fall-through paths and call-return points). Indirect jumps (`jr` /
+//! `jalr`) cannot be resolved without value tracking, so they
+//! conservatively target **every** block — sound for the width analysis,
+//! which only ever over-approximates the states flowing into a block.
+
+use sigcomp_isa::{Instruction, Op, Program};
+use std::collections::BTreeSet;
+
+/// One basic block: a maximal straight-line run of decodable instructions.
+#[derive(Debug, Clone)]
+pub struct Block {
+    /// Address of the first instruction.
+    pub start: u32,
+    /// Decoded instructions, in address order.
+    pub instrs: Vec<Instruction>,
+    /// Indices of successor blocks in [`Cfg::blocks`].
+    pub succs: Vec<usize>,
+}
+
+impl Block {
+    /// Address one past the last instruction.
+    #[must_use]
+    pub fn end(&self) -> u32 {
+        self.start + 4 * self.instrs.len() as u32
+    }
+}
+
+/// A control-flow graph over a program's text segment.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// Basic blocks in ascending address order.
+    pub blocks: Vec<Block>,
+    /// Index of the block holding the program entry point, when the entry
+    /// lands on a decodable instruction.
+    pub entry: Option<usize>,
+    /// Words in the text segment that failed to decode (their addresses).
+    /// Execution cannot proceed past them, so blocks stop there.
+    pub undecodable: Vec<u32>,
+}
+
+/// The static control successors of `instr` at `pc`.
+///
+/// `None` means "every block" (indirect jump). `Some(vec)` lists direct
+/// successor addresses; empty for `break` and for targets that leave the
+/// text segment (the interpreter faults there, so no edge is needed).
+fn successor_pcs(instr: &Instruction, pc: u32) -> Option<Vec<u32>> {
+    let op = instr.op;
+    let next = pc.wrapping_add(4);
+    if op.is_branch() {
+        let target = next.wrapping_add((instr.imm_se() as u32) << 2);
+        return Some(vec![next, target]);
+    }
+    match op {
+        Op::J | Op::Jal => {
+            let target = (next & 0xf000_0000) | (instr.target << 2);
+            Some(vec![target])
+        }
+        Op::Jr | Op::Jalr => None,
+        Op::Break => Some(Vec::new()),
+        _ => Some(vec![next]),
+    }
+}
+
+impl Cfg {
+    /// Builds the CFG for `program`'s text segment.
+    #[must_use]
+    pub fn build(program: &Program) -> Cfg {
+        let base = program.text_base;
+        let decoded: Vec<Option<Instruction>> = program
+            .text
+            .iter()
+            .map(|&word| Instruction::decode(word).ok())
+            .collect();
+        let in_text =
+            |pc: u32| pc >= base && pc < base + 4 * decoded.len() as u32 && pc.is_multiple_of(4);
+
+        // Pass 1: leaders.
+        let mut leaders: BTreeSet<u32> = BTreeSet::new();
+        if in_text(program.entry) {
+            leaders.insert(program.entry);
+        }
+        for (i, slot) in decoded.iter().enumerate() {
+            let pc = base + 4 * i as u32;
+            let Some(instr) = slot else {
+                // The word after an undecodable one starts fresh, should a
+                // jump land there.
+                continue;
+            };
+            if instr.op.is_control() {
+                let next = pc.wrapping_add(4);
+                if in_text(next) {
+                    leaders.insert(next);
+                }
+                if let Some(targets) = successor_pcs(instr, pc) {
+                    for t in targets {
+                        if in_text(t) {
+                            leaders.insert(t);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Pass 2: carve blocks between leaders / control ops / decode holes.
+        let mut blocks: Vec<Block> = Vec::new();
+        let mut undecodable = Vec::new();
+        let mut current: Option<Block> = None;
+        for (i, slot) in decoded.iter().enumerate() {
+            let pc = base + 4 * i as u32;
+            let Some(instr) = slot else {
+                undecodable.push(pc);
+                if let Some(block) = current.take() {
+                    blocks.push(block);
+                }
+                continue;
+            };
+            if leaders.contains(&pc) {
+                if let Some(block) = current.take() {
+                    blocks.push(block);
+                }
+            }
+            let block = current.get_or_insert_with(|| Block {
+                start: pc,
+                instrs: Vec::new(),
+                succs: Vec::new(),
+            });
+            block.instrs.push(*instr);
+            if instr.op.is_control() {
+                blocks.push(current.take().unwrap());
+            }
+        }
+        if let Some(block) = current.take() {
+            blocks.push(block);
+        }
+
+        // Pass 3: successor edges. Blocks all start at leaders, so the
+        // conservative indirect-jump target set is "every block".
+        let index_of = |pc: u32| blocks.binary_search_by_key(&pc, |b| b.start).ok();
+        let mut succ_lists: Vec<Vec<usize>> = Vec::with_capacity(blocks.len());
+        for block in &blocks {
+            let last = block.instrs.last().expect("blocks are built non-empty");
+            let last_pc = block.end() - 4;
+            // Successor addresses that are not block starts (left the text
+            // segment, or ran into an undecodable word) fault in the
+            // interpreter, so dropping them is sound.
+            let succs = match successor_pcs(last, last_pc) {
+                Some(pcs) => pcs.iter().filter_map(|&pc| index_of(pc)).collect(),
+                None => (0..blocks.len()).collect(),
+            };
+            succ_lists.push(succs);
+        }
+        let entry = index_of(program.entry);
+        for (block, succs) in blocks.iter_mut().zip(succ_lists) {
+            block.succs = succs;
+        }
+
+        Cfg {
+            blocks,
+            entry,
+            undecodable,
+        }
+    }
+
+    /// Total decoded instructions across all blocks.
+    #[must_use]
+    pub fn instruction_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.instrs.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigcomp_isa::{program, reg, Reg};
+
+    fn program(instrs: &[Instruction]) -> Program {
+        Program {
+            text_base: program::DEFAULT_TEXT_BASE,
+            text: instrs.iter().map(Instruction::encode).collect(),
+            data_base: program::DEFAULT_DATA_BASE,
+            data: Vec::new(),
+            entry: program::DEFAULT_TEXT_BASE,
+            stack_top: program::DEFAULT_STACK_TOP,
+        }
+    }
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let p = program(&[
+            Instruction::imm(Op::Addiu, reg::T0, reg::ZERO, 1),
+            Instruction::imm(Op::Addiu, reg::T1, reg::ZERO, 2),
+            Instruction::r3(Op::Break, reg::ZERO, reg::ZERO, reg::ZERO),
+        ]);
+        let cfg = Cfg::build(&p);
+        assert_eq!(cfg.blocks.len(), 1);
+        assert_eq!(cfg.entry, Some(0));
+        assert_eq!(cfg.blocks[0].instrs.len(), 3);
+        assert!(cfg.blocks[0].succs.is_empty());
+    }
+
+    #[test]
+    fn branch_splits_and_targets() {
+        // 0: beq $zero, $zero, +1   (target = 8)
+        // 4: addiu $t0, $zero, 1
+        // 8: break
+        let p = program(&[
+            Instruction::imm(Op::Beq, reg::ZERO, reg::ZERO, 1),
+            Instruction::imm(Op::Addiu, reg::T0, reg::ZERO, 1),
+            Instruction::r3(Op::Break, reg::ZERO, reg::ZERO, reg::ZERO),
+        ]);
+        let cfg = Cfg::build(&p);
+        assert_eq!(cfg.blocks.len(), 3);
+        assert_eq!(cfg.blocks[0].succs, vec![1, 2]);
+        assert_eq!(cfg.blocks[1].succs, vec![2]);
+    }
+
+    #[test]
+    fn indirect_jump_targets_every_block() {
+        let p = program(&[
+            Instruction::r3(Op::Jr, reg::ZERO, reg::RA, reg::ZERO),
+            Instruction::r3(Op::Break, reg::ZERO, reg::ZERO, reg::ZERO),
+        ]);
+        let cfg = Cfg::build(&p);
+        assert_eq!(cfg.blocks[0].succs, vec![0, 1]);
+    }
+
+    #[test]
+    fn undecodable_word_ends_the_block() {
+        let mut p = program(&[Instruction::imm(Op::Addiu, reg::T0, reg::ZERO, 1)]);
+        p.text.push(0xffff_ffff);
+        let cfg = Cfg::build(&p);
+        assert_eq!(cfg.blocks.len(), 1);
+        assert_eq!(cfg.undecodable, vec![program::DEFAULT_TEXT_BASE + 4]);
+        assert!(cfg.blocks[0].succs.is_empty());
+    }
+
+    #[test]
+    fn jalr_uses_rd_and_returns_everywhere() {
+        let t0: Reg = reg::T0;
+        let p = program(&[
+            Instruction::r3(Op::Jalr, reg::RA, t0, reg::ZERO),
+            Instruction::r3(Op::Break, reg::ZERO, reg::ZERO, reg::ZERO),
+        ]);
+        let cfg = Cfg::build(&p);
+        assert_eq!(cfg.blocks.len(), 2);
+        assert_eq!(cfg.blocks[0].succs, vec![0, 1]);
+    }
+}

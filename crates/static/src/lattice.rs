@@ -1,0 +1,236 @@
+//! The byte-significance lattice.
+//!
+//! An abstract register value is a *width*: an upper bound on
+//! [`significant_bytes_prefix`] of every concrete value the register can
+//! hold at that program point. The lattice is the six-element chain
+//!
+//! ```text
+//! ⊥  <  1  <  2  <  3  <  4  <  ⊤
+//! ```
+//!
+//! ordered by "bounds fewer values": ⊥ is the empty set of values (dead /
+//! unreachable), width *k* is "sign-extending the low *k* bytes reproduces
+//! the value", and ⊤ is "no information" — which for a 32-bit machine
+//! *bounds* the same values as width 4 but records that nothing was proven.
+//! A chain makes the join a `max`, so commutativity, associativity and
+//! idempotence are inherited from `Ord` (and pinned by property tests).
+
+use sigcomp::ext::significant_bytes_prefix;
+use sigcomp_isa::{reg, Reg};
+
+/// An abstract byte width: an upper bound on a value's significance prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Width {
+    /// No value reaches this point (dead or unreachable).
+    Bottom,
+    /// Sign-extending the low byte reproduces the value.
+    B1,
+    /// Sign-extending the low two bytes reproduces the value.
+    B2,
+    /// Sign-extending the low three bytes reproduces the value.
+    B3,
+    /// The value may need all four bytes (proven trivially).
+    B4,
+    /// Nothing is known; bounds the same values as [`Width::B4`].
+    Top,
+}
+
+impl Width {
+    /// Every lattice element, in chain order.
+    pub const ALL: [Width; 6] = [
+        Width::Bottom,
+        Width::B1,
+        Width::B2,
+        Width::B3,
+        Width::B4,
+        Width::Top,
+    ];
+
+    /// The least upper bound — `max` on the chain.
+    #[must_use]
+    pub fn join(self, other: Width) -> Width {
+        self.max(other)
+    }
+
+    /// The concrete byte bound this element certifies: any value described
+    /// by `self` has `significant_bytes_prefix(value) <= bound()`. ⊥ bounds
+    /// the empty set, so its bound is 0.
+    #[must_use]
+    pub fn bound(self) -> u8 {
+        match self {
+            Width::Bottom => 0,
+            Width::B1 => 1,
+            Width::B2 => 2,
+            Width::B3 => 3,
+            Width::B4 | Width::Top => 4,
+        }
+    }
+
+    /// The narrowest proven element with `bound() >= bytes` (clamped to
+    /// [`Width::B4`]; use [`Width::Top`] explicitly for "unknown").
+    #[must_use]
+    pub fn from_bound(bytes: u8) -> Width {
+        match bytes {
+            0 => Width::Bottom,
+            1 => Width::B1,
+            2 => Width::B2,
+            3 => Width::B3,
+            _ => Width::B4,
+        }
+    }
+
+    /// The exact abstraction of a known constant.
+    #[must_use]
+    pub fn of_const(value: u32) -> Width {
+        Width::from_bound(significant_bytes_prefix(value))
+    }
+
+    /// Short human label (`⊥`, `≤1B` … `≤4B`, `⊤`).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Width::Bottom => "bot",
+            Width::B1 => "<=1B",
+            Width::B2 => "<=2B",
+            Width::B3 => "<=3B",
+            Width::B4 => "<=4B",
+            Width::Top => "top",
+        }
+    }
+}
+
+impl std::fmt::Display for Width {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The abstract machine state at one program point: a width per
+/// architectural register plus the HI/LO multiply-divide pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AbsState {
+    regs: [Width; 32],
+    /// Abstract width of the HI register.
+    pub hi: Width,
+    /// Abstract width of the LO register.
+    pub lo: Width,
+}
+
+impl AbsState {
+    /// The empty state: nothing reachable, everything ⊥.
+    #[must_use]
+    pub fn bottom() -> AbsState {
+        AbsState {
+            regs: [Width::Bottom; 32],
+            hi: Width::Bottom,
+            lo: Width::Bottom,
+        }
+    }
+
+    /// The interpreter's boot state: every register zeroed (width 1) except
+    /// `$sp`/`$gp`, which hold the exact constants the loader installs.
+    #[must_use]
+    pub fn kernel_boot(stack_top: u32, data_base: u32) -> AbsState {
+        let mut s = AbsState {
+            regs: [Width::B1; 32],
+            hi: Width::B1,
+            lo: Width::B1,
+        };
+        s.regs[usize::from(reg::SP.index())] = Width::of_const(stack_top);
+        s.regs[usize::from(reg::GP.index())] = Width::of_const(data_base);
+        s
+    }
+
+    /// A state with no register information at all (entry for programs
+    /// reconstructed from traces, whose boot state is unknown). `$zero`
+    /// still reads as zero.
+    #[must_use]
+    pub fn unknown() -> AbsState {
+        let mut s = AbsState {
+            regs: [Width::Top; 32],
+            hi: Width::Top,
+            lo: Width::Top,
+        };
+        s.regs[0] = Width::B1;
+        s
+    }
+
+    /// The abstract width of `reg` (`$zero` is pinned to width 1).
+    #[must_use]
+    pub fn get(&self, reg: Reg) -> Width {
+        self.regs[usize::from(reg.index())]
+    }
+
+    /// Bounds `reg` by `width`; writes to `$zero` are discarded, mirroring
+    /// the interpreter's register file.
+    pub fn set(&mut self, reg: Reg, width: Width) {
+        if !reg.is_zero() {
+            self.regs[usize::from(reg.index())] = width;
+        }
+    }
+
+    /// Pointwise join of two states.
+    #[must_use]
+    pub fn join(&self, other: &AbsState) -> AbsState {
+        let mut out = *self;
+        for (slot, w) in out.regs.iter_mut().zip(other.regs) {
+            *slot = slot.join(w);
+        }
+        out.hi = out.hi.join(other.hi);
+        out.lo = out.lo.join(other.lo);
+        out
+    }
+
+    /// Pointwise partial order: `self` describes a subset of the machine
+    /// states `other` describes.
+    #[must_use]
+    pub fn le(&self, other: &AbsState) -> bool {
+        self.regs.iter().zip(other.regs).all(|(a, b)| *a <= b)
+            && self.hi <= other.hi
+            && self.lo <= other.lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_order_and_bounds() {
+        for pair in Width::ALL.windows(2) {
+            assert!(pair[0] < pair[1]);
+            assert!(pair[0].bound() <= pair[1].bound());
+        }
+        assert_eq!(Width::Bottom.bound(), 0);
+        assert_eq!(Width::Top.bound(), 4);
+        assert_eq!(Width::from_bound(3), Width::B3);
+        assert_eq!(Width::from_bound(9), Width::B4);
+    }
+
+    #[test]
+    fn const_abstraction_matches_prefix() {
+        assert_eq!(Width::of_const(0), Width::B1);
+        assert_eq!(Width::of_const(0x7f), Width::B1);
+        assert_eq!(Width::of_const(0x80), Width::B2);
+        assert_eq!(Width::of_const(0xffff_ffff), Width::B1);
+        assert_eq!(Width::of_const(0x7fff_fff0), Width::B4);
+    }
+
+    #[test]
+    fn zero_register_is_pinned() {
+        let mut s = AbsState::kernel_boot(0x7fff_fff0, 0x1000_0000);
+        s.set(reg::ZERO, Width::Top);
+        assert_eq!(s.get(reg::ZERO), Width::B1);
+        assert_eq!(s.get(reg::SP), Width::B4);
+    }
+
+    #[test]
+    fn state_join_is_pointwise() {
+        let boot = AbsState::kernel_boot(0x7fff_fff0, 0x1000_0000);
+        let unknown = AbsState::unknown();
+        let j = boot.join(&unknown);
+        assert!(boot.le(&j) && unknown.le(&j));
+        assert_eq!(j.get(reg::ZERO), Width::B1);
+        assert_eq!(j.get(reg::RA), Width::Top);
+    }
+}

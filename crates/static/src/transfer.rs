@@ -1,0 +1,265 @@
+//! Per-opcode transfer functions over [`AbsState`].
+//!
+//! Each rule is a sound abstraction of the matching `DISPATCH` entry in
+//! `sigcomp_isa::interp`: if every concrete input value satisfies its input
+//! width (sign-extending the low *k* bytes reproduces it), the concrete
+//! result satisfies the output width. The proofs lean on one fact: width
+//! *k* means bits `[8k-1, 31]` are all copies of the sign bit, i.e.
+//! `|value| < 2^(8k-1)` as a signed quantity.
+//!
+//! * add/sub (`|a±b| < 2^(8k)`): widen the wider input by one byte;
+//! * bitwise ops: upper replicated regions stay replicated, so `max`;
+//! * set-on-compare: the result is 0 or 1, width 1;
+//! * constant producers (`lui`, link registers): exact prefix of the value;
+//! * immediate shifts: shift the replicated region by whole bytes;
+//! * variable shifts: unknown amount — width 4, except arithmetic right
+//!   shift which can only narrow;
+//! * loads: bounded by the access width (unsigned loads may gain a zero
+//!   sign byte: `lbu` of `0x80` is a two-byte-prefix value);
+//! * signed multiply: a product of magnitudes below `2^(8j-1)·2^(8k-1)`
+//!   fits `j+k` bytes, and when that fits one word HI is pure sign;
+//! * signed divide: `|quotient| ≤ |rs|` (the `MIN/-1` wrap lands back on
+//!   `MIN`, same width) and `|remainder| < |rt|`, with the divide-by-zero
+//!   convention (`lo = 0`, `hi = rs`) folded in;
+//! * **un**signed multiply/divide get no bound: signed-prefix widths say
+//!   nothing about unsigned magnitudes (`0xffff_ffff` has prefix 1 but
+//!   unsigned value `2^32 − 1`).
+
+use crate::lattice::{AbsState, Width};
+use sigcomp_isa::{Instruction, Op};
+
+/// Static width bounds for one instruction: upper bounds on the
+/// significance prefix of each dynamic operand the interpreter records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InstrBounds {
+    /// Address of the instruction.
+    pub pc: u32,
+    /// The decoded instruction the bounds were derived for.
+    pub instr: Instruction,
+    /// Bound on the `rs` source value, when the opcode reads `rs`.
+    pub rs: Option<Width>,
+    /// Bound on the `rt` source value, when the opcode reads `rt`.
+    pub rt: Option<Width>,
+    /// Bound on the produced value (register writeback or loaded word),
+    /// when the opcode produces one.
+    pub result: Option<Width>,
+}
+
+impl InstrBounds {
+    /// Every bound this instruction asserts, for histogram aggregation.
+    pub fn operand_bounds(&self) -> impl Iterator<Item = Width> + '_ {
+        [self.rs, self.rt, self.result].into_iter().flatten()
+    }
+}
+
+/// `max(inputs)` widened by one byte, for add/subtract carries.
+fn widen1(a: Width, b: Width) -> Width {
+    Width::from_bound((a.bound().max(b.bound()) + 1).min(4))
+}
+
+/// Left shift by a known amount: the replicated region moves up `s` bits.
+fn shl_width(w: Width, s: u8) -> Width {
+    if s == 0 {
+        w
+    } else {
+        Width::from_bound((u32::from(w.bound()) * 8 + u32::from(s)).div_ceil(8).min(4) as u8)
+    }
+}
+
+/// Logical right shift by a known amount: the top `s` bits become zeros.
+fn srl_width(w: Width, s: u8) -> Width {
+    if s == 0 {
+        w
+    } else {
+        Width::from_bound((33 - u32::from(s)).div_ceil(8).min(4) as u8)
+    }
+}
+
+/// Arithmetic right shift by a known amount: the replicated region grows
+/// downward by `s` bits (never below one byte).
+fn sra_width(w: Width, s: u8) -> Width {
+    if s == 0 {
+        w
+    } else {
+        Width::from_bound(
+            (u32::from(w.bound()) * 8)
+                .saturating_sub(u32::from(s))
+                .div_ceil(8)
+                .max(1) as u8,
+        )
+    }
+}
+
+/// Applies `instr` at `pc` to `state`, returning the operand bounds at this
+/// program point. Mirrors the interpreter's effect structure: source bounds
+/// are read from the pre-state, the destination register (or HI/LO) is then
+/// updated in place.
+pub fn transfer(instr: &Instruction, pc: u32, state: &mut AbsState) -> InstrBounds {
+    let op = instr.op;
+    let rs_w = op.reads_rs().then(|| state.get(instr.rs));
+    let rt_w = op.reads_rt().then(|| state.get(instr.rt));
+    let rs = rs_w.unwrap_or(Width::Bottom);
+    let rt = rt_w.unwrap_or(Width::Bottom);
+
+    let mut hi_lo: Option<(Width, Width)> = None;
+    let result = match op {
+        Op::Add | Op::Addu | Op::Sub | Op::Subu => Some(widen1(rs, rt)),
+        Op::Addi | Op::Addiu => Some(widen1(rs, Width::of_const(instr.imm_se() as u32))),
+        Op::And | Op::Or | Op::Xor | Op::Nor => Some(rs.join(rt)),
+        Op::Andi | Op::Ori | Op::Xori => Some(rs.join(Width::of_const(instr.imm_ze()))),
+        Op::Slt | Op::Sltu | Op::Slti | Op::Sltiu => Some(Width::B1),
+        Op::Lui => Some(Width::of_const(instr.imm_ze() << 16)),
+        Op::Sll => Some(shl_width(rt, instr.shamt)),
+        Op::Srl => Some(srl_width(rt, instr.shamt)),
+        Op::Sra => Some(sra_width(rt, instr.shamt)),
+        Op::Sllv | Op::Srlv => Some(Width::B4),
+        Op::Srav => Some(rt),
+        Op::Lb => Some(Width::B1),
+        Op::Lbu | Op::Lh => Some(Width::B2),
+        Op::Lhu => Some(Width::B3),
+        Op::Lw => Some(Width::B4),
+        Op::Jal | Op::Jalr => Some(Width::of_const(pc.wrapping_add(4))),
+        Op::Mfhi => Some(state.hi),
+        Op::Mflo => Some(state.lo),
+        Op::Mult => {
+            let sum = rs.bound() + rt.bound();
+            hi_lo = if sum <= 4 {
+                Some((Width::B1, Width::from_bound(sum)))
+            } else {
+                Some((Width::B4, Width::B4))
+            };
+            None
+        }
+        Op::Multu => {
+            hi_lo = Some((Width::B4, Width::B4));
+            None
+        }
+        Op::Div => {
+            let j = rs.bound().max(1);
+            let k = rt.bound().max(1);
+            hi_lo = Some((Width::from_bound(j.max(k)), Width::from_bound(j)));
+            None
+        }
+        Op::Divu => {
+            hi_lo = Some((Width::B4, Width::B4));
+            None
+        }
+        Op::Mthi => {
+            hi_lo = Some((rs, state.lo));
+            None
+        }
+        Op::Mtlo => {
+            hi_lo = Some((state.hi, rs));
+            None
+        }
+        // Branches, plain jumps, stores and break produce no register value.
+        _ => None,
+    };
+
+    if let Some((hi, lo)) = hi_lo {
+        state.hi = hi;
+        state.lo = lo;
+    }
+    if let (Some(width), Some(dest)) = (result, instr.dest_reg()) {
+        state.set(dest, width);
+    }
+
+    InstrBounds {
+        pc,
+        instr: *instr,
+        rs: rs_w,
+        rt: rt_w,
+        result,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigcomp_isa::{reg, Reg};
+
+    fn state_with(reg: Reg, w: Width) -> AbsState {
+        let mut s = AbsState::kernel_boot(0x7fff_fff0, 0x1000_0000);
+        s.set(reg, w);
+        s
+    }
+
+    #[test]
+    fn add_widens_by_one_byte() {
+        let t0 = Reg::new(8);
+        let t1 = Reg::new(9);
+        let mut s = state_with(t0, Width::B2);
+        s.set(t1, Width::B1);
+        let b = transfer(&Instruction::r3(Op::Addu, t0, t0, t1), 0, &mut s);
+        assert_eq!(b.result, Some(Width::B3));
+        assert_eq!(s.get(t0), Width::B3);
+    }
+
+    #[test]
+    fn bitwise_takes_the_max() {
+        let t0 = Reg::new(8);
+        let t1 = Reg::new(9);
+        let mut s = state_with(t0, Width::B3);
+        s.set(t1, Width::B2);
+        let b = transfer(&Instruction::r3(Op::Xor, t0, t0, t1), 0, &mut s);
+        assert_eq!(b.result, Some(Width::B3));
+    }
+
+    #[test]
+    fn lui_is_exact() {
+        let t0 = Reg::new(8);
+        let mut s = AbsState::kernel_boot(0x7fff_fff0, 0x1000_0000);
+        let b = transfer(&Instruction::imm(Op::Lui, t0, reg::ZERO, 0x1000), 0, &mut s);
+        assert_eq!(b.result, Some(Width::of_const(0x1000_0000)));
+        let b = transfer(&Instruction::imm(Op::Lui, t0, reg::ZERO, 0), 0, &mut s);
+        assert_eq!(b.result, Some(Width::B1));
+    }
+
+    #[test]
+    fn shifts_move_whole_bytes() {
+        assert_eq!(shl_width(Width::B1, 8), Width::B2);
+        assert_eq!(shl_width(Width::B1, 4), Width::B2);
+        assert_eq!(shl_width(Width::B3, 16), Width::B4);
+        assert_eq!(srl_width(Width::B4, 24), Width::B2);
+        assert_eq!(srl_width(Width::B4, 25), Width::B1);
+        assert_eq!(sra_width(Width::B4, 8), Width::B3);
+        assert_eq!(sra_width(Width::B1, 31), Width::B1);
+        for w in Width::ALL {
+            assert_eq!(shl_width(w, 0), w);
+            assert_eq!(srl_width(w, 0), w);
+            assert_eq!(sra_width(w, 0), w);
+        }
+    }
+
+    #[test]
+    fn unsigned_muldiv_gets_no_bound() {
+        let t0 = Reg::new(8);
+        let mut s = state_with(t0, Width::B1);
+        transfer(&Instruction::r3(Op::Multu, t0, t0, reg::ZERO), 0, &mut s);
+        assert_eq!(s.lo, Width::B4);
+        assert_eq!(s.hi, Width::B4);
+    }
+
+    #[test]
+    fn signed_mult_narrow_inputs_keep_hi_pure_sign() {
+        let t0 = Reg::new(8);
+        let t1 = Reg::new(9);
+        let mut s = state_with(t0, Width::B2);
+        s.set(t1, Width::B2);
+        transfer(&Instruction::r3(Op::Mult, t0, t0, t1), 0, &mut s);
+        assert_eq!(s.lo, Width::B4);
+        assert_eq!(s.hi, Width::B1);
+    }
+
+    #[test]
+    fn link_value_is_the_exact_return_address() {
+        let mut s = AbsState::kernel_boot(0x7fff_fff0, 0x1000_0000);
+        let b = transfer(
+            &Instruction::jump(Op::Jal, 0x0010_0000),
+            0x0040_0000,
+            &mut s,
+        );
+        assert_eq!(b.result, Some(Width::of_const(0x0040_0004)));
+        assert_eq!(s.get(reg::RA), Width::of_const(0x0040_0004));
+    }
+}

@@ -1,0 +1,288 @@
+//! The differential verifier: dynamic execution vs. static bounds.
+//!
+//! The analysis asserts, for every reachable instruction, an upper bound on
+//! the significance prefix of each operand the interpreter will ever record
+//! there. This module checks that claim against real traces, record by
+//! record. A violation means the interpreter, the cost model's notion of
+//! significance, or a transfer function drifted apart — exactly the class
+//! of silent bug a paper reproduction cannot afford.
+//!
+//! The check is scheme-independent: all three extension schemes encode at
+//! least the sign-extension prefix, so `significant_bytes_prefix(value) <=
+//! bound` subsumes them.
+
+use crate::analysis::StaticAnalysis;
+use crate::lattice::Width;
+use sigcomp::ext::significant_bytes_prefix;
+use sigcomp_isa::{ExecRecord, Op};
+use std::fmt;
+
+/// Which recorded operand broke its bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OperandKind {
+    /// The `rs` source value.
+    Rs,
+    /// The `rt` source value.
+    Rt,
+    /// The produced value (register writeback or loaded word).
+    Result,
+}
+
+impl OperandKind {
+    fn label(self) -> &'static str {
+        match self {
+            OperandKind::Rs => "rs",
+            OperandKind::Rt => "rt",
+            OperandKind::Result => "result",
+        }
+    }
+}
+
+/// A failed cross-check between a trace and the static analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// The trace executed an address the analysis proved unreachable (or
+    /// never saw at all) — the CFG or solver is wrong.
+    UnanalyzedPc {
+        /// Record sequence number.
+        seq: u64,
+        /// The offending address.
+        pc: u32,
+    },
+    /// The decoded instruction in the trace differs from the one the
+    /// analysis bounded at the same address (self-modifying text or a
+    /// decode divergence).
+    InstructionMismatch {
+        /// Record sequence number.
+        seq: u64,
+        /// The offending address.
+        pc: u32,
+        /// What the analysis decoded there.
+        analyzed: Op,
+        /// What the trace recorded there.
+        traced: Op,
+    },
+    /// An operand value exceeded its proven width bound.
+    BoundExceeded {
+        /// Record sequence number.
+        seq: u64,
+        /// The offending address.
+        pc: u32,
+        /// The opcode at that address.
+        op: Op,
+        /// Which operand broke the bound.
+        operand: OperandKind,
+        /// The recorded value.
+        value: u32,
+        /// Its actual significance prefix, in bytes.
+        actual: u8,
+        /// The static bound it was supposed to respect.
+        bound: Width,
+    },
+    /// The trace recorded an operand the analysis says the opcode does not
+    /// have (metadata drift between `Op` tables and the interpreter).
+    UnexpectedOperand {
+        /// Record sequence number.
+        seq: u64,
+        /// The offending address.
+        pc: u32,
+        /// The operand with no static counterpart.
+        operand: OperandKind,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::UnanalyzedPc { seq, pc } => {
+                write!(f, "record {seq}: pc {pc:#010x} was never analyzed (statically unreachable?)")
+            }
+            VerifyError::InstructionMismatch { seq, pc, analyzed, traced } => write!(
+                f,
+                "record {seq}: pc {pc:#010x} decodes as {} statically but {} dynamically",
+                analyzed.mnemonic(),
+                traced.mnemonic()
+            ),
+            VerifyError::BoundExceeded { seq, pc, op, operand, value, actual, bound } => write!(
+                f,
+                "record {seq}: {} {} value {value:#010x} at pc {pc:#010x} has {actual}-byte prefix, bound {bound}",
+                op.mnemonic(),
+                operand.label()
+            ),
+            VerifyError::UnexpectedOperand { seq, pc, operand } => write!(
+                f,
+                "record {seq}: pc {pc:#010x} recorded a {} operand the static model says cannot exist",
+                operand.label()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Summary of a successful differential run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// Trace records checked.
+    pub records: u64,
+    /// Individual operand values compared against a bound.
+    pub values_checked: u64,
+}
+
+impl VerifyReport {
+    /// Folds another report into this one.
+    pub fn merge(&mut self, other: VerifyReport) {
+        self.records += other.records;
+        self.values_checked += other.values_checked;
+    }
+}
+
+fn check(
+    report: &mut VerifyReport,
+    r: &ExecRecord,
+    operand: OperandKind,
+    value: Option<u32>,
+    bound: Option<Width>,
+) -> Result<(), Box<VerifyError>> {
+    let Some(value) = value else { return Ok(()) };
+    let Some(bound) = bound else {
+        return Err(Box::new(VerifyError::UnexpectedOperand {
+            seq: r.seq,
+            pc: r.pc,
+            operand,
+        }));
+    };
+    let actual = significant_bytes_prefix(value);
+    report.values_checked += 1;
+    if actual > bound.bound() {
+        return Err(Box::new(VerifyError::BoundExceeded {
+            seq: r.seq,
+            pc: r.pc,
+            op: r.instr.op,
+            operand,
+            value,
+            actual,
+            bound,
+        }));
+    }
+    Ok(())
+}
+
+/// Checks every record of a dynamic trace against the static bounds,
+/// failing on the first violation.
+///
+/// For each record this compares the `rs`/`rt` source values, the register
+/// writeback, and (for loads) the value read from memory against the
+/// instruction's proven widths. Store values are the `rt` source and need
+/// no extra check.
+pub fn verify_trace_against_bounds<'a, I>(
+    analysis: &StaticAnalysis,
+    records: I,
+) -> Result<VerifyReport, Box<VerifyError>>
+where
+    I: IntoIterator<Item = &'a ExecRecord>,
+{
+    let mut report = VerifyReport::default();
+    for r in records {
+        let Some(bounds) = analysis.bounds_at(r.pc) else {
+            return Err(Box::new(VerifyError::UnanalyzedPc {
+                seq: r.seq,
+                pc: r.pc,
+            }));
+        };
+        if bounds.instr.op != r.instr.op {
+            return Err(Box::new(VerifyError::InstructionMismatch {
+                seq: r.seq,
+                pc: r.pc,
+                analyzed: bounds.instr.op,
+                traced: r.instr.op,
+            }));
+        }
+        report.records += 1;
+        check(&mut report, r, OperandKind::Rs, r.rs_value, bounds.rs)?;
+        check(&mut report, r, OperandKind::Rt, r.rt_value, bounds.rt)?;
+        let written = r.writeback.map(|(_, v)| v);
+        check(&mut report, r, OperandKind::Result, written, bounds.result)?;
+        if let Some(mem) = &r.mem {
+            if !mem.is_store {
+                check(
+                    &mut report,
+                    r,
+                    OperandKind::Result,
+                    Some(mem.value),
+                    bounds.result,
+                )?;
+            }
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{analyze_program, EntryState};
+    use sigcomp_isa::{program, reg, Instruction, Interpreter, Program};
+
+    fn build(instrs: &[Instruction]) -> Program {
+        Program {
+            text_base: program::DEFAULT_TEXT_BASE,
+            text: instrs.iter().map(Instruction::encode).collect(),
+            data_base: program::DEFAULT_DATA_BASE,
+            data: vec![0x12, 0x34, 0x56, 0x78],
+            entry: program::DEFAULT_TEXT_BASE,
+            stack_top: program::DEFAULT_STACK_TOP,
+        }
+    }
+
+    #[test]
+    fn interpreter_respects_bounds_on_a_small_kernel() {
+        let p = build(&[
+            Instruction::imm(Op::Addiu, reg::T0, reg::ZERO, 257),
+            Instruction::r3(Op::Addu, reg::T1, reg::T0, reg::T0),
+            Instruction::imm(Op::Lw, reg::T2, reg::GP, 0),
+            Instruction::imm(Op::Sw, reg::T2, reg::GP, 4),
+            Instruction::r3(Op::Slt, reg::T3, reg::T1, reg::T2),
+            Instruction::r3(Op::Break, reg::ZERO, reg::ZERO, reg::ZERO),
+        ]);
+        let analysis = analyze_program(&p, EntryState::KernelBoot);
+        let mut interp = Interpreter::new(&p);
+        let trace = interp.run(1_000).expect("kernel halts");
+        let report = verify_trace_against_bounds(&analysis, trace.records()).expect("no violation");
+        assert_eq!(report.records, trace.records().len() as u64);
+        assert!(report.values_checked > report.records);
+    }
+
+    #[test]
+    fn a_widened_value_is_caught() {
+        let p = build(&[
+            Instruction::imm(Op::Addiu, reg::T0, reg::ZERO, 257),
+            Instruction::r3(Op::Break, reg::ZERO, reg::ZERO, reg::ZERO),
+        ]);
+        let analysis = analyze_program(&p, EntryState::KernelBoot);
+        let mut interp = Interpreter::new(&p);
+        let trace = interp.run(1_000).expect("kernel halts");
+        let mut records = trace.records().to_vec();
+        // Forge a writeback wider than the proven bound (addiu from $zero
+        // of a two-byte immediate is at most three bytes).
+        records[0].writeback = Some((reg::T0, 0x7fff_ffff));
+        let err = verify_trace_against_bounds(&analysis, records.iter()).unwrap_err();
+        assert!(matches!(*err, VerifyError::BoundExceeded { .. }));
+        assert!(err.to_string().contains("prefix"));
+    }
+
+    #[test]
+    fn unanalyzed_pc_is_a_hard_error() {
+        let p = build(&[
+            Instruction::imm(Op::Addiu, reg::T0, reg::ZERO, 1),
+            Instruction::r3(Op::Break, reg::ZERO, reg::ZERO, reg::ZERO),
+        ]);
+        let analysis = analyze_program(&p, EntryState::KernelBoot);
+        let mut interp = Interpreter::new(&p);
+        let trace = interp.run(1_000).expect("kernel halts");
+        let mut records = trace.records().to_vec();
+        records[0].pc = 0xdead_0000;
+        let err = verify_trace_against_bounds(&analysis, records.iter()).unwrap_err();
+        assert!(matches!(*err, VerifyError::UnanalyzedPc { .. }));
+    }
+}

@@ -1,0 +1,193 @@
+//! Property tests for the width lattice and the fixpoint solver, driven by
+//! the workspace's deterministic [`SmallRng`] (seeded, so failures are
+//! reproducible by seed).
+//!
+//! * the join is commutative, associative and idempotent (lattice laws),
+//! * every transfer function is monotone in the abstract state — the
+//!   property the worklist solver's termination and soundness both lean on,
+//! * the fixpoint terminates on randomized programs (arbitrary branches,
+//!   jumps and ALU soup) and bounds every instruction the interpreter
+//!   actually reaches.
+
+use sigcomp_isa::{program, reg, Instruction, Interpreter, Op, Program, Reg};
+use sigcomp_static::{
+    analyze_program, transfer, verify_trace_against_bounds, AbsState, EntryState, Width,
+};
+use sigcomp_workloads::SmallRng;
+
+#[test]
+fn join_is_commutative_associative_idempotent() {
+    for a in Width::ALL {
+        assert_eq!(a.join(a), a, "idempotence of {a:?}");
+        for b in Width::ALL {
+            assert_eq!(a.join(b), b.join(a), "commutativity of {a:?} {b:?}");
+            for c in Width::ALL {
+                assert_eq!(
+                    a.join(b).join(c),
+                    a.join(b.join(c)),
+                    "associativity of {a:?} {b:?} {c:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn join_is_an_upper_bound_and_bound_is_monotone() {
+    for a in Width::ALL {
+        for b in Width::ALL {
+            let j = a.join(b);
+            assert!(a <= j && b <= j);
+            assert!(a.bound() <= j.bound());
+        }
+    }
+}
+
+/// A random abstract state: every register (and HI/LO) drawn independently
+/// from the full chain.
+fn random_state(rng: &mut SmallRng) -> AbsState {
+    let mut s = AbsState::bottom();
+    for i in 0..32u8 {
+        s.set(Reg::new(i), Width::ALL[rng.gen_range(0..6usize)]);
+    }
+    s.hi = Width::ALL[rng.gen_range(0..6usize)];
+    s.lo = Width::ALL[rng.gen_range(0..6usize)];
+    s
+}
+
+/// A random (always encodable) instruction over the full opcode table.
+fn random_instr(rng: &mut SmallRng) -> Instruction {
+    let op = Op::ALL[rng.gen_range(0..Op::ALL.len())];
+    let r = |rng: &mut SmallRng| Reg::new(rng.gen_range(0..32u8));
+    Instruction {
+        op,
+        rs: r(rng),
+        rt: r(rng),
+        rd: r(rng),
+        shamt: rng.gen_range(0..32u8),
+        imm: rng.gen_range(0..=u16::MAX),
+        target: rng.gen_range(0..0x0400_0000u32),
+    }
+}
+
+/// Raises `state` to a pointwise-larger state by re-joining random cells
+/// upward.
+fn widen_randomly(rng: &mut SmallRng, state: &AbsState) -> AbsState {
+    let mut wider = *state;
+    for i in 0..32u8 {
+        let r = Reg::new(i);
+        if rng.gen_range(0..2u8) == 1 {
+            wider.set(r, wider.get(r).join(Width::ALL[rng.gen_range(0..6usize)]));
+        }
+    }
+    wider.hi = wider.hi.join(Width::ALL[rng.gen_range(0..6usize)]);
+    wider.lo = wider.lo.join(Width::ALL[rng.gen_range(0..6usize)]);
+    wider
+}
+
+#[test]
+fn transfer_functions_are_monotone() {
+    let mut rng = SmallRng::seed_from_u64(0x5197_c0de);
+    for _ in 0..2_000 {
+        let instr = random_instr(&mut rng);
+        let small_in = random_state(&mut rng);
+        let large_in = widen_randomly(&mut rng, &small_in);
+        assert!(small_in.le(&large_in));
+
+        let mut small_out = small_in;
+        let mut large_out = large_in;
+        let pc = 0x0040_0000 + 4 * rng.gen_range(0..1024u32);
+        let b_small = transfer(&instr, pc, &mut small_out);
+        let b_large = transfer(&instr, pc, &mut large_out);
+
+        assert!(
+            small_out.le(&large_out),
+            "state transfer not monotone for {instr:?}\n  small in {small_in:?}\n  large in {large_in:?}"
+        );
+        for (s, l) in [
+            (b_small.rs, b_large.rs),
+            (b_small.rt, b_large.rt),
+            (b_small.result, b_large.result),
+        ] {
+            assert_eq!(
+                s.is_some(),
+                l.is_some(),
+                "operand presence differs for {instr:?}"
+            );
+            if let (Some(s), Some(l)) = (s, l) {
+                assert!(s <= l, "bounds not monotone for {instr:?}: {s:?} vs {l:?}");
+            }
+        }
+    }
+}
+
+/// A random program whose branch and jump targets stay inside the text
+/// segment, terminated by `break`.
+fn random_program(rng: &mut SmallRng, len: usize) -> Program {
+    let base = program::DEFAULT_TEXT_BASE;
+    let mut text = Vec::with_capacity(len + 1);
+    for i in 0..len {
+        let mut instr = random_instr(rng);
+        // Rewrite control targets so they land on one of our own slots.
+        let slot = rng.gen_range(0..=len as u32);
+        if instr.op.is_branch() {
+            let here = i as i64 + 1;
+            let delta = i64::from(slot) - here;
+            instr.imm = (delta as i16) as u16;
+        } else if matches!(instr.op, Op::J | Op::Jal) {
+            instr.target = (base + 4 * slot) >> 2;
+        }
+        text.push(instr.encode());
+    }
+    text.push(
+        Instruction {
+            op: Op::Break,
+            ..Instruction::NOP
+        }
+        .encode(),
+    );
+    Program {
+        text_base: base,
+        text,
+        data_base: program::DEFAULT_DATA_BASE,
+        data: vec![0u8; 64],
+        entry: base,
+        stack_top: program::DEFAULT_STACK_TOP,
+    }
+}
+
+#[test]
+fn fixpoint_terminates_on_randomized_programs_and_bounds_execution() {
+    let mut rng = SmallRng::seed_from_u64(0xf1f0_1234);
+    for round in 0..60 {
+        let len = rng.gen_range(4..48usize);
+        let p = random_program(&mut rng, len);
+        // Termination is the assertion: analyze_program returning at all
+        // means the worklist drained. Sanity-bound the visit count too.
+        let analysis = analyze_program(&p, EntryState::KernelBoot);
+        let blocks = analysis.cfg.blocks.len() as u64;
+        assert!(
+            analysis.iterations <= blocks.max(1) * 6 * 34 + blocks,
+            "round {round}: {} visits for {blocks} blocks",
+            analysis.iterations
+        );
+
+        // Differential spot-check: wherever the random program happens to
+        // run without faulting, the bounds must hold.
+        let mut interp = Interpreter::new(&p);
+        if let Ok(trace) = interp.run(2_000) {
+            verify_trace_against_bounds(&analysis, trace.records())
+                .expect("random execution exceeded a static bound");
+        }
+    }
+}
+
+#[test]
+fn kernel_boot_entry_state_is_narrower_than_unknown() {
+    let mut rng = SmallRng::seed_from_u64(42);
+    let p = random_program(&mut rng, 12);
+    let boot = AbsState::kernel_boot(p.stack_top, p.data_base);
+    let unknown = AbsState::unknown();
+    assert!(boot.le(&unknown));
+    assert_eq!(unknown.get(reg::ZERO), Width::B1);
+}

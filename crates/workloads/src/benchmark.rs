@@ -177,7 +177,10 @@ mod tests {
     #[test]
     fn suite_has_distinct_names() {
         use std::collections::HashSet;
-        let names: Vec<_> = suite(WorkloadSize::Tiny).iter().map(|b| b.name()).collect();
+        let names: Vec<_> = suite(WorkloadSize::Tiny)
+            .iter()
+            .map(super::Benchmark::name)
+            .collect();
         let set: HashSet<_> = names.iter().collect();
         assert_eq!(set.len(), names.len());
         assert!(names.len() >= 10, "expected at least 10 kernels");
@@ -228,7 +231,10 @@ mod tests {
 
     #[test]
     fn suite_names_match_registered_benchmarks() {
-        let names: Vec<_> = suite(WorkloadSize::Tiny).iter().map(|b| b.name()).collect();
+        let names: Vec<_> = suite(WorkloadSize::Tiny)
+            .iter()
+            .map(super::Benchmark::name)
+            .collect();
         assert_eq!(names, suite_names());
         for &n in suite_names() {
             assert_eq!(find(n, WorkloadSize::Tiny).unwrap().name(), n);

@@ -30,6 +30,7 @@
 //! ```
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 #![warn(rust_2018_idioms)]
 
 mod benchmark;
@@ -38,4 +39,5 @@ mod rng;
 pub mod synth;
 
 pub use benchmark::{find, suite, suite_names, Benchmark, WorkloadSize};
+pub use rng::SmallRng;
 pub use synth::{SynthConfig, TraceSynthesizer};

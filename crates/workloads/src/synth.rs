@@ -557,7 +557,7 @@ mod tests {
     #[test]
     fn loads_and_stores_carry_memory_accesses() {
         let trace = TraceSynthesizer::new(SynthConfig::paper(10_000)).generate();
-        for r in trace.iter() {
+        for r in &trace {
             let op = r.instr.op;
             assert_eq!(op.is_load() || op.is_store(), r.mem.is_some());
             if let Some(m) = r.mem {

@@ -25,7 +25,7 @@ fn main() {
     for &scheme in ExtScheme::ALL {
         let mut bytes = 0u64;
         let mut values = 0u64;
-        for rec in trace.iter() {
+        for rec in &trace {
             for v in rec.source_values() {
                 bytes += u64::from(significant_bytes(v, scheme));
                 values += 1;
@@ -44,7 +44,7 @@ fn main() {
     println!("\n== fetched bytes vs funct-recode coverage ==");
     let recoder = FunctRecoder::paper_default();
     let mut fetched = 0u64;
-    for rec in trace.iter() {
+    for rec in &trace {
         fetched += u64::from(compress_instruction(&rec.instr, &recoder).fetch_bytes);
     }
     println!(

@@ -13,6 +13,7 @@
 //! * [`sigcomp_explore`] — parallel design-space exploration.
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 #![warn(rust_2018_idioms)]
 
 pub use sigcomp;

@@ -92,7 +92,7 @@ fn synthetic_traces_drive_both_studies() {
     let trace = TraceSynthesizer::new(SynthConfig::paper(30_000)).generate();
 
     let mut analyzer = TraceAnalyzer::new(AnalyzerConfig::paper_byte());
-    for rec in trace.iter() {
+    for rec in &trace {
         analyzer.observe(rec);
     }
     let report = analyzer.report();

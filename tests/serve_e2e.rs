@@ -251,7 +251,7 @@ fn capped_memo_and_registry_hold_server_memory_flat_under_distinct_traffic() {
             .to_owned();
         // Wait for this ticket to settle before submitting the next so the
         // eviction order is deterministic.
-        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+        let deadline = std::time::Instant::now() + std::time::Duration::from_mins(1);
         loop {
             let (status, body) = http(addr, "GET", &poll, None);
             if status == 200 && body.contains("\"status\": \"done\"") {
@@ -335,7 +335,7 @@ fn async_sweep_ticket_is_pollable_to_completion() {
         .unwrap()
         .to_owned();
 
-    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+    let deadline = std::time::Instant::now() + std::time::Duration::from_mins(1);
     loop {
         let doc = get_json(addr, &poll);
         match doc.get("status").and_then(Json::as_str) {

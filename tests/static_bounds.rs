@@ -1,0 +1,90 @@
+//! The differential verifier over the golden corpus: every dynamically
+//! recorded operand of every checked-in trace must respect the width bound
+//! the static analysis proves for its instruction.
+//!
+//! This is the machine-checked invariant tying three subsystems together:
+//! the interpreter (which produced the corpus), the significance semantics
+//! in `sigcomp::ext` (which defines "width"), and the abstract transfer
+//! functions in `sigcomp-static` (which claim to over-approximate both).
+//! Any future change that widens a value illegally — in either direction —
+//! fails this suite, and CI runs it as a dedicated step.
+
+use sigcomp::SigStats;
+use sigcomp_bench::golden::{trace_path, GOLDEN_SIZE, GOLDEN_WORKLOADS};
+use sigcomp_explore::TraceInput;
+use sigcomp_isa::Trace;
+use sigcomp_static::{
+    analyze_program, program_from_records, verify_trace_against_bounds, EntryState, WidthReport,
+};
+use sigcomp_workloads::find;
+use std::path::Path;
+
+fn data_dir() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/data"))
+}
+
+fn corpus_records(workload: &str) -> Trace {
+    let input = TraceInput::load(trace_path(data_dir(), workload))
+        .unwrap_or_else(|e| panic!("cannot load {workload}.sctrace: {e}"));
+    input.decoded().iter().collect()
+}
+
+#[test]
+fn every_golden_trace_respects_its_static_bounds() {
+    for &workload in GOLDEN_WORKLOADS {
+        let bench = find(workload, GOLDEN_SIZE).expect("golden workload exists");
+        let analysis = analyze_program(bench.program(), EntryState::KernelBoot);
+        let trace = corpus_records(workload);
+        let report = verify_trace_against_bounds(&analysis, trace.records())
+            .unwrap_or_else(|e| panic!("{workload}: {e}"));
+        assert_eq!(report.records, trace.records().len() as u64, "{workload}");
+        assert!(
+            report.values_checked > report.records,
+            "{workload}: expected more operand checks than records"
+        );
+    }
+}
+
+#[test]
+fn reconstructed_trace_programs_also_bound_the_corpus() {
+    // The `repro analyze <file.sctrace>` path: rebuild the program image
+    // from the recorded (pc, word) pairs and re-derive bounds with an
+    // unknown entry state. Weaker bounds, same invariant.
+    for &workload in GOLDEN_WORKLOADS {
+        let trace = corpus_records(workload);
+        let program = program_from_records(trace.records()).expect("corpus is non-empty");
+        let analysis = analyze_program(&program, EntryState::Unknown);
+        verify_trace_against_bounds(&analysis, trace.records())
+            .unwrap_or_else(|e| panic!("{workload} (reconstructed): {e}"));
+    }
+}
+
+#[test]
+fn static_width_report_is_comparable_with_dynamic_sigstats() {
+    for &workload in GOLDEN_WORKLOADS {
+        let bench = find(workload, GOLDEN_SIZE).expect("golden workload exists");
+        let analysis = analyze_program(bench.program(), EntryState::KernelBoot);
+        let report = WidthReport::from_analysis(workload, &analysis);
+
+        let mut stats = SigStats::default();
+        let trace = corpus_records(workload);
+        for r in trace.records() {
+            stats.observe(r);
+        }
+
+        // Both sides describe a 1..=4-byte distribution over the same
+        // program; the static one counts each reachable instruction once,
+        // the dynamic one weights by execution frequency.
+        let static_sum: f64 = report.width_fractions().iter().sum();
+        assert!((static_sum - 1.0).abs() < 1e-9, "{workload}");
+        let static_mean = report.mean_bound_bytes();
+        let dynamic_mean = stats.mean_significant_bytes();
+        for mean in [static_mean, dynamic_mean] {
+            assert!((1.0..=4.0).contains(&mean), "{workload}: mean {mean}");
+        }
+        assert!(
+            report.instructions > 0 && report.predicted_saving() >= 0.0,
+            "{workload}"
+        );
+    }
+}
