@@ -50,6 +50,13 @@
 //!                        4096, oldest evicted first)
 //!   --ticket-cap N       finished /sweep tickets retained for polling
 //!                        (default 64, oldest evicted first)
+//!   --max-conns N        reactor connection cap; above it new connections
+//!                        are shed with a fast 503 + Retry-After
+//!                        (default 1024)
+//!   --read-deadline-ms N per-connection read deadline: a partial request
+//!                        older than this is answered 408 and closed
+//!                        (default 10000)
+//!   --keep-alive on|off  honor client Connection: keep-alive (default on)
 //!   --frontier HOST:PORT register with (and heartbeat to) this frontier so
 //!                        it dispatches fleet shards here
 //!   --self-addr H:P      the address advertised to the frontier (default:
@@ -157,7 +164,8 @@ REPRO_WORKER to interpose a worker launcher)
 energy options: [--workers N] [--schemes a,b] [--orgs all|a,b] [--mems a,b]
 [--cache DIR] [--no-cache]
 serve options: [--addr HOST:PORT] [--max-batch N] [--backend local|subprocess[:N]]
-[--memo-cap N] [--ticket-cap N] [--workers N] [--cache DIR] [--no-cache]
+[--memo-cap N] [--ticket-cap N] [--max-conns N] [--read-deadline-ms N]
+[--keep-alive on|off] [--workers N] [--cache DIR] [--no-cache]
 [--obs-log FILE] [--frontier HOST:PORT] [--self-addr HOST:PORT]
 [--heartbeat-ms N]
 bench options: [--quick] [--label NAME] [--out PATH] [--corpus DIR]
@@ -195,6 +203,9 @@ struct SweepArgs {
     backend: Option<BackendChoice>,
     memo_cap: Option<usize>,
     ticket_cap: Option<usize>,
+    max_conns: Option<usize>,
+    read_deadline_ms: Option<u64>,
+    keep_alive: Option<bool>,
     obs_log: Option<String>,
     bench_quick: bool,
     bench_label: Option<String>,
@@ -630,6 +641,10 @@ fn run_serve_command(args: &SweepArgs) -> ExitCode {
             memo_capacity: args.memo_cap.unwrap_or(0),
         },
         finished_tickets: args.ticket_cap.unwrap_or(0),
+        max_conns: args.max_conns.unwrap_or(0),
+        read_deadline: std::time::Duration::from_millis(args.read_deadline_ms.unwrap_or(0)),
+        keep_alive: args.keep_alive.unwrap_or(true),
+        ..ServeConfig::default()
     };
     let server = match Server::bind(config) {
         Ok(server) => server,
@@ -762,6 +777,20 @@ fn run_bench_command(args: &SweepArgs) -> ExitCode {
         report.frontier.units / report.frontier_iterations.max(1),
         report.frontier.wall_s,
         report.frontier.rate()
+    );
+    println!(
+        "serve:    {} clients x{} pipelined; reactor {} req in {:.2} s ({:.0} req/s, \
+         p50 {:.0} us, p99 {:.0} us), thread-per-conn {} req ({:.0} req/s) — {:.1}x keep-alive speedup",
+        report.serve.clients,
+        report.serve.pipeline_depth,
+        report.serve.reactor.units,
+        report.serve.reactor.wall_s,
+        report.serve.reactor.rate(),
+        report.serve.reactor_p50_us,
+        report.serve.reactor_p99_us,
+        report.serve.threaded.units,
+        report.serve.threaded.rate(),
+        report.serve.keepalive_speedup()
     );
 
     let json = report.to_json();
@@ -1592,6 +1621,37 @@ fn main() -> ExitCode {
                 };
                 sweep_args.ticket_cap = Some(value);
             }
+            "--max-conns" => {
+                let raw = value_of!("--max-conns");
+                let Some(value) = raw.parse().ok().filter(|&n: &usize| n > 0) else {
+                    return fail(&format!(
+                        "invalid value '{raw}' for --max-conns (expected a positive integer)"
+                    ));
+                };
+                sweep_args.max_conns = Some(value);
+            }
+            "--read-deadline-ms" => {
+                let raw = value_of!("--read-deadline-ms");
+                let Some(value) = raw.parse().ok().filter(|&n: &u64| n > 0) else {
+                    return fail(&format!(
+                        "invalid value '{raw}' for --read-deadline-ms \
+                         (expected a positive integer)"
+                    ));
+                };
+                sweep_args.read_deadline_ms = Some(value);
+            }
+            "--keep-alive" => {
+                let raw = value_of!("--keep-alive");
+                sweep_args.keep_alive = match raw.as_str() {
+                    "on" => Some(true),
+                    "off" => Some(false),
+                    _ => {
+                        return fail(&format!(
+                            "invalid value '{raw}' for --keep-alive (expected on or off)"
+                        ))
+                    }
+                };
+            }
             "--schemes" => {
                 let raw = value_of!("--schemes");
                 let Some(value) = parse_list(&raw, ExtScheme::parse) else {
@@ -1814,6 +1874,9 @@ fn main() -> ExitCode {
             (sweep_args.backend.is_some(), "--backend"),
             (sweep_args.memo_cap.is_some(), "--memo-cap"),
             (sweep_args.ticket_cap.is_some(), "--ticket-cap"),
+            (sweep_args.max_conns.is_some(), "--max-conns"),
+            (sweep_args.read_deadline_ms.is_some(), "--read-deadline-ms"),
+            (sweep_args.keep_alive.is_some(), "--keep-alive"),
             (sweep_args.self_addr.is_some(), "--self-addr"),
             (sweep_args.heartbeat_ms.is_some(), "--heartbeat-ms"),
         ] {

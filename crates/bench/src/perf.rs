@@ -1,7 +1,7 @@
 //! The self-timed perf harness behind `repro bench` — the start of the
 //! repo's tracked performance trajectory.
 //!
-//! Three phases, each timed with a monotonic clock:
+//! Four phases, each timed with a monotonic clock:
 //!
 //! 1. **replay** — the golden conformance corpus replayed through one
 //!    pipeline configuration straight from its decode-once arenas
@@ -13,6 +13,13 @@
 //!    cache-warm (every job loaded back), configurations per second each.
 //! 3. **frontier** — repeated Pareto-frontier extraction over the sweep's
 //!    config points: points per second of post-processing.
+//! 4. **serve** — the HTTP front door at saturation: concurrent clients
+//!    hammering a memoized `POST /simulate` against an in-process server,
+//!    once through the nonblocking reactor on pipelined keep-alive
+//!    connections and once through the legacy thread-per-connection model
+//!    (one dial per request). Requests per second each, client-observed
+//!    latency quantiles for the reactor, and the keep-alive speedup ratio
+//!    the compare gate watches.
 //!
 //! [`run`] returns a [`BenchReport`]; [`BenchReport::to_json`] renders the
 //! `sigcomp-bench v1` document that `BENCH_<label>.json` files carry, and
@@ -114,8 +121,48 @@ pub struct BenchReport {
     pub frontier_iterations: u64,
     /// Frontier phase: units are points processed across all iterations.
     pub frontier: Phase,
+    /// Serving front-door saturation: reactor vs thread-per-connection.
+    pub serve: ServeBench,
     /// The process-global observability registry after the run.
     pub obs: sigcomp_obs::Snapshot,
+}
+
+/// The serve phase's measurements: the same request mix driven through both
+/// connection-handling models.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeBench {
+    /// Concurrent closed-loop clients per model.
+    pub clients: u64,
+    /// Requests each reactor client wrote back-to-back per batch on its
+    /// keep-alive connection (the threaded baseline cannot pipeline — its
+    /// server closes after every response).
+    pub pipeline_depth: u64,
+    /// Reactor model: units are requests served over keep-alive
+    /// connections.
+    pub reactor: Phase,
+    /// Client-observed p50 latency (µs) under the reactor, measured batch
+    /// start → response read.
+    pub reactor_p50_us: f64,
+    /// Client-observed p95 latency (µs) under the reactor.
+    pub reactor_p95_us: f64,
+    /// Client-observed p99 latency (µs) under the reactor.
+    pub reactor_p99_us: f64,
+    /// Thread-per-connection model: units are requests, one dial each.
+    pub threaded: Phase,
+}
+
+impl ServeBench {
+    /// Reactor-to-threaded request-rate ratio — what keep-alive +
+    /// pipelining + the event loop buy over thread-per-connection. The
+    /// compare gate tracks this ratio, so a regression that erases the
+    /// reactor's advantage fails CI even on hosts with different raw speed.
+    pub fn keepalive_speedup(&self) -> f64 {
+        if self.threaded.rate() > 0.0 {
+            self.reactor.rate() / self.threaded.rate()
+        } else {
+            0.0
+        }
+    }
 }
 
 impl BenchReport {
@@ -169,6 +216,26 @@ impl BenchReport {
             self.frontier.units,
             self.frontier.wall_s,
             self.frontier.rate()
+        );
+        let _ = writeln!(
+            out,
+            "  \"serve\": {{\"clients\": {}, \"pipeline_depth\": {}, \
+             \"reactor\": {{\"requests\": {}, \"wall_s\": {:.6}, \"req_per_sec\": {:.1}, \
+             \"p50_us\": {:.1}, \"p95_us\": {:.1}, \"p99_us\": {:.1}}}, \
+             \"threaded\": {{\"requests\": {}, \"wall_s\": {:.6}, \"req_per_sec\": {:.1}}}, \
+             \"keepalive_speedup\": {:.2}}},",
+            self.serve.clients,
+            self.serve.pipeline_depth,
+            self.serve.reactor.units,
+            self.serve.reactor.wall_s,
+            self.serve.reactor.rate(),
+            self.serve.reactor_p50_us,
+            self.serve.reactor_p95_us,
+            self.serve.reactor_p99_us,
+            self.serve.threaded.units,
+            self.serve.threaded.wall_s,
+            self.serve.threaded.rate(),
+            self.serve.keepalive_speedup()
         );
         let _ = writeln!(out, "  \"obs\": {}", self.obs.to_json());
         out.push_str("}\n");
@@ -306,6 +373,9 @@ pub fn run(options: &BenchOptions) -> Result<BenchReport, String> {
         wall_s: start.elapsed().as_secs_f64(),
     };
 
+    // Phase 4: the serving front door at saturation, both models.
+    let serve = bench_serve(options)?;
+
     Ok(BenchReport {
         label: options.label.clone(),
         quick: options.quick,
@@ -316,8 +386,219 @@ pub fn run(options: &BenchOptions) -> Result<BenchReport, String> {
         sweep_warm,
         frontier_iterations,
         frontier,
+        serve,
         obs: sigcomp_obs::global().snapshot(),
     })
+}
+
+/// The `/simulate` body every serve-phase request carries; the memo is
+/// warmed with it before timing starts, so the measured window exercises
+/// the steady-state serving path (parse → memo hit → respond), not the
+/// first simulation.
+const SERVE_BENCH_BODY: &str = "{\"workload\": \"rawcaudio\", \"size\": \"tiny\"}";
+
+/// Times both connection-handling models over the same closed-loop client
+/// fleet: the reactor on pipelined keep-alive connections, then the legacy
+/// thread-per-connection model redialing per request.
+fn bench_serve(options: &BenchOptions) -> Result<ServeBench, String> {
+    use sigcomp_serve::{BatchConfig, ServeConfig, ServeModel, Server};
+
+    let clients: usize = if options.quick { 4 } else { 8 };
+    let depth: usize = if options.quick { 8 } else { 16 };
+    let window = if options.quick {
+        std::time::Duration::from_millis(300)
+    } else {
+        std::time::Duration::from_millis(1500)
+    };
+
+    let run_model = |model: ServeModel| -> Result<(Phase, sigcomp_obs::Histogram), String> {
+        let server = Server::bind(ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            batch: BatchConfig {
+                sim_workers: Some(2),
+                ..BatchConfig::default()
+            },
+            model,
+            ..ServeConfig::default()
+        })
+        .map_err(|e| format!("serve bench: cannot bind: {e}"))?
+        .spawn();
+        let addr = server.addr();
+        // Warm the memo (and the accept path) before the timed window.
+        let status = serve_one_shot(addr, SERVE_BENCH_BODY)
+            .map_err(|e| format!("serve bench warm-up: {e}"))?;
+        if status != 200 {
+            return Err(format!("serve bench warm-up answered {status}"));
+        }
+        let latency = sigcomp_obs::Histogram::new(sigcomp_serve::metrics::LATENCY_BOUNDS_US);
+        let started = Instant::now();
+        let stop_at = started + window;
+        let counts = std::thread::scope(|scope| -> Vec<Result<u64, String>> {
+            let latency = &latency;
+            (0..clients)
+                .map(|_| {
+                    scope.spawn(move || match model {
+                        ServeModel::Reactor => {
+                            serve_client_pipelined(addr, SERVE_BENCH_BODY, depth, stop_at, latency)
+                        }
+                        ServeModel::ThreadPerConn => {
+                            serve_client_redial(addr, SERVE_BENCH_BODY, stop_at, latency)
+                        }
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|handle| handle.join().expect("serve bench client panicked"))
+                .collect()
+        });
+        let wall_s = started.elapsed().as_secs_f64();
+        let mut requests = 0;
+        for count in counts {
+            requests += count.map_err(|e| format!("serve bench client: {e}"))?;
+        }
+        drop(server);
+        Ok((
+            Phase {
+                units: requests,
+                wall_s,
+            },
+            latency,
+        ))
+    };
+
+    let (reactor, reactor_latency) = run_model(ServeModel::Reactor)?;
+    let (threaded, _) = run_model(ServeModel::ThreadPerConn)?;
+    let snap = reactor_latency.snapshot();
+    Ok(ServeBench {
+        clients: clients as u64,
+        pipeline_depth: depth as u64,
+        reactor,
+        reactor_p50_us: snap.quantile(0.50),
+        reactor_p95_us: snap.quantile(0.95),
+        reactor_p99_us: snap.quantile(0.99),
+        threaded,
+    })
+}
+
+/// One request on a fresh connection, response read to EOF (the legacy
+/// model closes after every response). Returns the status code.
+fn serve_one_shot(addr: std::net::SocketAddr, body: &str) -> Result<u16, String> {
+    use std::io::{Read as _, Write as _};
+    let mut stream = std::net::TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    let request = format!(
+        "POST /simulate HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream
+        .write_all(request.as_bytes())
+        .map_err(|e| format!("send: {e}"))?;
+    let mut raw = String::new();
+    stream
+        .read_to_string(&mut raw)
+        .map_err(|e| format!("read: {e}"))?;
+    raw.split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("malformed response: {raw:?}"))
+}
+
+/// A closed-loop client for the threaded baseline: dial, one request, read
+/// to close, repeat until the window ends. Returns its request count.
+fn serve_client_redial(
+    addr: std::net::SocketAddr,
+    body: &str,
+    stop_at: Instant,
+    latency: &sigcomp_obs::Histogram,
+) -> Result<u64, String> {
+    let mut served = 0;
+    while Instant::now() < stop_at {
+        let sent = Instant::now();
+        let status = serve_one_shot(addr, body)?;
+        if status != 200 {
+            return Err(format!("request answered {status}"));
+        }
+        latency.observe(sent.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+        served += 1;
+    }
+    Ok(served)
+}
+
+/// A closed-loop client for the reactor: one keep-alive connection for the
+/// whole window, `depth` pipelined requests written back-to-back per batch,
+/// then all `depth` framed responses read in order. Each request in a batch
+/// is charged the full batch round-trip in the latency histogram (a
+/// conservative upper bound). Returns its request count.
+fn serve_client_pipelined(
+    addr: std::net::SocketAddr,
+    body: &str,
+    depth: usize,
+    stop_at: Instant,
+    latency: &sigcomp_obs::Histogram,
+) -> Result<u64, String> {
+    use std::io::{BufRead as _, BufReader, Read as _, Write as _};
+    let stream = std::net::TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    stream
+        .set_nodelay(true)
+        .map_err(|e| format!("nodelay: {e}"))?;
+    let mut reader = BufReader::new(stream.try_clone().map_err(|e| format!("clone: {e}"))?);
+    let mut stream = stream;
+    let one = format!(
+        "POST /simulate HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\
+         Connection: keep-alive\r\n\r\n{body}",
+        body.len()
+    );
+    let batch = one.repeat(depth);
+    let mut body_buf = Vec::new();
+    let mut served = 0;
+    while Instant::now() < stop_at {
+        let sent = Instant::now();
+        stream
+            .write_all(batch.as_bytes())
+            .map_err(|e| format!("send batch: {e}"))?;
+        for _ in 0..depth {
+            // One framed response: status line, headers (capturing
+            // Content-Length), exactly that many body bytes.
+            let mut line = String::new();
+            reader
+                .read_line(&mut line)
+                .map_err(|e| format!("read status: {e}"))?;
+            let status: u16 = line
+                .split(' ')
+                .nth(1)
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| format!("malformed status line: {line:?}"))?;
+            if status != 200 {
+                return Err(format!("pipelined request answered {status}"));
+            }
+            let mut content_length = 0usize;
+            loop {
+                line.clear();
+                reader
+                    .read_line(&mut line)
+                    .map_err(|e| format!("read header: {e}"))?;
+                let trimmed = line.trim();
+                if trimmed.is_empty() {
+                    break;
+                }
+                if let Some(value) = trimmed.to_ascii_lowercase().strip_prefix("content-length:") {
+                    content_length = value
+                        .trim()
+                        .parse()
+                        .map_err(|e| format!("content-length: {e}"))?;
+                }
+            }
+            body_buf.resize(content_length, 0);
+            reader
+                .read_exact(&mut body_buf)
+                .map_err(|e| format!("read body: {e}"))?;
+        }
+        let elapsed = sent.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        for _ in 0..depth {
+            latency.observe(elapsed);
+        }
+        served += depth as u64;
+    }
+    Ok(served)
 }
 
 /// Fetches `key` out of `json`, naming the missing path on failure.
@@ -392,6 +673,34 @@ pub fn validate(text: &str) -> Result<(), String> {
         number(frontier, "frontier.", key)?;
     }
 
+    let serve = field(&json, "", "serve")?;
+    for key in ["clients", "pipeline_depth"] {
+        if field(serve, "serve.", key)?.as_u64().is_none() {
+            return Err(format!("\"serve.{key}\" is not an unsigned integer"));
+        }
+    }
+    let reactor = field(serve, "serve.", "reactor")?;
+    if field(reactor, "serve.reactor.", "requests")?
+        .as_u64()
+        .is_none()
+    {
+        return Err("\"serve.reactor.requests\" is not an unsigned integer".to_owned());
+    }
+    for key in ["wall_s", "req_per_sec", "p50_us", "p95_us", "p99_us"] {
+        number(reactor, "serve.reactor.", key)?;
+    }
+    let threaded = field(serve, "serve.", "threaded")?;
+    if field(threaded, "serve.threaded.", "requests")?
+        .as_u64()
+        .is_none()
+    {
+        return Err("\"serve.threaded.requests\" is not an unsigned integer".to_owned());
+    }
+    for key in ["wall_s", "req_per_sec"] {
+        number(threaded, "serve.threaded.", key)?;
+    }
+    number(serve, "serve.", "keepalive_speedup")?;
+
     let obs = field(&json, "", "obs")?;
     for key in ["counters", "gauges", "histograms"] {
         field(obs, "obs.", key)?;
@@ -412,7 +721,7 @@ pub const DEFAULT_MAX_SLOWDOWN: f64 = 2.0;
 pub const TRAJECTORY_SCHEMA: &str = "sigcomp-bench-trajectory v1";
 
 /// Renders one compact trajectory row: the run's label, the commit it
-/// measured, and the four throughput metrics the compare gate watches.
+/// measured, and the throughput metrics the compare gate watches.
 /// Single-line on purpose — [`append_trajectory`] recovers existing rows
 /// line-by-line.
 #[must_use]
@@ -422,14 +731,18 @@ pub fn trajectory_row(report: &BenchReport, commit: &str) -> String {
          \"replay_instructions_per_sec\": {:.1}, \
          \"sweep_cold_configs_per_sec\": {:.1}, \
          \"sweep_warm_configs_per_sec\": {:.1}, \
-         \"frontier_points_per_sec\": {:.1}}}",
+         \"frontier_points_per_sec\": {:.1}, \
+         \"serve_reactor_req_per_sec\": {:.1}, \
+         \"serve_keepalive_speedup\": {:.2}}}",
         sigcomp_serve::json::escape(&report.label),
         sigcomp_serve::json::escape(commit),
         report.quick,
         report.replay.rate(),
         report.sweep_cold.rate(),
         report.sweep_warm.rate(),
-        report.frontier.rate()
+        report.frontier.rate(),
+        report.serve.reactor.rate(),
+        report.serve.keepalive_speedup()
     )
 }
 
@@ -530,7 +843,13 @@ pub fn compare(
     let base = Json::parse(baseline).expect("validated above");
 
     let mut violations = Vec::new();
-    for path in ["replay.workloads", "sweep.configs", "frontier.iterations"] {
+    for path in [
+        "replay.workloads",
+        "sweep.configs",
+        "frontier.iterations",
+        "serve.clients",
+        "serve.pipeline_depth",
+    ] {
         match (metric(&cur, path), metric(&base, path)) {
             (Ok(c), Ok(b)) if c != b => violations.push(format!(
                 "{path}: shape mismatch (baseline {b}, current {c}) — \
@@ -555,6 +874,8 @@ pub fn compare(
         "sweep.cold.configs_per_sec",
         "sweep.warm.configs_per_sec",
         "frontier.points_per_sec",
+        "serve.reactor.req_per_sec",
+        "serve.keepalive_speedup",
     ] {
         let (c, b) = match (metric(&cur, path), metric(&base, path)) {
             (Ok(c), Ok(b)) => (c, b),
@@ -616,6 +937,21 @@ mod tests {
                 units: 1100,
                 wall_s: 0.1,
             },
+            serve: ServeBench {
+                clients: 4,
+                pipeline_depth: 4,
+                reactor: Phase {
+                    units: 4000,
+                    wall_s: 0.5,
+                },
+                reactor_p50_us: 120.0,
+                reactor_p95_us: 480.0,
+                reactor_p99_us: 900.0,
+                threaded: Phase {
+                    units: 400,
+                    wall_s: 0.5,
+                },
+            },
             obs: sigcomp_obs::Snapshot::default(),
         }
     }
@@ -654,7 +990,7 @@ mod tests {
     fn compare_accepts_identical_reports_and_names_regressions() {
         let json = sample_report().to_json();
         let lines = compare(&json, &json, DEFAULT_MAX_SLOWDOWN).expect("identical reports match");
-        assert_eq!(lines.len(), 4, "one line per throughput metric: {lines:?}");
+        assert_eq!(lines.len(), 6, "one line per throughput metric: {lines:?}");
 
         // A 100x-slower cold sweep must be called out by name.
         let mut slow = sample_report();

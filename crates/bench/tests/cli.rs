@@ -650,6 +650,30 @@ fn serve_backend_flag_is_validated() {
             &["serve", "--ticket-cap", "-1"],
             "invalid value '-1' for --ticket-cap",
         ),
+        (
+            &["serve", "--max-conns", "0"],
+            "invalid value '0' for --max-conns",
+        ),
+        (
+            &["serve", "--read-deadline-ms", "never"],
+            "invalid value 'never' for --read-deadline-ms",
+        ),
+        (
+            &["serve", "--keep-alive", "maybe"],
+            "invalid value 'maybe' for --keep-alive (expected on or off)",
+        ),
+        (
+            &["table1", "--max-conns", "64"],
+            "--max-conns only applies to the serve and fleet serve subcommands",
+        ),
+        (
+            &["table1", "--read-deadline-ms", "500"],
+            "--read-deadline-ms only applies to the serve and fleet serve subcommands",
+        ),
+        (
+            &["table1", "--keep-alive", "on"],
+            "--keep-alive only applies to the serve and fleet serve subcommands",
+        ),
     ] {
         let out = repro(args);
         assert!(!out.status.success(), "{args:?} must fail");

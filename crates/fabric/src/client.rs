@@ -1,20 +1,31 @@
 //! A minimal std-only HTTP/1.1 client — the fabric's outbound half,
 //! mirroring the hand-rolled server in `sigcomp-serve`.
 //!
-//! One request per connection (`Connection: close`), a connect timeout and
-//! per-operation read/write timeouts, and a hard response-size cap. That is
-//! everything the fleet protocol needs: dispatches and heartbeats are
-//! single request/response exchanges, and a stuck or dead peer must turn
-//! into a timely named error, never a hang.
+//! The client keeps **one pooled keep-alive connection per peer address**:
+//! requests send `Connection: keep-alive`, responses are read framed by
+//! their `Content-Length` (not to EOF), and the connection goes back into
+//! the pool for the next exchange. A worker heartbeating every couple of
+//! seconds therefore costs one TCP connection for its whole life, not one
+//! per beat. Reconnection is transparent: when a pooled connection turns
+//! out to be stale (the server idle-closed it between exchanges), the
+//! exchange is retried once on a fresh connection; errors on that fresh
+//! connection propagate. A connect timeout, per-operation read/write
+//! timeouts, and a hard response-size cap bound every exchange: a stuck or
+//! dead peer must turn into a timely named error, never a hang.
 
+use std::collections::HashMap;
 use std::io::{self, Read as _, Write as _};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// Hard cap on response bodies: a dispatch report for a large sweep runs to
 /// a few hundred KiB of cache-entry text, so 64 MiB is comfortably above
 /// any legitimate exchange while still bounding a misbehaving peer.
-const MAX_RESPONSE_BYTES: u64 = 64 * 1024 * 1024;
+const MAX_RESPONSE_BYTES: usize = 64 * 1024 * 1024;
+
+/// Hard cap on response heads (status line + headers).
+const MAX_HEAD_BYTES: usize = 64 * 1024;
 
 /// A parsed HTTP response.
 #[derive(Debug)]
@@ -37,13 +48,27 @@ impl HttpResponse {
             .find(|(k, _)| *k == name)
             .map(|(_, v)| v.as_str())
     }
+
+    /// Whether the server committed to keeping the connection open: the
+    /// response is framed (`Content-Length`) and does not say
+    /// `Connection: close`.
+    fn reusable(&self) -> bool {
+        self.header("content-length").is_some()
+            && !self
+                .header("connection")
+                .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
 }
 
-/// A client with one timeout governing connect and every read/write
-/// operation of a request.
+/// A pooling keep-alive client with one timeout governing connect and every
+/// read/write operation of a request.
+///
+/// Clones share the connection pool, so handing copies to helper threads
+/// still keeps one connection per peer.
 #[derive(Debug, Clone)]
 pub struct HttpClient {
     timeout: Duration,
+    pool: Arc<Mutex<HashMap<String, TcpStream>>>,
 }
 
 impl HttpClient {
@@ -54,6 +79,7 @@ impl HttpClient {
     pub fn new(timeout: Duration) -> Self {
         HttpClient {
             timeout: timeout.max(Duration::from_millis(1)),
+            pool: Arc::new(Mutex::new(HashMap::new())),
         }
     }
 
@@ -83,32 +109,146 @@ impl HttpClient {
         path: &str,
         body: &str,
     ) -> io::Result<HttpResponse> {
+        let request = format!(
+            "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n{body}",
+            body.len()
+        );
+        // Try the pooled connection first. Every fleet exchange is
+        // idempotent (register/heartbeat/dispatch all converge on repeat),
+        // so a failure on a *reused* connection — the server idle-closed it
+        // between exchanges — is retried once on a fresh one. Fresh-
+        // connection failures propagate: the peer is genuinely unwell.
+        if let Some(mut stream) = self.take_pooled(addr) {
+            if let Ok(response) = exchange(&mut stream, request.as_bytes()) {
+                if response.reusable() {
+                    self.pool_back(addr, stream);
+                }
+                return Ok(response);
+            }
+        }
+        let mut stream = self.connect(addr)?;
+        let response = exchange(&mut stream, request.as_bytes())?;
+        if response.reusable() {
+            self.pool_back(addr, stream);
+        }
+        Ok(response)
+    }
+
+    fn connect(&self, addr: &str) -> io::Result<TcpStream> {
         let sock = addr.to_socket_addrs()?.next().ok_or_else(|| {
             io::Error::new(
                 io::ErrorKind::NotFound,
                 format!("'{addr}' resolves to no address"),
             )
         })?;
-        let mut stream = TcpStream::connect_timeout(&sock, self.timeout)?;
+        let stream = TcpStream::connect_timeout(&sock, self.timeout)?;
         stream.set_read_timeout(Some(self.timeout))?;
         stream.set_write_timeout(Some(self.timeout))?;
-        let request = format!(
-            "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
-            body.len()
-        );
-        stream.write_all(request.as_bytes())?;
-        let mut raw = Vec::new();
-        stream.take(MAX_RESPONSE_BYTES).read_to_end(&mut raw)?;
-        parse_response(&raw)
+        let _ = stream.set_nodelay(true);
+        Ok(stream)
+    }
+
+    fn take_pooled(&self, addr: &str) -> Option<TcpStream> {
+        self.pool.lock().expect("client pool poisoned").remove(addr)
+    }
+
+    fn pool_back(&self, addr: &str, stream: TcpStream) {
+        self.pool
+            .lock()
+            .expect("client pool poisoned")
+            .insert(addr.to_owned(), stream);
     }
 }
 
-fn parse_response(raw: &[u8]) -> io::Result<HttpResponse> {
+/// Writes one request and reads one framed response off the stream.
+fn exchange(stream: &mut TcpStream, request: &[u8]) -> io::Result<HttpResponse> {
+    stream.write_all(request)?;
+    read_response(stream)
+}
+
+/// Reads exactly one response: head until the blank line, then a body of
+/// exactly `Content-Length` bytes (or to EOF when the server did not frame
+/// it — such a response is terminal for the connection and never pooled).
+fn read_response(stream: &mut TcpStream) -> io::Result<HttpResponse> {
     let bad = |reason: &str| io::Error::new(io::ErrorKind::InvalidData, reason.to_owned());
-    let text = String::from_utf8_lossy(raw);
-    let (head, body) = text
-        .split_once("\r\n\r\n")
-        .ok_or_else(|| bad("response has no header/body separator"))?;
+    let mut raw = Vec::new();
+    let mut buf = [0_u8; 16 * 1024];
+    let head_end = loop {
+        if let Some(pos) = find_blank_line(&raw) {
+            break pos;
+        }
+        if raw.len() > MAX_HEAD_BYTES {
+            return Err(bad("response head exceeds the size cap"));
+        }
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            return Err(if raw.is_empty() {
+                io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed before the response",
+                )
+            } else {
+                bad("connection closed inside the response head")
+            });
+        }
+        raw.extend_from_slice(&buf[..n]);
+    };
+    let head = String::from_utf8_lossy(&raw[..head_end]).into_owned();
+    let (status, headers) = parse_head(&head)?;
+    let content_length: Option<usize> = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .and_then(|(_, v)| v.parse().ok());
+    let mut body = raw.split_off(head_end);
+    // `split_off` leaves the head in `raw`; the separator rode along at the
+    // front of `body`.
+    let sep = if body.starts_with(b"\r\n\r\n") { 4 } else { 2 };
+    body.drain(..sep.min(body.len()));
+    match content_length {
+        Some(len) => {
+            if len > MAX_RESPONSE_BYTES {
+                return Err(bad("response body exceeds the size cap"));
+            }
+            while body.len() < len {
+                let n = stream.read(&mut buf)?;
+                if n == 0 {
+                    return Err(bad("connection closed inside the response body"));
+                }
+                body.extend_from_slice(&buf[..n]);
+            }
+            body.truncate(len);
+        }
+        None => {
+            // Unframed: the close is the frame. Read to EOF (bounded).
+            loop {
+                if body.len() > MAX_RESPONSE_BYTES {
+                    return Err(bad("response body exceeds the size cap"));
+                }
+                let n = stream.read(&mut buf)?;
+                if n == 0 {
+                    break;
+                }
+                body.extend_from_slice(&buf[..n]);
+            }
+        }
+    }
+    Ok(HttpResponse {
+        status,
+        headers,
+        body: String::from_utf8_lossy(&body).into_owned(),
+    })
+}
+
+/// Index just past the status line + headers, i.e. the start of the blank
+/// line, accepting both CRLF and bare-LF framing.
+fn find_blank_line(raw: &[u8]) -> Option<usize> {
+    raw.windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .or_else(|| raw.windows(2).position(|w| w == b"\n\n").map(|p| p + 1))
+}
+
+fn parse_head(head: &str) -> io::Result<(u16, Vec<(String, String)>)> {
+    let bad = |reason: &str| io::Error::new(io::ErrorKind::InvalidData, reason.to_owned());
     let mut lines = head.lines();
     let status_line = lines.next().ok_or_else(|| bad("empty response"))?;
     if !status_line.starts_with("HTTP/1.") {
@@ -125,6 +265,19 @@ fn parse_response(raw: &[u8]) -> io::Result<HttpResponse> {
                 .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_owned()))
         })
         .collect();
+    Ok((status, headers))
+}
+
+/// Parses a complete raw response (head + body already in hand) — the
+/// EOF-framed form, pinned by tests as the parser's baseline behavior.
+#[cfg(test)]
+fn parse_response(raw: &[u8]) -> io::Result<HttpResponse> {
+    let bad = |reason: &str| io::Error::new(io::ErrorKind::InvalidData, reason.to_owned());
+    let text = String::from_utf8_lossy(raw);
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| bad("response has no header/body separator"))?;
+    let (status, headers) = parse_head(head)?;
     Ok(HttpResponse {
         status,
         headers,
@@ -135,7 +288,9 @@ fn parse_response(raw: &[u8]) -> io::Result<HttpResponse> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io::{BufRead as _, BufReader};
     use std::net::TcpListener;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn responses_parse_with_status_headers_and_body() {
@@ -173,5 +328,91 @@ mod tests {
             .get(&format!("127.0.0.1:{port}"), "/healthz")
             .is_err());
         assert!(client.get("definitely-not-a-host.invalid:1", "/").is_err());
+    }
+
+    /// A tiny keep-alive server: accepts connections (counting them), and on
+    /// each serves `responses_per_conn` framed 200s before dropping the
+    /// socket without warning.
+    fn keepalive_server(responses_per_conn: usize) -> (String, Arc<AtomicUsize>) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let accepts = Arc::new(AtomicUsize::new(0));
+        let counter = Arc::clone(&accepts);
+        std::thread::spawn(move || {
+            while let Ok((stream, _)) = listener.accept() {
+                counter.fetch_add(1, Ordering::SeqCst);
+                let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+                let mut stream = stream;
+                for _ in 0..responses_per_conn {
+                    // Read one request: head lines until blank, then the
+                    // Content-Length'd body.
+                    let mut body_len = 0_usize;
+                    let mut saw_request_line = false;
+                    loop {
+                        let mut line = String::new();
+                        match reader.read_line(&mut line) {
+                            Ok(0) => return,
+                            Ok(_) => {}
+                            Err(_) => return,
+                        }
+                        if !saw_request_line {
+                            saw_request_line = true;
+                            continue;
+                        }
+                        let trimmed = line.trim();
+                        if trimmed.is_empty() {
+                            break;
+                        }
+                        if let Some(v) =
+                            trimmed.to_ascii_lowercase().strip_prefix("content-length:")
+                        {
+                            body_len = v.trim().parse().unwrap_or(0);
+                        }
+                    }
+                    let mut body = vec![0_u8; body_len];
+                    if body_len > 0 && std::io::Read::read_exact(&mut reader, &mut body).is_err() {
+                        return;
+                    }
+                    let _ = stream.write_all(
+                        b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\nConnection: keep-alive\r\n\r\nok",
+                    );
+                }
+                // Drop both halves: an unannounced close, as an idle
+                // timeout would produce.
+            }
+        });
+        (addr, accepts)
+    }
+
+    #[test]
+    fn n_heartbeats_ride_one_pooled_connection() {
+        let (addr, accepts) = keepalive_server(usize::MAX);
+        let client = HttpClient::new(Duration::from_secs(5));
+        for i in 0..5 {
+            let resp = client
+                .post(&addr, "/heartbeat", &format!("beat {i}"))
+                .expect("heartbeat");
+            assert_eq!(resp.status, 200);
+            assert_eq!(resp.body, "ok");
+        }
+        assert_eq!(
+            accepts.load(Ordering::SeqCst),
+            1,
+            "five exchanges must share one connection"
+        );
+    }
+
+    #[test]
+    fn a_stale_pooled_connection_reconnects_transparently() {
+        // The server hangs up (unannounced) after each response, exactly
+        // like an idle-deadline close between heartbeats. Every request
+        // must still succeed; the client just redials.
+        let (addr, accepts) = keepalive_server(1);
+        let client = HttpClient::new(Duration::from_secs(5));
+        for _ in 0..3 {
+            let resp = client.get(&addr, "/healthz").expect("get");
+            assert_eq!(resp.status, 200);
+        }
+        assert_eq!(accepts.load(Ordering::SeqCst), 3);
     }
 }

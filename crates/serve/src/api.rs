@@ -7,6 +7,11 @@
 //! of a silently-default simulation. Everything a spec needs is validated
 //! here, which is what lets the batcher promise its simulation calls cannot
 //! panic on bad input.
+//!
+//! These codecs also run on the server's hottest path: the reactor decodes
+//! `/simulate` bodies *inline on its event-loop workers* to answer memoized
+//! repeats without a thread handoff, so everything in this module must stay
+//! pure string work — no I/O, no locks, no unbounded recursion.
 
 use crate::batch::BatchedResult;
 use crate::json::{escape, Json};

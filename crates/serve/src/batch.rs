@@ -307,6 +307,29 @@ impl Batcher {
             .collect()
     }
 
+    /// A non-blocking memo probe: answers `spec` from the in-memory memo
+    /// iff the result is already there, with the same accounting as
+    /// [`Batcher::submit`]'s memo-hit path. This is the reactor's fast
+    /// path — a hit costs one short lock, so repeat `/simulate` traffic is
+    /// answered on the event-loop worker itself; a miss costs one failed
+    /// lookup and the caller falls back to a dispatch-thread
+    /// [`Batcher::submit`] (which re-counts the request, so a miss here
+    /// deliberately touches no counters).
+    #[must_use]
+    pub fn try_memo(&self, spec: JobSpec) -> Option<BatchedResult> {
+        let cached = {
+            let state = self.shared.state.lock().expect("queue poisoned");
+            state.memo.get(spec.job_id())?
+        };
+        let metrics = &self.shared.metrics;
+        ServerMetrics::incr(&metrics.jobs_requested);
+        ServerMetrics::incr(&metrics.jobs_memo_hits);
+        Some(BatchedResult {
+            metrics: cached,
+            from_cache: true,
+        })
+    }
+
     /// Jobs currently waiting in the queue (a point-in-time sample).
     #[must_use]
     pub fn queue_depth(&self) -> usize {

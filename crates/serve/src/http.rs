@@ -1,15 +1,28 @@
-//! Minimal HTTP/1.1 request reading and response writing.
+//! Minimal HTTP/1.1 request parsing and response writing.
 //!
 //! Hand-rolled over `std::io` in the same spirit as the workspace's other
 //! wire formats: no external dependency, strict limits, and every failure
 //! mapped to a clean 4xx. The server speaks a deliberately small subset —
-//! one request per connection (`Connection: close` on every response),
 //! `Content-Length` bodies only (chunked transfer encoding is rejected) —
 //! which is all the batching front-end needs and keeps the attack surface
 //! enumerable.
+//!
+//! The parser is **incremental**: [`RequestParser`] is a push parser that
+//! accepts raw socket bytes in whatever fragments the kernel delivers,
+//! tolerates a request split at any byte boundary, and yields multiple
+//! pipelined requests buffered in one read — exactly what the nonblocking
+//! reactor ([`crate::reactor`]) needs. [`read_request`] wraps the same
+//! parser for blocking readers (the legacy thread-per-connection path and
+//! the unit tests), so there is one set of framing rules, not two.
+//!
+//! Keep-alive is **opt-in**: [`Response::write_with_connection`] emits
+//! `Connection: keep-alive` only when the server decided to hold the
+//! connection open; the plain [`Response::write_to`] keeps the historical
+//! `Connection: close` so every pre-reactor client (which reads to EOF)
+//! still sees the stream end.
 
 use std::fmt;
-use std::io::{self, BufRead, Read, Write};
+use std::io::{self, BufRead, Write};
 
 /// Upper bound on the request line plus all header bytes.
 pub const MAX_HEADER_BYTES: usize = 16 * 1024;
@@ -39,6 +52,22 @@ impl Request {
             .iter()
             .find(|(k, _)| k.eq_ignore_ascii_case(name))
             .map(|(_, v)| v.as_str())
+    }
+
+    /// True when the client explicitly asked to keep the connection open
+    /// (`Connection: keep-alive`, possibly in a comma-separated list).
+    ///
+    /// The server's reuse policy is opt-in rather than the HTTP/1.1
+    /// default-on: every pre-reactor client of this server reads responses
+    /// to EOF, so a silently persistent connection would hang them. Clients
+    /// that speak `Content-Length` framing (the fabric client, `load_gen`'s
+    /// keep-alive mode) send the header and get reuse.
+    #[must_use]
+    pub fn wants_keep_alive(&self) -> bool {
+        self.header("connection").is_some_and(|v| {
+            v.split(',')
+                .any(|token| token.trim().eq_ignore_ascii_case("keep-alive"))
+        })
     }
 }
 
@@ -97,21 +126,150 @@ impl From<io::Error> for HttpError {
     }
 }
 
-/// Reads one request from `reader`, enforcing the header and body limits.
+/// An incremental (push) HTTP/1.1 request parser.
 ///
-/// # Errors
+/// Feed raw socket bytes with [`RequestParser::push`]; drain complete
+/// requests with [`RequestParser::next_request`]. The parser tolerates
+/// requests split across arbitrary TCP segment boundaries (including inside
+/// the `\r\n` pair) and multiple pipelined requests arriving in one buffer,
+/// and enforces the same header/body limits as [`read_request`].
 ///
-/// [`HttpError::Closed`] on a clean end-of-stream before any byte of a
-/// request; any other variant describes a malformed or oversized request.
-pub fn read_request(reader: &mut impl BufRead) -> Result<Request, HttpError> {
-    let mut budget = MAX_HEADER_BYTES;
-    let request_line = match read_line(reader, &mut budget)? {
-        None => return Err(HttpError::Closed),
-        Some(line) if line.is_empty() => return Err(HttpError::BadRequest("empty request line")),
-        Some(line) => line,
-    };
+/// After an `Err` the connection's framing is lost and unrecoverable: the
+/// caller must answer with the error's status and close.
+#[derive(Debug, Default)]
+pub struct RequestParser {
+    buf: Vec<u8>,
+}
 
-    let mut parts = request_line.split(' ');
+/// A successfully scanned request head: the request (body still empty),
+/// its byte length, and the declared body length.
+struct Head {
+    request: Request,
+    len: usize,
+    body_len: usize,
+}
+
+impl RequestParser {
+    /// A fresh parser with an empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        RequestParser::default()
+    }
+
+    /// Appends raw bytes received from the socket.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed by a complete request — nonzero
+    /// means the peer is mid-request (the reactor's slowloris signal).
+    #[must_use]
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Tries to parse one complete request off the front of the buffer.
+    ///
+    /// `Ok(None)` means the buffered bytes are a valid prefix — push more.
+    /// Pipelined requests are returned one per call, in arrival order.
+    ///
+    /// # Errors
+    ///
+    /// Any [`HttpError`] other than [`HttpError::Closed`]: malformed or
+    /// oversized framing, detected as soon as the offending line completes.
+    pub fn next_request(&mut self) -> Result<Option<Request>, HttpError> {
+        let Some(head) = self.scan_head()? else {
+            return Ok(None);
+        };
+        let total = head.len + head.body_len;
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        let mut request = head.request;
+        request.body = self.buf[head.len..total].to_vec();
+        self.buf.drain(..total);
+        Ok(Some(request))
+    }
+
+    /// The error to report when the peer hangs up with the parser in this
+    /// state: a clean EOF between requests is [`HttpError::Closed`]; EOF
+    /// mid-head or mid-body names what was truncated.
+    #[must_use]
+    pub fn closed(&self) -> HttpError {
+        if self.buf.is_empty() {
+            return HttpError::Closed;
+        }
+        match self.scan_head() {
+            Ok(Some(_)) => HttpError::BadRequest("body shorter than content-length"),
+            Ok(None) => HttpError::BadRequest("connection closed inside headers"),
+            Err(e) => e,
+        }
+    }
+
+    /// Scans the head (request line + headers + blank line) at the front of
+    /// the buffer, validating each line as soon as its terminator arrives.
+    /// `Ok(None)` means the head is still incomplete.
+    fn scan_head(&self) -> Result<Option<Head>, HttpError> {
+        let buf = &self.buf;
+        let mut pos = 0usize;
+        let mut request: Option<Request> = None;
+        loop {
+            let Some(nl) = buf[pos..].iter().position(|&b| b == b'\n') else {
+                // No terminator yet: a peer streaming an endless header
+                // line must hit the limit, not our memory.
+                return if buf.len() > MAX_HEADER_BYTES {
+                    Err(HttpError::HeadersTooLarge)
+                } else {
+                    Ok(None)
+                };
+            };
+            let line_end = pos + nl;
+            let next = line_end + 1;
+            if next > MAX_HEADER_BYTES {
+                return Err(HttpError::HeadersTooLarge);
+            }
+            let mut line = &buf[pos..line_end];
+            // CRLF canonical, bare LF tolerated.
+            if line.last() == Some(&b'\r') {
+                line = &line[..line.len() - 1];
+            }
+            let text = std::str::from_utf8(line)
+                .map_err(|_| HttpError::BadRequest("header line is not UTF-8"))?;
+            match &mut request {
+                None => {
+                    if text.is_empty() {
+                        return Err(HttpError::BadRequest("empty request line"));
+                    }
+                    request = Some(parse_request_line(text)?);
+                }
+                Some(req) => {
+                    if text.is_empty() {
+                        let req = req.clone();
+                        let body_len = body_length(&req)?;
+                        return Ok(Some(Head {
+                            request: req,
+                            len: next,
+                            body_len,
+                        }));
+                    }
+                    let (name, value) = text
+                        .split_once(':')
+                        .ok_or(HttpError::BadRequest("header line without ':'"))?;
+                    if name.is_empty() || name.contains(' ') {
+                        return Err(HttpError::BadRequest("malformed header name"));
+                    }
+                    req.headers
+                        .push((name.to_ascii_lowercase(), value.trim().to_owned()));
+                }
+            }
+            pos = next;
+        }
+    }
+}
+
+/// Validates and splits `METHOD /target HTTP/1.x`.
+fn parse_request_line(text: &str) -> Result<Request, HttpError> {
+    let mut parts = text.split(' ');
     let method = parts.next().unwrap_or_default();
     let path = parts
         .next()
@@ -125,36 +283,22 @@ pub fn read_request(reader: &mut impl BufRead) -> Result<Request, HttpError> {
     if method.is_empty() || !path.starts_with('/') {
         return Err(HttpError::BadRequest("malformed request target"));
     }
-
-    let mut headers = Vec::new();
-    loop {
-        let line = read_line(reader, &mut budget)?
-            .ok_or(HttpError::BadRequest("connection closed inside headers"))?;
-        if line.is_empty() {
-            break;
-        }
-        let (name, value) = line
-            .split_once(':')
-            .ok_or(HttpError::BadRequest("header line without ':'"))?;
-        if name.is_empty() || name.contains(' ') {
-            return Err(HttpError::BadRequest("malformed header name"));
-        }
-        headers.push((name.to_ascii_lowercase(), value.trim().to_owned()));
-    }
-
-    let request = Request {
+    Ok(Request {
         method: method.to_owned(),
         path: path.to_owned(),
-        headers,
+        headers: Vec::new(),
         body: Vec::new(),
-    };
+    })
+}
 
+/// Body framing rules: `Content-Length` only, required for body-carrying
+/// methods, bounded by [`MAX_BODY_BYTES`].
+fn body_length(request: &Request) -> Result<usize, HttpError> {
     if request.header("transfer-encoding").is_some() {
         return Err(HttpError::BadRequest(
             "chunked transfer encoding is not supported",
         ));
     }
-
     let length = match request.header("content-length") {
         Some(value) => Some(
             value
@@ -171,45 +315,31 @@ pub fn read_request(reader: &mut impl BufRead) -> Result<Request, HttpError> {
     if length > MAX_BODY_BYTES {
         return Err(HttpError::BodyTooLarge);
     }
-
-    let mut body = vec![0u8; length];
-    reader.read_exact(&mut body).map_err(|e| {
-        if e.kind() == io::ErrorKind::UnexpectedEof {
-            HttpError::BadRequest("body shorter than content-length")
-        } else {
-            HttpError::Io(e.kind())
-        }
-    })?;
-    Ok(Request { body, ..request })
+    Ok(length)
 }
 
-/// Reads one CRLF-terminated line (bare LF tolerated), charging `budget`.
-/// `Ok(None)` means end-of-stream before any byte.
-fn read_line(reader: &mut impl BufRead, budget: &mut usize) -> Result<Option<String>, HttpError> {
-    let mut raw = Vec::new();
-    // Cap the read itself, not just the accounting afterwards: a peer
-    // streaming an endless header line must hit the limit, not our memory.
-    let read = reader
-        .take(*budget as u64 + 1)
-        .read_until(b'\n', &mut raw)?;
-    if read == 0 {
-        return Ok(None);
+/// Reads one request from `reader`, enforcing the header and body limits —
+/// the blocking wrapper over [`RequestParser`] used by the legacy
+/// thread-per-connection path and the tests.
+///
+/// # Errors
+///
+/// [`HttpError::Closed`] on a clean end-of-stream before any byte of a
+/// request; any other variant describes a malformed or oversized request.
+pub fn read_request(reader: &mut impl BufRead) -> Result<Request, HttpError> {
+    let mut parser = RequestParser::new();
+    loop {
+        if let Some(request) = parser.next_request()? {
+            return Ok(request);
+        }
+        let chunk = reader.fill_buf()?;
+        if chunk.is_empty() {
+            return Err(parser.closed());
+        }
+        let n = chunk.len();
+        parser.push(chunk);
+        reader.consume(n);
     }
-    if raw.last() != Some(&b'\n') {
-        return Err(if raw.len() > *budget {
-            HttpError::HeadersTooLarge
-        } else {
-            HttpError::BadRequest("truncated header line")
-        });
-    }
-    *budget -= raw.len().min(*budget);
-    raw.pop();
-    if raw.last() == Some(&b'\r') {
-        raw.pop();
-    }
-    String::from_utf8(raw)
-        .map(Some)
-        .map_err(|_| HttpError::BadRequest("header line is not UTF-8"))
 }
 
 /// An outgoing response.
@@ -253,6 +383,23 @@ impl Response {
         )
     }
 
+    /// The reactor's read-deadline answer: a connection sat past its
+    /// deadline with a partial request buffered (the slowloris shape), so it
+    /// gets `408 Request Timeout` and the connection closes.
+    #[must_use]
+    pub fn request_timeout() -> Self {
+        Response::error(408, "request read deadline exceeded")
+    }
+
+    /// The accept-gate's shed answer at the connection cap: a fast `503`
+    /// telling the client when to retry, written before the socket closes —
+    /// the batch queue's load-shedding contract extended to the socket
+    /// layer.
+    #[must_use]
+    pub fn connection_cap(retry_after_secs: u64) -> Self {
+        Response::error(503, "connection limit reached").with_retry_after(retry_after_secs)
+    }
+
     /// Serializes the response (status line, `Content-Type`,
     /// `Content-Length`, `Connection: close`, body) to `writer`.
     ///
@@ -260,12 +407,28 @@ impl Response {
     ///
     /// Propagates socket write errors.
     pub fn write_to(&self, writer: &mut impl Write) -> io::Result<()> {
+        self.write_with_connection(writer, false)
+    }
+
+    /// Serializes the response with an explicit connection disposition:
+    /// `Connection: keep-alive` when the server will keep serving this
+    /// connection, `Connection: close` when it will hang up after the body.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write errors.
+    pub fn write_with_connection(
+        &self,
+        writer: &mut impl Write,
+        keep_alive: bool,
+    ) -> io::Result<()> {
         write!(
             writer,
-            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n",
             self.status,
             status_text(self.status),
-            self.body.len()
+            self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" },
         )?;
         if let Some(seconds) = self.retry_after {
             write!(writer, "Retry-After: {seconds}\r\n")?;
@@ -273,6 +436,15 @@ impl Response {
         writer.write_all(b"\r\n")?;
         writer.write_all(self.body.as_bytes())?;
         writer.flush()
+    }
+
+    /// The full serialized response as bytes — the reactor's write buffer.
+    #[must_use]
+    pub fn to_bytes(&self, keep_alive: bool) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.body.len() + 128);
+        self.write_with_connection(&mut out, keep_alive)
+            .expect("writing to a Vec cannot fail");
+        out
     }
 }
 
@@ -285,6 +457,7 @@ pub fn status_text(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         411 => "Length Required",
         413 => "Payload Too Large",
         431 => "Request Header Fields Too Large",
@@ -431,6 +604,94 @@ mod tests {
         );
     }
 
+    // ---- incremental-parser hardening ------------------------------------
+
+    #[test]
+    fn requests_split_at_every_byte_boundary_parse_identically() {
+        let wire = b"POST /simulate HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nbody";
+        let whole = parse(wire).unwrap();
+        for split in 0..=wire.len() {
+            let mut parser = RequestParser::new();
+            parser.push(&wire[..split]);
+            if split < wire.len() {
+                // A valid prefix must never error or yield a request early.
+                assert_eq!(
+                    parser.next_request().expect("prefix is valid"),
+                    None,
+                    "split at {split} yielded a request early"
+                );
+            }
+            parser.push(&wire[split..]);
+            let req = parser
+                .next_request()
+                .unwrap_or_else(|e| panic!("split at {split}: {e}"))
+                .unwrap_or_else(|| panic!("split at {split}: incomplete"));
+            assert_eq!(req, whole, "split at {split}");
+            assert_eq!(parser.buffered(), 0);
+        }
+    }
+
+    #[test]
+    fn two_pipelined_requests_in_one_push_parse_in_order() {
+        let mut parser = RequestParser::new();
+        parser.push(
+            b"POST /simulate HTTP/1.1\r\nContent-Length: 3\r\n\r\nabc\
+              GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n",
+        );
+        let first = parser.next_request().unwrap().expect("first request");
+        assert_eq!(first.method, "POST");
+        assert_eq!(first.body, b"abc");
+        let second = parser.next_request().unwrap().expect("second request");
+        assert_eq!(second.method, "GET");
+        assert_eq!(second.path, "/healthz");
+        assert_eq!(parser.next_request().unwrap(), None);
+        assert_eq!(parser.buffered(), 0);
+    }
+
+    #[test]
+    fn pipelined_lf_only_requests_parse() {
+        // CRLF-only robustness: a peer that terminates every line with a
+        // bare LF still frames correctly, including across pipelining.
+        let mut parser = RequestParser::new();
+        parser.push(b"GET /healthz HTTP/1.1\nHost: a\n\nGET /metrics HTTP/1.1\n\n");
+        assert_eq!(parser.next_request().unwrap().unwrap().path, "/healthz");
+        assert_eq!(parser.next_request().unwrap().unwrap().path, "/metrics");
+        assert_eq!(parser.next_request().unwrap(), None);
+    }
+
+    #[test]
+    fn partial_bytes_report_truncation_on_close() {
+        let mut parser = RequestParser::new();
+        assert_eq!(parser.closed(), HttpError::Closed);
+        parser.push(b"GET /x HT");
+        assert_eq!(parser.next_request().unwrap(), None);
+        assert_eq!(
+            parser.closed(),
+            HttpError::BadRequest("connection closed inside headers")
+        );
+        let mut parser = RequestParser::new();
+        parser.push(b"POST /x HTTP/1.1\r\nContent-Length: 8\r\n\r\nhalf");
+        assert_eq!(parser.next_request().unwrap(), None);
+        assert_eq!(
+            parser.closed(),
+            HttpError::BadRequest("body shorter than content-length")
+        );
+    }
+
+    #[test]
+    fn connection_header_negotiates_keep_alive() {
+        let keep = parse(b"GET /x HTTP/1.1\r\nConnection: keep-alive\r\n\r\n").unwrap();
+        assert!(keep.wants_keep_alive());
+        let mixed = parse(b"GET /x HTTP/1.1\r\nConnection: TE, Keep-Alive\r\n\r\n").unwrap();
+        assert!(mixed.wants_keep_alive());
+        let close = parse(b"GET /x HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(!close.wants_keep_alive());
+        let none = parse(b"GET /x HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert!(!none.wants_keep_alive(), "keep-alive must be opt-in");
+    }
+
+    // ---- responses -------------------------------------------------------
+
     #[test]
     fn responses_serialize_with_framing() {
         let mut out = Vec::new();
@@ -450,6 +711,42 @@ mod tests {
         let text = String::from_utf8(out).unwrap();
         assert!(text.contains("400 Bad Request"));
         assert!(text.contains("{\"error\": \"broke \\\"here\\\"\"}"));
+    }
+
+    #[test]
+    fn keep_alive_responses_say_so() {
+        let text = String::from_utf8(Response::json(200, "{}").to_bytes(true)).unwrap();
+        assert!(text.contains("Connection: keep-alive\r\n"), "{text}");
+        let text = String::from_utf8(Response::json(200, "{}").to_bytes(false)).unwrap();
+        assert!(text.contains("Connection: close\r\n"), "{text}");
+    }
+
+    #[test]
+    fn named_timeout_and_cap_responses_serialize() {
+        // 408: the slowloris verdict.
+        let text = String::from_utf8(Response::request_timeout().to_bytes(false)).unwrap();
+        assert!(
+            text.starts_with("HTTP/1.1 408 Request Timeout\r\n"),
+            "{text}"
+        );
+        assert!(text.contains("read deadline"), "{text}");
+        // 503 at the connection cap carries the retry hint.
+        let text = String::from_utf8(Response::connection_cap(3).to_bytes(false)).unwrap();
+        assert!(
+            text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"),
+            "{text}"
+        );
+        assert!(text.contains("Retry-After: 3\r\n"), "{text}");
+        // 431: the oversized-head verdict, with its full reason phrase.
+        let oversized = Response::error(
+            HttpError::HeadersTooLarge.status(),
+            &HttpError::HeadersTooLarge.to_string(),
+        );
+        let text = String::from_utf8(oversized.to_bytes(false)).unwrap();
+        assert!(
+            text.starts_with("HTTP/1.1 431 Request Header Fields Too Large\r\n"),
+            "{text}"
+        );
     }
 
     #[test]

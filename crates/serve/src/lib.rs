@@ -6,8 +6,12 @@
 //! a batch CLI run.
 //!
 //! Everything is `std`-only, in the same spirit as the rest of the
-//! workspace: a hand-rolled HTTP parser ([`http`]), a hand-rolled JSON
-//! parser ([`json`]), `TcpListener` + threads for concurrency.
+//! workspace: a hand-rolled incremental HTTP parser ([`http`]), a
+//! hand-rolled JSON parser ([`json`]), and a nonblocking event-loop
+//! front door ([`reactor`]) — a fixed worker pool driving per-connection
+//! state machines over `set_nonblocking` sockets, with HTTP/1.1
+//! keep-alive, pipelining, per-connection read/write deadlines, and an
+//! accept-gate connection cap that sheds overload with a fast `503`.
 //!
 //! The heart of the crate is the **batching scheduler** ([`batch`]):
 //! concurrent connections enqueue jobs into one shared bounded queue; a
@@ -50,12 +54,14 @@ pub mod batch;
 pub mod http;
 pub mod json;
 pub mod metrics;
+pub mod reactor;
 pub mod registry;
 pub mod server;
 
 pub use batch::{BatchConfig, BatchedResult, Batcher, SubmitError, DEFAULT_MEMO_CAPACITY};
-pub use http::{read_request, HttpError, Request, Response};
+pub use http::{read_request, HttpError, Request, RequestParser, Response};
 pub use json::{Json, NumError};
 pub use metrics::ServerMetrics;
+pub use reactor::{Completion, Handler, Reactor, ReactorConfig};
 pub use registry::{SweepRegistry, SweepState};
-pub use server::{ServeConfig, Server, ServerHandle};
+pub use server::{ServeConfig, ServeModel, Server, ServerHandle};

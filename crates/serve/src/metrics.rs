@@ -72,6 +72,23 @@ pub struct ServerMetrics {
     pub sweeps_completed: AtomicU64,
     /// Sweeps that failed (e.g. server shutdown mid-run).
     pub sweeps_failed: AtomicU64,
+    /// Connections currently open in the reactor (a gauge: incremented at
+    /// accept, decremented at close — also the admission-control count).
+    pub conns_open: AtomicU64,
+    /// Connections admitted past the accept gate.
+    pub conns_accepted: AtomicU64,
+    /// Connections shed at the accept gate with a fast `503` because the
+    /// connection cap was reached.
+    pub conns_shed: AtomicU64,
+    /// Requests served on an already-used keep-alive connection (the
+    /// second and later requests per connection).
+    pub keepalive_reuses: AtomicU64,
+    /// Connections answered `408 Request Timeout`: a partial request sat
+    /// past the read deadline (the slowloris verdict).
+    pub request_timeouts: AtomicU64,
+    /// Connections dropped because a response write stalled past the write
+    /// deadline.
+    pub write_timeouts: AtomicU64,
 }
 
 impl Default for ServerMetrics {
@@ -96,6 +113,12 @@ impl Default for ServerMetrics {
             sweeps_submitted: AtomicU64::new(0),
             sweeps_completed: AtomicU64::new(0),
             sweeps_failed: AtomicU64::new(0),
+            conns_open: AtomicU64::new(0),
+            conns_accepted: AtomicU64::new(0),
+            conns_shed: AtomicU64::new(0),
+            keepalive_reuses: AtomicU64::new(0),
+            request_timeouts: AtomicU64::new(0),
+            write_timeouts: AtomicU64::new(0),
         }
     }
 }
@@ -155,6 +178,10 @@ impl ServerMetrics {
                 "\"batches_dispatched\": {bd}, \"largest_batch\": {lb}, ",
                 "\"dispatch\": {{\"local\": {pl}, \"subprocess\": {ps}, ",
                 "\"fleet\": {pf}}}}},\n",
+                "  \"reactor\": {{\"open_connections\": {ro}, ",
+                "\"conns_accepted\": {ra}, \"conns_shed\": {rsh}, ",
+                "\"keepalive_reuses\": {rk}, \"request_timeouts\": {rt}, ",
+                "\"write_timeouts\": {rw}}},\n",
                 "  \"cache\": {{\"hits\": {ch}, \"misses\": {cm}, ",
                 "\"retired\": {cr}, \"stores\": {cs}}},\n",
                 "  \"sweeps\": {{\"submitted\": {ss}, \"completed\": {sc}, ",
@@ -181,6 +208,12 @@ impl ServerMetrics {
             pl = get(&self.jobs_placed_local),
             ps = get(&self.jobs_placed_subprocess),
             pf = get(&self.jobs_placed_fleet),
+            ro = get(&self.conns_open),
+            ra = get(&self.conns_accepted),
+            rsh = get(&self.conns_shed),
+            rk = get(&self.keepalive_reuses),
+            rt = get(&self.request_timeouts),
+            rw = get(&self.write_timeouts),
             ch = cache.hits,
             cm = cache.misses,
             cr = cache.retired,
@@ -318,6 +351,20 @@ mod tests {
         assert_eq!(dispatch.get("local").and_then(Json::as_u64), Some(3));
         assert_eq!(dispatch.get("subprocess").and_then(Json::as_u64), Some(1));
         assert_eq!(dispatch.get("fleet").and_then(Json::as_u64), Some(2));
+        let reactor = doc.get("reactor").expect("reactor section");
+        assert_eq!(
+            reactor.get("open_connections").and_then(Json::as_u64),
+            Some(0)
+        );
+        for counter in [
+            "conns_accepted",
+            "conns_shed",
+            "keepalive_reuses",
+            "request_timeouts",
+            "write_timeouts",
+        ] {
+            assert_eq!(reactor.get(counter).and_then(Json::as_u64), Some(0));
+        }
         let fleet_doc = doc.get("fleet").expect("fleet section");
         assert_eq!(fleet_doc.get("known").and_then(Json::as_u64), Some(2));
         assert_eq!(fleet_doc.get("live").and_then(Json::as_u64), Some(1));

@@ -1,4 +1,4 @@
-//! The TCP front-end: accept loop, per-connection threads, and routing.
+//! The TCP front-end: accept loop, the reactor event loop, and routing.
 //!
 //! Endpoints:
 //!
@@ -15,21 +15,30 @@
 //! | POST   | `/fleet/dispatch` | a job shard   | `sigcomp-fleet v1` report (cache entries + obs) |
 //! | GET    | `/fleet`    | —                   | worker-pool status + merged worker obs |
 //!
-//! Each connection carries one request (`Connection: close`); request
-//! handling happens on a per-connection thread so a slow client never
-//! blocks the accept loop, while the real work — simulation — is serialized
-//! through the [`Batcher`]'s dispatcher and its work-stealing executor.
+//! Connections are served by the nonblocking [`crate::reactor`] by default
+//! ([`ServeModel::Reactor`]): a fixed worker pool drives per-connection
+//! state machines with HTTP/1.1 keep-alive, pipelining, read/write
+//! deadlines, and an accept-gate connection cap. Cheap routes (health,
+//! metrics, fleet registration, ticket polls, and memoized `/simulate`
+//! hits) are answered inline on the event-loop worker; simulation-bound
+//! routes are offloaded to a small dispatch pool so the event loop never
+//! blocks — the real work stays serialized through the [`Batcher`]'s
+//! dispatcher exactly as before. The pre-reactor thread-per-connection
+//! model survives as [`ServeModel::ThreadPerConn`], kept as the measured
+//! baseline for the saturation bench.
 
 use crate::api::{job_spec_from_json, simulate_response, sweep_result_json, sweep_spec_from_json};
 use crate::batch::{BatchConfig, Batcher, SubmitError};
 use crate::http::{read_request, HttpError, Request, Response};
 use crate::json::Json;
 use crate::metrics::ServerMetrics;
+use crate::reactor::{Completion, Handler, Reactor, ReactorConfig};
 use crate::registry::{SweepRegistry, SweepState};
 use sigcomp::ProcessNode;
 use sigcomp_explore::JobOutcome;
 use sigcomp_fabric::pool::{self, DEFAULT_LIVENESS_TTL};
 use sigcomp_fabric::proto::{self, DispatchOutcome};
+use std::collections::VecDeque;
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -37,20 +46,25 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// How long a connection may dally sending its request or draining the
-/// response before the server gives up on it.
+/// How long a legacy-model connection may dally sending its request or
+/// draining the response before the server gives up on it.
 const SOCKET_TIMEOUT: Duration = Duration::from_secs(30);
 
-/// Upper bound on concurrently-handled connections (and therefore
-/// connection threads). At the cap the accept loop stops accepting, so
-/// further clients queue in the kernel backlog instead of spawning
-/// unbounded threads — this is what makes the batcher's blocking-submit
-/// backpressure actually bound server memory under overload.
+/// Upper bound on concurrently-handled connections in the legacy
+/// thread-per-connection model. At the cap the accept loop stops
+/// accepting, so further clients queue in the kernel backlog instead of
+/// spawning unbounded threads. (The reactor model sheds at its own
+/// [`ServeConfig::max_conns`] cap with a fast `503` instead.)
 const MAX_CONNECTIONS: usize = 256;
 
-/// A counting gate for in-flight connections: `acquire` blocks the accept
-/// loop at [`MAX_CONNECTIONS`]; the returned guard releases on drop (even
-/// if the connection handler panics).
+/// Default size of the reactor's dispatch pool — the threads that run
+/// simulation-bound routes (`/simulate` misses, sync `/sweep`,
+/// `/fleet/dispatch`) so the event loop never blocks.
+const DEFAULT_DISPATCH_THREADS: usize = 16;
+
+/// A counting gate for in-flight legacy connections: `acquire` blocks the
+/// accept loop at [`MAX_CONNECTIONS`]; the returned guard releases on drop
+/// (even if the connection handler panics).
 #[derive(Debug, Default)]
 struct ConnGate {
     count: Mutex<usize>,
@@ -82,8 +96,20 @@ impl Drop for ConnPermit {
     }
 }
 
+/// Which connection-handling model the server runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServeModel {
+    /// The nonblocking event loop: keep-alive, pipelining, deadlines,
+    /// socket-layer admission control.
+    #[default]
+    Reactor,
+    /// The pre-reactor blocking model: one thread per connection, one
+    /// request per connection. Kept as the saturation bench's baseline.
+    ThreadPerConn,
+}
+
 /// Server configuration.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ServeConfig {
     /// Listen address, e.g. `127.0.0.1:7878` (port `0` picks a free port).
     /// Empty string defaults to `127.0.0.1:7878`.
@@ -97,6 +123,40 @@ pub struct ServeConfig {
     /// before oldest-first eviction
     /// (0 = [`crate::registry::MAX_FINISHED_TICKETS`]).
     pub finished_tickets: usize,
+    /// Connection-handling model (default [`ServeModel::Reactor`]).
+    pub model: ServeModel,
+    /// Reactor connection cap; above it new connections are shed with a
+    /// fast `503` + `Retry-After`
+    /// (0 = [`crate::reactor::DEFAULT_MAX_CONNS`]).
+    pub max_conns: usize,
+    /// Reactor per-connection read deadline: a partial request older than
+    /// this is answered `408` and closed
+    /// (zero = [`crate::reactor::DEFAULT_READ_DEADLINE`]).
+    pub read_deadline: Duration,
+    /// Honor client `Connection: keep-alive` (reactor model only; default
+    /// on). Off reproduces the close-per-request behavior exactly.
+    pub keep_alive: bool,
+    /// Reactor event-loop worker threads (0 = min(parallelism, 4)).
+    pub reactor_workers: usize,
+    /// Dispatch-pool threads for simulation-bound routes
+    /// (0 = [`DEFAULT_DISPATCH_THREADS`]).
+    pub dispatch_threads: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: String::new(),
+            batch: BatchConfig::default(),
+            finished_tickets: 0,
+            model: ServeModel::Reactor,
+            max_conns: 0,
+            read_deadline: Duration::ZERO,
+            keep_alive: true,
+            reactor_workers: 0,
+            dispatch_threads: 0,
+        }
+    }
 }
 
 /// Everything the request handlers share.
@@ -113,6 +173,9 @@ struct Ctx {
 pub struct Server {
     listener: TcpListener,
     ctx: Arc<Ctx>,
+    model: ServeModel,
+    reactor_config: ReactorConfig,
+    dispatch_threads: usize,
 }
 
 impl Server {
@@ -150,7 +213,23 @@ impl Server {
             metrics,
             started: Instant::now(),
         });
-        Ok(Server { listener, ctx })
+        Ok(Server {
+            listener,
+            ctx,
+            model: config.model,
+            reactor_config: ReactorConfig {
+                workers: config.reactor_workers,
+                max_conns: config.max_conns,
+                read_deadline: config.read_deadline,
+                write_deadline: Duration::ZERO,
+                keep_alive: config.keep_alive,
+            },
+            dispatch_threads: if config.dispatch_threads == 0 {
+                DEFAULT_DISPATCH_THREADS
+            } else {
+                config.dispatch_threads
+            },
+        })
     }
 
     /// The bound address (useful after binding port 0).
@@ -164,7 +243,7 @@ impl Server {
         self.listener.local_addr().expect("listener is bound")
     }
 
-    /// Runs the accept loop on the calling thread, forever (the CLI entry
+    /// Runs the serve loop on the calling thread, forever (the CLI entry
     /// point).
     ///
     /// # Errors
@@ -172,10 +251,10 @@ impl Server {
     /// Returns only on a fatal listener error.
     pub fn run(self) -> io::Result<()> {
         let never = Arc::new(AtomicBool::new(false));
-        accept_loop(&self.listener, &self.ctx, &never)
+        self.serve(&never)
     }
 
-    /// Runs the accept loop on a background thread and returns a handle that
+    /// Runs the serve loop on a background thread and returns a handle that
     /// can stop it — the embedding used by tests and the load-generator
     /// example.
     #[must_use]
@@ -186,13 +265,42 @@ impl Server {
             let stop = Arc::clone(&stop);
             std::thread::Builder::new()
                 .name("sigcomp-serve-accept".into())
-                .spawn(move || accept_loop(&self.listener, &self.ctx, &stop))
+                .spawn(move || self.serve(&stop))
                 .expect("spawning the accept thread")
         };
         ServerHandle {
             addr,
             stop,
             thread: Some(thread),
+        }
+    }
+
+    fn serve(self, stop: &Arc<AtomicBool>) -> io::Result<()> {
+        match self.model {
+            ServeModel::Reactor => {
+                let pool = DispatchPool::start(Arc::clone(&self.ctx), self.dispatch_threads);
+                let handler: Arc<dyn Handler> = Arc::new(ServeHandler {
+                    ctx: Arc::clone(&self.ctx),
+                    pool: Arc::clone(&pool.queue),
+                });
+                let mut reactor =
+                    Reactor::start(&self.reactor_config, handler, Arc::clone(&self.ctx.metrics));
+                let result = loop {
+                    let (stream, _) = match self.listener.accept() {
+                        Ok(accepted) => accepted,
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                        Err(e) => break Err(e),
+                    };
+                    if stop.load(Ordering::SeqCst) {
+                        break Ok(());
+                    }
+                    reactor.accept(stream);
+                };
+                reactor.shutdown();
+                pool.shutdown();
+                result
+            }
+            ServeModel::ThreadPerConn => accept_loop_threaded(&self.listener, &self.ctx, stop),
         }
     }
 }
@@ -212,8 +320,9 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Stops the accept loop and joins the server thread. In-flight
-    /// connection threads finish their current request.
+    /// Stops the serve loop and joins the server thread. In-flight
+    /// dispatched requests finish on the dispatch pool's (detached)
+    /// threads; open reactor connections are closed.
     pub fn shutdown(mut self) {
         self.stop_and_join();
     }
@@ -235,7 +344,137 @@ impl Drop for ServerHandle {
     }
 }
 
-fn accept_loop(listener: &TcpListener, ctx: &Arc<Ctx>, stop: &Arc<AtomicBool>) -> io::Result<()> {
+// ---------------------------------------------------------------------------
+// Reactor dispatch: inline fast paths + a bounded pool for blocking routes.
+
+/// The work queue feeding the dispatch pool.
+#[derive(Debug, Default)]
+struct DispatchQueue {
+    state: Mutex<DispatchState>,
+    ready: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct DispatchState {
+    jobs: VecDeque<(Request, Completion)>,
+    shutdown: bool,
+}
+
+impl DispatchQueue {
+    fn push(&self, request: Request, completion: Completion) {
+        let mut state = self.state.lock().expect("dispatch queue poisoned");
+        if state.shutdown {
+            completion.send(Response::error(503, "server is shutting down"));
+            return;
+        }
+        state.jobs.push_back((request, completion));
+        drop(state);
+        self.ready.notify_one();
+    }
+}
+
+/// A fixed pool of threads running the simulation-bound routes. Threads
+/// are detached on shutdown (mirroring the legacy model's detached
+/// connection threads): they finish their in-flight request and exit.
+#[derive(Debug)]
+struct DispatchPool {
+    queue: Arc<DispatchQueue>,
+}
+
+impl DispatchPool {
+    fn start(ctx: Arc<Ctx>, threads: usize) -> DispatchPool {
+        let queue = Arc::new(DispatchQueue::default());
+        for i in 0..threads.max(1) {
+            let queue = Arc::clone(&queue);
+            let ctx = Arc::clone(&ctx);
+            let spawned = std::thread::Builder::new()
+                .name(format!("sigcomp-serve-dispatch-{i}"))
+                .spawn(move || loop {
+                    let job = {
+                        let mut state = queue.state.lock().expect("dispatch queue poisoned");
+                        loop {
+                            if let Some(job) = state.jobs.pop_front() {
+                                break Some(job);
+                            }
+                            if state.shutdown {
+                                break None;
+                            }
+                            state = queue.ready.wait(state).expect("dispatch queue poisoned");
+                        }
+                    };
+                    let Some((request, completion)) = job else {
+                        return;
+                    };
+                    completion.send(route(&ctx, &request));
+                });
+            if let Err(e) = spawned {
+                eprintln!("sigcomp-serve: could not spawn a dispatch thread: {e}");
+            }
+        }
+        DispatchPool { queue }
+    }
+
+    fn shutdown(self) {
+        let mut state = self.queue.state.lock().expect("dispatch queue poisoned");
+        state.shutdown = true;
+        drop(state);
+        self.queue.ready.notify_all();
+    }
+}
+
+/// The reactor's request handler: answer cheap routes inline on the
+/// event-loop worker, offload anything that can block on a simulation.
+#[derive(Debug)]
+struct ServeHandler {
+    ctx: Arc<Ctx>,
+    pool: Arc<DispatchQueue>,
+}
+
+impl Handler for ServeHandler {
+    fn handle(&self, request: Request, completion: Completion) {
+        match fast_route(&self.ctx, &request) {
+            Some(response) => completion.send(response),
+            None => self.pool.push(request, completion),
+        }
+    }
+}
+
+/// Routes that never block: answered inline on the reactor worker.
+/// `None` means "this can block — dispatch it".
+fn fast_route(ctx: &Arc<Ctx>, request: &Request) -> Option<Response> {
+    match (request.method.as_str(), request.path.as_str()) {
+        // A memoized /simulate is the hot path at saturation: answer it
+        // without leaving the event loop. Parse failures are also final —
+        // no reason to burn a dispatch thread on them.
+        ("POST", "/simulate") => match parse_body(request) {
+            Ok(doc) => match job_spec_from_json(&doc) {
+                Ok((spec, node)) => ctx
+                    .batcher
+                    .try_memo(spec)
+                    .map(|result| Response::json(200, simulate_response(&spec, &result, node))),
+                Err(message) => Some(Response::error(400, &message)),
+            },
+            Err(response) => Some(response),
+        },
+        // Sync sweeps and fleet dispatches block on the batcher; async
+        // sweeps spawn a thread — all pool work.
+        ("POST", "/sweep" | "/fleet/dispatch") => None,
+        // Everything else — health, metrics, fleet registration,
+        // heartbeats, ticket polls, 404/405 — is a lock-light lookup.
+        _ => Some(route(ctx, request)),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The legacy thread-per-connection model (ServeModel::ThreadPerConn): one
+// blocking thread and one request per connection. This is the measured
+// baseline the saturation bench compares the reactor against.
+
+fn accept_loop_threaded(
+    listener: &TcpListener,
+    ctx: &Arc<Ctx>,
+    stop: &Arc<AtomicBool>,
+) -> io::Result<()> {
     let gate = Arc::new(ConnGate::default());
     loop {
         let (stream, _) = match listener.accept() {
@@ -707,5 +946,40 @@ mod tests {
                 other => panic!("unexpected status {other:?} in {}", r.body),
             }
         }
+    }
+
+    #[test]
+    fn the_memo_fast_path_agrees_with_the_full_route() {
+        let ctx = test_ctx();
+        let body = "{\"workload\": \"rawcaudio\", \"size\": \"tiny\"}";
+        let request = Request {
+            method: "POST".into(),
+            path: "/simulate".into(),
+            headers: Vec::new(),
+            body: body.as_bytes().to_vec(),
+        };
+        // Cold: the fast path must miss (no memo entry yet) ...
+        assert_eq!(fast_route(&ctx, &request), None);
+        let cold = route(&ctx, &request);
+        assert_eq!(cold.status, 200, "{}", cold.body);
+        // ... warm: it must hit and answer byte-identically to what the
+        // full route would say for the same (now memoized) repeat.
+        let warm = route(&ctx, &request);
+        let fast = fast_route(&ctx, &request).expect("memoized answer");
+        assert_eq!(fast.status, 200);
+        assert_eq!(fast.body, warm.body, "fast path must be bit-identical");
+        assert!(fast.body.contains("\"from_cache\": true"), "{}", fast.body);
+        // Decode errors are final inline answers, not pool work.
+        let bad = Request {
+            body: b"{not json".to_vec(),
+            ..request.clone()
+        };
+        assert_eq!(fast_route(&ctx, &bad).map(|r| r.status), Some(400));
+        // Sweeps always go to the pool.
+        let sweep = Request {
+            path: "/sweep".into(),
+            ..request
+        };
+        assert_eq!(fast_route(&ctx, &sweep), None);
     }
 }

@@ -1,19 +1,40 @@
-//! Load generator for the serving front-end: spins up an in-process
-//! `sigcomp-serve` server on an ephemeral port, fires many concurrent
-//! clients at `POST /simulate` with heavily overlapping configurations, and
-//! then reads `GET /metrics` to show the batching scheduler coalescing the
-//! overlap — thousands of requests, a handful of simulations.
+//! Load generator for the serving front-end, in two modes.
+//!
+//! **Closed-loop (default):** spins up an in-process `sigcomp-serve` server
+//! on an ephemeral port, fires many concurrent clients at `POST /simulate`
+//! with heavily overlapping configurations, and then reads `GET /metrics`
+//! to show the batching scheduler coalescing the overlap — hundreds of
+//! requests, a handful of simulations.
 //!
 //! ```sh
 //! cargo run --release --example load_gen
 //! ```
+//!
+//! **Open-loop (`--mode open`):** drives a *live* server at a target
+//! request rate, the way real saturation measurements are taken. Requests
+//! are scheduled on a fixed timetable (request *i* fires at `t0 + i/rate`)
+//! and latency is measured from the **intended** start, so a slow server
+//! cannot hide queueing delay by slowing the generator down (no
+//! coordinated omission). Each client holds one keep-alive connection
+//! (`--keep-alive`, via the fabric's pooling client) or redials per request.
+//!
+//! ```sh
+//! repro serve --addr 127.0.0.1:8099 &
+//! cargo run --release --example load_gen -- --mode open \
+//!     --addr 127.0.0.1:8099 --clients 8 --rate 2000 --duration-s 5 \
+//!     --keep-alive --p99-budget-ms 250
+//! ```
+//!
+//! The open-loop run exits nonzero if any request fails or the observed
+//! p99 exceeds the budget — which is what lets CI use it as a latency gate.
 
+use sigcomp_fabric::HttpClient;
 use sigcomp_obs::{Histogram, DEFAULT_SPAN_BOUNDS_US};
 use sigcomp_pipeline::OrgKind;
 use sigcomp_serve::{BatchConfig, Json, ServeConfig, Server};
 use sigcomp_workloads::suite_names;
 use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpStream};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
@@ -23,8 +44,8 @@ const REQUESTS_PER_CLIENT: usize = 25;
 /// server's `Retry-After`) before the load generator gives up on it.
 const SHED_RETRIES: u32 = 5;
 
-/// One request, read to connection close: status, headers (lowercased
-/// names), body.
+/// One request on a fresh connection, read to connection close: status,
+/// headers (lowercased names), body.
 fn http(
     addr: SocketAddr,
     method: &str,
@@ -68,7 +89,169 @@ struct Outcomes {
     failed: AtomicU64,
 }
 
+/// Open-loop parameters, parsed from the command line.
+struct OpenArgs {
+    addr: String,
+    clients: usize,
+    rate: f64,
+    duration: Duration,
+    keep_alive: bool,
+    p99_budget: Option<Duration>,
+}
+
 fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut mode = "closed".to_owned();
+    let mut open = OpenArgs {
+        addr: String::new(),
+        clients: 8,
+        rate: 500.0,
+        duration: Duration::from_secs(5),
+        keep_alive: false,
+        p99_budget: None,
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| {
+                    eprintln!("load_gen: {name} needs a value");
+                    std::process::exit(2);
+                })
+                .clone()
+        };
+        match flag.as_str() {
+            "--mode" => mode = value("--mode"),
+            "--addr" => open.addr = value("--addr"),
+            "--clients" => open.clients = value("--clients").parse().expect("--clients"),
+            "--rate" => open.rate = value("--rate").parse().expect("--rate"),
+            "--duration-s" => {
+                open.duration =
+                    Duration::from_secs_f64(value("--duration-s").parse().expect("--duration-s"));
+            }
+            "--keep-alive" => open.keep_alive = true,
+            "--p99-budget-ms" => {
+                open.p99_budget = Some(Duration::from_millis(
+                    value("--p99-budget-ms").parse().expect("--p99-budget-ms"),
+                ));
+            }
+            other => {
+                eprintln!("load_gen: unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    match mode.as_str() {
+        "closed" => closed_loop(),
+        "open" => open_loop(&open),
+        other => {
+            eprintln!("load_gen: unknown --mode {other} (closed | open)");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// The open-loop driver against a live server.
+fn open_loop(args: &OpenArgs) {
+    if args.addr.is_empty() {
+        eprintln!("load_gen: --mode open needs --addr host:port");
+        std::process::exit(2);
+    }
+    let sock: SocketAddr = args
+        .addr
+        .to_socket_addrs()
+        .expect("resolve --addr")
+        .next()
+        .expect("--addr resolves");
+    let total = (args.rate * args.duration.as_secs_f64()).round().max(1.0) as usize;
+    let clients = args.clients.max(1);
+    println!(
+        "open-loop: {total} requests at {:.0} req/s over {:.1} s, {clients} client(s), keep-alive {}",
+        args.rate,
+        args.duration.as_secs_f64(),
+        if args.keep_alive { "on" } else { "off" },
+    );
+
+    // Warm the memo so the measured requests exercise the steady-state
+    // serving path, not the first simulation.
+    let body = "{\"workload\": \"rawcaudio\", \"size\": \"tiny\"}";
+    let warm = HttpClient::new(Duration::from_mins(1));
+    let warm_status = warm
+        .post(&args.addr, "/simulate", body)
+        .map(|r| r.status)
+        .expect("warm-up /simulate");
+    assert_eq!(warm_status, 200, "warm-up request must succeed");
+
+    let latency = Histogram::new(DEFAULT_SPAN_BOUNDS_US);
+    let outcomes = Outcomes::default();
+    let t0 = Instant::now() + Duration::from_millis(50);
+    std::thread::scope(|scope| {
+        for client in 0..clients {
+            let latency = &latency;
+            let outcomes = &outcomes;
+            let args = &args;
+            scope.spawn(move || {
+                // Each client shares one pooled keep-alive connection for
+                // its whole run via the fabric client.
+                let ka = HttpClient::new(Duration::from_mins(1));
+                // Requests are striped across clients; each fires on the
+                // global timetable regardless of how long the last one took.
+                for i in (client..total).step_by(clients) {
+                    let intended = t0 + Duration::from_secs_f64(i as f64 / args.rate);
+                    let now = Instant::now();
+                    if intended > now {
+                        std::thread::sleep(intended - now);
+                    }
+                    let status = if args.keep_alive {
+                        ka.post(&args.addr, "/simulate", body)
+                            .map_or(0, |r| r.status)
+                    } else {
+                        http(sock, "POST", "/simulate", body).0
+                    };
+                    // Intended-start latency: queueing delay from falling
+                    // behind the timetable counts against the server.
+                    let waited = intended.elapsed();
+                    latency.observe(waited.as_micros().min(u128::from(u64::MAX)) as u64);
+                    if status == 200 {
+                        outcomes.ok.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        outcomes.failed.fetch_add(1, Ordering::Relaxed);
+                        eprintln!("request {i} failed with status {status}");
+                    }
+                }
+            });
+        }
+    });
+
+    let (ok, failed) = (
+        outcomes.ok.load(Ordering::Relaxed),
+        outcomes.failed.load(Ordering::Relaxed),
+    );
+    let snap = latency.snapshot();
+    let p99_us = snap.quantile(0.99);
+    println!("responses: {ok} ok, {failed} failed");
+    println!(
+        "intended-start latency: p50 {:.0} us, p95 {:.0} us, p99 {p99_us:.0} us (max {} us)",
+        snap.quantile(0.50),
+        snap.quantile(0.95),
+        snap.max
+    );
+    if failed > 0 {
+        eprintln!("load_gen: {failed} of {total} requests failed");
+        std::process::exit(1);
+    }
+    if let Some(budget) = args.p99_budget {
+        let budget_us = budget.as_micros() as f64;
+        if p99_us > budget_us {
+            eprintln!("load_gen: p99 {p99_us:.0} us exceeds the {budget_us:.0} us budget");
+            std::process::exit(1);
+        }
+        println!("p99 within budget ({p99_us:.0} us <= {budget_us:.0} us)");
+    }
+}
+
+/// The original closed-loop in-process demo (and smoke test).
+fn closed_loop() {
     let server = Server::bind(ServeConfig {
         addr: "127.0.0.1:0".into(),
         batch: BatchConfig {
@@ -77,7 +260,7 @@ fn main() {
             sim_workers: None, // all cores
             ..BatchConfig::default()
         },
-        finished_tickets: 0,
+        ..ServeConfig::default()
     })
     .expect("bind")
     .spawn();

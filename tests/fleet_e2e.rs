@@ -24,7 +24,7 @@ fn start_worker() -> ServerHandle {
             sim_workers: Some(2),
             ..BatchConfig::default()
         },
-        finished_tickets: 0,
+        ..ServeConfig::default()
     })
     .expect("bind")
     .spawn()

@@ -57,7 +57,7 @@ fn start_server() -> ServerHandle {
             sim_workers: Some(2),
             ..BatchConfig::default()
         },
-        finished_tickets: 0,
+        ..ServeConfig::default()
     })
     .expect("bind")
     .spawn()
@@ -201,6 +201,7 @@ fn capped_memo_and_registry_hold_server_memory_flat_under_distinct_traffic() {
             ..BatchConfig::default()
         },
         finished_tickets: 1,
+        ..ServeConfig::default()
     })
     .expect("bind")
     .spawn();
@@ -368,7 +369,7 @@ fn full_queue_sheds_with_a_fast_503_and_retry_after() {
             sim_workers: Some(1),
             ..BatchConfig::default()
         },
-        finished_tickets: 0,
+        ..ServeConfig::default()
     })
     .expect("bind")
     .spawn();
